@@ -1,0 +1,151 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation section (see DESIGN.md's per-experiment index).
+// Each benchmark iteration runs the full simulated experiment and reports
+// the paper's headline metrics as custom benchmark outputs, so
+//
+//	go test -bench=Table1 -benchmem
+//
+// reproduces Table 1's shape. The -short forms use a smaller copy size;
+// steady-state rates are unchanged.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// copyMB picks the transfer size: the paper's 10MB normally, 2MB under
+// -short.
+func copyMB(b *testing.B) int {
+	if testing.Short() {
+		return 2
+	}
+	return 10
+}
+
+// benchCopyTable runs one full table per iteration and reports the
+// paper's key cells as metrics.
+func benchCopyTable(b *testing.B, spec experiments.CopySpec) {
+	spec.FileMB = copyMB(b)
+	b.ReportAllocs()
+	var tbl *experiments.CopyTable
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.RunCopyTable(spec)
+	}
+	last := len(tbl.Without) - 1
+	b.ReportMetric(tbl.Without[0].ClientKBps, "std0biod-KB/s")
+	b.ReportMetric(tbl.Without[last].ClientKBps, "stdMaxbiod-KB/s")
+	b.ReportMetric(tbl.With[0].ClientKBps, "wg0biod-KB/s")
+	b.ReportMetric(tbl.With[last].ClientKBps, "wgMaxbiod-KB/s")
+	b.ReportMetric(tbl.With[last].CPUPercent, "wgMaxbiod-cpu%")
+	b.ReportMetric(tbl.Without[last].DiskTransSec, "std-disk-t/s")
+	b.ReportMetric(tbl.With[last].DiskTransSec, "wg-disk-t/s")
+	b.Logf("\n%s", tbl.Render())
+}
+
+func BenchmarkTable1EthernetCopy(b *testing.B)     { benchCopyTable(b, experiments.Table1Spec()) }
+func BenchmarkTable2EthernetPresto(b *testing.B)   { benchCopyTable(b, experiments.Table2Spec()) }
+func BenchmarkTable3FDDICopy(b *testing.B)         { benchCopyTable(b, experiments.Table3Spec()) }
+func BenchmarkTable4FDDIPresto(b *testing.B)       { benchCopyTable(b, experiments.Table4Spec()) }
+func BenchmarkTable5FDDIStripe(b *testing.B)       { benchCopyTable(b, experiments.Table5Spec()) }
+func BenchmarkTable6FDDIPrestoStripe(b *testing.B) { benchCopyTable(b, experiments.Table6Spec()) }
+
+// BenchmarkFigure1Timeline regenerates the traffic timelines of Figure 1
+// and reports the disk-operation reduction the figure illustrates.
+func BenchmarkFigure1Timeline(b *testing.B) {
+	var stdOps, wgOps int
+	for i := 0; i < b.N; i++ {
+		_, stdLog := experiments.RunFigure1(experiments.DefaultFigure1(false))
+		_, wgLog := experiments.RunFigure1(experiments.DefaultFigure1(true))
+		stdOps, wgOps = 0, 0
+		for k, v := range stdLog.Summary(0, 1<<62) {
+			if len(k) > 5 && k[:5] == "disk:" {
+				stdOps += v
+			}
+		}
+		for k, v := range wgLog.Summary(0, 1<<62) {
+			if len(k) > 5 && k[:5] == "disk:" {
+				wgOps += v
+			}
+		}
+	}
+	b.ReportMetric(float64(stdOps), "std-disk-ops")
+	b.ReportMetric(float64(wgOps), "wg-disk-ops")
+	b.ReportMetric(float64(stdOps)/float64(wgOps), "reduction-x")
+}
+
+// benchFigure sweeps one LADDIS figure. Under -short the sweep is
+// coarsened to every other load point with a shorter measured phase.
+func benchFigure(b *testing.B, spec experiments.FigureSpec) {
+	if testing.Short() {
+		var half []float64
+		for i, l := range spec.Loads {
+			if i%2 == 1 {
+				half = append(half, l)
+			}
+		}
+		spec.Loads = half
+		spec.Measure = 4 * sim.Second
+	}
+	var wo, wi *experiments.LADDISCurve
+	for i := 0; i < b.N; i++ {
+		wo, wi = experiments.RunFigure(spec)
+	}
+	capW, latW := wo.Capacity(50)
+	capG, latG := wi.Capacity(50)
+	b.ReportMetric(capW, "std-cap-ops/s")
+	b.ReportMetric(capG, "wg-cap-ops/s")
+	b.ReportMetric(latW, "std-lat-ms")
+	b.ReportMetric(latG, "wg-lat-ms")
+	if capW > 0 {
+		b.ReportMetric(100*(capG-capW)/capW, "cap-delta-%")
+	}
+	b.Logf("\n%s", experiments.RenderFigure(spec, wo, wi))
+}
+
+func BenchmarkFigure2LADDIS(b *testing.B)       { benchFigure(b, experiments.Figure2Spec()) }
+func BenchmarkFigure3LADDISPresto(b *testing.B) { benchFigure(b, experiments.Figure3Spec()) }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func benchAblation(b *testing.B, title string, run func() []experiments.AblationResult) {
+	var rows []experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		rows = run()
+	}
+	for i, r := range rows {
+		b.ReportMetric(r.ClientKBps, fmt.Sprintf("variant%d-KB/s", i))
+	}
+	b.Logf("\n%s", experiments.RenderAblation(title, rows))
+}
+
+func BenchmarkAblationReplyOrder(b *testing.B) {
+	benchAblation(b, "Reply order (§6.7)", experiments.AblationReplyOrder)
+}
+
+func BenchmarkAblationProcrastination(b *testing.B) {
+	benchAblation(b, "Procrastination interval (§6.6)", experiments.AblationProcrastination)
+}
+
+func BenchmarkAblationFirstWriteLatency(b *testing.B) {
+	benchAblation(b, "Latency device policy (§6.6 / SIVA93)", experiments.AblationFirstWriteLatency)
+}
+
+func BenchmarkAblationHunterPlain(b *testing.B) {
+	benchAblation(b, "mbuf hunter, plain disk (§6.5)", func() []experiments.AblationResult {
+		return experiments.AblationHunter(false)
+	})
+}
+
+func BenchmarkAblationHunterPresto(b *testing.B) {
+	benchAblation(b, "mbuf hunter, Presto (§6.5)", func() []experiments.AblationResult {
+		return experiments.AblationHunter(true)
+	})
+}
+
+func BenchmarkAblationOneNfsd(b *testing.B) {
+	benchAblation(b, "nfsd pool size (§6.1)", experiments.AblationOneNfsd)
+}

@@ -1,0 +1,96 @@
+// Command nfsbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	nfsbench -run table1            # one table
+//	nfsbench -run table1,table3     # several
+//	nfsbench -run all               # tables 1-6 and figures 1-3
+//	nfsbench -run figure2 -quick    # coarser LADDIS sweep
+//	nfsbench -mb 4                  # smaller copies (faster, same rates)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiments to run: tableN, figureN, comma separated, or 'all'")
+	mb := flag.Int("mb", 10, "file copy size in MB (the paper used 10)")
+	quick := flag.Bool("quick", false, "coarser LADDIS sweeps for figures 2-3")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, n := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "figure1", "figure2", "figure3"} {
+			want[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	specs := experiments.TableSpecs()
+	var names []string
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ran := 0
+	for _, n := range names {
+		if !want[n] {
+			continue
+		}
+		spec := specs[n]
+		spec.FileMB = *mb
+		tbl := experiments.RunCopyTable(spec)
+		fmt.Println(tbl.Render())
+		ran++
+	}
+
+	if want["figure1"] {
+		for _, gather := range []bool{false, true} {
+			out, _ := experiments.RunFigure1(experiments.DefaultFigure1(gather))
+			fmt.Println(out)
+		}
+		ran++
+	}
+	for _, fig := range []struct {
+		name string
+		spec experiments.FigureSpec
+	}{
+		{"figure2", experiments.Figure2Spec()},
+		{"figure3", experiments.Figure3Spec()},
+	} {
+		if !want[fig.name] {
+			continue
+		}
+		spec := fig.spec
+		if *quick {
+			spec.Loads = spec.Loads[:len(spec.Loads)/2*1]
+			half := spec.Loads[:0:0]
+			for i, l := range fig.spec.Loads {
+				if i%2 == 0 {
+					half = append(half, l)
+				}
+			}
+			spec.Loads = half
+			spec.Measure = 5 * sim.Second
+		}
+		wo, wi := experiments.RunFigure(spec)
+		fmt.Println(experiments.RenderFigure(spec, wo, wi))
+		ran++
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nfsbench: nothing matched -run %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,32 @@
+// Command nfsserverd runs the repository's NFSv2 protocol stack as a real
+// UDP server over the in-memory UFS filesystem. It exists to demonstrate
+// the wire protocol end to end; use examples/realnet or any tool that can
+// speak the NFSv2 framing to exercise it.
+//
+// Usage:
+//
+//	nfsserverd -addr 127.0.0.1:20049
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/realnfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:20049", "UDP address to listen on")
+	flag.Parse()
+
+	srv, err := realnfs.New(*addr)
+	if err != nil {
+		log.Fatalf("nfsserverd: %v", err)
+	}
+	fmt.Printf("nfsserverd: serving NFSv2/UDP on %s\n", srv.Addr())
+	fmt.Printf("nfsserverd: root file handle fsid=%d ino=%d\n", srv.RootFH().FSID(), srv.RootFH().Ino())
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("nfsserverd: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+// Command nfstrace prints the paper's Figure 1: the message/disk timeline
+// of a 4-biod sequential writer against a standard server and against a
+// write-gathering server, >100K into the file.
+//
+// Usage:
+//
+//	nfstrace            # both timelines
+//	nfstrace -gather    # gathering server only
+//	nfstrace -standard  # standard server only
+//	nfstrace -biods 7
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	gatherOnly := flag.Bool("gather", false, "show only the gathering server")
+	standardOnly := flag.Bool("standard", false, "show only the standard server")
+	biods := flag.Int("biods", 4, "client biod count")
+	flag.Parse()
+
+	show := func(gathering bool) {
+		cfg := experiments.DefaultFigure1(gathering)
+		cfg.Biods = *biods
+		out, log := experiments.RunFigure1(cfg)
+		fmt.Println(out)
+		sum := log.Summary(0, 1<<62)
+		fmt.Printf("totals: client sends=%d replies=%d disk ops=%d\n\n",
+			sum["client:8K"], sum["client:<-"], countPrefix(sum, "disk:"))
+	}
+	if !*gatherOnly {
+		show(false)
+	}
+	if !*standardOnly {
+		show(true)
+	}
+}
+
+func countPrefix(m map[string]int, prefix string) int {
+	n := 0
+	for k, v := range m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			n += v
+		}
+	}
+	return n
+}

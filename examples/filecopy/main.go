@@ -1,0 +1,46 @@
+// Filecopy reruns the paper's case study (§5 and Table 1): a 10MB
+// sequential file copy over Ethernet with a sweep of client biod counts,
+// against both the standard and the write-gathering server. It prints the
+// table in the paper's format. Pass -fddi for the Table 3 configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fddi := flag.Bool("fddi", false, "use the FDDI configuration (Table 3)")
+	presto := flag.Bool("presto", false, "add Prestoserve NVRAM (Tables 2/4)")
+	mb := flag.Int("mb", 10, "file size in MB")
+	flag.Parse()
+
+	var spec experiments.CopySpec
+	switch {
+	case *fddi && *presto:
+		spec = experiments.Table4Spec()
+	case *fddi:
+		spec = experiments.Table3Spec()
+	case *presto:
+		spec = experiments.Table2Spec()
+	default:
+		spec = experiments.Table1Spec()
+	}
+	spec.FileMB = *mb
+	tbl := experiments.RunCopyTable(spec)
+	fmt.Println(tbl.Render())
+
+	// The paper's headline observations, computed from the rows.
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	fmt.Printf("0-biod cost of gathering: %.0f%%\n",
+		100*(wo[0].ClientKBps-wi[0].ClientKBps)/wo[0].ClientKBps)
+	fmt.Printf("%d-biod gain from gathering: %.0f%%\n", wo[last].Biods,
+		100*(wi[last].ClientKBps-wo[last].ClientKBps)/wo[last].ClientKBps)
+	fmt.Printf("disk transaction reduction at %d biods: %.1fx\n", wo[last].Biods,
+		wo[last].DiskTransSec/wi[last].DiskTransSec)
+	fmt.Printf("mean gather batch at %d biods: %.1f writes per metadata commit\n",
+		wi[last].Biods, float64(wi[last].Gather.GatheredWrites)/float64(wi[last].Gather.Gathers))
+}

@@ -1,0 +1,35 @@
+// Laddis sweeps a SPEC SFS 1.0-style mixed workload (15% writes) against
+// the standard and gathering servers and prints the throughput/latency
+// curve of the paper's Figure 2 (or Figure 3 with -presto).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	presto := flag.Bool("presto", false, "Prestoserve configuration (Figure 3)")
+	quick := flag.Bool("quick", true, "coarse sweep (faster)")
+	flag.Parse()
+
+	spec := experiments.Figure2Spec()
+	if *presto {
+		spec = experiments.Figure3Spec()
+	}
+	if *quick {
+		var half []float64
+		for i, l := range spec.Loads {
+			if i%2 == 0 {
+				half = append(half, l)
+			}
+		}
+		spec.Loads = half
+		spec.Measure = 5 * sim.Second
+	}
+	wo, wi := experiments.RunFigure(spec)
+	fmt.Println(experiments.RenderFigure(spec, wo, wi))
+}

@@ -1,0 +1,117 @@
+// Realnet exercises the repository's genuine NFSv2 wire protocol over a
+// real UDP loopback socket: it starts the realnfs server in-process,
+// creates a directory tree, writes a file in 8K chunks, reads it back and
+// verifies the contents — all via encoded ONC RPC datagrams.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/nfsproto"
+	"repro/internal/realnfs"
+)
+
+func main() {
+	srv, err := realnfs.New("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("realnet: %v", err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	fmt.Printf("server on %s\n", srv.Addr())
+
+	cli, err := realnfs.Dial(srv.Addr())
+	if err != nil {
+		log.Fatalf("realnet: %v", err)
+	}
+	defer cli.Close()
+
+	root := srv.RootFH()
+
+	// mkdir /data
+	res, err := cli.Call(nfsproto.ProcMkdir, (&nfsproto.CreateArgs{
+		Where: nfsproto.DirOpArgs{Dir: root, Name: "data"},
+		Attr:  nfsproto.DefaultSAttr(0755),
+	}).Encode())
+	if err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+	dir, err := nfsproto.DecodeDirOpRes(res)
+	if err != nil || dir.Status != nfsproto.OK {
+		log.Fatalf("mkdir: %v %v", err, dir)
+	}
+	fmt.Println("MKDIR /data ->", dir.File)
+
+	// create /data/blob
+	res, err = cli.Call(nfsproto.ProcCreate, (&nfsproto.CreateArgs{
+		Where: nfsproto.DirOpArgs{Dir: dir.File, Name: "blob"},
+		Attr:  nfsproto.DefaultSAttr(0644),
+	}).Encode())
+	if err != nil {
+		log.Fatalf("create: %v", err)
+	}
+	file, err := nfsproto.DecodeDirOpRes(res)
+	if err != nil || file.Status != nfsproto.OK {
+		log.Fatalf("create: %v %v", err, file)
+	}
+	fmt.Println("CREATE /data/blob ->", file.File)
+
+	// write 64K in 8K chunks
+	payload := make([]byte, 8192)
+	for blk := 0; blk < 8; blk++ {
+		for i := range payload {
+			payload[i] = byte(blk*31 + i)
+		}
+		res, err = cli.Call(nfsproto.ProcWrite, (&nfsproto.WriteArgs{
+			File: file.File, Offset: uint32(blk * 8192), Data: payload,
+		}).Encode())
+		if err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		as, err := nfsproto.DecodeAttrStat(res)
+		if err != nil || as.Status != nfsproto.OK {
+			log.Fatalf("write: %v %v", err, as)
+		}
+	}
+	fmt.Println("WRITE 64K in 8 requests: ok")
+
+	// read back and verify
+	for blk := 0; blk < 8; blk++ {
+		res, err = cli.Call(nfsproto.ProcRead, (&nfsproto.ReadArgs{
+			File: file.File, Offset: uint32(blk * 8192), Count: 8192,
+		}).Encode())
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		rr, err := nfsproto.DecodeReadRes(res)
+		if err != nil || rr.Status != nfsproto.OK {
+			log.Fatalf("read: %v %v", err, rr)
+		}
+		want := make([]byte, 8192)
+		for i := range want {
+			want[i] = byte(blk*31 + i)
+		}
+		if !bytes.Equal(rr.Data, want) {
+			log.Fatalf("read: block %d content mismatch", blk)
+		}
+	}
+	fmt.Println("READ 64K back: contents verified")
+
+	// list /data
+	res, err = cli.Call(nfsproto.ProcReaddir, (&nfsproto.ReaddirArgs{
+		Dir: dir.File, Count: 1024,
+	}).Encode())
+	if err != nil {
+		log.Fatalf("readdir: %v", err)
+	}
+	ls, err := nfsproto.DecodeReaddirRes(res)
+	if err != nil || ls.Status != nfsproto.OK {
+		log.Fatalf("readdir: %v %v", err, ls)
+	}
+	for _, e := range ls.Entries {
+		fmt.Printf("READDIR entry: ino=%d name=%q\n", e.FileID, e.Name)
+	}
+	fmt.Printf("served %d RPCs over real UDP\n", srv.Requests)
+}

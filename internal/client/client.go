@@ -1,0 +1,342 @@
+// Package client models a typical workstation NFS client (§4.1): a pool
+// of biod daemons performing write-behind, the hand-off-or-do-it-yourself
+// flow control that blocks the application when every biod is busy, UDP
+// retransmission with exponential backoff starting at 1.1 s, and
+// sync-on-close semantics.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/oncrpc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Errors returned by the RPC layer.
+var (
+	ErrTimeout = errors.New("client: rpc timed out")
+	ErrDenied  = errors.New("client: rpc denied")
+)
+
+// Client is one NFS client host.
+type Client struct {
+	sim    *sim.Sim
+	net    *netsim.Network
+	ep     *netsim.Endpoint
+	name   string
+	server string
+	params hw.ClientParams
+
+	xidSeq  uint32
+	pending map[uint32]*pendingCall
+
+	jobs      *sim.Queue[*writeJob]
+	idleBiods int
+	numBiods  int
+
+	outstanding int
+	closeCond   *sim.Cond
+
+	// Counters.
+	Retransmissions uint64
+	Calls           uint64
+	WriteCounter    stats.Counter
+	WriteLatency    stats.Latency
+	// MaxRTO caps backoff growth.
+	MaxRTO sim.Duration
+	// OnWriteEvent, when non-nil, observes write request lifecycles for
+	// tracing: event is "send" or "reply".
+	OnWriteEvent func(event string, off uint32, n int)
+}
+
+type pendingCall struct {
+	cond  *sim.Cond
+	reply *oncrpc.ReplyMsg
+}
+
+type writeJob struct {
+	fh   nfsproto.FH
+	off  uint32
+	data []byte
+	c    *Client
+}
+
+// New attaches a client named name to the network, pointed at server, with
+// the given number of biods (0 = fully synchronous writes).
+func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientParams, numBiods int) *Client {
+	c := &Client{
+		sim:       s,
+		net:       n,
+		ep:        n.Attach(name, 0, 0),
+		name:      name,
+		server:    server,
+		params:    params,
+		pending:   make(map[uint32]*pendingCall),
+		jobs:      sim.NewQueue[*writeJob](s, 0),
+		numBiods:  numBiods,
+		closeCond: sim.NewCond(s),
+		MaxRTO:    params.RetransMax,
+	}
+	s.Spawn(name+"-recv", c.receiver)
+	for i := 0; i < numBiods; i++ {
+		s.Spawn(fmt.Sprintf("%s-biod%d", name, i), c.biod)
+	}
+	return c
+}
+
+// Name returns the client's endpoint name.
+func (c *Client) Name() string { return c.name }
+
+// receiver demultiplexes replies to waiting callers by XID.
+func (c *Client) receiver(p *sim.Proc) {
+	for {
+		dg := c.ep.Inbox.Get(p)
+		reply, err := oncrpc.DecodeReply(dg.Payload)
+		if err != nil {
+			continue
+		}
+		pc, ok := c.pending[reply.XID]
+		if !ok {
+			continue // late duplicate reply; drop
+		}
+		if pc.reply == nil {
+			pc.reply = reply
+			pc.cond.Signal()
+		}
+	}
+}
+
+// Call performs one RPC with retransmission and backoff. It blocks p until
+// a reply arrives or retransmission gives up (~8 attempts).
+func (c *Client) Call(p *sim.Proc, proc nfsproto.Proc, args []byte) (*oncrpc.ReplyMsg, error) {
+	c.xidSeq++
+	xid := c.xidSeq
+	call := &oncrpc.CallMsg{
+		XID:  xid,
+		Prog: nfsproto.Program,
+		Vers: nfsproto.Version,
+		Proc: uint32(proc),
+		Cred: oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: (&oncrpc.UnixCred{MachineName: c.name, UID: 0, GID: 0}).Encode()},
+		Verf: oncrpc.NullAuth(),
+		Args: args,
+	}
+	raw := call.Encode()
+	pc := &pendingCall{cond: sim.NewCond(c.sim)}
+	c.pending[xid] = pc
+	defer delete(c.pending, xid)
+
+	rto := c.params.RetransTimeout
+	c.Calls++
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			c.Retransmissions++
+		}
+		c.net.Send(p, c.name, c.server, raw)
+		if pc.cond.WaitTimeout(p, rto) || pc.reply != nil {
+			reply := pc.reply
+			if reply.Stat != oncrpc.MsgAccepted {
+				return reply, ErrDenied
+			}
+			if reply.AccStat != oncrpc.Success {
+				return reply, fmt.Errorf("client: rpc accept status %d", reply.AccStat)
+			}
+			return reply, nil
+		}
+		rto *= 2
+		if rto > c.MaxRTO {
+			rto = c.MaxRTO
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// Lookup resolves name in dir.
+func (c *Client) Lookup(p *sim.Proc, dir nfsproto.FH, name string) (*nfsproto.DirOpRes, error) {
+	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
+	reply, err := c.Call(p, nfsproto.ProcLookup, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeDirOpRes(reply.Results)
+}
+
+// Create makes a file in dir.
+func (c *Client) Create(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (*nfsproto.DirOpRes, error) {
+	args := &nfsproto.CreateArgs{
+		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
+		Attr:  nfsproto.DefaultSAttr(mode),
+	}
+	reply, err := c.Call(p, nfsproto.ProcCreate, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeDirOpRes(reply.Results)
+}
+
+// Mkdir makes a directory in dir.
+func (c *Client) Mkdir(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (*nfsproto.DirOpRes, error) {
+	args := &nfsproto.CreateArgs{
+		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
+		Attr:  nfsproto.DefaultSAttr(mode),
+	}
+	reply, err := c.Call(p, nfsproto.ProcMkdir, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeDirOpRes(reply.Results)
+}
+
+// Getattr fetches attributes.
+func (c *Client) Getattr(p *sim.Proc, fh nfsproto.FH) (*nfsproto.AttrStat, error) {
+	args := &nfsproto.FHArgs{File: fh}
+	reply, err := c.Call(p, nfsproto.ProcGetattr, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeAttrStat(reply.Results)
+}
+
+// Setattr applies attributes.
+func (c *Client) Setattr(p *sim.Proc, fh nfsproto.FH, sa nfsproto.SAttr) (*nfsproto.AttrStat, error) {
+	args := &nfsproto.SetattrArgs{File: fh, Attr: sa}
+	reply, err := c.Call(p, nfsproto.ProcSetattr, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeAttrStat(reply.Results)
+}
+
+// Read fetches count bytes at off.
+func (c *Client) Read(p *sim.Proc, fh nfsproto.FH, off, count uint32) (*nfsproto.ReadRes, error) {
+	args := &nfsproto.ReadArgs{File: fh, Offset: off, Count: count}
+	reply, err := c.Call(p, nfsproto.ProcRead, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeReadRes(reply.Results)
+}
+
+// Remove unlinks name in dir.
+func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Status, error) {
+	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
+	reply, err := c.Call(p, nfsproto.ProcRemove, args.Encode())
+	if err != nil {
+		return nfsproto.ErrIO, err
+	}
+	res, err := nfsproto.DecodeStatusRes(reply.Results)
+	if err != nil {
+		return nfsproto.ErrIO, err
+	}
+	return res.Status, nil
+}
+
+// Readdir lists a directory page.
+func (c *Client) Readdir(p *sim.Proc, dir nfsproto.FH, cookie, count uint32) (*nfsproto.ReaddirRes, error) {
+	args := &nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: count}
+	reply, err := c.Call(p, nfsproto.ProcReaddir, args.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return nfsproto.DecodeReaddirRes(reply.Results)
+}
+
+// WriteSync issues one WRITE RPC and waits for its reply, recording write
+// latency and throughput counters.
+func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte) error {
+	args := &nfsproto.WriteArgs{File: fh, Offset: off, TotalCount: uint32(len(data)), Data: data}
+	start := p.Now()
+	if c.OnWriteEvent != nil {
+		c.OnWriteEvent("send", off, len(data))
+	}
+	reply, err := c.Call(p, nfsproto.ProcWrite, args.Encode())
+	if c.OnWriteEvent != nil {
+		c.OnWriteEvent("reply", off, len(data))
+	}
+	if err != nil {
+		return err
+	}
+	res, err := nfsproto.DecodeAttrStat(reply.Results)
+	if err != nil {
+		return err
+	}
+	if res.Status != nfsproto.OK {
+		return res.Status.Err()
+	}
+	c.WriteLatency.Record(p.Now().Sub(start))
+	c.WriteCounter.Add(len(data))
+	return nil
+}
+
+// biod is one block-I/O daemon: it performs queued write-behind requests.
+func (c *Client) biod(p *sim.Proc) {
+	for {
+		c.idleBiods++
+		job := c.jobs.Get(p)
+		c.idleBiods--
+		_ = job.c.WriteSync(p, job.fh, job.off, job.data)
+		c.outstanding--
+		c.closeCond.Broadcast()
+	}
+}
+
+// WriteBehind hands one 8K write to a biod if one is idle; otherwise the
+// calling process performs the RPC itself and blocks until that particular
+// request completes (§4.1's flow control). The queued case returns
+// immediately.
+func (c *Client) WriteBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte) error {
+	if c.idleBiods > c.jobs.Len() {
+		c.outstanding++
+		c.jobs.Put(&writeJob{fh: fh, off: off, data: data, c: c})
+		return nil
+	}
+	return c.WriteSync(p, fh, off, data)
+}
+
+// Close blocks until all outstanding write-behind requests have received
+// responses — the sync-on-close semantic most NFS clients impose (§4.1).
+func (c *Client) Close(p *sim.Proc) {
+	for c.outstanding > 0 {
+		c.closeCond.Wait(p)
+	}
+}
+
+// Outstanding reports in-flight write-behind requests (diagnostics).
+func (c *Client) Outstanding() int { return c.outstanding }
+
+// FillPattern writes the deterministic audit pattern for file offset off
+// into buf; crash tests regenerate it to check recovered contents.
+func FillPattern(buf []byte, off uint32) {
+	for i := range buf {
+		x := off + uint32(i)
+		buf[i] = byte(x*2654435761 + x>>13)
+	}
+}
+
+// WriteFile writes size bytes of audit pattern to fh sequentially in 8K
+// requests, modelling the application + kernel cost per request, then
+// closes. It returns the elapsed time from first byte to close completion.
+func (c *Client) WriteFile(p *sim.Proc, fh nfsproto.FH, size int) (sim.Duration, error) {
+	start := p.Now()
+	var off uint32
+	for remaining := size; remaining > 0; {
+		n := nfsproto.MaxData
+		if n > remaining {
+			n = remaining
+		}
+		buf := make([]byte, n)
+		FillPattern(buf, off)
+		p.Sleep(c.params.WriteGenerate)
+		if err := c.WriteBehind(p, fh, off, buf); err != nil {
+			return 0, err
+		}
+		off += uint32(n)
+		remaining -= n
+	}
+	c.Close(p)
+	return p.Now().Sub(start), nil
+}

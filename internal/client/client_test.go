@@ -1,0 +1,271 @@
+package client
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/oncrpc"
+	"repro/internal/sim"
+)
+
+// echoServer replies to every call after a fixed service delay; dropFirst
+// makes it swallow the first n requests to exercise retransmission.
+type echoServer struct {
+	net       *netsim.Network
+	ep        *netsim.Endpoint
+	delay     sim.Duration
+	dropFirst int
+	seen      int
+	replies   uint64
+}
+
+func newEchoServer(s *sim.Sim, n *netsim.Network, delay sim.Duration, dropFirst int) *echoServer {
+	es := &echoServer{net: n, ep: n.Attach("server", 0, 0), delay: delay, dropFirst: dropFirst}
+	s.Spawn("echo", func(p *sim.Proc) {
+		for {
+			dg := es.ep.Inbox.Get(p)
+			es.seen++
+			if es.seen <= es.dropFirst {
+				continue
+			}
+			call, err := oncrpc.DecodeCall(dg.Payload)
+			if err != nil {
+				continue
+			}
+			if es.delay > 0 {
+				p.Sleep(es.delay)
+			}
+			res := &nfsproto.AttrStat{Status: nfsproto.OK}
+			n.Send(p, "server", dg.From, oncrpc.AcceptedReply(call.XID, res.Encode()).Encode())
+			es.replies++
+		}
+	})
+	return es
+}
+
+func fastParams() hw.ClientParams {
+	p := hw.DEC3000Client()
+	p.RetransTimeout = 20 * sim.Millisecond
+	return p
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	newEchoServer(s, n, sim.Millisecond, 0)
+	c := New(s, n, "c", "server", fastParams(), 0)
+	var err error
+	s.Spawn("app", func(p *sim.Proc) {
+		_, err = c.Call(p, nfsproto.ProcGetattr, (&nfsproto.FHArgs{}).Encode())
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if c.Calls != 1 || c.Retransmissions != 0 {
+		t.Fatalf("calls=%d retrans=%d", c.Calls, c.Retransmissions)
+	}
+}
+
+func TestRetransmissionRecoversDrop(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	newEchoServer(s, n, sim.Millisecond, 2) // first two attempts eaten
+	c := New(s, n, "c", "server", fastParams(), 0)
+	var err error
+	var done sim.Time
+	s.Spawn("app", func(p *sim.Proc) {
+		_, err = c.Call(p, nfsproto.ProcGetattr, (&nfsproto.FHArgs{}).Encode())
+		done = p.Now()
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatalf("Call after drops: %v", err)
+	}
+	if c.Retransmissions != 2 {
+		t.Fatalf("Retransmissions = %d, want 2", c.Retransmissions)
+	}
+	// Backoff doubles: 20ms + 40ms before the third attempt lands.
+	if done < sim.Time(60*sim.Millisecond) {
+		t.Fatalf("recovered implausibly fast: %v", done)
+	}
+}
+
+func TestCallGivesUpEventually(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	n.Attach("server", 0, 0) // black hole: no responder
+	p := fastParams()
+	p.RetransMax = 40 * sim.Millisecond
+	c := New(s, n, "c", "server", p, 0)
+	var err error
+	s.Spawn("app", func(q *sim.Proc) {
+		_, err = c.Call(q, nfsproto.ProcNull, nil)
+	})
+	s.Run(0)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if c.Retransmissions != 7 {
+		t.Fatalf("Retransmissions = %d, want 7 (8 attempts)", c.Retransmissions)
+	}
+}
+
+func TestWriteBehindUsesBiods(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	srv := newEchoServer(s, n, 10*sim.Millisecond, 0)
+	c := New(s, n, "c", "server", fastParams(), 4)
+	var handoffDone sim.Time
+	s.Spawn("app", func(p *sim.Proc) {
+		// Four hand-offs return immediately; server takes 10ms each.
+		for i := 0; i < 4; i++ {
+			if err := c.WriteBehind(p, nfsproto.FH{}, uint32(i*8192), make([]byte, 8192)); err != nil {
+				t.Errorf("WriteBehind: %v", err)
+			}
+		}
+		handoffDone = p.Now()
+		c.Close(p)
+	})
+	s.Run(0)
+	if handoffDone > sim.Time(5*sim.Millisecond) {
+		t.Fatalf("hand-offs blocked until %v", handoffDone)
+	}
+	// The echo server has no duplicate cache, so queueing delays beyond
+	// the shortened RTO can produce extra replies; all four writes must
+	// complete regardless.
+	if srv.replies < 4 {
+		t.Fatalf("server replies = %d, want >= 4", srv.replies)
+	}
+	if c.WriteCounter.Ops != 4 {
+		t.Fatalf("completed writes = %d, want 4", c.WriteCounter.Ops)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after Close", c.Outstanding())
+	}
+}
+
+func TestWriteBehindBlocksWithoutBiods(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	newEchoServer(s, n, 10*sim.Millisecond, 0)
+	c := New(s, n, "c", "server", fastParams(), 0)
+	var done sim.Time
+	s.Spawn("app", func(p *sim.Proc) {
+		c.WriteBehind(p, nfsproto.FH{}, 0, make([]byte, 8192))
+		done = p.Now()
+	})
+	s.Run(0)
+	if done < sim.Time(10*sim.Millisecond) {
+		t.Fatalf("0-biod write did not block: done at %v", done)
+	}
+}
+
+func TestCloseWaitsForAllOutstanding(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	newEchoServer(s, n, 20*sim.Millisecond, 0)
+	c := New(s, n, "c", "server", fastParams(), 2)
+	var closed sim.Time
+	s.Spawn("app", func(p *sim.Proc) {
+		c.WriteBehind(p, nfsproto.FH{}, 0, make([]byte, 8192))
+		c.WriteBehind(p, nfsproto.FH{}, 8192, make([]byte, 8192))
+		c.Close(p)
+		closed = p.Now()
+	})
+	s.Run(0)
+	if closed < sim.Time(20*sim.Millisecond) {
+		t.Fatalf("Close returned before replies: %v", closed)
+	}
+}
+
+func TestWriteFileElapsedAndPattern(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	newEchoServer(s, n, sim.Millisecond, 0)
+	c := New(s, n, "c", "server", fastParams(), 4)
+	var elapsed sim.Duration
+	var err error
+	s.Spawn("app", func(p *sim.Proc) {
+		elapsed, err = c.WriteFile(p, nfsproto.FH{}, 64*1024)
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if c.WriteCounter.Ops != 8 || c.WriteCounter.Bytes != 64*1024 {
+		t.Fatalf("counter = %+v", c.WriteCounter)
+	}
+	if c.WriteLatency.N() != 8 {
+		t.Fatalf("latency samples = %d", c.WriteLatency.N())
+	}
+}
+
+func TestFillPatternDeterministicAndOffsetSensitive(t *testing.T) {
+	a := make([]byte, 256)
+	b := make([]byte, 256)
+	FillPattern(a, 8192)
+	FillPattern(b, 8192)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+	}
+	FillPattern(b, 16384)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("pattern not offset sensitive")
+	}
+}
+
+func TestQuickFillPatternConsistency(t *testing.T) {
+	// The pattern at offset o computed in one buffer must equal the same
+	// bytes computed in a shifted buffer: crash audits depend on it.
+	f := func(off uint32, span uint8) bool {
+		off %= 1 << 20
+		n := int(span%64) + 1
+		whole := make([]byte, 128)
+		FillPattern(whole, off)
+		part := make([]byte, n)
+		FillPattern(part, off)
+		for i := 0; i < n; i++ {
+			if whole[i] != part[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnWriteEventHook(t *testing.T) {
+	s := sim.New(1)
+	n := netsim.New(s, hw.FDDI())
+	newEchoServer(s, n, sim.Millisecond, 0)
+	c := New(s, n, "c", "server", fastParams(), 0)
+	var events []string
+	c.OnWriteEvent = func(ev string, off uint32, n int) {
+		events = append(events, ev)
+	}
+	s.Spawn("app", func(p *sim.Proc) {
+		c.WriteSync(p, nfsproto.FH{}, 0, make([]byte, 8192))
+	})
+	s.Run(0)
+	if len(events) != 2 || events[0] != "send" || events[1] != "reply" {
+		t.Fatalf("events = %v", events)
+	}
+}

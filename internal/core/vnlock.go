@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// VnodeLocks is the per-file sleep lock table the paper added for nfsd
+// serialization and synchronization (§6.2: "OSF/1 provides a vnode spin
+// lock, but not a sleep lock. I added a vnode sleep lock..."). The
+// standard write path holds the lock across its entire synchronous
+// VOP_WRITE; the gathering path holds it only across the data hand-off and
+// the metadata commit, never while procrastinating.
+type VnodeLocks struct {
+	s *sim.Sim
+	m map[vfs.Ino]*vnlock
+}
+
+type vnlock struct {
+	r    *sim.Resource
+	refs int
+}
+
+// NewVnodeLocks returns an empty lock table.
+func NewVnodeLocks(s *sim.Sim) *VnodeLocks {
+	return &VnodeLocks{s: s, m: make(map[vfs.Ino]*vnlock)}
+}
+
+// Lock blocks p until it holds ino's lock.
+func (v *VnodeLocks) Lock(p *sim.Proc, ino vfs.Ino) {
+	l, ok := v.m[ino]
+	if !ok {
+		l = &vnlock{r: sim.NewResource(v.s, 1)}
+		v.m[ino] = l
+	}
+	l.refs++
+	l.r.Acquire(p)
+}
+
+// Unlock releases ino's lock, discarding the table entry when no one
+// holds or waits for it.
+func (v *VnodeLocks) Unlock(ino vfs.Ino) {
+	l, ok := v.m[ino]
+	if !ok {
+		panic("core: unlock of unknown vnode")
+	}
+	l.r.Release()
+	l.refs--
+	if l.refs == 0 {
+		delete(v.m, ino)
+	}
+}
+
+// Blocked reports how many processes are waiting for or holding ino's
+// lock beyond the current holder — the "another nfsd blocked on the same
+// vnode" probe of §6.8.
+func (v *VnodeLocks) Blocked(ino vfs.Ino) int {
+	l, ok := v.m[ino]
+	if !ok {
+		return 0
+	}
+	return l.refs - 1
+}

@@ -1,0 +1,384 @@
+// Package disk simulates block storage devices with realistic service
+// times: a moving-head disk (seek + rotation + transfer), and a stripe
+// driver that spreads blocks across several disks. Devices store real
+// bytes, so the filesystem above them is genuinely durable within the
+// simulation — a crash test can discard all volatile state and re-read the
+// platters.
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Device is synchronous block storage. Addresses are in filesystem blocks
+// (BlockSize bytes); a transfer may span multiple contiguous blocks, which
+// is how UFS clustering reaches 64K per transaction.
+type Device interface {
+	// ReadBlocks reads len(buf) bytes starting at block blk, blocking p
+	// for the service time. len(buf) must be a multiple of BlockSize.
+	ReadBlocks(p *sim.Proc, blk int64, buf []byte)
+	// WriteBlocks writes data starting at block blk, blocking p for the
+	// service time. len(data) must be a multiple of BlockSize.
+	WriteBlocks(p *sim.Proc, blk int64, data []byte)
+	// BlockSize is the block size in bytes.
+	BlockSize() int
+	// NumBlocks is the device capacity in blocks.
+	NumBlocks() int64
+	// Stats returns the device's cumulative transfer statistics.
+	Stats() *Stats
+}
+
+// Stats counts device transactions, matching the paper's "server disk
+// (KB/sec)" and "server disk (trans/sec)" rows.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadBytes  uint64
+	WriteBytes uint64
+	BusyTime   sim.Duration
+
+	markReads, markWrites         uint64
+	markReadBytes, markWriteBytes uint64
+}
+
+// Trans reports total transactions.
+func (s *Stats) Trans() uint64 { return s.Reads + s.Writes }
+
+// Bytes reports total bytes moved.
+func (s *Stats) Bytes() uint64 { return s.ReadBytes + s.WriteBytes }
+
+// Reset marks the beginning of a measurement interval.
+func (s *Stats) Reset() {
+	s.markReads, s.markWrites = s.Reads, s.Writes
+	s.markReadBytes, s.markWriteBytes = s.ReadBytes, s.WriteBytes
+}
+
+// IntervalTrans reports transactions since Reset.
+func (s *Stats) IntervalTrans() uint64 {
+	return s.Reads - s.markReads + s.Writes - s.markWrites
+}
+
+// IntervalBytes reports bytes since Reset.
+func (s *Stats) IntervalBytes() uint64 {
+	return s.ReadBytes - s.markReadBytes + s.WriteBytes - s.markWriteBytes
+}
+
+// Disk is a single moving-head disk with a FIFO request queue.
+type Disk struct {
+	sim    *sim.Sim
+	p      hw.DiskParams
+	arm    *sim.Resource // serializes the actuator
+	pos    int64         // current head position, block number
+	data   map[int64][]byte
+	stats  Stats
+	faulty bool // when true, I/O panics — used by crash tests
+	// OnOp, when non-nil, observes every completed transfer (tracing).
+	OnOp func(write bool, blk int64, n int)
+}
+
+// New returns a disk with the given parameters.
+func New(s *sim.Sim, p hw.DiskParams) *Disk {
+	return &Disk{
+		sim:  s,
+		p:    p,
+		arm:  sim.NewResource(s, 1),
+		data: make(map[int64][]byte),
+	}
+}
+
+// BlockSize implements Device.
+func (d *Disk) BlockSize() int { return d.p.BlockSize }
+
+// NumBlocks implements Device.
+func (d *Disk) NumBlocks() int64 { return d.p.NumBlocks }
+
+// Stats implements Device.
+func (d *Disk) Stats() *Stats { return &d.stats }
+
+// serviceTime computes seek + rotational latency + transfer for an access
+// of n bytes at block blk given the current head position.
+func (d *Disk) serviceTime(blk int64, n int) sim.Duration {
+	dist := blk - d.pos
+	if dist < 0 {
+		dist = -dist
+	}
+	var seek sim.Duration
+	switch {
+	case dist == 0:
+		seek = 0
+	case dist <= 16:
+		seek = d.p.TrackSeek
+	default:
+		// Scale toward the average seek with distance; cap at ~1.6x the
+		// average for full-stroke movements.
+		frac := float64(dist) / float64(d.p.NumBlocks)
+		seek = d.p.TrackSeek + sim.Duration(float64(d.p.AvgSeek-d.p.TrackSeek)*(0.6+frac))
+		if max := d.p.AvgSeek * 8 / 5; seek > max {
+			seek = max
+		}
+	}
+	// Rotational latency: uniform over one revolution unless the access is
+	// sequential with the last one (dist == 0 means the head is already
+	// there mid-track; assume minimal rotation).
+	var rot sim.Duration
+	if dist == 0 {
+		rot = d.p.RotationTime / 16
+	} else {
+		rot = sim.Duration(d.sim.Rand().Int63n(int64(d.p.RotationTime)))
+	}
+	xfer := sim.Duration(int64(n) * int64(sim.Second) / (int64(d.p.MediaRateKBps) * 1024))
+	return d.p.CtlOverhead + seek + rot + xfer
+}
+
+func (d *Disk) check(blk int64, n int) {
+	if d.faulty {
+		panic("disk: I/O to crashed device")
+	}
+	if n%d.p.BlockSize != 0 {
+		panic(fmt.Sprintf("disk: transfer of %d bytes not block aligned", n))
+	}
+	if blk < 0 || blk+int64(n/d.p.BlockSize) > d.p.NumBlocks {
+		panic(fmt.Sprintf("disk: access beyond device: blk %d len %d", blk, n))
+	}
+}
+
+// ReadBlocks implements Device.
+func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
+	d.check(blk, len(buf))
+	d.arm.Acquire(p)
+	st := d.serviceTime(blk, len(buf))
+	p.Sleep(st)
+	d.stats.BusyTime += st
+	nb := int64(len(buf) / d.p.BlockSize)
+	for i := int64(0); i < nb; i++ {
+		src := d.data[blk+i]
+		dst := buf[i*int64(d.p.BlockSize) : (i+1)*int64(d.p.BlockSize)]
+		if src == nil {
+			for j := range dst {
+				dst[j] = 0
+			}
+		} else {
+			copy(dst, src)
+		}
+	}
+	d.pos = blk + nb
+	d.stats.Reads++
+	d.stats.ReadBytes += uint64(len(buf))
+	d.arm.Release()
+	if d.OnOp != nil {
+		d.OnOp(false, blk, len(buf))
+	}
+}
+
+// WriteBlocks implements Device.
+func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
+	d.check(blk, len(data))
+	d.arm.Acquire(p)
+	st := d.serviceTime(blk, len(data))
+	p.Sleep(st)
+	d.stats.BusyTime += st
+	d.storeBytes(blk, data)
+	d.pos = blk + int64(len(data)/d.p.BlockSize)
+	d.stats.Writes++
+	d.stats.WriteBytes += uint64(len(data))
+	d.arm.Release()
+	if d.OnOp != nil {
+		d.OnOp(true, blk, len(data))
+	}
+}
+
+func (d *Disk) storeBytes(blk int64, data []byte) {
+	nb := int64(len(data) / d.p.BlockSize)
+	for i := int64(0); i < nb; i++ {
+		b := make([]byte, d.p.BlockSize)
+		copy(b, data[i*int64(d.p.BlockSize):(i+1)*int64(d.p.BlockSize)])
+		d.data[blk+i] = b
+	}
+}
+
+// PeekBlock returns the stored contents of one block without simulating
+// I/O time. It is the crash-recovery inspection hook: what is on the
+// platters, regardless of any volatile cache above.
+func (d *Disk) PeekBlock(blk int64) []byte {
+	b := d.data[blk]
+	out := make([]byte, d.p.BlockSize)
+	copy(out, b)
+	return out
+}
+
+// InjectBlock stores contents directly (test setup helper).
+func (d *Disk) InjectBlock(blk int64, data []byte) { d.storeBytes(blk, data) }
+
+// Fail makes all subsequent I/O panic, emulating a crashed controller.
+func (d *Disk) Fail() { d.faulty = true }
+
+// Stripe interleaves blocks across several member disks RAID-0 style.
+// A transfer spanning multiple members proceeds on them in parallel,
+// which is how a 3-disk stripe set triples sequential bandwidth.
+type Stripe struct {
+	sim        *sim.Sim
+	members    []*Disk
+	unitBlocks int64 // stripe unit in blocks
+	stats      Stats
+}
+
+// NewStripe builds a stripe set over members with the given stripe unit in
+// blocks (e.g. 8 blocks = 64K for 8K blocks).
+func NewStripe(s *sim.Sim, members []*Disk, unitBlocks int64) *Stripe {
+	if len(members) == 0 {
+		panic("disk: empty stripe set")
+	}
+	if unitBlocks <= 0 {
+		panic("disk: non-positive stripe unit")
+	}
+	bs := members[0].BlockSize()
+	for _, m := range members {
+		if m.BlockSize() != bs {
+			panic("disk: mixed block sizes in stripe set")
+		}
+	}
+	return &Stripe{sim: s, members: members, unitBlocks: unitBlocks}
+}
+
+// BlockSize implements Device.
+func (st *Stripe) BlockSize() int { return st.members[0].BlockSize() }
+
+// NumBlocks implements Device.
+func (st *Stripe) NumBlocks() int64 {
+	min := st.members[0].NumBlocks()
+	for _, m := range st.members {
+		if m.NumBlocks() < min {
+			min = m.NumBlocks()
+		}
+	}
+	return min * int64(len(st.members))
+}
+
+// Stats implements Device. The stripe set reports aggregate member
+// transactions, matching the paper's "server disks" rows.
+func (st *Stripe) Stats() *Stats { return &st.stats }
+
+// map translates a logical block to (member, physical block).
+func (st *Stripe) mapBlock(blk int64) (member int, phys int64) {
+	stripe := blk / st.unitBlocks
+	within := blk % st.unitBlocks
+	member = int(stripe % int64(len(st.members)))
+	row := stripe / int64(len(st.members))
+	return member, row*st.unitBlocks + within
+}
+
+type segment struct {
+	member int
+	phys   int64
+	off    int // byte offset within the caller's buffer
+	n      int // byte length
+}
+
+// segments splits a logical transfer into per-member contiguous pieces.
+func (st *Stripe) segments(blk int64, n int) []segment {
+	bs := int64(st.BlockSize())
+	var segs []segment
+	remaining := int64(n) / bs
+	cur := blk
+	off := 0
+	for remaining > 0 {
+		m, phys := st.mapBlock(cur)
+		// blocks left in this stripe unit
+		unitLeft := st.unitBlocks - cur%st.unitBlocks
+		take := unitLeft
+		if take > remaining {
+			take = remaining
+		}
+		// extend across contiguous units on the same member when the
+		// logical range continues there (single-member stripe sets).
+		segs = append(segs, segment{member: m, phys: phys, off: off, n: int(take * bs)})
+		cur += take
+		off += int(take * bs)
+		remaining -= take
+	}
+	// Merge physically contiguous segments on the same member.
+	merged := segs[:0]
+	for _, s := range segs {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.member == s.member && last.phys+int64(last.n/st.BlockSize()) == s.phys && last.off+last.n == s.off {
+				last.n += s.n
+				continue
+			}
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// ReadBlocks implements Device.
+func (st *Stripe) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
+	st.rw(p, blk, buf, false)
+	st.stats.Reads++
+	st.stats.ReadBytes += uint64(len(buf))
+}
+
+// WriteBlocks implements Device.
+func (st *Stripe) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
+	st.rw(p, blk, data, true)
+	st.stats.Writes++
+	st.stats.WriteBytes += uint64(len(data))
+}
+
+func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
+	if len(buf)%st.BlockSize() != 0 {
+		panic("disk: stripe transfer not block aligned")
+	}
+	segs := st.segments(blk, len(buf))
+	if len(segs) == 1 {
+		s := segs[0]
+		if write {
+			st.members[s.member].WriteBlocks(p, s.phys, buf[s.off:s.off+s.n])
+		} else {
+			st.members[s.member].ReadBlocks(p, s.phys, buf[s.off:s.off+s.n])
+		}
+		return
+	}
+	// Parallel member I/O: spawn a process per segment, wait for all.
+	done := sim.NewCond(p.Sim())
+	pending := len(segs)
+	for _, s := range segs {
+		s := s
+		p.Sim().Spawn("stripe-io", func(q *sim.Proc) {
+			if write {
+				st.members[s.member].WriteBlocks(q, s.phys, buf[s.off:s.off+s.n])
+			} else {
+				st.members[s.member].ReadBlocks(q, s.phys, buf[s.off:s.off+s.n])
+			}
+			pending--
+			if pending == 0 {
+				done.Signal()
+			}
+		})
+	}
+	for pending > 0 {
+		done.Wait(p)
+	}
+}
+
+// MemberTrans sums member-level transactions; the paper's per-disk
+// transaction rates for stripe sets count each spindle's operations.
+func (st *Stripe) MemberTrans() uint64 {
+	var n uint64
+	for _, m := range st.members {
+		n += m.Stats().Trans()
+	}
+	return n
+}
+
+// MemberBytes sums member-level bytes.
+func (st *Stripe) MemberBytes() uint64 {
+	var n uint64
+	for _, m := range st.members {
+		n += m.Stats().Bytes()
+	}
+	return n
+}

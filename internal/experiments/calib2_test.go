@@ -1,0 +1,105 @@
+package experiments
+
+import "testing"
+
+// TestCalibrationTable3Shape: FDDI, plain disk. Paper: without gathering
+// the curve is utterly flat (~207-209 KB/s, spindle-bound); with gathering
+// it scales to ~1085 KB/s at 15 biods (5x), with low CPU throughout.
+func TestCalibrationTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are long")
+	}
+	spec := Table3Spec()
+	spec.FileMB = 4
+	tbl := RunCopyTable(spec)
+	t.Log("\n" + tbl.Render())
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	if wo[last].ClientKBps > wo[0].ClientKBps*1.25 {
+		t.Errorf("FDDI no-gather curve not flat: %v -> %v", wo[0].ClientKBps, wo[last].ClientKBps)
+	}
+	if wi[last].ClientKBps < 3*wo[last].ClientKBps {
+		t.Errorf("FDDI gathering gain < 3x: %v vs %v", wi[last].ClientKBps, wo[last].ClientKBps)
+	}
+	if wi[0].ClientKBps >= wo[0].ClientKBps {
+		t.Errorf("0-biod gathering should lose: %v vs %v", wi[0].ClientKBps, wo[0].ClientKBps)
+	}
+}
+
+// TestCalibrationTable4Shape: FDDI + Presto. Paper: without gathering the
+// client runs at near raw-device speed (~1.9 MB/s) flat; gathering matches
+// it at >=3 biods while halving CPU; at 0 biods gathering halves speed.
+func TestCalibrationTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are long")
+	}
+	spec := Table4Spec()
+	spec.FileMB = 4
+	tbl := RunCopyTable(spec)
+	t.Log("\n" + tbl.Render())
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	// Much faster than plain-disk FDDI (~210).
+	if wo[last].ClientKBps < 800 {
+		t.Errorf("Presto FDDI no-gather too slow: %v", wo[last].ClientKBps)
+	}
+	// Gathering catches up at high biod counts (within 25%).
+	if wi[last].ClientKBps < 0.75*wo[last].ClientKBps {
+		t.Errorf("gathering at 15 biods too slow: %v vs %v", wi[last].ClientKBps, wo[last].ClientKBps)
+	}
+	// And saves CPU.
+	if wi[last].CPUPercent >= wo[last].CPUPercent {
+		t.Errorf("gathering did not save CPU: %v vs %v", wi[last].CPUPercent, wo[last].CPUPercent)
+	}
+}
+
+// TestCalibrationTable5Shape: FDDI + 3-disk stripe. Paper: without
+// gathering ~200-313 KB/s; with gathering it keeps scaling with biods
+// (1618 KB/s at 23 biods, 5x) because striping lifts the spindle ceiling.
+func TestCalibrationTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are long")
+	}
+	spec := Table5Spec()
+	spec.FileMB = 4
+	tbl := RunCopyTable(spec)
+	t.Log("\n" + tbl.Render())
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	if wi[last].ClientKBps < 3*wo[last].ClientKBps {
+		t.Errorf("stripe gathering gain < 3x: %v vs %v", wi[last].ClientKBps, wo[last].ClientKBps)
+	}
+	// The stripe must beat the single-disk gathering ceiling (Table 3 tops
+	// out near the single spindle's sequential bandwidth).
+	single := RunCopy(Table3Spec(), 23, true)
+	if wi[last].ClientKBps <= single.ClientKBps {
+		t.Errorf("stripe (%v) did not beat single disk (%v)", wi[last].ClientKBps, single.ClientKBps)
+	}
+	// More biods keep helping with gathering.
+	if wi[last].ClientKBps <= wi[2].ClientKBps {
+		t.Errorf("gathering stopped scaling: %v -> %v", wi[2].ClientKBps, wi[last].ClientKBps)
+	}
+}
+
+// TestCalibrationTable6Shape: FDDI + Presto + stripe. Paper: standard hits
+// ~3.4-3.5 MB/s; gathering reaches ~3 MB/s (-10-20%) with ~40% less CPU.
+func TestCalibrationTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are long")
+	}
+	spec := Table6Spec()
+	spec.FileMB = 4
+	tbl := RunCopyTable(spec)
+	t.Log("\n" + tbl.Render())
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	if wo[last].ClientKBps < 1.5*RunCopy(Table4Spec(), 15, false).ClientKBps {
+		t.Logf("note: stripe+Presto standard not much faster than single+Presto")
+	}
+	if wi[last].CPUPercent >= wo[last].CPUPercent {
+		t.Errorf("gathering did not save CPU: %v vs %v", wi[last].CPUPercent, wo[last].CPUPercent)
+	}
+	if wi[last].ClientKBps < 0.6*wo[last].ClientKBps {
+		t.Errorf("gathering throughput collapse: %v vs %v", wi[last].ClientKBps, wo[last].ClientKBps)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCalibrationTable1Shape checks the qualitative shape of Table 1
+// against the paper: without gathering throughput is flat and
+// spindle-bound (~165-205 KB/s band); with gathering it scales with biods
+// and the 15-biod case is several times faster; disk transactions per
+// second drop sharply; 0 biods loses modestly.
+func TestCalibrationTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are long")
+	}
+	spec := Table1Spec()
+	spec.FileMB = 4 // smaller file, same steady-state rates
+	tbl := RunCopyTable(spec)
+	t.Log("\n" + tbl.Render())
+
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	// Flat without gathering: 15-biod within 35% of 0-biod.
+	if wo[last].ClientKBps > wo[0].ClientKBps*1.35 {
+		t.Errorf("no-gather curve not flat: %v vs %v", wo[0].ClientKBps, wo[last].ClientKBps)
+	}
+	// Gathering at 15 biods at least 2x the standard server.
+	if wi[last].ClientKBps < 2*wo[last].ClientKBps {
+		t.Errorf("gathering gain too small: %v vs %v", wi[last].ClientKBps, wo[last].ClientKBps)
+	}
+	// Zero-biod penalty: gathering slower but not catastrophically.
+	if wi[0].ClientKBps >= wo[0].ClientKBps {
+		t.Errorf("0-biod gathering should lose: %v vs %v", wi[0].ClientKBps, wo[0].ClientKBps)
+	}
+	// Disk transaction rate collapses with gathering at high biods.
+	if wi[last].DiskTransSec > 0.6*wo[last].DiskTransSec {
+		t.Errorf("disk trans/s did not drop: %v vs %v", wi[last].DiskTransSec, wo[last].DiskTransSec)
+	}
+}
+
+func TestCalibrationTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs are long")
+	}
+	spec := Table2Spec()
+	spec.FileMB = 4
+	tbl := RunCopyTable(spec)
+	t.Log("\n" + tbl.Render())
+
+	wo, wi := tbl.Without, tbl.With
+	last := len(wo) - 1
+	// Presto without gathering is much faster than plain disk (compare
+	// against the known plain-disk band, ~200 KB/s).
+	if wo[last].ClientKBps < 500 {
+		t.Errorf("Presto no-gather too slow: %v", wo[last].ClientKBps)
+	}
+	// With gathering: lower CPU per unit of work at modest throughput cost.
+	cpuPerKB := func(r CopyResult) float64 { return r.CPUPercent / r.ClientKBps }
+	if cpuPerKB(wi[2]) >= cpuPerKB(wo[2]) {
+		t.Errorf("gathering did not improve CPU efficiency under Presto: %v vs %v",
+			cpuPerKB(wi[2]), cpuPerKB(wo[2]))
+	}
+	if wi[last].ClientKBps > wo[last].ClientKBps {
+		t.Logf("note: gathering beat standard under Presto (paper shows a modest loss)")
+	}
+}

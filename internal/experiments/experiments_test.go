@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestRigAssemblyVariants(t *testing.T) {
+	cases := []RigConfig{
+		{Net: hw.Ethernet(), Seed: 1},
+		{Net: hw.FDDI(), Gathering: true, Seed: 1},
+		{Net: hw.FDDI(), Presto: true, Gathering: true, Seed: 1},
+		{Net: hw.FDDI(), StripeDisks: 3, Seed: 1},
+		{Net: hw.FDDI(), Clients: 3, Biods: 4, Seed: 1},
+	}
+	for i, cfg := range cases {
+		r := NewRig(cfg)
+		if r.Server == nil || r.FS == nil || len(r.Clients) == 0 {
+			t.Fatalf("case %d: incomplete rig", i)
+		}
+		if cfg.Presto && r.Presto == nil {
+			t.Fatalf("case %d: missing presto", i)
+		}
+		if cfg.StripeDisks == 3 && (r.Stripe == nil || len(r.Disks) != 3) {
+			t.Fatalf("case %d: missing stripe", i)
+		}
+		if cfg.Gathering != (r.Server.Engine() != nil) {
+			t.Fatalf("case %d: gathering mismatch", i)
+		}
+	}
+}
+
+func TestIntervalStatsExcludePrehistory(t *testing.T) {
+	r := NewRig(RigConfig{Net: hw.FDDI(), Seed: 1})
+	r.Sim.Spawn("app", func(p *sim.Proc) {
+		cres, _ := r.Clients[0].Create(p, r.Server.RootFH(), "a", 0644)
+		r.Clients[0].WriteSync(p, cres.File, 0, make([]byte, 8192))
+		r.MarkInterval()
+		// Nothing after the mark.
+		p.Sleep(sim.Second)
+	})
+	r.Sim.Run(0)
+	cpu, kbps, tps := r.IntervalStats()
+	if cpu != 0 || kbps != 0 || tps != 0 {
+		t.Fatalf("interval stats include prehistory: %v %v %v", cpu, kbps, tps)
+	}
+}
+
+func TestRunCopySmall(t *testing.T) {
+	spec := Table1Spec()
+	spec.FileMB = 1
+	res := RunCopy(spec, 3, true)
+	if res.ClientKBps <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Gather.Writes != 128 {
+		t.Fatalf("gather writes = %d, want 128 (1MB/8K)", res.Gather.Writes)
+	}
+}
+
+func TestRenderTableShape(t *testing.T) {
+	spec := Table1Spec()
+	spec.FileMB = 1
+	spec.Biods = []int{0, 3}
+	tbl := RunCopyTable(spec)
+	out := tbl.Render()
+	for _, want := range []string{
+		"Table 1", "Without Write Gathering", "With Write Gathering",
+		"client write speed (KB/sec.)", "server cpu util. (%)",
+		"server disk (KB/sec)", "server disk (trans/sec)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableSpecsComplete(t *testing.T) {
+	specs := TableSpecs()
+	for _, id := range []string{"table1", "table2", "table3", "table4", "table5", "table6"} {
+		if _, ok := specs[id]; !ok {
+			t.Fatalf("missing spec %s", id)
+		}
+	}
+	if !specs["table2"].Presto || specs["table2"].Net.Name != "Ethernet" {
+		t.Fatal("table2 misconfigured")
+	}
+	if specs["table5"].StripeDisks != 3 || len(specs["table5"].Biods) != 7 {
+		t.Fatal("table5 misconfigured")
+	}
+}
+
+func TestFigure1ProducesTimeline(t *testing.T) {
+	out, log := RunFigure1(Figure1Config{Gathering: true, FileKB: 160, Biods: 4, Seed: 3})
+	if !strings.Contains(out, "Gathering Server") {
+		t.Fatalf("title missing:\n%.200s", out)
+	}
+	sum := log.Summary(0, 1<<62)
+	if sum["client:8K"] == 0 {
+		t.Fatal("no client writes in trace")
+	}
+	disk := 0
+	for k, v := range sum {
+		if strings.HasPrefix(k, "disk:") {
+			disk += v
+		}
+	}
+	if disk == 0 {
+		t.Fatal("no disk ops in trace")
+	}
+}
+
+func TestFigure1GatheringReducesDiskOps(t *testing.T) {
+	_, std := RunFigure1(Figure1Config{Gathering: false, FileKB: 160, Biods: 4, Seed: 3})
+	_, wg := RunFigure1(Figure1Config{Gathering: true, FileKB: 160, Biods: 4, Seed: 3})
+	count := func(l interface {
+		Summary(a, b sim.Time) map[string]int
+	}) int {
+		n := 0
+		for k, v := range l.Summary(0, 1<<62) {
+			if strings.HasPrefix(k, "disk:") {
+				n += v
+			}
+		}
+		return n
+	}
+	sOps, gOps := count(std), count(wg)
+	if gOps >= sOps {
+		t.Fatalf("gathering disk ops %d not below standard %d", gOps, sOps)
+	}
+	// Figure 1's point: roughly 3N -> N.
+	if float64(sOps) < 2*float64(gOps) {
+		t.Fatalf("reduction below 2x: %d vs %d", sOps, gOps)
+	}
+}
+
+func TestLADDISPointRuns(t *testing.T) {
+	spec := Figure2Spec()
+	spec.Clients = 2
+	spec.Procs = 4
+	spec.Measure = 2 * sim.Second
+	pt := RunLADDISPoint(spec, 100, true)
+	if pt.AchievedOpsPerSec <= 0 || pt.AvgLatencyMs <= 0 {
+		t.Fatalf("point = %+v", pt)
+	}
+	if pt.Errors != 0 {
+		t.Fatalf("errors = %d", pt.Errors)
+	}
+}
+
+func TestLADDISCurveCapacity(t *testing.T) {
+	c := &LADDISCurve{Points: []LADDISPoint{
+		{AchievedOpsPerSec: 100, AvgLatencyMs: 10},
+		{AchievedOpsPerSec: 200, AvgLatencyMs: 40},
+		{AchievedOpsPerSec: 250, AvgLatencyMs: 90},
+	}}
+	ops, lat := c.Capacity(50)
+	if ops != 200 || lat != 40 {
+		t.Fatalf("capacity = %v @ %v", ops, lat)
+	}
+}
+
+func TestAblationOneNfsdStillGathers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs are long")
+	}
+	rows := AblationOneNfsd()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one := rows[1]
+	if one.MeanBatch < 2 {
+		t.Fatalf("single nfsd failed to gather: batch %.2f (§6.1 claims it can)", one.MeanBatch)
+	}
+}
+
+func TestAblationRenderer(t *testing.T) {
+	out := RenderAblation("T", []AblationResult{{Label: "x", ClientKBps: 100}})
+	if !strings.Contains(out, "T") || !strings.Contains(out, "x") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	spec := Table3Spec()
+	spec.FileMB = 1
+	a := RunCopy(spec, 7, true)
+	b := RunCopy(spec, 7, true)
+	if a.ClientKBps != b.ClientKBps || a.Elapsed != b.Elapsed {
+		t.Fatalf("non-deterministic experiment: %v vs %v", a, b)
+	}
+}

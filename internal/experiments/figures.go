@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LADDISPoint is one offered-load sample for Figures 2 and 3.
+type LADDISPoint struct {
+	OfferedOpsPerSec  float64
+	AchievedOpsPerSec float64
+	AvgLatencyMs      float64
+	CPUPercent        float64
+	Errors            int
+}
+
+// LADDISCurve is the throughput/latency curve for one server build.
+type LADDISCurve struct {
+	Name   string
+	Points []LADDISPoint
+}
+
+// Capacity reports the highest achieved ops/s with average latency at or
+// below capMs (SPEC SFS 1.0 reported capacity at a 50 ms average).
+func (c *LADDISCurve) Capacity(capMs float64) (opsPerSec, latencyAt float64) {
+	for _, p := range c.Points {
+		if p.AvgLatencyMs <= capMs && p.AchievedOpsPerSec > opsPerSec {
+			opsPerSec = p.AchievedOpsPerSec
+			latencyAt = p.AvgLatencyMs
+		}
+	}
+	return
+}
+
+// Series converts to a plottable stats.Series.
+func (c *LADDISCurve) Series() *stats.Series {
+	s := &stats.Series{Name: c.Name}
+	for _, p := range c.Points {
+		s.Add(p.AchievedOpsPerSec, p.AvgLatencyMs)
+	}
+	return s
+}
+
+// FigureSpec parameterizes a Figure 2/3 run. The paper used 5 clients x 4
+// load processes against a DEC 3800 with 32 nfsds and 20 disks on 5 SCSI
+// buses; the simulated testbed is scaled down (fewer spindles) but sweeps
+// the same way.
+type FigureSpec struct {
+	Name    string
+	Presto  bool
+	Clients int
+	Procs   int
+	Nfsds   int
+	Disks   int
+	Loads   []float64 // offered ops/sec points
+	Measure sim.Duration
+	Seed    int64
+}
+
+// Figure2Spec is the plain-disk LADDIS sweep (paper Figure 2).
+func Figure2Spec() FigureSpec {
+	return FigureSpec{
+		Name:    "Figure 2. SPEC SFS 1.0 baseline",
+		Clients: 4,
+		Procs:   16,
+		Nfsds:   32,
+		Disks:   8,
+		Loads:   []float64{200, 400, 600, 800, 1000, 1200, 1400, 1600},
+		Measure: 8 * sim.Second,
+		Seed:    4242,
+	}
+}
+
+// Figure3Spec is the Presto LADDIS sweep (paper Figure 3).
+func Figure3Spec() FigureSpec {
+	s := Figure2Spec()
+	s.Name = "Figure 3. SPEC SFS 1.0 baseline, Prestoserve"
+	s.Presto = true
+	s.Loads = []float64{400, 800, 1200, 1600, 2000, 2400, 2800, 3200}
+	return s
+}
+
+// RunLADDISPoint executes one offered-load level against one server build.
+func RunLADDISPoint(spec FigureSpec, offered float64, gathering bool) LADDISPoint {
+	return runLADDISPoint(spec, offered, gathering, nil)
+}
+
+type logger interface{ Logf(string, ...any) }
+
+// RunLADDISPointDebug runs one point and logs engine internals.
+func RunLADDISPointDebug(spec FigureSpec, offered float64, gathering bool, lg logger) LADDISPoint {
+	return runLADDISPoint(spec, offered, gathering, lg)
+}
+
+func runLADDISPoint(spec FigureSpec, offered float64, gathering bool, lg logger) LADDISPoint {
+	cfg := RigConfig{
+		Net:         hw.FDDI(),
+		Presto:      spec.Presto,
+		Gathering:   gathering,
+		StripeDisks: spec.Disks,
+		NumNfsds:    spec.Nfsds,
+		Clients:     spec.Clients,
+		Biods:       0, // LADDIS load processes issue synchronous ops
+		CPUScale:    1.8,
+		Seed:        spec.Seed + int64(offered),
+		Inodes:      2048,
+	}
+	r := NewRig(cfg)
+	perClient := offered / float64(spec.Clients)
+
+	gens := make([]*workload.LADDIS, len(r.Clients))
+	results := make([]workload.LADDISResult, len(r.Clients))
+	finished := 0
+	cond := sim.NewCond(r.Sim)
+	for i, cli := range r.Clients {
+		i, cli := i, cli
+		gens[i] = workload.NewLADDIS(cli, r.Server.RootFH(), workload.LADDISConfig{
+			Files:            32,
+			FileBlocks:       8,
+			OfferedOpsPerSec: perClient,
+			Procs:            spec.Procs,
+			Duration:         spec.Measure,
+			Seed:             spec.Seed + int64(i),
+		})
+		r.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
+			if err := gens[i].Setup(p); err != nil {
+				panic("experiments: laddis setup: " + err.Error())
+			}
+			// Synchronize measurement start across clients: wait until a
+			// common barrier time well past setup.
+			if wait := sim.Time(20 * sim.Second).Sub(p.Now()); wait > 0 {
+				p.Sleep(wait)
+			}
+			if i == 0 {
+				r.MarkInterval()
+			}
+			results[i] = gens[i].Run(p)
+			finished++
+			cond.Broadcast()
+		})
+	}
+	r.Sim.Run(0)
+	if finished != len(r.Clients) {
+		panic("experiments: laddis drivers did not finish")
+	}
+
+	pt := LADDISPoint{OfferedOpsPerSec: offered}
+	var latSum float64
+	var n float64
+	for _, res := range results {
+		pt.AchievedOpsPerSec += res.AchievedOpsPerSec
+		latSum += res.AvgLatencyMs * res.AchievedOpsPerSec
+		n += res.AchievedOpsPerSec
+		pt.Errors += res.Errors
+	}
+	if n > 0 {
+		pt.AvgLatencyMs = latSum / n
+	}
+	pt.CPUPercent, _, _ = r.IntervalStats()
+	if lg != nil {
+		if eng := r.Server.Engine(); eng != nil {
+			st := eng.Stats()
+			lg.Logf("engine: writes=%d gathers=%d mean batch=%.2f max=%d procr=%d hunter=%d handoffs=%d adoptions=%d",
+				st.Writes, st.Gathers, float64(st.GatheredWrites)/float64(st.Gathers),
+				st.MaxBatch, st.Procrastinations, st.HunterHits, st.HandoffsToActive, st.Adoptions)
+		}
+		cpu, dkb, dtps := r.IntervalStats()
+		lg.Logf("cpu=%.1f%% disk=%.0fKB/s trans=%.0f/s drops=%d retrans(sum)=%d",
+			cpu, dkb, dtps, r.Server.Endpoint().Drops(), totalRetrans(r))
+		for _, res := range results {
+			lg.Logf("client: achieved=%.1f avg=%.2fms p95=%.2fms errors=%d perOp=%v",
+				res.AchievedOpsPerSec, res.AvgLatencyMs, res.P95LatencyMs, res.Errors, res.PerOp)
+		}
+	}
+	return pt
+}
+
+func totalRetrans(r *Rig) uint64 {
+	var n uint64
+	for _, c := range r.Clients {
+		n += c.Retransmissions
+	}
+	return n
+}
+
+// RunFigure sweeps the offered loads for both server builds.
+func RunFigure(spec FigureSpec) (without, with *LADDISCurve) {
+	without = &LADDISCurve{Name: spec.Name + " — without write gathering"}
+	with = &LADDISCurve{Name: spec.Name + " — with write gathering"}
+	for _, load := range spec.Loads {
+		without.Points = append(without.Points, RunLADDISPoint(spec, load, false))
+		with.Points = append(with.Points, RunLADDISPoint(spec, load, true))
+	}
+	return without, with
+}
+
+// RenderFigure formats both curves side by side.
+func RenderFigure(spec FigureSpec, without, with *LADDISCurve) string {
+	out := spec.Name + "\n"
+	out += fmt.Sprintf("%10s  %28s  %28s\n", "", "WITHOUT GATHERING", "WITH GATHERING")
+	out += fmt.Sprintf("%10s  %10s %8s %8s  %10s %8s %8s\n",
+		"offered", "achieved", "avg ms", "cpu %", "achieved", "avg ms", "cpu %")
+	for i := range without.Points {
+		a, b := without.Points[i], with.Points[i]
+		out += fmt.Sprintf("%10.0f  %10.1f %8.2f %8.1f  %10.1f %8.2f %8.1f\n",
+			a.OfferedOpsPerSec,
+			a.AchievedOpsPerSec, a.AvgLatencyMs, a.CPUPercent,
+			b.AchievedOpsPerSec, b.AvgLatencyMs, b.CPUPercent)
+	}
+	capW, latW := without.Capacity(50)
+	capG, latG := with.Capacity(50)
+	out += fmt.Sprintf("capacity @50ms: without=%.0f ops/s (%.1f ms)  with=%.0f ops/s (%.1f ms)  delta=%+.1f%%\n",
+		capW, latW, capG, latG, 100*(capG-capW)/capW)
+	return out
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FileCopyMB is the paper's transfer size: a 10MB file.
+const FileCopyMB = 10
+
+// CopyResult is one cell group of a Tables 1-6 column.
+type CopyResult struct {
+	Biods        int
+	ClientKBps   float64
+	CPUPercent   float64
+	DiskKBps     float64
+	DiskTransSec float64
+	Elapsed      sim.Duration
+	Gather       core.Stats
+}
+
+// CopySpec names one table's configuration.
+type CopySpec struct {
+	Name        string
+	Net         hw.NetParams
+	Presto      bool
+	StripeDisks int
+	Biods       []int
+	FileMB      int
+	// CPUScale selects the faster DEC 3800 host for FDDI configurations.
+	CPUScale float64
+	// GatherOverride applies an ablation policy to the gathering run.
+	GatherOverride *core.Config
+}
+
+// StandardBiods is the biod sweep of Tables 1-4.
+func StandardBiods() []int { return []int{0, 3, 7, 11, 15} }
+
+// StripeBiods is the extended sweep of Tables 5-6.
+func StripeBiods() []int { return []int{0, 3, 7, 11, 15, 19, 23} }
+
+// RunCopy executes one 10MB file copy and returns the measured cell group.
+func RunCopy(spec CopySpec, biods int, gathering bool) CopyResult {
+	cfg := RigConfig{
+		Net:            spec.Net,
+		Presto:         spec.Presto,
+		Gathering:      gathering,
+		GatherOverride: spec.GatherOverride,
+		StripeDisks:    spec.StripeDisks,
+		NumNfsds:       8,
+		Biods:          biods,
+		CPUScale:       spec.CPUScale,
+		Seed:           int64(biods)*131 + 17,
+	}
+	r := NewRig(cfg)
+	size := spec.FileMB
+	if size == 0 {
+		size = FileCopyMB
+	}
+	size *= 1024 * 1024
+
+	res := CopyResult{Biods: biods}
+	r.Sim.Spawn("copy", func(p *sim.Proc) {
+		// Create outside the measured interval, as the paper measures the
+		// transfer.
+		cres, err := r.Clients[0].Create(p, r.Server.RootFH(), "copy.dat", 0644)
+		if err != nil {
+			panic("experiments: create failed: " + err.Error())
+		}
+		r.MarkInterval()
+		start := p.Now()
+		if _, err := r.Clients[0].WriteFile(p, cres.File, size); err != nil {
+			panic("experiments: copy failed: " + err.Error())
+		}
+		res.Elapsed = p.Now().Sub(start)
+	})
+	r.Sim.Run(0)
+
+	res.ClientKBps = float64(size) / 1024 / res.Elapsed.Seconds()
+	res.CPUPercent, res.DiskKBps, res.DiskTransSec = r.IntervalStats()
+	if eng := r.Server.Engine(); eng != nil {
+		res.Gather = eng.Stats()
+	}
+	return res
+}
+
+// CopyTable holds both halves of one paper table.
+type CopyTable struct {
+	Spec    CopySpec
+	Without []CopyResult
+	With    []CopyResult
+}
+
+// RunCopyTable sweeps the biod counts with and without gathering.
+func RunCopyTable(spec CopySpec) *CopyTable {
+	t := &CopyTable{Spec: spec}
+	for _, b := range spec.Biods {
+		t.Without = append(t.Without, RunCopy(spec, b, false))
+	}
+	for _, b := range spec.Biods {
+		t.With = append(t.With, RunCopy(spec, b, true))
+	}
+	return t
+}
+
+// Render formats the table in the paper's layout.
+func (t *CopyTable) Render() string {
+	cols := make([]string, len(t.Spec.Biods))
+	for i, b := range t.Spec.Biods {
+		cols[i] = fmt.Sprintf("%d", b)
+	}
+	tab := &stats.Table{Title: t.Spec.Name, Columns: cols}
+	tab.AddRow("# of Client Biods")
+	emit := func(label string, rows []CopyResult) {
+		tab.AddRow(label)
+		kb := make([]float64, len(rows))
+		cpu := make([]float64, len(rows))
+		dkb := make([]float64, len(rows))
+		dtps := make([]float64, len(rows))
+		for i, r := range rows {
+			kb[i] = r.ClientKBps
+			cpu[i] = r.CPUPercent
+			dkb[i] = r.DiskKBps
+			dtps[i] = r.DiskTransSec
+		}
+		tab.AddFloatRow("client write speed (KB/sec.)", 0, kb...)
+		tab.AddFloatRow("server cpu util. (%)", 0, cpu...)
+		tab.AddFloatRow("server disk (KB/sec)", 0, dkb...)
+		tab.AddFloatRow("server disk (trans/sec)", 0, dtps...)
+	}
+	emit("Without Write Gathering", t.Without)
+	emit("With Write Gathering", t.With)
+	return tab.String()
+}
+
+// Table1 is the Ethernet single-disk copy (paper Table 1).
+func Table1Spec() CopySpec {
+	return CopySpec{
+		Name: "Table 1. NFS 10MB file copy: Ethernet",
+		Net:  hw.Ethernet(), Biods: StandardBiods(), StripeDisks: 1,
+	}
+}
+
+// Table2Spec is Ethernet + Presto (paper Table 2).
+func Table2Spec() CopySpec {
+	return CopySpec{
+		Name: "Table 2. NFS 10MB file copy: Ethernet, Presto",
+		Net:  hw.Ethernet(), Presto: true, Biods: StandardBiods(), StripeDisks: 1,
+	}
+}
+
+// Table3Spec is FDDI single-disk (paper Table 3).
+func Table3Spec() CopySpec {
+	return CopySpec{
+		Name: "Table 3. NFS 10MB file copy: FDDI",
+		Net:  hw.FDDI(), Biods: StandardBiods(), StripeDisks: 1, CPUScale: 1.8,
+	}
+}
+
+// Table4Spec is FDDI + Presto (paper Table 4).
+func Table4Spec() CopySpec {
+	return CopySpec{
+		Name: "Table 4. NFS 10MB file copy: FDDI, Presto",
+		Net:  hw.FDDI(), Presto: true, Biods: StandardBiods(), StripeDisks: 1, CPUScale: 1.8,
+	}
+}
+
+// Table5Spec is FDDI with the 3-disk stripe set (paper Table 5).
+func Table5Spec() CopySpec {
+	return CopySpec{
+		Name: "Table 5. NFS 10MB file copy: FDDI, 3 striped drives",
+		Net:  hw.FDDI(), Biods: StripeBiods(), StripeDisks: 3, CPUScale: 1.8,
+	}
+}
+
+// Table6Spec is FDDI + Presto with the stripe set (paper Table 6).
+func Table6Spec() CopySpec {
+	return CopySpec{
+		Name: "Table 6. NFS 10MB file copy: FDDI, Presto, 3 striped drives",
+		Net:  hw.FDDI(), Presto: true, Biods: StripeBiods(), StripeDisks: 3, CPUScale: 1.8,
+	}
+}
+
+// TableSpecs maps experiment ids to their specs.
+func TableSpecs() map[string]CopySpec {
+	return map[string]CopySpec{
+		"table1": Table1Spec(),
+		"table2": Table2Spec(),
+		"table3": Table3Spec(),
+		"table4": Table4Spec(),
+		"table5": Table5Spec(),
+		"table6": Table6Spec(),
+	}
+}

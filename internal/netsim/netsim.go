@@ -1,0 +1,141 @@
+// Package netsim models a shared-medium LAN (Ethernet or FDDI) carrying
+// UDP datagrams between named endpoints: per-fragment serialization on a
+// half-duplex medium, fragmentation of 8K NFS datagrams into MTU-sized
+// pieces, propagation latency, and bounded receive socket buffers that
+// drop on overflow — the behaviour NFS clients' retransmission machinery
+// exists to paper over.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// UDPIPOverhead is the per-datagram header cost added to payloads.
+const UDPIPOverhead = 28 // IP (20) + UDP (8)
+
+// PerFragmentHeader is the link+IP framing per fragment.
+const PerFragmentHeader = 34
+
+// Datagram is one UDP message in flight or queued at a receiver.
+type Datagram struct {
+	From    string
+	To      string
+	Payload []byte
+	// Frags is the number of link-level fragments the datagram needed;
+	// receivers charge per-fragment CPU.
+	Frags int
+	// WireSize is the total bytes that crossed the medium.
+	WireSize int
+	// Sent is when the datagram finished serializing onto the wire.
+	Sent sim.Time
+	// Parsed is a memoization slot for receivers that peek at queued
+	// datagrams (the server's mbuf hunter).
+	Parsed any
+}
+
+// Endpoint is a named host attachment with a receive socket buffer.
+type Endpoint struct {
+	Name string
+	// Inbox is the receive socket buffer. For servers it is bounded in
+	// bytes (DEC OSF/1 used 0.25 MB); overflow drops datagrams.
+	Inbox *sim.Queue[*Datagram]
+}
+
+// Network is one shared-medium LAN segment.
+type Network struct {
+	sim       *sim.Sim
+	p         hw.NetParams
+	medium    *sim.Resource
+	endpoints map[string]*Endpoint
+
+	// Counters.
+	SentDatagrams uint64
+	SentBytes     uint64
+	DropsNoDest   uint64
+}
+
+// New builds a network with the given link parameters.
+func New(s *sim.Sim, p hw.NetParams) *Network {
+	return &Network{
+		sim:       s,
+		p:         p,
+		medium:    sim.NewResource(s, 1),
+		endpoints: make(map[string]*Endpoint),
+	}
+}
+
+// Params returns the link parameters.
+func (n *Network) Params() hw.NetParams { return n.p }
+
+// Utilization reports the fraction of time the medium has been busy.
+func (n *Network) Utilization() float64 { return n.medium.Utilization() }
+
+// MediumInUse reports whether a sender currently holds the medium
+// (diagnostics).
+func (n *Network) MediumInUse() int { return n.medium.InUse() }
+
+// Attach creates an endpoint with a socket buffer bounded to maxBytes of
+// payload (0 = unbounded), and at most maxItems datagrams (0 = unbounded).
+func (n *Network) Attach(name string, maxItems, maxBytes int) *Endpoint {
+	if _, dup := n.endpoints[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate endpoint %q", name))
+	}
+	ep := &Endpoint{
+		Name: name,
+		Inbox: sim.NewByteQueue[*Datagram](n.sim, maxItems, maxBytes,
+			func(d *Datagram) int { return len(d.Payload) }),
+	}
+	n.endpoints[name] = ep
+	return ep
+}
+
+// FragCount reports how many fragments a payload of n bytes needs.
+func (n *Network) FragCount(payload int) int {
+	total := payload + UDPIPOverhead
+	mtu := n.p.MTU
+	frags := (total + mtu - 1) / mtu
+	if frags < 1 {
+		frags = 1
+	}
+	return frags
+}
+
+// wireTime is the serialization time for a payload on the medium.
+func (n *Network) wireTime(payload int) (sim.Duration, int, int) {
+	frags := n.FragCount(payload)
+	wire := payload + UDPIPOverhead + frags*PerFragmentHeader
+	d := sim.Duration(int64(wire)*int64(sim.Second)/(int64(n.p.BandwidthKBps)*1024)) +
+		sim.Duration(frags)*n.p.FragOverhead
+	return d, frags, wire
+}
+
+// Send transmits payload from -> to, blocking p while the datagram
+// serializes onto the shared medium (half-duplex: requests and replies
+// contend). Delivery into the destination socket buffer happens after the
+// propagation latency; a full buffer silently drops the datagram, exactly
+// like a UDP socket. It reports whether a destination existed.
+func (n *Network) Send(p *sim.Proc, from, to string, payload []byte) bool {
+	d, frags, wire := n.wireTime(len(payload))
+	n.medium.Acquire(p)
+	p.Sleep(d)
+	n.medium.Release()
+	n.SentDatagrams++
+	n.SentBytes += uint64(wire)
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.DropsNoDest++
+		return false
+	}
+	dg := &Datagram{
+		From: from, To: to, Payload: payload,
+		Frags: frags, WireSize: wire, Sent: n.sim.Now(),
+	}
+	n.sim.At(n.p.Latency, func() { dst.Inbox.Put(dg) })
+	return true
+}
+
+// Drops reports datagrams dropped at an endpoint's socket buffer.
+func (e *Endpoint) Drops() uint64 { return e.Inbox.Drops() }

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestDeliverySimple(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	dst := n.Attach("server", 0, 0)
+	n.Attach("client", 0, 0)
+	var got *Datagram
+	s.Spawn("recv", func(p *sim.Proc) { got = dst.Inbox.Get(p) })
+	s.Spawn("send", func(p *sim.Proc) {
+		n.Send(p, "client", "server", []byte("hello"))
+	})
+	s.Run(0)
+	if got == nil || string(got.Payload) != "hello" {
+		t.Fatalf("got = %+v", got)
+	}
+	if got.From != "client" || got.To != "server" {
+		t.Fatalf("addressing = %s -> %s", got.From, got.To)
+	}
+}
+
+func TestFragmentationCounts(t *testing.T) {
+	s := sim.New(1)
+	eth := New(s, hw.Ethernet())
+	fddi := New(s, hw.FDDI())
+	// 8K + 28 header = 8220; Ethernet MTU 1500 -> 6 frags; FDDI 4352 -> 2.
+	if f := eth.FragCount(8192); f != 6 {
+		t.Fatalf("Ethernet frags = %d, want 6", f)
+	}
+	if f := fddi.FragCount(8192); f != 2 {
+		t.Fatalf("FDDI frags = %d, want 2", f)
+	}
+	if f := eth.FragCount(100); f != 1 {
+		t.Fatalf("small frags = %d, want 1", f)
+	}
+}
+
+func Test8KTransferTimes(t *testing.T) {
+	s := sim.New(1)
+	eth := New(s, hw.Ethernet())
+	d, _, _ := eth.wireTime(8192)
+	// 10 Mb/s Ethernet: an 8K datagram should take roughly 6-9 ms.
+	if d < 5*sim.Millisecond || d > 10*sim.Millisecond {
+		t.Fatalf("Ethernet 8K wire time = %v", d)
+	}
+	fddi := New(s, hw.FDDI())
+	df, _, _ := fddi.wireTime(8192)
+	// 100 Mb/s FDDI: well under a millisecond.
+	if df > 1200*sim.Microsecond {
+		t.Fatalf("FDDI 8K wire time = %v", df)
+	}
+	if df >= d {
+		t.Fatal("FDDI not faster than Ethernet")
+	}
+}
+
+func TestMediumSerializesSenders(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	n.Attach("a", 0, 0)
+	n.Attach("b", 0, 0)
+	n.Attach("dst", 0, 0)
+	var aDone, bDone sim.Time
+	s.Spawn("a", func(p *sim.Proc) {
+		n.Send(p, "a", "dst", make([]byte, 8192))
+		aDone = p.Now()
+	})
+	s.Spawn("b", func(p *sim.Proc) {
+		n.Send(p, "b", "dst", make([]byte, 8192))
+		bDone = p.Now()
+	})
+	s.Run(0)
+	// Second sender must wait for the first to finish the shared medium.
+	if bDone < aDone+sim.Time(5*sim.Millisecond) {
+		t.Fatalf("senders overlapped: a=%v b=%v", aDone, bDone)
+	}
+}
+
+func TestSocketBufferOverflowDrops(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.FDDI())
+	srv := n.Attach("server", 0, 20000) // tiny socket buffer: fits two 8K
+	n.Attach("client", 0, 0)
+	s.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			n.Send(p, "client", "server", make([]byte, 8192))
+		}
+	})
+	s.Run(0)
+	if srv.Drops() != 3 {
+		t.Fatalf("drops = %d, want 3", srv.Drops())
+	}
+	if srv.Inbox.Len() != 2 {
+		t.Fatalf("queued = %d, want 2", srv.Inbox.Len())
+	}
+}
+
+func TestSendToUnknownEndpoint(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	n.Attach("a", 0, 0)
+	ok := true
+	s.Spawn("send", func(p *sim.Proc) {
+		ok = n.Send(p, "a", "nowhere", []byte("x"))
+	})
+	s.Run(0)
+	if ok {
+		t.Fatal("send to unknown endpoint reported success")
+	}
+	if n.DropsNoDest != 1 {
+		t.Fatalf("DropsNoDest = %d", n.DropsNoDest)
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	n.Attach("x", 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+	}()
+	n.Attach("x", 0, 0)
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.FDDI())
+	dst := n.Attach("dst", 0, 0)
+	n.Attach("src", 0, 0)
+	var order []int
+	s.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			d := dst.Inbox.Get(p)
+			order = append(order, int(d.Payload[0]))
+		}
+	})
+	s.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			n.Send(p, "src", "dst", []byte{byte(i)})
+		}
+	})
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("datagrams reordered: %v", order)
+		}
+	}
+}
+
+func TestUtilizationReflectsTraffic(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	n.Attach("a", 0, 0)
+	n.Attach("dst", 0, 0)
+	s.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			n.Send(p, "a", "dst", make([]byte, 8192))
+		}
+	})
+	s.Run(0)
+	if u := n.Utilization(); u < 0.9 {
+		t.Fatalf("back-to-back sends yield utilization %v", u)
+	}
+	if n.SentDatagrams != 10 {
+		t.Fatalf("SentDatagrams = %d", n.SentDatagrams)
+	}
+}

@@ -1,0 +1,834 @@
+// Package nfsproto implements the NFS version 2 protocol (RFC 1094):
+// file handles, attributes, per-procedure argument and result structures,
+// and their XDR codecs. The structures are shared by the simulated client
+// and server and by the real-UDP example server.
+package nfsproto
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// Program identity.
+const (
+	Program = 100003
+	Version = 2
+)
+
+// Proc identifies an NFSv2 procedure.
+type Proc uint32
+
+// NFSv2 procedure numbers.
+const (
+	ProcNull       Proc = 0
+	ProcGetattr    Proc = 1
+	ProcSetattr    Proc = 2
+	ProcRoot       Proc = 3 // obsolete
+	ProcLookup     Proc = 4
+	ProcReadlink   Proc = 5
+	ProcRead       Proc = 6
+	ProcWritecache Proc = 7 // unused in v2
+	ProcWrite      Proc = 8
+	ProcCreate     Proc = 9
+	ProcRemove     Proc = 10
+	ProcRename     Proc = 11
+	ProcLink       Proc = 12
+	ProcSymlink    Proc = 13
+	ProcMkdir      Proc = 14
+	ProcRmdir      Proc = 15
+	ProcReaddir    Proc = 16
+	ProcStatfs     Proc = 17
+	procCount           = 18
+)
+
+var procNames = [procCount]string{
+	"NULL", "GETATTR", "SETATTR", "ROOT", "LOOKUP", "READLINK", "READ",
+	"WRITECACHE", "WRITE", "CREATE", "REMOVE", "RENAME", "LINK", "SYMLINK",
+	"MKDIR", "RMDIR", "READDIR", "STATFS",
+}
+
+func (p Proc) String() string {
+	if int(p) < len(procNames) {
+		return procNames[p]
+	}
+	return fmt.Sprintf("PROC(%d)", uint32(p))
+}
+
+// Status is an NFSv2 status code ("stat" in RFC 1094).
+type Status uint32
+
+// NFSv2 status codes.
+const (
+	OK             Status = 0
+	ErrPerm        Status = 1
+	ErrNoEnt       Status = 2
+	ErrIO          Status = 5
+	ErrNXIO        Status = 6
+	ErrAcces       Status = 13
+	ErrExist       Status = 17
+	ErrNoDev       Status = 19
+	ErrNotDir      Status = 20
+	ErrIsDir       Status = 21
+	ErrFBig        Status = 27
+	ErrNoSpc       Status = 28
+	ErrROFS        Status = 30
+	ErrNameTooLong Status = 63
+	ErrNotEmpty    Status = 66
+	ErrDQuot       Status = 69
+	ErrStale       Status = 70
+	ErrWFlush      Status = 99
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "NFS_OK"
+	case ErrPerm:
+		return "NFSERR_PERM"
+	case ErrNoEnt:
+		return "NFSERR_NOENT"
+	case ErrIO:
+		return "NFSERR_IO"
+	case ErrAcces:
+		return "NFSERR_ACCES"
+	case ErrExist:
+		return "NFSERR_EXIST"
+	case ErrNotDir:
+		return "NFSERR_NOTDIR"
+	case ErrIsDir:
+		return "NFSERR_ISDIR"
+	case ErrFBig:
+		return "NFSERR_FBIG"
+	case ErrNoSpc:
+		return "NFSERR_NOSPC"
+	case ErrROFS:
+		return "NFSERR_ROFS"
+	case ErrNotEmpty:
+		return "NFSERR_NOTEMPTY"
+	case ErrStale:
+		return "NFSERR_STALE"
+	case ErrWFlush:
+		return "NFSERR_WFLUSH"
+	default:
+		return fmt.Sprintf("NFSERR(%d)", uint32(s))
+	}
+}
+
+// Err converts a non-OK status to a Go error (nil for OK).
+func (s Status) Err() error {
+	if s == OK {
+		return nil
+	}
+	return fmt.Errorf("nfs: %s", s)
+}
+
+// Protocol size constants.
+const (
+	FHSize     = 32   // bytes in a file handle
+	MaxData    = 8192 // maximum READ/WRITE transfer
+	MaxPathLen = 1024
+	MaxNameLen = 255
+	CookieSize = 4
+	BlockSize  = 8192 // client/server transfer unit assumed by the paper
+)
+
+// ErrTruncated reports a structurally bad message.
+var ErrTruncated = errors.New("nfsproto: truncated message")
+
+// FH is an NFSv2 file handle: 32 opaque bytes. This implementation packs a
+// filesystem id and inode number into the first bytes and leaves the rest
+// zero, as many servers did.
+type FH [FHSize]byte
+
+// NewFH builds a file handle from a filesystem id, an inode number and a
+// generation count.
+func NewFH(fsid uint32, ino uint64, gen uint32) FH {
+	var fh FH
+	fh[0] = byte(fsid >> 24)
+	fh[1] = byte(fsid >> 16)
+	fh[2] = byte(fsid >> 8)
+	fh[3] = byte(fsid)
+	for i := 0; i < 8; i++ {
+		fh[4+i] = byte(ino >> (56 - 8*i))
+	}
+	fh[12] = byte(gen >> 24)
+	fh[13] = byte(gen >> 16)
+	fh[14] = byte(gen >> 8)
+	fh[15] = byte(gen)
+	return fh
+}
+
+// FSID extracts the filesystem id.
+func (f FH) FSID() uint32 {
+	return uint32(f[0])<<24 | uint32(f[1])<<16 | uint32(f[2])<<8 | uint32(f[3])
+}
+
+// Ino extracts the inode number.
+func (f FH) Ino() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(f[4+i])
+	}
+	return v
+}
+
+// Gen extracts the generation count.
+func (f FH) Gen() uint32 {
+	return uint32(f[12])<<24 | uint32(f[13])<<16 | uint32(f[14])<<8 | uint32(f[15])
+}
+
+func (f FH) String() string {
+	return fmt.Sprintf("fh(fs=%d,ino=%d,gen=%d)", f.FSID(), f.Ino(), f.Gen())
+}
+
+// FType is an NFSv2 file type.
+type FType uint32
+
+// File types.
+const (
+	TypeNone FType = 0
+	TypeReg  FType = 1
+	TypeDir  FType = 2
+	TypeBlk  FType = 3
+	TypeChr  FType = 4
+	TypeLnk  FType = 5
+)
+
+// TimeVal is seconds/microseconds, NFSv2 style.
+type TimeVal struct {
+	Sec  uint32
+	USec uint32
+}
+
+// Less reports whether t is earlier than u.
+func (t TimeVal) Less(u TimeVal) bool {
+	return t.Sec < u.Sec || (t.Sec == u.Sec && t.USec < u.USec)
+}
+
+// FAttr is the fattr structure: the file attributes returned by most
+// procedures. Write gathering guarantees that all gathered replies carry
+// the same MTime.
+type FAttr struct {
+	Type      FType
+	Mode      uint32
+	NLink     uint32
+	UID, GID  uint32
+	Size      uint32
+	BlockSize uint32
+	Rdev      uint32
+	Blocks    uint32
+	FSID      uint32
+	FileID    uint32
+	ATime     TimeVal
+	MTime     TimeVal
+	CTime     TimeVal
+}
+
+func (a *FAttr) encode(e *xdr.Encoder) {
+	e.Uint32(uint32(a.Type))
+	e.Uint32(a.Mode)
+	e.Uint32(a.NLink)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint32(a.Size)
+	e.Uint32(a.BlockSize)
+	e.Uint32(a.Rdev)
+	e.Uint32(a.Blocks)
+	e.Uint32(a.FSID)
+	e.Uint32(a.FileID)
+	e.Uint32(a.ATime.Sec)
+	e.Uint32(a.ATime.USec)
+	e.Uint32(a.MTime.Sec)
+	e.Uint32(a.MTime.USec)
+	e.Uint32(a.CTime.Sec)
+	e.Uint32(a.CTime.USec)
+}
+
+func decodeFAttr(d *xdr.Decoder) (FAttr, error) {
+	var a FAttr
+	fields := []*uint32{
+		(*uint32)(&a.Type), &a.Mode, &a.NLink, &a.UID, &a.GID, &a.Size,
+		&a.BlockSize, &a.Rdev, &a.Blocks, &a.FSID, &a.FileID,
+		&a.ATime.Sec, &a.ATime.USec, &a.MTime.Sec, &a.MTime.USec,
+		&a.CTime.Sec, &a.CTime.USec,
+	}
+	for _, f := range fields {
+		v, err := d.Uint32()
+		if err != nil {
+			return a, err
+		}
+		*f = v
+	}
+	return a, nil
+}
+
+// NoValue marks an SAttr field as "do not set".
+const NoValue = 0xFFFFFFFF
+
+// SAttr is the sattr structure used by SETATTR/CREATE/MKDIR; fields set to
+// NoValue are left unchanged by the server.
+type SAttr struct {
+	Mode     uint32
+	UID, GID uint32
+	Size     uint32
+	ATime    TimeVal
+	MTime    TimeVal
+}
+
+// DefaultSAttr returns an SAttr that sets only the mode.
+func DefaultSAttr(mode uint32) SAttr {
+	return SAttr{
+		Mode: mode, UID: NoValue, GID: NoValue, Size: NoValue,
+		ATime: TimeVal{NoValue, NoValue}, MTime: TimeVal{NoValue, NoValue},
+	}
+}
+
+func (a *SAttr) encode(e *xdr.Encoder) {
+	e.Uint32(a.Mode)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint32(a.Size)
+	e.Uint32(a.ATime.Sec)
+	e.Uint32(a.ATime.USec)
+	e.Uint32(a.MTime.Sec)
+	e.Uint32(a.MTime.USec)
+}
+
+func decodeSAttr(d *xdr.Decoder) (SAttr, error) {
+	var a SAttr
+	fields := []*uint32{
+		&a.Mode, &a.UID, &a.GID, &a.Size,
+		&a.ATime.Sec, &a.ATime.USec, &a.MTime.Sec, &a.MTime.USec,
+	}
+	for _, f := range fields {
+		v, err := d.Uint32()
+		if err != nil {
+			return a, err
+		}
+		*f = v
+	}
+	return a, nil
+}
+
+// AttrStat is the common (status, attributes) result.
+type AttrStat struct {
+	Status Status
+	Attr   FAttr
+}
+
+// Encode serializes the result.
+func (r *AttrStat) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeAttrStat parses an attrstat result.
+func DecodeAttrStat(b []byte) (*AttrStat, error) {
+	d := xdr.NewDecoder(b)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &AttrStat{Status: Status(st)}
+	if r.Status == OK {
+		if r.Attr, err = decodeFAttr(d); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// DirOpArgs names an entry within a directory.
+type DirOpArgs struct {
+	Dir  FH
+	Name string
+}
+
+// Encode serializes the arguments.
+func (a *DirOpArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.Dir[:])
+	e.String(a.Name)
+	return e.Bytes()
+}
+
+// DecodeDirOpArgs parses diropargs.
+func DecodeDirOpArgs(b []byte) (*DirOpArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &DirOpArgs{}
+	if err := decodeFH(d, &a.Dir); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func decodeFH(d *xdr.Decoder, fh *FH) error {
+	b, err := d.FixedOpaque(FHSize)
+	if err != nil {
+		return err
+	}
+	copy(fh[:], b)
+	return nil
+}
+
+// DirOpRes is the (status, file handle, attributes) result of LOOKUP and
+// CREATE-family procedures.
+type DirOpRes struct {
+	Status Status
+	File   FH
+	Attr   FAttr
+}
+
+// Encode serializes the result.
+func (r *DirOpRes) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		e.FixedOpaque(r.File[:])
+		r.Attr.encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeDirOpRes parses a diropres result.
+func DecodeDirOpRes(b []byte) (*DirOpRes, error) {
+	d := xdr.NewDecoder(b)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &DirOpRes{Status: Status(st)}
+	if r.Status == OK {
+		if err := decodeFH(d, &r.File); err != nil {
+			return nil, err
+		}
+		if r.Attr, err = decodeFAttr(d); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// SetattrArgs are the SETATTR arguments.
+type SetattrArgs struct {
+	File FH
+	Attr SAttr
+}
+
+// Encode serializes the arguments.
+func (a *SetattrArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.File[:])
+	a.Attr.encode(e)
+	return e.Bytes()
+}
+
+// DecodeSetattrArgs parses SETATTR arguments.
+func DecodeSetattrArgs(b []byte) (*SetattrArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &SetattrArgs{}
+	if err := decodeFH(d, &a.File); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.Attr, err = decodeSAttr(d); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadArgs are the READ arguments.
+type ReadArgs struct {
+	File       FH
+	Offset     uint32
+	Count      uint32
+	TotalCount uint32 // unused by the protocol
+}
+
+// Encode serializes the arguments.
+func (a *ReadArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.File[:])
+	e.Uint32(a.Offset)
+	e.Uint32(a.Count)
+	e.Uint32(a.TotalCount)
+	return e.Bytes()
+}
+
+// DecodeReadArgs parses READ arguments.
+func DecodeReadArgs(b []byte) (*ReadArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &ReadArgs{}
+	if err := decodeFH(d, &a.File); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.Offset, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Count, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.TotalCount, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadRes is the READ result.
+type ReadRes struct {
+	Status Status
+	Attr   FAttr
+	Data   []byte
+}
+
+// Encode serializes the result.
+func (r *ReadRes) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.encode(e)
+		e.Opaque(r.Data)
+	}
+	return e.Bytes()
+}
+
+// DecodeReadRes parses a READ result.
+func DecodeReadRes(b []byte) (*ReadRes, error) {
+	d := xdr.NewDecoder(b)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &ReadRes{Status: Status(st)}
+	if r.Status == OK {
+		if r.Attr, err = decodeFAttr(d); err != nil {
+			return nil, err
+		}
+		if r.Data, err = d.Opaque(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// WriteArgs are the WRITE arguments. BeginOffset and TotalCount are unused
+// by the protocol but present on the wire.
+type WriteArgs struct {
+	File        FH
+	BeginOffset uint32
+	Offset      uint32
+	TotalCount  uint32
+	Data        []byte
+}
+
+// Encode serializes the arguments.
+func (a *WriteArgs) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 52+len(a.Data)))
+	e.FixedOpaque(a.File[:])
+	e.Uint32(a.BeginOffset)
+	e.Uint32(a.Offset)
+	e.Uint32(a.TotalCount)
+	e.Opaque(a.Data)
+	return e.Bytes()
+}
+
+// DecodeWriteArgs parses WRITE arguments.
+func DecodeWriteArgs(b []byte) (*WriteArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &WriteArgs{}
+	if err := decodeFH(d, &a.File); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.BeginOffset, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Offset, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.TotalCount, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Data, err = d.Opaque(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WireSize reports the encoded size of the WRITE call body (args only),
+// used by the network model without re-encoding.
+func (a *WriteArgs) WireSize() int {
+	n := len(a.Data)
+	return FHSize + 12 + 4 + n + (4-n%4)%4
+}
+
+// CreateArgs are CREATE and MKDIR arguments.
+type CreateArgs struct {
+	Where DirOpArgs
+	Attr  SAttr
+}
+
+// Encode serializes the arguments.
+func (a *CreateArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.Where.Dir[:])
+	e.String(a.Where.Name)
+	a.Attr.encode(e)
+	return e.Bytes()
+}
+
+// DecodeCreateArgs parses CREATE/MKDIR arguments.
+func DecodeCreateArgs(b []byte) (*CreateArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &CreateArgs{}
+	if err := decodeFH(d, &a.Where.Dir); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.Where.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	if a.Attr, err = decodeSAttr(d); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// RenameArgs are the RENAME arguments.
+type RenameArgs struct {
+	From DirOpArgs
+	To   DirOpArgs
+}
+
+// Encode serializes the arguments.
+func (a *RenameArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.From.Dir[:])
+	e.String(a.From.Name)
+	e.FixedOpaque(a.To.Dir[:])
+	e.String(a.To.Name)
+	return e.Bytes()
+}
+
+// DecodeRenameArgs parses RENAME arguments.
+func DecodeRenameArgs(b []byte) (*RenameArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &RenameArgs{}
+	if err := decodeFH(d, &a.From.Dir); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.From.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	if err := decodeFH(d, &a.To.Dir); err != nil {
+		return nil, err
+	}
+	if a.To.Name, err = d.String(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// StatusRes is the bare-status result of SETATTR-like procedures on the
+// wire (RFC 1094 returns attrstat for SETATTR; REMOVE/RENAME/RMDIR return
+// only a status).
+type StatusRes struct {
+	Status Status
+}
+
+// Encode serializes the result.
+func (r *StatusRes) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(r.Status))
+	return e.Bytes()
+}
+
+// DecodeStatusRes parses a status-only result.
+func DecodeStatusRes(b []byte) (*StatusRes, error) {
+	d := xdr.NewDecoder(b)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	return &StatusRes{Status: Status(st)}, nil
+}
+
+// ReaddirArgs are the READDIR arguments.
+type ReaddirArgs struct {
+	Dir    FH
+	Cookie uint32
+	Count  uint32
+}
+
+// Encode serializes the arguments.
+func (a *ReaddirArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.Dir[:])
+	e.Uint32(a.Cookie)
+	e.Uint32(a.Count)
+	return e.Bytes()
+}
+
+// DecodeReaddirArgs parses READDIR arguments.
+func DecodeReaddirArgs(b []byte) (*ReaddirArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &ReaddirArgs{}
+	if err := decodeFH(d, &a.Dir); err != nil {
+		return nil, err
+	}
+	var err error
+	if a.Cookie, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if a.Count, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DirEntry is one READDIR entry.
+type DirEntry struct {
+	FileID uint32
+	Name   string
+	Cookie uint32
+}
+
+// ReaddirRes is the READDIR result.
+type ReaddirRes struct {
+	Status  Status
+	Entries []DirEntry
+	EOF     bool
+}
+
+// Encode serializes the result.
+func (r *ReaddirRes) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		for _, ent := range r.Entries {
+			e.Bool(true) // value follows
+			e.Uint32(ent.FileID)
+			e.String(ent.Name)
+			e.Uint32(ent.Cookie)
+		}
+		e.Bool(false) // end of list
+		e.Bool(r.EOF)
+	}
+	return e.Bytes()
+}
+
+// DecodeReaddirRes parses a READDIR result.
+func DecodeReaddirRes(b []byte) (*ReaddirRes, error) {
+	d := xdr.NewDecoder(b)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &ReaddirRes{Status: Status(st)}
+	if r.Status != OK {
+		return r, nil
+	}
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		var ent DirEntry
+		if ent.FileID, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if ent.Name, err = d.String(); err != nil {
+			return nil, err
+		}
+		if ent.Cookie, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, ent)
+	}
+	if r.EOF, err = d.Bool(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// StatfsRes is the STATFS result.
+type StatfsRes struct {
+	Status Status
+	TSize  uint32 // optimal transfer size
+	BSize  uint32 // block size
+	Blocks uint32 // total blocks
+	BFree  uint32 // free blocks
+	BAvail uint32 // free blocks available to non-root
+}
+
+// Encode serializes the result.
+func (r *StatfsRes) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		e.Uint32(r.TSize)
+		e.Uint32(r.BSize)
+		e.Uint32(r.Blocks)
+		e.Uint32(r.BFree)
+		e.Uint32(r.BAvail)
+	}
+	return e.Bytes()
+}
+
+// DecodeStatfsRes parses a STATFS result.
+func DecodeStatfsRes(b []byte) (*StatfsRes, error) {
+	d := xdr.NewDecoder(b)
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r := &StatfsRes{Status: Status(st)}
+	if r.Status != OK {
+		return r, nil
+	}
+	fields := []*uint32{&r.TSize, &r.BSize, &r.Blocks, &r.BFree, &r.BAvail}
+	for _, f := range fields {
+		if *f, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// FHArgs is the single-file-handle argument used by GETATTR, READLINK and
+// STATFS.
+type FHArgs struct {
+	File FH
+}
+
+// Encode serializes the arguments.
+func (a *FHArgs) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.FixedOpaque(a.File[:])
+	return e.Bytes()
+}
+
+// DecodeFHArgs parses a file-handle argument.
+func DecodeFHArgs(b []byte) (*FHArgs, error) {
+	d := xdr.NewDecoder(b)
+	a := &FHArgs{}
+	if err := decodeFH(d, &a.File); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

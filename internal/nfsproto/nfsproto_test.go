@@ -1,0 +1,274 @@
+package nfsproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFHPacking(t *testing.T) {
+	fh := NewFH(7, 123456789, 42)
+	if fh.FSID() != 7 {
+		t.Fatalf("FSID = %d", fh.FSID())
+	}
+	if fh.Ino() != 123456789 {
+		t.Fatalf("Ino = %d", fh.Ino())
+	}
+	if fh.Gen() != 42 {
+		t.Fatalf("Gen = %d", fh.Gen())
+	}
+}
+
+func TestFHQuickPacking(t *testing.T) {
+	f := func(fsid uint32, ino uint64, gen uint32) bool {
+		fh := NewFH(fsid, ino, gen)
+		return fh.FSID() == fsid && fh.Ino() == ino && fh.Gen() == gen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFHDistinct(t *testing.T) {
+	a := NewFH(1, 2, 3)
+	b := NewFH(1, 3, 3)
+	if a == b {
+		t.Fatal("distinct inodes produced equal handles")
+	}
+}
+
+func sampleAttr() FAttr {
+	return FAttr{
+		Type: TypeReg, Mode: 0644, NLink: 1, UID: 10, GID: 20,
+		Size: 8192, BlockSize: 8192, Blocks: 2, FSID: 1, FileID: 55,
+		ATime: TimeVal{100, 1}, MTime: TimeVal{200, 2}, CTime: TimeVal{300, 3},
+	}
+}
+
+func TestAttrStatRoundTrip(t *testing.T) {
+	r := &AttrStat{Status: OK, Attr: sampleAttr()}
+	got, err := DecodeAttrStat(r.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if *got != *r {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestAttrStatError(t *testing.T) {
+	r := &AttrStat{Status: ErrStale}
+	got, err := DecodeAttrStat(r.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Status != ErrStale {
+		t.Fatalf("Status = %v", got.Status)
+	}
+}
+
+func TestWriteArgsRoundTrip(t *testing.T) {
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	a := &WriteArgs{File: NewFH(1, 2, 3), BeginOffset: 0, Offset: 16384, TotalCount: 8192, Data: data}
+	enc := a.Encode()
+	if len(enc) != a.WireSize() {
+		t.Fatalf("WireSize = %d, encoded %d", a.WireSize(), len(enc))
+	}
+	got, err := DecodeWriteArgs(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.File != a.File || got.Offset != a.Offset || !bytes.Equal(got.Data, a.Data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWriteArgsQuick(t *testing.T) {
+	f := func(off uint32, data []byte) bool {
+		if len(data) > MaxData {
+			data = data[:MaxData]
+		}
+		a := &WriteArgs{File: NewFH(1, 9, 0), Offset: off, Data: data}
+		enc := a.Encode()
+		if len(enc) != a.WireSize() {
+			return false
+		}
+		got, err := DecodeWriteArgs(enc)
+		return err == nil && got.Offset == off && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadArgsResRoundTrip(t *testing.T) {
+	a := &ReadArgs{File: NewFH(1, 7, 0), Offset: 4096, Count: 8192}
+	ga, err := DecodeReadArgs(a.Encode())
+	if err != nil || *ga != *a {
+		t.Fatalf("args round trip: %+v err %v", ga, err)
+	}
+	r := &ReadRes{Status: OK, Attr: sampleAttr(), Data: []byte("hello world")}
+	gr, err := DecodeReadRes(r.Encode())
+	if err != nil {
+		t.Fatalf("res decode: %v", err)
+	}
+	if gr.Status != OK || !bytes.Equal(gr.Data, r.Data) || gr.Attr != r.Attr {
+		t.Fatal("res round trip mismatch")
+	}
+}
+
+func TestDirOpRoundTrip(t *testing.T) {
+	a := &DirOpArgs{Dir: NewFH(1, 1, 0), Name: "passwd"}
+	ga, err := DecodeDirOpArgs(a.Encode())
+	if err != nil || ga.Dir != a.Dir || ga.Name != a.Name {
+		t.Fatalf("args round trip: %+v err %v", ga, err)
+	}
+	r := &DirOpRes{Status: OK, File: NewFH(1, 9, 1), Attr: sampleAttr()}
+	gr, err := DecodeDirOpRes(r.Encode())
+	if err != nil || *gr != *r {
+		t.Fatalf("res round trip: %+v err %v", gr, err)
+	}
+}
+
+func TestDirOpResError(t *testing.T) {
+	r := &DirOpRes{Status: ErrNoEnt}
+	gr, err := DecodeDirOpRes(r.Encode())
+	if err != nil || gr.Status != ErrNoEnt {
+		t.Fatalf("error res: %+v err %v", gr, err)
+	}
+}
+
+func TestCreateArgsRoundTrip(t *testing.T) {
+	a := &CreateArgs{
+		Where: DirOpArgs{Dir: NewFH(1, 1, 0), Name: "newfile"},
+		Attr:  DefaultSAttr(0644),
+	}
+	ga, err := DecodeCreateArgs(a.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ga.Where != a.Where || ga.Attr != a.Attr {
+		t.Fatalf("round trip: %+v vs %+v", ga, a)
+	}
+}
+
+func TestSetattrArgsRoundTrip(t *testing.T) {
+	a := &SetattrArgs{File: NewFH(2, 5, 0), Attr: SAttr{Mode: 0600, UID: NoValue, GID: NoValue, Size: 0, ATime: TimeVal{NoValue, NoValue}, MTime: TimeVal{NoValue, NoValue}}}
+	ga, err := DecodeSetattrArgs(a.Encode())
+	if err != nil || *ga != *a {
+		t.Fatalf("round trip: %+v err %v", ga, err)
+	}
+}
+
+func TestRenameArgsRoundTrip(t *testing.T) {
+	a := &RenameArgs{
+		From: DirOpArgs{Dir: NewFH(1, 1, 0), Name: "old"},
+		To:   DirOpArgs{Dir: NewFH(1, 2, 0), Name: "new"},
+	}
+	ga, err := DecodeRenameArgs(a.Encode())
+	if err != nil || *ga != *a {
+		t.Fatalf("round trip: %+v err %v", ga, err)
+	}
+}
+
+func TestReaddirRoundTrip(t *testing.T) {
+	a := &ReaddirArgs{Dir: NewFH(1, 1, 0), Cookie: 2, Count: 512}
+	ga, err := DecodeReaddirArgs(a.Encode())
+	if err != nil || *ga != *a {
+		t.Fatalf("args round trip: %+v err %v", ga, err)
+	}
+	r := &ReaddirRes{
+		Status: OK,
+		Entries: []DirEntry{
+			{FileID: 2, Name: ".", Cookie: 1},
+			{FileID: 1, Name: "..", Cookie: 2},
+			{FileID: 9, Name: "data.bin", Cookie: 3},
+		},
+		EOF: true,
+	}
+	gr, err := DecodeReaddirRes(r.Encode())
+	if err != nil {
+		t.Fatalf("res decode: %v", err)
+	}
+	if gr.Status != OK || !gr.EOF || len(gr.Entries) != 3 {
+		t.Fatalf("res = %+v", gr)
+	}
+	for i := range r.Entries {
+		if gr.Entries[i] != r.Entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, gr.Entries[i], r.Entries[i])
+		}
+	}
+}
+
+func TestReaddirEmpty(t *testing.T) {
+	r := &ReaddirRes{Status: OK, EOF: true}
+	gr, err := DecodeReaddirRes(r.Encode())
+	if err != nil || len(gr.Entries) != 0 || !gr.EOF {
+		t.Fatalf("empty readdir: %+v err %v", gr, err)
+	}
+}
+
+func TestStatfsRoundTrip(t *testing.T) {
+	r := &StatfsRes{Status: OK, TSize: 8192, BSize: 8192, Blocks: 131072, BFree: 1000, BAvail: 900}
+	gr, err := DecodeStatfsRes(r.Encode())
+	if err != nil || *gr != *r {
+		t.Fatalf("round trip: %+v err %v", gr, err)
+	}
+}
+
+func TestFHArgsRoundTrip(t *testing.T) {
+	a := &FHArgs{File: NewFH(3, 33, 1)}
+	ga, err := DecodeFHArgs(a.Encode())
+	if err != nil || ga.File != a.File {
+		t.Fatalf("round trip: %+v err %v", ga, err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if OK.String() != "NFS_OK" {
+		t.Fatal(OK.String())
+	}
+	if ErrStale.String() != "NFSERR_STALE" {
+		t.Fatal(ErrStale.String())
+	}
+	if OK.Err() != nil {
+		t.Fatal("OK.Err() != nil")
+	}
+	if ErrIO.Err() == nil {
+		t.Fatal("ErrIO.Err() == nil")
+	}
+}
+
+func TestProcString(t *testing.T) {
+	if ProcWrite.String() != "WRITE" {
+		t.Fatal(ProcWrite.String())
+	}
+	if Proc(99).String() != "PROC(99)" {
+		t.Fatal(Proc(99).String())
+	}
+}
+
+func TestTimeValLess(t *testing.T) {
+	a := TimeVal{1, 5}
+	b := TimeVal{1, 6}
+	c := TimeVal{2, 0}
+	if !a.Less(b) || !b.Less(c) || b.Less(a) || a.Less(a) {
+		t.Fatal("TimeVal ordering broken")
+	}
+}
+
+func TestTruncatedDecodersFail(t *testing.T) {
+	r := &AttrStat{Status: OK, Attr: sampleAttr()}
+	b := r.Encode()
+	if _, err := DecodeAttrStat(b[:8]); err == nil {
+		t.Fatal("truncated attrstat accepted")
+	}
+	wa := &WriteArgs{File: NewFH(1, 1, 1), Data: []byte("xyz")}
+	wb := wa.Encode()
+	if _, err := DecodeWriteArgs(wb[:20]); err == nil {
+		t.Fatal("truncated writeargs accepted")
+	}
+}

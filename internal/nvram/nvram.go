@@ -1,0 +1,294 @@
+// Package nvram models a Prestoserve-style NVRAM filesystem accelerator
+// (Moran et al. 1990): a small battery-backed cache interposed in front of
+// a disk. Writes that fit its acceptance rule complete at NVRAM-copy speed
+// and count as stable storage; a background drainer clusters dirty ranges
+// and pushes them to the underlying disk asynchronously and in parallel
+// with request processing — exactly the duality the paper's server write
+// layer keys on (§6.3).
+package nvram
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// dirtyBlock is one cached block. ver guards against the lost-update race
+// where a block is rewritten while a drain I/O for its previous contents is
+// in flight: the drainer only retires the entry if the version still
+// matches what it copied out.
+type dirtyBlock struct {
+	data []byte
+	ver  uint64
+}
+
+// Presto is an NVRAM write cache over a disk. It implements disk.Device so
+// the filesystem can sit on either a raw disk or an accelerated one.
+type Presto struct {
+	sim   *sim.Sim
+	p     hw.PrestoParams
+	under disk.Device
+	// dirty maps block number -> cached block contents not yet drained.
+	dirty map[int64]*dirtyBlock
+	used  int // bytes of NVRAM in use
+	space *sim.Cond
+	work  *sim.Cond
+	stats disk.Stats
+
+	// Accepted/declined accounting: declines fall through to the disk.
+	Accepted uint64
+	Declined uint64
+
+	draining int // drain I/Os currently in flight
+	stopped  bool
+	flushReq bool
+	clean    *sim.Cond
+	sweepPos int64 // elevator position for drain sweeps
+	inFlight map[int64]bool
+}
+
+// New interposes a Presto board in front of under and starts its drainer.
+func New(s *sim.Sim, p hw.PrestoParams, under disk.Device) *Presto {
+	pr := &Presto{
+		sim:      s,
+		p:        p,
+		under:    under,
+		dirty:    make(map[int64]*dirtyBlock),
+		space:    sim.NewCond(s),
+		work:     sim.NewCond(s),
+		clean:    sim.NewCond(s),
+		inFlight: make(map[int64]bool),
+	}
+	workers := p.DrainWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		s.Spawn("presto-drain", pr.drainLoop)
+	}
+	return pr
+}
+
+// BlockSize implements disk.Device.
+func (pr *Presto) BlockSize() int { return pr.under.BlockSize() }
+
+// NumBlocks implements disk.Device.
+func (pr *Presto) NumBlocks() int64 { return pr.under.NumBlocks() }
+
+// Stats implements disk.Device: transactions the caller experienced at the
+// Presto layer. The underlying disk keeps its own counters, which the
+// paper's tables report.
+func (pr *Presto) Stats() *disk.Stats { return &pr.stats }
+
+// Under returns the underlying device.
+func (pr *Presto) Under() disk.Device { return pr.under }
+
+// CacheUsed reports bytes of NVRAM currently holding undrained data.
+func (pr *Presto) CacheUsed() int { return pr.used }
+
+// WriteBlocks implements disk.Device. Writes no larger than MaxIO are
+// absorbed by NVRAM (blocking only if the cache is full); larger writes are
+// declined and passed through to the disk, as the small board cannot hold
+// them (§6.3: "Presto may decline to accept requests above a certain
+// size... resulting in performance that degrades to underlying disk
+// speed").
+func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
+	if len(data)%pr.BlockSize() != 0 {
+		panic(fmt.Sprintf("nvram: unaligned write of %d bytes", len(data)))
+	}
+	if len(data) > pr.p.MaxIO {
+		pr.Declined++
+		pr.under.WriteBlocks(p, blk, data)
+		return
+	}
+	// Wait for NVRAM space. Overwrites of blocks already dirty reuse their
+	// space.
+	need := 0
+	nb := int64(len(data) / pr.BlockSize())
+	for i := int64(0); i < nb; i++ {
+		if pr.dirty[blk+i] == nil {
+			need += pr.BlockSize()
+		}
+	}
+	for pr.used+need > pr.p.CacheBytes {
+		pr.space.Wait(p)
+	}
+	p.Sleep(pr.p.AcceptLatency)
+	for i := int64(0); i < nb; i++ {
+		b := pr.dirty[blk+i]
+		if b == nil {
+			b = &dirtyBlock{data: make([]byte, pr.BlockSize())}
+			pr.used += pr.BlockSize()
+		}
+		copy(b.data, data[i*int64(pr.BlockSize()):(i+1)*int64(pr.BlockSize())])
+		b.ver++
+		pr.dirty[blk+i] = b
+	}
+	pr.Accepted++
+	pr.stats.Writes++
+	pr.stats.WriteBytes += uint64(len(data))
+	pr.work.Signal()
+}
+
+// ReadBlocks implements disk.Device, serving from NVRAM when a block is
+// still dirty there.
+func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
+	bs := int64(pr.BlockSize())
+	nb := int64(len(buf)) / bs
+	allCached := true
+	for i := int64(0); i < nb; i++ {
+		if pr.dirty[blk+i] == nil {
+			allCached = false
+			break
+		}
+	}
+	if allCached {
+		p.Sleep(pr.p.AcceptLatency)
+		for i := int64(0); i < nb; i++ {
+			copy(buf[i*bs:(i+1)*bs], pr.dirty[blk+i].data)
+		}
+		pr.stats.Reads++
+		pr.stats.ReadBytes += uint64(len(buf))
+		return
+	}
+	pr.under.ReadBlocks(p, blk, buf)
+	// Overlay any blocks that are newer in NVRAM.
+	for i := int64(0); i < nb; i++ {
+		if b := pr.dirty[blk+i]; b != nil {
+			copy(buf[i*bs:(i+1)*bs], b.data)
+		}
+	}
+	pr.stats.Reads++
+	pr.stats.ReadBytes += uint64(len(buf))
+}
+
+// drainLoop is the background process that clusters dirty NVRAM blocks and
+// writes them to disk ("Presto does its own clustering... can drive disks
+// asynchronously and in parallel").
+func (pr *Presto) drainLoop(p *sim.Proc) {
+	for {
+		for len(pr.dirty) == 0 {
+			if pr.stopped {
+				return
+			}
+			pr.work.Wait(p)
+		}
+		// Below the high-water mark, linger briefly: back-to-back writes
+		// build contiguous runs the drain can push in one transaction.
+		// A signal (new write) re-evaluates; a quiet period — or an
+		// explicit flush request — drains.
+		if pr.used < pr.p.HiWater && !pr.stopped && !pr.flushReq && pr.p.IdleFlush > 0 {
+			if pr.work.WaitTimeout(p, pr.p.IdleFlush) {
+				continue
+			}
+			if len(pr.dirty) == 0 {
+				continue
+			}
+		}
+		blk, data, vers := pr.nextCluster()
+		if data == nil {
+			// Every dirty block is already being drained by another worker.
+			pr.work.WaitTimeout(p, pr.p.IdleFlush)
+			continue
+		}
+		pr.draining++
+		bs := int64(pr.BlockSize())
+		nb := int64(len(data)) / bs
+		for i := int64(0); i < nb; i++ {
+			pr.inFlight[blk+i] = true
+		}
+		pr.under.WriteBlocks(p, blk, data)
+		// Only now free the NVRAM space: until the disk write completed the
+		// data had to stay stable. A block rewritten during the disk I/O has
+		// a newer version and must stay dirty for the next drain pass.
+		for i := int64(0); i < nb; i++ {
+			delete(pr.inFlight, blk+i)
+			if b := pr.dirty[blk+i]; b != nil && b.ver == vers[i] {
+				delete(pr.dirty, blk+i)
+				pr.used -= pr.BlockSize()
+			}
+		}
+		pr.draining--
+		pr.space.Broadcast()
+		if len(pr.dirty) == 0 && pr.draining == 0 {
+			pr.flushReq = false
+			pr.clean.Broadcast()
+		}
+	}
+}
+
+// nextCluster picks the next dirty block in an elevator sweep (the lowest
+// dirty block at or above the last drain position, wrapping) and extends
+// it through physically contiguous dirty blocks up to DrainCluster bytes,
+// returning a snapshot of the covered bytes and each block's version at
+// copy time. The sweep keeps hot blocks that are rewritten continuously
+// (an inode block under a write burst) coalescing in NVRAM instead of
+// being re-drained on every pass.
+func (pr *Presto) nextCluster() (int64, []byte, []uint64) {
+	var min int64 = -1
+	var ahead int64 = -1
+	for b := range pr.dirty {
+		if pr.inFlight[b] {
+			continue
+		}
+		if min < 0 || b < min {
+			min = b
+		}
+		if b >= pr.sweepPos && (ahead < 0 || b < ahead) {
+			ahead = b
+		}
+	}
+	if ahead >= 0 {
+		min = ahead
+	}
+	if min < 0 {
+		return 0, nil, nil
+	}
+	bs := pr.BlockSize()
+	maxBlocks := pr.p.DrainCluster / bs
+	if maxBlocks < 1 {
+		maxBlocks = 1
+	}
+	var out []byte
+	var vers []uint64
+	for i := 0; i < maxBlocks; i++ {
+		b := pr.dirty[min+int64(i)]
+		if b == nil || pr.inFlight[min+int64(i)] {
+			break
+		}
+		out = append(out, b.data...)
+		vers = append(vers, b.ver)
+	}
+	pr.sweepPos = min + int64(len(out)/bs)
+	return min, out, vers
+}
+
+// Flush blocks p until every dirty block has been drained to disk. Crash
+// tests use it to model the post-failure NVRAM recovery flush.
+func (pr *Presto) Flush(p *sim.Proc) {
+	for len(pr.dirty) > 0 || pr.draining > 0 {
+		pr.flushReq = true
+		pr.work.Signal()
+		pr.clean.Wait(p)
+	}
+}
+
+// Stop terminates the drainer once the cache is clean (test teardown).
+func (pr *Presto) Stop() {
+	pr.stopped = true
+	pr.work.Broadcast()
+}
+
+// RecoverTo writes every dirty NVRAM block straight to the platters with
+// no simulated time: the battery-backed recovery path after a server
+// crash. It returns the number of blocks flushed.
+func (pr *Presto) RecoverTo(d *disk.Disk) int {
+	n := 0
+	for blk, b := range pr.dirty {
+		d.InjectBlock(blk, b.data)
+		n++
+	}
+	return n
+}

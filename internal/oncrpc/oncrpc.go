@@ -1,0 +1,308 @@
+// Package oncrpc implements the ONC Remote Procedure Call message protocol,
+// version 2 (RFC 1057): call and reply headers, the AUTH_NULL and AUTH_UNIX
+// credential flavors, and accept/reject status handling. It is transport
+// neutral; NFS runs it over UDP datagrams.
+package oncrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// RPCVersion is the only supported RPC protocol version.
+const RPCVersion = 2
+
+// MsgType discriminates calls from replies.
+type MsgType uint32
+
+// Message types.
+const (
+	Call  MsgType = 0
+	Reply MsgType = 1
+)
+
+// AuthFlavor identifies a credential/verifier style.
+type AuthFlavor uint32
+
+// Authentication flavors.
+const (
+	AuthNull AuthFlavor = 0
+	AuthUnix AuthFlavor = 1
+)
+
+// ReplyStat is the top-level reply discriminant.
+type ReplyStat uint32
+
+// Reply statuses.
+const (
+	MsgAccepted ReplyStat = 0
+	MsgDenied   ReplyStat = 1
+)
+
+// AcceptStat describes the fate of an accepted call.
+type AcceptStat uint32
+
+// Accept statuses.
+const (
+	Success      AcceptStat = 0
+	ProgUnavail  AcceptStat = 1
+	ProgMismatch AcceptStat = 2
+	ProcUnavail  AcceptStat = 3
+	GarbageArgs  AcceptStat = 4
+	SystemErr    AcceptStat = 5
+)
+
+// Errors surfaced by the codec.
+var (
+	ErrBadMessage  = errors.New("oncrpc: malformed message")
+	ErrRPCMismatch = errors.New("oncrpc: rpc version mismatch")
+	ErrNotCall     = errors.New("oncrpc: message is not a call")
+	ErrNotReply    = errors.New("oncrpc: message is not a reply")
+)
+
+// OpaqueAuth is a credential or verifier.
+type OpaqueAuth struct {
+	Flavor AuthFlavor
+	Body   []byte
+}
+
+// NullAuth is the empty AUTH_NULL credential.
+func NullAuth() OpaqueAuth { return OpaqueAuth{Flavor: AuthNull} }
+
+// UnixCred is the AUTH_UNIX credential body.
+type UnixCred struct {
+	Stamp       uint32
+	MachineName string
+	UID, GID    uint32
+	GIDs        []uint32
+}
+
+// Encode serializes the credential body.
+func (c *UnixCred) Encode() []byte {
+	e := xdr.NewEncoder(nil)
+	e.Uint32(c.Stamp)
+	e.String(c.MachineName)
+	e.Uint32(c.UID)
+	e.Uint32(c.GID)
+	e.Uint32(uint32(len(c.GIDs)))
+	for _, g := range c.GIDs {
+		e.Uint32(g)
+	}
+	return e.Bytes()
+}
+
+// DecodeUnixCred parses an AUTH_UNIX credential body.
+func DecodeUnixCred(b []byte) (*UnixCred, error) {
+	d := xdr.NewDecoder(b)
+	c := &UnixCred{}
+	var err error
+	if c.Stamp, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if c.MachineName, err = d.String(); err != nil {
+		return nil, err
+	}
+	if c.UID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if c.GID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("%w: %d gids", ErrBadMessage, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		g, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		c.GIDs = append(c.GIDs, g)
+	}
+	return c, nil
+}
+
+// CallMsg is an RPC call header plus procedure arguments.
+type CallMsg struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred OpaqueAuth
+	Verf OpaqueAuth
+	Args []byte // procedure-specific, already XDR encoded
+}
+
+// Encode serializes the call to wire format.
+func (c *CallMsg) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 40+len(c.Args)))
+	e.Uint32(c.XID)
+	e.Uint32(uint32(Call))
+	e.Uint32(RPCVersion)
+	e.Uint32(c.Prog)
+	e.Uint32(c.Vers)
+	e.Uint32(c.Proc)
+	e.Uint32(uint32(c.Cred.Flavor))
+	e.Opaque(c.Cred.Body)
+	e.Uint32(uint32(c.Verf.Flavor))
+	e.Opaque(c.Verf.Body)
+	out := e.Bytes()
+	return append(out, c.Args...)
+}
+
+// DecodeCall parses a call message. The Args field aliases the tail of b.
+func DecodeCall(b []byte) (*CallMsg, error) {
+	d := xdr.NewDecoder(b)
+	c := &CallMsg{}
+	var err error
+	if c.XID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if MsgType(mt) != Call {
+		return nil, ErrNotCall
+	}
+	v, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if v != RPCVersion {
+		return nil, ErrRPCMismatch
+	}
+	if c.Prog, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if c.Vers, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if c.Proc, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	cf, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	c.Cred.Flavor = AuthFlavor(cf)
+	if c.Cred.Body, err = d.Opaque(); err != nil {
+		return nil, err
+	}
+	vf, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	c.Verf.Flavor = AuthFlavor(vf)
+	if c.Verf.Body, err = d.Opaque(); err != nil {
+		return nil, err
+	}
+	c.Args = b[d.Offset():]
+	return c, nil
+}
+
+// ReplyMsg is an accepted or denied RPC reply.
+type ReplyMsg struct {
+	XID     uint32
+	Stat    ReplyStat
+	Verf    OpaqueAuth
+	AccStat AcceptStat
+	// MismatchLow/High are set for ProgMismatch replies.
+	MismatchLow, MismatchHigh uint32
+	Results                   []byte // procedure-specific, already XDR encoded
+}
+
+// AcceptedReply builds a successful reply carrying results.
+func AcceptedReply(xid uint32, results []byte) *ReplyMsg {
+	return &ReplyMsg{XID: xid, Stat: MsgAccepted, AccStat: Success, Verf: NullAuth(), Results: results}
+}
+
+// ErrorReply builds an accepted reply with a non-success status.
+func ErrorReply(xid uint32, st AcceptStat) *ReplyMsg {
+	return &ReplyMsg{XID: xid, Stat: MsgAccepted, AccStat: st, Verf: NullAuth()}
+}
+
+// Encode serializes the reply to wire format.
+func (r *ReplyMsg) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 32+len(r.Results)))
+	e.Uint32(r.XID)
+	e.Uint32(uint32(Reply))
+	e.Uint32(uint32(r.Stat))
+	if r.Stat == MsgDenied {
+		// Only RPC_MISMATCH denial is modelled.
+		e.Uint32(0) // RPC_MISMATCH
+		e.Uint32(RPCVersion)
+		e.Uint32(RPCVersion)
+		return e.Bytes()
+	}
+	e.Uint32(uint32(r.Verf.Flavor))
+	e.Opaque(r.Verf.Body)
+	e.Uint32(uint32(r.AccStat))
+	if r.AccStat == ProgMismatch {
+		e.Uint32(r.MismatchLow)
+		e.Uint32(r.MismatchHigh)
+	}
+	out := e.Bytes()
+	if r.AccStat == Success {
+		out = append(out, r.Results...)
+	}
+	return out
+}
+
+// DecodeReply parses a reply message. Results aliases the tail of b.
+func DecodeReply(b []byte) (*ReplyMsg, error) {
+	d := xdr.NewDecoder(b)
+	r := &ReplyMsg{}
+	var err error
+	if r.XID, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if MsgType(mt) != Reply {
+		return nil, ErrNotReply
+	}
+	st, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r.Stat = ReplyStat(st)
+	if r.Stat == MsgDenied {
+		return r, nil
+	}
+	if r.Stat != MsgAccepted {
+		return nil, fmt.Errorf("%w: reply stat %d", ErrBadMessage, st)
+	}
+	vf, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r.Verf.Flavor = AuthFlavor(vf)
+	if r.Verf.Body, err = d.Opaque(); err != nil {
+		return nil, err
+	}
+	as, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	r.AccStat = AcceptStat(as)
+	switch r.AccStat {
+	case ProgMismatch:
+		if r.MismatchLow, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if r.MismatchHigh, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	case Success:
+		r.Results = b[d.Offset():]
+	}
+	return r, nil
+}

@@ -1,0 +1,164 @@
+package oncrpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	cred := &UnixCred{Stamp: 99, MachineName: "client1", UID: 1000, GID: 100, GIDs: []uint32{100, 20}}
+	c := &CallMsg{
+		XID:  0xdeadbeef,
+		Prog: 100003,
+		Vers: 2,
+		Proc: 8,
+		Cred: OpaqueAuth{Flavor: AuthUnix, Body: cred.Encode()},
+		Verf: NullAuth(),
+		Args: []byte{1, 2, 3, 4},
+	}
+	b := c.Encode()
+	got, err := DecodeCall(b)
+	if err != nil {
+		t.Fatalf("DecodeCall: %v", err)
+	}
+	if got.XID != c.XID || got.Prog != c.Prog || got.Vers != c.Vers || got.Proc != c.Proc {
+		t.Fatalf("header mismatch: %+v vs %+v", got, c)
+	}
+	if got.Cred.Flavor != AuthUnix {
+		t.Fatalf("cred flavor = %v", got.Cred.Flavor)
+	}
+	if !bytes.Equal(got.Args, c.Args) {
+		t.Fatalf("args = %v, want %v", got.Args, c.Args)
+	}
+	dc, err := DecodeUnixCred(got.Cred.Body)
+	if err != nil {
+		t.Fatalf("DecodeUnixCred: %v", err)
+	}
+	if dc.MachineName != "client1" || dc.UID != 1000 || len(dc.GIDs) != 2 {
+		t.Fatalf("cred = %+v", dc)
+	}
+}
+
+func TestReplyRoundTripSuccess(t *testing.T) {
+	r := AcceptedReply(42, []byte{9, 8, 7, 6})
+	b := r.Encode()
+	got, err := DecodeReply(b)
+	if err != nil {
+		t.Fatalf("DecodeReply: %v", err)
+	}
+	if got.XID != 42 || got.Stat != MsgAccepted || got.AccStat != Success {
+		t.Fatalf("reply = %+v", got)
+	}
+	if !bytes.Equal(got.Results, []byte{9, 8, 7, 6}) {
+		t.Fatalf("results = %v", got.Results)
+	}
+}
+
+func TestReplyErrorStatuses(t *testing.T) {
+	for _, st := range []AcceptStat{ProgUnavail, ProcUnavail, GarbageArgs, SystemErr} {
+		r := ErrorReply(7, st)
+		got, err := DecodeReply(r.Encode())
+		if err != nil {
+			t.Fatalf("DecodeReply(%v): %v", st, err)
+		}
+		if got.AccStat != st {
+			t.Fatalf("AccStat = %v, want %v", got.AccStat, st)
+		}
+		if len(got.Results) != 0 {
+			t.Fatalf("error reply carried results")
+		}
+	}
+}
+
+func TestReplyProgMismatch(t *testing.T) {
+	r := &ReplyMsg{XID: 1, Stat: MsgAccepted, AccStat: ProgMismatch, Verf: NullAuth(), MismatchLow: 2, MismatchHigh: 3}
+	got, err := DecodeReply(r.Encode())
+	if err != nil {
+		t.Fatalf("DecodeReply: %v", err)
+	}
+	if got.MismatchLow != 2 || got.MismatchHigh != 3 {
+		t.Fatalf("mismatch range = %d..%d", got.MismatchLow, got.MismatchHigh)
+	}
+}
+
+func TestReplyDenied(t *testing.T) {
+	r := &ReplyMsg{XID: 5, Stat: MsgDenied}
+	got, err := DecodeReply(r.Encode())
+	if err != nil {
+		t.Fatalf("DecodeReply: %v", err)
+	}
+	if got.Stat != MsgDenied {
+		t.Fatalf("Stat = %v", got.Stat)
+	}
+}
+
+func TestDecodeCallRejectsReply(t *testing.T) {
+	r := AcceptedReply(1, nil)
+	if _, err := DecodeCall(r.Encode()); !errors.Is(err, ErrNotCall) {
+		t.Fatalf("DecodeCall(reply) = %v, want ErrNotCall", err)
+	}
+}
+
+func TestDecodeReplyRejectsCall(t *testing.T) {
+	c := &CallMsg{XID: 1, Cred: NullAuth(), Verf: NullAuth()}
+	if _, err := DecodeReply(c.Encode()); !errors.Is(err, ErrNotReply) {
+		t.Fatalf("DecodeReply(call) = %v, want ErrNotReply", err)
+	}
+}
+
+func TestDecodeCallRejectsBadRPCVersion(t *testing.T) {
+	c := &CallMsg{XID: 1, Cred: NullAuth(), Verf: NullAuth()}
+	b := c.Encode()
+	b[11] = 3 // rpcvers field low byte
+	if _, err := DecodeCall(b); !errors.Is(err, ErrRPCMismatch) {
+		t.Fatalf("bad rpcvers: %v, want ErrRPCMismatch", err)
+	}
+}
+
+func TestDecodeCallTruncated(t *testing.T) {
+	c := &CallMsg{XID: 1, Cred: NullAuth(), Verf: NullAuth(), Args: []byte{1}}
+	b := c.Encode()
+	for n := 0; n < len(b)-1; n += 3 {
+		if _, err := DecodeCall(b[:n]); err == nil {
+			t.Fatalf("DecodeCall accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestUnixCredRejectsTooManyGids(t *testing.T) {
+	c := &UnixCred{GIDs: make([]uint32, 17)}
+	if _, err := DecodeUnixCred(c.Encode()); err == nil {
+		t.Fatal("DecodeUnixCred accepted 17 gids")
+	}
+}
+
+func TestQuickCallRoundTrip(t *testing.T) {
+	f := func(xid, prog, vers, proc uint32, args []byte) bool {
+		if len(args) > 8192 {
+			args = args[:8192]
+		}
+		c := &CallMsg{XID: xid, Prog: prog, Vers: vers, Proc: proc, Cred: NullAuth(), Verf: NullAuth(), Args: args}
+		got, err := DecodeCall(c.Encode())
+		return err == nil && got.XID == xid && got.Prog == prog &&
+			got.Vers == vers && got.Proc == proc && bytes.Equal(got.Args, args)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReplyRoundTrip(t *testing.T) {
+	f := func(xid uint32, results []byte) bool {
+		if len(results) > 8192 {
+			results = results[:8192]
+		}
+		r := AcceptedReply(xid, results)
+		got, err := DecodeReply(r.Encode())
+		return err == nil && got.XID == xid && bytes.Equal(got.Results, results)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

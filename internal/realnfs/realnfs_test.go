@@ -1,0 +1,155 @@
+package realnfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nfsproto"
+)
+
+// pair starts a server on loopback and dials a client.
+func pair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestNullRPC(t *testing.T) {
+	_, cli := pair(t)
+	res, err := cli.Call(nfsproto.ProcNull, nil)
+	if err != nil {
+		t.Fatalf("NULL: %v", err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("NULL results = %v", res)
+	}
+}
+
+func TestCreateWriteReadOverUDP(t *testing.T) {
+	srv, cli := pair(t)
+	root := srv.RootFH()
+	res, err := cli.Call(nfsproto.ProcCreate, (&nfsproto.CreateArgs{
+		Where: nfsproto.DirOpArgs{Dir: root, Name: "wire.bin"},
+		Attr:  nfsproto.DefaultSAttr(0644),
+	}).Encode())
+	if err != nil {
+		t.Fatalf("CREATE: %v", err)
+	}
+	dres, err := nfsproto.DecodeDirOpRes(res)
+	if err != nil || dres.Status != nfsproto.OK {
+		t.Fatalf("CREATE: %v %v", err, dres)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 8192)
+	res, err = cli.Call(nfsproto.ProcWrite, (&nfsproto.WriteArgs{
+		File: dres.File, Offset: 0, Data: payload,
+	}).Encode())
+	if err != nil {
+		t.Fatalf("WRITE: %v", err)
+	}
+	as, err := nfsproto.DecodeAttrStat(res)
+	if err != nil || as.Status != nfsproto.OK || as.Attr.Size != 8192 {
+		t.Fatalf("WRITE: %v %v", err, as)
+	}
+	res, err = cli.Call(nfsproto.ProcRead, (&nfsproto.ReadArgs{
+		File: dres.File, Offset: 0, Count: 8192,
+	}).Encode())
+	if err != nil {
+		t.Fatalf("READ: %v", err)
+	}
+	rr, err := nfsproto.DecodeReadRes(res)
+	if err != nil || rr.Status != nfsproto.OK {
+		t.Fatalf("READ: %v %v", err, rr)
+	}
+	if !bytes.Equal(rr.Data, payload) {
+		t.Fatal("payload mismatch over real UDP")
+	}
+}
+
+func TestLookupAndGetattr(t *testing.T) {
+	srv, cli := pair(t)
+	root := srv.RootFH()
+	cli.Call(nfsproto.ProcCreate, (&nfsproto.CreateArgs{
+		Where: nfsproto.DirOpArgs{Dir: root, Name: "x"},
+		Attr:  nfsproto.DefaultSAttr(0644),
+	}).Encode())
+	res, err := cli.Call(nfsproto.ProcLookup, (&nfsproto.DirOpArgs{Dir: root, Name: "x"}).Encode())
+	if err != nil {
+		t.Fatalf("LOOKUP: %v", err)
+	}
+	dres, err := nfsproto.DecodeDirOpRes(res)
+	if err != nil || dres.Status != nfsproto.OK {
+		t.Fatalf("LOOKUP: %v %v", err, dres)
+	}
+	res, err = cli.Call(nfsproto.ProcGetattr, (&nfsproto.FHArgs{File: dres.File}).Encode())
+	if err != nil {
+		t.Fatalf("GETATTR: %v", err)
+	}
+	as, err := nfsproto.DecodeAttrStat(res)
+	if err != nil || as.Status != nfsproto.OK || as.Attr.Type != nfsproto.TypeReg {
+		t.Fatalf("GETATTR: %v %v", err, as)
+	}
+}
+
+func TestLookupMissingReturnsNoEnt(t *testing.T) {
+	srv, cli := pair(t)
+	res, err := cli.Call(nfsproto.ProcLookup, (&nfsproto.DirOpArgs{Dir: srv.RootFH(), Name: "ghost"}).Encode())
+	if err != nil {
+		t.Fatalf("LOOKUP: %v", err)
+	}
+	dres, err := nfsproto.DecodeDirOpRes(res)
+	if err != nil || dres.Status != nfsproto.ErrNoEnt {
+		t.Fatalf("LOOKUP ghost: %v %v", err, dres)
+	}
+}
+
+func TestRemoveAndReaddir(t *testing.T) {
+	srv, cli := pair(t)
+	root := srv.RootFH()
+	for _, n := range []string{"a", "b"} {
+		cli.Call(nfsproto.ProcCreate, (&nfsproto.CreateArgs{
+			Where: nfsproto.DirOpArgs{Dir: root, Name: n},
+			Attr:  nfsproto.DefaultSAttr(0644),
+		}).Encode())
+	}
+	res, err := cli.Call(nfsproto.ProcRemove, (&nfsproto.DirOpArgs{Dir: root, Name: "a"}).Encode())
+	if err != nil {
+		t.Fatalf("REMOVE: %v", err)
+	}
+	sres, _ := nfsproto.DecodeStatusRes(res)
+	if sres.Status != nfsproto.OK {
+		t.Fatalf("REMOVE: %v", sres.Status)
+	}
+	res, err = cli.Call(nfsproto.ProcReaddir, (&nfsproto.ReaddirArgs{Dir: root, Count: 1024}).Encode())
+	if err != nil {
+		t.Fatalf("READDIR: %v", err)
+	}
+	lr, err := nfsproto.DecodeReaddirRes(res)
+	if err != nil || lr.Status != nfsproto.OK {
+		t.Fatalf("READDIR: %v %v", err, lr)
+	}
+	if len(lr.Entries) != 1 || lr.Entries[0].Name != "b" {
+		t.Fatalf("entries = %+v", lr.Entries)
+	}
+}
+
+func TestStatfsOverUDP(t *testing.T) {
+	srv, cli := pair(t)
+	res, err := cli.Call(nfsproto.ProcStatfs, (&nfsproto.FHArgs{File: srv.RootFH()}).Encode())
+	if err != nil {
+		t.Fatalf("STATFS: %v", err)
+	}
+	sr, err := nfsproto.DecodeStatfsRes(res)
+	if err != nil || sr.Status != nfsproto.OK || sr.BSize != 8192 {
+		t.Fatalf("STATFS: %v %+v", err, sr)
+	}
+}

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/oncrpc"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// nfsd is one server daemon: it drains the socket buffer forever,
+// processing one request at a time (§4.2).
+func (s *Server) nfsd(p *sim.Proc, id int) {
+	for {
+		dg := s.ep.Inbox.Get(p)
+		s.handle(p, id, dg)
+	}
+}
+
+// parsedCall is the memoized decode of a queued datagram, shared between
+// the dispatch path and the mbuf hunter.
+type parsedCall struct {
+	call  *oncrpc.CallMsg
+	proc  nfsproto.Proc
+	write *nfsproto.WriteArgs // non-nil for WRITE calls
+	bad   bool
+}
+
+// peek decodes a datagram once, caching the result on the datagram.
+func (s *Server) peek(dg *netsim.Datagram) *parsedCall {
+	if pc, ok := dg.Parsed.(*parsedCall); ok {
+		return pc
+	}
+	pc := &parsedCall{}
+	call, err := oncrpc.DecodeCall(dg.Payload)
+	if err != nil {
+		pc.bad = true
+	} else {
+		pc.call = call
+		pc.proc = nfsproto.Proc(call.Proc)
+		if pc.proc == nfsproto.ProcWrite {
+			if wa, err := nfsproto.DecodeWriteArgs(call.Args); err == nil {
+				pc.write = wa
+			} else {
+				pc.bad = true
+			}
+		}
+	}
+	dg.Parsed = pc
+	return pc
+}
+
+// hunt is the mbuf hunter (§6.5): scan the socket buffer for another WRITE
+// to the same file, skipping retransmissions already known to the
+// duplicate cache (§6.9).
+func (s *Server) hunt(ino vfs.Ino) bool {
+	_, found := s.ep.Inbox.Scan(func(dg *netsim.Datagram) bool {
+		pc := s.peek(dg)
+		if pc.bad || pc.write == nil {
+			return false
+		}
+		if vfs.Ino(pc.write.File.Ino()) != ino {
+			return false
+		}
+		return !s.dup.contains(dupKey{client: dg.From, xid: pc.call.XID})
+	}, false)
+	return found
+}
+
+// handle processes one datagram on nfsd id.
+func (s *Server) handle(p *sim.Proc, id int, dg *netsim.Datagram) {
+	costs := &s.cfg.Costs
+	// Packet input processing: one charge per link fragment, plus
+	// dequeue/RPC decode/dispatch.
+	s.charge(p, sim.Duration(dg.Frags)*costs.PerFragment+costs.RPCDispatch)
+
+	pc := s.peek(dg)
+	if pc.bad {
+		s.BadCalls++
+		return
+	}
+	call := pc.call
+	if call.Prog != nfsproto.Program || call.Vers != nfsproto.Version {
+		s.sendRaw(p, dg.From, oncrpc.ErrorReply(call.XID, oncrpc.ProgUnavail).Encode())
+		return
+	}
+
+	k := dupKey{client: dg.From, xid: call.XID}
+	if e, isDup := s.dup.begin(k); isDup {
+		switch e.state {
+		case dupInProgress:
+			// Drop the retransmission — but if this was a write whose
+			// gather is now orphaned (its promised follower was this very
+			// duplicate), adopt it (§6.9).
+			s.DupDrops++
+			if s.engine != nil && pc.write != nil {
+				s.engine.AdoptOrphan(p, id, vfs.Ino(pc.write.File.Ino()))
+			}
+			return
+		case dupDone:
+			s.DupResends++
+			s.sendRaw(p, dg.From, e.reply)
+			return
+		}
+	}
+
+	switch pc.proc {
+	case nfsproto.ProcNull:
+		s.reply(p, k, []byte{})
+		s.count(pc.proc, 0)
+	case nfsproto.ProcGetattr:
+		s.doGetattr(p, k, call)
+	case nfsproto.ProcSetattr:
+		s.doSetattr(p, k, call)
+	case nfsproto.ProcLookup:
+		s.doLookup(p, k, call)
+	case nfsproto.ProcRead:
+		s.doRead(p, k, call)
+	case nfsproto.ProcWrite:
+		s.doWrite(p, id, k, pc)
+	case nfsproto.ProcCreate:
+		s.doCreate(p, k, call, false)
+	case nfsproto.ProcMkdir:
+		s.doCreate(p, k, call, true)
+	case nfsproto.ProcRemove:
+		s.doRemove(p, k, call, false)
+	case nfsproto.ProcRmdir:
+		s.doRemove(p, k, call, true)
+	case nfsproto.ProcRename:
+		s.doRename(p, k, call)
+	case nfsproto.ProcReaddir:
+		s.doReaddir(p, k, call)
+	case nfsproto.ProcStatfs:
+		s.doStatfs(p, k, call)
+	default:
+		s.dup.forget(k)
+		s.sendRaw(p, dg.From, oncrpc.ErrorReply(call.XID, oncrpc.ProcUnavail).Encode())
+	}
+}
+
+// reply encodes, records and transmits a successful RPC reply.
+func (s *Server) reply(p *sim.Proc, k dupKey, results []byte) {
+	raw := oncrpc.AcceptedReply(k.xid, results).Encode()
+	s.dup.done(k, raw)
+	s.sendRaw(p, k.client, raw)
+}
+
+func (s *Server) sendRaw(p *sim.Proc, to string, raw []byte) {
+	s.charge(p, s.cfg.Costs.ReplySend)
+	s.net.Send(p, s.cfg.Name, to, raw)
+	s.RepliesSent++
+}
+
+// timeVal converts virtual time to an NFS timeval.
+func timeVal(t sim.Time) nfsproto.TimeVal {
+	us := int64(t)
+	return nfsproto.TimeVal{Sec: uint32(us / 1_000_000), USec: uint32(us % 1_000_000)}
+}
+
+// fattrOf converts vfs attributes for a handle into the wire form.
+func fattrOf(fh nfsproto.FH, a vfs.Attr) nfsproto.FAttr {
+	ft := nfsproto.TypeReg
+	mode := a.Mode | 0o100000
+	if a.Type == vfs.TypeDir {
+		ft = nfsproto.TypeDir
+		mode = a.Mode | 0o040000
+	}
+	return nfsproto.FAttr{
+		Type: ft, Mode: mode, NLink: a.NLink, UID: a.UID, GID: a.GID,
+		Size: a.Size, BlockSize: 8192, Blocks: a.Blocks, FSID: fh.FSID(),
+		FileID: uint32(fh.Ino()),
+		ATime:  timeVal(a.ATime), MTime: timeVal(a.MTime), CTime: timeVal(a.CTime),
+	}
+}
+
+// errStatus maps filesystem errors to NFS statuses.
+func errStatus(err error) nfsproto.Status {
+	switch err {
+	case nil:
+		return nfsproto.OK
+	case vfs.ErrNoEnt:
+		return nfsproto.ErrNoEnt
+	case vfs.ErrExist:
+		return nfsproto.ErrExist
+	case vfs.ErrNotDir:
+		return nfsproto.ErrNotDir
+	case vfs.ErrIsDir:
+		return nfsproto.ErrIsDir
+	case vfs.ErrNotEmpty:
+		return nfsproto.ErrNotEmpty
+	case vfs.ErrNoSpace:
+		return nfsproto.ErrNoSpc
+	case vfs.ErrStale:
+		return nfsproto.ErrStale
+	case vfs.ErrFBig:
+		return nfsproto.ErrFBig
+	default:
+		return nfsproto.ErrIO
+	}
+}
+
+// handleFor builds the wire file handle for an inode.
+func (s *Server) handleFor(p *sim.Proc, ino vfs.Ino) (nfsproto.FH, vfs.Attr, error) {
+	a, err := s.fs.GetAttr(p, ino)
+	if err != nil {
+		return nfsproto.FH{}, a, err
+	}
+	return nfsproto.NewFH(s.fs.FSID(), uint64(ino), a.Gen), a, nil
+}
+
+// RootFH returns the exported root file handle (what MOUNT would hand out).
+func (s *Server) RootFH() nfsproto.FH {
+	return nfsproto.NewFH(s.fs.FSID(), uint64(s.fs.Root()), 0)
+}
+
+func (s *Server) doGetattr(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.LookupPath/2)
+	args, err := nfsproto.DecodeFHArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	res := &nfsproto.AttrStat{}
+	if a, gerr := s.fs.GetAttr(p, vfs.Ino(args.File.Ino())); gerr != nil {
+		res.Status = errStatus(gerr)
+	} else {
+		res.Attr = fattrOf(args.File, a)
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcGetattr, 0)
+}
+
+func (s *Server) doSetattr(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.MetaUpdate)
+	args, err := nfsproto.DecodeSetattrArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	sa := vfs.SetAttr{}
+	if args.Attr.Mode != nfsproto.NoValue {
+		m := args.Attr.Mode
+		sa.Mode = &m
+	}
+	if args.Attr.UID != nfsproto.NoValue {
+		u := args.Attr.UID
+		sa.UID = &u
+	}
+	if args.Attr.GID != nfsproto.NoValue {
+		g := args.Attr.GID
+		sa.GID = &g
+	}
+	if args.Attr.Size != nfsproto.NoValue {
+		z := args.Attr.Size
+		sa.Size = &z
+	}
+	res := &nfsproto.AttrStat{}
+	if a, serr := s.fs.SetAttrs(p, vfs.Ino(args.File.Ino()), sa); serr != nil {
+		res.Status = errStatus(serr)
+	} else {
+		res.Attr = fattrOf(args.File, a)
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcSetattr, 0)
+}
+
+func (s *Server) doLookup(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.LookupPath)
+	args, err := nfsproto.DecodeDirOpArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	res := &nfsproto.DirOpRes{}
+	ino, lerr := s.fs.Lookup(p, vfs.Ino(args.Dir.Ino()), args.Name)
+	if lerr != nil {
+		res.Status = errStatus(lerr)
+	} else if fh, a, herr := s.handleFor(p, ino); herr != nil {
+		res.Status = errStatus(herr)
+	} else {
+		res.File = fh
+		res.Attr = fattrOf(fh, a)
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcLookup, 0)
+}
+
+func (s *Server) doRead(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.ReadPath)
+	args, err := nfsproto.DecodeReadArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	count := args.Count
+	if count > nfsproto.MaxData {
+		count = nfsproto.MaxData
+	}
+	buf := make([]byte, count)
+	ino := vfs.Ino(args.File.Ino())
+	res := &nfsproto.ReadRes{}
+	n, rerr := s.fs.Read(p, ino, args.Offset, buf)
+	if rerr != nil {
+		res.Status = errStatus(rerr)
+	} else {
+		a, _ := s.fs.GetAttr(p, ino)
+		res.Attr = fattrOf(args.File, a)
+		res.Data = buf[:n]
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcRead, n)
+}
+
+// doWrite is the server write layer: the standard fully synchronous path,
+// or the gathering path when enabled.
+func (s *Server) doWrite(p *sim.Proc, id int, k dupKey, pc *parsedCall) {
+	args := pc.write
+	ino := vfs.Ino(args.File.Ino())
+	s.charge(p, s.cfg.Costs.VopWriteData)
+
+	if s.engine == nil {
+		// Standard server: VOP_WRITE with IO_SYNC commits data and
+		// metadata before the reply, serialized on the vnode lock as the
+		// reference port does.
+		s.locks.Lock(p, ino)
+		err := s.fs.Write(p, ino, args.Offset, args.Data, vfs.IOSync)
+		s.locks.Unlock(ino)
+		s.writeReply(p, k, args, ino, err == nil, err)
+		return
+	}
+
+	// Gathering server (§6.8). The reply is detached into the descriptor;
+	// whichever nfsd becomes the metadata writer sends it.
+	s.charge(p, s.cfg.Costs.GatherCheck)
+	d := &core.WriteDesc{
+		Ino:     ino,
+		Offset:  args.Offset,
+		Length:  uint32(len(args.Data)),
+		Arrived: s.sim.Now(),
+		Send: func(p *sim.Proc, ok bool) {
+			s.writeReply(p, k, args, ino, ok, nil)
+		},
+	}
+	// Errors are reported through Send(ok=false); nothing more to do here.
+	_ = s.engine.HandleWrite(p, id, d, args.Data)
+}
+
+// writeReply builds and sends a WRITE reply, auditing it when configured.
+func (s *Server) writeReply(p *sim.Proc, k dupKey, args *nfsproto.WriteArgs, ino vfs.Ino, ok bool, err error) {
+	res := &nfsproto.AttrStat{}
+	if !ok || err != nil {
+		if err == nil {
+			err = vfs.ErrNoSpace
+		}
+		res.Status = errStatus(err)
+	} else {
+		a, gerr := s.fs.GetAttr(p, ino)
+		if gerr != nil {
+			res.Status = errStatus(gerr)
+		} else {
+			res.Attr = fattrOf(args.File, a)
+		}
+	}
+	if res.Status == nfsproto.OK && s.cfg.RecordReplies {
+		s.ReplyLog = append(s.ReplyLog, ReplyRecord{
+			Client: k.client, XID: k.xid, Ino: ino,
+			Offset: args.Offset, Length: uint32(len(args.Data)), When: s.sim.Now(),
+		})
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcWrite, len(args.Data))
+}
+
+func (s *Server) doCreate(p *sim.Proc, k dupKey, call *oncrpc.CallMsg, dir bool) {
+	s.charge(p, s.cfg.Costs.VopWriteData)
+	args, err := nfsproto.DecodeCreateArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	mode := args.Attr.Mode
+	if mode == nfsproto.NoValue {
+		mode = 0644
+	}
+	var ino vfs.Ino
+	var cerr error
+	if dir {
+		ino, cerr = s.fs.Mkdir(p, vfs.Ino(args.Where.Dir.Ino()), args.Where.Name, mode)
+	} else {
+		ino, cerr = s.fs.Create(p, vfs.Ino(args.Where.Dir.Ino()), args.Where.Name, mode)
+	}
+	res := &nfsproto.DirOpRes{}
+	if cerr != nil {
+		res.Status = errStatus(cerr)
+	} else if fh, a, herr := s.handleFor(p, ino); herr != nil {
+		res.Status = errStatus(herr)
+	} else {
+		res.File = fh
+		res.Attr = fattrOf(fh, a)
+	}
+	s.reply(p, k, res.Encode())
+	if dir {
+		s.count(nfsproto.ProcMkdir, 0)
+	} else {
+		s.count(nfsproto.ProcCreate, 0)
+	}
+}
+
+func (s *Server) doRemove(p *sim.Proc, k dupKey, call *oncrpc.CallMsg, dir bool) {
+	s.charge(p, s.cfg.Costs.VopWriteData)
+	args, err := nfsproto.DecodeDirOpArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	var rerr error
+	if dir {
+		rerr = s.fs.Rmdir(p, vfs.Ino(args.Dir.Ino()), args.Name)
+	} else {
+		rerr = s.fs.Remove(p, vfs.Ino(args.Dir.Ino()), args.Name)
+	}
+	res := &nfsproto.StatusRes{Status: errStatus(rerr)}
+	s.reply(p, k, res.Encode())
+	if dir {
+		s.count(nfsproto.ProcRmdir, 0)
+	} else {
+		s.count(nfsproto.ProcRemove, 0)
+	}
+}
+
+func (s *Server) doRename(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.VopWriteData)
+	args, err := nfsproto.DecodeRenameArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	rerr := s.fs.Rename(p,
+		vfs.Ino(args.From.Dir.Ino()), args.From.Name,
+		vfs.Ino(args.To.Dir.Ino()), args.To.Name)
+	res := &nfsproto.StatusRes{Status: errStatus(rerr)}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcRename, 0)
+}
+
+func (s *Server) doReaddir(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.ReadPath)
+	args, err := nfsproto.DecodeReaddirArgs(call.Args)
+	if err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	res := &nfsproto.ReaddirRes{}
+	ents, eof, rerr := s.fs.Readdir(p, vfs.Ino(args.Dir.Ino()), args.Cookie, int(args.Count))
+	if rerr != nil {
+		res.Status = errStatus(rerr)
+	} else {
+		res.EOF = eof
+		for _, e := range ents {
+			res.Entries = append(res.Entries, nfsproto.DirEntry{
+				FileID: uint32(e.Ino), Name: e.Name, Cookie: e.Cookie,
+			})
+		}
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcReaddir, 0)
+}
+
+func (s *Server) doStatfs(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
+	s.charge(p, s.cfg.Costs.LookupPath/2)
+	if _, err := nfsproto.DecodeFHArgs(call.Args); err != nil {
+		s.dup.forget(k)
+		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
+		return
+	}
+	bs, blocks, free := s.fs.Statfs(p)
+	res := &nfsproto.StatfsRes{
+		Status: nfsproto.OK, TSize: 8192, BSize: uint32(bs),
+		Blocks: uint32(blocks), BFree: uint32(free), BAvail: uint32(free),
+	}
+	s.reply(p, k, res.Encode())
+	s.count(nfsproto.ProcStatfs, 0)
+}

@@ -1,0 +1,87 @@
+package server
+
+// dupCache is the duplicate request cache (Juszczak 1989): retransmitted
+// requests whose originals are still in progress are dropped; ones whose
+// replies were already sent get the cached reply resent, avoiding
+// re-execution of non-idempotent operations.
+
+type dupKey struct {
+	client string
+	xid    uint32
+}
+
+type dupState int
+
+const (
+	dupInProgress dupState = iota
+	dupDone
+)
+
+type dupEntry struct {
+	state dupState
+	reply []byte
+}
+
+type dupCache struct {
+	cap     int
+	entries map[dupKey]*dupEntry
+	order   []dupKey
+}
+
+func newDupCache(cap int) *dupCache {
+	return &dupCache{cap: cap, entries: make(map[dupKey]*dupEntry)}
+}
+
+// begin registers a request as in progress. It returns (entry, true) when
+// the key was already present — i.e. the incoming request is a duplicate.
+func (c *dupCache) begin(k dupKey) (*dupEntry, bool) {
+	if e, ok := c.entries[k]; ok {
+		return e, true
+	}
+	e := &dupEntry{state: dupInProgress}
+	c.entries[k] = e
+	c.order = append(c.order, k)
+	c.evict()
+	return e, false
+}
+
+// done records the reply bytes for later resends.
+func (c *dupCache) done(k dupKey, reply []byte) {
+	if e, ok := c.entries[k]; ok {
+		e.state = dupDone
+		e.reply = reply
+	}
+}
+
+// forget removes a key (used when a request errors before any reply state
+// should be retained).
+func (c *dupCache) forget(k dupKey) {
+	if _, ok := c.entries[k]; ok {
+		delete(c.entries, k)
+	}
+}
+
+// contains reports whether the key is known (in progress or done); the
+// mbuf hunter uses it to avoid counting duplicates as gatherable writes.
+func (c *dupCache) contains(k dupKey) bool {
+	_, ok := c.entries[k]
+	return ok
+}
+
+func (c *dupCache) evict() {
+	// Never evict in-progress entries: that could double-execute a write.
+	// Rotate them to the back instead — but scan at most one full pass so
+	// a cache of nothing-but-in-progress entries (more outstanding
+	// requests than cap) overflows gracefully instead of spinning.
+	scanned := 0
+	for len(c.order) > c.cap && scanned < len(c.order) {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if e, ok := c.entries[victim]; ok && e.state == dupInProgress {
+			c.order = append(c.order, victim)
+			scanned++
+			continue
+		}
+		delete(c.entries, victim)
+	}
+}

@@ -1,0 +1,223 @@
+// Package server implements the NFS server: a pool of nfsd processes
+// draining a socket buffer, ONC RPC dispatch, a duplicate request cache,
+// the standard fully-synchronous write path, and (optionally) the write
+// gathering path provided by internal/core. CPU time is charged against a
+// single CPU resource according to the hw.CPUParams cost table, which is
+// what the paper's "server cpu util (%)" rows measure.
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/nvram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ufs"
+	"repro/internal/vfs"
+)
+
+// DefaultSockBuf is the server socket buffer bound: "DEC OSF/1 currently
+// uses a maximum of .25M for socket buffering" (§9).
+const DefaultSockBuf = 256 * 1024
+
+// Config selects the server build.
+type Config struct {
+	// Name is the network endpoint name.
+	Name string
+	// NumNfsds is the daemon pool size (the paper's experiments use 8 for
+	// file copies and 32 for LADDIS).
+	NumNfsds int
+	// Gathering enables the write gathering engine.
+	Gathering bool
+	// Gather is the engine policy (used when Gathering).
+	Gather core.Config
+	// Costs is the CPU cost table.
+	Costs hw.CPUParams
+	// Accelerated marks the filesystem's device as NVRAM-accelerated; the
+	// server write layer queries this state and changes policy (§6.3).
+	Accelerated bool
+	// SockBufBytes bounds the receive socket buffer (0 = DefaultSockBuf).
+	SockBufBytes int
+	// DupCacheCap bounds the duplicate request cache entries.
+	DupCacheCap int
+	// RecordReplies keeps a log of every WRITE reply for crash audits.
+	RecordReplies bool
+	// CPU, when non-nil, is the CPU resource to charge; it lets callers
+	// share one resource between the server and device charge wrappers
+	// built before the server. A fresh resource is created otherwise.
+	CPU *sim.Resource
+}
+
+// ReplyRecord is one audited WRITE reply (crash-consistency tests replay
+// these against the remounted filesystem).
+type ReplyRecord struct {
+	Client string
+	XID    uint32
+	Ino    vfs.Ino
+	Offset uint32
+	Length uint32
+	When   sim.Time
+}
+
+// Server is one NFS server instance attached to a network.
+type Server struct {
+	sim *sim.Sim
+	cfg Config
+	fs  *ufs.FS
+	net *netsim.Network
+	ep  *netsim.Endpoint
+	cpu *sim.Resource
+
+	engine *core.Engine
+	locks  *core.VnodeLocks
+	dup    *dupCache
+
+	// Counters the experiments read.
+	OpCounts    map[nfsproto.Proc]*stats.Counter
+	RepliesSent uint64
+	BadCalls    uint64
+	DupDrops    uint64
+	DupResends  uint64
+	ReplyLog    []ReplyRecord
+
+	cpuMark sim.Duration
+}
+
+// New attaches a server to net serving fs. The device stack must already
+// be assembled (including any Presto board and CPU charge wrappers; see
+// NewChargedDevice).
+func New(s *sim.Sim, n *netsim.Network, fs *ufs.FS, cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "server"
+	}
+	if cfg.NumNfsds <= 0 {
+		cfg.NumNfsds = 8
+	}
+	if cfg.SockBufBytes == 0 {
+		cfg.SockBufBytes = DefaultSockBuf
+	}
+	if cfg.DupCacheCap == 0 {
+		cfg.DupCacheCap = 1024
+	}
+	cpu := cfg.CPU
+	if cpu == nil {
+		cpu = sim.NewResource(s, 1)
+	}
+	srv := &Server{
+		sim:      s,
+		cfg:      cfg,
+		fs:       fs,
+		net:      n,
+		ep:       n.Attach(cfg.Name, 0, cfg.SockBufBytes),
+		cpu:      cpu,
+		dup:      newDupCache(cfg.DupCacheCap),
+		OpCounts: make(map[nfsproto.Proc]*stats.Counter),
+	}
+	if cfg.Gathering {
+		srv.engine = core.NewEngine(s, fs, cfg.NumNfsds, cfg.Gather, srv.hunt)
+		srv.locks = srv.engine.Locks()
+	} else {
+		srv.locks = core.NewVnodeLocks(s)
+	}
+	for i := 0; i < cfg.NumNfsds; i++ {
+		id := i
+		s.Spawn("nfsd", func(p *sim.Proc) { srv.nfsd(p, id) })
+	}
+	return srv
+}
+
+// Endpoint returns the server's network endpoint (tests inspect drops).
+func (s *Server) Endpoint() *netsim.Endpoint { return s.ep }
+
+// Engine returns the gathering engine, nil on a standard server.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// FS returns the served filesystem.
+func (s *Server) FS() *ufs.FS { return s.fs }
+
+// CPU returns the server CPU resource.
+func (s *Server) CPU() *sim.Resource { return s.cpu }
+
+// CPUBusy reports accumulated CPU busy time.
+func (s *Server) CPUBusy() sim.Duration { return s.cpu.BusyTime() }
+
+// ResetCPUInterval marks the start of a CPU measurement interval.
+func (s *Server) ResetCPUInterval() { s.cpuMark = s.cpu.BusyTime() }
+
+// CPUPercent reports CPU utilization over [interval start, now].
+func (s *Server) CPUPercent(since sim.Time) float64 {
+	now := s.sim.Now()
+	el := now.Sub(since)
+	if el <= 0 {
+		return 0
+	}
+	return 100 * float64(s.cpu.BusyTime()-s.cpuMark) / float64(el)
+}
+
+// charge consumes d of server CPU on behalf of p.
+func (s *Server) charge(p *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.cpu.Use(p, d)
+}
+
+// count records one completed operation of the given type moving n bytes.
+func (s *Server) count(proc nfsproto.Proc, n int) {
+	c, ok := s.OpCounts[proc]
+	if !ok {
+		c = &stats.Counter{}
+		s.OpCounts[proc] = c
+	}
+	c.Add(n)
+}
+
+// ChargedDevice wraps a disk.Device so that every transaction issued
+// through it charges driver-trip (and, for NVRAM boards, copy) CPU time to
+// the issuing process. Stacking order matters: wrap the raw disk for drain
+// trips, wrap the Presto board for the nfsd-visible costs.
+type ChargedDevice struct {
+	disk.Device
+	cpu *sim.Resource
+	// TripCost is charged per transaction.
+	TripCost sim.Duration
+	// CopyPer8K is charged per 8K written (NVRAM copy cost); zero for raw
+	// disks.
+	CopyPer8K sim.Duration
+	// CopyLimit bounds the size eligible for copy charging (the board's
+	// acceptance limit); larger writes are declined and cost a trip only.
+	CopyLimit int
+}
+
+// NewChargedDevice wraps dev with per-transaction CPU charging.
+func NewChargedDevice(dev disk.Device, cpu *sim.Resource, trip sim.Duration) *ChargedDevice {
+	return &ChargedDevice{Device: dev, cpu: cpu, TripCost: trip}
+}
+
+// NewChargedNVRAM wraps a Presto board with trip + copy charging.
+func NewChargedNVRAM(dev *nvram.Presto, cpu *sim.Resource, trip, copyPer8K sim.Duration, copyLimit int) *ChargedDevice {
+	return &ChargedDevice{Device: dev, cpu: cpu, TripCost: trip, CopyPer8K: copyPer8K, CopyLimit: copyLimit}
+}
+
+// WriteBlocks implements disk.Device.
+func (c *ChargedDevice) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
+	cost := c.TripCost
+	if c.CopyPer8K > 0 && (c.CopyLimit == 0 || len(data) <= c.CopyLimit) {
+		cost += sim.Duration(int64(c.CopyPer8K) * int64(len(data)) / 8192)
+	}
+	if cost > 0 {
+		c.cpu.Use(p, cost)
+	}
+	c.Device.WriteBlocks(p, blk, data)
+}
+
+// ReadBlocks implements disk.Device.
+func (c *ChargedDevice) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
+	if c.TripCost > 0 {
+		c.cpu.Use(p, c.TripCost)
+	}
+	c.Device.ReadBlocks(p, blk, buf)
+}

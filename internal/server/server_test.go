@@ -1,0 +1,497 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/nvram"
+	"repro/internal/oncrpc"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+	"repro/internal/vfs"
+)
+
+// rig is a complete client/server testbed on one network.
+type rig struct {
+	sim    *sim.Sim
+	net    *netsim.Network
+	disk   *disk.Disk
+	presto *nvram.Presto
+	fs     *ufs.FS
+	srv    *Server
+	cli    *client.Client
+}
+
+type rigOpts struct {
+	gathering bool
+	presto    bool
+	biods     int
+	nfsds     int
+	fddi      bool
+	record    bool
+}
+
+func newRig(t *testing.T, seed int64, o rigOpts) *rig {
+	t.Helper()
+	s := sim.New(seed)
+	np := hw.Ethernet()
+	if o.fddi {
+		np = hw.FDDI()
+	}
+	n := netsim.New(s, np)
+	costs := hw.DEC3000CPU()
+
+	r := &rig{sim: s, net: n}
+	r.disk = disk.New(s, hw.RZ26())
+	nfsds := o.nfsds
+	if nfsds == 0 {
+		nfsds = 8
+	}
+	srvCPU := sim.NewResource(s, 1)
+	cfg := Config{
+		NumNfsds:      nfsds,
+		Gathering:     o.gathering,
+		Costs:         costs,
+		Accelerated:   o.presto,
+		RecordReplies: o.record,
+		CPU:           srvCPU,
+	}
+	if o.gathering {
+		cfg.Gather = core.DefaultConfig(o.presto, np.Procrastinate)
+	}
+	var dev disk.Device = NewChargedDevice(r.disk, srvCPU, costs.DriverTrip)
+	if o.presto {
+		r.presto = nvram.New(s, hw.Prestoserve(), dev)
+		dev = NewChargedNVRAM(r.presto, srvCPU, costs.DriverTrip, costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
+	}
+	fs, err := ufs.Format(s, dev, 1, 512)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	r.fs = fs
+	r.srv = New(s, n, fs, cfg)
+	fs.ChargeMeta = func(p *sim.Proc) { r.srv.charge(p, costs.MetaUpdate) }
+	r.cli = client.New(s, n, "client1", "server", hw.DEC3000Client(), o.biods)
+	return r
+}
+
+func TestEndToEndCreateWriteRead(t *testing.T) {
+	r := newRig(t, 1, rigOpts{biods: 4})
+	root := r.srv.RootFH()
+	done := false
+	r.sim.Spawn("app", func(p *sim.Proc) {
+		cres, err := r.cli.Create(p, root, "file.dat", 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			t.Errorf("Create: %v %v", err, cres)
+			return
+		}
+		payload := make([]byte, 8192)
+		client.FillPattern(payload, 0)
+		if err := r.cli.WriteSync(p, cres.File, 0, payload); err != nil {
+			t.Errorf("Write: %v", err)
+			return
+		}
+		rres, err := r.cli.Read(p, cres.File, 0, 8192)
+		if err != nil || rres.Status != nfsproto.OK {
+			t.Errorf("Read: %v %v", err, rres)
+			return
+		}
+		if !bytes.Equal(rres.Data, payload) {
+			t.Error("read-back over the wire mismatch")
+		}
+		done = true
+	})
+	r.sim.Run(0)
+	if !done {
+		t.Fatal("app did not finish")
+	}
+}
+
+func TestEndToEndGatheringWriteRead(t *testing.T) {
+	r := newRig(t, 1, rigOpts{gathering: true, biods: 4, fddi: true})
+	root := r.srv.RootFH()
+	var elapsed sim.Duration
+	r.sim.Spawn("app", func(p *sim.Proc) {
+		cres, err := r.cli.Create(p, root, "big.dat", 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		elapsed, err = r.cli.WriteFile(p, cres.File, 256*1024)
+		if err != nil {
+			t.Errorf("WriteFile: %v", err)
+			return
+		}
+		// Read back a few blocks and verify.
+		for _, off := range []uint32{0, 8192, 31 * 8192} {
+			rres, err := r.cli.Read(p, cres.File, off, 8192)
+			if err != nil || rres.Status != nfsproto.OK {
+				t.Errorf("Read @%d: %v", off, err)
+				return
+			}
+			want := make([]byte, 8192)
+			client.FillPattern(want, off)
+			if !bytes.Equal(rres.Data, want) {
+				t.Errorf("content mismatch at %d", off)
+			}
+		}
+	})
+	r.sim.Run(0)
+	if elapsed == 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+	st := r.srv.Engine().Stats()
+	if st.Writes != 32 {
+		t.Fatalf("engine saw %d writes, want 32", st.Writes)
+	}
+	if st.Gathers == 0 || st.GatheredWrites != 32 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Gathering must have batched several writes per metadata commit.
+	if float64(st.GatheredWrites)/float64(st.Gathers) < 2 {
+		t.Fatalf("mean batch %f < 2", float64(st.GatheredWrites)/float64(st.Gathers))
+	}
+	if r.srv.Engine().PendingReplies() != 0 {
+		t.Fatal("pending replies leaked")
+	}
+}
+
+func TestGatheringReducesDiskTransactions(t *testing.T) {
+	const fileSize = 512 * 1024
+	run := func(gather bool) (uint64, sim.Duration) {
+		r := newRig(t, 7, rigOpts{gathering: gather, biods: 7, fddi: true})
+		root := r.srv.RootFH()
+		var elapsed sim.Duration
+		r.sim.Spawn("app", func(p *sim.Proc) {
+			cres, _ := r.cli.Create(p, root, "f", 0644)
+			elapsed, _ = r.cli.WriteFile(p, cres.File, fileSize)
+		})
+		r.sim.Run(0)
+		return r.disk.Stats().Trans(), elapsed
+	}
+	transStd, elStd := run(false)
+	transGather, elGather := run(true)
+	if transGather >= transStd {
+		t.Fatalf("gathering did not reduce disk transactions: %d vs %d", transGather, transStd)
+	}
+	// With 7 biods the paper reports large gains; insist on at least 2x
+	// fewer transactions and faster completion.
+	if transStd < 2*transGather {
+		t.Fatalf("expected >=2x transaction reduction: std=%d gather=%d", transStd, transGather)
+	}
+	if elGather >= elStd {
+		t.Fatalf("gathering slower: %v vs %v", elGather, elStd)
+	}
+}
+
+func TestZeroBiodPenalty(t *testing.T) {
+	// §6.10: single-threaded clients lose with gathering (added latency,
+	// no gain).
+	const fileSize = 256 * 1024
+	run := func(gather bool) sim.Duration {
+		r := newRig(t, 3, rigOpts{gathering: gather, biods: 0})
+		root := r.srv.RootFH()
+		var elapsed sim.Duration
+		r.sim.Spawn("app", func(p *sim.Proc) {
+			cres, _ := r.cli.Create(p, root, "f", 0644)
+			elapsed, _ = r.cli.WriteFile(p, cres.File, fileSize)
+		})
+		r.sim.Run(0)
+		return elapsed
+	}
+	std := run(false)
+	gather := run(true)
+	if gather <= std {
+		t.Fatalf("0-biod gathering should be slower: std=%v gather=%v", std, gather)
+	}
+	loss := float64(gather-std) / float64(std)
+	if loss > 0.6 {
+		t.Fatalf("0-biod loss %.0f%% implausibly large", loss*100)
+	}
+}
+
+func TestDuplicateRequestDropsAndResends(t *testing.T) {
+	// Hand-craft a WRITE and send the identical datagram three times: the
+	// first executes, in-flight copies are dropped, and a copy arriving
+	// after the reply gets the cached reply resent — the write itself must
+	// execute exactly once.
+	r := newRig(t, 1, rigOpts{biods: 0})
+	raw := r.net.Attach("rawcli", 0, 0)
+	root := r.srv.RootFH()
+	var replies int
+	r.sim.Spawn("rawrecv", func(p *sim.Proc) {
+		for {
+			raw.Inbox.Get(p)
+			replies++
+		}
+	})
+	r.sim.Spawn("app", func(p *sim.Proc) {
+		cres, err := r.cli.Create(p, root, "f", 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			t.Errorf("Create: %v", err)
+			return
+		}
+		wa := &nfsproto.WriteArgs{File: cres.File, Offset: 0, Data: make([]byte, 1024)}
+		call := &oncrpc.CallMsg{
+			XID: 424242, Prog: nfsproto.Program, Vers: nfsproto.Version,
+			Proc: uint32(nfsproto.ProcWrite),
+			Cred: oncrpc.NullAuth(), Verf: oncrpc.NullAuth(),
+			Args: wa.Encode(),
+		}
+		enc := call.Encode()
+		// Two back-to-back copies: second should be dropped as in-progress.
+		r.net.Send(p, "rawcli", "server", enc)
+		r.net.Send(p, "rawcli", "server", enc)
+		// Third copy after the original surely completed.
+		p.Sleep(2 * sim.Second)
+		r.net.Send(p, "rawcli", "server", enc)
+	})
+	r.sim.Run(sim.Time(5 * sim.Second))
+	if replies != 2 {
+		t.Fatalf("replies = %d, want 2 (original + cached resend)", replies)
+	}
+	if r.srv.DupDrops < 1 {
+		t.Fatalf("DupDrops = %d, want >=1", r.srv.DupDrops)
+	}
+	if r.srv.DupResends != 1 {
+		t.Fatalf("DupResends = %d, want 1", r.srv.DupResends)
+	}
+	if c := r.srv.OpCounts[nfsproto.ProcWrite]; c == nil || c.Ops != 1 {
+		t.Fatalf("write executed %v times, want exactly 1", c)
+	}
+}
+
+func TestCrashAuditEveryRepliedWriteDurable(t *testing.T) {
+	// The central correctness claim: no reply before stable storage. Run a
+	// gathered workload, stop the world mid-flight at several instants,
+	// recover NVRAM to the platters, remount, and verify every write the
+	// server REPLIED to is present.
+	for _, cut := range []sim.Duration{50, 120, 300, 700} {
+		cutoff := sim.Time(cut * sim.Millisecond)
+		r := newRig(t, 11, rigOpts{gathering: true, biods: 7, fddi: true, record: true})
+		root := r.srv.RootFH()
+		r.sim.Spawn("app", func(p *sim.Proc) {
+			cres, err := r.cli.Create(p, root, "f", 0644)
+			if err != nil {
+				return
+			}
+			r.cli.WriteFile(p, cres.File, 2*1024*1024)
+		})
+		r.sim.Spawn("super", func(p *sim.Proc) { r.fs.WriteSuper(p) })
+		r.sim.Run(cutoff) // crash here
+
+		// Post-crash: volatile state gone; NVRAM (none in this rig) and
+		// platters survive.
+		replied := make([]ReplyRecord, len(r.srv.ReplyLog))
+		copy(replied, r.srv.ReplyLog)
+		r.fs.DropCaches()
+		s2 := sim.New(99)
+		s2.Spawn("audit", func(p *sim.Proc) {
+			m, err := ufs.Mount(s2, p, r.disk)
+			if err != nil {
+				t.Errorf("cut=%v: Mount: %v", cut, err)
+				return
+			}
+			for _, rec := range replied {
+				got := make([]byte, rec.Length)
+				n, err := m.Read(p, rec.Ino, rec.Offset, got)
+				if err != nil || uint32(n) != rec.Length {
+					t.Errorf("cut=%v: replied write @%d unreadable after crash: n=%d err=%v", cut, rec.Offset, n, err)
+					return
+				}
+				want := make([]byte, rec.Length)
+				client.FillPattern(want, rec.Offset)
+				if !bytes.Equal(got, want) {
+					t.Errorf("cut=%v: replied write @%d corrupt after crash", cut, rec.Offset)
+					return
+				}
+			}
+		})
+		s2.Run(0)
+	}
+}
+
+func TestCrashAuditWithPresto(t *testing.T) {
+	cutoff := sim.Time(150 * sim.Millisecond)
+	r := newRig(t, 13, rigOpts{gathering: true, presto: true, biods: 7, fddi: true, record: true})
+	root := r.srv.RootFH()
+	r.sim.Spawn("app", func(p *sim.Proc) {
+		cres, err := r.cli.Create(p, root, "f", 0644)
+		if err != nil {
+			return
+		}
+		r.cli.WriteFile(p, cres.File, 2*1024*1024)
+	})
+	r.sim.Spawn("super", func(p *sim.Proc) { r.fs.WriteSuper(p) })
+	r.sim.Run(cutoff)
+
+	replied := make([]ReplyRecord, len(r.srv.ReplyLog))
+	copy(replied, r.srv.ReplyLog)
+	if len(replied) == 0 {
+		t.Fatal("no replies before the cutoff; test is vacuous")
+	}
+	// NVRAM is stable storage: its post-crash recovery flushes to disk.
+	r.presto.RecoverTo(r.disk)
+	r.fs.DropCaches()
+	s2 := sim.New(99)
+	s2.Spawn("audit", func(p *sim.Proc) {
+		m, err := ufs.Mount(s2, p, r.disk)
+		if err != nil {
+			t.Errorf("Mount: %v", err)
+			return
+		}
+		for _, rec := range replied {
+			got := make([]byte, rec.Length)
+			n, err := m.Read(p, rec.Ino, rec.Offset, got)
+			if err != nil || uint32(n) != rec.Length {
+				t.Errorf("replied write @%d unreadable: n=%d err=%v", rec.Offset, n, err)
+				return
+			}
+			want := make([]byte, rec.Length)
+			client.FillPattern(want, rec.Offset)
+			if !bytes.Equal(got, want) {
+				t.Errorf("replied write @%d corrupt", rec.Offset)
+				return
+			}
+		}
+	})
+	s2.Run(0)
+}
+
+func TestGatheredRepliesShareMTime(t *testing.T) {
+	r := newRig(t, 5, rigOpts{gathering: true, biods: 7, fddi: true})
+	root := r.srv.RootFH()
+	var mtimes []nfsproto.TimeVal
+	r.sim.Spawn("app", func(p *sim.Proc) {
+		cres, _ := r.cli.Create(p, root, "f", 0644)
+		fh := cres.File
+		// Issue 4 concurrent writes via separate procs to land in one batch.
+		done := 0
+		cond := sim.NewCond(r.sim)
+		for i := 0; i < 4; i++ {
+			off := uint32(i * 8192)
+			r.sim.Spawn("w", func(q *sim.Proc) {
+				data := make([]byte, 8192)
+				args := &nfsproto.WriteArgs{File: fh, Offset: off, Data: data}
+				reply, err := r.cli.Call(q, nfsproto.ProcWrite, args.Encode())
+				if err == nil {
+					if res, err := nfsproto.DecodeAttrStat(reply.Results); err == nil && res.Status == nfsproto.OK {
+						mtimes = append(mtimes, res.Attr.MTime)
+					}
+				}
+				done++
+				cond.Broadcast()
+			})
+		}
+		for done < 4 {
+			cond.Wait(p)
+		}
+	})
+	r.sim.Run(0)
+	if len(mtimes) != 4 {
+		t.Fatalf("got %d write replies", len(mtimes))
+	}
+	for _, mt := range mtimes[1:] {
+		if mt != mtimes[0] {
+			t.Fatalf("gathered replies carry different mtimes: %v", mtimes)
+		}
+	}
+}
+
+func TestStandardServerNoEngine(t *testing.T) {
+	r := newRig(t, 1, rigOpts{})
+	if r.srv.Engine() != nil {
+		t.Fatal("standard server has a gathering engine")
+	}
+}
+
+func TestSocketBufferDropsRecovered(t *testing.T) {
+	// Tiny socket buffer forces drops; retransmission must still complete
+	// the file, and the duplicate cache must keep writes exactly-once.
+	s := sim.New(21)
+	n := netsim.New(s, hw.FDDI())
+	costs := hw.DEC3000CPU()
+	srvCPU := sim.NewResource(s, 1)
+	d := disk.New(s, hw.RZ26())
+	charged := NewChargedDevice(d, srvCPU, costs.DriverTrip)
+	fs, _ := ufs.Format(s, charged, 1, 128)
+	cfg := Config{
+		NumNfsds: 2, Gathering: true,
+		Gather:       core.DefaultConfig(false, hw.FDDI().Procrastinate),
+		Costs:        costs,
+		SockBufBytes: 20000, // fits two 8K writes
+	}
+	srv := New(s, n, fs, cfg)
+	srv.cpu = srvCPU
+	cli := client.New(s, n, "c", "server", fastRetransClient(), 7)
+	root := srv.RootFH()
+	var err error
+	var elapsed sim.Duration
+	s.Spawn("app", func(p *sim.Proc) {
+		cres, cerr := cli.Create(p, root, "f", 0644)
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		elapsed, err = cli.WriteFile(p, cres.File, 512*1024)
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatalf("WriteFile with drops: %v", err)
+	}
+	if srv.Endpoint().Drops() == 0 {
+		t.Skip("no drops provoked; socket buffer too large for this load")
+	}
+	if cli.Retransmissions == 0 {
+		t.Fatal("drops happened but client never retransmitted")
+	}
+	if srv.Engine().PendingReplies() != 0 {
+		t.Fatal("descriptors leaked under retransmission")
+	}
+	_ = elapsed
+}
+
+// fastRetransClient shortens the retransmission timer so drop tests finish
+// quickly.
+func fastRetransClient() hw.ClientParams {
+	p := hw.DEC3000Client()
+	p.RetransTimeout = 50 * sim.Millisecond
+	return p
+}
+
+func TestDupCacheEviction(t *testing.T) {
+	c := newDupCache(2)
+	k1 := dupKey{"a", 1}
+	k2 := dupKey{"a", 2}
+	k3 := dupKey{"a", 3}
+	c.begin(k1)
+	c.done(k1, []byte{1})
+	c.begin(k2)
+	c.done(k2, []byte{2})
+	c.begin(k3) // evicts k1
+	if c.contains(k1) {
+		t.Fatal("k1 survived eviction")
+	}
+	if !c.contains(k2) || !c.contains(k3) {
+		t.Fatal("wrong eviction victim")
+	}
+}
+
+func TestDupCacheNeverEvictsInProgress(t *testing.T) {
+	c := newDupCache(1)
+	k1 := dupKey{"a", 1}
+	c.begin(k1) // in progress
+	c.begin(dupKey{"a", 2})
+	c.begin(dupKey{"a", 3})
+	if !c.contains(k1) {
+		t.Fatal("in-progress entry evicted")
+	}
+}
+
+var _ = vfs.ErrNoEnt // keep import when test bodies change

@@ -1,0 +1,173 @@
+package sim
+
+// Cond is a condition variable for simulation processes. Waiters are woken
+// in FIFO order. Unlike sync.Cond there is no associated lock: the kernel's
+// one-process-at-a-time discipline makes state inspection before Wait safe.
+type Cond struct {
+	sim     *Sim
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p        *Proc
+	signaled bool
+	removed  bool
+	timeout  *Event
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Sim) *Cond { return &Cond{sim: s} }
+
+// Waiters reports how many processes are currently blocked on the Cond.
+func (c *Cond) Waiters() int {
+	n := 0
+	for _, w := range c.waiters {
+		if !w.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait blocks p until a Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.yield()
+}
+
+// WaitTimeout blocks p until signaled or until d elapses. It reports true
+// if the process was signaled, false on timeout.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	w := &condWaiter{p: p}
+	w.timeout = c.sim.At(d, func() {
+		// Timed out: detach from the wait list and wake the process.
+		w.removed = true
+		c.sim.dispatch(p)
+	})
+	c.waiters = append(c.waiters, w)
+	p.yield()
+	return w.signaled
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether a
+// waiter was woken.
+func (c *Cond) Signal() bool {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.removed {
+			continue
+		}
+		c.wake(w)
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes all waiting processes in FIFO order. It returns the
+// number woken.
+func (c *Cond) Broadcast() int {
+	n := 0
+	for c.Signal() {
+		n++
+	}
+	return n
+}
+
+func (c *Cond) wake(w *condWaiter) {
+	w.signaled = true
+	w.removed = true
+	w.timeout.Cancel()
+	p := w.p
+	c.sim.At(0, func() { c.sim.dispatch(p) })
+}
+
+// Resource is a counting semaphore with FIFO admission, used to model
+// servers with finite concurrency (a CPU, a disk arm, an nfsd pool slot).
+// It also tracks busy time so utilization can be reported.
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	cond     *Cond
+
+	busy      Duration // accumulated (inUse × elapsed) time
+	lastStamp Time
+	acquires  uint64
+}
+
+// NewResource returns a resource with the given concurrency capacity.
+func NewResource(s *Sim, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{sim: s, capacity: capacity, cond: NewCond(s)}
+}
+
+func (r *Resource) stamp() {
+	now := r.sim.Now()
+	r.busy += Duration(int64(now.Sub(r.lastStamp)) * int64(r.inUse))
+	r.lastStamp = now
+}
+
+// Acquire blocks p until a slot is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.cond.Wait(p)
+	}
+	r.stamp()
+	r.inUse++
+	r.acquires++
+}
+
+// TryAcquire takes a slot if one is free without blocking.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.stamp()
+	r.inUse++
+	r.acquires++
+	return true
+}
+
+// Release frees a slot and admits the longest waiter, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	r.stamp()
+	r.inUse--
+	r.cond.Signal()
+}
+
+// Use acquires the resource, holds it for d, and releases it; the classic
+// "consume d of service time" idiom.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse reports the number of slots currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquires reports the total number of successful acquisitions.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// BusyTime reports the accumulated slot-busy time up to the current instant.
+func (r *Resource) BusyTime() Duration {
+	r.stamp()
+	return r.busy
+}
+
+// Utilization reports mean utilization (busy time / (capacity × elapsed))
+// over the interval from simulation start to now.
+func (r *Resource) Utilization() float64 {
+	now := r.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / (float64(now) * float64(r.capacity))
+}

@@ -1,0 +1,144 @@
+package sim
+
+// Queue is a bounded FIFO queue connecting simulation processes, modelling
+// structures like a server's socket buffer. Put never blocks: when the
+// queue is full the item is dropped and counted, exactly as a UDP socket
+// buffer drops datagrams. Get blocks the calling process until an item is
+// available.
+//
+// Capacity may be expressed in items, in bytes (via a size function), or
+// both; a zero limit means unlimited in that dimension.
+type Queue[T any] struct {
+	sim      *Sim
+	items    []T
+	maxItems int
+	maxBytes int
+	curBytes int
+	sizeOf   func(T) int
+	cond     *Cond
+
+	puts  uint64
+	drops uint64
+	gets  uint64
+	// peak occupancy, for reporting
+	peakItems int
+}
+
+// NewQueue returns a queue bounded to maxItems entries (0 = unlimited).
+func NewQueue[T any](s *Sim, maxItems int) *Queue[T] {
+	return &Queue[T]{sim: s, maxItems: maxItems, cond: NewCond(s)}
+}
+
+// NewByteQueue returns a queue bounded to maxBytes total, with item sizes
+// measured by sizeOf. maxItems additionally bounds the entry count when
+// non-zero.
+func NewByteQueue[T any](s *Sim, maxItems, maxBytes int, sizeOf func(T) int) *Queue[T] {
+	return &Queue[T]{sim: s, maxItems: maxItems, maxBytes: maxBytes, sizeOf: sizeOf, cond: NewCond(s)}
+}
+
+// Put appends v if the queue has room and reports whether it was accepted.
+// On overflow the item is dropped and the drop counter incremented.
+func (q *Queue[T]) Put(v T) bool {
+	sz := 0
+	if q.sizeOf != nil {
+		sz = q.sizeOf(v)
+	}
+	if q.maxItems > 0 && len(q.items) >= q.maxItems {
+		q.drops++
+		return false
+	}
+	if q.maxBytes > 0 && q.curBytes+sz > q.maxBytes {
+		q.drops++
+		return false
+	}
+	q.items = append(q.items, v)
+	q.curBytes += sz
+	q.puts++
+	if len(q.items) > q.peakItems {
+		q.peakItems = len(q.items)
+	}
+	q.cond.Signal()
+	return true
+}
+
+// Get blocks p until an item is available and returns the oldest one.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	return q.pop()
+}
+
+// GetTimeout blocks like Get but gives up after d; ok is false on timeout.
+func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	deadline := q.sim.Now().Add(d)
+	for len(q.items) == 0 {
+		remain := deadline.Sub(q.sim.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if !q.cond.WaitTimeout(p, remain) {
+			// timed out waiting; re-check emptiness in case of races
+			if len(q.items) == 0 {
+				return v, false
+			}
+		}
+	}
+	return q.pop(), true
+}
+
+// TryGet returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.pop(), true
+}
+
+func (q *Queue[T]) pop() T {
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	if q.sizeOf != nil {
+		q.curBytes -= q.sizeOf(v)
+	}
+	q.gets++
+	return v
+}
+
+// Scan calls fn on each queued item in FIFO order until fn returns true
+// (found) or the queue is exhausted. If remove is true the found item is
+// removed from the queue. Scan is the primitive behind the paper's "mbuf
+// hunter", which searches the socket buffer for write requests to a file.
+func (q *Queue[T]) Scan(fn func(T) bool, remove bool) (v T, found bool) {
+	for i, it := range q.items {
+		if fn(it) {
+			if remove {
+				if q.sizeOf != nil {
+					q.curBytes -= q.sizeOf(it)
+				}
+				q.items = append(q.items[:i:i], q.items[i+1:]...)
+				q.gets++
+			}
+			return it, true
+		}
+	}
+	return v, false
+}
+
+// Len reports the current number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Bytes reports the current queued byte total (0 unless built with
+// NewByteQueue).
+func (q *Queue[T]) Bytes() int { return q.curBytes }
+
+// Drops reports how many Put calls were rejected for lack of room.
+func (q *Queue[T]) Drops() uint64 { return q.drops }
+
+// Puts reports how many items were accepted.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// PeakLen reports the maximum occupancy observed.
+func (q *Queue[T]) PeakLen() int { return q.peakItems }

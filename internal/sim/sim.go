@@ -1,0 +1,287 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// A Sim owns a virtual clock and an event heap. Model code runs either as
+// plain callbacks scheduled with At, or as processes (Proc) spawned with
+// Spawn. A process is an ordinary goroutine, but the kernel guarantees that
+// at most one process executes at a time and that control transfers are
+// totally ordered by (virtual time, sequence number), so a simulation run is
+// fully deterministic for a given seed.
+//
+// Processes block with Proc.Sleep, Cond.Wait, Resource.Acquire, or
+// Queue.Get. While a process is blocked it consumes no virtual time beyond
+// what it asked for; real goroutines are parked on channels.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is an absolute virtual time in microseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis reports the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+// Seconds reports the time as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return Duration(t).Seconds() }
+
+// Millis reports the time as floating-point milliseconds since start.
+func (t Time) Millis() float64 { return Duration(t).Millis() }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Event is a scheduled occurrence. It may be cancelled before it fires.
+type Event struct {
+	t         Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 when popped
+}
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation instance. Create one with New; it is
+// not safe for concurrent use from multiple OS threads outside the process
+// discipline the kernel itself imposes.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	ack    chan struct{} // process -> kernel: "I have yielded"
+	rng    *rand.Rand
+	nprocs int
+	fired  uint64
+}
+
+// New returns a simulator with its clock at zero and the given RNG seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		ack: make(chan struct{}),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// EventsFired reports how many events have fired so far; useful for
+// determinism checks and kernel tests.
+func (s *Sim) EventsFired() uint64 { return s.fired }
+
+// At schedules fn to run d after the current time and returns the Event so
+// the caller may cancel it. d must be non-negative; a zero d schedules the
+// callback after all other work already scheduled for the current instant.
+func (s *Sim) At(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e := &Event{t: s.now.Add(d), seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Run processes events until the heap is empty or the clock would pass
+// until (until <= 0 means run to completion). It returns the final clock.
+func (s *Sim) Run(until Time) Time {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if until > 0 && e.t > until {
+			s.now = until
+			return s.now
+		}
+		heap.Pop(&s.events)
+		if e.cancelled {
+			continue
+		}
+		if e.t < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.t
+		s.fired++
+		e.fn()
+	}
+	if until > 0 && s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// Idle reports whether no events remain.
+func (s *Sim) Idle() bool { return len(s.events) == 0 }
+
+// NumProcs reports the number of live (spawned, not yet finished) processes.
+func (s *Sim) NumProcs() int { return s.nprocs }
+
+// Proc is a simulation process: a goroutine scheduled cooperatively by the
+// kernel. All blocking methods must be called from the process's own
+// goroutine.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn starts fn as a new process. The process begins running at the
+// current virtual time (after already-scheduled work for this instant).
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.done = true
+		s.nprocs--
+		s.ack <- struct{}{}
+	}()
+	s.At(0, func() { s.dispatch(p) })
+	return p
+}
+
+// SpawnAfter starts fn as a new process after delay d.
+func (s *Sim) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		s.nprocs--
+		s.ack <- struct{}{}
+	}()
+	s.At(d, func() { s.dispatch(p) })
+	return p
+}
+
+// Trace, when non-nil, receives a line per control transfer (debugging).
+var Trace func(string)
+
+// dispatch transfers control to p and waits for it to yield or finish.
+// It must only be called from the kernel's event loop (directly or
+// transitively from an event callback).
+func (s *Sim) dispatch(p *Proc) {
+	if p.done {
+		panic("sim: dispatch of finished process " + p.name)
+	}
+	if Trace != nil {
+		Trace(fmt.Sprintf("t=%d dispatch %s", s.now, p.name))
+	}
+	p.resume <- struct{}{}
+	<-s.ack
+}
+
+// yield hands control back to the kernel and parks until re-dispatched.
+func (p *Proc) yield() {
+	p.sim.ack <- struct{}{}
+	<-p.resume
+}
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	p.sim.At(d, func() { p.sim.dispatch(p) })
+	p.yield()
+}
+
+// Park blocks the process until some other party wakes it via the returned
+// wake function. The wake function may be called at most once, from kernel
+// context (an event callback or another process); it schedules the wakeup
+// at the current virtual time.
+func (p *Proc) Park() (wake func()) {
+	woken := false
+	return func() {
+		if woken {
+			panic("sim: double wake of process " + p.name)
+		}
+		woken = true
+		p.sim.At(0, func() { p.sim.dispatch(p) })
+	}
+}
+
+// Block parks the process; the wake function returned by a prior Park
+// arrangement releases it. Callers typically use higher-level Cond, Resource
+// or Queue instead.
+func (p *Proc) Block() { p.yield() }

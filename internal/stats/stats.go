@@ -1,0 +1,263 @@
+// Package stats provides the measurement primitives used by every
+// experiment: counters, byte/operation rates, latency recorders and
+// time-weighted utilization trackers, all in virtual time.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically increasing event count with an associated byte
+// total, suitable for deriving ops/sec and KB/sec over an interval.
+type Counter struct {
+	Ops   uint64
+	Bytes uint64
+}
+
+// Add records one operation moving n bytes.
+func (c *Counter) Add(n int) {
+	c.Ops++
+	c.Bytes += uint64(n)
+}
+
+// AddOps records n operations with no byte count.
+func (c *Counter) AddOps(n int) { c.Ops += uint64(n) }
+
+// OpsPerSec returns the operation rate over elapsed.
+func (c *Counter) OpsPerSec(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / elapsed.Seconds()
+}
+
+// KBPerSec returns the byte rate in KB/s (1 KB = 1024 bytes, as the paper
+// reports) over elapsed.
+func (c *Counter) KBPerSec(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / 1024 / elapsed.Seconds()
+}
+
+// Sub returns the counter delta c - o.
+func (c Counter) Sub(o Counter) Counter {
+	return Counter{Ops: c.Ops - o.Ops, Bytes: c.Bytes - o.Bytes}
+}
+
+// Utilization accumulates busy time for a device or CPU so that a
+// percentage-busy figure can be reported, matching the paper's
+// "server cpu util. (%)" rows.
+type Utilization struct {
+	busy      sim.Duration
+	busySince sim.Time
+	active    int
+	mark      sim.Time // start of current measurement interval
+	markBusy  sim.Duration
+}
+
+// Begin records the start of a busy period. Nested Begin/End pairs are
+// allowed; the tracker counts wall time during which at least one period is
+// open (single-server semantics).
+func (u *Utilization) Begin(now sim.Time) {
+	if u.active == 0 {
+		u.busySince = now
+	}
+	u.active++
+}
+
+// End closes the most recent busy period.
+func (u *Utilization) End(now sim.Time) {
+	if u.active <= 0 {
+		panic("stats: Utilization.End without Begin")
+	}
+	u.active--
+	if u.active == 0 {
+		u.busy += now.Sub(u.busySince)
+	}
+}
+
+// AddBusy directly accrues d of busy time (for costs charged in one shot).
+func (u *Utilization) AddBusy(d sim.Duration) { u.busy += d }
+
+// Busy reports accumulated busy time, including any open period up to now.
+func (u *Utilization) Busy(now sim.Time) sim.Duration {
+	b := u.busy
+	if u.active > 0 {
+		b += now.Sub(u.busySince)
+	}
+	return b
+}
+
+// Reset marks the start of a fresh measurement interval at now.
+func (u *Utilization) Reset(now sim.Time) {
+	u.mark = now
+	u.markBusy = u.Busy(now)
+}
+
+// Percent reports utilization (0–100) over the interval [Reset, now].
+func (u *Utilization) Percent(now sim.Time) float64 {
+	elapsed := now.Sub(u.mark)
+	if elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(u.Busy(now)-u.markBusy) / float64(elapsed)
+}
+
+// Latency records a set of response-time samples.
+type Latency struct {
+	samples []sim.Duration
+	sum     sim.Duration
+}
+
+// Record adds one sample.
+func (l *Latency) Record(d sim.Duration) {
+	l.samples = append(l.samples, d)
+	l.sum += d
+}
+
+// N reports the number of samples.
+func (l *Latency) N() int { return len(l.samples) }
+
+// Mean reports the average sample, or 0 with no samples.
+func (l *Latency) Mean() sim.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.sum / sim.Duration(len(l.samples))
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100) by nearest-rank.
+func (l *Latency) Percentile(p float64) sim.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]sim.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Max reports the largest sample.
+func (l *Latency) Max() sim.Duration {
+	var m sim.Duration
+	for _, s := range l.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Table is a simple fixed-column text table matching the paper's layout:
+// one row label column followed by one column per parameter value.
+type Table struct {
+	Title   string
+	Columns []string // e.g. biod counts
+	rows    []tableRow
+}
+
+type tableRow struct {
+	label string
+	cells []string
+}
+
+// AddRow appends a labelled row of pre-formatted cells.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.rows = append(t.rows, tableRow{label: label, cells: cells})
+}
+
+// AddFloatRow appends a row of numbers formatted with the given precision.
+func (t *Table) AddFloatRow(label string, prec int, vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = fmt.Sprintf("%.*f", prec, v)
+	}
+	t.AddRow(label, cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	labelW := 0
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r.cells {
+			if i < len(colW) && len(c) > colW[i] {
+				colW[i] = len(c)
+			}
+		}
+	}
+	out := t.Title + "\n"
+	out += fmt.Sprintf("%-*s", labelW, "")
+	for i, c := range t.Columns {
+		out += fmt.Sprintf("  %*s", colW[i], c)
+	}
+	out += "\n"
+	for _, r := range t.rows {
+		out += fmt.Sprintf("%-*s", labelW, r.label)
+		for i, c := range r.cells {
+			w := 0
+			if i < len(colW) {
+				w = colW[i]
+			}
+			out += fmt.Sprintf("  %*s", w, c)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Point is one sample on a throughput/latency curve (Figures 2 and 3).
+type Point struct {
+	X float64 // achieved throughput, ops/sec
+	Y float64 // average response time, msec
+}
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Capacity reports the highest throughput achieved with average latency at
+// or below capMs, the SPEC-style capacity reading of the curve.
+func (s *Series) Capacity(capMs float64) float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Y <= capMs && p.X > best {
+			best = p.X
+		}
+	}
+	return best
+}
+
+// String renders the series as "x y" rows.
+func (s *Series) String() string {
+	out := "# " + s.Name + "\n# ops/sec  avg-latency-ms\n"
+	for _, p := range s.Points {
+		out += fmt.Sprintf("%8.1f  %6.2f\n", p.X, p.Y)
+	}
+	return out
+}

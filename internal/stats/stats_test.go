@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCounterRates(t *testing.T) {
+	var c Counter
+	c.Add(8192)
+	c.Add(8192)
+	if c.Ops != 2 || c.Bytes != 16384 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if got := c.OpsPerSec(2 * sim.Second); got != 1 {
+		t.Fatalf("OpsPerSec = %v", got)
+	}
+	if got := c.KBPerSec(sim.Second); got != 16 {
+		t.Fatalf("KBPerSec = %v", got)
+	}
+	if c.OpsPerSec(0) != 0 {
+		t.Fatal("zero-interval rate not zero")
+	}
+}
+
+func TestCounterSub(t *testing.T) {
+	a := Counter{Ops: 10, Bytes: 100}
+	b := Counter{Ops: 4, Bytes: 30}
+	d := a.Sub(b)
+	if d.Ops != 6 || d.Bytes != 70 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestUtilizationNested(t *testing.T) {
+	var u Utilization
+	u.Begin(0)
+	u.Begin(sim.Time(10)) // nested
+	u.End(sim.Time(20))
+	u.End(sim.Time(30)) // closes at 30: busy 0..30
+	if got := u.Busy(sim.Time(40)); got != 30 {
+		t.Fatalf("Busy = %v", got)
+	}
+}
+
+func TestUtilizationPercentInterval(t *testing.T) {
+	var u Utilization
+	u.Begin(0)
+	u.End(sim.Time(50))
+	u.Reset(sim.Time(100))
+	u.Begin(sim.Time(100))
+	u.End(sim.Time(150))
+	if got := u.Percent(sim.Time(200)); got != 50 {
+		t.Fatalf("Percent = %v, want 50", got)
+	}
+}
+
+func TestUtilizationEndWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End without Begin did not panic")
+		}
+	}()
+	var u Utilization
+	u.End(0)
+}
+
+func TestLatencyStats(t *testing.T) {
+	var l Latency
+	for _, d := range []sim.Duration{10, 20, 30, 40, 100} {
+		l.Record(d * sim.Millisecond)
+	}
+	if l.N() != 5 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if got := l.Mean(); got != 40*sim.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := l.Max(); got != 100*sim.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := l.Percentile(50); got != 30*sim.Millisecond {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*sim.Millisecond {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(95) != 0 || l.Max() != 0 {
+		t.Fatal("empty latency stats not zero")
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(samples []uint16, p uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var l Latency
+		var max sim.Duration
+		for _, s := range samples {
+			d := sim.Duration(s)
+			l.Record(d)
+			if d > max {
+				max = d
+			}
+		}
+		pct := float64(p%100) + 1
+		v := l.Percentile(pct)
+		return v >= 0 && v <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "Demo", Columns: []string{"0", "15"}}
+	tab.AddRow("label only")
+	tab.AddFloatRow("speed", 0, 165.4, 674.2)
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "165") || !strings.Contains(out, "674") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesCapacity(t *testing.T) {
+	var s Series
+	s.Add(100, 10)
+	s.Add(200, 30)
+	s.Add(300, 80) // over the cap
+	if got := s.Capacity(50); got != 200 {
+		t.Fatalf("Capacity = %v, want 200", got)
+	}
+	if got := s.Capacity(5); got != 0 {
+		t.Fatalf("Capacity below all = %v", got)
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	s := Series{Name: "curve"}
+	s.Add(123.4, 5.6)
+	out := s.String()
+	if !strings.Contains(out, "curve") || !strings.Contains(out, "123.4") {
+		t.Fatalf("render: %s", out)
+	}
+}

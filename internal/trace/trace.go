@@ -1,0 +1,82 @@
+// Package trace records timestamped events from a simulation run and
+// renders them as a message-sequence timeline, reproducing the paper's
+// Figure 1 comparison of standard and gathering servers.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	T     sim.Time
+	Lane  string // "client", "server", "disk"
+	Label string
+	seq   int
+}
+
+// Log collects events.
+type Log struct {
+	Events []Event
+	seq    int
+}
+
+// Add records an event.
+func (l *Log) Add(t sim.Time, lane, format string, args ...any) {
+	l.Events = append(l.Events, Event{T: t, Lane: lane, Label: fmt.Sprintf(format, args...), seq: l.seq})
+	l.seq++
+}
+
+// Window returns the events within [from, to), time-ordered.
+func (l *Log) Window(from, to sim.Time) []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.T >= from && e.T < to {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// Render draws a three-lane sequence timeline for [from, to). Times are
+// shown relative to from, in milliseconds.
+func (l *Log) Render(title string, from, to sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%9s  %-34s %-38s %s\n", "time(ms)", "CLIENT", "SERVER", "DISK")
+	fmt.Fprintf(&b, "%9s  %-34s %-38s %s\n", "--------", strings.Repeat("-", 30), strings.Repeat("-", 34), strings.Repeat("-", 20))
+	for _, e := range l.Window(from, to) {
+		rel := e.T.Sub(from).Millis()
+		c, s, d := "", "", ""
+		switch e.Lane {
+		case "client":
+			c = e.Label
+		case "server":
+			s = e.Label
+		default:
+			d = e.Label
+		}
+		fmt.Fprintf(&b, "%9.3f  %-34s %-38s %s\n", rel, c, s, d)
+	}
+	return b.String()
+}
+
+// Summary counts events per lane prefix (first word of label).
+func (l *Log) Summary(from, to sim.Time) map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.Window(from, to) {
+		key := e.Lane + ":" + strings.Fields(e.Label)[0]
+		out[key]++
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWindowFiltersAndOrders(t *testing.T) {
+	var l Log
+	l.Add(sim.Time(30*sim.Millisecond), "client", "late")
+	l.Add(sim.Time(10*sim.Millisecond), "client", "early")
+	l.Add(sim.Time(20*sim.Millisecond), "server", "middle")
+	w := l.Window(sim.Time(5*sim.Millisecond), sim.Time(25*sim.Millisecond))
+	if len(w) != 2 {
+		t.Fatalf("window = %+v", w)
+	}
+	if w[0].Label != "early" || w[1].Label != "middle" {
+		t.Fatalf("order = %+v", w)
+	}
+}
+
+func TestSameInstantPreservesInsertionOrder(t *testing.T) {
+	var l Log
+	l.Add(sim.Time(sim.Millisecond), "client", "first")
+	l.Add(sim.Time(sim.Millisecond), "client", "second")
+	w := l.Window(0, sim.Time(sim.Second))
+	if w[0].Label != "first" || w[1].Label != "second" {
+		t.Fatalf("order = %+v", w)
+	}
+}
+
+func TestRenderLanes(t *testing.T) {
+	var l Log
+	l.Add(sim.Time(sim.Millisecond), "client", "8K Write ->")
+	l.Add(sim.Time(2*sim.Millisecond), "disk", "64K write")
+	out := l.Render("title", 0, sim.Time(sim.Second))
+	if !strings.Contains(out, "title") || !strings.Contains(out, "8K Write") || !strings.Contains(out, "64K write") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// Client events render in the client column (before server column).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "8K Write") && strings.Index(line, "8K Write") > 50 {
+			t.Fatalf("client event in wrong column: %q", line)
+		}
+	}
+}
+
+func TestRenderRelativeTimes(t *testing.T) {
+	var l Log
+	l.Add(sim.Time(105*sim.Millisecond), "client", "x")
+	out := l.Render("t", sim.Time(100*sim.Millisecond), sim.Time(200*sim.Millisecond))
+	if !strings.Contains(out, "5.000") {
+		t.Fatalf("relative time missing:\n%s", out)
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	var l Log
+	l.Add(1, "disk", "8K write")
+	l.Add(2, "disk", "64K write")
+	l.Add(3, "client", "8K Write ->")
+	sum := l.Summary(0, sim.Time(sim.Second))
+	if sum["disk:8K"] != 1 || sum["disk:64K"] != 1 || sum["client:8K"] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestFormatArgs(t *testing.T) {
+	var l Log
+	l.Add(1, "server", "gather of %d writes", 7)
+	if l.Events[0].Label != "gather of 7 writes" {
+		t.Fatalf("label = %q", l.Events[0].Label)
+	}
+}

@@ -1,0 +1,142 @@
+package ufs
+
+import (
+	"encoding/binary"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// GetAttr implements vfs.FileSystem. Attributes come from the in-core
+// inode; no device I/O is needed.
+func (fs *FS) GetAttr(p *sim.Proc, ino vfs.Ino) (vfs.Attr, error) {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return fs.attrOf(in), nil
+}
+
+func (fs *FS) attrOf(in *inode) vfs.Attr {
+	return vfs.Attr{
+		Type:   in.ftype,
+		Mode:   in.mode,
+		NLink:  in.nlink,
+		UID:    in.uid,
+		GID:    in.gid,
+		Size:   in.size,
+		Blocks: (in.size + BlockSize - 1) / BlockSize,
+		Gen:    in.gen,
+		ATime:  in.atime,
+		MTime:  in.mtime,
+		CTime:  in.ctime,
+	}
+}
+
+// SetAttrs implements vfs.FileSystem. The change is committed to the
+// device before returning, as SETATTR requires.
+func (fs *FS) SetAttrs(p *sim.Proc, ino vfs.Ino, sa vfs.SetAttr) (vfs.Attr, error) {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if sa.Mode != nil {
+		in.mode = *sa.Mode
+	}
+	if sa.UID != nil {
+		in.uid = *sa.UID
+	}
+	if sa.GID != nil {
+		in.gid = *sa.GID
+	}
+	if sa.Size != nil {
+		if err := fs.truncate(p, in, *sa.Size); err != nil {
+			return vfs.Attr{}, err
+		}
+	}
+	in.ctime = fs.sim.Now()
+	in.dirtyCore, in.dirtyMeta = true, true
+	fs.flushInode(p, in)
+	return fs.attrOf(in), nil
+}
+
+// truncate shrinks or extends the file to size bytes, freeing blocks
+// beyond the new end.
+func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
+	if size >= in.size {
+		in.size = size
+		return nil
+	}
+	keep := (int64(size) + BlockSize - 1) / BlockSize
+	// Free direct blocks beyond the cut.
+	for fb := keep; fb < NumDirect; fb++ {
+		if in.direct[fb] != 0 {
+			fs.blockMap[in.direct[fb]] = false
+			delete(fs.cache, in.direct[fb])
+			in.direct[fb] = 0
+		}
+	}
+	// Free single-indirect data blocks beyond the cut.
+	if in.indirect != 0 {
+		ib := fs.getBuf(p, in.indirect, true)
+		for i := 0; i < PtrsPerBlock; i++ {
+			fb := int64(NumDirect + i)
+			ptr := int64(binary.BigEndian.Uint64(ib.data[i*8:]))
+			if ptr != 0 && fb >= keep {
+				fs.blockMap[ptr] = false
+				delete(fs.cache, ptr)
+				binary.BigEndian.PutUint64(ib.data[i*8:], 0)
+				ib.dirty = true
+			}
+		}
+		if keep <= NumDirect {
+			fs.blockMap[in.indirect] = false
+			delete(fs.cache, in.indirect)
+			in.indirect = 0
+		}
+	}
+	// Free double-indirect data blocks beyond the cut.
+	if in.dindirect != 0 {
+		db := fs.getBuf(p, in.dindirect, true)
+		for l1 := 0; l1 < PtrsPerBlock; l1++ {
+			l1ptr := int64(binary.BigEndian.Uint64(db.data[l1*8:]))
+			if l1ptr == 0 {
+				continue
+			}
+			lb := fs.getBuf(p, l1ptr, true)
+			anyKept := false
+			for l2 := 0; l2 < PtrsPerBlock; l2++ {
+				fb := int64(NumDirect + PtrsPerBlock + l1*PtrsPerBlock + l2)
+				ptr := int64(binary.BigEndian.Uint64(lb.data[l2*8:]))
+				if ptr == 0 {
+					continue
+				}
+				if fb >= keep {
+					fs.blockMap[ptr] = false
+					delete(fs.cache, ptr)
+					binary.BigEndian.PutUint64(lb.data[l2*8:], 0)
+					lb.dirty = true
+				} else {
+					anyKept = true
+				}
+			}
+			if !anyKept {
+				fs.blockMap[l1ptr] = false
+				delete(fs.cache, l1ptr)
+				binary.BigEndian.PutUint64(db.data[l1*8:], 0)
+				db.dirty = true
+			}
+		}
+		if keep <= NumDirect+PtrsPerBlock {
+			fs.blockMap[in.dindirect] = false
+			delete(fs.cache, in.dindirect)
+			in.dindirect = 0
+		}
+	}
+	in.size = size
+	in.dirtyMeta = true
+	return nil
+}
+
+// Compile-time interface check.
+var _ vfs.FileSystem = (*FS)(nil)

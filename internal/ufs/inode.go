@@ -1,0 +1,340 @@
+package ufs
+
+import (
+	"encoding/binary"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// inode is the in-core inode. dirtyCore means the on-disk copy is stale in
+// any way; dirtyMeta means it is stale in a way the stable-storage contract
+// cares about (size or block pointers changed — not just the file modify
+// time, which the reference port is willing to lose, §4.4).
+type inode struct {
+	num   vfs.Ino
+	ftype vfs.FileType
+	mode  uint32
+	nlink uint32
+	uid   uint32
+	gid   uint32
+	size  uint32
+	gen   uint32
+	atime sim.Time
+	mtime sim.Time
+	ctime sim.Time
+
+	direct    [NumDirect]int64
+	indirect  int64
+	dindirect int64
+
+	dirtyCore bool
+	dirtyMeta bool
+	// indBlocks tracks physical block numbers of this file's indirect
+	// blocks so a metadata-only fsync can find the dirty ones.
+	indBlocks []int64
+}
+
+// encodeInode serializes an inode into a 256-byte slot. A zero ftype slot
+// is a free inode.
+func (in *inode) encode(dst []byte) {
+	for i := range dst[:InodeSize] {
+		dst[i] = 0
+	}
+	binary.BigEndian.PutUint32(dst[0:], uint32(in.ftype))
+	binary.BigEndian.PutUint32(dst[4:], in.mode)
+	binary.BigEndian.PutUint32(dst[8:], in.nlink)
+	binary.BigEndian.PutUint32(dst[12:], in.uid)
+	binary.BigEndian.PutUint32(dst[16:], in.gid)
+	binary.BigEndian.PutUint32(dst[20:], in.size)
+	binary.BigEndian.PutUint32(dst[24:], in.gen)
+	binary.BigEndian.PutUint64(dst[28:], uint64(in.atime))
+	binary.BigEndian.PutUint64(dst[36:], uint64(in.mtime))
+	binary.BigEndian.PutUint64(dst[44:], uint64(in.ctime))
+	off := 52
+	for _, d := range in.direct {
+		binary.BigEndian.PutUint64(dst[off:], uint64(d))
+		off += 8
+	}
+	binary.BigEndian.PutUint64(dst[off:], uint64(in.indirect))
+	binary.BigEndian.PutUint64(dst[off+8:], uint64(in.dindirect))
+}
+
+// decodeInode parses a 256-byte slot; nil for a free slot.
+func decodeInode(num vfs.Ino, src []byte) *inode {
+	ft := vfs.FileType(binary.BigEndian.Uint32(src[0:]))
+	if ft == 0 {
+		return nil
+	}
+	in := &inode{num: num, ftype: ft}
+	in.mode = binary.BigEndian.Uint32(src[4:])
+	in.nlink = binary.BigEndian.Uint32(src[8:])
+	in.uid = binary.BigEndian.Uint32(src[12:])
+	in.gid = binary.BigEndian.Uint32(src[16:])
+	in.size = binary.BigEndian.Uint32(src[20:])
+	in.gen = binary.BigEndian.Uint32(src[24:])
+	in.atime = sim.Time(binary.BigEndian.Uint64(src[28:]))
+	in.mtime = sim.Time(binary.BigEndian.Uint64(src[36:]))
+	in.ctime = sim.Time(binary.BigEndian.Uint64(src[44:]))
+	off := 52
+	for i := range in.direct {
+		in.direct[i] = int64(binary.BigEndian.Uint64(src[off:]))
+		off += 8
+	}
+	in.indirect = int64(binary.BigEndian.Uint64(src[off:]))
+	in.dindirect = int64(binary.BigEndian.Uint64(src[off+8:]))
+	return in
+}
+
+// inodeBlock returns the physical block holding ino's on-disk slot and the
+// slot index within it.
+func inodeBlock(ino vfs.Ino) (int64, int) {
+	idx := int64(ino - 1)
+	return 1 + idx/InodesPerBlock, int(idx % InodesPerBlock)
+}
+
+// allocInode finds a free inode number and initializes the in-core inode.
+func (fs *FS) allocInode(ft vfs.FileType, mode uint32) *inode {
+	for i := 1; i <= fs.ninodes; i++ {
+		if !fs.inodeMap[i] {
+			fs.inodeMap[i] = true
+			fs.genSeq++
+			now := fs.sim.Now()
+			in := &inode{
+				num: vfs.Ino(i), ftype: ft, mode: mode, nlink: 1,
+				gen: fs.genSeq, atime: now, mtime: now, ctime: now,
+				dirtyCore: true, dirtyMeta: true,
+			}
+			fs.inodes[in.num] = in
+			return in
+		}
+	}
+	return nil
+}
+
+// freeInode releases an inode and all its blocks.
+func (fs *FS) freeInode(p *sim.Proc, in *inode) {
+	for _, b := range in.direct {
+		if b != 0 {
+			fs.blockMap[b] = false
+			delete(fs.cache, b)
+		}
+	}
+	freeIndirect := func(blk int64, depth int) {
+		var walk func(int64, int)
+		walk = func(b int64, d int) {
+			if b == 0 {
+				return
+			}
+			ib := fs.getBuf(p, b, true)
+			for i := 0; i < PtrsPerBlock; i++ {
+				ptr := int64(binary.BigEndian.Uint64(ib.data[i*8:]))
+				if ptr == 0 {
+					continue
+				}
+				if d > 0 {
+					walk(ptr, d-1)
+				} else {
+					fs.blockMap[ptr] = false
+					delete(fs.cache, ptr)
+				}
+			}
+			fs.blockMap[b] = false
+			delete(fs.cache, b)
+		}
+		walk(blk, depth)
+	}
+	freeIndirect(in.indirect, 0)
+	freeIndirect(in.dindirect, 1)
+	delete(fs.inodes, in.num)
+	fs.inodeMap[in.num] = false
+	// Clear the on-disk slot synchronously so the remove is durable.
+	fs.flushInodeSlotCleared(p, in.num)
+}
+
+// flushInodeSlotCleared zeroes an inode's on-disk slot.
+func (fs *FS) flushInodeSlotCleared(p *sim.Proc, ino vfs.Ino) {
+	phys, slot := inodeBlock(ino)
+	b := fs.getBuf(p, phys, true)
+	for i := 0; i < InodeSize; i++ {
+		b.data[slot*InodeSize+i] = 0
+	}
+	fs.writeBuf(p, b)
+	fs.MetaWrites++
+	if fs.ChargeMeta != nil {
+		fs.ChargeMeta(p)
+	}
+}
+
+// flushInode writes the inode's block to the device synchronously,
+// serializing every in-core inode that lives in that block.
+func (fs *FS) flushInode(p *sim.Proc, in *inode) {
+	phys, _ := inodeBlock(in.num)
+	b := fs.getBuf(p, phys, true)
+	first := vfs.Ino((phys-1))*InodesPerBlock + 1
+	for j := 0; j < InodesPerBlock; j++ {
+		other, ok := fs.inodes[first+vfs.Ino(j)]
+		if !ok {
+			continue
+		}
+		other.encode(b.data[j*InodeSize : (j+1)*InodeSize])
+		other.dirtyCore, other.dirtyMeta = false, false
+	}
+	fs.writeBuf(p, b)
+	fs.MetaWrites++
+	if fs.ChargeMeta != nil {
+		fs.ChargeMeta(p)
+	}
+}
+
+// allocBlock finds a free data block near hint (sequential placement).
+func (fs *FS) allocBlock(hint int64) (int64, error) {
+	if hint < fs.dataStart || hint >= fs.nblocks {
+		hint = fs.rotor
+	}
+	for i := hint; i < fs.nblocks; i++ {
+		if !fs.blockMap[i] {
+			fs.blockMap[i] = true
+			fs.rotor = i + 1
+			return i, nil
+		}
+	}
+	for i := fs.dataStart; i < hint; i++ {
+		if !fs.blockMap[i] {
+			fs.blockMap[i] = true
+			fs.rotor = i + 1
+			return i, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// bmap translates file block fb of in to a physical block. When alloc is
+// true, missing data and indirect blocks are allocated; it reports whether
+// any metadata (block pointers) changed.
+func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, metaChanged bool, err error) {
+	switch {
+	case fb < NumDirect:
+		if in.direct[fb] == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			hint := fs.rotor
+			if fb > 0 && in.direct[fb-1] != 0 {
+				hint = in.direct[fb-1] + 1
+			}
+			b, err := fs.allocBlock(hint)
+			if err != nil {
+				return 0, false, err
+			}
+			in.direct[fb] = b
+			metaChanged = true
+		}
+		return in.direct[fb], metaChanged, nil
+
+	case fb < NumDirect+PtrsPerBlock:
+		idx := fb - NumDirect
+		if in.indirect == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			b, err := fs.allocBlock(fs.rotor)
+			if err != nil {
+				return 0, false, err
+			}
+			in.indirect = b
+			in.indBlocks = append(in.indBlocks, b)
+			ib := fs.getBuf(p, b, false) // fresh zero block
+			ib.dirty = true
+			metaChanged = true
+		}
+		ib := fs.getBuf(p, in.indirect, true)
+		ptr := int64(binary.BigEndian.Uint64(ib.data[idx*8:]))
+		if ptr == 0 {
+			if !alloc {
+				return 0, metaChanged, nil
+			}
+			hint := fs.rotor
+			if idx > 0 {
+				prev := int64(binary.BigEndian.Uint64(ib.data[(idx-1)*8:]))
+				if prev != 0 {
+					hint = prev + 1
+				}
+			}
+			b, err := fs.allocBlock(hint)
+			if err != nil {
+				return 0, metaChanged, err
+			}
+			binary.BigEndian.PutUint64(ib.data[idx*8:], uint64(b))
+			ib.dirty = true
+			ptr = b
+			metaChanged = true
+		}
+		return ptr, metaChanged, nil
+
+	default:
+		idx := fb - NumDirect - PtrsPerBlock
+		if idx >= PtrsPerBlock*PtrsPerBlock {
+			return 0, false, vfs.ErrFBig
+		}
+		l1 := idx / PtrsPerBlock
+		l2 := idx % PtrsPerBlock
+		if in.dindirect == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			b, err := fs.allocBlock(fs.rotor)
+			if err != nil {
+				return 0, false, err
+			}
+			in.dindirect = b
+			in.indBlocks = append(in.indBlocks, b)
+			db := fs.getBuf(p, b, false)
+			db.dirty = true
+			metaChanged = true
+		}
+		db := fs.getBuf(p, in.dindirect, true)
+		l1ptr := int64(binary.BigEndian.Uint64(db.data[l1*8:]))
+		if l1ptr == 0 {
+			if !alloc {
+				return 0, metaChanged, nil
+			}
+			b, err := fs.allocBlock(fs.rotor)
+			if err != nil {
+				return 0, metaChanged, err
+			}
+			binary.BigEndian.PutUint64(db.data[l1*8:], uint64(b))
+			db.dirty = true
+			in.indBlocks = append(in.indBlocks, b)
+			lb := fs.getBuf(p, b, false)
+			lb.dirty = true
+			l1ptr = b
+			metaChanged = true
+		}
+		lb := fs.getBuf(p, l1ptr, true)
+		ptr := int64(binary.BigEndian.Uint64(lb.data[l2*8:]))
+		if ptr == 0 {
+			if !alloc {
+				return 0, metaChanged, nil
+			}
+			b, err := fs.allocBlock(fs.rotor)
+			if err != nil {
+				return 0, metaChanged, err
+			}
+			binary.BigEndian.PutUint64(lb.data[l2*8:], uint64(b))
+			lb.dirty = true
+			ptr = b
+			metaChanged = true
+		}
+		return ptr, metaChanged, nil
+	}
+}
+
+// getInode fetches a live in-core inode.
+func (fs *FS) getInode(ino vfs.Ino) (*inode, error) {
+	in, ok := fs.inodes[ino]
+	if !ok {
+		return nil, vfs.ErrStale
+	}
+	return in, nil
+}

@@ -1,0 +1,280 @@
+package ufs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Read implements vfs.FileSystem.
+func (fs *FS) Read(p *sim.Proc, ino vfs.Ino, off uint32, out []byte) (int, error) {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return 0, err
+	}
+	if in.ftype == vfs.TypeDir {
+		return 0, vfs.ErrIsDir
+	}
+	if off >= in.size {
+		return 0, nil
+	}
+	n := len(out)
+	if uint32(n) > in.size-off {
+		n = int(in.size - off)
+	}
+	read := 0
+	for read < n {
+		fb := int64(off+uint32(read)) / BlockSize
+		bo := int64(off+uint32(read)) % BlockSize
+		take := BlockSize - int(bo)
+		if take > n-read {
+			take = n - read
+		}
+		phys, _, err := fs.bmap(p, in, fb, false)
+		if err != nil {
+			return read, err
+		}
+		if phys == 0 {
+			// Hole: zeros.
+			for i := 0; i < take; i++ {
+				out[read+i] = 0
+			}
+		} else {
+			b, cached := fs.cache[phys]
+			if !cached || (!b.dirty && b.owner != ino) {
+				b = fs.getBuf(p, phys, true)
+				b.owner, b.fblock = ino, fb
+			}
+			copy(out[read:read+take], b.data[bo:bo+int64(take)])
+		}
+		read += take
+	}
+	in.atime = fs.sim.Now()
+	in.dirtyCore = true
+	return read, nil
+}
+
+// Write implements vfs.FileSystem: VOP_WRITE with the paper's flags.
+//
+//   - IODelayData: data stays dirty in the buffer cache (UFS picks its own
+//     clustering policy later, via SyncData); no device I/O at all.
+//   - IOSync|IODataOnly: the data blocks are pushed to the device now —
+//     which, on an accelerated filesystem, means an NVRAM copy — but all
+//     metadata stays in core.
+//   - IOSync alone: the classic fully synchronous server path — data
+//     blocks written through, then the inode block and any dirty indirect
+//     blocks, with the reference port's one exception: an inode whose only
+//     change is the file modify time is written asynchronously (§4.4).
+func (fs *FS) Write(p *sim.Proc, ino vfs.Ino, off uint32, data []byte, flags vfs.IOFlags) error {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.ftype == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if int64(off)+int64(len(data)) > MaxFileSize {
+		return vfs.ErrFBig
+	}
+	metaChanged := false
+	var touched []*buf
+	written := 0
+	for written < len(data) {
+		fb := int64(off+uint32(written)) / BlockSize
+		bo := int64(off+uint32(written)) % BlockSize
+		take := BlockSize - int(bo)
+		if take > len(data)-written {
+			take = len(data) - written
+		}
+		phys, mc, err := fs.bmap(p, in, fb, true)
+		if err != nil {
+			return err
+		}
+		metaChanged = metaChanged || mc
+		// Fill from device only for a partial overwrite of an existing
+		// block; whole-block writes and fresh blocks need no read.
+		needFill := take != BlockSize && !mc && phys != 0
+		b, cached := fs.cache[phys]
+		if !cached {
+			b = fs.getBuf(p, phys, needFill)
+		}
+		b.owner, b.fblock = ino, fb
+		copy(b.data[bo:bo+int64(take)], data[written:written+take])
+		b.dirty = true
+		touched = append(touched, b)
+		written += take
+	}
+	now := fs.sim.Now()
+	in.mtime, in.ctime = now, now
+	in.dirtyCore = true
+	if end := off + uint32(len(data)); end > in.size {
+		in.size = end
+		metaChanged = true
+	}
+	if metaChanged {
+		in.dirtyMeta = true
+	}
+
+	switch {
+	case flags&vfs.IODelayData != 0:
+		// Nothing touches the device now.
+		return nil
+	case flags&vfs.IODataOnly != 0:
+		// Push data blocks through; metadata delayed.
+		for _, b := range touched {
+			if b.dirty {
+				fs.writeBuf(p, b)
+				fs.DataWrites++
+			}
+		}
+		return nil
+	default:
+		// Fully synchronous: data, then metadata.
+		for _, b := range touched {
+			if b.dirty {
+				fs.writeBuf(p, b)
+				fs.DataWrites++
+			}
+		}
+		// Indirect blocks dirtied by this write.
+		fs.flushDirtyIndirect(p, in)
+		if in.dirtyMeta {
+			fs.flushInode(p, in)
+		}
+		// else: mtime-only change; left async per the reference port.
+		return nil
+	}
+}
+
+// flushDirtyIndirect writes any dirty indirect blocks belonging to in.
+func (fs *FS) flushDirtyIndirect(p *sim.Proc, in *inode) {
+	for _, phys := range in.indBlocks {
+		if b, ok := fs.cache[phys]; ok && b.dirty {
+			fs.writeBuf(p, b)
+			fs.MetaWrites++
+			if fs.ChargeMeta != nil {
+				fs.ChargeMeta(p)
+			}
+		}
+	}
+}
+
+// SyncData implements vfs.FileSystem: VOP_SYNCDATA with byte-range hints.
+// Dirty data blocks overlapping [from,to) are flushed, with physically
+// contiguous blocks clustered into single device transactions of up to
+// MaxCluster bytes — the fewer-larger-writes effect gathering banks on.
+func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return err
+	}
+	if to > in.size {
+		to = in.size
+	}
+	if from >= to {
+		return nil
+	}
+	type dirtyBlk struct {
+		phys int64
+		b    *buf
+	}
+	var dirty []dirtyBlk
+	first := int64(from) / BlockSize
+	last := (int64(to) - 1) / BlockSize
+	for fb := first; fb <= last; fb++ {
+		phys, _, err := fs.bmap(p, in, fb, false)
+		if err != nil {
+			return err
+		}
+		if phys == 0 {
+			continue
+		}
+		if b, ok := fs.cache[phys]; ok && b.dirty {
+			dirty = append(dirty, dirtyBlk{phys: phys, b: b})
+		}
+	}
+	if len(dirty) == 0 {
+		return nil
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].phys < dirty[j].phys })
+	// Cluster physically contiguous runs.
+	i := 0
+	for i < len(dirty) {
+		j := i + 1
+		for j < len(dirty) &&
+			dirty[j].phys == dirty[j-1].phys+1 &&
+			(j-i+1)*BlockSize <= MaxCluster {
+			j++
+		}
+		run := dirty[i:j]
+		cluster := make([]byte, 0, len(run)*BlockSize)
+		for _, d := range run {
+			cluster = append(cluster, d.b.data...)
+		}
+		fs.dev.WriteBlocks(p, run[0].phys, cluster)
+		fs.DataWrites++
+		for _, d := range run {
+			d.b.dirty = false
+		}
+		i = j
+	}
+	return nil
+}
+
+// Fsync implements vfs.FileSystem: VOP_FSYNC. With FWriteMetadata the
+// flush covers only the inode and indirect blocks; otherwise all dirty
+// data is flushed first (clustered), then the metadata.
+func (fs *FS) Fsync(p *sim.Proc, ino vfs.Ino, flags vfs.FsyncFlags) error {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return err
+	}
+	if flags&vfs.FWriteMetadata == 0 {
+		if err := fs.SyncData(p, ino, 0, in.size); err != nil {
+			return err
+		}
+		fs.flushDirtyIndirect(p, in)
+		if in.dirtyCore || in.dirtyMeta {
+			fs.flushInode(p, in)
+		}
+		return nil
+	}
+	// Metadata-only flush: the reference port's exception applies here
+	// too — an inode whose only staleness is the file modify time is left
+	// to an asynchronous update (§4.4), so a gather of pure overwrites
+	// commits no inode write at all.
+	fs.flushDirtyIndirect(p, in)
+	if in.dirtyMeta {
+		fs.flushInode(p, in)
+	}
+	return nil
+}
+
+// MTime reports the file's current modification time; gathered replies all
+// carry the value captured at metadata-commit time.
+func (fs *FS) MTime(ino vfs.Ino) (sim.Time, error) {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return 0, err
+	}
+	return in.mtime, nil
+}
+
+// MetaDirty reports whether the inode has uncommitted metadata beyond the
+// modify time (test/diagnostic hook).
+func (fs *FS) MetaDirty(ino vfs.Ino) bool {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return false
+	}
+	if in.dirtyMeta {
+		return true
+	}
+	for _, phys := range in.indBlocks {
+		if b, ok := fs.cache[phys]; ok && b.dirty {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+// Package ufs implements an FFS-vintage filesystem (McKusick et al. 1984)
+// over a simulated block device: 8K blocks, a fixed inode region, 12 direct
+// plus single and double indirect block pointers per inode, a bitmap
+// allocator with sequential placement, and a buffer cache supporting
+// delayed writes and 64K write clustering (McVoy & Kleiman 1991).
+//
+// The on-disk format is real: inodes, indirect blocks and data are
+// serialized to the device, so a crash test can discard the in-core state,
+// re-mount from the platters and verify exactly which writes survived.
+package ufs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Filesystem geometry.
+const (
+	BlockSize      = 8192
+	InodeSize      = 256
+	InodesPerBlock = BlockSize / InodeSize
+	NumDirect      = 12
+	PtrsPerBlock   = BlockSize / 8
+	MaxCluster     = 64 * 1024 // largest clustered device transfer
+	magic          = 0x19840853
+	// MaxFileSize keeps offsets within NFSv2's uint32 range.
+	MaxFileSize = 1 << 31
+)
+
+// FS is a mounted filesystem instance.
+type FS struct {
+	sim  *sim.Sim
+	dev  disk.Device
+	fsid uint32
+
+	nblocks     int64
+	inodeBlocks int64
+	dataStart   int64
+	ninodes     int
+
+	inodes   map[vfs.Ino]*inode
+	blockMap []bool // block allocation bitmap (in-core; rebuilt by fsck on mount)
+	inodeMap []bool
+	cache    map[int64]*buf
+	rotor    int64
+	genSeq   uint32
+
+	// MetaWrites counts synchronous metadata transactions (inode and
+	// indirect block writes), the quantity write gathering amortizes.
+	MetaWrites uint64
+	// DataWrites counts data-block device transactions issued by this FS.
+	DataWrites uint64
+	// ChargeMeta, when non-nil, is invoked once per metadata block write
+	// so a host can bill the CPU cost of preparing the update (the UFS
+	// trip the paper's gathering conserves).
+	ChargeMeta func(p *sim.Proc)
+}
+
+// buf is a buffer-cache entry for one filesystem block.
+type buf struct {
+	phys  int64
+	data  []byte
+	dirty bool
+	// For data blocks: which file and file-block this caches; inode blocks
+	// and indirect blocks have owner == 0.
+	owner  vfs.Ino
+	fblock int64
+}
+
+// Format writes a fresh filesystem onto dev and returns it mounted.
+// ninodes is rounded up to a whole inode block.
+func Format(s *sim.Sim, dev disk.Device, fsid uint32, ninodes int) (*FS, error) {
+	if dev.BlockSize() != BlockSize {
+		return nil, fmt.Errorf("ufs: device block size %d, want %d", dev.BlockSize(), BlockSize)
+	}
+	ib := int64((ninodes + InodesPerBlock - 1) / InodesPerBlock)
+	fs := &FS{
+		sim:         s,
+		dev:         dev,
+		fsid:        fsid,
+		nblocks:     dev.NumBlocks(),
+		inodeBlocks: ib,
+		dataStart:   1 + ib,
+		ninodes:     int(ib) * InodesPerBlock,
+		inodes:      make(map[vfs.Ino]*inode),
+		cache:       make(map[int64]*buf),
+	}
+	if fs.dataStart >= fs.nblocks {
+		return nil, fmt.Errorf("ufs: device too small: %d blocks", fs.nblocks)
+	}
+	fs.blockMap = make([]bool, fs.nblocks)
+	for i := int64(0); i < fs.dataStart; i++ {
+		fs.blockMap[i] = true
+	}
+	fs.inodeMap = make([]bool, fs.ninodes+1) // ino 0 unused
+	fs.inodeMap[0] = true
+	fs.rotor = fs.dataStart
+
+	// Root directory: ino 1.
+	root := fs.allocInode(vfs.TypeDir, 0755)
+	if root == nil {
+		return nil, fmt.Errorf("ufs: cannot allocate root inode")
+	}
+	root.nlink = 2
+	root.dirtyCore, root.dirtyMeta = true, true
+	return fs, nil
+}
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() vfs.Ino { return 1 }
+
+// FSID implements vfs.FileSystem.
+func (fs *FS) FSID() uint32 { return fs.fsid }
+
+// Device returns the backing device.
+func (fs *FS) Device() disk.Device { return fs.dev }
+
+// Statfs implements vfs.FileSystem.
+func (fs *FS) Statfs(p *sim.Proc) (int, int64, int64) {
+	free := int64(0)
+	for _, used := range fs.blockMap[fs.dataStart:] {
+		if !used {
+			free++
+		}
+	}
+	return BlockSize, fs.nblocks - fs.dataStart, free
+}
+
+// DirtyBlocks reports how many cache buffers are dirty (test/diagnostic).
+func (fs *FS) DirtyBlocks() int {
+	n := 0
+	for _, b := range fs.cache {
+		if b.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// superblock layout: magic, nblocks, inodeBlocks, fsid.
+func (fs *FS) encodeSuper() []byte {
+	b := make([]byte, BlockSize)
+	binary.BigEndian.PutUint32(b[0:], magic)
+	binary.BigEndian.PutUint64(b[4:], uint64(fs.nblocks))
+	binary.BigEndian.PutUint64(b[12:], uint64(fs.inodeBlocks))
+	binary.BigEndian.PutUint32(b[20:], fs.fsid)
+	return b
+}
+
+// WriteSuper flushes the superblock (done once at format time by callers
+// that care about full recoverability).
+func (fs *FS) WriteSuper(p *sim.Proc) {
+	fs.dev.WriteBlocks(p, 0, fs.encodeSuper())
+}
+
+// Mount re-reads a filesystem previously written to dev: superblock, then
+// every inode block; the allocation bitmaps are rebuilt by walking the
+// block pointers of live inodes (what fsck does). All volatile state is
+// discarded — this is the crash-recovery entry point.
+func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
+	sb := make([]byte, BlockSize)
+	dev.ReadBlocks(p, 0, sb)
+	if binary.BigEndian.Uint32(sb[0:]) != magic {
+		return nil, fmt.Errorf("ufs: bad magic on device")
+	}
+	fs := &FS{
+		sim:         s,
+		dev:         dev,
+		fsid:        binary.BigEndian.Uint32(sb[20:]),
+		nblocks:     int64(binary.BigEndian.Uint64(sb[4:])),
+		inodeBlocks: int64(binary.BigEndian.Uint64(sb[12:])),
+		inodes:      make(map[vfs.Ino]*inode),
+		cache:       make(map[int64]*buf),
+	}
+	fs.dataStart = 1 + fs.inodeBlocks
+	fs.ninodes = int(fs.inodeBlocks) * InodesPerBlock
+	fs.blockMap = make([]bool, fs.nblocks)
+	for i := int64(0); i < fs.dataStart; i++ {
+		fs.blockMap[i] = true
+	}
+	fs.inodeMap = make([]bool, fs.ninodes+1)
+	fs.inodeMap[0] = true
+	fs.rotor = fs.dataStart
+
+	// Read the inode region and rebuild the tables.
+	blk := make([]byte, BlockSize)
+	for ib := int64(0); ib < fs.inodeBlocks; ib++ {
+		dev.ReadBlocks(p, 1+ib, blk)
+		for j := 0; j < InodesPerBlock; j++ {
+			ino := vfs.Ino(ib)*InodesPerBlock + vfs.Ino(j) + 1
+			if int(ino) > fs.ninodes {
+				break
+			}
+			in := decodeInode(ino, blk[j*InodeSize:(j+1)*InodeSize])
+			if in == nil {
+				continue
+			}
+			fs.inodes[ino] = in
+			fs.inodeMap[ino] = true
+			fs.claimBlocks(p, in)
+		}
+	}
+	return fs, nil
+}
+
+// claimBlocks marks every block reachable from in as used, reading indirect
+// blocks from the device.
+func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
+	for _, b := range in.direct {
+		if b != 0 {
+			fs.blockMap[b] = true
+		}
+	}
+	claimIndirect := func(blk int64, depth int) {
+		var walk func(int64, int)
+		walk = func(b int64, d int) {
+			if b == 0 {
+				return
+			}
+			fs.blockMap[b] = true
+			raw := make([]byte, BlockSize)
+			fs.dev.ReadBlocks(p, b, raw)
+			for i := 0; i < PtrsPerBlock; i++ {
+				ptr := int64(binary.BigEndian.Uint64(raw[i*8:]))
+				if ptr == 0 {
+					continue
+				}
+				if d > 0 {
+					walk(ptr, d-1)
+				} else {
+					fs.blockMap[ptr] = true
+				}
+			}
+		}
+		walk(blk, depth)
+	}
+	claimIndirect(in.indirect, 0)
+	claimIndirect(in.dindirect, 1)
+}
+
+// getBuf returns the cache buffer for physical block phys, reading it from
+// the device if fill is true and it is absent.
+func (fs *FS) getBuf(p *sim.Proc, phys int64, fill bool) *buf {
+	if b, ok := fs.cache[phys]; ok {
+		return b
+	}
+	b := &buf{phys: phys, data: make([]byte, BlockSize)}
+	if fill {
+		fs.dev.ReadBlocks(p, phys, b.data)
+	}
+	fs.cache[phys] = b
+	return b
+}
+
+// writeBuf pushes one cache buffer to the device synchronously.
+func (fs *FS) writeBuf(p *sim.Proc, b *buf) {
+	fs.dev.WriteBlocks(p, b.phys, b.data)
+	b.dirty = false
+}
+
+// DropCaches discards all volatile state without flushing: the crash.
+// After this, only Mount can resurrect the filesystem.
+func (fs *FS) DropCaches() {
+	fs.cache = make(map[int64]*buf)
+	fs.inodes = make(map[vfs.Ino]*inode)
+}

@@ -1,0 +1,45 @@
+package vfs
+
+import "testing"
+
+func TestIOFlagsDistinct(t *testing.T) {
+	flags := []IOFlags{IOSync, IODataOnly, IODelayData}
+	for i, a := range flags {
+		for j, b := range flags {
+			if i != j && a&b != 0 {
+				t.Fatalf("flags %d and %d overlap", i, j)
+			}
+		}
+	}
+	combined := IOSync | IODataOnly
+	if combined&IOSync == 0 || combined&IODataOnly == 0 {
+		t.Fatal("flag combination broken")
+	}
+}
+
+func TestFsyncFlagsDistinct(t *testing.T) {
+	if FWrite&FWriteMetadata != 0 {
+		t.Fatal("fsync flags overlap")
+	}
+}
+
+func TestErrorsDistinct(t *testing.T) {
+	errs := []error{ErrNoEnt, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty, ErrNoSpace, ErrStale, ErrFBig}
+	seen := map[string]bool{}
+	for _, e := range errs {
+		if e == nil || e.Error() == "" {
+			t.Fatal("empty error")
+		}
+		if seen[e.Error()] {
+			t.Fatalf("duplicate error text %q", e.Error())
+		}
+		seen[e.Error()] = true
+	}
+}
+
+func TestSetAttrZeroValueLeavesEverything(t *testing.T) {
+	var sa SetAttr
+	if sa.Mode != nil || sa.UID != nil || sa.GID != nil || sa.Size != nil {
+		t.Fatal("zero SetAttr must mean no changes")
+	}
+}

@@ -1,0 +1,322 @@
+// Package workload provides the load generators behind the paper's
+// evaluation: the sequential 10MB file-copy of Tables 1-6 and a
+// LADDIS-like mixed operation generator (Wittle & Keith 1993) for the
+// SPEC SFS curves of Figures 2 and 3.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// FileCopy writes a size-byte file named name sequentially through cli and
+// returns the client-observed elapsed time, matching the paper's
+// "client write speed" measurement (first write generated to close
+// completion).
+func FileCopy(p *sim.Proc, cli *client.Client, root nfsproto.FH, name string, size int) (sim.Duration, error) {
+	cres, err := cli.Create(p, root, name, 0644)
+	if err != nil {
+		return 0, fmt.Errorf("workload: create %s: %w", name, err)
+	}
+	if cres.Status != nfsproto.OK {
+		return 0, fmt.Errorf("workload: create %s: %v", name, cres.Status)
+	}
+	return cli.WriteFile(p, cres.File, size)
+}
+
+// Op is one LADDIS operation type.
+type Op int
+
+// LADDIS operation classes.
+const (
+	OpLookup Op = iota
+	OpRead
+	OpWrite
+	OpGetattr
+	OpReaddir
+	OpCreate
+	OpRemove
+	OpStatfs
+	OpSetattr
+	numOps
+)
+
+var opNames = [numOps]string{
+	"lookup", "read", "write", "getattr", "readdir",
+	"create", "remove", "statfs", "setattr",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Mix is an operation mix in percent. It should sum to 100.
+type Mix [numOps]int
+
+// LADDISMix approximates the SPEC SFS 1.0 (097.LADDIS) operation mix with
+// 15% writes (§7.2). READLINK's share is folded into GETATTR because the
+// served filesystem has no symlinks; both are lightweight attribute-path
+// operations.
+func LADDISMix() Mix {
+	return Mix{
+		OpLookup:  34,
+		OpRead:    22,
+		OpWrite:   15,
+		OpGetattr: 21, // 13% getattr + 8% readlink
+		OpReaddir: 3,
+		OpCreate:  2,
+		OpRemove:  1,
+		OpStatfs:  1,
+		OpSetattr: 1,
+	}
+}
+
+// LADDISConfig parameterizes a mixed-load run.
+type LADDISConfig struct {
+	// Mix is the op mix; zero value means LADDISMix.
+	Mix Mix
+	// Files is the working-set size (pre-created, pre-filled files).
+	Files int
+	// FileBlocks is each working file's size in 8K blocks.
+	FileBlocks int
+	// OfferedOpsPerSec is the open-loop aggregate request rate.
+	OfferedOpsPerSec float64
+	// Procs is the number of generator processes (paper: 4 per client).
+	Procs int
+	// Warmup operations are excluded from latency statistics.
+	Warmup int
+	// Duration bounds the measured phase.
+	Duration sim.Duration
+	// Seed drives op/file/offset selection.
+	Seed int64
+}
+
+// LADDISResult is one point on the throughput/latency curve.
+type LADDISResult struct {
+	AchievedOpsPerSec float64
+	AvgLatencyMs      float64
+	P95LatencyMs      float64
+	PerOp             map[string]int
+	Errors            int
+}
+
+// LADDIS drives the mixed workload through cli against the server's root
+// and reports achieved throughput and latency. The caller provides the
+// process; the run creates its own working set first (unmeasured).
+type LADDIS struct {
+	cfg  LADDISConfig
+	cli  *client.Client
+	root nfsproto.FH
+
+	files   []nfsproto.FH
+	cursors []int // per-file append cursor, in blocks
+	scratch nfsproto.FH
+	lat     stats.Latency
+	done    int
+	errors  int
+	perOp   map[string]int
+	seq     int
+}
+
+// NewLADDIS builds a generator bound to one client.
+func NewLADDIS(cli *client.Client, root nfsproto.FH, cfg LADDISConfig) *LADDIS {
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = LADDISMix()
+	}
+	if cfg.Files == 0 {
+		cfg.Files = 20
+	}
+	if cfg.FileBlocks == 0 {
+		cfg.FileBlocks = 4
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 4
+	}
+	return &LADDIS{cfg: cfg, cli: cli, root: root, perOp: make(map[string]int)}
+}
+
+// Setup creates and fills the working set (not measured).
+func (l *LADDIS) Setup(p *sim.Proc) error {
+	mres, err := l.cli.Mkdir(p, l.root, "scratch-"+l.cli.Name(), 0755)
+	if err != nil || mres.Status != nfsproto.OK {
+		return fmt.Errorf("workload: scratch mkdir: %v %v", err, mres)
+	}
+	l.scratch = mres.File
+	buf := make([]byte, nfsproto.MaxData)
+	for i := 0; i < l.cfg.Files; i++ {
+		name := fmt.Sprintf("ws-%s-%d", l.cli.Name(), i)
+		cres, err := l.cli.Create(p, l.root, name, 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			return fmt.Errorf("workload: create %s: %v", name, err)
+		}
+		for b := 0; b < l.cfg.FileBlocks; b++ {
+			client.FillPattern(buf, uint32(b*nfsproto.MaxData))
+			if err := l.cli.WriteSync(p, cres.File, uint32(b*nfsproto.MaxData), buf); err != nil {
+				return fmt.Errorf("workload: fill %s: %w", name, err)
+			}
+		}
+		l.files = append(l.files, cres.File)
+		l.cursors = append(l.cursors, l.cfg.FileBlocks)
+	}
+	return nil
+}
+
+// burstLen draws the number of back-to-back 8K WRITE RPCs one SFS write
+// operation issues. SFS 1.0 write sizes span 8K to >100K; the weights
+// below give a mean near 2.5 requests.
+func burstLen(r int) int {
+	switch v := r % 100; {
+	case v < 45:
+		return 1
+	case v < 75:
+		return 2
+	case v < 92:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// pickOp selects the next operation per the mix.
+func (l *LADDIS) pickOp(r int) Op {
+	r = r % 100
+	acc := 0
+	for op := Op(0); op < numOps; op++ {
+		acc += l.cfg.Mix[op]
+		if r < acc {
+			return op
+		}
+	}
+	return OpLookup
+}
+
+// Run launches the generator processes and blocks p until the measured
+// phase completes, returning the curve point.
+func (l *LADDIS) Run(p *sim.Proc) LADDISResult {
+	s := p.Sim()
+	rng := s.Rand()
+	start := s.Now()
+	end := start.Add(l.cfg.Duration)
+	interval := sim.Duration(float64(sim.Second) / l.cfg.OfferedOpsPerSec * float64(l.cfg.Procs))
+	finished := 0
+	cond := sim.NewCond(s)
+	for g := 0; g < l.cfg.Procs; g++ {
+		s.Spawn(fmt.Sprintf("laddis-%s-%d", l.cli.Name(), g), func(q *sim.Proc) {
+			defer func() { finished++; cond.Broadcast() }()
+			for q.Now() < end {
+				// Open-loop Poisson arrivals: exponential gaps.
+				gap := sim.Duration(rng.ExpFloat64() * float64(interval))
+				if gap > 0 {
+					q.Sleep(gap)
+				}
+				if q.Now() >= end {
+					return
+				}
+				l.doOp(q, rng.Intn(1000000))
+			}
+		})
+	}
+	for finished < l.cfg.Procs {
+		cond.Wait(p)
+	}
+	elapsed := s.Now().Sub(start)
+	res := LADDISResult{
+		AchievedOpsPerSec: float64(l.done) / elapsed.Seconds(),
+		Errors:            l.errors,
+		PerOp:             l.perOp,
+	}
+	if l.lat.N() > 0 {
+		res.AvgLatencyMs = sim.Duration(l.lat.Mean()).Millis()
+		res.P95LatencyMs = sim.Duration(l.lat.Percentile(95)).Millis()
+	}
+	return res
+}
+
+// doOp executes one operation and records its latency.
+func (l *LADDIS) doOp(q *sim.Proc, r int) {
+	op := l.pickOp(r)
+	fh := l.files[r%len(l.files)]
+	off := uint32(r/7%l.cfg.FileBlocks) * nfsproto.MaxData
+	begin := q.Now()
+	var err error
+	switch op {
+	case OpLookup:
+		_, err = l.cli.Lookup(q, l.root, fmt.Sprintf("ws-%s-%d", l.cli.Name(), r%l.cfg.Files))
+	case OpRead:
+		_, err = l.cli.Read(q, fh, off, nfsproto.MaxData)
+	case OpWrite:
+		// One SFS write op is a burst of sequential 8K overwrites within
+		// one pre-created working file, issued concurrently the way client
+		// biods would emit them — the traffic write gathering exploits.
+		// Overwrites of allocated blocks are the common SFS case, so the
+		// standard server usually pays one disk op per request (§4.4).
+		idx := r % len(l.files)
+		burst := burstLen(r / 13)
+		if burst > l.cfg.FileBlocks {
+			burst = l.cfg.FileBlocks
+		}
+		if l.cursors[idx]+burst > l.cfg.FileBlocks {
+			l.cursors[idx] = 0
+		}
+		startBlk := l.cursors[idx]
+		l.cursors[idx] += burst
+		fh := l.files[idx]
+		s := q.Sim()
+		remaining := burst
+		burstDone := sim.NewCond(s)
+		for i := 0; i < burst; i++ {
+			off := uint32(startBlk+i) * nfsproto.MaxData
+			s.Spawn("laddis-write", func(w *sim.Proc) {
+				buf := make([]byte, nfsproto.MaxData)
+				client.FillPattern(buf, off)
+				wbegin := w.Now()
+				if werr := l.cli.WriteSync(w, fh, off, buf); werr != nil {
+					l.errors++
+				} else if l.done > l.cfg.Warmup {
+					l.lat.Record(w.Now().Sub(wbegin))
+				}
+				l.done++
+				l.perOp[OpWrite.String()]++
+				remaining--
+				if remaining == 0 {
+					burstDone.Signal()
+				}
+			})
+		}
+		for remaining > 0 {
+			burstDone.Wait(q)
+		}
+		return
+	case OpGetattr:
+		_, err = l.cli.Getattr(q, fh)
+	case OpReaddir:
+		_, err = l.cli.Readdir(q, l.root, 0, 512)
+	case OpCreate:
+		l.seq++
+		var cres *nfsproto.DirOpRes
+		cres, err = l.cli.Create(q, l.scratch, fmt.Sprintf("t%d", l.seq), 0644)
+		if err == nil && cres.Status == nfsproto.OK {
+			// Keep the scratch directory bounded: remove as we go.
+			l.cli.Remove(q, l.scratch, fmt.Sprintf("t%d", l.seq))
+		}
+	case OpRemove:
+		// Remove of a nonexistent name exercises the path cheaply.
+		_, err = l.cli.Remove(q, l.scratch, "absent")
+	case OpStatfs:
+		_, err = l.cli.Call(q, nfsproto.ProcStatfs, (&nfsproto.FHArgs{File: l.root}).Encode())
+	case OpSetattr:
+		sa := nfsproto.DefaultSAttr(0644)
+		_, err = l.cli.Setattr(q, fh, sa)
+	}
+	l.done++
+	l.perOp[op.String()]++
+	if err != nil {
+		l.errors++
+		return
+	}
+	if l.done > l.cfg.Warmup {
+		l.lat.Record(q.Now().Sub(begin))
+	}
+}

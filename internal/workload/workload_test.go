@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// testbed builds a minimal FDDI rig for workload tests.
+func testbed(t *testing.T, gathering bool) (*sim.Sim, *client.Client, *server.Server) {
+	t.Helper()
+	s := sim.New(7)
+	n := netsim.New(s, hw.FDDI())
+	cpu := sim.NewResource(s, 1)
+	costs := hw.DEC3800CPU()
+	d := disk.New(s, hw.RZ26())
+	dev := server.NewChargedDevice(d, cpu, costs.DriverTrip)
+	fs, err := ufs.Format(s, dev, 1, 512)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	cfg := server.Config{NumNfsds: 8, Costs: costs, CPU: cpu, Gathering: gathering}
+	if gathering {
+		cfg.Gather = core.DefaultConfig(false, hw.FDDI().Procrastinate)
+	}
+	srv := server.New(s, n, fs, cfg)
+	fs.ChargeMeta = func(p *sim.Proc) { cpu.Use(p, costs.MetaUpdate) }
+	cli := client.New(s, n, "c", "server", hw.DEC3000Client(), 4)
+	return s, cli, srv
+}
+
+func TestFileCopyHelper(t *testing.T) {
+	s, cli, srv := testbed(t, true)
+	var elapsed sim.Duration
+	var err error
+	s.Spawn("app", func(p *sim.Proc) {
+		elapsed, err = FileCopy(p, cli, srvRootFH(srv), "f", 128*1024)
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatalf("FileCopy: %v", err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if cli.WriteCounter.Bytes != 128*1024 {
+		t.Fatalf("bytes written = %d", cli.WriteCounter.Bytes)
+	}
+}
+
+func TestFileCopyDuplicateNameFails(t *testing.T) {
+	s, cli, srv := testbed(t, false)
+	var err1, err2 error
+	s.Spawn("app", func(p *sim.Proc) {
+		_, err1 = FileCopy(p, cli, srvRootFH(srv), "dup", 8192)
+		_, err2 = FileCopy(p, cli, srvRootFH(srv), "dup", 8192)
+	})
+	s.Run(0)
+	if err1 != nil {
+		t.Fatalf("first copy: %v", err1)
+	}
+	if err2 == nil {
+		t.Fatal("second copy with same name succeeded")
+	}
+}
+
+func TestMixSumsTo100(t *testing.T) {
+	m := LADDISMix()
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("mix sums to %d", sum)
+	}
+	if m[OpWrite] != 15 {
+		t.Fatalf("write share = %d%%, paper says 15%%", m[OpWrite])
+	}
+}
+
+func TestPickOpDistribution(t *testing.T) {
+	l := NewLADDIS(nil, [32]byte{}, LADDISConfig{})
+	counts := map[Op]int{}
+	for r := 0; r < 100; r++ {
+		counts[l.pickOp(r)]++
+	}
+	// Over one full modulus cycle the histogram equals the mix exactly.
+	for op, want := range map[Op]int{OpLookup: 34, OpRead: 22, OpWrite: 15, OpGetattr: 21} {
+		if counts[op] != want {
+			t.Fatalf("op %v count = %d, want %d", op, counts[op], want)
+		}
+	}
+}
+
+func TestBurstLenDistribution(t *testing.T) {
+	total, weighted := 0, 0
+	for r := 0; r < 100; r++ {
+		b := burstLen(r)
+		if b != 1 && b != 2 && b != 4 && b != 8 {
+			t.Fatalf("burstLen(%d) = %d", r, b)
+		}
+		total++
+		weighted += b
+	}
+	mean := float64(weighted) / float64(total)
+	if mean < 2.0 || mean < 1 || mean > 3.2 {
+		t.Fatalf("mean burst = %v, want ~2.5", mean)
+	}
+}
+
+func TestLADDISSetupAndRun(t *testing.T) {
+	s, cli, srv := testbed(t, false)
+	gen := NewLADDIS(cli, srvRootFH(srv), LADDISConfig{
+		Files: 4, FileBlocks: 4, OfferedOpsPerSec: 100, Procs: 2,
+		Duration: 2 * sim.Second, Seed: 1,
+	})
+	var res LADDISResult
+	s.Spawn("driver", func(p *sim.Proc) {
+		if err := gen.Setup(p); err != nil {
+			t.Errorf("Setup: %v", err)
+			return
+		}
+		res = gen.Run(p)
+	})
+	s.Run(0)
+	if res.AchievedOpsPerSec <= 0 {
+		t.Fatalf("achieved = %v", res.AchievedOpsPerSec)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, perOp = %v", res.Errors, res.PerOp)
+	}
+	if res.AvgLatencyMs <= 0 {
+		t.Fatal("no latency measured")
+	}
+	// The mix should have produced several distinct op types.
+	if len(res.PerOp) < 4 {
+		t.Fatalf("perOp too narrow: %v", res.PerOp)
+	}
+}
+
+func TestLADDISGathersWriteBursts(t *testing.T) {
+	s, cli, srv := testbed(t, true)
+	gen := NewLADDIS(cli, srvRootFH(srv), LADDISConfig{
+		Files: 2, FileBlocks: 8, OfferedOpsPerSec: 200, Procs: 2,
+		Duration: 2 * sim.Second, Seed: 5,
+	})
+	s.Spawn("driver", func(p *sim.Proc) {
+		if err := gen.Setup(p); err != nil {
+			t.Errorf("Setup: %v", err)
+			return
+		}
+		gen.Run(p)
+	})
+	s.Run(0)
+	st := srv.Engine().Stats()
+	if st.Writes == 0 {
+		t.Fatal("no gathered writes")
+	}
+	if srv.Engine().PendingReplies() != 0 {
+		t.Fatal("descriptors leaked")
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("no multi-write gathers formed: %+v", st)
+	}
+}
+
+func srvRootFH(s *server.Server) [32]byte { return s.RootFH() }

@@ -1,0 +1,169 @@
+// Package xdr implements External Data Representation (XDR, RFC 1014)
+// encoding and decoding as used by ONC RPC and NFS. All quantities are
+// big-endian and padded to 4-byte boundaries.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	ErrBadLength   = errors.New("xdr: implausible length")
+	ErrBadBool     = errors.New("xdr: boolean not 0 or 1")
+)
+
+// maxLen bounds variable-length opaque/string sizes to protect decoders fed
+// garbage: nothing in NFSv2 exceeds 8K data plus small headers.
+const maxLen = 1 << 20
+
+// Encoder appends XDR-encoded values to a byte slice.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing into buf (may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded bytes.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR "unsigned hyper").
+func (e *Encoder) Uint64(v uint64) {
+	e.Uint32(uint32(v >> 32))
+	e.Uint32(uint32(v))
+}
+
+// Bool encodes a boolean as 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// FixedOpaque encodes fixed-length opaque data (no length prefix), padded
+// to a multiple of 4 bytes.
+func (e *Encoder) FixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	for pad := (4 - len(b)%4) % 4; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Opaque encodes variable-length opaque data: length then padded bytes.
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.FixedOpaque(b)
+}
+
+// String encodes an XDR string.
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Decoder consumes XDR-encoded values from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Offset reports the current read position.
+func (d *Decoder) Offset() int { return d.off }
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	if d.Remaining() < 4 {
+		return 0, ErrShortBuffer
+	}
+	b := d.buf[d.off:]
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	d.off += 4
+	return v, nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	hi, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	return uint64(hi)<<32 | uint64(lo), nil
+}
+
+// Bool decodes a boolean, insisting on 0 or 1.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: %d", ErrBadBool, v)
+	}
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data plus padding.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	if n < 0 || n > maxLen {
+		return nil, ErrBadLength
+	}
+	padded := n + (4-n%4)%4
+	if d.Remaining() < padded {
+		return nil, ErrShortBuffer
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:d.off+n])
+	d.off += padded
+	return out, nil
+}
+
+// Opaque decodes variable-length opaque data.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, n)
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
