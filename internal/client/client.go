@@ -15,6 +15,7 @@ import (
 	"repro/internal/oncrpc"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/xdr"
 )
 
 // Errors returned by the RPC layer.
@@ -34,6 +35,12 @@ type Client struct {
 
 	xidSeq  uint32
 	pending map[uint32]*pendingCall
+	freePC  []*pendingCall // pendingCall pool
+	credRaw []byte         // AUTH_UNIX credential, constant per client
+	// wbufs pools MaxData-sized write payload buffers for WriteFile;
+	// a buffer is released once the WRITE RPC carrying it has encoded
+	// and completed.
+	wbufs [][]byte
 
 	jobs      *sim.Queue[*writeJob]
 	idleBiods int
@@ -55,15 +62,53 @@ type Client struct {
 }
 
 type pendingCall struct {
-	cond  *sim.Cond
+	cond  sim.Cond
 	reply *oncrpc.ReplyMsg
 }
 
+// getPC takes a pending-call record from the pool.
+func (c *Client) getPC() *pendingCall {
+	if n := len(c.freePC); n > 0 {
+		pc := c.freePC[n-1]
+		c.freePC = c.freePC[:n-1]
+		pc.reply = nil
+		pc.cond.Init(c.sim)
+		return pc
+	}
+	pc := &pendingCall{}
+	pc.cond.Init(c.sim)
+	return pc
+}
+
+// argsEncoder is the argument half of an NFS procedure.
+type argsEncoder interface {
+	EncodedSize() int
+	EncodeTo(e *xdr.Encoder)
+}
+
+// getWBuf takes an n-byte write payload buffer from the pool.
+func (c *Client) getWBuf(n int) []byte {
+	if k := len(c.wbufs); k > 0 {
+		b := c.wbufs[k-1]
+		c.wbufs = c.wbufs[:k-1]
+		return b[:n]
+	}
+	return make([]byte, n, nfsproto.MaxData)
+}
+
+// putWBuf returns a pooled write buffer once its RPC has completed.
+func (c *Client) putWBuf(b []byte) {
+	if cap(b) == nfsproto.MaxData {
+		c.wbufs = append(c.wbufs, b[:0])
+	}
+}
+
 type writeJob struct {
-	fh   nfsproto.FH
-	off  uint32
-	data []byte
-	c    *Client
+	fh     nfsproto.FH
+	off    uint32
+	data   []byte
+	pooled bool // data came from the client's write-buffer pool
+	c      *Client
 }
 
 // New attaches a client named name to the network, pointed at server, with
@@ -81,6 +126,7 @@ func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientPar
 		numBiods:  numBiods,
 		closeCond: sim.NewCond(s),
 		MaxRTO:    params.RetransMax,
+		credRaw:   (&oncrpc.UnixCred{MachineName: name, UID: 0, GID: 0}).Encode(),
 	}
 	s.Spawn(name+"-recv", c.receiver)
 	for i := 0; i < numBiods; i++ {
@@ -97,6 +143,7 @@ func (c *Client) receiver(p *sim.Proc) {
 	for {
 		dg := c.ep.Inbox.Get(p)
 		reply, err := oncrpc.DecodeReply(dg.Payload)
+		dg.Release()
 		if err != nil {
 			continue
 		}
@@ -111,8 +158,23 @@ func (c *Client) receiver(p *sim.Proc) {
 	}
 }
 
-// Call performs one RPC with retransmission and backoff. It blocks p until
-// a reply arrives or retransmission gives up (~8 attempts).
+// call performs one RPC, encoding the RPC header and the procedure
+// arguments into a single exactly-sized wire buffer (no intermediate args
+// slice), then running the retransmission loop.
+func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder) (*oncrpc.ReplyMsg, error) {
+	cred := oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: c.credRaw}
+	verf := oncrpc.NullAuth()
+	c.xidSeq++
+	xid := c.xidSeq
+	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+args.EncodedSize()))
+	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(proc), cred, verf)
+	args.EncodeTo(e)
+	return c.finishCall(p, xid, e.Bytes())
+}
+
+// Call performs one RPC with pre-encoded args and with retransmission and
+// backoff. It blocks p until a reply arrives or retransmission gives up
+// (~8 attempts).
 func (c *Client) Call(p *sim.Proc, proc nfsproto.Proc, args []byte) (*oncrpc.ReplyMsg, error) {
 	c.xidSeq++
 	xid := c.xidSeq
@@ -121,14 +183,23 @@ func (c *Client) Call(p *sim.Proc, proc nfsproto.Proc, args []byte) (*oncrpc.Rep
 		Prog: nfsproto.Program,
 		Vers: nfsproto.Version,
 		Proc: uint32(proc),
-		Cred: oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: (&oncrpc.UnixCred{MachineName: c.name, UID: 0, GID: 0}).Encode()},
+		Cred: oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: c.credRaw},
 		Verf: oncrpc.NullAuth(),
 		Args: args,
 	}
-	raw := call.Encode()
-	pc := &pendingCall{cond: sim.NewCond(c.sim)}
+	return c.finishCall(p, xid, call.Encode())
+}
+
+// finishCall registers the pending call and runs the retransmission loop.
+// raw must not be mutated afterwards: in-flight and queued (possibly
+// retransmitted) datagrams alias it.
+func (c *Client) finishCall(p *sim.Proc, xid uint32, raw []byte) (*oncrpc.ReplyMsg, error) {
+	pc := c.getPC()
 	c.pending[xid] = pc
-	defer delete(c.pending, xid)
+	defer func() {
+		delete(c.pending, xid)
+		c.freePC = append(c.freePC, pc)
+	}()
 
 	rto := c.params.RetransTimeout
 	c.Calls++
@@ -158,7 +229,7 @@ func (c *Client) Call(p *sim.Proc, proc nfsproto.Proc, args []byte) (*oncrpc.Rep
 // Lookup resolves name in dir.
 func (c *Client) Lookup(p *sim.Proc, dir nfsproto.FH, name string) (*nfsproto.DirOpRes, error) {
 	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
-	reply, err := c.Call(p, nfsproto.ProcLookup, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcLookup, args)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +242,7 @@ func (c *Client) Create(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) 
 		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
 		Attr:  nfsproto.DefaultSAttr(mode),
 	}
-	reply, err := c.Call(p, nfsproto.ProcCreate, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcCreate, args)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +255,7 @@ func (c *Client) Mkdir(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (
 		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
 		Attr:  nfsproto.DefaultSAttr(mode),
 	}
-	reply, err := c.Call(p, nfsproto.ProcMkdir, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcMkdir, args)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +265,7 @@ func (c *Client) Mkdir(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (
 // Getattr fetches attributes.
 func (c *Client) Getattr(p *sim.Proc, fh nfsproto.FH) (*nfsproto.AttrStat, error) {
 	args := &nfsproto.FHArgs{File: fh}
-	reply, err := c.Call(p, nfsproto.ProcGetattr, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcGetattr, args)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +275,7 @@ func (c *Client) Getattr(p *sim.Proc, fh nfsproto.FH) (*nfsproto.AttrStat, error
 // Setattr applies attributes.
 func (c *Client) Setattr(p *sim.Proc, fh nfsproto.FH, sa nfsproto.SAttr) (*nfsproto.AttrStat, error) {
 	args := &nfsproto.SetattrArgs{File: fh, Attr: sa}
-	reply, err := c.Call(p, nfsproto.ProcSetattr, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcSetattr, args)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +285,7 @@ func (c *Client) Setattr(p *sim.Proc, fh nfsproto.FH, sa nfsproto.SAttr) (*nfspr
 // Read fetches count bytes at off.
 func (c *Client) Read(p *sim.Proc, fh nfsproto.FH, off, count uint32) (*nfsproto.ReadRes, error) {
 	args := &nfsproto.ReadArgs{File: fh, Offset: off, Count: count}
-	reply, err := c.Call(p, nfsproto.ProcRead, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcRead, args)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +295,7 @@ func (c *Client) Read(p *sim.Proc, fh nfsproto.FH, off, count uint32) (*nfsproto
 // Remove unlinks name in dir.
 func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Status, error) {
 	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
-	reply, err := c.Call(p, nfsproto.ProcRemove, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcRemove, args)
 	if err != nil {
 		return nfsproto.ErrIO, err
 	}
@@ -238,7 +309,7 @@ func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Sta
 // Readdir lists a directory page.
 func (c *Client) Readdir(p *sim.Proc, dir nfsproto.FH, cookie, count uint32) (*nfsproto.ReaddirRes, error) {
 	args := &nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: count}
-	reply, err := c.Call(p, nfsproto.ProcReaddir, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcReaddir, args)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +324,7 @@ func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte)
 	if c.OnWriteEvent != nil {
 		c.OnWriteEvent("send", off, len(data))
 	}
-	reply, err := c.Call(p, nfsproto.ProcWrite, args.Encode())
+	reply, err := c.call(p, nfsproto.ProcWrite, args)
 	if c.OnWriteEvent != nil {
 		c.OnWriteEvent("reply", off, len(data))
 	}
@@ -279,6 +350,9 @@ func (c *Client) biod(p *sim.Proc) {
 		job := c.jobs.Get(p)
 		c.idleBiods--
 		_ = job.c.WriteSync(p, job.fh, job.off, job.data)
+		if job.pooled {
+			job.c.putWBuf(job.data)
+		}
 		c.outstanding--
 		c.closeCond.Broadcast()
 	}
@@ -289,12 +363,20 @@ func (c *Client) biod(p *sim.Proc) {
 // request completes (§4.1's flow control). The queued case returns
 // immediately.
 func (c *Client) WriteBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte) error {
+	return c.writeBehind(p, fh, off, data, false)
+}
+
+func (c *Client) writeBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte, pooled bool) error {
 	if c.idleBiods > c.jobs.Len() {
 		c.outstanding++
-		c.jobs.Put(&writeJob{fh: fh, off: off, data: data, c: c})
+		c.jobs.Put(&writeJob{fh: fh, off: off, data: data, pooled: pooled, c: c})
 		return nil
 	}
-	return c.WriteSync(p, fh, off, data)
+	err := c.WriteSync(p, fh, off, data)
+	if pooled {
+		c.putWBuf(data)
+	}
+	return err
 }
 
 // Close blocks until all outstanding write-behind requests have received
@@ -310,7 +392,26 @@ func (c *Client) Outstanding() int { return c.outstanding }
 
 // FillPattern writes the deterministic audit pattern for file offset off
 // into buf; crash tests regenerate it to check recovered contents.
+//
+// The byte at absolute offset x is byte(x*2654435761 + x>>13). Within an
+// 8K-aligned window the x>>13 term is constant and the x*K term only
+// depends on x mod 256, so the pattern repeats every 256 bytes; the fast
+// path fills one period and doubles it with copy.
 func FillPattern(buf []byte, off uint32) {
+	head := len(buf)
+	if off&8191 == 0 && head <= 8192 {
+		if head > 256 {
+			head = 256
+		}
+		for i := 0; i < head; i++ {
+			x := off + uint32(i)
+			buf[i] = byte(x*2654435761 + x>>13)
+		}
+		for i := head; i < len(buf); i *= 2 {
+			copy(buf[i:], buf[:i])
+		}
+		return
+	}
 	for i := range buf {
 		x := off + uint32(i)
 		buf[i] = byte(x*2654435761 + x>>13)
@@ -328,10 +429,10 @@ func (c *Client) WriteFile(p *sim.Proc, fh nfsproto.FH, size int) (sim.Duration,
 		if n > remaining {
 			n = remaining
 		}
-		buf := make([]byte, n)
+		buf := c.getWBuf(n)
 		FillPattern(buf, off)
 		p.Sleep(c.params.WriteGenerate)
-		if err := c.WriteBehind(p, fh, off, buf); err != nil {
+		if err := c.writeBehind(p, fh, off, buf, true); err != nil {
 			return 0, err
 		}
 		off += uint32(n)

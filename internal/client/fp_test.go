@@ -1,0 +1,26 @@
+package client
+
+import "testing"
+
+func TestFillPatternFastPathIdentical(t *testing.T) {
+	ref := func(buf []byte, off uint32) {
+		for i := range buf {
+			x := off + uint32(i)
+			buf[i] = byte(x*2654435761 + x>>13)
+		}
+	}
+	for _, tc := range []struct {
+		off uint32
+		n   int
+	}{{0, 8192}, {8192, 8192}, {81920, 8192}, {0, 100}, {0, 300}, {16384, 5000}, {24576, 8192}, {7, 512}, {8192, 9000}} {
+		a := make([]byte, tc.n)
+		b := make([]byte, tc.n)
+		FillPattern(a, tc.off)
+		ref(b, tc.off)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("off=%d n=%d mismatch at %d: %d != %d", tc.off, tc.n, i, a[i], b[i])
+			}
+		}
+	}
+}

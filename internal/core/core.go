@@ -129,6 +129,7 @@ type Engine struct {
 
 	locks  *VnodeLocks
 	files  map[vfs.Ino]*fileGather
+	freeFG []*fileGather // retired per-file gather records
 	nfsds  []NfsdState
 	stats  Stats
 	inUse  int // detached transport handles currently held
@@ -140,6 +141,25 @@ type Engine struct {
 type fileGather struct {
 	active int
 	queue  []*WriteDesc
+	spare  []*WriteDesc // retired batch backing, reused by the next queue
+}
+
+// takeBatch detaches the owed-reply queue for a commit, re-arming the
+// queue on separate backing (writes arriving mid-commit append to it) so
+// the batch slice can be recycled afterwards via doneBatch.
+func (g *fileGather) takeBatch() []*WriteDesc {
+	batch := g.queue
+	g.queue = g.spare[:0]
+	g.spare = nil
+	return batch
+}
+
+// doneBatch recycles a fully-sent batch as the next queue backing.
+func (g *fileGather) doneBatch(batch []*WriteDesc) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	g.spare = batch[:0]
 }
 
 // NewEngine builds an engine over fs for a server with numNfsds daemons.
@@ -185,7 +205,12 @@ func (e *Engine) PendingReplies() int {
 func (e *Engine) file(ino vfs.Ino) *fileGather {
 	g, ok := e.files[ino]
 	if !ok {
-		g = &fileGather{}
+		if n := len(e.freeFG); n > 0 {
+			g = e.freeFG[n-1]
+			e.freeFG = e.freeFG[:n-1]
+		} else {
+			g = &fileGather{}
+		}
 		e.files[ino] = g
 	}
 	return g
@@ -194,6 +219,8 @@ func (e *Engine) file(ino vfs.Ino) *fileGather {
 func (e *Engine) release(ino vfs.Ino, g *fileGather) {
 	if g.active == 0 && len(g.queue) == 0 {
 		delete(e.files, ino)
+		g.queue = g.queue[:0]
+		e.freeFG = append(e.freeFG, g)
 	}
 }
 
@@ -299,9 +326,10 @@ func (e *Engine) HandleWrite(p *sim.Proc, nfsd int, d *WriteDesc, data []byte) e
 	// Become the metadata writer and assume responsibility for this file.
 	e.setStage(nfsd, StageFlushing, d)
 	for len(g.queue) > 0 {
-		batch := g.queue
-		g.queue = nil
-		if err := e.commit(p, d.Ino, batch); err != nil {
+		batch := g.takeBatch()
+		err := e.commit(p, d.Ino, batch)
+		g.doneBatch(batch)
+		if err != nil {
 			g.active--
 			e.release(d.Ino, g)
 			e.setStage(nfsd, StageIdle, nil)
@@ -353,9 +381,9 @@ func (e *Engine) commit(p *sim.Proc, ino vfs.Ino, batch []*WriteDesc) error {
 
 // failBatch aborts the gather on an I/O error mid-decision.
 func (e *Engine) failBatch(p *sim.Proc, nfsd int, g *fileGather, d *WriteDesc, err error) error {
-	batch := g.queue
-	g.queue = nil
+	batch := g.takeBatch()
 	e.sendAll(p, batch, false)
+	g.doneBatch(batch)
 	g.active--
 	e.release(d.Ino, g)
 	e.setStage(nfsd, StageIdle, nil)
@@ -398,9 +426,10 @@ func (e *Engine) AdoptOrphan(p *sim.Proc, nfsd int, ino vfs.Ino) bool {
 	e.setStage(nfsd, StageFlushing, &WriteDesc{Ino: ino})
 	adopted := false
 	for len(g.queue) > 0 {
-		batch := g.queue
-		g.queue = nil
-		if err := e.commit(p, ino, batch); err != nil {
+		batch := g.takeBatch()
+		err := e.commit(p, ino, batch)
+		g.doneBatch(batch)
+		if err != nil {
 			break
 		}
 		adopted = true

@@ -12,8 +12,9 @@ import (
 // VOP_WRITE; the gathering path holds it only across the data hand-off and
 // the metadata commit, never while procrastinating.
 type VnodeLocks struct {
-	s *sim.Sim
-	m map[vfs.Ino]*vnlock
+	s    *sim.Sim
+	m    map[vfs.Ino]*vnlock
+	free []*vnlock // retired table entries, reused by the next Lock
 }
 
 type vnlock struct {
@@ -30,15 +31,20 @@ func NewVnodeLocks(s *sim.Sim) *VnodeLocks {
 func (v *VnodeLocks) Lock(p *sim.Proc, ino vfs.Ino) {
 	l, ok := v.m[ino]
 	if !ok {
-		l = &vnlock{r: sim.NewResource(v.s, 1)}
+		if n := len(v.free); n > 0 {
+			l = v.free[n-1]
+			v.free = v.free[:n-1]
+		} else {
+			l = &vnlock{r: sim.NewResource(v.s, 1)}
+		}
 		v.m[ino] = l
 	}
 	l.refs++
 	l.r.Acquire(p)
 }
 
-// Unlock releases ino's lock, discarding the table entry when no one
-// holds or waits for it.
+// Unlock releases ino's lock, retiring the table entry to the free list
+// when no one holds or waits for it.
 func (v *VnodeLocks) Unlock(ino vfs.Ino) {
 	l, ok := v.m[ino]
 	if !ok {
@@ -48,6 +54,7 @@ func (v *VnodeLocks) Unlock(ino vfs.Ino) {
 	l.refs--
 	if l.refs == 0 {
 		delete(v.m, ino)
+		v.free = append(v.free, l)
 	}
 }
 

@@ -193,9 +193,14 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 func (d *Disk) storeBytes(blk int64, data []byte) {
 	nb := int64(len(data) / d.p.BlockSize)
 	for i := int64(0); i < nb; i++ {
-		b := make([]byte, d.p.BlockSize)
+		b := d.data[blk+i]
+		if b == nil {
+			// First write to this block; later rewrites reuse the buffer
+			// (platter contents are only ever read through copies).
+			b = make([]byte, d.p.BlockSize)
+			d.data[blk+i] = b
+		}
 		copy(b, data[i*int64(d.p.BlockSize):(i+1)*int64(d.p.BlockSize)])
-		d.data[blk+i] = b
 	}
 }
 
@@ -223,6 +228,7 @@ type Stripe struct {
 	members    []*Disk
 	unitBlocks int64 // stripe unit in blocks
 	stats      Stats
+	segPool    [][]segment // scratch for segments (rw yields, so pooled)
 }
 
 // NewStripe builds a stripe set over members with the given stripe unit in
@@ -278,9 +284,18 @@ type segment struct {
 }
 
 // segments splits a logical transfer into per-member contiguous pieces.
+func (st *Stripe) getSegs() []segment {
+	if n := len(st.segPool); n > 0 {
+		s := st.segPool[n-1]
+		st.segPool = st.segPool[:n-1]
+		return s[:0]
+	}
+	return make([]segment, 0, 8)
+}
+
 func (st *Stripe) segments(blk int64, n int) []segment {
 	bs := int64(st.BlockSize())
-	var segs []segment
+	segs := st.getSegs()
 	remaining := int64(n) / bs
 	cur := blk
 	off := 0
@@ -333,6 +348,7 @@ func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
 		panic("disk: stripe transfer not block aligned")
 	}
 	segs := st.segments(blk, len(buf))
+	defer func() { st.segPool = append(st.segPool, segs) }()
 	if len(segs) == 1 {
 		s := segs[0]
 		if write {

@@ -20,6 +20,11 @@ const UDPIPOverhead = 28 // IP (20) + UDP (8)
 const PerFragmentHeader = 34
 
 // Datagram is one UDP message in flight or queued at a receiver.
+//
+// Datagrams are pooled per Network: a consumer that has finished with one
+// (the payload may still be referenced — Release only drops the struct's
+// references) can hand it back with Release, and the next Send reuses it.
+// Consumers that never call Release simply leave collection to the GC.
 type Datagram struct {
 	From    string
 	To      string
@@ -34,6 +39,28 @@ type Datagram struct {
 	// Parsed is a memoization slot for receivers that peek at queued
 	// datagrams (the server's mbuf hunter).
 	Parsed any
+
+	net *Network  // pool owner; nil once released
+	dst *Endpoint // delivery target for the in-flight latency event
+	// deliver is bound once per pooled record so the per-send latency
+	// event needs no fresh closure.
+	deliver func()
+}
+
+// Release returns the datagram record to its network's pool. The payload
+// bytes are not recycled — slices aliasing them (decoded calls, replies,
+// write data) stay valid. Releasing twice is a no-op.
+func (d *Datagram) Release() {
+	n := d.net
+	if n == nil {
+		return
+	}
+	d.net = nil
+	d.dst = nil
+	d.Payload = nil
+	d.Parsed = nil
+	d.From, d.To = "", ""
+	n.free = append(n.free, d)
 }
 
 // Endpoint is a named host attachment with a receive socket buffer.
@@ -50,6 +77,7 @@ type Network struct {
 	p         hw.NetParams
 	medium    *sim.Resource
 	endpoints map[string]*Endpoint
+	free      []*Datagram // datagram record pool
 
 	// Counters.
 	SentDatagrams uint64
@@ -129,12 +157,32 @@ func (n *Network) Send(p *sim.Proc, from, to string, payload []byte) bool {
 		n.DropsNoDest++
 		return false
 	}
-	dg := &Datagram{
-		From: from, To: to, Payload: payload,
-		Frags: frags, WireSize: wire, Sent: n.sim.Now(),
-	}
-	n.sim.At(n.p.Latency, func() { dst.Inbox.Put(dg) })
+	dg := n.getDatagram()
+	dg.From, dg.To, dg.Payload = from, to, payload
+	dg.Frags, dg.WireSize, dg.Sent = frags, wire, n.sim.Now()
+	dg.dst = dst
+	n.sim.At(n.p.Latency, dg.deliver)
 	return true
+}
+
+// getDatagram takes a record from the pool, or builds one with its
+// delivery closure bound.
+func (n *Network) getDatagram() *Datagram {
+	if k := len(n.free); k > 0 {
+		d := n.free[k-1]
+		n.free = n.free[:k-1]
+		d.net = n
+		return d
+	}
+	d := &Datagram{net: n}
+	d.deliver = func() {
+		if !d.dst.Inbox.Put(d) {
+			// Socket buffer overflow: the datagram dies here, exactly as
+			// a UDP socket drops it; recycle the record immediately.
+			d.Release()
+		}
+	}
+	return d
 }
 
 // Drops reports datagrams dropped at an endpoint's socket buffer.

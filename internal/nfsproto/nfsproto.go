@@ -318,13 +318,29 @@ type AttrStat struct {
 	Attr   FAttr
 }
 
-// Encode serializes the result.
-func (r *AttrStat) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// fattrSize is the encoded size of an FAttr (17 words).
+const fattrSize = 68
+
+// EncodedSize reports the exact encoded size of the result.
+func (r *AttrStat) EncodedSize() int {
+	if r.Status == OK {
+		return 4 + fattrSize
+	}
+	return 4
+}
+
+// EncodeTo appends the result to e.
+func (r *AttrStat) EncodeTo(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
 	if r.Status == OK {
 		r.Attr.encode(e)
 	}
+}
+
+// Encode serializes the result.
+func (r *AttrStat) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.EncodedSize()))
+	r.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -350,11 +366,19 @@ type DirOpArgs struct {
 	Name string
 }
 
-// Encode serializes the arguments.
-func (a *DirOpArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *DirOpArgs) EncodedSize() int { return FHSize + xdr.OpaqueSize(len(a.Name)) }
+
+// EncodeTo appends the arguments to e.
+func (a *DirOpArgs) EncodeTo(e *xdr.Encoder) {
 	e.FixedOpaque(a.Dir[:])
 	e.String(a.Name)
+}
+
+// Encode serializes the arguments.
+func (a *DirOpArgs) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -373,7 +397,7 @@ func DecodeDirOpArgs(b []byte) (*DirOpArgs, error) {
 }
 
 func decodeFH(d *xdr.Decoder, fh *FH) error {
-	b, err := d.FixedOpaque(FHSize)
+	b, err := d.FixedOpaqueRef(FHSize)
 	if err != nil {
 		return err
 	}
@@ -389,14 +413,27 @@ type DirOpRes struct {
 	Attr   FAttr
 }
 
-// Encode serializes the result.
-func (r *DirOpRes) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the result.
+func (r *DirOpRes) EncodedSize() int {
+	if r.Status == OK {
+		return 4 + FHSize + fattrSize
+	}
+	return 4
+}
+
+// EncodeTo appends the result to e.
+func (r *DirOpRes) EncodeTo(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
 	if r.Status == OK {
 		e.FixedOpaque(r.File[:])
 		r.Attr.encode(e)
 	}
+}
+
+// Encode serializes the result.
+func (r *DirOpRes) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.EncodedSize()))
+	r.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -425,11 +462,19 @@ type SetattrArgs struct {
 	Attr SAttr
 }
 
-// Encode serializes the arguments.
-func (a *SetattrArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *SetattrArgs) EncodedSize() int { return FHSize + 32 }
+
+// EncodeTo appends the arguments to e.
+func (a *SetattrArgs) EncodeTo(e *xdr.Encoder) {
 	e.FixedOpaque(a.File[:])
 	a.Attr.encode(e)
+}
+
+// Encode serializes the arguments.
+func (a *SetattrArgs) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -455,13 +500,21 @@ type ReadArgs struct {
 	TotalCount uint32 // unused by the protocol
 }
 
-// Encode serializes the arguments.
-func (a *ReadArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *ReadArgs) EncodedSize() int { return FHSize + 12 }
+
+// EncodeTo appends the arguments to e.
+func (a *ReadArgs) EncodeTo(e *xdr.Encoder) {
 	e.FixedOpaque(a.File[:])
 	e.Uint32(a.Offset)
 	e.Uint32(a.Count)
 	e.Uint32(a.TotalCount)
+}
+
+// Encode serializes the arguments.
+func (a *ReadArgs) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -492,14 +545,27 @@ type ReadRes struct {
 	Data   []byte
 }
 
-// Encode serializes the result.
-func (r *ReadRes) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the result.
+func (r *ReadRes) EncodedSize() int {
+	if r.Status == OK {
+		return 4 + fattrSize + xdr.OpaqueSize(len(r.Data))
+	}
+	return 4
+}
+
+// EncodeTo appends the result to e.
+func (r *ReadRes) EncodeTo(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
 	if r.Status == OK {
 		r.Attr.encode(e)
 		e.Opaque(r.Data)
 	}
+}
+
+// Encode serializes the result.
+func (r *ReadRes) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.EncodedSize()))
+	r.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -515,7 +581,7 @@ func DecodeReadRes(b []byte) (*ReadRes, error) {
 		if r.Attr, err = decodeFAttr(d); err != nil {
 			return nil, err
 		}
-		if r.Data, err = d.Opaque(); err != nil {
+		if r.Data, err = d.OpaqueRef(); err != nil {
 			return nil, err
 		}
 	}
@@ -532,38 +598,55 @@ type WriteArgs struct {
 	Data        []byte
 }
 
-// Encode serializes the arguments.
-func (a *WriteArgs) Encode() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, 52+len(a.Data)))
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *WriteArgs) EncodedSize() int { return FHSize + 12 + xdr.OpaqueSize(len(a.Data)) }
+
+// EncodeTo appends the arguments to e.
+func (a *WriteArgs) EncodeTo(e *xdr.Encoder) {
 	e.FixedOpaque(a.File[:])
 	e.Uint32(a.BeginOffset)
 	e.Uint32(a.Offset)
 	e.Uint32(a.TotalCount)
 	e.Opaque(a.Data)
+}
+
+// Encode serializes the arguments.
+func (a *WriteArgs) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
-// DecodeWriteArgs parses WRITE arguments.
+// DecodeWriteArgs parses WRITE arguments. Data aliases b.
 func DecodeWriteArgs(b []byte) (*WriteArgs, error) {
-	d := xdr.NewDecoder(b)
 	a := &WriteArgs{}
-	if err := decodeFH(d, &a.File); err != nil {
-		return nil, err
-	}
-	var err error
-	if a.BeginOffset, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	if a.Offset, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	if a.TotalCount, err = d.Uint32(); err != nil {
-		return nil, err
-	}
-	if a.Data, err = d.Opaque(); err != nil {
+	if err := DecodeWriteArgsInto(b, a); err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// DecodeWriteArgsInto parses WRITE arguments into a caller-owned struct
+// (which may be pooled). Data aliases b.
+func DecodeWriteArgsInto(b []byte, a *WriteArgs) error {
+	d := xdr.NewDecoder(b)
+	if err := decodeFH(d, &a.File); err != nil {
+		return err
+	}
+	var err error
+	if a.BeginOffset, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.Offset, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.TotalCount, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.Data, err = d.OpaqueRef(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // WireSize reports the encoded size of the WRITE call body (args only),
@@ -579,12 +662,19 @@ type CreateArgs struct {
 	Attr  SAttr
 }
 
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *CreateArgs) EncodedSize() int { return a.Where.EncodedSize() + 32 }
+
+// EncodeTo appends the arguments to e.
+func (a *CreateArgs) EncodeTo(e *xdr.Encoder) {
+	a.Where.EncodeTo(e)
+	a.Attr.encode(e)
+}
+
 // Encode serializes the arguments.
 func (a *CreateArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
-	e.FixedOpaque(a.Where.Dir[:])
-	e.String(a.Where.Name)
-	a.Attr.encode(e)
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -611,13 +701,19 @@ type RenameArgs struct {
 	To   DirOpArgs
 }
 
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *RenameArgs) EncodedSize() int { return a.From.EncodedSize() + a.To.EncodedSize() }
+
+// EncodeTo appends the arguments to e.
+func (a *RenameArgs) EncodeTo(e *xdr.Encoder) {
+	a.From.EncodeTo(e)
+	a.To.EncodeTo(e)
+}
+
 // Encode serializes the arguments.
 func (a *RenameArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
-	e.FixedOpaque(a.From.Dir[:])
-	e.String(a.From.Name)
-	e.FixedOpaque(a.To.Dir[:])
-	e.String(a.To.Name)
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -648,10 +744,16 @@ type StatusRes struct {
 	Status Status
 }
 
+// EncodedSize reports the exact encoded size of the result.
+func (r *StatusRes) EncodedSize() int { return 4 }
+
+// EncodeTo appends the result to e.
+func (r *StatusRes) EncodeTo(e *xdr.Encoder) { e.Uint32(uint32(r.Status)) }
+
 // Encode serializes the result.
 func (r *StatusRes) Encode() []byte {
-	e := xdr.NewEncoder(nil)
-	e.Uint32(uint32(r.Status))
+	e := xdr.NewEncoder(make([]byte, 0, 4))
+	r.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -672,12 +774,20 @@ type ReaddirArgs struct {
 	Count  uint32
 }
 
-// Encode serializes the arguments.
-func (a *ReaddirArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *ReaddirArgs) EncodedSize() int { return FHSize + 8 }
+
+// EncodeTo appends the arguments to e.
+func (a *ReaddirArgs) EncodeTo(e *xdr.Encoder) {
 	e.FixedOpaque(a.Dir[:])
 	e.Uint32(a.Cookie)
 	e.Uint32(a.Count)
+}
+
+// Encode serializes the arguments.
+func (a *ReaddirArgs) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, a.EncodedSize()))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -712,9 +822,20 @@ type ReaddirRes struct {
 	EOF     bool
 }
 
-// Encode serializes the result.
-func (r *ReaddirRes) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the result.
+func (r *ReaddirRes) EncodedSize() int {
+	if r.Status != OK {
+		return 4
+	}
+	n := 4 + 8
+	for _, ent := range r.Entries {
+		n += 12 + xdr.OpaqueSize(len(ent.Name))
+	}
+	return n
+}
+
+// EncodeTo appends the result to e.
+func (r *ReaddirRes) EncodeTo(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
 	if r.Status == OK {
 		for _, ent := range r.Entries {
@@ -726,6 +847,12 @@ func (r *ReaddirRes) Encode() []byte {
 		e.Bool(false) // end of list
 		e.Bool(r.EOF)
 	}
+}
+
+// Encode serializes the result.
+func (r *ReaddirRes) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.EncodedSize()))
+	r.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -776,9 +903,16 @@ type StatfsRes struct {
 	BAvail uint32 // free blocks available to non-root
 }
 
-// Encode serializes the result.
-func (r *StatfsRes) Encode() []byte {
-	e := xdr.NewEncoder(nil)
+// EncodedSize reports the exact encoded size of the result.
+func (r *StatfsRes) EncodedSize() int {
+	if r.Status == OK {
+		return 24
+	}
+	return 4
+}
+
+// EncodeTo appends the result to e.
+func (r *StatfsRes) EncodeTo(e *xdr.Encoder) {
 	e.Uint32(uint32(r.Status))
 	if r.Status == OK {
 		e.Uint32(r.TSize)
@@ -787,6 +921,12 @@ func (r *StatfsRes) Encode() []byte {
 		e.Uint32(r.BFree)
 		e.Uint32(r.BAvail)
 	}
+}
+
+// Encode serializes the result.
+func (r *StatfsRes) Encode() []byte {
+	e := xdr.NewEncoder(make([]byte, 0, r.EncodedSize()))
+	r.EncodeTo(e)
 	return e.Bytes()
 }
 
@@ -816,10 +956,16 @@ type FHArgs struct {
 	File FH
 }
 
+// EncodedSize reports the exact encoded size of the arguments.
+func (a *FHArgs) EncodedSize() int { return FHSize }
+
+// EncodeTo appends the arguments to e.
+func (a *FHArgs) EncodeTo(e *xdr.Encoder) { e.FixedOpaque(a.File[:]) }
+
 // Encode serializes the arguments.
 func (a *FHArgs) Encode() []byte {
-	e := xdr.NewEncoder(nil)
-	e.FixedOpaque(a.File[:])
+	e := xdr.NewEncoder(make([]byte, 0, FHSize))
+	a.EncodeTo(e)
 	return e.Bytes()
 }
 

@@ -138,9 +138,16 @@ type CallMsg struct {
 	Args []byte // procedure-specific, already XDR encoded
 }
 
-// Encode serializes the call to wire format.
+// EncodedSize reports the exact wire size of the call: six fixed header
+// words, two auth blocks (flavor word + opaque body each), then the args.
+func (c *CallMsg) EncodedSize() int {
+	return 32 + xdr.OpaqueSize(len(c.Cred.Body)) + xdr.OpaqueSize(len(c.Verf.Body)) + len(c.Args)
+}
+
+// Encode serializes the call to wire format in a single exactly-sized
+// buffer (the args are spliced in, not re-encoded).
 func (c *CallMsg) Encode() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, 40+len(c.Args)))
+	e := xdr.NewEncoder(make([]byte, 0, c.EncodedSize()))
 	e.Uint32(c.XID)
 	e.Uint32(uint32(Call))
 	e.Uint32(RPCVersion)
@@ -151,59 +158,90 @@ func (c *CallMsg) Encode() []byte {
 	e.Opaque(c.Cred.Body)
 	e.Uint32(uint32(c.Verf.Flavor))
 	e.Opaque(c.Verf.Body)
-	out := e.Bytes()
-	return append(out, c.Args...)
+	e.Raw(c.Args)
+	return e.Bytes()
+}
+
+// CallHeaderSize reports the exact encoded size of the call header
+// (everything before the args) for the given credential and verifier.
+func CallHeaderSize(cred, verf OpaqueAuth) int {
+	return 32 + xdr.OpaqueSize(len(cred.Body)) + xdr.OpaqueSize(len(verf.Body))
+}
+
+// AppendCallHeader appends a call header to e; the caller then encodes the
+// procedure arguments directly after it, so header and args share one
+// buffer (the client-side twin of AppendSuccessHeader).
+func AppendCallHeader(e *xdr.Encoder, xid, prog, vers, proc uint32, cred, verf OpaqueAuth) {
+	e.Uint32(xid)
+	e.Uint32(uint32(Call))
+	e.Uint32(RPCVersion)
+	e.Uint32(prog)
+	e.Uint32(vers)
+	e.Uint32(proc)
+	e.Uint32(uint32(cred.Flavor))
+	e.Opaque(cred.Body)
+	e.Uint32(uint32(verf.Flavor))
+	e.Opaque(verf.Body)
 }
 
 // DecodeCall parses a call message. The Args field aliases the tail of b.
 func DecodeCall(b []byte) (*CallMsg, error) {
-	d := xdr.NewDecoder(b)
 	c := &CallMsg{}
+	if err := DecodeCallInto(b, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DecodeCallInto parses a call message into a caller-owned struct (which
+// may be pooled). The Args, Cred.Body and Verf.Body fields alias b.
+func DecodeCallInto(b []byte, c *CallMsg) error {
+	d := xdr.NewDecoder(b)
 	var err error
 	if c.XID, err = d.Uint32(); err != nil {
-		return nil, err
+		return err
 	}
 	mt, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if MsgType(mt) != Call {
-		return nil, ErrNotCall
+		return ErrNotCall
 	}
 	v, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if v != RPCVersion {
-		return nil, ErrRPCMismatch
+		return ErrRPCMismatch
 	}
 	if c.Prog, err = d.Uint32(); err != nil {
-		return nil, err
+		return err
 	}
 	if c.Vers, err = d.Uint32(); err != nil {
-		return nil, err
+		return err
 	}
 	if c.Proc, err = d.Uint32(); err != nil {
-		return nil, err
+		return err
 	}
 	cf, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.Cred.Flavor = AuthFlavor(cf)
-	if c.Cred.Body, err = d.Opaque(); err != nil {
-		return nil, err
+	if c.Cred.Body, err = d.OpaqueRef(); err != nil {
+		return err
 	}
 	vf, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.Verf.Flavor = AuthFlavor(vf)
-	if c.Verf.Body, err = d.Opaque(); err != nil {
-		return nil, err
+	if c.Verf.Body, err = d.OpaqueRef(); err != nil {
+		return err
 	}
 	c.Args = b[d.Offset():]
-	return c, nil
+	return nil
 }
 
 // ReplyMsg is an accepted or denied RPC reply.
@@ -227,9 +265,25 @@ func ErrorReply(xid uint32, st AcceptStat) *ReplyMsg {
 	return &ReplyMsg{XID: xid, Stat: MsgAccepted, AccStat: st, Verf: NullAuth()}
 }
 
-// Encode serializes the reply to wire format.
+// EncodedSize reports the exact wire size of the reply.
+func (r *ReplyMsg) EncodedSize() int {
+	if r.Stat == MsgDenied {
+		return 24
+	}
+	n := 20 + xdr.OpaqueSize(len(r.Verf.Body))
+	switch r.AccStat {
+	case ProgMismatch:
+		n += 8
+	case Success:
+		n += len(r.Results)
+	}
+	return n
+}
+
+// Encode serializes the reply to wire format in a single exactly-sized
+// buffer.
 func (r *ReplyMsg) Encode() []byte {
-	e := xdr.NewEncoder(make([]byte, 0, 32+len(r.Results)))
+	e := xdr.NewEncoder(make([]byte, 0, r.EncodedSize()))
 	e.Uint32(r.XID)
 	e.Uint32(uint32(Reply))
 	e.Uint32(uint32(r.Stat))
@@ -247,11 +301,27 @@ func (r *ReplyMsg) Encode() []byte {
 		e.Uint32(r.MismatchLow)
 		e.Uint32(r.MismatchHigh)
 	}
-	out := e.Bytes()
 	if r.AccStat == Success {
-		out = append(out, r.Results...)
+		e.Raw(r.Results)
 	}
-	return out
+	return e.Bytes()
+}
+
+// SuccessHeaderSize is the encoded size of the header AppendSuccessHeader
+// writes: an MSG_ACCEPTED/SUCCESS reply with an AUTH_NULL verifier.
+const SuccessHeaderSize = 24
+
+// AppendSuccessHeader appends the accepted-success reply header for xid to
+// e; the caller then encodes the procedure results directly after it. This
+// is the server fast path: header and results share one exactly-sized
+// buffer instead of being encoded separately and concatenated.
+func AppendSuccessHeader(e *xdr.Encoder, xid uint32) {
+	e.Uint32(xid)
+	e.Uint32(uint32(Reply))
+	e.Uint32(uint32(MsgAccepted))
+	e.Uint32(uint32(AuthNull))
+	e.Uint32(0) // empty verifier body
+	e.Uint32(uint32(Success))
 }
 
 // DecodeReply parses a reply message. Results aliases the tail of b.
@@ -285,7 +355,7 @@ func DecodeReply(b []byte) (*ReplyMsg, error) {
 		return nil, err
 	}
 	r.Verf.Flavor = AuthFlavor(vf)
-	if r.Verf.Body, err = d.Opaque(); err != nil {
+	if r.Verf.Body, err = d.OpaqueRef(); err != nil {
 		return nil, err
 	}
 	as, err := d.Uint32()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/oncrpc"
 	"repro/internal/sim"
 	"repro/internal/vfs"
+	"repro/internal/xdr"
 )
 
 // nfsd is one server daemon: it drains the socket buffer forever,
@@ -15,33 +16,57 @@ func (s *Server) nfsd(p *sim.Proc, id int) {
 	for {
 		dg := s.ep.Inbox.Get(p)
 		s.handle(p, id, dg)
+		// The datagram record and its parse are dead once handled (decoded
+		// slices alias the payload, not the records); recycle them. Write
+		// parses are exempt only on a gathering server, where a detached
+		// reply closure may still hold the WriteArgs after the handler
+		// returns; the standard server always replies synchronously.
+		if pc, ok := dg.Parsed.(*parsedCall); ok && (pc.write == nil || s.engine == nil) {
+			s.putPC(pc)
+		}
+		dg.Release()
 	}
 }
 
 // parsedCall is the memoized decode of a queued datagram, shared between
-// the dispatch path and the mbuf hunter.
+// the dispatch path and the mbuf hunter. Records are pooled on the server
+// and embed their decode targets, so the steady-state request path does
+// not allocate per message.
 type parsedCall struct {
-	call  *oncrpc.CallMsg
-	proc  nfsproto.Proc
-	write *nfsproto.WriteArgs // non-nil for WRITE calls
-	bad   bool
+	call     oncrpc.CallMsg
+	proc     nfsproto.Proc
+	write    *nfsproto.WriteArgs // non-nil for WRITE calls
+	writeBuf nfsproto.WriteArgs
+	bad      bool
 }
+
+// getPC takes a parse record from the pool.
+func (s *Server) getPC() *parsedCall {
+	if n := len(s.freePC); n > 0 {
+		pc := s.freePC[n-1]
+		s.freePC = s.freePC[:n-1]
+		pc.write = nil
+		pc.bad = false
+		return pc
+	}
+	return &parsedCall{}
+}
+
+func (s *Server) putPC(pc *parsedCall) { s.freePC = append(s.freePC, pc) }
 
 // peek decodes a datagram once, caching the result on the datagram.
 func (s *Server) peek(dg *netsim.Datagram) *parsedCall {
 	if pc, ok := dg.Parsed.(*parsedCall); ok {
 		return pc
 	}
-	pc := &parsedCall{}
-	call, err := oncrpc.DecodeCall(dg.Payload)
-	if err != nil {
+	pc := s.getPC()
+	if err := oncrpc.DecodeCallInto(dg.Payload, &pc.call); err != nil {
 		pc.bad = true
 	} else {
-		pc.call = call
-		pc.proc = nfsproto.Proc(call.Proc)
+		pc.proc = nfsproto.Proc(pc.call.Proc)
 		if pc.proc == nfsproto.ProcWrite {
-			if wa, err := nfsproto.DecodeWriteArgs(call.Args); err == nil {
-				pc.write = wa
+			if err := nfsproto.DecodeWriteArgsInto(pc.call.Args, &pc.writeBuf); err == nil {
+				pc.write = &pc.writeBuf
 			} else {
 				pc.bad = true
 			}
@@ -80,7 +105,7 @@ func (s *Server) handle(p *sim.Proc, id int, dg *netsim.Datagram) {
 		s.BadCalls++
 		return
 	}
-	call := pc.call
+	call := &pc.call
 	if call.Prog != nfsproto.Program || call.Vers != nfsproto.Version {
 		s.sendRaw(p, dg.From, oncrpc.ErrorReply(call.XID, oncrpc.ProgUnavail).Encode())
 		return
@@ -107,7 +132,7 @@ func (s *Server) handle(p *sim.Proc, id int, dg *netsim.Datagram) {
 
 	switch pc.proc {
 	case nfsproto.ProcNull:
-		s.reply(p, k, []byte{})
+		s.replyEmpty(p, k)
 		s.count(pc.proc, 0)
 	case nfsproto.ProcGetattr:
 		s.doGetattr(p, k, call)
@@ -139,9 +164,89 @@ func (s *Server) handle(p *sim.Proc, id int, dg *netsim.Datagram) {
 	}
 }
 
-// reply encodes, records and transmits a successful RPC reply.
-func (s *Server) reply(p *sim.Proc, k dupKey, results []byte) {
-	raw := oncrpc.AcceptedReply(k.xid, results).Encode()
+// resultEncoder is the result half of an NFS procedure: it can report its
+// exact wire size and append itself to an encoder, letting the server build
+// header and results in one exactly-sized buffer.
+type resultEncoder interface {
+	EncodedSize() int
+	EncodeTo(e *xdr.Encoder)
+}
+
+// Result scratch: each handler takes a per-server scratch struct AFTER
+// its last yielding filesystem call, fills it, and encodes it into the
+// wire buffer before its next yield, so a single instance per type
+// suffices even with many nfsds — by the time another process can run,
+// the scratch has already been serialized. Taking the scratch before a
+// yielding call would let a concurrent nfsd reset or refill it mid-use.
+
+func (s *Server) resAttrStat() *nfsproto.AttrStat {
+	s.scratchAttrStat = nfsproto.AttrStat{}
+	return &s.scratchAttrStat
+}
+
+func (s *Server) resDirOpRes() *nfsproto.DirOpRes {
+	s.scratchDirOpRes = nfsproto.DirOpRes{}
+	return &s.scratchDirOpRes
+}
+
+func (s *Server) resStatusRes() *nfsproto.StatusRes {
+	s.scratchStatusRes = nfsproto.StatusRes{}
+	return &s.scratchStatusRes
+}
+
+func (s *Server) resReadRes() *nfsproto.ReadRes {
+	s.scratchReadRes = nfsproto.ReadRes{Data: nil}
+	return &s.scratchReadRes
+}
+
+func (s *Server) resReaddirRes() *nfsproto.ReaddirRes {
+	s.scratchReaddirRes.Status = 0
+	s.scratchReaddirRes.EOF = false
+	s.scratchReaddirRes.Entries = s.scratchReaddirRes.Entries[:0]
+	return &s.scratchReaddirRes
+}
+
+func (s *Server) resStatfsRes() *nfsproto.StatfsRes {
+	return &s.scratchStatfsRes
+}
+
+// getReadBuf takes a READ staging buffer from the pool. It is returned
+// via putReadBuf once the reply has been encoded; reads in flight on other
+// nfsds hold their own buffers.
+func (s *Server) getReadBuf(n int) []byte {
+	if k := len(s.readBufs); k > 0 {
+		b := s.readBufs[k-1]
+		s.readBufs = s.readBufs[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n, nfsproto.MaxData)
+}
+
+func (s *Server) putReadBuf(b []byte) {
+	if cap(b) == nfsproto.MaxData {
+		s.readBufs = append(s.readBufs, b[:0])
+	}
+}
+
+// reply encodes, records and transmits a successful RPC reply. The RPC
+// header and procedure results share a single buffer; no intermediate
+// results slice is allocated.
+func (s *Server) reply(p *sim.Proc, k dupKey, res resultEncoder) {
+	e := xdr.NewEncoder(make([]byte, 0, oncrpc.SuccessHeaderSize+res.EncodedSize()))
+	oncrpc.AppendSuccessHeader(e, k.xid)
+	res.EncodeTo(e)
+	raw := e.Bytes()
+	s.dup.done(k, raw)
+	s.sendRaw(p, k.client, raw)
+}
+
+// replyEmpty sends a success reply with empty results (NULL).
+func (s *Server) replyEmpty(p *sim.Proc, k dupKey) {
+	e := xdr.NewEncoder(make([]byte, 0, oncrpc.SuccessHeaderSize))
+	oncrpc.AppendSuccessHeader(e, k.xid)
+	raw := e.Bytes()
 	s.dup.done(k, raw)
 	s.sendRaw(p, k.client, raw)
 }
@@ -222,13 +327,14 @@ func (s *Server) doGetattr(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
 		return
 	}
-	res := &nfsproto.AttrStat{}
-	if a, gerr := s.fs.GetAttr(p, vfs.Ino(args.File.Ino())); gerr != nil {
+	a, gerr := s.fs.GetAttr(p, vfs.Ino(args.File.Ino()))
+	res := s.resAttrStat()
+	if gerr != nil {
 		res.Status = errStatus(gerr)
 	} else {
 		res.Attr = fattrOf(args.File, a)
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcGetattr, 0)
 }
 
@@ -257,13 +363,14 @@ func (s *Server) doSetattr(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		z := args.Attr.Size
 		sa.Size = &z
 	}
-	res := &nfsproto.AttrStat{}
-	if a, serr := s.fs.SetAttrs(p, vfs.Ino(args.File.Ino()), sa); serr != nil {
+	a, serr := s.fs.SetAttrs(p, vfs.Ino(args.File.Ino()), sa)
+	res := s.resAttrStat()
+	if serr != nil {
 		res.Status = errStatus(serr)
 	} else {
 		res.Attr = fattrOf(args.File, a)
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcSetattr, 0)
 }
 
@@ -275,8 +382,8 @@ func (s *Server) doLookup(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
 		return
 	}
-	res := &nfsproto.DirOpRes{}
 	ino, lerr := s.fs.Lookup(p, vfs.Ino(args.Dir.Ino()), args.Name)
+	res := s.resDirOpRes()
 	if lerr != nil {
 		res.Status = errStatus(lerr)
 	} else if fh, a, herr := s.handleFor(p, ino); herr != nil {
@@ -285,7 +392,7 @@ func (s *Server) doLookup(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		res.File = fh
 		res.Attr = fattrOf(fh, a)
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcLookup, 0)
 }
 
@@ -301,10 +408,10 @@ func (s *Server) doRead(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 	if count > nfsproto.MaxData {
 		count = nfsproto.MaxData
 	}
-	buf := make([]byte, count)
+	buf := s.getReadBuf(int(count))
 	ino := vfs.Ino(args.File.Ino())
-	res := &nfsproto.ReadRes{}
 	n, rerr := s.fs.Read(p, ino, args.Offset, buf)
+	res := s.resReadRes()
 	if rerr != nil {
 		res.Status = errStatus(rerr)
 	} else {
@@ -312,7 +419,10 @@ func (s *Server) doRead(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		res.Attr = fattrOf(args.File, a)
 		res.Data = buf[:n]
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
+	// reply has copied the data into the wire buffer; the read buffer can
+	// be pooled again.
+	s.putReadBuf(buf)
 	s.count(nfsproto.ProcRead, n)
 }
 
@@ -352,7 +462,7 @@ func (s *Server) doWrite(p *sim.Proc, id int, k dupKey, pc *parsedCall) {
 
 // writeReply builds and sends a WRITE reply, auditing it when configured.
 func (s *Server) writeReply(p *sim.Proc, k dupKey, args *nfsproto.WriteArgs, ino vfs.Ino, ok bool, err error) {
-	res := &nfsproto.AttrStat{}
+	res := s.resAttrStat()
 	if !ok || err != nil {
 		if err == nil {
 			err = vfs.ErrNoSpace
@@ -372,7 +482,7 @@ func (s *Server) writeReply(p *sim.Proc, k dupKey, args *nfsproto.WriteArgs, ino
 			Offset: args.Offset, Length: uint32(len(args.Data)), When: s.sim.Now(),
 		})
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcWrite, len(args.Data))
 }
 
@@ -395,7 +505,7 @@ func (s *Server) doCreate(p *sim.Proc, k dupKey, call *oncrpc.CallMsg, dir bool)
 	} else {
 		ino, cerr = s.fs.Create(p, vfs.Ino(args.Where.Dir.Ino()), args.Where.Name, mode)
 	}
-	res := &nfsproto.DirOpRes{}
+	res := s.resDirOpRes()
 	if cerr != nil {
 		res.Status = errStatus(cerr)
 	} else if fh, a, herr := s.handleFor(p, ino); herr != nil {
@@ -404,7 +514,7 @@ func (s *Server) doCreate(p *sim.Proc, k dupKey, call *oncrpc.CallMsg, dir bool)
 		res.File = fh
 		res.Attr = fattrOf(fh, a)
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	if dir {
 		s.count(nfsproto.ProcMkdir, 0)
 	} else {
@@ -426,8 +536,9 @@ func (s *Server) doRemove(p *sim.Proc, k dupKey, call *oncrpc.CallMsg, dir bool)
 	} else {
 		rerr = s.fs.Remove(p, vfs.Ino(args.Dir.Ino()), args.Name)
 	}
-	res := &nfsproto.StatusRes{Status: errStatus(rerr)}
-	s.reply(p, k, res.Encode())
+	res := s.resStatusRes()
+	res.Status = errStatus(rerr)
+	s.reply(p, k, res)
 	if dir {
 		s.count(nfsproto.ProcRmdir, 0)
 	} else {
@@ -446,8 +557,9 @@ func (s *Server) doRename(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 	rerr := s.fs.Rename(p,
 		vfs.Ino(args.From.Dir.Ino()), args.From.Name,
 		vfs.Ino(args.To.Dir.Ino()), args.To.Name)
-	res := &nfsproto.StatusRes{Status: errStatus(rerr)}
-	s.reply(p, k, res.Encode())
+	res := s.resStatusRes()
+	res.Status = errStatus(rerr)
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcRename, 0)
 }
 
@@ -459,8 +571,8 @@ func (s *Server) doReaddir(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		s.sendRaw(p, k.client, oncrpc.ErrorReply(k.xid, oncrpc.GarbageArgs).Encode())
 		return
 	}
-	res := &nfsproto.ReaddirRes{}
 	ents, eof, rerr := s.fs.Readdir(p, vfs.Ino(args.Dir.Ino()), args.Cookie, int(args.Count))
+	res := s.resReaddirRes()
 	if rerr != nil {
 		res.Status = errStatus(rerr)
 	} else {
@@ -471,7 +583,7 @@ func (s *Server) doReaddir(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 			})
 		}
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcReaddir, 0)
 }
 
@@ -483,10 +595,11 @@ func (s *Server) doStatfs(p *sim.Proc, k dupKey, call *oncrpc.CallMsg) {
 		return
 	}
 	bs, blocks, free := s.fs.Statfs(p)
-	res := &nfsproto.StatfsRes{
+	res := s.resStatfsRes()
+	*res = nfsproto.StatfsRes{
 		Status: nfsproto.OK, TSize: 8192, BSize: uint32(bs),
 		Blocks: uint32(blocks), BFree: uint32(free), BAvail: uint32(free),
 	}
-	s.reply(p, k, res.Encode())
+	s.reply(p, k, res)
 	s.count(nfsproto.ProcStatfs, 0)
 }

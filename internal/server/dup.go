@@ -26,6 +26,8 @@ type dupCache struct {
 	cap     int
 	entries map[dupKey]*dupEntry
 	order   []dupKey
+	head    int // index of the oldest entry in order
+	free    []*dupEntry
 }
 
 func newDupCache(cap int) *dupCache {
@@ -38,7 +40,15 @@ func (c *dupCache) begin(k dupKey) (*dupEntry, bool) {
 	if e, ok := c.entries[k]; ok {
 		return e, true
 	}
-	e := &dupEntry{state: dupInProgress}
+	var e *dupEntry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+		e.state = dupInProgress
+		e.reply = nil
+	} else {
+		e = &dupEntry{state: dupInProgress}
+	}
 	c.entries[k] = e
 	c.order = append(c.order, k)
 	c.evict()
@@ -56,8 +66,10 @@ func (c *dupCache) done(k dupKey, reply []byte) {
 // forget removes a key (used when a request errors before any reply state
 // should be retained).
 func (c *dupCache) forget(k dupKey) {
-	if _, ok := c.entries[k]; ok {
+	if e, ok := c.entries[k]; ok {
 		delete(c.entries, k)
+		e.reply = nil
+		c.free = append(c.free, e)
 	}
 }
 
@@ -74,14 +86,28 @@ func (c *dupCache) evict() {
 	// a cache of nothing-but-in-progress entries (more outstanding
 	// requests than cap) overflows gracefully instead of spinning.
 	scanned := 0
-	for len(c.order) > c.cap && scanned < len(c.order) {
-		victim := c.order[0]
-		c.order = c.order[1:]
+	for len(c.order)-c.head > c.cap && scanned < len(c.order)-c.head {
+		victim := c.order[c.head]
+		c.order[c.head] = dupKey{}
+		c.head++
 		if e, ok := c.entries[victim]; ok && e.state == dupInProgress {
 			c.order = append(c.order, victim)
 			scanned++
 			continue
+		} else if ok {
+			c.free = append(c.free, e)
+			delete(c.entries, victim)
 		}
-		delete(c.entries, victim)
+	}
+	// Compact once the dead prefix dominates, so order stays O(cap)
+	// instead of growing for the life of the run.
+	if c.head > 0 && (c.head == len(c.order) || c.head >= len(c.order)/2) {
+		n := copy(c.order, c.order[c.head:])
+		tail := c.order[n:]
+		for i := range tail {
+			tail[i] = dupKey{}
+		}
+		c.order = c.order[:n]
+		c.head = 0
 	}
 }

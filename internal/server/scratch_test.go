@@ -1,0 +1,59 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+)
+
+// TestConcurrentHandlersDoNotShareResultState pins the scratch-struct
+// discipline in dispatch.go: a handler must take its per-server result
+// scratch only after its last yielding filesystem call. A SETATTR commits
+// the inode synchronously (the nfsd yields on disk I/O mid-handler); if
+// another nfsd handles a failing GETATTR on a stale handle during that
+// yield and they share result state taken too early, the successful
+// SETATTR comes back with the other handler's error status.
+func TestConcurrentHandlersDoNotShareResultState(t *testing.T) {
+	r := newRig(t, 7, rigOpts{nfsds: 4})
+	root := r.srv.RootFH()
+
+	stale := nfsproto.NewFH(1, 499, 42) // no such inode: GETATTR fails
+
+	var setattrs, errs int
+	r.sim.Spawn("setattr-app", func(p *sim.Proc) {
+		cres, err := r.cli.Create(p, root, "victim.dat", 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			t.Errorf("create: %v %v", err, cres)
+			return
+		}
+		for i := 0; i < 100; i++ {
+			res, err := r.cli.Setattr(p, cres.File, nfsproto.DefaultSAttr(0600))
+			if err != nil {
+				t.Errorf("setattr rpc %d: %v", i, err)
+				return
+			}
+			setattrs++
+			if res.Status != nfsproto.OK {
+				errs++
+			}
+		}
+	})
+	r.sim.Spawn("stale-app", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			res, err := r.cli.Getattr(p, stale)
+			if err != nil || res.Status == nfsproto.OK {
+				t.Errorf("stale getattr %d should fail cleanly: %v %v", i, err, res)
+				return
+			}
+		}
+	})
+	r.sim.Run(0)
+
+	if setattrs != 100 {
+		t.Fatalf("only %d/100 setattrs completed", setattrs)
+	}
+	if errs != 0 {
+		t.Fatalf("%d/%d successful SETATTRs carried an error status leaked from a concurrent handler", errs, setattrs)
+	}
+}

@@ -74,6 +74,16 @@ type Server struct {
 	engine *core.Engine
 	locks  *core.VnodeLocks
 	dup    *dupCache
+	freePC []*parsedCall // parse record pool
+
+	// Per-server result scratch (see dispatch.go).
+	scratchAttrStat   nfsproto.AttrStat
+	scratchDirOpRes   nfsproto.DirOpRes
+	scratchStatusRes  nfsproto.StatusRes
+	scratchReadRes    nfsproto.ReadRes
+	scratchReaddirRes nfsproto.ReaddirRes
+	scratchStatfsRes  nfsproto.StatfsRes
+	readBufs          [][]byte
 
 	// Counters the experiments read.
 	OpCounts    map[nfsproto.Proc]*stats.Counter

@@ -3,25 +3,85 @@ package sim
 // Cond is a condition variable for simulation processes. Waiters are woken
 // in FIFO order. Unlike sync.Cond there is no associated lock: the kernel's
 // one-process-at-a-time discipline makes state inspection before Wait safe.
+//
+// The wait list is a head-indexed slice of pooled waiter records, so the
+// steady-state wait/signal cycle allocates nothing and the backing array is
+// not retained by repeated front-pops.
 type Cond struct {
 	sim     *Sim
 	waiters []*condWaiter
+	head    int
 }
 
+// condWaiter is one blocked process. Records are pooled on the Sim: a
+// waiter is detached from its Cond before the owning process resumes, so
+// the process can safely return the record to the pool on wake-up.
 type condWaiter struct {
+	c        *Cond
 	p        *Proc
 	signaled bool
 	removed  bool
-	timeout  *Event
+	timeout  Event
 }
 
 // NewCond returns a condition variable bound to s.
 func NewCond(s *Sim) *Cond { return &Cond{sim: s} }
 
+// Init (re)binds c to s and empties the wait list. It lets callers embed a
+// Cond by value inside pooled records instead of allocating with NewCond.
+func (c *Cond) Init(s *Sim) {
+	c.sim = s
+	c.waiters = c.waiters[:0]
+	c.head = 0
+}
+
+func (s *Sim) newWaiter(c *Cond, p *Proc) *condWaiter {
+	if n := len(s.freeWaiters); n > 0 {
+		w := s.freeWaiters[n-1]
+		s.freeWaiters = s.freeWaiters[:n-1]
+		w.c, w.p = c, p
+		w.signaled, w.removed = false, false
+		w.timeout = Event{}
+		return w
+	}
+	return &condWaiter{c: c, p: p}
+}
+
+func (s *Sim) putWaiter(w *condWaiter) {
+	w.c, w.p = nil, nil
+	s.freeWaiters = append(s.freeWaiters, w)
+}
+
+// fireTimeout is the typed target of a WaitTimeout deadline event: detach
+// the waiter from its Cond and wake the process. Detaching eagerly (rather
+// than leaving a tombstone for Signal to sweep) is what makes the record
+// safe to recycle the moment WaitTimeout returns.
+func (w *condWaiter) fireTimeout(s *Sim) {
+	w.removed = true
+	w.c.detach(w)
+	s.dispatch(w.p)
+}
+
+// detach removes w from the wait list, preserving FIFO order.
+func (c *Cond) detach(w *condWaiter) {
+	for i := c.head; i < len(c.waiters); i++ {
+		if c.waiters[i] == w {
+			copy(c.waiters[i:], c.waiters[i+1:])
+			c.waiters[len(c.waiters)-1] = nil
+			c.waiters = c.waiters[:len(c.waiters)-1]
+			if c.head == len(c.waiters) {
+				c.waiters = c.waiters[:0]
+				c.head = 0
+			}
+			return
+		}
+	}
+}
+
 // Waiters reports how many processes are currently blocked on the Cond.
 func (c *Cond) Waiters() int {
 	n := 0
-	for _, w := range c.waiters {
+	for _, w := range c.waiters[c.head:] {
 		if !w.removed {
 			n++
 		}
@@ -31,31 +91,35 @@ func (c *Cond) Waiters() int {
 
 // Wait blocks p until a Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
-	w := &condWaiter{p: p}
+	w := c.sim.newWaiter(c, p)
 	c.waiters = append(c.waiters, w)
 	p.yield()
+	// Only a Signal resumes a plain Wait, and Signal pops the waiter from
+	// the list first, so the record is ours alone again.
+	c.sim.putWaiter(w)
 }
 
 // WaitTimeout blocks p until signaled or until d elapses. It reports true
 // if the process was signaled, false on timeout.
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
-	w := &condWaiter{p: p}
-	w.timeout = c.sim.At(d, func() {
-		// Timed out: detach from the wait list and wake the process.
-		w.removed = true
-		c.sim.dispatch(p)
-	})
+	w := c.sim.newWaiter(c, p)
+	e := c.sim.schedule(d, nil, nil, w)
+	w.timeout = Event{e: e, gen: e.gen}
 	c.waiters = append(c.waiters, w)
 	p.yield()
-	return w.signaled
+	signaled := w.signaled
+	c.sim.putWaiter(w)
+	return signaled
 }
 
 // Signal wakes the longest-waiting process, if any. It reports whether a
 // waiter was woken.
 func (c *Cond) Signal() bool {
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	for c.head < len(c.waiters) {
+		w := c.waiters[c.head]
+		c.waiters[c.head] = nil
+		c.head++
+		c.compact()
 		if w.removed {
 			continue
 		}
@@ -63,6 +127,26 @@ func (c *Cond) Signal() bool {
 		return true
 	}
 	return false
+}
+
+// compact reclaims the dead prefix of the wait list. Without it a cond
+// whose list never fully drains (an idle daemon pool re-waiting after
+// every signal) would grow its slice by one slot per wake forever.
+func (c *Cond) compact() {
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+		return
+	}
+	if c.head >= 16 && c.head >= len(c.waiters)/2 {
+		n := copy(c.waiters, c.waiters[c.head:])
+		tail := c.waiters[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		c.waiters = c.waiters[:n]
+		c.head = 0
+	}
 }
 
 // Broadcast wakes all waiting processes in FIFO order. It returns the
@@ -79,8 +163,7 @@ func (c *Cond) wake(w *condWaiter) {
 	w.signaled = true
 	w.removed = true
 	w.timeout.Cancel()
-	p := w.p
-	c.sim.At(0, func() { c.sim.dispatch(p) })
+	c.sim.wakeProc(w.p)
 }
 
 // Resource is a counting semaphore with FIFO admission, used to model

@@ -8,9 +8,15 @@ package sim
 //
 // Capacity may be expressed in items, in bytes (via a size function), or
 // both; a zero limit means unlimited in that dimension.
+//
+// Storage is a growable ring buffer: steady-state Put/Get cycles allocate
+// nothing and never strand the backing array the way repeated items[1:]
+// re-slicing would.
 type Queue[T any] struct {
 	sim      *Sim
-	items    []T
+	buf      []T // ring storage; len(buf) is the current capacity
+	head     int // index of the oldest element
+	count    int // number of queued elements
 	maxItems int
 	maxBytes int
 	curBytes int
@@ -36,6 +42,29 @@ func NewByteQueue[T any](s *Sim, maxItems, maxBytes int, sizeOf func(T) int) *Qu
 	return &Queue[T]{sim: s, maxItems: maxItems, maxBytes: maxBytes, sizeOf: sizeOf, cond: NewCond(s)}
 }
 
+// slot maps logical index i (0 = oldest) to a physical buffer index.
+func (q *Queue[T]) slot(i int) int {
+	p := q.head + i
+	if p >= len(q.buf) {
+		p -= len(q.buf)
+	}
+	return p
+}
+
+// grow doubles the ring, unwrapping the live elements to the front.
+func (q *Queue[T]) grow() {
+	nc := 2 * len(q.buf)
+	if nc == 0 {
+		nc = 8
+	}
+	nb := make([]T, nc)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[q.slot(i)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
 // Put appends v if the queue has room and reports whether it was accepted.
 // On overflow the item is dropped and the drop counter incremented.
 func (q *Queue[T]) Put(v T) bool {
@@ -43,7 +72,7 @@ func (q *Queue[T]) Put(v T) bool {
 	if q.sizeOf != nil {
 		sz = q.sizeOf(v)
 	}
-	if q.maxItems > 0 && len(q.items) >= q.maxItems {
+	if q.maxItems > 0 && q.count >= q.maxItems {
 		q.drops++
 		return false
 	}
@@ -51,11 +80,15 @@ func (q *Queue[T]) Put(v T) bool {
 		q.drops++
 		return false
 	}
-	q.items = append(q.items, v)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.slot(q.count)] = v
+	q.count++
 	q.curBytes += sz
 	q.puts++
-	if len(q.items) > q.peakItems {
-		q.peakItems = len(q.items)
+	if q.count > q.peakItems {
+		q.peakItems = q.count
 	}
 	q.cond.Signal()
 	return true
@@ -63,7 +96,7 @@ func (q *Queue[T]) Put(v T) bool {
 
 // Get blocks p until an item is available and returns the oldest one.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.count == 0 {
 		q.cond.Wait(p)
 	}
 	return q.pop()
@@ -72,14 +105,14 @@ func (q *Queue[T]) Get(p *Proc) T {
 // GetTimeout blocks like Get but gives up after d; ok is false on timeout.
 func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
 	deadline := q.sim.Now().Add(d)
-	for len(q.items) == 0 {
+	for q.count == 0 {
 		remain := deadline.Sub(q.sim.Now())
 		if remain <= 0 {
 			return v, false
 		}
 		if !q.cond.WaitTimeout(p, remain) {
 			// timed out waiting; re-check emptiness in case of races
-			if len(q.items) == 0 {
+			if q.count == 0 {
 				return v, false
 			}
 		}
@@ -89,17 +122,21 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
 
 // TryGet returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return v, false
 	}
 	return q.pop(), true
 }
 
 func (q *Queue[T]) pop() T {
-	v := q.items[0]
 	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
 	if q.sizeOf != nil {
 		q.curBytes -= q.sizeOf(v)
 	}
@@ -107,18 +144,30 @@ func (q *Queue[T]) pop() T {
 	return v
 }
 
+// removeAt deletes the element at logical index i, preserving FIFO order
+// of the remainder by shifting the tail side down across the wrap point.
+func (q *Queue[T]) removeAt(i int) {
+	var zero T
+	for j := i; j < q.count-1; j++ {
+		q.buf[q.slot(j)] = q.buf[q.slot(j+1)]
+	}
+	q.buf[q.slot(q.count-1)] = zero
+	q.count--
+}
+
 // Scan calls fn on each queued item in FIFO order until fn returns true
 // (found) or the queue is exhausted. If remove is true the found item is
 // removed from the queue. Scan is the primitive behind the paper's "mbuf
 // hunter", which searches the socket buffer for write requests to a file.
 func (q *Queue[T]) Scan(fn func(T) bool, remove bool) (v T, found bool) {
-	for i, it := range q.items {
+	for i := 0; i < q.count; i++ {
+		it := q.buf[q.slot(i)]
 		if fn(it) {
 			if remove {
 				if q.sizeOf != nil {
 					q.curBytes -= q.sizeOf(it)
 				}
-				q.items = append(q.items[:i:i], q.items[i+1:]...)
+				q.removeAt(i)
 				q.gets++
 			}
 			return it, true
@@ -128,7 +177,7 @@ func (q *Queue[T]) Scan(fn func(T) bool, remove bool) (v T, found bool) {
 }
 
 // Len reports the current number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.count }
 
 // Bytes reports the current queued byte total (0 unless built with
 // NewByteQueue).

@@ -11,10 +11,15 @@
 // Processes block with Proc.Sleep, Cond.Wait, Resource.Acquire, or
 // Queue.Get. While a process is blocked it consumes no virtual time beyond
 // what it asked for; real goroutines are parked on channels.
+//
+// The event loop is a zero-allocation fast path: the pending set is a
+// concrete 4-ary min-heap of pooled event records keyed on (time, seq), so
+// scheduling involves no interface conversions and, once the free list has
+// warmed up, no heap allocations. Process wake-ups (Sleep, Cond, Resource,
+// Queue) are typed targets on the event record rather than closures.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -62,66 +67,66 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
-// Event is a scheduled occurrence. It may be cancelled before it fires.
-type Event struct {
+// event is the kernel's scheduled-occurrence record. Records are pooled:
+// after an event fires or a cancelled event is popped, the record returns
+// to the free list with its generation bumped, which invalidates any
+// outstanding Event handles to the old occurrence.
+//
+// Exactly one of fn, proc, waiter is set: fn is a plain callback, proc is a
+// process to dispatch (Sleep/Spawn/wake-ups), waiter is a Cond.WaitTimeout
+// deadline.
+type event struct {
 	t         Time
 	seq       uint64
 	fn        func()
+	proc      *Proc
+	waiter    *condWaiter
 	cancelled bool
-	index     int // heap index, -1 when popped
+	gen       uint64
+}
+
+func eventLess(a, b *event) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
+}
+
+// Event is a cancellable handle to a scheduled occurrence. The zero value
+// refers to nothing; cancelling it is a no-op.
+type Event struct {
+	e         *event
+	gen       uint64
+	cancelled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op.
+// fired or was already cancelled is a no-op: the handle's generation no
+// longer matches the pooled record, so a recycled record is never touched.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil {
+		return
+	}
+	e.cancelled = true
+	if e.e != nil && e.e.gen == e.gen {
+		e.e.cancelled = true
 	}
 }
 
-// Cancelled reports whether Cancel was called on the event.
+// Cancelled reports whether Cancel was called through this handle.
 func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
 
 // Sim is a discrete-event simulation instance. Create one with New; it is
 // not safe for concurrent use from multiple OS threads outside the process
 // discipline the kernel itself imposes.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events []*event // 4-ary min-heap on (t, seq)
+	free   []*event // event record free list
 	seq    uint64
 	ack    chan struct{} // process -> kernel: "I have yielded"
 	rng    *rand.Rand
 	nprocs int
 	fired  uint64
+
+	freeWaiters []*condWaiter
 }
 
 // New returns a simulator with its clock at zero and the given RNG seed.
@@ -142,17 +147,98 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // determinism checks and kernel tests.
 func (s *Sim) EventsFired() uint64 { return s.fired }
 
-// At schedules fn to run d after the current time and returns the Event so
-// the caller may cancel it. d must be non-negative; a zero d schedules the
-// callback after all other work already scheduled for the current instant.
-func (s *Sim) At(d Duration, fn func()) *Event {
+func (s *Sim) newEvent() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns a popped record to the free list. Bumping the generation
+// first makes any outstanding handle to the old occurrence inert.
+func (s *Sim) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.proc = nil
+	e.waiter = nil
+	e.cancelled = false
+	s.free = append(s.free, e)
+}
+
+// schedule enqueues one event record d after the current time.
+func (s *Sim) schedule(d Duration, fn func(), p *Proc, w *condWaiter) *event {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e := &Event{t: s.now.Add(d), seq: s.seq, fn: fn}
+	e := s.newEvent()
+	e.t = s.now.Add(d)
+	e.seq = s.seq
+	e.fn, e.proc, e.waiter = fn, p, w
 	s.seq++
-	heap.Push(&s.events, e)
+	s.heapPush(e)
 	return e
+}
+
+// heapPush inserts e into the 4-ary min-heap.
+func (s *Sim) heapPush(e *event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// heapPop removes and returns the minimum event.
+func (s *Sim) heapPop() *event {
+	h := s.events
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	s.events = h
+	i := 0
+	for {
+		min := i
+		c := i<<2 + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if eventLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// At schedules fn to run d after the current time and returns an Event so
+// the caller may cancel it. d must be non-negative; a zero d schedules the
+// callback after all other work already scheduled for the current instant.
+func (s *Sim) At(d Duration, fn func()) Event {
+	e := s.schedule(d, fn, nil, nil)
+	return Event{e: e, gen: e.gen}
+}
+
+// wakeProc schedules a dispatch of p at the current instant without
+// allocating a closure (the typed fast path behind Cond, Resource, Queue).
+func (s *Sim) wakeProc(p *Proc) {
+	s.schedule(0, nil, p, nil)
 }
 
 // Run processes events until the heap is empty or the clock would pass
@@ -164,8 +250,9 @@ func (s *Sim) Run(until Time) Time {
 			s.now = until
 			return s.now
 		}
-		heap.Pop(&s.events)
+		s.heapPop()
 		if e.cancelled {
+			s.recycle(e)
 			continue
 		}
 		if e.t < s.now {
@@ -173,7 +260,16 @@ func (s *Sim) Run(until Time) Time {
 		}
 		s.now = e.t
 		s.fired++
-		e.fn()
+		fn, p, w := e.fn, e.proc, e.waiter
+		s.recycle(e)
+		switch {
+		case w != nil:
+			w.fireTimeout(s)
+		case p != nil:
+			s.dispatch(p)
+		default:
+			fn()
+		}
 	}
 	if until > 0 && s.now < until {
 		s.now = until
@@ -209,6 +305,11 @@ func (p *Proc) Now() Time { return p.sim.now }
 // Spawn starts fn as a new process. The process begins running at the
 // current virtual time (after already-scheduled work for this instant).
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAfter(0, name, fn)
+}
+
+// SpawnAfter starts fn as a new process after delay d.
+func (s *Sim) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
 	s.nprocs++
 	go func() {
@@ -218,22 +319,7 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 		s.nprocs--
 		s.ack <- struct{}{}
 	}()
-	s.At(0, func() { s.dispatch(p) })
-	return p
-}
-
-// SpawnAfter starts fn as a new process after delay d.
-func (s *Sim) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
-	s.nprocs++
-	go func() {
-		<-p.resume
-		fn(p)
-		p.done = true
-		s.nprocs--
-		s.ack <- struct{}{}
-	}()
-	s.At(d, func() { s.dispatch(p) })
+	s.schedule(d, nil, p, nil)
 	return p
 }
 
@@ -262,7 +348,7 @@ func (p *Proc) yield() {
 
 // Sleep blocks the process for d of virtual time.
 func (p *Proc) Sleep(d Duration) {
-	p.sim.At(d, func() { p.sim.dispatch(p) })
+	p.sim.schedule(d, nil, p, nil)
 	p.yield()
 }
 
@@ -277,7 +363,7 @@ func (p *Proc) Park() (wake func()) {
 			panic("sim: double wake of process " + p.name)
 		}
 		woken = true
-		p.sim.At(0, func() { p.sim.dispatch(p) })
+		p.sim.wakeProc(p)
 	}
 }
 

@@ -67,11 +67,13 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 		in.size = size
 		return nil
 	}
+	// A shrinking truncate invalidates any memoized directory parse.
+	in.dents, in.dentsOK = nil, false
 	keep := (int64(size) + BlockSize - 1) / BlockSize
 	// Free direct blocks beyond the cut.
 	for fb := keep; fb < NumDirect; fb++ {
 		if in.direct[fb] != 0 {
-			fs.blockMap[in.direct[fb]] = false
+			fs.markFree(in.direct[fb])
 			delete(fs.cache, in.direct[fb])
 			in.direct[fb] = 0
 		}
@@ -83,14 +85,14 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 			fb := int64(NumDirect + i)
 			ptr := int64(binary.BigEndian.Uint64(ib.data[i*8:]))
 			if ptr != 0 && fb >= keep {
-				fs.blockMap[ptr] = false
+				fs.markFree(ptr)
 				delete(fs.cache, ptr)
 				binary.BigEndian.PutUint64(ib.data[i*8:], 0)
 				ib.dirty = true
 			}
 		}
 		if keep <= NumDirect {
-			fs.blockMap[in.indirect] = false
+			fs.markFree(in.indirect)
 			delete(fs.cache, in.indirect)
 			in.indirect = 0
 		}
@@ -112,7 +114,7 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 					continue
 				}
 				if fb >= keep {
-					fs.blockMap[ptr] = false
+					fs.markFree(ptr)
 					delete(fs.cache, ptr)
 					binary.BigEndian.PutUint64(lb.data[l2*8:], 0)
 					lb.dirty = true
@@ -121,14 +123,14 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 				}
 			}
 			if !anyKept {
-				fs.blockMap[l1ptr] = false
+				fs.markFree(l1ptr)
 				delete(fs.cache, l1ptr)
 				binary.BigEndian.PutUint64(db.data[l1*8:], 0)
 				db.dirty = true
 			}
 		}
 		if keep <= NumDirect+PtrsPerBlock {
-			fs.blockMap[in.dindirect] = false
+			fs.markFree(in.dindirect)
 			delete(fs.cache, in.dindirect)
 			in.dindirect = 0
 		}

@@ -19,11 +19,42 @@ type dirent struct {
 	name string
 }
 
-// loadDir reads and parses the directory's contents.
+// loadDir returns the directory's parsed contents. The parse is memoized
+// on the inode: readers (Lookup, Readdir) treat the slice as read-only, and
+// mutators work on a clone (see cloneDir) before handing ownership of the
+// new slice back to the cache through storeDir. The memo never changes
+// simulated timing — directory blocks stay in the buffer cache once read,
+// so a reparse would cost no virtual time either.
 func (fs *FS) loadDir(p *sim.Proc, in *inode) ([]dirent, error) {
 	if in.ftype != vfs.TypeDir {
 		return nil, vfs.ErrNotDir
 	}
+	if in.dentsOK {
+		return in.dents, nil
+	}
+	ents, err := fs.parseDir(p, in)
+	if err != nil {
+		return nil, err
+	}
+	// Memoize only quiescent parses: while a storeDir is mid-flush on this
+	// inode (it yields for disk I/O), a parse may observe a transient state
+	// that no later invalidation would clear.
+	if in.storing == 0 {
+		in.dents, in.dentsOK = ents, true
+	}
+	return ents, nil
+}
+
+// cloneDir copies a loadDir result so a mutator can edit it without
+// corrupting the memoized slice behind readers.
+func cloneDir(ents []dirent) []dirent {
+	out := make([]dirent, len(ents))
+	copy(out, ents)
+	return out
+}
+
+// parseDir reads and parses the directory's contents from the cache/device.
+func (fs *FS) parseDir(p *sim.Proc, in *inode) ([]dirent, error) {
 	raw := make([]byte, in.size)
 	if in.size > 0 {
 		if _, err := fs.readRaw(p, in, 0, raw); err != nil {
@@ -53,8 +84,16 @@ func (fs *FS) loadDir(p *sim.Proc, in *inode) ([]dirent, error) {
 }
 
 // storeDir serializes and writes the directory synchronously (data and
-// metadata both durable on return).
+// metadata both durable on return). It invalidates the memoized parse; the
+// next loadDir rebuilds it from the buffer cache at zero simulated cost.
+// Repopulating the memo here instead would be wrong: storeDir yields during
+// the flush, concurrent mutators of the same directory can interleave, and
+// whichever store finished last would install its own — possibly stale —
+// snapshot.
 func (fs *FS) storeDir(p *sim.Proc, in *inode, ents []dirent) error {
+	in.dents, in.dentsOK = nil, false
+	in.storing++
+	defer func() { in.storing-- }()
 	size := 4
 	for _, e := range ents {
 		size += 10 + len(e.name)
@@ -69,6 +108,7 @@ func (fs *FS) storeDir(p *sim.Proc, in *inode, ents []dirent) error {
 		copy(raw[off:], e.name)
 		off += len(e.name)
 	}
+	f0 := fs.sim.EventsFired()
 	if err := fs.writeRaw(p, in, 0, raw); err != nil {
 		return err
 	}
@@ -76,6 +116,14 @@ func (fs *FS) storeDir(p *sim.Proc, in *inode, ents []dirent) error {
 	now := fs.sim.Now()
 	in.mtime, in.ctime = now, now
 	in.dirtyCore, in.dirtyMeta = true, true
+	if fs.sim.EventsFired() == f0 {
+		// writeRaw ran without yielding (no event fired), so nothing could
+		// interleave: the buffer cache holds exactly ents. Re-validate the
+		// memo now, before the flushes below yield, so concurrent readers
+		// skip a reparse. If writeRaw did yield, the memo stays invalid and
+		// the next quiescent loadDir rebuilds it.
+		in.dents, in.dentsOK = ents, true
+	}
 	// Directory writes are synchronous end to end.
 	if err := fs.SyncData(p, in.num, 0, in.size); err != nil {
 		return err
@@ -211,7 +259,9 @@ func (fs *FS) makeNode(p *sim.Proc, dir vfs.Ino, name string, mode uint32, ft vf
 	if in == nil {
 		return 0, vfs.ErrNoSpace
 	}
-	ents = append(ents, dirent{ino: in.num, name: name})
+	grown := make([]dirent, len(ents), len(ents)+1)
+	copy(grown, ents)
+	ents = append(grown, dirent{ino: in.num, name: name})
 	if err := fs.storeDir(p, din, ents); err != nil {
 		return 0, err
 	}
@@ -261,6 +311,7 @@ func (fs *FS) unlink(p *sim.Proc, dir vfs.Ino, name string, wantDir bool) error 
 		} else if tin.ftype == vfs.TypeDir {
 			return vfs.ErrIsDir
 		}
+		ents = cloneDir(ents)
 		ents = append(ents[:i], ents[i+1:]...)
 		if err := fs.storeDir(p, din, ents); err != nil {
 			return err
@@ -287,6 +338,7 @@ func (fs *FS) Rename(p *sim.Proc, fromDir vfs.Ino, fromName string, toDir vfs.In
 	if err != nil {
 		return err
 	}
+	fents = cloneDir(fents)
 	var moved vfs.Ino
 	idx := -1
 	for i, e := range fents {
@@ -324,6 +376,7 @@ func (fs *FS) Rename(p *sim.Proc, fromDir vfs.Ino, fromName string, toDir vfs.In
 	if err != nil {
 		return err
 	}
+	tents = cloneDir(tents)
 	for i, e := range tents {
 		if e.name == toName {
 			if err := fs.dropTarget(p, e.ino); err != nil {

@@ -33,6 +33,17 @@ type inode struct {
 	// indBlocks tracks physical block numbers of this file's indirect
 	// blocks so a metadata-only fsync can find the dirty ones.
 	indBlocks []int64
+
+	// dents memoizes the parsed directory contents (directories only);
+	// dentsOK marks it valid. The cache is rebuilt from the buffer cache
+	// on the next loadDir after any invalidation, so it never changes
+	// simulated I/O: once a directory's blocks are in core they stay
+	// there, and the parse itself costs no virtual time. storing counts
+	// in-flight storeDir calls; parses taken during one are transient and
+	// must not be memoized.
+	dents   []dirent
+	dentsOK bool
+	storing int
 }
 
 // encodeInode serializes an inode into a 256-byte slot. A zero ftype slot
@@ -114,9 +125,10 @@ func (fs *FS) allocInode(ft vfs.FileType, mode uint32) *inode {
 
 // freeInode releases an inode and all its blocks.
 func (fs *FS) freeInode(p *sim.Proc, in *inode) {
+	in.dents, in.dentsOK = nil, false
 	for _, b := range in.direct {
 		if b != 0 {
-			fs.blockMap[b] = false
+			fs.markFree(b)
 			delete(fs.cache, b)
 		}
 	}
@@ -135,11 +147,11 @@ func (fs *FS) freeInode(p *sim.Proc, in *inode) {
 				if d > 0 {
 					walk(ptr, d-1)
 				} else {
-					fs.blockMap[ptr] = false
+					fs.markFree(ptr)
 					delete(fs.cache, ptr)
 				}
 			}
-			fs.blockMap[b] = false
+			fs.markFree(b)
 			delete(fs.cache, b)
 		}
 		walk(blk, depth)
@@ -194,14 +206,14 @@ func (fs *FS) allocBlock(hint int64) (int64, error) {
 	}
 	for i := hint; i < fs.nblocks; i++ {
 		if !fs.blockMap[i] {
-			fs.blockMap[i] = true
+			fs.markUsed(i)
 			fs.rotor = i + 1
 			return i, nil
 		}
 	}
 	for i := fs.dataStart; i < hint; i++ {
 		if !fs.blockMap[i] {
-			fs.blockMap[i] = true
+			fs.markUsed(i)
 			fs.rotor = i + 1
 			return i, nil
 		}

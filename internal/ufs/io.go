@@ -78,7 +78,10 @@ func (fs *FS) Write(p *sim.Proc, ino vfs.Ino, off uint32, data []byte, flags vfs
 		return vfs.ErrFBig
 	}
 	metaChanged := false
-	var touched []*buf
+	// An 8K-bounded write touches at most two blocks; keep the list off
+	// the heap.
+	var touchedArr [4]*buf
+	touched := touchedArr[:0]
 	written := 0
 	for written < len(data) {
 		fb := int64(off+uint32(written)) / BlockSize
@@ -175,11 +178,8 @@ func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
 	if from >= to {
 		return nil
 	}
-	type dirtyBlk struct {
-		phys int64
-		b    *buf
-	}
-	var dirty []dirtyBlk
+	dirty := fs.getDirtyScratch()
+	defer fs.putDirtyScratch(dirty)
 	first := int64(from) / BlockSize
 	last := (int64(to) - 1) / BlockSize
 	for fb := first; fb <= last; fb++ {
@@ -191,28 +191,33 @@ func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
 			continue
 		}
 		if b, ok := fs.cache[phys]; ok && b.dirty {
-			dirty = append(dirty, dirtyBlk{phys: phys, b: b})
+			*dirty = append(*dirty, dirtyBlk{phys: phys, b: b})
 		}
 	}
-	if len(dirty) == 0 {
+	blks := *dirty
+	if len(blks) == 0 {
 		return nil
 	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].phys < dirty[j].phys })
+	sort.Slice(blks, func(i, j int) bool { return blks[i].phys < blks[j].phys })
 	// Cluster physically contiguous runs.
 	i := 0
-	for i < len(dirty) {
+	for i < len(blks) {
 		j := i + 1
-		for j < len(dirty) &&
-			dirty[j].phys == dirty[j-1].phys+1 &&
+		for j < len(blks) &&
+			blks[j].phys == blks[j-1].phys+1 &&
 			(j-i+1)*BlockSize <= MaxCluster {
 			j++
 		}
-		run := dirty[i:j]
-		cluster := make([]byte, 0, len(run)*BlockSize)
+		run := blks[i:j]
+		cluster := fs.getCluster()
 		for _, d := range run {
 			cluster = append(cluster, d.b.data...)
 		}
 		fs.dev.WriteBlocks(p, run[0].phys, cluster)
+		// WriteBlocks has copied the cluster to the platters by the time it
+		// returns, so the buffer can go straight back to the pool even
+		// though other processes may have run while the device slept.
+		fs.putCluster(cluster)
 		fs.DataWrites++
 		for _, d := range run {
 			d.b.dirty = false

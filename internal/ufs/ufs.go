@@ -44,10 +44,16 @@ type FS struct {
 
 	inodes   map[vfs.Ino]*inode
 	blockMap []bool // block allocation bitmap (in-core; rebuilt by fsck on mount)
+	// freeData counts free entries of blockMap[dataStart:], so Statfs is
+	// O(1) instead of a bitmap sweep per call.
+	freeData int64
 	inodeMap []bool
 	cache    map[int64]*buf
 	rotor    int64
 	genSeq   uint32
+
+	dirtyScratch []*[]dirtyBlk // SyncData dirty-list pool
+	clusterPool  [][]byte      // SyncData cluster-buffer pool
 
 	// MetaWrites counts synchronous metadata transactions (inode and
 	// indirect block writes), the quantity write gathering amortizes.
@@ -59,6 +65,46 @@ type FS struct {
 	// trip the paper's gathering conserves).
 	ChargeMeta func(p *sim.Proc)
 }
+
+// dirtyBlk pairs a dirty cache buffer with its physical block for the
+// clustering sort in SyncData.
+type dirtyBlk struct {
+	phys int64
+	b    *buf
+}
+
+// getDirtyScratch takes a reusable dirty-block list. SyncData can run from
+// several processes at once (it yields on device I/O), so the scratch is a
+// pool, not a single slot.
+func (fs *FS) getDirtyScratch() *[]dirtyBlk {
+	if n := len(fs.dirtyScratch); n > 0 {
+		d := fs.dirtyScratch[n-1]
+		fs.dirtyScratch = fs.dirtyScratch[:n-1]
+		*d = (*d)[:0]
+		return d
+	}
+	d := make([]dirtyBlk, 0, 16)
+	return &d
+}
+
+func (fs *FS) putDirtyScratch(d *[]dirtyBlk) {
+	for i := range *d {
+		(*d)[i] = dirtyBlk{}
+	}
+	fs.dirtyScratch = append(fs.dirtyScratch, d)
+}
+
+// getCluster takes a reusable cluster assembly buffer (up to MaxCluster).
+func (fs *FS) getCluster() []byte {
+	if n := len(fs.clusterPool); n > 0 {
+		b := fs.clusterPool[n-1]
+		fs.clusterPool = fs.clusterPool[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, MaxCluster)
+}
+
+func (fs *FS) putCluster(b []byte) { fs.clusterPool = append(fs.clusterPool, b) }
 
 // buf is a buffer-cache entry for one filesystem block.
 type buf struct {
@@ -96,6 +142,7 @@ func Format(s *sim.Sim, dev disk.Device, fsid uint32, ninodes int) (*FS, error) 
 	for i := int64(0); i < fs.dataStart; i++ {
 		fs.blockMap[i] = true
 	}
+	fs.freeData = fs.nblocks - fs.dataStart
 	fs.inodeMap = make([]bool, fs.ninodes+1) // ino 0 unused
 	fs.inodeMap[0] = true
 	fs.rotor = fs.dataStart
@@ -121,13 +168,23 @@ func (fs *FS) Device() disk.Device { return fs.dev }
 
 // Statfs implements vfs.FileSystem.
 func (fs *FS) Statfs(p *sim.Proc) (int, int64, int64) {
-	free := int64(0)
-	for _, used := range fs.blockMap[fs.dataStart:] {
-		if !used {
-			free++
-		}
+	return BlockSize, fs.nblocks - fs.dataStart, fs.freeData
+}
+
+// markUsed claims block b in the bitmap, maintaining the free counter.
+func (fs *FS) markUsed(b int64) {
+	if !fs.blockMap[b] {
+		fs.blockMap[b] = true
+		fs.freeData--
 	}
-	return BlockSize, fs.nblocks - fs.dataStart, free
+}
+
+// markFree releases block b in the bitmap, maintaining the free counter.
+func (fs *FS) markFree(b int64) {
+	if fs.blockMap[b] {
+		fs.blockMap[b] = false
+		fs.freeData++
+	}
 }
 
 // DirtyBlocks reports how many cache buffers are dirty (test/diagnostic).
@@ -182,6 +239,7 @@ func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
 	for i := int64(0); i < fs.dataStart; i++ {
 		fs.blockMap[i] = true
 	}
+	fs.freeData = fs.nblocks - fs.dataStart
 	fs.inodeMap = make([]bool, fs.ninodes+1)
 	fs.inodeMap[0] = true
 	fs.rotor = fs.dataStart
@@ -212,7 +270,7 @@ func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
 func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
 	for _, b := range in.direct {
 		if b != 0 {
-			fs.blockMap[b] = true
+			fs.markUsed(b)
 		}
 	}
 	claimIndirect := func(blk int64, depth int) {
@@ -221,7 +279,7 @@ func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
 			if b == 0 {
 				return
 			}
-			fs.blockMap[b] = true
+			fs.markUsed(b)
 			raw := make([]byte, BlockSize)
 			fs.dev.ReadBlocks(p, b, raw)
 			for i := 0; i < PtrsPerBlock; i++ {
@@ -232,7 +290,7 @@ func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
 				if d > 0 {
 					walk(ptr, d-1)
 				} else {
-					fs.blockMap[ptr] = true
+					fs.markUsed(ptr)
 				}
 			}
 		}

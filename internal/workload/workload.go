@@ -118,7 +118,21 @@ type LADDIS struct {
 	errors  int
 	perOp   map[string]int
 	seq     int
+	bufs    [][]byte // pooled write payload buffers
 }
+
+// getBuf takes a MaxData write buffer from the pool.
+func (l *LADDIS) getBuf() []byte {
+	if n := len(l.bufs); n > 0 {
+		b := l.bufs[n-1]
+		l.bufs = l.bufs[:n-1]
+		return b
+	}
+	return make([]byte, nfsproto.MaxData)
+}
+
+// putBuf returns a buffer once its WRITE RPC has encoded and completed.
+func (l *LADDIS) putBuf(b []byte) { l.bufs = append(l.bufs, b) }
 
 // NewLADDIS builds a generator bound to one client.
 func NewLADDIS(cli *client.Client, root nfsproto.FH, cfg LADDISConfig) *LADDIS {
@@ -269,7 +283,8 @@ func (l *LADDIS) doOp(q *sim.Proc, r int) {
 		for i := 0; i < burst; i++ {
 			off := uint32(startBlk+i) * nfsproto.MaxData
 			s.Spawn("laddis-write", func(w *sim.Proc) {
-				buf := make([]byte, nfsproto.MaxData)
+				buf := l.getBuf()
+				defer l.putBuf(buf)
 				client.FillPattern(buf, off)
 				wbegin := w.Now()
 				if werr := l.cli.WriteSync(w, fh, off, buf); werr != nil {

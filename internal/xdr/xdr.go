@@ -72,7 +72,22 @@ func (e *Encoder) Opaque(b []byte) {
 }
 
 // String encodes an XDR string.
-func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+	for pad := (4 - len(s)%4) % 4; pad > 0; pad-- {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Raw appends pre-encoded bytes verbatim (no length prefix, no padding).
+// It is the splice point for embedding an already-XDR-encoded body, such
+// as RPC procedure arguments, without a second encoding pass.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// OpaqueSize reports the encoded size of variable-length opaque data of n
+// bytes: length word plus payload padded to a 4-byte boundary.
+func OpaqueSize(n int) int { return 4 + (n+3)&^3 }
 
 // Decoder consumes XDR-encoded values from a byte slice.
 type Decoder struct {
@@ -160,6 +175,35 @@ func (d *Decoder) Opaque() ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadLength, n)
 	}
 	return d.FixedOpaque(int(n))
+}
+
+// FixedOpaqueRef is FixedOpaque without the defensive copy: the returned
+// slice aliases the decoder's buffer. Use it only when the buffer is
+// immutable for the life of the result (wire payloads are).
+func (d *Decoder) FixedOpaqueRef(n int) ([]byte, error) {
+	if n < 0 || n > maxLen {
+		return nil, ErrBadLength
+	}
+	padded := n + (4-n%4)%4
+	if d.Remaining() < padded {
+		return nil, ErrShortBuffer
+	}
+	out := d.buf[d.off : d.off+n : d.off+n]
+	d.off += padded
+	return out, nil
+}
+
+// OpaqueRef decodes variable-length opaque data without copying; the
+// result aliases the decoder's buffer.
+func (d *Decoder) OpaqueRef() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, n)
+	}
+	return d.FixedOpaqueRef(int(n))
 }
 
 // String decodes an XDR string.
