@@ -4,8 +4,10 @@
 //
 //	nfsbench -run table1            # one table
 //	nfsbench -run table1,table3     # several
-//	nfsbench -run all               # tables 1-6 and figures 1-3
+//	nfsbench -run all               # tables 1-6, figures 1-3, scale, crash
 //	nfsbench -run figure2 -quick    # coarser LADDIS sweep
+//	nfsbench -run scale             # clients x sharded-servers grid
+//	nfsbench -run crash             # crash/recovery durability check
 //	nfsbench -mb 4                  # smaller copies (faster, same rates)
 package main
 
@@ -28,7 +30,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *run == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "figure1", "figure2", "figure3"} {
+		for _, n := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "figure1", "figure2", "figure3", "scale", "crash"} {
 			want[n] = true
 		}
 	} else {
@@ -86,6 +88,22 @@ func main() {
 		}
 		wo, wi := experiments.RunFigure(spec)
 		fmt.Println(experiments.RenderFigure(spec, wo, wi))
+		ran++
+	}
+
+	if want["scale"] {
+		spec := experiments.DefaultScaleSpec()
+		if *quick {
+			spec.Measure = 2 * sim.Second
+		}
+		fmt.Println(experiments.RenderScaleSweep(spec, experiments.RunScaleSweep(spec)))
+		ran++
+	}
+	if want["crash"] {
+		for _, presto := range []bool{false, true} {
+			spec := experiments.DefaultCrashSpec(presto)
+			fmt.Println(experiments.RenderCrashRecovery(spec, experiments.RunCrashRecovery(spec)))
+		}
 		ran++
 	}
 

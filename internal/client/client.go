@@ -33,6 +33,11 @@ type Client struct {
 	server string
 	params hw.ClientParams
 
+	// routes maps an export's FSID to the server endpoint serving it; with
+	// sharded multi-server clusters every call is routed by its file
+	// handle. Handles with no route go to the default server.
+	routes map[uint32]string
+
 	xidSeq  uint32
 	pending map[uint32]*pendingCall
 	freePC  []*pendingCall // pendingCall pool
@@ -41,6 +46,9 @@ type Client struct {
 	// a buffer is released once the WRITE RPC carrying it has encoded
 	// and completed.
 	wbufs [][]byte
+	// bootIDs remembers the last boot-instance verifier seen per server;
+	// a change means the server rebooted and its dup cache is gone.
+	bootIDs map[string]uint64
 
 	jobs      *sim.Queue[*writeJob]
 	idleBiods int
@@ -49,21 +57,39 @@ type Client struct {
 	outstanding int
 	closeCond   *sim.Cond
 
+	// Per-client result decode scratch (see the discipline note at call).
+	scratchAttrStat   nfsproto.AttrStat
+	scratchDirOpRes   nfsproto.DirOpRes
+	scratchReadRes    nfsproto.ReadRes
+	scratchStatusRes  nfsproto.StatusRes
+	scratchReaddirRes nfsproto.ReaddirRes
+
 	// Counters.
 	Retransmissions uint64
 	Calls           uint64
 	WriteCounter    stats.Counter
 	WriteLatency    stats.Latency
+	// RebootsSeen counts server boot-verifier changes observed in replies.
+	RebootsSeen uint64
 	// MaxRTO caps backoff growth.
 	MaxRTO sim.Duration
+	// MaxRetries bounds send attempts per call (default 8). Crash tests
+	// raise it so clients ride out a server outage and reconnect.
+	MaxRetries int
 	// OnWriteEvent, when non-nil, observes write request lifecycles for
 	// tracing: event is "send" or "reply".
 	OnWriteEvent func(event string, off uint32, n int)
+	// OnWriteAcked, when non-nil, observes every successfully acked WRITE;
+	// the crash-durability journal records these.
+	OnWriteAcked func(fh nfsproto.FH, off uint32, n int)
 }
 
+// pendingCall embeds the reply decode target, so the steady-state RPC path
+// allocates no ReplyMsg: the record cycles through the client's pool.
 type pendingCall struct {
-	cond  sim.Cond
-	reply *oncrpc.ReplyMsg
+	cond     sim.Cond
+	reply    *oncrpc.ReplyMsg // nil until a reply arrives; points at replyBuf
+	replyBuf oncrpc.ReplyMsg
 }
 
 // getPC takes a pending-call record from the pool.
@@ -115,18 +141,19 @@ type writeJob struct {
 // the given number of biods (0 = fully synchronous writes).
 func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientParams, numBiods int) *Client {
 	c := &Client{
-		sim:       s,
-		net:       n,
-		ep:        n.Attach(name, 0, 0),
-		name:      name,
-		server:    server,
-		params:    params,
-		pending:   make(map[uint32]*pendingCall),
-		jobs:      sim.NewQueue[*writeJob](s, 0),
-		numBiods:  numBiods,
-		closeCond: sim.NewCond(s),
-		MaxRTO:    params.RetransMax,
-		credRaw:   (&oncrpc.UnixCred{MachineName: name, UID: 0, GID: 0}).Encode(),
+		sim:        s,
+		net:        n,
+		ep:         n.Attach(name, 0, 0),
+		name:       name,
+		server:     server,
+		params:     params,
+		pending:    make(map[uint32]*pendingCall),
+		jobs:       sim.NewQueue[*writeJob](s, 0),
+		numBiods:   numBiods,
+		closeCond:  sim.NewCond(s),
+		MaxRTO:     params.RetransMax,
+		MaxRetries: 8,
+		credRaw:    (&oncrpc.UnixCred{MachineName: name, UID: 0, GID: 0}).Encode(),
 	}
 	s.Spawn(name+"-recv", c.receiver)
 	for i := 0; i < numBiods; i++ {
@@ -138,30 +165,76 @@ func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientPar
 // Name returns the client's endpoint name.
 func (c *Client) Name() string { return c.name }
 
-// receiver demultiplexes replies to waiting callers by XID.
+// Sim returns the owning simulator.
+func (c *Client) Sim() *sim.Sim { return c.sim }
+
+// AddRoute directs calls on file handles with the given FSID to the named
+// server endpoint. Cluster rigs install one route per export shard.
+func (c *Client) AddRoute(fsid uint32, server string) {
+	if c.routes == nil {
+		c.routes = make(map[uint32]string)
+	}
+	c.routes[fsid] = server
+}
+
+// dest resolves the server endpoint for a file handle.
+func (c *Client) dest(fh nfsproto.FH) string {
+	if c.routes != nil {
+		if s, ok := c.routes[fh.FSID()]; ok {
+			return s
+		}
+	}
+	return c.server
+}
+
+// receiver demultiplexes replies to waiting callers by XID. Replies are
+// decoded into the pending call's embedded record — the steady-state path
+// allocates nothing — and late duplicates are dropped without a decode.
 func (c *Client) receiver(p *sim.Proc) {
 	for {
 		dg := c.ep.Inbox.Get(p)
-		reply, err := oncrpc.DecodeReply(dg.Payload)
-		dg.Release()
-		if err != nil {
+		xid, ok := oncrpc.PeekXID(dg.Payload)
+		if !ok {
+			dg.Release()
 			continue
 		}
-		pc, ok := c.pending[reply.XID]
-		if !ok {
-			continue // late duplicate reply; drop
+		pc, active := c.pending[xid]
+		if !active || pc.reply != nil {
+			dg.Release() // late duplicate reply; drop
+			continue
 		}
-		if pc.reply == nil {
-			pc.reply = reply
-			pc.cond.Signal()
+		if err := oncrpc.DecodeReplyInto(dg.Payload, &pc.replyBuf); err != nil {
+			dg.Release()
+			continue
 		}
+		// A changed boot-instance verifier is the client's only evidence
+		// that the server restarted (and lost its duplicate cache).
+		if id, has := oncrpc.BootVerf(pc.replyBuf.Verf); has {
+			if last, seen := c.bootIDs[dg.From]; seen && last != id {
+				c.RebootsSeen++
+			}
+			if c.bootIDs == nil {
+				c.bootIDs = make(map[string]uint64)
+			}
+			c.bootIDs[dg.From] = id
+		}
+		dg.Release()
+		pc.reply = &pc.replyBuf
+		pc.cond.Signal()
 	}
 }
 
-// call performs one RPC, encoding the RPC header and the procedure
-// arguments into a single exactly-sized wire buffer (no intermediate args
-// slice), then running the retransmission loop.
-func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder) (*oncrpc.ReplyMsg, error) {
+// call performs one RPC to the server endpoint to, encoding the RPC header
+// and the procedure arguments into a single exactly-sized wire buffer (no
+// intermediate args slice), then running the retransmission loop.
+//
+// Scratch discipline: the returned ReplyMsg points into the pending-call
+// record, and the procedure methods decode results into per-client scratch
+// structs. Both stay valid only until the calling process next yields
+// (sleeps, sends, or performs another RPC): callers must consume a result
+// before their next blocking call, exactly like the server's result
+// scratch in dispatch.go.
+func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder, to string) (*oncrpc.ReplyMsg, error) {
 	cred := oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: c.credRaw}
 	verf := oncrpc.NullAuth()
 	c.xidSeq++
@@ -169,13 +242,18 @@ func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder) (*oncrp
 	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+args.EncodedSize()))
 	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(proc), cred, verf)
 	args.EncodeTo(e)
-	return c.finishCall(p, xid, e.Bytes())
+	return c.finishCall(p, xid, to, e.Bytes())
 }
 
-// Call performs one RPC with pre-encoded args and with retransmission and
-// backoff. It blocks p until a reply arrives or retransmission gives up
-// (~8 attempts).
+// Call performs one RPC to the default server with pre-encoded args and
+// with retransmission and backoff. It blocks p until a reply arrives or
+// retransmission gives up (MaxRetries attempts).
 func (c *Client) Call(p *sim.Proc, proc nfsproto.Proc, args []byte) (*oncrpc.ReplyMsg, error) {
+	return c.CallTo(p, c.server, proc, args)
+}
+
+// CallTo is Call aimed at an explicit server endpoint.
+func (c *Client) CallTo(p *sim.Proc, to string, proc nfsproto.Proc, args []byte) (*oncrpc.ReplyMsg, error) {
 	c.xidSeq++
 	xid := c.xidSeq
 	call := &oncrpc.CallMsg{
@@ -187,13 +265,13 @@ func (c *Client) Call(p *sim.Proc, proc nfsproto.Proc, args []byte) (*oncrpc.Rep
 		Verf: oncrpc.NullAuth(),
 		Args: args,
 	}
-	return c.finishCall(p, xid, call.Encode())
+	return c.finishCall(p, xid, to, call.Encode())
 }
 
 // finishCall registers the pending call and runs the retransmission loop.
 // raw must not be mutated afterwards: in-flight and queued (possibly
 // retransmitted) datagrams alias it.
-func (c *Client) finishCall(p *sim.Proc, xid uint32, raw []byte) (*oncrpc.ReplyMsg, error) {
+func (c *Client) finishCall(p *sim.Proc, xid uint32, to string, raw []byte) (*oncrpc.ReplyMsg, error) {
 	pc := c.getPC()
 	c.pending[xid] = pc
 	defer func() {
@@ -203,11 +281,15 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, raw []byte) (*oncrpc.ReplyM
 
 	rto := c.params.RetransTimeout
 	c.Calls++
-	for attempt := 0; attempt < 8; attempt++ {
+	tries := c.MaxRetries
+	if tries <= 0 {
+		tries = 8
+	}
+	for attempt := 0; attempt < tries; attempt++ {
 		if attempt > 0 {
 			c.Retransmissions++
 		}
-		c.net.Send(p, c.name, c.server, raw)
+		c.net.Send(p, c.name, to, raw)
 		if pc.cond.WaitTimeout(p, rto) || pc.reply != nil {
 			reply := pc.reply
 			if reply.Stat != oncrpc.MsgAccepted {
@@ -226,14 +308,27 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, raw []byte) (*oncrpc.ReplyM
 	return nil, ErrTimeout
 }
 
+// decodeDone clears a pooled reply record once its results are decoded,
+// so records waiting in the pool do not pin the wire payloads they last
+// aliased. Call as decodeDone(reply, Decode...(reply.Results, ...)):
+// arguments evaluate left to right, so the decode runs first.
+func decodeDone(reply *oncrpc.ReplyMsg, err error) error {
+	*reply = oncrpc.ReplyMsg{}
+	return err
+}
+
 // Lookup resolves name in dir.
 func (c *Client) Lookup(p *sim.Proc, dir nfsproto.FH, name string) (*nfsproto.DirOpRes, error) {
 	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
-	reply, err := c.call(p, nfsproto.ProcLookup, args)
+	reply, err := c.call(p, nfsproto.ProcLookup, args, c.dest(dir))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeDirOpRes(reply.Results)
+	res := &c.scratchDirOpRes
+	if err := decodeDone(reply, nfsproto.DecodeDirOpResInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Create makes a file in dir.
@@ -242,11 +337,15 @@ func (c *Client) Create(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) 
 		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
 		Attr:  nfsproto.DefaultSAttr(mode),
 	}
-	reply, err := c.call(p, nfsproto.ProcCreate, args)
+	reply, err := c.call(p, nfsproto.ProcCreate, args, c.dest(dir))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeDirOpRes(reply.Results)
+	res := &c.scratchDirOpRes
+	if err := decodeDone(reply, nfsproto.DecodeDirOpResInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Mkdir makes a directory in dir.
@@ -255,52 +354,68 @@ func (c *Client) Mkdir(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (
 		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
 		Attr:  nfsproto.DefaultSAttr(mode),
 	}
-	reply, err := c.call(p, nfsproto.ProcMkdir, args)
+	reply, err := c.call(p, nfsproto.ProcMkdir, args, c.dest(dir))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeDirOpRes(reply.Results)
+	res := &c.scratchDirOpRes
+	if err := decodeDone(reply, nfsproto.DecodeDirOpResInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Getattr fetches attributes.
 func (c *Client) Getattr(p *sim.Proc, fh nfsproto.FH) (*nfsproto.AttrStat, error) {
 	args := &nfsproto.FHArgs{File: fh}
-	reply, err := c.call(p, nfsproto.ProcGetattr, args)
+	reply, err := c.call(p, nfsproto.ProcGetattr, args, c.dest(fh))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeAttrStat(reply.Results)
+	res := &c.scratchAttrStat
+	if err := decodeDone(reply, nfsproto.DecodeAttrStatInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Setattr applies attributes.
 func (c *Client) Setattr(p *sim.Proc, fh nfsproto.FH, sa nfsproto.SAttr) (*nfsproto.AttrStat, error) {
 	args := &nfsproto.SetattrArgs{File: fh, Attr: sa}
-	reply, err := c.call(p, nfsproto.ProcSetattr, args)
+	reply, err := c.call(p, nfsproto.ProcSetattr, args, c.dest(fh))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeAttrStat(reply.Results)
+	res := &c.scratchAttrStat
+	if err := decodeDone(reply, nfsproto.DecodeAttrStatInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Read fetches count bytes at off.
 func (c *Client) Read(p *sim.Proc, fh nfsproto.FH, off, count uint32) (*nfsproto.ReadRes, error) {
 	args := &nfsproto.ReadArgs{File: fh, Offset: off, Count: count}
-	reply, err := c.call(p, nfsproto.ProcRead, args)
+	reply, err := c.call(p, nfsproto.ProcRead, args, c.dest(fh))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeReadRes(reply.Results)
+	res := &c.scratchReadRes
+	if err := decodeDone(reply, nfsproto.DecodeReadResInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Remove unlinks name in dir.
 func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Status, error) {
 	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
-	reply, err := c.call(p, nfsproto.ProcRemove, args)
+	reply, err := c.call(p, nfsproto.ProcRemove, args, c.dest(dir))
 	if err != nil {
 		return nfsproto.ErrIO, err
 	}
-	res, err := nfsproto.DecodeStatusRes(reply.Results)
-	if err != nil {
+	res := &c.scratchStatusRes
+	if err := decodeDone(reply, nfsproto.DecodeStatusResInto(reply.Results, res)); err != nil {
 		return nfsproto.ErrIO, err
 	}
 	return res.Status, nil
@@ -309,11 +424,15 @@ func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Sta
 // Readdir lists a directory page.
 func (c *Client) Readdir(p *sim.Proc, dir nfsproto.FH, cookie, count uint32) (*nfsproto.ReaddirRes, error) {
 	args := &nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: count}
-	reply, err := c.call(p, nfsproto.ProcReaddir, args)
+	reply, err := c.call(p, nfsproto.ProcReaddir, args, c.dest(dir))
 	if err != nil {
 		return nil, err
 	}
-	return nfsproto.DecodeReaddirRes(reply.Results)
+	res := &c.scratchReaddirRes
+	if err := decodeDone(reply, nfsproto.DecodeReaddirResInto(reply.Results, res)); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // WriteSync issues one WRITE RPC and waits for its reply, recording write
@@ -324,15 +443,15 @@ func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte)
 	if c.OnWriteEvent != nil {
 		c.OnWriteEvent("send", off, len(data))
 	}
-	reply, err := c.call(p, nfsproto.ProcWrite, args)
+	reply, err := c.call(p, nfsproto.ProcWrite, args, c.dest(fh))
 	if c.OnWriteEvent != nil {
 		c.OnWriteEvent("reply", off, len(data))
 	}
 	if err != nil {
 		return err
 	}
-	res, err := nfsproto.DecodeAttrStat(reply.Results)
-	if err != nil {
+	res := &c.scratchAttrStat
+	if err := decodeDone(reply, nfsproto.DecodeAttrStatInto(reply.Results, res)); err != nil {
 		return err
 	}
 	if res.Status != nfsproto.OK {
@@ -340,6 +459,9 @@ func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte)
 	}
 	c.WriteLatency.Record(p.Now().Sub(start))
 	c.WriteCounter.Add(len(data))
+	if c.OnWriteAcked != nil {
+		c.OnWriteAcked(fh, off, len(data))
+	}
 	return nil
 }
 
@@ -389,6 +511,19 @@ func (c *Client) Close(p *sim.Proc) {
 
 // Outstanding reports in-flight write-behind requests (diagnostics).
 func (c *Client) Outstanding() int { return c.outstanding }
+
+// ShardIndex places a key (typically a file name) on one of n export
+// shards by FNV-1a hash. It is THE placement function: workloads spreading
+// working sets, cluster shard maps, and checkers resolving owners must all
+// hash identically, so none of them may roll their own.
+func ShardIndex(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
 
 // FillPattern writes the deterministic audit pattern for file offset off
 // into buf; crash tests regenerate it to check recovered contents.

@@ -1,0 +1,394 @@
+// Package cluster composes scale-out testbeds: N LADDIS-class clients and
+// M NFS server shards on one simulated medium. Each server exports its own
+// filesystem (a distinct FSID); a deterministic shard map places working
+// files on exports and routes every RPC to the server owning its handle.
+//
+// Nodes are built to be crashed: all volatile state (nfsd pool, socket
+// buffer, buffer cache, dup cache) hangs off per-boot objects that a crash
+// discards, while the platters — and, with Presto, the battery-backed
+// NVRAM dirty map — survive and seed the reboot. internal/fault drives the
+// crash/recovery schedule; this package owns the structural transitions.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/nfsproto"
+	"repro/internal/nvram"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+	"repro/internal/vfs"
+)
+
+// Config selects one cluster build.
+type Config struct {
+	// Net selects the LAN (hw.Ethernet() or hw.FDDI()).
+	Net hw.NetParams
+	// Clients and Servers are the node counts.
+	Clients int
+	Servers int
+	// Presto interposes an NVRAM board in front of every server's disks.
+	Presto bool
+	// Gathering enables the write gathering engine on every server.
+	Gathering bool
+	// GatherOverride replaces the default engine policy when non-nil.
+	GatherOverride *core.Config
+	// StripeDisks is the spindle count per server (1 = lone RZ26).
+	StripeDisks int
+	// NumNfsds is the daemon pool size per server.
+	NumNfsds int
+	// Biods per client (0 = fully synchronous writes).
+	Biods int
+	// CPUScale divides every server CPU cost.
+	CPUScale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Inodes sizes each server's inode table (default 512).
+	Inodes int
+	// RecordReplies keeps per-server WRITE reply logs for crash audits.
+	RecordReplies bool
+	// ClientRetries overrides the clients' RPC attempt bound; crash rigs
+	// raise it so calls ride out a server outage (default 8).
+	ClientRetries int
+}
+
+// Node is one server shard with its full device stack.
+type Node struct {
+	Name  string
+	Index int
+	FSID  uint32
+	// Boots counts completed boot cycles (1 after New).
+	Boots int
+	// Down is true between Crash and the end of Reboot.
+	Down bool
+	// RecoveredBlocks totals NVRAM dirty blocks replayed onto the
+	// platters across all reboots (0 without Presto).
+	RecoveredBlocks int
+
+	Server *server.Server
+	FS     *ufs.FS
+	Disks  []*disk.Disk
+	Stripe *disk.Stripe
+	Presto *nvram.Presto
+
+	c *Cluster
+	// mkfs is the boot-time image flusher (only meaningful for the first
+	// boot; killed by Crash like every other host process).
+	mkfs *sim.Proc
+
+	// Measurement marks (IntervalStats).
+	cpuMark   sim.Duration
+	transMark uint64
+	bytesMark uint64
+}
+
+// Cluster is an assembled scale-out testbed.
+type Cluster struct {
+	Sim     *sim.Sim
+	Net     *netsim.Network
+	Nodes   []*Node
+	Clients []*client.Client
+	Shards  *ShardMap
+
+	cfg      Config
+	costs    hw.CPUParams
+	timeMark sim.Time
+}
+
+// New builds the full cluster for cfg. Every node's on-disk image is made
+// mountable immediately (superblock and root inode flushed at t=0), so a
+// crash injector may fire at any time.
+func New(cfg Config) *Cluster {
+	if cfg.Clients == 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Servers == 0 {
+		cfg.Servers = 1
+	}
+	if cfg.StripeDisks == 0 {
+		cfg.StripeDisks = 1
+	}
+	if cfg.NumNfsds == 0 {
+		cfg.NumNfsds = 8
+	}
+	if cfg.Inodes == 0 {
+		cfg.Inodes = 512
+	}
+	s := sim.New(cfg.Seed)
+	costs := hw.DEC3000CPU()
+	if cfg.CPUScale > 1 {
+		costs = costs.Scale(cfg.CPUScale)
+	}
+	c := &Cluster{
+		Sim:   s,
+		Net:   netsim.New(s, cfg.Net),
+		cfg:   cfg,
+		costs: costs,
+	}
+
+	for i := 0; i < cfg.Servers; i++ {
+		n := &Node{
+			Name:  serverName(i),
+			Index: i,
+			FSID:  uint32(i + 1),
+			c:     c,
+		}
+		for d := 0; d < cfg.StripeDisks; d++ {
+			n.Disks = append(n.Disks, disk.New(s, hw.RZ26()))
+		}
+		if cfg.StripeDisks > 1 {
+			n.Stripe = disk.NewStripe(s, n.Disks, 8) // 64K stripe unit
+		}
+		dev, cpu := n.buildDeviceStack()
+		fs, err := ufs.Format(s, dev, n.FSID, cfg.Inodes)
+		if err != nil {
+			panic("cluster: " + err.Error())
+		}
+		n.FS = fs
+		n.startServer(fs, cpu)
+		// Make the fresh image crash-mountable: flush the superblock and
+		// the root inode before any load arrives. The flusher is part of
+		// the node's volatile state — a crash in the first instants must
+		// kill it too, or it would land platter writes posthumously.
+		n.mkfs = s.Spawn(n.Name+"-mkfs", func(p *sim.Proc) {
+			fs.WriteSuper(p)
+			if err := fs.Fsync(p, fs.Root(), vfs.FWrite|vfs.FWriteMetadata); err != nil {
+				panic("cluster: initial root flush: " + err.Error())
+			}
+		})
+		c.Nodes = append(c.Nodes, n)
+	}
+	c.Shards = newShardMap(c.Nodes)
+
+	for i := 0; i < cfg.Clients; i++ {
+		cli := client.New(s, c.Net, fmt.Sprintf("client%d", i+1), c.Nodes[0].Name,
+			hw.DEC3000Client(), cfg.Biods)
+		for _, n := range c.Nodes {
+			cli.AddRoute(n.FSID, n.Name)
+		}
+		if cfg.ClientRetries > 0 {
+			cli.MaxRetries = cfg.ClientRetries
+		}
+		c.Clients = append(c.Clients, cli)
+	}
+	return c
+}
+
+func serverName(i int) string { return fmt.Sprintf("server%d", i+1) }
+
+// raw returns the bottom of the node's device stack (the persistent part).
+func (n *Node) raw() disk.Device {
+	if n.Stripe != nil {
+		return n.Stripe
+	}
+	return n.Disks[0]
+}
+
+// buildDeviceStack assembles the per-boot device stack over the persistent
+// disks: CPU charge wrappers and, when configured, a fresh Presto board.
+// It returns the nfsd-visible device and the boot's CPU resource.
+func (n *Node) buildDeviceStack() (disk.Device, *sim.Resource) {
+	s := n.c.Sim
+	costs := n.c.costs
+	cpu := sim.NewResource(s, 1)
+	dev := disk.Device(server.NewChargedDevice(n.raw(), cpu, costs.DriverTrip))
+	if n.c.cfg.Presto {
+		n.Presto = nvram.New(s, hw.Prestoserve(), dev)
+		dev = server.NewChargedNVRAM(n.Presto, cpu, costs.DriverTrip,
+			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
+	}
+	return dev, cpu
+}
+
+// startServer attaches a fresh server instance (a boot) over fs.
+func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
+	cfg := n.c.cfg
+	costs := n.c.costs
+	scfg := server.Config{
+		Name:          n.Name,
+		NumNfsds:      cfg.NumNfsds,
+		Gathering:     cfg.Gathering,
+		Costs:         costs,
+		Accelerated:   cfg.Presto,
+		RecordReplies: cfg.RecordReplies,
+		CPU:           cpu,
+		// The boot verifier changes every boot, which is how clients
+		// detect that the dup cache died with the old instance.
+		BootVerifier: uint64(n.Index+1)<<32 | uint64(n.Boots+1),
+	}
+	if cfg.Gathering {
+		if cfg.GatherOverride != nil {
+			scfg.Gather = *cfg.GatherOverride
+		} else {
+			scfg.Gather = core.DefaultConfig(cfg.Presto, cfg.Net.Procrastinate)
+		}
+	}
+	n.Server = server.New(n.c.Sim, n.c.Net, fs, scfg)
+	srv := n.Server
+	fs.ChargeMeta = func(p *sim.Proc) { srv.CPU().Use(p, costs.MetaUpdate) }
+	n.Boots++
+	n.Down = false
+}
+
+// Crash kills the node instantaneously: nfsd state, socket buffers, the
+// buffer cache and the dup cache are lost; the platters and the NVRAM
+// dirty map survive. In-flight disk transfers die mid-air (their bytes
+// never land) exactly as a power failure would lose them.
+func (n *Node) Crash() {
+	if n.Down {
+		return
+	}
+	s := n.c.Sim
+	for _, pr := range n.Server.Procs() {
+		s.Kill(pr)
+	}
+	if n.Presto != nil {
+		for _, pr := range n.Presto.Procs() {
+			s.Kill(pr)
+		}
+	}
+	s.Kill(n.mkfs)
+	n.c.Net.Detach(n.Name)
+	// The in-core filesystem dies with the host; Reboot remounts from the
+	// platters. The old Presto board object survives only as the carrier
+	// of the battery-backed dirty map.
+	n.FS = nil
+	n.Server = nil
+	n.Down = true
+}
+
+// Reboot brings the node back: the NVRAM recovery flush replays the dirty
+// map onto the platters (battery-backed, no host time), then the boot
+// remounts the filesystem — reading the inode region back at real device
+// speed, which is the recovery time the experiment reports — and starts a
+// fresh server instance with a new boot verifier. The caller provides the
+// boot process.
+func (n *Node) Reboot(p *sim.Proc) error {
+	if !n.Down {
+		return fmt.Errorf("cluster: reboot of running node %s", n.Name)
+	}
+	if n.Presto != nil {
+		// The replay targets the same device bottom the new stack mounts
+		// (disk and stripe both take platter-level injections).
+		n.RecoveredBlocks += n.Presto.Recover(n.raw().(nvram.BlockInjector))
+		n.Presto = nil
+	}
+	dev, cpu := n.buildDeviceStack()
+	fs, err := ufs.Mount(n.c.Sim, p, dev)
+	if err != nil {
+		return fmt.Errorf("cluster: remount %s: %w", n.Name, err)
+	}
+	n.FS = fs
+	n.startServer(fs, cpu)
+	return nil
+}
+
+// NodeByFSID resolves the owning node of an export.
+func (c *Cluster) NodeByFSID(fsid uint32) *Node {
+	for _, n := range c.Nodes {
+		if n.FSID == fsid {
+			return n
+		}
+	}
+	return nil
+}
+
+// Roots returns one exported root handle per node, in node order — the
+// shard roots a sharded workload spreads its files across.
+func (c *Cluster) Roots() []nfsproto.FH {
+	roots := make([]nfsproto.FH, len(c.Nodes))
+	for i, n := range c.Nodes {
+		roots[i] = nfsproto.NewFH(n.FSID, uint64(n.FS.Root()), 0)
+	}
+	return roots
+}
+
+// MarkInterval starts a measurement interval on every node.
+func (c *Cluster) MarkInterval() {
+	c.timeMark = c.Sim.Now()
+	for _, n := range c.Nodes {
+		if n.Server != nil {
+			n.cpuMark = n.Server.CPUBusy()
+		} else {
+			n.cpuMark = 0
+		}
+		n.transMark, n.bytesMark = n.diskTotals()
+	}
+}
+
+func (n *Node) diskTotals() (uint64, uint64) {
+	var trans, bytes uint64
+	for _, d := range n.Disks {
+		trans += d.Stats().Trans()
+		bytes += d.Stats().Bytes()
+	}
+	return trans, bytes
+}
+
+// NodeStats is one node's interval roll-up.
+type NodeStats struct {
+	Name       string
+	CPUPercent float64
+	DiskKBps   float64
+	DiskTps    float64
+	Boots      int
+}
+
+// Stats is the cluster-wide interval roll-up.
+type Stats struct {
+	Nodes []NodeStats
+	// CPUMeanPercent and CPUMaxPercent summarize server CPU load across
+	// shards; skew between them exposes an unbalanced shard map.
+	CPUMeanPercent float64
+	CPUMaxPercent  float64
+	DiskKBps       float64
+	DiskTps        float64
+	// Retransmissions sums client retransmissions (outages inflate it).
+	Retransmissions uint64
+	// RebootsSeen sums boot-verifier changes clients observed.
+	RebootsSeen uint64
+}
+
+// IntervalStats reports per-node and aggregate rates since MarkInterval.
+// A node rebooted mid-interval reports the CPU busy time of its current
+// boot only (clamped, never negative).
+func (c *Cluster) IntervalStats() Stats {
+	elapsed := c.Sim.Now().Sub(c.timeMark)
+	var st Stats
+	if elapsed <= 0 {
+		return st
+	}
+	sec := elapsed.Seconds()
+	for _, n := range c.Nodes {
+		ns := NodeStats{Name: n.Name, Boots: n.Boots}
+		if n.Server != nil {
+			busy := n.Server.CPUBusy() - n.cpuMark
+			if busy < 0 {
+				busy = n.Server.CPUBusy()
+			}
+			ns.CPUPercent = 100 * float64(busy) / float64(elapsed)
+		}
+		trans, bytes := n.diskTotals()
+		ns.DiskKBps = float64(bytes-n.bytesMark) / 1024 / sec
+		ns.DiskTps = float64(trans-n.transMark) / sec
+		st.Nodes = append(st.Nodes, ns)
+		st.CPUMeanPercent += ns.CPUPercent
+		if ns.CPUPercent > st.CPUMaxPercent {
+			st.CPUMaxPercent = ns.CPUPercent
+		}
+		st.DiskKBps += ns.DiskKBps
+		st.DiskTps += ns.DiskTps
+	}
+	st.CPUMeanPercent /= float64(len(c.Nodes))
+	for _, cli := range c.Clients {
+		st.Retransmissions += cli.Retransmissions
+		st.RebootsSeen += cli.RebootsSeen
+	}
+	return st
+}

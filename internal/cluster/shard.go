@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"repro/internal/client"
+	"repro/internal/nfsproto"
+)
+
+// ShardMap is the deterministic export-sharding map: it fixes, for any
+// file handle or placement key, which server shard owns it. Handles
+// resolve by their FSID (a handle is born on exactly one export); new
+// placements resolve by an FNV-1a hash of the key over the shard count, so
+// every participant — clients placing files, experiments reading results,
+// the fault injector picking victims — computes the same placement with no
+// coordination.
+type ShardMap struct {
+	nodes  []*Node
+	byFSID map[uint32]*Node
+}
+
+func newShardMap(nodes []*Node) *ShardMap {
+	m := &ShardMap{nodes: nodes, byFSID: make(map[uint32]*Node, len(nodes))}
+	for _, n := range nodes {
+		m.byFSID[n.FSID] = n
+	}
+	return m
+}
+
+// Len reports the shard count.
+func (m *ShardMap) Len() int { return len(m.nodes) }
+
+// ByHandle resolves the node owning a file handle (nil for an unknown
+// export).
+func (m *ShardMap) ByHandle(fh nfsproto.FH) *Node { return m.byFSID[fh.FSID()] }
+
+// ByKey places a key (typically a file name) on its shard, using the
+// cluster-wide placement function (client.ShardIndex) that workloads use
+// to spread working sets.
+func (m *ShardMap) ByKey(key string) *Node {
+	return m.nodes[client.ShardIndex(key, len(m.nodes))]
+}

@@ -149,6 +149,7 @@ func (d *Disk) check(blk int64, n int) {
 func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 	d.check(blk, len(buf))
 	d.arm.Acquire(p)
+	defer d.arm.Release()
 	st := d.serviceTime(blk, len(buf))
 	p.Sleep(st)
 	d.stats.BusyTime += st
@@ -167,16 +168,19 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 	d.pos = blk + nb
 	d.stats.Reads++
 	d.stats.ReadBytes += uint64(len(buf))
-	d.arm.Release()
 	if d.OnOp != nil {
 		d.OnOp(false, blk, len(buf))
 	}
 }
 
-// WriteBlocks implements Device.
+// WriteBlocks implements Device. A process killed while the transfer is in
+// flight (a server crash mid-I/O) unwinds out of the Sleep: the deferred
+// release frees the arm, and the bytes never reach the platters — the
+// conservative power-failure model.
 func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 	d.check(blk, len(data))
 	d.arm.Acquire(p)
+	defer d.arm.Release()
 	st := d.serviceTime(blk, len(data))
 	p.Sleep(st)
 	d.stats.BusyTime += st
@@ -184,7 +188,6 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 	d.pos = blk + int64(len(data)/d.p.BlockSize)
 	d.stats.Writes++
 	d.stats.WriteBytes += uint64(len(data))
-	d.arm.Release()
 	if d.OnOp != nil {
 		d.OnOp(true, blk, len(data))
 	}
@@ -358,12 +361,14 @@ func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
 		}
 		return
 	}
-	// Parallel member I/O: spawn a process per segment, wait for all.
+	// Parallel member I/O: spawn a child process per segment, wait for
+	// all. Children so a crash that kills the issuing process takes the
+	// in-flight member transfers down with it (no posthumous writes).
 	done := sim.NewCond(p.Sim())
 	pending := len(segs)
 	for _, s := range segs {
 		s := s
-		p.Sim().Spawn("stripe-io", func(q *sim.Proc) {
+		p.Sim().SpawnChild(p, "stripe-io", func(q *sim.Proc) {
 			if write {
 				st.members[s.member].WriteBlocks(q, s.phys, buf[s.off:s.off+s.n])
 			} else {
@@ -377,6 +382,17 @@ func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
 	}
 	for pending > 0 {
 		done.Wait(p)
+	}
+}
+
+// InjectBlock stores contents directly on the owning members (crash
+// recovery replay and test setup; no simulated time).
+func (st *Stripe) InjectBlock(blk int64, data []byte) {
+	bs := int64(st.BlockSize())
+	nb := int64(len(data)) / bs
+	for i := int64(0); i < nb; i++ {
+		m, phys := st.mapBlock(blk + i)
+		st.members[m].InjectBlock(phys, data[i*bs:(i+1)*bs])
 	}
 }
 

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ScaleSpec parameterizes the scale-out sweep: a clients × servers grid of
+// LADDIS runs, each cell measured for both server builds. The offered load
+// is per client, so the grid answers the two questions the paper's
+// single-rig evaluation could not: how response time degrades as load
+// generators multiply, and how much of it a second (sharded) server buys
+// back.
+type ScaleSpec struct {
+	Name string
+	// ClientCounts and ServerCounts span the grid.
+	ClientCounts []int
+	ServerCounts []int
+	// Presto interposes NVRAM boards on every server.
+	Presto bool
+	// OfferedPerClient is the open-loop request rate each client offers.
+	OfferedPerClient float64
+	// Procs is generator processes per client.
+	Procs int
+	// Nfsds is the daemon pool per server.
+	Nfsds int
+	// Disks is the spindle count per server.
+	Disks int
+	// Files and FileBlocks size each client's working set.
+	Files      int
+	FileBlocks int
+	// Measure bounds the measured phase.
+	Measure sim.Duration
+	Seed    int64
+}
+
+// DefaultScaleSpec is the recorded sweep: clients 1/2/4 against servers
+// 1/2 on FDDI.
+func DefaultScaleSpec() ScaleSpec {
+	return ScaleSpec{
+		Name:             "Scale-out sweep: LADDIS clients x sharded servers, FDDI",
+		ClientCounts:     []int{1, 2, 4},
+		ServerCounts:     []int{1, 2},
+		OfferedPerClient: 250,
+		Procs:            8,
+		Nfsds:            16,
+		Disks:            2,
+		Files:            24,
+		FileBlocks:       8,
+		Measure:          4 * sim.Second,
+		Seed:             9494,
+	}
+}
+
+// ScaleCell is one grid cell's measurement.
+type ScaleCell struct {
+	Clients   int
+	Servers   int
+	Gathering bool
+	Presto    bool
+
+	OfferedOpsPerSec  float64
+	AchievedOpsPerSec float64
+	AvgLatencyMs      float64
+	P95LatencyMs      float64
+	CPUMeanPercent    float64
+	CPUMaxPercent     float64
+	DiskTps           float64
+	Errors            int
+}
+
+// RunScaleCell measures one cell: nclients LADDIS clients, their working
+// sets sharded across nservers exports, one server build.
+func RunScaleCell(spec ScaleSpec, nclients, nservers int, gathering bool) ScaleCell {
+	c := cluster.New(cluster.Config{
+		Net:         hw.FDDI(),
+		Clients:     nclients,
+		Servers:     nservers,
+		Presto:      spec.Presto,
+		Gathering:   gathering,
+		StripeDisks: spec.Disks,
+		NumNfsds:    spec.Nfsds,
+		Biods:       0, // LADDIS load processes issue synchronous ops
+		CPUScale:    1.8,
+		Seed:        spec.Seed + int64(nclients*100+nservers*10),
+		Inodes:      2048,
+	})
+	roots := c.Roots()
+
+	gens := make([]*workload.LADDIS, nclients)
+	results := make([]workload.LADDISResult, nclients)
+	finished := 0
+	for i, cli := range c.Clients {
+		i, cli := i, cli
+		gens[i] = workload.NewLADDIS(cli, roots[0], workload.LADDISConfig{
+			Files:            spec.Files,
+			FileBlocks:       spec.FileBlocks,
+			OfferedOpsPerSec: spec.OfferedPerClient,
+			Procs:            spec.Procs,
+			Duration:         spec.Measure,
+			Seed:             spec.Seed + int64(i),
+			Roots:            roots,
+		})
+		c.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
+			if err := gens[i].Setup(p); err != nil {
+				panic("experiments: scale setup: " + err.Error())
+			}
+			// Barrier: measurement starts together, well past setup. A
+			// setup that overruns the barrier would silently skew the
+			// interval stats (clients starting staggered, MarkInterval
+			// mid-load), so it is a hard error: grow the barrier with the
+			// working set, don't ignore it.
+			const barrier = sim.Time(20 * sim.Second)
+			wait := barrier.Sub(p.Now())
+			if wait < 0 {
+				panic(fmt.Sprintf("experiments: scale setup for client %d ran %v past the %v barrier; working set too large for the barrier",
+					i, -wait, sim.Duration(barrier)))
+			}
+			p.Sleep(wait)
+			if i == 0 {
+				c.MarkInterval()
+			}
+			results[i] = gens[i].Run(p)
+			finished++
+		})
+	}
+	c.Sim.Run(0)
+	if finished != nclients {
+		panic("experiments: scale drivers did not finish")
+	}
+
+	cell := ScaleCell{
+		Clients: nclients, Servers: nservers,
+		Gathering: gathering, Presto: spec.Presto,
+		OfferedOpsPerSec: spec.OfferedPerClient * float64(nclients),
+	}
+	var latSum, n float64
+	var p95 float64
+	for _, res := range results {
+		cell.AchievedOpsPerSec += res.AchievedOpsPerSec
+		latSum += res.AvgLatencyMs * res.AchievedOpsPerSec
+		n += res.AchievedOpsPerSec
+		if res.P95LatencyMs > p95 {
+			p95 = res.P95LatencyMs
+		}
+		cell.Errors += res.Errors
+	}
+	if n > 0 {
+		cell.AvgLatencyMs = latSum / n
+	}
+	cell.P95LatencyMs = p95
+	st := c.IntervalStats()
+	cell.CPUMeanPercent = st.CPUMeanPercent
+	cell.CPUMaxPercent = st.CPUMaxPercent
+	cell.DiskTps = st.DiskTps
+	return cell
+}
+
+// RunScaleSweep measures the full grid for both server builds (standard
+// first, gathering second, cell-major), mirroring RunFigure's pairing.
+func RunScaleSweep(spec ScaleSpec) []ScaleCell {
+	var cells []ScaleCell
+	for _, nc := range spec.ClientCounts {
+		for _, ns := range spec.ServerCounts {
+			cells = append(cells, RunScaleCell(spec, nc, ns, false))
+			cells = append(cells, RunScaleCell(spec, nc, ns, true))
+		}
+	}
+	return cells
+}
+
+// CellTag names a cell compactly (benchmark metric prefixes).
+func (c ScaleCell) CellTag() string {
+	b := "std"
+	if c.Gathering {
+		b = "wg"
+	}
+	return fmt.Sprintf("c%ds%d-%s", c.Clients, c.Servers, b)
+}
+
+// RenderScaleSweep formats the grid.
+func RenderScaleSweep(spec ScaleSpec, cells []ScaleCell) string {
+	out := spec.Name + "\n"
+	out += fmt.Sprintf("%-10s %8s  %9s %8s %8s %8s %8s %9s %7s\n",
+		"cell", "offered", "achieved", "avg ms", "p95 ms", "cpu avg", "cpu max", "disk t/s", "errors")
+	for _, c := range cells {
+		out += fmt.Sprintf("%-10s %8.0f  %9.1f %8.2f %8.2f %7.1f%% %7.1f%% %9.0f %7d\n",
+			c.CellTag(), c.OfferedOpsPerSec, c.AchievedOpsPerSec,
+			c.AvgLatencyMs, c.P95LatencyMs, c.CPUMeanPercent, c.CPUMaxPercent,
+			c.DiskTps, c.Errors)
+	}
+	return out
+}

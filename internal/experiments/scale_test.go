@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestScaleSweepSmoke runs one grid cell end to end (the CI smoke): two
+// clients sharded across two servers with gathering on must move load on
+// every shard without errors.
+func TestScaleSweepSmoke(t *testing.T) {
+	spec := DefaultScaleSpec()
+	spec.Measure = 1 * sim.Second
+	cell := RunScaleCell(spec, 2, 2, true)
+	if cell.AchievedOpsPerSec <= 0 {
+		t.Fatalf("cell achieved no throughput: %+v", cell)
+	}
+	if cell.Errors != 0 {
+		t.Fatalf("cell had %d op errors", cell.Errors)
+	}
+	if cell.AvgLatencyMs <= 0 {
+		t.Fatalf("cell recorded no latency: %+v", cell)
+	}
+	t.Logf("%s: %.1f ops/s, %.2f ms avg, cpu %.1f%%/%.1f%%",
+		cell.CellTag(), cell.AchievedOpsPerSec, cell.AvgLatencyMs,
+		cell.CPUMeanPercent, cell.CPUMaxPercent)
+}
+
+// TestScaleCellDeterministic: the same cell at the same seed reports
+// byte-identical metrics.
+func TestScaleCellDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism re-run is covered by the full sweep benchmarks")
+	}
+	spec := DefaultScaleSpec()
+	spec.Measure = 1 * sim.Second
+	a := RunScaleCell(spec, 2, 1, true)
+	b := RunScaleCell(spec, 2, 1, true)
+	if a != b {
+		t.Fatalf("scale cell not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCrashRecoveryDurability is the acceptance gate: zero acked-write
+// loss with gathering on, with and without Presto.
+func TestCrashRecoveryDurability(t *testing.T) {
+	for _, presto := range []bool{false, true} {
+		spec := DefaultCrashSpec(presto)
+		if testing.Short() {
+			spec.Crashes = 1
+			spec.FileMB = 1
+		}
+		r := RunCrashRecovery(spec)
+		if r.LostBytes != 0 {
+			t.Fatalf("presto=%v: %d acked bytes lost (%s)", presto, r.LostBytes, r.FirstLoss)
+		}
+		if r.Crashes == 0 || r.Reboots != r.Crashes {
+			t.Fatalf("presto=%v: crashes=%d reboots=%d", presto, r.Crashes, r.Reboots)
+		}
+		if r.AckedWrites == 0 {
+			t.Fatalf("presto=%v: empty journal", presto)
+		}
+		if r.RebootsSeen == 0 {
+			t.Errorf("presto=%v: clients never detected the reboot", presto)
+		}
+		t.Logf("%s", RenderCrashRecovery(spec, r))
+	}
+}

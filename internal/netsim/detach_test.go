@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// TestDetachReattach: detaching an endpoint loses its queued datagrams and
+// drops in-flight deliveries; the name is then free for a fresh Attach
+// whose inbox starts empty — the crashed-and-rebooted host.
+func TestDetachReattach(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	n.Attach("cli", 0, 0)
+	srv := n.Attach("srv", 0, 0)
+
+	s.Spawn("sender", func(p *sim.Proc) {
+		n.Send(p, "cli", "srv", make([]byte, 100)) // queued pre-crash: lost
+		p.Sleep(1000)
+		n.Send(p, "cli", "srv", make([]byte, 100)) // in flight at crash
+	})
+	// The second datagram finishes serializing just after t=1000 and takes
+	// Latency to arrive; detach while it is in flight.
+	crashAt := sim.Time(1000).Add(n.Params().Latency)
+	s.At(sim.Duration(crashAt), func() {
+		if srv.Inbox.Len() != 1 {
+			t.Errorf("pre-crash inbox len = %d, want 1", srv.Inbox.Len())
+		}
+		ep := n.Detach("srv")
+		if ep != srv || !srv.Dead() {
+			t.Error("Detach did not return the dead endpoint")
+		}
+		if srv.Inbox.Len() != 0 {
+			t.Errorf("detached inbox still holds %d datagrams", srv.Inbox.Len())
+		}
+	})
+	s.Run(0)
+
+	if n.Detach("srv") != nil {
+		t.Error("double Detach should be a no-op")
+	}
+
+	// Reboot: same name, fresh socket buffer.
+	srv2 := n.Attach("srv", 0, 0)
+	if srv2.Inbox.Len() != 0 {
+		t.Fatalf("rebooted inbox len = %d, want 0", srv2.Inbox.Len())
+	}
+	var delivered bool
+	s.Spawn("sender2", func(p *sim.Proc) {
+		if !n.Send(p, "cli", "srv", make([]byte, 100)) {
+			t.Error("send to reattached endpoint failed")
+		}
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		dg := srv2.Inbox.Get(p)
+		delivered = true
+		dg.Release()
+	})
+	s.Run(0)
+	if !delivered {
+		t.Fatal("datagram not delivered to reattached endpoint")
+	}
+}

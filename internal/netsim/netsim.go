@@ -69,7 +69,13 @@ type Endpoint struct {
 	// Inbox is the receive socket buffer. For servers it is bounded in
 	// bytes (DEC OSF/1 used 0.25 MB); overflow drops datagrams.
 	Inbox *sim.Queue[*Datagram]
+	// dead marks a detached endpoint (host crashed / interface down);
+	// in-flight deliveries to it are dropped like any other lost datagram.
+	dead bool
 }
+
+// Dead reports whether the endpoint has been detached from its network.
+func (e *Endpoint) Dead() bool { return e.dead }
 
 // Network is one shared-medium LAN segment.
 type Network struct {
@@ -120,6 +126,28 @@ func (n *Network) Attach(name string, maxItems, maxBytes int) *Endpoint {
 	return ep
 }
 
+// Detach removes an endpoint from the network, modelling a host crash: the
+// socket buffer's queued datagrams are lost, and datagrams still in flight
+// toward it are dropped on arrival. The name becomes free for a later
+// Attach (the rebooted host's fresh socket buffer). Detaching an unknown
+// name is a no-op, so crash injectors may fire at arbitrary times.
+func (n *Network) Detach(name string) *Endpoint {
+	ep, ok := n.endpoints[name]
+	if !ok {
+		return nil
+	}
+	delete(n.endpoints, name)
+	ep.dead = true
+	for {
+		dg, ok := ep.Inbox.TryGet()
+		if !ok {
+			break
+		}
+		dg.Release()
+	}
+	return ep
+}
+
 // FragCount reports how many fragments a payload of n bytes needs.
 func (n *Network) FragCount(payload int) int {
 	total := payload + UDPIPOverhead
@@ -147,9 +175,10 @@ func (n *Network) wireTime(payload int) (sim.Duration, int, int) {
 // like a UDP socket. It reports whether a destination existed.
 func (n *Network) Send(p *sim.Proc, from, to string, payload []byte) bool {
 	d, frags, wire := n.wireTime(len(payload))
-	n.medium.Acquire(p)
-	p.Sleep(d)
-	n.medium.Release()
+	// Use (not Acquire/Release) so a sender killed mid-serialization — a
+	// crashing server's nfsd half-way through a reply — frees the shared
+	// medium as it unwinds.
+	n.medium.Use(p, d)
 	n.SentDatagrams++
 	n.SentBytes += uint64(wire)
 	dst, ok := n.endpoints[to]
@@ -176,8 +205,9 @@ func (n *Network) getDatagram() *Datagram {
 	}
 	d := &Datagram{net: n}
 	d.deliver = func() {
-		if !d.dst.Inbox.Put(d) {
-			// Socket buffer overflow: the datagram dies here, exactly as
+		if d.dst.dead || !d.dst.Inbox.Put(d) {
+			// Socket buffer overflow — or the destination host crashed
+			// while the datagram was in flight: it dies here, exactly as
 			// a UDP socket drops it; recycle the record immediately.
 			d.Release()
 		}

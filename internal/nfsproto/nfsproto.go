@@ -346,18 +346,28 @@ func (r *AttrStat) Encode() []byte {
 
 // DecodeAttrStat parses an attrstat result.
 func DecodeAttrStat(b []byte) (*AttrStat, error) {
+	r := &AttrStat{}
+	if err := DecodeAttrStatInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeAttrStatInto parses an attrstat result into a caller-owned struct
+// (which may be pooled or per-client scratch).
+func DecodeAttrStatInto(b []byte, r *AttrStat) error {
 	d := xdr.NewDecoder(b)
 	st, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &AttrStat{Status: Status(st)}
+	*r = AttrStat{Status: Status(st)}
 	if r.Status == OK {
 		if r.Attr, err = decodeFAttr(d); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // DirOpArgs names an entry within a directory.
@@ -439,21 +449,30 @@ func (r *DirOpRes) Encode() []byte {
 
 // DecodeDirOpRes parses a diropres result.
 func DecodeDirOpRes(b []byte) (*DirOpRes, error) {
+	r := &DirOpRes{}
+	if err := DecodeDirOpResInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeDirOpResInto parses a diropres result into a caller-owned struct.
+func DecodeDirOpResInto(b []byte, r *DirOpRes) error {
 	d := xdr.NewDecoder(b)
 	st, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &DirOpRes{Status: Status(st)}
+	*r = DirOpRes{Status: Status(st)}
 	if r.Status == OK {
 		if err := decodeFH(d, &r.File); err != nil {
-			return nil, err
+			return err
 		}
 		if r.Attr, err = decodeFAttr(d); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // SetattrArgs are the SETATTR arguments.
@@ -571,21 +590,31 @@ func (r *ReadRes) Encode() []byte {
 
 // DecodeReadRes parses a READ result.
 func DecodeReadRes(b []byte) (*ReadRes, error) {
+	r := &ReadRes{}
+	if err := DecodeReadResInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeReadResInto parses a READ result into a caller-owned struct. Data
+// aliases b.
+func DecodeReadResInto(b []byte, r *ReadRes) error {
 	d := xdr.NewDecoder(b)
 	st, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &ReadRes{Status: Status(st)}
+	*r = ReadRes{Status: Status(st)}
 	if r.Status == OK {
 		if r.Attr, err = decodeFAttr(d); err != nil {
-			return nil, err
+			return err
 		}
 		if r.Data, err = d.OpaqueRef(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // WriteArgs are the WRITE arguments. BeginOffset and TotalCount are unused
@@ -759,12 +788,23 @@ func (r *StatusRes) Encode() []byte {
 
 // DecodeStatusRes parses a status-only result.
 func DecodeStatusRes(b []byte) (*StatusRes, error) {
+	r := &StatusRes{}
+	if err := DecodeStatusResInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeStatusResInto parses a status-only result into a caller-owned
+// struct.
+func DecodeStatusResInto(b []byte, r *StatusRes) error {
 	d := xdr.NewDecoder(b)
 	st, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &StatusRes{Status: Status(st)}, nil
+	r.Status = Status(st)
+	return nil
 }
 
 // ReaddirArgs are the READDIR arguments.
@@ -858,39 +898,51 @@ func (r *ReaddirRes) Encode() []byte {
 
 // DecodeReaddirRes parses a READDIR result.
 func DecodeReaddirRes(b []byte) (*ReaddirRes, error) {
+	r := &ReaddirRes{}
+	if err := DecodeReaddirResInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeReaddirResInto parses a READDIR result into a caller-owned struct,
+// reusing its Entries backing.
+func DecodeReaddirResInto(b []byte, r *ReaddirRes) error {
 	d := xdr.NewDecoder(b)
 	st, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &ReaddirRes{Status: Status(st)}
+	r.Status = Status(st)
+	r.EOF = false
+	r.Entries = r.Entries[:0]
 	if r.Status != OK {
-		return r, nil
+		return nil
 	}
 	for {
 		more, err := d.Bool()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !more {
 			break
 		}
 		var ent DirEntry
 		if ent.FileID, err = d.Uint32(); err != nil {
-			return nil, err
+			return err
 		}
 		if ent.Name, err = d.String(); err != nil {
-			return nil, err
+			return err
 		}
 		if ent.Cookie, err = d.Uint32(); err != nil {
-			return nil, err
+			return err
 		}
 		r.Entries = append(r.Entries, ent)
 	}
 	if r.EOF, err = d.Bool(); err != nil {
-		return nil, err
+		return err
 	}
-	return r, nil
+	return nil
 }
 
 // StatfsRes is the STATFS result.

@@ -47,6 +47,7 @@ type Presto struct {
 	clean    *sim.Cond
 	sweepPos int64 // elevator position for drain sweeps
 	inFlight map[int64]bool
+	procs    []*sim.Proc // drain workers, for crash injection
 }
 
 // New interposes a Presto board in front of under and starts its drainer.
@@ -66,10 +67,15 @@ func New(s *sim.Sim, p hw.PrestoParams, under disk.Device) *Presto {
 		workers = 1
 	}
 	for i := 0; i < workers; i++ {
-		s.Spawn("presto-drain", pr.drainLoop)
+		pr.procs = append(pr.procs, s.Spawn("presto-drain", pr.drainLoop))
 	}
 	return pr
 }
+
+// Procs returns the board's drain processes. On a host crash they are
+// killed — the board stops moving data — while the battery preserves the
+// dirty map for recovery.
+func (pr *Presto) Procs() []*sim.Proc { return pr.procs }
 
 // BlockSize implements disk.Device.
 func (pr *Presto) BlockSize() int { return pr.under.BlockSize() }
@@ -281,13 +287,25 @@ func (pr *Presto) Stop() {
 	pr.work.Broadcast()
 }
 
+// BlockInjector accepts raw block contents outside simulated time; both
+// disk.Disk and disk.Stripe implement it. It is the target of the
+// battery-backed NVRAM recovery flush.
+type BlockInjector interface {
+	InjectBlock(blk int64, data []byte)
+}
+
 // RecoverTo writes every dirty NVRAM block straight to the platters with
 // no simulated time: the battery-backed recovery path after a server
 // crash. It returns the number of blocks flushed.
-func (pr *Presto) RecoverTo(d *disk.Disk) int {
+func (pr *Presto) RecoverTo(d *disk.Disk) int { return pr.Recover(d) }
+
+// Recover flushes every dirty block into inj (a disk or stripe set) with
+// no simulated time, the reboot-time recovery replay. Blocks are distinct,
+// so replay order does not affect the recovered image.
+func (pr *Presto) Recover(inj BlockInjector) int {
 	n := 0
 	for blk, b := range pr.dirty {
-		d.InjectBlock(blk, b.data)
+		inj.InjectBlock(blk, b.data)
 		n++
 	}
 	return n

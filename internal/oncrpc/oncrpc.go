@@ -5,6 +5,7 @@
 package oncrpc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -311,6 +312,10 @@ func (r *ReplyMsg) Encode() []byte {
 // writes: an MSG_ACCEPTED/SUCCESS reply with an AUTH_NULL verifier.
 const SuccessHeaderSize = 24
 
+// BootVerfSize is the extra wire bytes a boot-instance verifier adds to a
+// success header (an 8-byte opaque body).
+const BootVerfSize = 8
+
 // AppendSuccessHeader appends the accepted-success reply header for xid to
 // e; the caller then encodes the procedure results directly after it. This
 // is the server fast path: header and results share one exactly-sized
@@ -324,55 +329,100 @@ func AppendSuccessHeader(e *xdr.Encoder, xid uint32) {
 	e.Uint32(uint32(Success))
 }
 
+// AppendSuccessHeaderBootVerf appends an accepted-success reply header
+// whose AUTH_NULL verifier carries an 8-byte boot-instance id. Clients
+// compare the id across replies to detect that a server rebooted (and thus
+// that its duplicate-request cache is gone). The header is
+// SuccessHeaderSize+BootVerfSize bytes.
+func AppendSuccessHeaderBootVerf(e *xdr.Encoder, xid uint32, bootID uint64) {
+	e.Uint32(xid)
+	e.Uint32(uint32(Reply))
+	e.Uint32(uint32(MsgAccepted))
+	e.Uint32(uint32(AuthNull))
+	e.Uint32(8) // verifier body length
+	e.Uint32(uint32(bootID >> 32))
+	e.Uint32(uint32(bootID))
+	e.Uint32(uint32(Success))
+}
+
+// BootVerf extracts the boot-instance id from a reply verifier, if one is
+// present (8-byte body).
+func BootVerf(verf OpaqueAuth) (uint64, bool) {
+	if len(verf.Body) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(verf.Body), true
+}
+
+// PeekXID reads the transaction id of any RPC message without a full
+// decode; receivers use it to route a reply before deciding whether to
+// spend a decode on it.
+func PeekXID(b []byte) (uint32, bool) {
+	if len(b) < 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(b), true
+}
+
 // DecodeReply parses a reply message. Results aliases the tail of b.
 func DecodeReply(b []byte) (*ReplyMsg, error) {
-	d := xdr.NewDecoder(b)
 	r := &ReplyMsg{}
+	if err := DecodeReplyInto(b, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeReplyInto parses a reply message into a caller-owned struct (which
+// may be pooled). Results and Verf.Body alias b.
+func DecodeReplyInto(b []byte, r *ReplyMsg) error {
+	d := xdr.NewDecoder(b)
+	*r = ReplyMsg{}
 	var err error
 	if r.XID, err = d.Uint32(); err != nil {
-		return nil, err
+		return err
 	}
 	mt, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if MsgType(mt) != Reply {
-		return nil, ErrNotReply
+		return ErrNotReply
 	}
 	st, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.Stat = ReplyStat(st)
 	if r.Stat == MsgDenied {
-		return r, nil
+		return nil
 	}
 	if r.Stat != MsgAccepted {
-		return nil, fmt.Errorf("%w: reply stat %d", ErrBadMessage, st)
+		return fmt.Errorf("%w: reply stat %d", ErrBadMessage, st)
 	}
 	vf, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.Verf.Flavor = AuthFlavor(vf)
 	if r.Verf.Body, err = d.OpaqueRef(); err != nil {
-		return nil, err
+		return err
 	}
 	as, err := d.Uint32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.AccStat = AcceptStat(as)
 	switch r.AccStat {
 	case ProgMismatch:
 		if r.MismatchLow, err = d.Uint32(); err != nil {
-			return nil, err
+			return err
 		}
 		if r.MismatchHigh, err = d.Uint32(); err != nil {
-			return nil, err
+			return err
 		}
 	case Success:
 		r.Results = b[d.Offset():]
 	}
-	return r, nil
+	return nil
 }

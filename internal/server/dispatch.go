@@ -230,12 +230,30 @@ func (s *Server) putReadBuf(b []byte) {
 	}
 }
 
+// successHeader appends the accepted-success header, carrying the boot
+// verifier when this server build advertises one.
+func (s *Server) successHeader(e *xdr.Encoder, xid uint32) {
+	if s.cfg.BootVerifier != 0 {
+		oncrpc.AppendSuccessHeaderBootVerf(e, xid, s.cfg.BootVerifier)
+		return
+	}
+	oncrpc.AppendSuccessHeader(e, xid)
+}
+
+// successHeaderSize is the size the successHeader will occupy.
+func (s *Server) successHeaderSize() int {
+	if s.cfg.BootVerifier != 0 {
+		return oncrpc.SuccessHeaderSize + oncrpc.BootVerfSize
+	}
+	return oncrpc.SuccessHeaderSize
+}
+
 // reply encodes, records and transmits a successful RPC reply. The RPC
 // header and procedure results share a single buffer; no intermediate
 // results slice is allocated.
 func (s *Server) reply(p *sim.Proc, k dupKey, res resultEncoder) {
-	e := xdr.NewEncoder(make([]byte, 0, oncrpc.SuccessHeaderSize+res.EncodedSize()))
-	oncrpc.AppendSuccessHeader(e, k.xid)
+	e := xdr.NewEncoder(make([]byte, 0, s.successHeaderSize()+res.EncodedSize()))
+	s.successHeader(e, k.xid)
 	res.EncodeTo(e)
 	raw := e.Bytes()
 	s.dup.done(k, raw)
@@ -244,8 +262,8 @@ func (s *Server) reply(p *sim.Proc, k dupKey, res resultEncoder) {
 
 // replyEmpty sends a success reply with empty results (NULL).
 func (s *Server) replyEmpty(p *sim.Proc, k dupKey) {
-	e := xdr.NewEncoder(make([]byte, 0, oncrpc.SuccessHeaderSize))
-	oncrpc.AppendSuccessHeader(e, k.xid)
+	e := xdr.NewEncoder(make([]byte, 0, s.successHeaderSize()))
+	s.successHeader(e, k.xid)
 	raw := e.Bytes()
 	s.dup.done(k, raw)
 	s.sendRaw(p, k.client, raw)

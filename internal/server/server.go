@@ -45,6 +45,11 @@ type Config struct {
 	DupCacheCap int
 	// RecordReplies keeps a log of every WRITE reply for crash audits.
 	RecordReplies bool
+	// BootVerifier, when non-zero, is a boot-instance id carried in the
+	// verifier of every success reply. A rebooted server presents a new
+	// id, which is how clients learn the dup cache is gone. Zero keeps the
+	// classic empty AUTH_NULL verifier (and the classic wire sizes).
+	BootVerifier uint64
 	// CPU, when non-nil, is the CPU resource to charge; it lets callers
 	// share one resource between the server and device charge wrappers
 	// built before the server. A fresh resource is created otherwise.
@@ -75,6 +80,7 @@ type Server struct {
 	locks  *core.VnodeLocks
 	dup    *dupCache
 	freePC []*parsedCall // parse record pool
+	procs  []*sim.Proc   // the nfsd pool, for crash injection
 
 	// Per-server result scratch (see dispatch.go).
 	scratchAttrStat   nfsproto.AttrStat
@@ -134,10 +140,14 @@ func New(s *sim.Sim, n *netsim.Network, fs *ufs.FS, cfg Config) *Server {
 	}
 	for i := 0; i < cfg.NumNfsds; i++ {
 		id := i
-		s.Spawn("nfsd", func(p *sim.Proc) { srv.nfsd(p, id) })
+		srv.procs = append(srv.procs, s.Spawn("nfsd", func(p *sim.Proc) { srv.nfsd(p, id) }))
 	}
 	return srv
 }
+
+// Procs returns the server's daemon processes; a crash injector kills
+// them, losing whatever request state they held.
+func (s *Server) Procs() []*sim.Proc { return s.procs }
 
 // Endpoint returns the server's network endpoint (tests inspect drops).
 func (s *Server) Endpoint() *netsim.Endpoint { return s.ep }

@@ -93,7 +93,9 @@ func (c *Cond) Waiters() int {
 func (c *Cond) Wait(p *Proc) {
 	w := c.sim.newWaiter(c, p)
 	c.waiters = append(c.waiters, w)
-	p.yield()
+	p.waiting = w
+	p.yield() // a Kill unwinds from here; Kill already recycled the waiter
+	p.waiting = nil
 	// Only a Signal resumes a plain Wait, and Signal pops the waiter from
 	// the list first, so the record is ours alone again.
 	c.sim.putWaiter(w)
@@ -106,7 +108,9 @@ func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 	e := c.sim.schedule(d, nil, nil, w)
 	w.timeout = Event{e: e, gen: e.gen}
 	c.waiters = append(c.waiters, w)
-	p.yield()
+	p.waiting = w
+	p.yield() // a Kill unwinds from here; Kill already recycled the waiter
+	p.waiting = nil
 	signaled := w.signaled
 	c.sim.putWaiter(w)
 	return signaled
@@ -226,11 +230,12 @@ func (r *Resource) Release() {
 }
 
 // Use acquires the resource, holds it for d, and releases it; the classic
-// "consume d of service time" idiom.
+// "consume d of service time" idiom. The release is deferred so a process
+// killed mid-hold does not strand the slot.
 func (r *Resource) Use(p *Proc, d Duration) {
 	r.Acquire(p)
+	defer r.Release()
 	p.Sleep(d)
-	r.Release()
 }
 
 // InUse reports the number of slots currently held.

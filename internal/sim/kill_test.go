@@ -1,0 +1,229 @@
+package sim
+
+import "testing"
+
+// TestKillSleepingProc: a killed sleeper unwinds (running its defers) and
+// never resumes model code; its stale sleep event is scrubbed, not
+// dispatched.
+func TestKillSleepingProc(t *testing.T) {
+	s := New(1)
+	var resumed, cleaned bool
+	p := s.Spawn("sleeper", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(100)
+		resumed = true
+	})
+	s.At(10, func() { s.Kill(p) })
+	s.Run(0)
+	if resumed {
+		t.Fatal("killed process resumed model code")
+	}
+	if !cleaned {
+		t.Fatal("killed process did not run its defers")
+	}
+	if s.NumProcs() != 0 {
+		t.Fatalf("NumProcs = %d after kill", s.NumProcs())
+	}
+	if !p.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+}
+
+// TestKillCondWaiterScrubbed: killing a process parked on a Cond removes it
+// from the wait list, so a later Signal is not wasted on the corpse.
+func TestKillCondWaiterScrubbed(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var victimWoke, survivorWoke bool
+	victim := s.Spawn("victim", func(p *Proc) {
+		c.Wait(p)
+		victimWoke = true
+	})
+	s.Spawn("survivor", func(p *Proc) {
+		c.Wait(p)
+		survivorWoke = true
+	})
+	s.At(10, func() {
+		s.Kill(victim)
+		if n := c.Waiters(); n != 1 {
+			t.Errorf("waiters after kill = %d, want 1", n)
+		}
+		if !c.Signal() {
+			t.Error("signal found no waiter")
+		}
+	})
+	s.Run(0)
+	if victimWoke {
+		t.Fatal("killed waiter resumed")
+	}
+	if !survivorWoke {
+		t.Fatal("signal was wasted on the killed waiter")
+	}
+}
+
+// TestKillResourceHolder: a process killed while holding a Resource via Use
+// releases the slot as it unwinds, so the resource is not stranded.
+func TestKillResourceHolder(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 1)
+	holder := s.Spawn("holder", func(p *Proc) {
+		r.Use(p, 1000)
+	})
+	var acquired bool
+	s.Spawn("waiter", func(p *Proc) {
+		p.Sleep(5)
+		r.Acquire(p)
+		acquired = true
+		r.Release()
+	})
+	s.At(10, func() { s.Kill(holder) })
+	s.Run(0)
+	if !acquired {
+		t.Fatal("resource stranded by killed holder")
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("resource InUse = %d at end", r.InUse())
+	}
+}
+
+// TestKillWaitTimeout: killing a process parked in WaitTimeout cancels its
+// deadline event; nothing fires for the corpse.
+func TestKillWaitTimeout(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var woke bool
+	p := s.Spawn("timed", func(p *Proc) {
+		c.WaitTimeout(p, 100)
+		woke = true
+	})
+	s.At(10, func() { s.Kill(p) })
+	end := s.Run(0)
+	if woke {
+		t.Fatal("killed WaitTimeout waiter resumed")
+	}
+	if end >= 100 {
+		t.Fatalf("deadline event survived the kill; clock ran to %d", end)
+	}
+}
+
+// TestKillQueueGetter: a process killed while blocked in Queue.Get unwinds;
+// later Puts are not consumed by it.
+func TestKillQueueGetter(t *testing.T) {
+	s := New(1)
+	q := NewQueue[int](s, 0)
+	var got int
+	victim := s.Spawn("getter", func(p *Proc) {
+		got = q.Get(p)
+	})
+	s.At(5, func() { s.Kill(victim) })
+	s.At(10, func() { q.Put(42) })
+	s.Run(0)
+	if got != 0 {
+		t.Fatalf("killed getter consumed item %d", got)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue len = %d, want 1 (item unconsumed)", q.Len())
+	}
+}
+
+// TestKillBeforeFirstDispatch: a process killed in the same instant it was
+// spawned never runs at all.
+func TestKillBeforeFirstDispatch(t *testing.T) {
+	s := New(1)
+	var ran bool
+	s.At(0, func() {
+		p := s.Spawn("stillborn", func(p *Proc) { ran = true })
+		s.Kill(p)
+	})
+	s.Run(0)
+	if ran {
+		t.Fatal("process killed before first dispatch still ran")
+	}
+	if s.NumProcs() != 0 {
+		t.Fatalf("NumProcs = %d", s.NumProcs())
+	}
+}
+
+// TestKillIdempotent: double Kill and kill-after-finish are no-ops.
+func TestKillIdempotent(t *testing.T) {
+	s := New(1)
+	p := s.Spawn("quick", func(p *Proc) { p.Sleep(1) })
+	s.Run(0)
+	s.Kill(p) // finished
+	p2 := s.Spawn("slow", func(p *Proc) { p.Sleep(100) })
+	s.At(1, func() { s.Kill(p2); s.Kill(p2) })
+	s.Run(0)
+	if s.NumProcs() != 0 {
+		t.Fatalf("NumProcs = %d", s.NumProcs())
+	}
+}
+
+// TestKillPropagatesToChildren: killing a process kills the helpers it
+// spawned with SpawnChild mid-flight — an I/O fan-out must not complete
+// posthumously — while already-finished children are long gone from the
+// parent's list.
+func TestKillPropagatesToChildren(t *testing.T) {
+	s := New(1)
+	var childFinished, lateChildRan bool
+	parent := s.Spawn("parent", func(p *Proc) {
+		s.SpawnChild(p, "quick-child", func(q *Proc) {
+			q.Sleep(1)
+			childFinished = true
+		})
+		s.SpawnChild(p, "slow-child", func(q *Proc) {
+			q.Sleep(1000)
+			lateChildRan = true
+		})
+		p.Sleep(2000)
+	})
+	s.At(10, func() {
+		if len(parent.children) != 1 {
+			t.Errorf("finished child not unlinked: %d children", len(parent.children))
+		}
+		s.Kill(parent)
+	})
+	s.Run(0)
+	if !childFinished {
+		t.Fatal("child that completed before the kill should have run")
+	}
+	if lateChildRan {
+		t.Fatal("in-flight child survived its parent's kill")
+	}
+	if s.NumProcs() != 0 {
+		t.Fatalf("NumProcs = %d", s.NumProcs())
+	}
+}
+
+// TestKillDeterminism: killing mid-run leaves the kernel consistent — a
+// full workload after the kill produces the same schedule as a fresh sim
+// seeded identically (event pooling and RNG state are per-Sim, so only the
+// post-kill event pattern is compared).
+func TestKillDeterminism(t *testing.T) {
+	run := func() uint64 {
+		s := New(7)
+		c := NewCond(s)
+		victim := s.Spawn("victim", func(p *Proc) {
+			for {
+				c.Wait(p)
+				p.Sleep(3)
+			}
+		})
+		s.Spawn("driver", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Sleep(5)
+				c.Signal()
+			}
+		})
+		s.At(23, func() { s.Kill(victim) })
+		s.Spawn("worker", func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Sleep(2)
+			}
+		})
+		s.Run(0)
+		return s.EventsFired()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("kill broke determinism: %d vs %d events", a, b)
+	}
+}

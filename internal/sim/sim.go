@@ -266,7 +266,12 @@ func (s *Sim) Run(until Time) Time {
 		case w != nil:
 			w.fireTimeout(s)
 		case p != nil:
-			s.dispatch(p)
+			// A wake-up may outlive its target: Kill unwinds a process on
+			// its first dispatch, and any further events still aimed at it
+			// (an old sleep deadline, a queued signal) are scrubbed here.
+			if !p.done {
+				s.dispatch(p)
+			}
 		default:
 			fn()
 		}
@@ -291,6 +296,15 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	killed bool
+	// waiting is the cond waiter the process is currently parked on, if
+	// any; Kill uses it to scrub the process out of the wait list.
+	waiting *condWaiter
+	// parent/children link helper processes (SpawnChild) to their owner
+	// so Kill takes the whole tree down — an I/O fan-out must not outlive
+	// the crashed host that issued it.
+	parent   *Proc
+	children []*Proc
 }
 
 // Name returns the name the process was spawned with.
@@ -314,14 +328,102 @@ func (s *Sim) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 	s.nprocs++
 	go func() {
 		<-p.resume // wait for first dispatch
-		fn(p)
+		runProc(p, fn)
 		p.done = true
+		p.unlinkParent()
 		s.nprocs--
 		s.ack <- struct{}{}
 	}()
 	s.schedule(d, nil, p, nil)
 	return p
 }
+
+// SpawnChild starts fn as a helper process owned by parent: killing the
+// parent kills the child too. Device fan-outs (a stripe splitting one
+// transfer across members) use it so in-flight member I/O dies with the
+// crashed host instead of completing posthumously. Scheduling is identical
+// to Spawn.
+func (s *Sim) SpawnChild(parent *Proc, name string, fn func(p *Proc)) *Proc {
+	p := s.Spawn(name, fn)
+	p.parent = parent
+	parent.children = append(parent.children, p)
+	return p
+}
+
+// unlinkParent removes a finished child from its parent's list (kernel
+// context: runs during the child's final handoff).
+func (p *Proc) unlinkParent() {
+	if p.parent == nil {
+		return
+	}
+	kids := p.parent.children
+	for i, c := range kids {
+		if c == p {
+			kids[i] = kids[len(kids)-1]
+			kids[len(kids)-1] = nil
+			p.parent.children = kids[:len(kids)-1]
+			break
+		}
+	}
+	p.parent = nil
+}
+
+// killSentinel is the panic value that unwinds a killed process's stack;
+// runProc swallows it so only the victim dies.
+type killSentinel struct{}
+
+// runProc runs a process body, absorbing the kill unwind.
+func runProc(p *Proc, fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	if p.killed {
+		return // killed before first dispatch
+	}
+	fn(p)
+}
+
+// Kill marks p for termination: the next time the kernel dispatches it, the
+// process unwinds (deferred cleanups run) instead of resuming model code.
+// If p is parked on a Cond/Queue/Resource it is scrubbed from the wait list
+// immediately, so no later Signal is wasted on it, and a wake-up is
+// scheduled at the current instant to deliver the kill promptly. Killing a
+// finished or already-killed process is a no-op. A process cannot kill
+// itself — unwind by returning instead.
+//
+// Kill models a crash, not a graceful stop: the victim's stack unwinds
+// mid-operation, so shared structures it is mid-flight on must release via
+// defer (the kernel's own Resource.Use does; so do the disk arm and the
+// network medium).
+func (s *Sim) Kill(p *Proc) {
+	if p == nil || p.done || p.killed {
+		return
+	}
+	p.killed = true
+	// Take down owned helpers first (SpawnChild): their in-flight work
+	// belongs to this process's host.
+	for _, c := range p.children {
+		s.Kill(c)
+	}
+	if w := p.waiting; w != nil {
+		// Scrub the parked process out of its wait list so a future
+		// Signal is not spent on a corpse, cancel any pending timeout,
+		// and recycle the waiter record (the unwinding Wait will not).
+		w.removed = true
+		w.c.detach(w)
+		w.timeout.Cancel()
+		p.waiting = nil
+		s.putWaiter(w)
+	}
+	s.wakeProc(p)
+}
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
 
 // Trace, when non-nil, receives a line per control transfer (debugging).
 var Trace func(string)
@@ -341,9 +443,14 @@ func (s *Sim) dispatch(p *Proc) {
 }
 
 // yield hands control back to the kernel and parks until re-dispatched.
+// A killed process never resumes model code: the kill unwinds its stack
+// here, through whatever blocking primitive parked it.
 func (p *Proc) yield() {
 	p.sim.ack <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
 
 // Sleep blocks the process for d of virtual time.

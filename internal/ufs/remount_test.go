@@ -1,0 +1,83 @@
+package ufs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// TestRemountedIndirectBlocksStayDurable pins the double-crash bug the
+// cluster rig exposed: an inode remounted with an existing indirect block
+// must have that block on its indBlocks list, or pointer updates made
+// after the mount are marked dirty in cache but never flushed by the
+// metadata-only fsync path — and a second crash silently loses acked data.
+func TestRemountedIndirectBlocksStayDurable(t *testing.T) {
+	s, fs, d := rig(t, 1)
+	payload := bytes.Repeat([]byte{0xAB}, 8192)
+
+	// Boot 1: push the file into the indirect region and commit.
+	var ino vfs.Ino
+	run(s, func(p *sim.Proc) {
+		fs.WriteSuper(p)
+		ino, _ = fs.Create(p, fs.Root(), "x", 0644)
+		for fb := 0; fb < NumDirect+2; fb++ {
+			if err := fs.Write(p, ino, uint32(fb*BlockSize), payload, vfs.IODelayData); err != nil {
+				t.Fatalf("write fb %d: %v", fb, err)
+			}
+		}
+		if err := fs.Fsync(p, ino, vfs.FWrite); err != nil {
+			t.Fatalf("fsync: %v", err)
+		}
+	})
+
+	// Crash 1 + boot 2: extend the file through the pre-existing indirect
+	// block, committing the §6.8 way (SyncData + metadata-only Fsync).
+	fs.DropCaches()
+	s2 := sim.New(2)
+	s2.Spawn("boot2", func(p *sim.Proc) {
+		m, err := Mount(s2, p, d)
+		if err != nil {
+			t.Errorf("mount 2: %v", err)
+			return
+		}
+		from := uint32((NumDirect + 2) * BlockSize)
+		if err := m.Write(p, vfs.Ino(ino), from, payload, vfs.IODelayData); err != nil {
+			t.Errorf("post-remount write: %v", err)
+			return
+		}
+		if err := m.SyncData(p, vfs.Ino(ino), from, from+8192); err != nil {
+			t.Errorf("syncdata: %v", err)
+			return
+		}
+		if err := m.Fsync(p, vfs.Ino(ino), vfs.FWrite|vfs.FWriteMetadata); err != nil {
+			t.Errorf("fsync: %v", err)
+			return
+		}
+		if m.MetaDirty(vfs.Ino(ino)) {
+			t.Error("metadata still dirty after metadata-only fsync (indBlocks lost by Mount)")
+		}
+	})
+	s2.Run(0)
+
+	// Crash 2 + boot 3: the extension must have survived.
+	s3 := sim.New(3)
+	s3.Spawn("boot3", func(p *sim.Proc) {
+		m, err := Mount(s3, p, d)
+		if err != nil {
+			t.Errorf("mount 3: %v", err)
+			return
+		}
+		got := make([]byte, 8192)
+		from := uint32((NumDirect + 2) * BlockSize)
+		if _, err := m.Read(p, vfs.Ino(ino), from, got); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Error("committed indirect-region write lost across second crash")
+		}
+	})
+	s3.Run(0)
+}

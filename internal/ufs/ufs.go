@@ -266,7 +266,11 @@ func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
 }
 
 // claimBlocks marks every block reachable from in as used, reading indirect
-// blocks from the device.
+// blocks from the device. Every pointer-bearing block it visits is also
+// registered in the inode's indBlocks list: a metadata-only fsync flushes
+// dirty indirect blocks by that list, so an indirect block that predates
+// the mount must be on it or post-remount pointer updates would never
+// reach the platters (lost on the next crash).
 func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
 	for _, b := range in.direct {
 		if b != 0 {
@@ -280,6 +284,7 @@ func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
 				return
 			}
 			fs.markUsed(b)
+			in.indBlocks = append(in.indBlocks, b)
 			raw := make([]byte, BlockSize)
 			fs.dev.ReadBlocks(p, b, raw)
 			for i := 0; i < PtrsPerBlock; i++ {

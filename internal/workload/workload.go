@@ -91,6 +91,11 @@ type LADDISConfig struct {
 	Duration sim.Duration
 	// Seed drives op/file/offset selection.
 	Seed int64
+	// Roots, when set, shards the working set across several exports: each
+	// file is placed under the root chosen by a hash of its name (the
+	// cluster rig passes one root per server). Empty means the single root
+	// given to NewLADDIS.
+	Roots []nfsproto.FH
 }
 
 // LADDISResult is one point on the throughput/latency curve.
@@ -106,9 +111,10 @@ type LADDISResult struct {
 // and reports achieved throughput and latency. The caller provides the
 // process; the run creates its own working set first (unmeasured).
 type LADDIS struct {
-	cfg  LADDISConfig
-	cli  *client.Client
-	root nfsproto.FH
+	cfg   LADDISConfig
+	cli   *client.Client
+	root  nfsproto.FH
+	roots []nfsproto.FH // shard roots; [root] when unsharded
 
 	files   []nfsproto.FH
 	cursors []int // per-file append cursor, in blocks
@@ -119,6 +125,56 @@ type LADDIS struct {
 	perOp   map[string]int
 	seq     int
 	bufs    [][]byte // pooled write payload buffers
+
+	// Write worker pool: one SFS write op is a burst of concurrent 8K
+	// WRITEs; bursts are dispatched to pre-spawned workers instead of a
+	// goroutine per request, so dense multi-client sweeps pay no
+	// spawn/teardown. The pool is sized so a burst never waits for a
+	// worker (Procs generators × the largest burst), keeping the request
+	// schedule identical to the spawn-per-write form.
+	writeJobs  *sim.Queue[writeTask]
+	freeBursts []*burstState
+}
+
+// maxBurst is the largest write burst burstLen can draw.
+const maxBurst = 8
+
+// writeTask is one 8K WRITE dispatched to a pool worker.
+type writeTask struct {
+	fh    nfsproto.FH
+	off   uint32
+	burst *burstState
+}
+
+// burstState tracks one in-flight write burst; the issuing generator waits
+// on done until its workers drain the burst.
+type burstState struct {
+	remaining int
+	done      sim.Cond
+}
+
+// getBurst takes a pooled burst record.
+func (l *LADDIS) getBurst(s *sim.Sim) *burstState {
+	if n := len(l.freeBursts); n > 0 {
+		b := l.freeBursts[n-1]
+		l.freeBursts = l.freeBursts[:n-1]
+		b.done.Init(s)
+		return b
+	}
+	b := &burstState{}
+	b.done.Init(s)
+	return b
+}
+
+func (l *LADDIS) putBurst(b *burstState) { l.freeBursts = append(l.freeBursts, b) }
+
+// rootFor places a working-set name on its shard root (the cluster-wide
+// placement function, client.ShardIndex).
+func (l *LADDIS) rootFor(name string) nfsproto.FH {
+	if len(l.roots) == 1 {
+		return l.roots[0]
+	}
+	return l.roots[client.ShardIndex(name, len(l.roots))]
 }
 
 // getBuf takes a MaxData write buffer from the pool.
@@ -148,12 +204,18 @@ func NewLADDIS(cli *client.Client, root nfsproto.FH, cfg LADDISConfig) *LADDIS {
 	if cfg.Procs == 0 {
 		cfg.Procs = 4
 	}
-	return &LADDIS{cfg: cfg, cli: cli, root: root, perOp: make(map[string]int)}
+	roots := cfg.Roots
+	if len(roots) == 0 {
+		roots = []nfsproto.FH{root}
+	}
+	return &LADDIS{cfg: cfg, cli: cli, root: root, roots: roots, perOp: make(map[string]int)}
 }
 
-// Setup creates and fills the working set (not measured).
+// Setup creates and fills the working set (not measured). With shard
+// roots, each file lands on the export its name hashes to.
 func (l *LADDIS) Setup(p *sim.Proc) error {
-	mres, err := l.cli.Mkdir(p, l.root, "scratch-"+l.cli.Name(), 0755)
+	sname := "scratch-" + l.cli.Name()
+	mres, err := l.cli.Mkdir(p, l.rootFor(sname), sname, 0755)
 	if err != nil || mres.Status != nfsproto.OK {
 		return fmt.Errorf("workload: scratch mkdir: %v %v", err, mres)
 	}
@@ -161,17 +223,18 @@ func (l *LADDIS) Setup(p *sim.Proc) error {
 	buf := make([]byte, nfsproto.MaxData)
 	for i := 0; i < l.cfg.Files; i++ {
 		name := fmt.Sprintf("ws-%s-%d", l.cli.Name(), i)
-		cres, err := l.cli.Create(p, l.root, name, 0644)
+		cres, err := l.cli.Create(p, l.rootFor(name), name, 0644)
 		if err != nil || cres.Status != nfsproto.OK {
 			return fmt.Errorf("workload: create %s: %v", name, err)
 		}
+		fh := cres.File // copy: cres is client scratch, dead at the next RPC
 		for b := 0; b < l.cfg.FileBlocks; b++ {
 			client.FillPattern(buf, uint32(b*nfsproto.MaxData))
-			if err := l.cli.WriteSync(p, cres.File, uint32(b*nfsproto.MaxData), buf); err != nil {
+			if err := l.cli.WriteSync(p, fh, uint32(b*nfsproto.MaxData), buf); err != nil {
 				return fmt.Errorf("workload: fill %s: %w", name, err)
 			}
 		}
-		l.files = append(l.files, cres.File)
+		l.files = append(l.files, fh)
 		l.cursors = append(l.cursors, l.cfg.FileBlocks)
 	}
 	return nil
@@ -206,6 +269,35 @@ func (l *LADDIS) pickOp(r int) Op {
 	return OpLookup
 }
 
+// writeWorker is one pool worker: it performs burst writes handed to it
+// for the life of the run (the pooled twin of the old goroutine-per-write
+// form; the request schedule is identical). A zero task is the shutdown
+// sentinel Run enqueues once the measured phase ends, so the pool's
+// goroutines do not outlive their run.
+func (l *LADDIS) writeWorker(w *sim.Proc) {
+	for {
+		task := l.writeJobs.Get(w)
+		if task.burst == nil {
+			return
+		}
+		buf := l.getBuf()
+		client.FillPattern(buf, task.off)
+		wbegin := w.Now()
+		if werr := l.cli.WriteSync(w, task.fh, task.off, buf); werr != nil {
+			l.errors++
+		} else if l.done > l.cfg.Warmup {
+			l.lat.Record(w.Now().Sub(wbegin))
+		}
+		l.done++
+		l.perOp[OpWrite.String()]++
+		task.burst.remaining--
+		if task.burst.remaining == 0 {
+			task.burst.done.Signal()
+		}
+		l.putBuf(buf)
+	}
+}
+
 // Run launches the generator processes and blocks p until the measured
 // phase completes, returning the curve point.
 func (l *LADDIS) Run(p *sim.Proc) LADDISResult {
@@ -216,6 +308,12 @@ func (l *LADDIS) Run(p *sim.Proc) LADDISResult {
 	interval := sim.Duration(float64(sim.Second) / l.cfg.OfferedOpsPerSec * float64(l.cfg.Procs))
 	finished := 0
 	cond := sim.NewCond(s)
+	// The write pool: enough workers that a generator's burst never queues
+	// behind another (each generator has at most one burst outstanding).
+	l.writeJobs = sim.NewQueue[writeTask](s, 0)
+	for w := 0; w < l.cfg.Procs*maxBurst; w++ {
+		s.Spawn(fmt.Sprintf("laddis-writer-%s-%d", l.cli.Name(), w), l.writeWorker)
+	}
 	for g := 0; g < l.cfg.Procs; g++ {
 		s.Spawn(fmt.Sprintf("laddis-%s-%d", l.cli.Name(), g), func(q *sim.Proc) {
 			defer func() { finished++; cond.Broadcast() }()
@@ -234,6 +332,12 @@ func (l *LADDIS) Run(p *sim.Proc) LADDISResult {
 	}
 	for finished < l.cfg.Procs {
 		cond.Wait(p)
+	}
+	// Retire the write pool: every generator has drained its last burst,
+	// so all workers are parked on the queue; one sentinel each releases
+	// them. Same-instant events — the measured interval is unaffected.
+	for w := 0; w < l.cfg.Procs*maxBurst; w++ {
+		l.writeJobs.Put(writeTask{})
 	}
 	elapsed := s.Now().Sub(start)
 	res := LADDISResult{
@@ -257,7 +361,8 @@ func (l *LADDIS) doOp(q *sim.Proc, r int) {
 	var err error
 	switch op {
 	case OpLookup:
-		_, err = l.cli.Lookup(q, l.root, fmt.Sprintf("ws-%s-%d", l.cli.Name(), r%l.cfg.Files))
+		name := fmt.Sprintf("ws-%s-%d", l.cli.Name(), r%l.cfg.Files)
+		_, err = l.cli.Lookup(q, l.rootFor(name), name)
 	case OpRead:
 		_, err = l.cli.Read(q, fh, off, nfsproto.MaxData)
 	case OpWrite:
@@ -266,6 +371,8 @@ func (l *LADDIS) doOp(q *sim.Proc, r int) {
 		// biods would emit them — the traffic write gathering exploits.
 		// Overwrites of allocated blocks are the common SFS case, so the
 		// standard server usually pays one disk op per request (§4.4).
+		// Each request goes to a pool worker; the generator blocks until
+		// its burst drains.
 		idx := r % len(l.files)
 		burst := burstLen(r / 13)
 		if burst > l.cfg.FileBlocks {
@@ -277,37 +384,21 @@ func (l *LADDIS) doOp(q *sim.Proc, r int) {
 		startBlk := l.cursors[idx]
 		l.cursors[idx] += burst
 		fh := l.files[idx]
-		s := q.Sim()
-		remaining := burst
-		burstDone := sim.NewCond(s)
+		bs := l.getBurst(q.Sim())
+		bs.remaining = burst
 		for i := 0; i < burst; i++ {
 			off := uint32(startBlk+i) * nfsproto.MaxData
-			s.Spawn("laddis-write", func(w *sim.Proc) {
-				buf := l.getBuf()
-				defer l.putBuf(buf)
-				client.FillPattern(buf, off)
-				wbegin := w.Now()
-				if werr := l.cli.WriteSync(w, fh, off, buf); werr != nil {
-					l.errors++
-				} else if l.done > l.cfg.Warmup {
-					l.lat.Record(w.Now().Sub(wbegin))
-				}
-				l.done++
-				l.perOp[OpWrite.String()]++
-				remaining--
-				if remaining == 0 {
-					burstDone.Signal()
-				}
-			})
+			l.writeJobs.Put(writeTask{fh: fh, off: off, burst: bs})
 		}
-		for remaining > 0 {
-			burstDone.Wait(q)
+		for bs.remaining > 0 {
+			bs.done.Wait(q)
 		}
+		l.putBurst(bs)
 		return
 	case OpGetattr:
 		_, err = l.cli.Getattr(q, fh)
 	case OpReaddir:
-		_, err = l.cli.Readdir(q, l.root, 0, 512)
+		_, err = l.cli.Readdir(q, l.roots[r%len(l.roots)], 0, 512)
 	case OpCreate:
 		l.seq++
 		var cres *nfsproto.DirOpRes

@@ -18,8 +18,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
-bench="${BENCH:-BenchmarkTable1EthernetCopy\$|BenchmarkFigure2LADDIS\$}"
+out="${1:-BENCH_PR2.json}"
+bench="${BENCH:-BenchmarkTable1EthernetCopy\$|BenchmarkFigure2LADDIS\$|BenchmarkScaleSweep\$|BenchmarkCrashRecovery\$}"
 count="${COUNT:-3}"
 
 raw="$(mktemp)"
