@@ -1,0 +1,222 @@
+// Package block provides the refcounted, pooled payload buffer the data
+// path shares across layers: client write staging, netsim datagram bodies,
+// the ufs buffer cache, NVRAM dirty entries and the disk platter store all
+// hold references to the same fixed-size buffer instead of copying 8K
+// payloads at every ownership boundary.
+//
+// Ownership rules (the per-layer detail lives in DESIGN.md):
+//
+//   - Get/GetZero return a buffer with one reference, owned by the caller.
+//   - A layer that retains a buffer past the call that handed it over must
+//     take its own reference with Ref and pair it with Release.
+//   - A layer that mutates a buffer must hold the only reference
+//     (Unique()); shared buffers are copy-on-write — replace them via a
+//     fresh Get plus Copy.
+//   - Release of the last reference returns the buffer to its origin pool
+//     and bumps its generation, which invalidates outstanding Handles.
+//
+// The package keeps global accounting (live buffers, payload copies) that
+// leak-check and copy-budget tests read; counters are atomic so the -race
+// smoke of the kernel and cluster suites stays clean.
+package block
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Size is the payload buffer size: one NFS MaxData transfer / one ufs
+// block.
+const Size = 8192
+
+// Debug enables paranoid lifecycle checking: stale Handle dereferences
+// panic instead of returning old bytes. Refcount underflow always panics.
+var Debug bool
+
+// live counts buffers currently checked out of any pool (global, so a
+// leak check does not need to reach every layer's pool).
+var live atomic.Int64
+
+// totalRefs counts outstanding references across all live buffers (Get
+// and Ref increment, Release decrements). Distinct from live: one buffer
+// shared by the ufs cache, the NVRAM dirty map and the platter store is 1
+// live buffer carrying 3 references.
+var totalRefs atomic.Int64
+
+// copies counts payload bytes memmoved by the data path (CountCopy calls);
+// the copy-budget guard reads it around a write burst.
+var copies atomic.Int64
+
+// Live reports how many buffers are currently out of their pools across
+// the process. At quiesce this must equal the number of DISTINCT buffers
+// retained by long-lived structures (caches, platter stores, NVRAM dirty
+// maps).
+func Live() int64 { return live.Load() }
+
+// TotalRefs reports the outstanding references across all live buffers.
+// At quiesce this must equal the total retained SLOTS across long-lived
+// structures — every reference attributable, none leaked by a dead
+// datagram or an unwound process.
+func TotalRefs() int64 { return totalRefs.Load() }
+
+// Copies reports cumulative payload bytes copied through CountCopy.
+func Copies() int64 { return copies.Load() }
+
+// CountCopy records n payload bytes memmoved; data-path copy sites call it
+// so the copy-count budget is testable. It returns n so it can wrap copy().
+func CountCopy(n int) int {
+	copies.Add(int64(n))
+	return n
+}
+
+// Buf is one refcounted payload buffer. The zero value is not usable;
+// buffers come from a Pool.
+type Buf struct {
+	pool *Pool
+	data []byte
+	refs int32
+	gen  uint32
+}
+
+// Pool is a free list of buffers. Buffers return to the pool they were
+// allocated from regardless of which layer releases the last reference, so
+// layers may each own a pool and still exchange buffers freely.
+type Pool struct {
+	free []*Buf
+	gets uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a buffer with one reference. Contents are unspecified (the
+// recycled bytes of an earlier tenant); callers that overwrite the whole
+// buffer — device reads, full-block copies, pattern fills — use it
+// directly, others want GetZero.
+func (p *Pool) Get() *Buf {
+	live.Add(1)
+	totalRefs.Add(1)
+	p.gets++
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.refs = 1
+		return b
+	}
+	return &Buf{pool: p, data: make([]byte, Size), refs: 1}
+}
+
+// GetZero is Get with the buffer cleared, for partially-filled fresh
+// blocks whose remainder must read back as zeros.
+func (p *Pool) GetZero() *Buf {
+	b := p.Get()
+	clear(b.data)
+	return b
+}
+
+// Gets reports how many buffers have been taken from this pool.
+func (p *Pool) Gets() uint64 { return p.gets }
+
+// FreeLen reports how many buffers are parked in the free list.
+func (p *Pool) FreeLen() int { return len(p.free) }
+
+// Data returns the buffer's full Size-byte payload slice.
+func (b *Buf) Data() []byte { return b.data }
+
+// Refs reports the current reference count (diagnostics and tests).
+func (b *Buf) Refs() int32 { return b.refs }
+
+// Unique reports whether the caller holds the only reference, i.e. the
+// buffer may be mutated in place. Shared buffers are copy-on-write.
+func (b *Buf) Unique() bool { return b.refs == 1 }
+
+// Ref takes an additional reference and returns b for chaining.
+func (b *Buf) Ref() *Buf {
+	if b.refs <= 0 {
+		panic("block: Ref of released buffer")
+	}
+	b.refs++
+	totalRefs.Add(1)
+	return b
+}
+
+// Release drops one reference; the last one returns the buffer to its
+// origin pool and bumps the generation, invalidating outstanding Handles.
+func (b *Buf) Release() {
+	if b.refs <= 0 {
+		panic("block: double release")
+	}
+	b.refs--
+	totalRefs.Add(-1)
+	if b.refs > 0 {
+		return
+	}
+	b.gen++
+	live.Add(-1)
+	b.pool.free = append(b.pool.free, b)
+}
+
+// Pin is a device-write snapshot: one reference to each buffer of a
+// transfer, taken at issue time (the point a DMA engine would capture the
+// contents — before the service-time sleep, so a copy-on-write during the
+// transfer cannot change what lands). The caller defers Release; a store
+// that takes over the references calls Transfer first. Centralizing the
+// idiom keeps every Device implementation's kill-unwind path identical:
+// an unwound transfer drops its snapshot, a completed one hands it over.
+type Pin struct {
+	bufs []*Buf
+	done bool
+}
+
+// TakePin references every buffer in bufs and returns the pin by value
+// (no allocation on the device hot path).
+func TakePin(bufs []*Buf) Pin {
+	for _, b := range bufs {
+		b.Ref()
+	}
+	return Pin{bufs: bufs}
+}
+
+// Transfer marks the snapshot's references as handed over to a store;
+// the deferred Release becomes a no-op.
+func (p *Pin) Transfer() { p.done = true }
+
+// Release drops the snapshot references unless Transfer ran.
+func (p *Pin) Release() {
+	if p.done {
+		return
+	}
+	for _, b := range p.bufs {
+		b.Release()
+	}
+}
+
+// Handle is a generation-checked reference to one buffer occurrence, in
+// the style of the kernel's Event handles: it does not pin the buffer, and
+// once every real reference is released and the buffer recycles, the
+// handle goes stale instead of silently aliasing the next tenant.
+type Handle struct {
+	b   *Buf
+	gen uint32
+}
+
+// Handle returns a generation-checked handle to the buffer's current
+// occupancy.
+func (b *Buf) Handle() Handle { return Handle{b: b, gen: b.gen} }
+
+// Valid reports whether the handle still refers to the same occupancy.
+func (h Handle) Valid() bool { return h.b != nil && h.b.gen == h.gen && h.b.refs > 0 }
+
+// Buf returns the referenced buffer, nil if the handle is stale or zero.
+// Under Debug a stale dereference panics, naming the misuse.
+func (h Handle) Buf() *Buf {
+	if !h.Valid() {
+		if Debug && h.b != nil {
+			panic(fmt.Sprintf("block: stale handle (gen %d, buffer at gen %d, refs %d)",
+				h.gen, h.b.gen, h.b.refs))
+		}
+		return nil
+	}
+	return h.b
+}

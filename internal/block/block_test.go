@@ -1,0 +1,166 @@
+package block
+
+import "testing"
+
+// TestPoolRecycle: release of the last reference returns the buffer to its
+// origin pool; the next Get reuses it without allocating.
+func TestPoolRecycle(t *testing.T) {
+	p := NewPool()
+	base := Live()
+	b := p.Get()
+	if Live() != base+1 {
+		t.Fatalf("Live = %d, want %d", Live(), base+1)
+	}
+	b.Data()[0] = 0xAB
+	b.Release()
+	if Live() != base {
+		t.Fatalf("Live after release = %d, want %d", Live(), base)
+	}
+	if p.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d, want 1", p.FreeLen())
+	}
+	b2 := p.Get()
+	if b2 != b {
+		t.Fatal("pool did not recycle the released buffer")
+	}
+	b2.Release()
+}
+
+// TestCrossPoolRelease: a buffer released by a layer holding a different
+// pool still returns to its origin pool.
+func TestCrossPoolRelease(t *testing.T) {
+	origin, other := NewPool(), NewPool()
+	b := origin.Get()
+	_ = other // the releasing layer's own pool is irrelevant
+	b.Release()
+	if origin.FreeLen() != 1 || other.FreeLen() != 0 {
+		t.Fatalf("buffer landed in the wrong pool: origin=%d other=%d",
+			origin.FreeLen(), other.FreeLen())
+	}
+}
+
+// TestRefCounting: Ref/Release pairs keep the buffer live until the last
+// reference; Unique tracks shared state for the copy-on-write discipline.
+func TestRefCounting(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	if !b.Unique() {
+		t.Fatal("fresh buffer not unique")
+	}
+	b.Ref()
+	if b.Unique() {
+		t.Fatal("shared buffer reported unique")
+	}
+	b.Release()
+	if !b.Unique() || p.FreeLen() != 0 {
+		t.Fatal("buffer freed while a reference remained")
+	}
+	b.Release()
+	if p.FreeLen() != 1 {
+		t.Fatal("buffer not freed on last release")
+	}
+}
+
+// TestDoubleReleasePanics: refcount underflow is always a panic, Debug or
+// not — a double release means two layers think they own the same buffer.
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// TestHandleGoesStale: recycling a buffer invalidates handles to the old
+// occupancy, exactly like the kernel's pooled Event handles.
+func TestHandleGoesStale(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	h := b.Handle()
+	if !h.Valid() || h.Buf() != b {
+		t.Fatal("fresh handle invalid")
+	}
+	b.Release()
+	if h.Valid() {
+		t.Fatal("handle survived the release")
+	}
+	b2 := p.Get() // same record, next generation
+	if h.Valid() || h.Buf() != nil {
+		t.Fatal("stale handle aliases the recycled buffer")
+	}
+	if !b2.Handle().Valid() {
+		t.Fatal("fresh handle on recycled buffer invalid")
+	}
+	b2.Release()
+}
+
+// TestHandleDebugPanics: under Debug, dereferencing a stale handle panics
+// instead of returning nil.
+func TestHandleDebugPanics(t *testing.T) {
+	Debug = true
+	defer func() { Debug = false }()
+	p := NewPool()
+	b := p.Get()
+	h := b.Handle()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale handle dereference did not panic under Debug")
+		}
+	}()
+	h.Buf()
+}
+
+// TestGetZero: a zeroed buffer really is zero even after a dirty tenant.
+func TestGetZero(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	for i := range b.Data() {
+		b.Data()[i] = 0xFF
+	}
+	b.Release()
+	z := p.GetZero()
+	for i, v := range z.Data() {
+		if v != 0 {
+			t.Fatalf("GetZero left byte %d = %#x", i, v)
+		}
+	}
+	z.Release()
+}
+
+// TestCopyAccounting: CountCopy feeds the global copy counter the budget
+// guard reads.
+func TestCopyAccounting(t *testing.T) {
+	before := Copies()
+	src := make([]byte, 100)
+	dst := make([]byte, 100)
+	CountCopy(copy(dst, src))
+	if Copies()-before != 100 {
+		t.Fatalf("Copies delta = %d, want 100", Copies()-before)
+	}
+}
+
+// TestSteadyStateZeroAlloc: a warmed pool's Get/Release cycle allocates
+// nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 8; i++ {
+		p.Get().Release()
+	}
+	n := testing.AllocsPerRun(100, func() {
+		bufs := [8]*Buf{}
+		for i := range bufs {
+			bufs[i] = p.Get()
+		}
+		for _, b := range bufs {
+			b.Release()
+		}
+	})
+	if n > 0 {
+		t.Fatalf("Get/Release allocated %.1f objects per run, want 0", n)
+	}
+}

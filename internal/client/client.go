@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/hw"
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
@@ -42,10 +43,12 @@ type Client struct {
 	pending map[uint32]*pendingCall
 	freePC  []*pendingCall // pendingCall pool
 	credRaw []byte         // AUTH_UNIX credential, constant per client
-	// wbufs pools MaxData-sized write payload buffers for WriteFile;
-	// a buffer is released once the WRITE RPC carrying it has encoded
-	// and completed.
-	wbufs [][]byte
+	// pool backs write payload staging: WriteFile and the LADDIS burst
+	// workers stage each 8K request in a refcounted buffer that then rides
+	// the wire by reference (every in-flight datagram holds its own ref),
+	// so the staging buffer is reusable the moment the RPC completes even
+	// though retransmitted copies may still be queued somewhere.
+	pool *block.Pool
 	// bootIDs remembers the last boot-instance verifier seen per server;
 	// a change means the server rebooted and its dup cache is gone.
 	bootIDs map[string]uint64
@@ -112,29 +115,20 @@ type argsEncoder interface {
 	EncodeTo(e *xdr.Encoder)
 }
 
-// getWBuf takes an n-byte write payload buffer from the pool.
-func (c *Client) getWBuf(n int) []byte {
-	if k := len(c.wbufs); k > 0 {
-		b := c.wbufs[k-1]
-		c.wbufs = c.wbufs[:k-1]
-		return b[:n]
-	}
-	return make([]byte, n, nfsproto.MaxData)
-}
-
-// putWBuf returns a pooled write buffer once its RPC has completed.
-func (c *Client) putWBuf(b []byte) {
-	if cap(b) == nfsproto.MaxData {
-		c.wbufs = append(c.wbufs, b[:0])
-	}
-}
+// GetWriteBuf takes a staging buffer from the client's pool; the caller
+// fills it and hands it to WriteSyncBuf/writeBehind, then releases its
+// reference when the write has completed.
+func (c *Client) GetWriteBuf() *block.Buf { return c.pool.Get() }
 
 type writeJob struct {
-	fh     nfsproto.FH
-	off    uint32
-	data   []byte
-	pooled bool // data came from the client's write-buffer pool
-	c      *Client
+	fh  nfsproto.FH
+	off uint32
+	// Exactly one of data (copying path) and buf (refcounted zero-copy
+	// path, n bytes) is set.
+	data []byte
+	buf  *block.Buf
+	n    int
+	c    *Client
 }
 
 // New attaches a client named name to the network, pointed at server, with
@@ -154,6 +148,7 @@ func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientPar
 		MaxRTO:     params.RetransMax,
 		MaxRetries: 8,
 		credRaw:    (&oncrpc.UnixCred{MachineName: name, UID: 0, GID: 0}).Encode(),
+		pool:       block.NewPool(),
 	}
 	s.Spawn(name+"-recv", c.receiver)
 	for i := 0; i < numBiods; i++ {
@@ -242,7 +237,21 @@ func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder, to stri
 	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+args.EncodedSize()))
 	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(proc), cred, verf)
 	args.EncodeTo(e)
-	return c.finishCall(p, xid, to, e.Bytes())
+	return c.finishCall(p, xid, to, e.Bytes(), nil, 0)
+}
+
+// callBody performs one WRITE RPC whose payload rides as a refcounted
+// datagram body: only the RPC header and the WRITE argument head are
+// encoded into the wire buffer; the 8K data segment is never memmoved.
+func (c *Client) callBody(p *sim.Proc, fh nfsproto.FH, off uint32, body *block.Buf, n int, to string) (*oncrpc.ReplyMsg, error) {
+	cred := oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: c.credRaw}
+	verf := oncrpc.NullAuth()
+	c.xidSeq++
+	xid := c.xidSeq
+	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+nfsproto.WriteArgsHeadSize))
+	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcWrite), cred, verf)
+	nfsproto.AppendWriteArgsHead(e, fh, off, n)
+	return c.finishCall(p, xid, to, e.Bytes(), body, n)
 }
 
 // Call performs one RPC to the default server with pre-encoded args and
@@ -265,13 +274,15 @@ func (c *Client) CallTo(p *sim.Proc, to string, proc nfsproto.Proc, args []byte)
 		Verf: oncrpc.NullAuth(),
 		Args: args,
 	}
-	return c.finishCall(p, xid, to, call.Encode())
+	return c.finishCall(p, xid, to, call.Encode(), nil, 0)
 }
 
 // finishCall registers the pending call and runs the retransmission loop.
 // raw must not be mutated afterwards: in-flight and queued (possibly
-// retransmitted) datagrams alias it.
-func (c *Client) finishCall(p *sim.Proc, xid uint32, to string, raw []byte) (*oncrpc.ReplyMsg, error) {
+// retransmitted) datagrams alias it. A non-nil body is the split WRITE
+// payload; each transmission's datagram takes its own reference, the
+// caller keeps its own.
+func (c *Client) finishCall(p *sim.Proc, xid uint32, to string, raw []byte, body *block.Buf, bodyLen int) (*oncrpc.ReplyMsg, error) {
 	pc := c.getPC()
 	c.pending[xid] = pc
 	defer func() {
@@ -289,7 +300,11 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, to string, raw []byte) (*on
 		if attempt > 0 {
 			c.Retransmissions++
 		}
-		c.net.Send(p, c.name, to, raw)
+		if body != nil {
+			c.net.SendBuf(p, c.name, to, raw, body, bodyLen)
+		} else {
+			c.net.Send(p, c.name, to, raw)
+		}
 		if pc.cond.WaitTimeout(p, rto) || pc.reply != nil {
 			reply := pc.reply
 			if reply.Stat != oncrpc.MsgAccepted {
@@ -436,7 +451,9 @@ func (c *Client) Readdir(p *sim.Proc, dir nfsproto.FH, cookie, count uint32) (*n
 }
 
 // WriteSync issues one WRITE RPC and waits for its reply, recording write
-// latency and throughput counters.
+// latency and throughput counters. The payload is copied into the wire
+// buffer (data may be reused by the caller immediately); the zero-copy
+// twin is WriteSyncBuf.
 func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte) error {
 	args := &nfsproto.WriteArgs{File: fh, Offset: off, TotalCount: uint32(len(data)), Data: data}
 	start := p.Now()
@@ -444,8 +461,39 @@ func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte)
 		c.OnWriteEvent("send", off, len(data))
 	}
 	reply, err := c.call(p, nfsproto.ProcWrite, args, c.dest(fh))
+	return c.writeDone(p, fh, off, len(data), start, reply, err)
+}
+
+// WriteSyncBuf issues one WRITE RPC whose n-byte payload travels as a
+// refcounted datagram body — never memmoved between the staging buffer
+// and the server's buffer cache. The caller keeps its reference to b (and
+// may release it as soon as this returns); each transmitted datagram
+// holds its own. Payload lengths the XDR opaque would pad fall back to
+// the copying path.
+func (c *Client) WriteSyncBuf(p *sim.Proc, fh nfsproto.FH, off uint32, b *block.Buf, n int) error {
+	if n%4 != 0 {
+		return c.WriteSync(p, fh, off, b.Data()[:n])
+	}
+	start := p.Now()
 	if c.OnWriteEvent != nil {
-		c.OnWriteEvent("reply", off, len(data))
+		c.OnWriteEvent("send", off, n)
+	}
+	reply, err := c.callBody(p, fh, off, b, n, c.dest(fh))
+	return c.writeDone(p, fh, off, n, start, reply, err)
+}
+
+// WriteSyncBufRelease is WriteSyncBuf taking ownership of the caller's
+// reference: the buffer is released when the RPC completes, via defer, so
+// even a kill that unwinds the calling process mid-RPC cannot strand it.
+func (c *Client) WriteSyncBufRelease(p *sim.Proc, fh nfsproto.FH, off uint32, b *block.Buf, n int) error {
+	defer b.Release()
+	return c.WriteSyncBuf(p, fh, off, b, n)
+}
+
+// writeDone is the shared reply half of WriteSync/WriteSyncBuf.
+func (c *Client) writeDone(p *sim.Proc, fh nfsproto.FH, off uint32, n int, start sim.Time, reply *oncrpc.ReplyMsg, err error) error {
+	if c.OnWriteEvent != nil {
+		c.OnWriteEvent("reply", off, n)
 	}
 	if err != nil {
 		return err
@@ -458,9 +506,9 @@ func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte)
 		return res.Status.Err()
 	}
 	c.WriteLatency.Record(p.Now().Sub(start))
-	c.WriteCounter.Add(len(data))
+	c.WriteCounter.Add(n)
 	if c.OnWriteAcked != nil {
-		c.OnWriteAcked(fh, off, len(data))
+		c.OnWriteAcked(fh, off, n)
 	}
 	return nil
 }
@@ -471,9 +519,10 @@ func (c *Client) biod(p *sim.Proc) {
 		c.idleBiods++
 		job := c.jobs.Get(p)
 		c.idleBiods--
-		_ = job.c.WriteSync(p, job.fh, job.off, job.data)
-		if job.pooled {
-			job.c.putWBuf(job.data)
+		if job.buf != nil {
+			_ = job.c.WriteSyncBufRelease(p, job.fh, job.off, job.buf, job.n)
+		} else {
+			_ = job.c.WriteSync(p, job.fh, job.off, job.data)
 		}
 		c.outstanding--
 		c.closeCond.Broadcast()
@@ -483,22 +532,28 @@ func (c *Client) biod(p *sim.Proc) {
 // WriteBehind hands one 8K write to a biod if one is idle; otherwise the
 // calling process performs the RPC itself and blocks until that particular
 // request completes (§4.1's flow control). The queued case returns
-// immediately.
+// immediately, with the biod encoding data only when it dequeues the job —
+// so the caller must not touch data until the write has completed (Close
+// provides the barrier).
 func (c *Client) WriteBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte) error {
-	return c.writeBehind(p, fh, off, data, false)
-}
-
-func (c *Client) writeBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte, pooled bool) error {
 	if c.idleBiods > c.jobs.Len() {
 		c.outstanding++
-		c.jobs.Put(&writeJob{fh: fh, off: off, data: data, pooled: pooled, c: c})
+		c.jobs.Put(&writeJob{fh: fh, off: off, data: data, c: c})
 		return nil
 	}
-	err := c.WriteSync(p, fh, off, data)
-	if pooled {
-		c.putWBuf(data)
+	return c.WriteSync(p, fh, off, data)
+}
+
+// writeBehindBuf is WriteBehind for a pooled staging buffer: ownership of
+// the caller's reference passes to the write path, which releases it when
+// the RPC completes.
+func (c *Client) writeBehindBuf(p *sim.Proc, fh nfsproto.FH, off uint32, b *block.Buf, n int) error {
+	if c.idleBiods > c.jobs.Len() {
+		c.outstanding++
+		c.jobs.Put(&writeJob{fh: fh, off: off, buf: b, n: n, c: c})
+		return nil
 	}
-	return err
+	return c.WriteSyncBufRelease(p, fh, off, b, n)
 }
 
 // Close blocks until all outstanding write-behind requests have received
@@ -564,10 +619,10 @@ func (c *Client) WriteFile(p *sim.Proc, fh nfsproto.FH, size int) (sim.Duration,
 		if n > remaining {
 			n = remaining
 		}
-		buf := c.getWBuf(n)
-		FillPattern(buf, off)
+		buf := c.GetWriteBuf()
+		FillPattern(buf.Data()[:n], off)
 		p.Sleep(c.params.WriteGenerate)
-		if err := c.writeBehind(p, fh, off, buf, true); err != nil {
+		if err := c.writeBehindBuf(p, fh, off, buf, n); err != nil {
 			return 0, err
 		}
 		off += uint32(n)

@@ -256,8 +256,11 @@ func (n *Node) Crash() {
 	s.Kill(n.mkfs)
 	n.c.Net.Detach(n.Name)
 	// The in-core filesystem dies with the host; Reboot remounts from the
-	// platters. The old Presto board object survives only as the carrier
-	// of the battery-backed dirty map.
+	// platters. DropCaches releases the buffer cache's block references
+	// (host memory is gone; contents shared with the platter store and the
+	// battery-backed NVRAM dirty map live on there). The old Presto board
+	// object survives only as the carrier of that dirty map.
+	n.FS.DropCaches()
 	n.FS = nil
 	n.Server = nil
 	n.Down = true

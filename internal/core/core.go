@@ -20,6 +20,7 @@
 package core
 
 import (
+	"repro/internal/block"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -62,9 +63,13 @@ func DefaultConfig(accelerated bool, procrastinate sim.Duration) Config {
 // "data structures that package up active write requests for handoff and a
 // queue of these active requests").
 type WriteDesc struct {
-	Ino     vfs.Ino
-	Offset  uint32
-	Length  uint32
+	Ino    vfs.Ino
+	Offset uint32
+	Length uint32
+	// Body, when non-nil, is the refcounted payload buffer of a split
+	// WRITE (a borrow of the datagram's reference, valid for the duration
+	// of HandleWrite); the filesystem's zero-copy entry point adopts it.
+	Body    *block.Buf
 	Arrived sim.Time
 	// Send delivers the reply; the engine calls it exactly once, after the
 	// metadata covering the write is stable. ok=false reports a flush
@@ -127,6 +132,9 @@ type Engine struct {
 	// disables the probe regardless of cfg.MbufHunter.
 	hunter func(ino vfs.Ino) bool
 
+	// bw is fs's zero-copy write entry point, nil when unsupported.
+	bw vfs.BlockWriter
+
 	locks  *VnodeLocks
 	files  map[vfs.Ino]*fileGather
 	freeFG []*fileGather // retired per-file gather records
@@ -168,9 +176,11 @@ func NewEngine(s *sim.Sim, fs vfs.FileSystem, numNfsds int, cfg Config, hunter f
 	if cfg.MaxProcrastinations < 0 {
 		cfg.MaxProcrastinations = 0
 	}
+	bw, _ := fs.(vfs.BlockWriter)
 	return &Engine{
 		sim:    s,
 		fs:     fs,
+		bw:     bw,
 		cfg:    cfg,
 		hunter: hunter,
 		locks:  NewVnodeLocks(s),
@@ -267,7 +277,16 @@ func (e *Engine) HandleWrite(p *sim.Proc, nfsd int, d *WriteDesc, data []byte) e
 		flags = vfs.IODelayData
 	}
 	e.locks.Lock(p, d.Ino)
-	err := e.fs.Write(p, d.Ino, d.Offset, data, flags)
+	var err error
+	if d.Body != nil && e.bw != nil {
+		err = e.bw.WriteBuf(p, d.Ino, d.Offset, d.Body, len(data), flags)
+	} else {
+		err = e.fs.Write(p, d.Ino, d.Offset, data, flags)
+	}
+	// The borrow ends here: the descriptor outlives the datagram whose
+	// reference backs Body (it sits on the gather queue across sleeps), so
+	// clear it rather than leave a dangling pointer past its validity.
+	d.Body = nil
 	e.locks.Unlock(d.Ino)
 	if err != nil {
 		g.active--

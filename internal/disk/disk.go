@@ -9,6 +9,7 @@ package disk
 import (
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
@@ -21,8 +22,16 @@ type Device interface {
 	// for the service time. len(buf) must be a multiple of BlockSize.
 	ReadBlocks(p *sim.Proc, blk int64, buf []byte)
 	// WriteBlocks writes data starting at block blk, blocking p for the
-	// service time. len(data) must be a multiple of BlockSize.
+	// service time. len(data) must be a multiple of BlockSize. This is the
+	// copying path; the buffer cache uses WriteBufs.
 	WriteBlocks(p *sim.Proc, blk int64, data []byte)
+	// WriteBufs writes one refcounted buffer per block starting at blk,
+	// blocking p for the service time of the combined transfer. The device
+	// takes its own references at entry (the point-in-time snapshot a DMA
+	// would capture) and stores them instead of copying the payload; a
+	// caller that mutates a buffer afterwards must follow the
+	// copy-on-write discipline (block.Buf.Unique).
+	WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf)
 	// BlockSize is the block size in bytes.
 	BlockSize() int
 	// NumBlocks is the device capacity in blocks.
@@ -66,13 +75,17 @@ func (s *Stats) IntervalBytes() uint64 {
 	return s.ReadBytes - s.markReadBytes + s.WriteBytes - s.markWriteBytes
 }
 
-// Disk is a single moving-head disk with a FIFO request queue.
+// Disk is a single moving-head disk with a FIFO request queue. The
+// platter store holds references to the refcounted buffers written through
+// it — a buffer written from the buffer cache is shared, not copied, until
+// one side overwrites it.
 type Disk struct {
 	sim    *sim.Sim
 	p      hw.DiskParams
 	arm    *sim.Resource // serializes the actuator
 	pos    int64         // current head position, block number
-	data   map[int64][]byte
+	data   map[int64]*block.Buf
+	pool   *block.Pool // backs []byte writes and injections
 	stats  Stats
 	faulty bool // when true, I/O panics — used by crash tests
 	// OnOp, when non-nil, observes every completed transfer (tracing).
@@ -81,13 +94,21 @@ type Disk struct {
 
 // New returns a disk with the given parameters.
 func New(s *sim.Sim, p hw.DiskParams) *Disk {
+	if p.BlockSize != block.Size {
+		panic(fmt.Sprintf("disk: block size %d, want %d", p.BlockSize, block.Size))
+	}
 	return &Disk{
 		sim:  s,
 		p:    p,
 		arm:  sim.NewResource(s, 1),
-		data: make(map[int64][]byte),
+		data: make(map[int64]*block.Buf),
+		pool: block.NewPool(),
 	}
 }
+
+// StoredBufs reports how many platter blocks hold a buffer reference
+// (leak-check accounting).
+func (d *Disk) StoredBufs() int { return len(d.data) }
 
 // BlockSize implements Device.
 func (d *Disk) BlockSize() int { return d.p.BlockSize }
@@ -162,7 +183,7 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 				dst[j] = 0
 			}
 		} else {
-			copy(dst, src)
+			copy(dst, src.Data())
 		}
 	}
 	d.pos = blk + nb
@@ -193,17 +214,53 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 	}
 }
 
+// WriteBufs implements Device: the zero-copy write path. References are
+// taken before the service-time sleep — the snapshot a DMA engine would
+// capture at issue — so a buffer rewritten (copy-on-write) while the arm
+// is busy does not change what lands; on a mid-transfer kill the deferred
+// release drops the snapshot and nothing lands at all.
+func (d *Disk) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+	n := len(bufs) * d.p.BlockSize
+	d.check(blk, n)
+	pin := block.TakePin(bufs)
+	defer pin.Release()
+	d.arm.Acquire(p)
+	defer d.arm.Release()
+	st := d.serviceTime(blk, n)
+	p.Sleep(st)
+	d.stats.BusyTime += st
+	for i, b := range bufs {
+		if old := d.data[blk+int64(i)]; old != nil {
+			old.Release()
+		}
+		d.data[blk+int64(i)] = b // ownership of the snapshot ref transfers here
+	}
+	pin.Transfer()
+	d.pos = blk + int64(len(bufs))
+	d.stats.Writes++
+	d.stats.WriteBytes += uint64(n)
+	if d.OnOp != nil {
+		d.OnOp(true, blk, n)
+	}
+}
+
+// storeBytes copies raw bytes into platter-owned buffers (the []byte write
+// and injection path; the buffer-cache path shares buffers instead).
 func (d *Disk) storeBytes(blk int64, data []byte) {
 	nb := int64(len(data) / d.p.BlockSize)
 	for i := int64(0); i < nb; i++ {
 		b := d.data[blk+i]
-		if b == nil {
-			// First write to this block; later rewrites reuse the buffer
-			// (platter contents are only ever read through copies).
-			b = make([]byte, d.p.BlockSize)
+		if b == nil || !b.Unique() {
+			// First write, or the stored buffer is shared with a cache
+			// above: replace it rather than mutate history out from under
+			// the sharer.
+			if b != nil {
+				b.Release()
+			}
+			b = d.pool.Get()
 			d.data[blk+i] = b
 		}
-		copy(b, data[i*int64(d.p.BlockSize):(i+1)*int64(d.p.BlockSize)])
+		block.CountCopy(copy(b.Data(), data[i*int64(d.p.BlockSize):(i+1)*int64(d.p.BlockSize)]))
 	}
 }
 
@@ -211,9 +268,10 @@ func (d *Disk) storeBytes(blk int64, data []byte) {
 // I/O time. It is the crash-recovery inspection hook: what is on the
 // platters, regardless of any volatile cache above.
 func (d *Disk) PeekBlock(blk int64) []byte {
-	b := d.data[blk]
 	out := make([]byte, d.p.BlockSize)
-	copy(out, b)
+	if b := d.data[blk]; b != nil {
+		copy(out, b.Data())
+	}
 	return out
 }
 
@@ -344,6 +402,42 @@ func (st *Stripe) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 	st.rw(p, blk, data, true)
 	st.stats.Writes++
 	st.stats.WriteBytes += uint64(len(data))
+}
+
+// WriteBufs implements Device: per-member zero-copy writes. The stripe
+// takes the snapshot references at entry — before the member fan-out gets
+// a chance to interleave with other processes — so all members land the
+// same point-in-time contents.
+func (st *Stripe) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+	pin := block.TakePin(bufs)
+	defer pin.Release()
+	segs := st.segments(blk, len(bufs)*st.BlockSize())
+	defer func() { st.segPool = append(st.segPool, segs) }()
+	bs := st.BlockSize()
+	if len(segs) == 1 {
+		s := segs[0]
+		st.members[s.member].WriteBufs(p, s.phys, bufs[s.off/bs:(s.off+s.n)/bs])
+	} else {
+		// Parallel member I/O, children so a crash takes the in-flight
+		// member transfers down (see rw).
+		done := sim.NewCond(p.Sim())
+		pending := len(segs)
+		for _, s := range segs {
+			s := s
+			p.Sim().SpawnChild(p, "stripe-io", func(q *sim.Proc) {
+				st.members[s.member].WriteBufs(q, s.phys, bufs[s.off/bs:(s.off+s.n)/bs])
+				pending--
+				if pending == 0 {
+					done.Signal()
+				}
+			})
+		}
+		for pending > 0 {
+			done.Wait(p)
+		}
+	}
+	st.stats.Writes++
+	st.stats.WriteBytes += uint64(len(bufs) * bs)
 }
 
 func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {

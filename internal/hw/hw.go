@@ -9,8 +9,11 @@ import "repro/internal/sim"
 
 // DiskParams describes a moving-head disk.
 type DiskParams struct {
-	Name          string
-	BlockSize     int          // filesystem block size served, bytes
+	Name string
+	// BlockSize is the filesystem block size served, in bytes. The data
+	// path's refcounted buffers (internal/block) are fixed at 8192, which
+	// is therefore the only value disk.New accepts.
+	BlockSize     int
 	NumBlocks     int64        // capacity in blocks
 	TrackSeek     sim.Duration // track-to-track seek
 	AvgSeek       sim.Duration // average random seek

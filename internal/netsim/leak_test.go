@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// TestSplitDatagramReleasePaths audits every way a body-carrying datagram
+// can die — consumed by the receiver, dropped at a full socket buffer,
+// dropped on arrival at a crashed endpoint, scrubbed out of a detached
+// inbox, and sent to a nonexistent destination — and asserts each path
+// returns the payload reference, so the pool drains to exactly the
+// sender's own reference.
+func TestSplitDatagramReleasePaths(t *testing.T) {
+	live0 := block.Live()
+	s := sim.New(3)
+	n := New(s, hw.Ethernet())
+	n.Attach("cli", 0, 0)
+	// A one-datagram inbox: the second queued delivery overflows.
+	srv := n.Attach("srv", 1, 0)
+
+	pool := block.NewPool()
+	body := pool.Get()
+
+	// Path 1+2: two back-to-back sends; the first is consumed, the second
+	// overflows the one-slot inbox.
+	s.Spawn("sender", func(p *sim.Proc) {
+		n.SendBuf(p, "cli", "srv", []byte("head1"), body, block.Size)
+		n.SendBuf(p, "cli", "srv", []byte("head2"), body, block.Size)
+	})
+	s.Spawn("recv", func(p *sim.Proc) {
+		// Start draining only after both deliveries have arrived, so the
+		// second one finds the one-slot inbox full and drops.
+		p.Sleep(100 * sim.Millisecond)
+		dg := srv.Inbox.Get(p)
+		if dg.Body == nil || dg.BodyLen != block.Size {
+			t.Errorf("consumed datagram lost its body: %v/%d", dg.Body, dg.BodyLen)
+		}
+		if dg.Size() != len("head1")+block.Size {
+			t.Errorf("Size() = %d", dg.Size())
+		}
+		dg.Release()
+		if dg.Body != nil {
+			t.Error("Release did not clear Body")
+		}
+		dg.Release() // double release of the datagram must be a no-op
+	})
+	s.Run(0)
+	if srv.Drops() != 1 {
+		t.Fatalf("overflow drops = %d, want 1", srv.Drops())
+	}
+
+	// Path 3: queued at detach. Park a datagram in the inbox, then detach.
+	s.Spawn("sender2", func(p *sim.Proc) {
+		n.SendBuf(p, "cli", "srv", []byte("head3"), body, block.Size)
+	})
+	s.Run(0)
+	if srv.Inbox.Len() != 1 {
+		t.Fatalf("inbox len = %d, want 1", srv.Inbox.Len())
+	}
+	n.Detach("srv")
+
+	// Path 4: in flight toward a crashed endpoint. Reattach, send, and
+	// detach the moment serialization completes — the delivery event is
+	// still one propagation latency away and must drop on arrival.
+	ep2 := n.Attach("srv", 0, 0)
+	s.Spawn("sender3", func(p *sim.Proc) {
+		n.SendBuf(p, "cli", "srv", []byte("head4"), body, block.Size)
+		n.Detach("srv") // SendBuf returns at end of serialization
+	})
+	s.Run(0)
+	if !ep2.Dead() {
+		t.Fatal("endpoint not detached")
+	}
+
+	// Path 5: no such destination.
+	s.Spawn("sender4", func(p *sim.Proc) {
+		if n.SendBuf(p, "cli", "ghost", []byte("head5"), body, block.Size) {
+			t.Error("send to ghost endpoint reported success")
+		}
+	})
+	s.Run(0)
+
+	// Every datagram reference is gone; only the sender's own remains.
+	if got := block.Live() - live0; got != 1 {
+		t.Fatalf("%d payload buffers live after the sweep, want 1 (the sender's)", got)
+	}
+	if body.Refs() != 1 {
+		t.Fatalf("body refs = %d, want 1", body.Refs())
+	}
+	body.Release()
+	if got := block.Live() - live0; got != 0 {
+		t.Fatalf("%d payload buffers leaked", got)
+	}
+}
+
+// TestSplitDatagramPadding: a body length the XDR opaque would pad cannot
+// ride the split path (the padding bytes would be missing from the wire).
+func TestSplitDatagramPadding(t *testing.T) {
+	s := sim.New(4)
+	n := New(s, hw.Ethernet())
+	n.Attach("a", 0, 0)
+	n.Attach("b", 0, 0)
+	pool := block.NewPool()
+	body := pool.Get()
+	defer body.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unpadded split body did not panic")
+		}
+	}()
+	// The length check fires before the medium is touched, so no process
+	// context is needed to exercise it.
+	n.SendBuf(nil, "a", "b", []byte("head"), body, 8190)
+	_ = s
+}

@@ -9,6 +9,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
@@ -21,14 +22,27 @@ const PerFragmentHeader = 34
 
 // Datagram is one UDP message in flight or queued at a receiver.
 //
+// A datagram carries either one contiguous Payload, or — for the
+// zero-copy WRITE path — a Payload holding the message head (RPC header
+// and argument prefix) plus a refcounted Body buffer carrying the data
+// bytes. Body rides by reference: the datagram holds one reference, taken
+// at Send and dropped at Release, wherever the datagram dies (consumed,
+// socket overflow, crashed destination, detach scrub).
+//
 // Datagrams are pooled per Network: a consumer that has finished with one
 // (the payload may still be referenced — Release only drops the struct's
 // references) can hand it back with Release, and the next Send reuses it.
-// Consumers that never call Release simply leave collection to the GC.
+// Consumers that never call Release simply leave collection to the GC —
+// except for Body references, which MUST be released.
 type Datagram struct {
 	From    string
 	To      string
 	Payload []byte
+	// Body is the optional refcounted payload segment; BodyLen is the
+	// number of bytes of it on the wire (a multiple of 4, so the XDR
+	// padding of the opaque it encodes is complete).
+	Body    *block.Buf
+	BodyLen int
 	// Frags is the number of link-level fragments the datagram needed;
 	// receivers charge per-fragment CPU.
 	Frags int
@@ -47,9 +61,13 @@ type Datagram struct {
 	deliver func()
 }
 
-// Release returns the datagram record to its network's pool. The payload
-// bytes are not recycled — slices aliasing them (decoded calls, replies,
-// write data) stay valid. Releasing twice is a no-op.
+// Size reports the datagram's total UDP payload bytes (head plus body).
+func (d *Datagram) Size() int { return len(d.Payload) + d.BodyLen }
+
+// Release returns the datagram record to its network's pool and drops its
+// Body reference, if any. The head payload bytes are not recycled — slices
+// aliasing them (decoded calls, replies) stay valid. Releasing twice is a
+// no-op.
 func (d *Datagram) Release() {
 	n := d.net
 	if n == nil {
@@ -58,6 +76,11 @@ func (d *Datagram) Release() {
 	d.net = nil
 	d.dst = nil
 	d.Payload = nil
+	if d.Body != nil {
+		d.Body.Release()
+		d.Body = nil
+	}
+	d.BodyLen = 0
 	d.Parsed = nil
 	d.From, d.To = "", ""
 	n.free = append(n.free, d)
@@ -120,7 +143,7 @@ func (n *Network) Attach(name string, maxItems, maxBytes int) *Endpoint {
 	ep := &Endpoint{
 		Name: name,
 		Inbox: sim.NewByteQueue[*Datagram](n.sim, maxItems, maxBytes,
-			func(d *Datagram) int { return len(d.Payload) }),
+			func(d *Datagram) int { return d.Size() }),
 	}
 	n.endpoints[name] = ep
 	return ep
@@ -174,7 +197,26 @@ func (n *Network) wireTime(payload int) (sim.Duration, int, int) {
 // propagation latency; a full buffer silently drops the datagram, exactly
 // like a UDP socket. It reports whether a destination existed.
 func (n *Network) Send(p *sim.Proc, from, to string, payload []byte) bool {
-	d, frags, wire := n.wireTime(len(payload))
+	return n.send(p, from, to, payload, nil, 0)
+}
+
+// SendBuf transmits a two-segment message: head (RPC header plus argument
+// prefix) followed by bodyLen bytes of the refcounted body buffer. The
+// wire behaviour — serialization time, fragmentation, socket-buffer byte
+// accounting — is identical to a contiguous Send of the combined bytes;
+// only the host-side copies differ. The datagram takes its own reference
+// to body for its lifetime; the caller keeps (and eventually releases)
+// its own. bodyLen must be a multiple of 4 so the encoded opaque needs no
+// trailing padding bytes.
+func (n *Network) SendBuf(p *sim.Proc, from, to string, head []byte, body *block.Buf, bodyLen int) bool {
+	if bodyLen%4 != 0 {
+		panic(fmt.Sprintf("netsim: split body of %d bytes needs XDR padding", bodyLen))
+	}
+	return n.send(p, from, to, head, body, bodyLen)
+}
+
+func (n *Network) send(p *sim.Proc, from, to string, payload []byte, body *block.Buf, bodyLen int) bool {
+	d, frags, wire := n.wireTime(len(payload) + bodyLen)
 	// Use (not Acquire/Release) so a sender killed mid-serialization — a
 	// crashing server's nfsd half-way through a reply — frees the shared
 	// medium as it unwinds.
@@ -188,6 +230,9 @@ func (n *Network) Send(p *sim.Proc, from, to string, payload []byte) bool {
 	}
 	dg := n.getDatagram()
 	dg.From, dg.To, dg.Payload = from, to, payload
+	if body != nil {
+		dg.Body, dg.BodyLen = body.Ref(), bodyLen
+	}
 	dg.Frags, dg.WireSize, dg.Sent = frags, wire, n.sim.Now()
 	dg.dst = dst
 	n.sim.At(n.p.Latency, dg.deliver)

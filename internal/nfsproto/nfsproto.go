@@ -685,6 +685,53 @@ func (a *WriteArgs) WireSize() int {
 	return FHSize + 12 + 4 + n + (4-n%4)%4
 }
 
+// WriteArgsHeadSize is the encoded size of WRITE arguments up to and
+// including the opaque data length word: the head segment of a split
+// (zero-copy) WRITE, whose data bytes travel as a refcounted datagram
+// body instead of being memmoved into the wire buffer.
+const WriteArgsHeadSize = FHSize + 16
+
+// AppendWriteArgsHead appends the WRITE argument head — fixed fields plus
+// the data length word — for a payload of n bytes whose data rides as a
+// separate datagram body segment. n must be a multiple of 4 (no XDR
+// padding can follow a split body).
+func AppendWriteArgsHead(e *xdr.Encoder, fh FH, off uint32, n int) {
+	e.FixedOpaque(fh[:])
+	e.Uint32(0) // BeginOffset, unused on the wire
+	e.Uint32(off)
+	e.Uint32(uint32(n)) // TotalCount
+	e.Uint32(uint32(n)) // opaque data length
+}
+
+// DecodeWriteArgsSplitInto parses a split WRITE's argument head from b and
+// attaches body as the data, verifying the length word agrees. Data
+// aliases body.
+func DecodeWriteArgsSplitInto(b []byte, body []byte, a *WriteArgs) error {
+	d := xdr.NewDecoder(b)
+	if err := decodeFH(d, &a.File); err != nil {
+		return err
+	}
+	var err error
+	if a.BeginOffset, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.Offset, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.TotalCount, err = d.Uint32(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(body) {
+		return fmt.Errorf("nfsproto: split WRITE length %d, body %d", n, len(body))
+	}
+	a.Data = body
+	return nil
+}
+
 // CreateArgs are CREATE and MKDIR arguments.
 type CreateArgs struct {
 	Where DirOpArgs

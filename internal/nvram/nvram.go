@@ -10,18 +10,20 @@ package nvram
 import (
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/disk"
 	"repro/internal/hw"
 	"repro/internal/sim"
 )
 
-// dirtyBlock is one cached block. ver guards against the lost-update race
-// where a block is rewritten while a drain I/O for its previous contents is
-// in flight: the drainer only retires the entry if the version still
-// matches what it copied out.
+// dirtyBlock is one cached block: a reference to the refcounted buffer the
+// write handed over (shared with the buffer cache above, not copied). ver
+// guards against the lost-update race where a block is rewritten while a
+// drain I/O for its previous contents is in flight: the drainer only
+// retires the entry if the version still matches what it snapshotted.
 type dirtyBlock struct {
-	data []byte
-	ver  uint64
+	buf *block.Buf
+	ver uint64
 }
 
 // Presto is an NVRAM write cache over a disk. It implements disk.Device so
@@ -48,6 +50,12 @@ type Presto struct {
 	sweepPos int64 // elevator position for drain sweeps
 	inFlight map[int64]bool
 	procs    []*sim.Proc // drain workers, for crash injection
+
+	pool *block.Pool // backs the []byte write path
+	// Drain cluster scratch pools (several workers drain concurrently, so
+	// the scratch is pooled, not a single slot).
+	runPool  [][]*block.Buf
+	versPool [][]uint64
 }
 
 // New interposes a Presto board in front of under and starts its drainer.
@@ -61,6 +69,7 @@ func New(s *sim.Sim, p hw.PrestoParams, under disk.Device) *Presto {
 		work:     sim.NewCond(s),
 		clean:    sim.NewCond(s),
 		inFlight: make(map[int64]bool),
+		pool:     block.NewPool(),
 	}
 	workers := p.DrainWorkers
 	if workers < 1 {
@@ -109,10 +118,42 @@ func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 		pr.under.WriteBlocks(p, blk, data)
 		return
 	}
-	// Wait for NVRAM space. Overwrites of blocks already dirty reuse their
-	// space.
-	need := 0
 	nb := int64(len(data) / pr.BlockSize())
+	pr.waitSpace(p, blk, nb)
+	p.Sleep(pr.p.AcceptLatency)
+	for i := int64(0); i < nb; i++ {
+		nbuf := pr.pool.Get()
+		block.CountCopy(copy(nbuf.Data(), data[i*int64(pr.BlockSize()):(i+1)*int64(pr.BlockSize())]))
+		pr.store(blk+i, nbuf)
+	}
+	pr.accept(len(data))
+}
+
+// WriteBufs implements disk.Device: the zero-copy accept path. The board
+// takes the snapshot references before the accept-latency sleep and stores
+// them in the dirty map instead of copying the payload into NVRAM-owned
+// memory; a mid-accept kill releases them on unwind.
+func (pr *Presto) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+	if len(bufs)*pr.BlockSize() > pr.p.MaxIO {
+		pr.Declined++
+		pr.under.WriteBufs(p, blk, bufs)
+		return
+	}
+	pin := block.TakePin(bufs)
+	defer pin.Release()
+	pr.waitSpace(p, blk, int64(len(bufs)))
+	p.Sleep(pr.p.AcceptLatency)
+	for i, b := range bufs {
+		pr.store(blk+int64(i), b) // entry takes over the snapshot ref
+	}
+	pin.Transfer()
+	pr.accept(len(bufs) * pr.BlockSize())
+}
+
+// waitSpace blocks p until the nb-block write at blk fits in NVRAM.
+// Overwrites of blocks already dirty reuse their space.
+func (pr *Presto) waitSpace(p *sim.Proc, blk, nb int64) {
+	need := 0
 	for i := int64(0); i < nb; i++ {
 		if pr.dirty[blk+i] == nil {
 			need += pr.BlockSize()
@@ -121,22 +162,34 @@ func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 	for pr.used+need > pr.p.CacheBytes {
 		pr.space.Wait(p)
 	}
-	p.Sleep(pr.p.AcceptLatency)
-	for i := int64(0); i < nb; i++ {
-		b := pr.dirty[blk+i]
-		if b == nil {
-			b = &dirtyBlock{data: make([]byte, pr.BlockSize())}
-			pr.used += pr.BlockSize()
-		}
-		copy(b.data, data[i*int64(pr.BlockSize()):(i+1)*int64(pr.BlockSize())])
-		b.ver++
-		pr.dirty[blk+i] = b
+}
+
+// store installs buf (whose reference the caller hands over) as the dirty
+// contents of blk, bumping the version so an in-flight drain of the old
+// contents does not retire the entry.
+func (pr *Presto) store(blk int64, buf *block.Buf) {
+	b := pr.dirty[blk]
+	if b == nil {
+		b = &dirtyBlock{}
+		pr.dirty[blk] = b
+		pr.used += pr.BlockSize()
+	} else {
+		b.buf.Release()
 	}
+	b.buf = buf
+	b.ver++
+}
+
+func (pr *Presto) accept(n int) {
 	pr.Accepted++
 	pr.stats.Writes++
-	pr.stats.WriteBytes += uint64(len(data))
+	pr.stats.WriteBytes += uint64(n)
 	pr.work.Signal()
 }
+
+// DirtyBufs reports how many dirty blocks hold a buffer reference
+// (leak-check accounting).
+func (pr *Presto) DirtyBufs() int { return len(pr.dirty) }
 
 // ReadBlocks implements disk.Device, serving from NVRAM when a block is
 // still dirty there.
@@ -153,7 +206,7 @@ func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 	if allCached {
 		p.Sleep(pr.p.AcceptLatency)
 		for i := int64(0); i < nb; i++ {
-			copy(buf[i*bs:(i+1)*bs], pr.dirty[blk+i].data)
+			copy(buf[i*bs:(i+1)*bs], pr.dirty[blk+i].buf.Data())
 		}
 		pr.stats.Reads++
 		pr.stats.ReadBytes += uint64(len(buf))
@@ -163,7 +216,7 @@ func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 	// Overlay any blocks that are newer in NVRAM.
 	for i := int64(0); i < nb; i++ {
 		if b := pr.dirty[blk+i]; b != nil {
-			copy(buf[i*bs:(i+1)*bs], b.data)
+			copy(buf[i*bs:(i+1)*bs], b.buf.Data())
 		}
 	}
 	pr.stats.Reads++
@@ -193,46 +246,87 @@ func (pr *Presto) drainLoop(p *sim.Proc) {
 				continue
 			}
 		}
-		blk, data, vers := pr.nextCluster()
-		if data == nil {
+		blk, run, vers := pr.nextCluster()
+		if run == nil {
 			// Every dirty block is already being drained by another worker.
 			pr.work.WaitTimeout(p, pr.p.IdleFlush)
 			continue
 		}
-		pr.draining++
-		bs := int64(pr.BlockSize())
-		nb := int64(len(data)) / bs
-		for i := int64(0); i < nb; i++ {
-			pr.inFlight[blk+i] = true
-		}
-		pr.under.WriteBlocks(p, blk, data)
-		// Only now free the NVRAM space: until the disk write completed the
-		// data had to stay stable. A block rewritten during the disk I/O has
-		// a newer version and must stay dirty for the next drain pass.
+		pr.drainOne(p, blk, run, vers)
+	}
+}
+
+// drainOne pushes one contiguous dirty cluster to the underlying device,
+// zero-copy: the snapshot references in run pin the exact accepted
+// contents for the duration of the disk I/O (a rewrite mid-drain replaces
+// the dirty entry's buffer, it cannot mutate the snapshot). The deferred
+// cleanup keeps the board consistent when a crash kills the worker
+// mid-transfer.
+func (pr *Presto) drainOne(p *sim.Proc, blk int64, run []*block.Buf, vers []uint64) {
+	pr.draining++
+	nb := int64(len(run))
+	for i := int64(0); i < nb; i++ {
+		pr.inFlight[blk+i] = true
+	}
+	defer func() {
 		for i := int64(0); i < nb; i++ {
 			delete(pr.inFlight, blk+i)
-			if b := pr.dirty[blk+i]; b != nil && b.ver == vers[i] {
-				delete(pr.dirty, blk+i)
-				pr.used -= pr.BlockSize()
-			}
 		}
 		pr.draining--
-		pr.space.Broadcast()
-		if len(pr.dirty) == 0 && pr.draining == 0 {
-			pr.flushReq = false
-			pr.clean.Broadcast()
+		pr.putRun(run, vers)
+	}()
+	pr.under.WriteBufs(p, blk, run)
+	// Only now free the NVRAM space: until the disk write completed the
+	// data had to stay stable. A block rewritten during the disk I/O has
+	// a newer version and must stay dirty for the next drain pass.
+	for i := int64(0); i < nb; i++ {
+		if b := pr.dirty[blk+i]; b != nil && b.ver == vers[i] {
+			b.buf.Release()
+			delete(pr.dirty, blk+i)
+			pr.used -= pr.BlockSize()
 		}
 	}
+	pr.space.Broadcast()
+	if len(pr.dirty) == 0 && pr.draining == 0 {
+		pr.flushReq = false
+		pr.clean.Broadcast()
+	}
+}
+
+// getRun takes a drain-cluster scratch pair from the pools.
+func (pr *Presto) getRun() ([]*block.Buf, []uint64) {
+	var run []*block.Buf
+	var vers []uint64
+	if n := len(pr.runPool); n > 0 {
+		run = pr.runPool[n-1][:0]
+		pr.runPool = pr.runPool[:n-1]
+	}
+	if n := len(pr.versPool); n > 0 {
+		vers = pr.versPool[n-1][:0]
+		pr.versPool = pr.versPool[:n-1]
+	}
+	return run, vers
+}
+
+// putRun releases the snapshot references and recycles the scratch.
+func (pr *Presto) putRun(run []*block.Buf, vers []uint64) {
+	for i, b := range run {
+		b.Release()
+		run[i] = nil
+	}
+	pr.runPool = append(pr.runPool, run[:0])
+	pr.versPool = append(pr.versPool, vers[:0])
 }
 
 // nextCluster picks the next dirty block in an elevator sweep (the lowest
 // dirty block at or above the last drain position, wrapping) and extends
 // it through physically contiguous dirty blocks up to DrainCluster bytes,
-// returning a snapshot of the covered bytes and each block's version at
-// copy time. The sweep keeps hot blocks that are rewritten continuously
+// returning a reference snapshot of the covered buffers and each block's
+// version at snapshot time — no byte assembly; the references pin the
+// contents. The sweep keeps hot blocks that are rewritten continuously
 // (an inode block under a write burst) coalescing in NVRAM instead of
 // being re-drained on every pass.
-func (pr *Presto) nextCluster() (int64, []byte, []uint64) {
+func (pr *Presto) nextCluster() (int64, []*block.Buf, []uint64) {
 	var min int64 = -1
 	var ahead int64 = -1
 	for b := range pr.dirty {
@@ -252,23 +346,25 @@ func (pr *Presto) nextCluster() (int64, []byte, []uint64) {
 	if min < 0 {
 		return 0, nil, nil
 	}
-	bs := pr.BlockSize()
-	maxBlocks := pr.p.DrainCluster / bs
+	maxBlocks := pr.p.DrainCluster / pr.BlockSize()
 	if maxBlocks < 1 {
 		maxBlocks = 1
 	}
-	var out []byte
-	var vers []uint64
+	run, vers := pr.getRun()
 	for i := 0; i < maxBlocks; i++ {
 		b := pr.dirty[min+int64(i)]
 		if b == nil || pr.inFlight[min+int64(i)] {
 			break
 		}
-		out = append(out, b.data...)
+		run = append(run, b.buf.Ref())
 		vers = append(vers, b.ver)
 	}
-	pr.sweepPos = min + int64(len(out)/bs)
-	return min, out, vers
+	if len(run) == 0 {
+		pr.putRun(run, vers)
+		return 0, nil, nil
+	}
+	pr.sweepPos = min + int64(len(run))
+	return min, run, vers
 }
 
 // Flush blocks p until every dirty block has been drained to disk. Crash
@@ -301,12 +397,17 @@ func (pr *Presto) RecoverTo(d *disk.Disk) int { return pr.Recover(d) }
 
 // Recover flushes every dirty block into inj (a disk or stripe set) with
 // no simulated time, the reboot-time recovery replay. Blocks are distinct,
-// so replay order does not affect the recovered image.
+// so replay order does not affect the recovered image. The board is
+// consumed: the dirty map's buffer references are released, since the
+// replaced board object is discarded after recovery.
 func (pr *Presto) Recover(inj BlockInjector) int {
 	n := 0
 	for blk, b := range pr.dirty {
-		inj.InjectBlock(blk, b.data)
+		inj.InjectBlock(blk, b.buf.Data())
+		b.buf.Release()
+		delete(pr.dirty, blk)
 		n++
 	}
+	pr.used = 0
 	return n
 }

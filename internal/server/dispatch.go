@@ -1,6 +1,7 @@
 package server
 
 import (
+	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
@@ -14,17 +15,24 @@ import (
 // processing one request at a time (§4.2).
 func (s *Server) nfsd(p *sim.Proc, id int) {
 	for {
-		dg := s.ep.Inbox.Get(p)
-		s.handle(p, id, dg)
-		// The datagram record and its parse are dead once handled (decoded
-		// slices alias the payload, not the records); recycle them. Write
-		// parses are exempt only on a gathering server, where a detached
-		// reply closure may still hold the WriteArgs after the handler
-		// returns; the standard server always replies synchronously.
-		if pc, ok := dg.Parsed.(*parsedCall); ok && (pc.write == nil || s.engine == nil) {
-			s.putPC(pc)
-		}
-		dg.Release()
+		s.serveOne(p, id, s.ep.Inbox.Get(p))
+	}
+}
+
+// serveOne handles one datagram. The release is deferred so a crash that
+// kills the nfsd mid-request (unwinding out of a device sleep or a
+// procrastination) still drops the datagram's payload reference — without
+// this, every request in flight at a crash would leak its body buffer.
+func (s *Server) serveOne(p *sim.Proc, id int, dg *netsim.Datagram) {
+	defer dg.Release()
+	s.handle(p, id, dg)
+	// The datagram record and its parse are dead once handled (decoded
+	// slices alias the payload, not the records); recycle them. Write
+	// parses are exempt only on a gathering server, where a detached
+	// reply closure may still hold the WriteArgs after the handler
+	// returns; the standard server always replies synchronously.
+	if pc, ok := dg.Parsed.(*parsedCall); ok && (pc.write == nil || s.engine == nil) {
+		s.putPC(pc)
 	}
 }
 
@@ -37,7 +45,12 @@ type parsedCall struct {
 	proc     nfsproto.Proc
 	write    *nfsproto.WriteArgs // non-nil for WRITE calls
 	writeBuf nfsproto.WriteArgs
-	bad      bool
+	// body is the datagram's refcounted payload segment for a split WRITE
+	// (writeBuf.Data aliases it). It is a borrow of the datagram's
+	// reference, valid only while the datagram is live; the filesystem
+	// takes its own reference if it adopts the buffer.
+	body *block.Buf
+	bad  bool
 }
 
 // getPC takes a parse record from the pool.
@@ -46,15 +59,21 @@ func (s *Server) getPC() *parsedCall {
 		pc := s.freePC[n-1]
 		s.freePC = s.freePC[:n-1]
 		pc.write = nil
+		pc.body = nil
 		pc.bad = false
 		return pc
 	}
 	return &parsedCall{}
 }
 
-func (s *Server) putPC(pc *parsedCall) { s.freePC = append(s.freePC, pc) }
+func (s *Server) putPC(pc *parsedCall) {
+	pc.body = nil
+	s.freePC = append(s.freePC, pc)
+}
 
-// peek decodes a datagram once, caching the result on the datagram.
+// peek decodes a datagram once, caching the result on the datagram. A
+// split WRITE decodes its argument head from the contiguous payload and
+// aliases the data straight out of the datagram's body buffer.
 func (s *Server) peek(dg *netsim.Datagram) *parsedCall {
 	if pc, ok := dg.Parsed.(*parsedCall); ok {
 		return pc
@@ -65,7 +84,14 @@ func (s *Server) peek(dg *netsim.Datagram) *parsedCall {
 	} else {
 		pc.proc = nfsproto.Proc(pc.call.Proc)
 		if pc.proc == nfsproto.ProcWrite {
-			if err := nfsproto.DecodeWriteArgsInto(pc.call.Args, &pc.writeBuf); err == nil {
+			var err error
+			if dg.Body != nil {
+				err = nfsproto.DecodeWriteArgsSplitInto(pc.call.Args, dg.Body.Data()[:dg.BodyLen], &pc.writeBuf)
+				pc.body = dg.Body
+			} else {
+				err = nfsproto.DecodeWriteArgsInto(pc.call.Args, &pc.writeBuf)
+			}
+			if err == nil {
 				pc.write = &pc.writeBuf
 			} else {
 				pc.bad = true
@@ -454,9 +480,15 @@ func (s *Server) doWrite(p *sim.Proc, id int, k dupKey, pc *parsedCall) {
 	if s.engine == nil {
 		// Standard server: VOP_WRITE with IO_SYNC commits data and
 		// metadata before the reply, serialized on the vnode lock as the
-		// reference port does.
+		// reference port does. A split payload lands through the zero-copy
+		// entry point.
 		s.locks.Lock(p, ino)
-		err := s.fs.Write(p, ino, args.Offset, args.Data, vfs.IOSync)
+		var err error
+		if pc.body != nil {
+			err = s.fs.WriteBuf(p, ino, args.Offset, pc.body, len(args.Data), vfs.IOSync)
+		} else {
+			err = s.fs.Write(p, ino, args.Offset, args.Data, vfs.IOSync)
+		}
 		s.locks.Unlock(ino)
 		s.writeReply(p, k, args, ino, err == nil, err)
 		return
@@ -469,6 +501,7 @@ func (s *Server) doWrite(p *sim.Proc, id int, k dupKey, pc *parsedCall) {
 		Ino:     ino,
 		Offset:  args.Offset,
 		Length:  uint32(len(args.Data)),
+		Body:    pc.body,
 		Arrived: s.sim.Now(),
 		Send: func(p *sim.Proc, ok bool) {
 			s.writeReply(p, k, args, ino, ok, nil)

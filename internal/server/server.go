@@ -7,6 +7,7 @@
 package server
 
 import (
+	"repro/internal/block"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/hw"
@@ -222,16 +223,32 @@ func NewChargedNVRAM(dev *nvram.Presto, cpu *sim.Resource, trip, copyPer8K sim.D
 	return &ChargedDevice{Device: dev, cpu: cpu, TripCost: trip, CopyPer8K: copyPer8K, CopyLimit: copyLimit}
 }
 
+// writeCost computes the CPU charge for an n-byte write.
+func (c *ChargedDevice) writeCost(n int) sim.Duration {
+	cost := c.TripCost
+	if c.CopyPer8K > 0 && (c.CopyLimit == 0 || n <= c.CopyLimit) {
+		cost += sim.Duration(int64(c.CopyPer8K) * int64(n) / 8192)
+	}
+	return cost
+}
+
 // WriteBlocks implements disk.Device.
 func (c *ChargedDevice) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
-	cost := c.TripCost
-	if c.CopyPer8K > 0 && (c.CopyLimit == 0 || len(data) <= c.CopyLimit) {
-		cost += sim.Duration(int64(c.CopyPer8K) * int64(len(data)) / 8192)
-	}
-	if cost > 0 {
+	if cost := c.writeCost(len(data)); cost > 0 {
 		c.cpu.Use(p, cost)
 	}
 	c.Device.WriteBlocks(p, blk, data)
+}
+
+// WriteBufs implements disk.Device: the zero-copy path pays exactly the
+// same modelled CPU costs as the byte path — the simulated 1994 kernel
+// still does its driver trip and NVRAM board copy; only the simulator's
+// own host-side memmoves were eliminated.
+func (c *ChargedDevice) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+	if cost := c.writeCost(len(bufs) * c.Device.BlockSize()); cost > 0 {
+		c.cpu.Use(p, cost)
+	}
+	c.Device.WriteBufs(p, blk, bufs)
 }
 
 // ReadBlocks implements disk.Device.

@@ -52,15 +52,11 @@ func (s *Sim) putWaiter(w *condWaiter) {
 	s.freeWaiters = append(s.freeWaiters, w)
 }
 
-// fireTimeout is the typed target of a WaitTimeout deadline event: detach
-// the waiter from its Cond and wake the process. Detaching eagerly (rather
-// than leaving a tombstone for Signal to sweep) is what makes the record
-// safe to recycle the moment WaitTimeout returns.
-func (w *condWaiter) fireTimeout(s *Sim) {
-	w.removed = true
-	w.c.detach(w)
-	s.dispatch(w.p)
-}
+// A WaitTimeout deadline event carries its condWaiter as a typed target;
+// the event loop detaches the waiter from its Cond eagerly (rather than
+// leaving a tombstone for Signal to sweep) and dispatches the parked
+// process — which is what makes the record safe to recycle the moment
+// WaitTimeout returns.
 
 // detach removes w from the wait list, preserving FIFO order.
 func (c *Cond) detach(w *condWaiter) {

@@ -121,10 +121,14 @@ type Sim struct {
 	events []*event // 4-ary min-heap on (t, seq)
 	free   []*event // event record free list
 	seq    uint64
-	ack    chan struct{} // process -> kernel: "I have yielded"
 	rng    *rand.Rand
 	nprocs int
 	fired  uint64
+	until  Time // Run bound for the loop, 0 = none
+
+	// mainWake returns the run-loop token to the Run caller when the loop
+	// terminates in some process's goroutine (see loop).
+	mainWake chan struct{}
 
 	freeWaiters []*condWaiter
 }
@@ -132,8 +136,8 @@ type Sim struct {
 // New returns a simulator with its clock at zero and the given RNG seed.
 func New(seed int64) *Sim {
 	return &Sim{
-		ack: make(chan struct{}),
-		rng: rand.New(rand.NewSource(seed)),
+		mainWake: make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -244,11 +248,32 @@ func (s *Sim) wakeProc(p *Proc) {
 // Run processes events until the heap is empty or the clock would pass
 // until (until <= 0 means run to completion). It returns the final clock.
 func (s *Sim) Run(until Time) Time {
+	s.until = until
+	s.loop(nil)
+	if until > 0 && s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// loop is the event loop, run by whichever goroutine currently holds the
+// run-loop token: the Run caller (self == nil) or a process goroutine that
+// just yielded (self == its Proc). Control transfers are a direct handoff —
+// the yielding goroutine pops events itself and hands the token straight to
+// the next runnable process — so the strictly-serial kernel pays one
+// channel operation per process switch instead of the two of a dedicated
+// kernel goroutine ping-pong, and a process whose own wake-up is the next
+// event (the Sleep fast path) continues with no switch at all.
+//
+// loop returns when self has been re-dispatched (the token stays with its
+// goroutine and model code resumes), or, for the Run caller, when the loop
+// has terminated and the token came home.
+func (s *Sim) loop(self *Proc) {
 	for len(s.events) > 0 {
 		e := s.events[0]
-		if until > 0 && e.t > until {
-			s.now = until
-			return s.now
+		if s.until > 0 && e.t > s.until {
+			s.now = s.until
+			break
 		}
 		s.heapPop()
 		if e.cancelled {
@@ -262,24 +287,62 @@ func (s *Sim) Run(until Time) Time {
 		s.fired++
 		fn, p, w := e.fn, e.proc, e.waiter
 		s.recycle(e)
-		switch {
-		case w != nil:
-			w.fireTimeout(s)
-		case p != nil:
-			// A wake-up may outlive its target: Kill unwinds a process on
-			// its first dispatch, and any further events still aimed at it
-			// (an old sleep deadline, a queued signal) are scrubbed here.
-			if !p.done {
-				s.dispatch(p)
-			}
-		default:
-			fn()
+		if w != nil {
+			// A WaitTimeout deadline: detach the waiter from its Cond
+			// eagerly (no tombstone for Signal to sweep) and dispatch the
+			// parked process.
+			w.removed = true
+			w.c.detach(w)
+			p = w.p
 		}
+		if p == nil {
+			fn()
+			continue
+		}
+		// A wake-up may outlive its target: Kill unwinds a process on its
+		// first dispatch, and any further events still aimed at it (an old
+		// sleep deadline, a queued signal) are scrubbed here.
+		if p.done {
+			continue
+		}
+		if Trace != nil {
+			Trace(fmt.Sprintf("t=%d dispatch %s", s.now, p.name))
+		}
+		if p == self {
+			return // own wake-up: resume model code, zero switches
+		}
+		p.resume <- struct{}{} // hand the token to p
+		s.parkAfterHandoff(self)
+		return
 	}
-	if until > 0 && s.now < until {
-		s.now = until
+	// Loop over (heap empty or until reached): if a process goroutine holds
+	// the token, return it to the Run caller and park.
+	if self != nil {
+		s.mainWake <- struct{}{}
+		s.parkSelf(self)
 	}
-	return s.now
+}
+
+// parkAfterHandoff parks the goroutine that just handed the token away.
+// The Run caller waits for the token to come home (the loop terminated in
+// some other goroutine); a live process waits to be re-dispatched; a
+// finished process simply returns so its goroutine can exit.
+func (s *Sim) parkAfterHandoff(self *Proc) {
+	if self == nil {
+		<-s.mainWake
+		return
+	}
+	s.parkSelf(self)
+}
+
+// parkSelf parks a process goroutine until it is handed the token again
+// (finished processes never are; their goroutines exit instead). On return
+// the caller resumes model code — loop's caller is always yield.
+func (s *Sim) parkSelf(p *Proc) {
+	if p.done {
+		return
+	}
+	<-p.resume
 }
 
 // Idle reports whether no events remain.
@@ -327,12 +390,14 @@ func (s *Sim) SpawnAfter(d Duration, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
 	s.nprocs++
 	go func() {
-		<-p.resume // wait for first dispatch
+		<-p.resume // wait for first dispatch (token arrives here)
 		runProc(p, fn)
 		p.done = true
 		p.unlinkParent()
 		s.nprocs--
-		s.ack <- struct{}{}
+		// The finished process still holds the run-loop token: keep
+		// processing events until a handoff lets this goroutine exit.
+		s.loop(p)
 	}()
 	s.schedule(d, nil, p, nil)
 	return p
@@ -428,26 +493,13 @@ func (p *Proc) Killed() bool { return p.killed }
 // Trace, when non-nil, receives a line per control transfer (debugging).
 var Trace func(string)
 
-// dispatch transfers control to p and waits for it to yield or finish.
-// It must only be called from the kernel's event loop (directly or
-// transitively from an event callback).
-func (s *Sim) dispatch(p *Proc) {
-	if p.done {
-		panic("sim: dispatch of finished process " + p.name)
-	}
-	if Trace != nil {
-		Trace(fmt.Sprintf("t=%d dispatch %s", s.now, p.name))
-	}
-	p.resume <- struct{}{}
-	<-s.ack
-}
-
-// yield hands control back to the kernel and parks until re-dispatched.
-// A killed process never resumes model code: the kill unwinds its stack
-// here, through whatever blocking primitive parked it.
+// yield hands the run-loop token back to the event loop, which keeps
+// running on this goroutine until another process (or the Run caller) must
+// take over; the process parks until re-dispatched. A killed process never
+// resumes model code: the kill unwinds its stack here, through whatever
+// blocking primitive parked it.
 func (p *Proc) yield() {
-	p.sim.ack <- struct{}{}
-	<-p.resume
+	p.sim.loop(p)
 	if p.killed {
 		panic(killSentinel{})
 	}

@@ -74,7 +74,7 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 	for fb := keep; fb < NumDirect; fb++ {
 		if in.direct[fb] != 0 {
 			fs.markFree(in.direct[fb])
-			delete(fs.cache, in.direct[fb])
+			fs.evict(in.direct[fb])
 			in.direct[fb] = 0
 		}
 	}
@@ -86,14 +86,15 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 			ptr := int64(binary.BigEndian.Uint64(ib.data[i*8:]))
 			if ptr != 0 && fb >= keep {
 				fs.markFree(ptr)
-				delete(fs.cache, ptr)
+				fs.evict(ptr)
+				fs.own(ib)
 				binary.BigEndian.PutUint64(ib.data[i*8:], 0)
 				ib.dirty = true
 			}
 		}
 		if keep <= NumDirect {
 			fs.markFree(in.indirect)
-			delete(fs.cache, in.indirect)
+			fs.evict(in.indirect)
 			in.indirect = 0
 		}
 	}
@@ -115,7 +116,8 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 				}
 				if fb >= keep {
 					fs.markFree(ptr)
-					delete(fs.cache, ptr)
+					fs.evict(ptr)
+					fs.own(lb)
 					binary.BigEndian.PutUint64(lb.data[l2*8:], 0)
 					lb.dirty = true
 				} else {
@@ -124,14 +126,15 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 			}
 			if !anyKept {
 				fs.markFree(l1ptr)
-				delete(fs.cache, l1ptr)
+				fs.evict(l1ptr)
+				fs.own(db)
 				binary.BigEndian.PutUint64(db.data[l1*8:], 0)
 				db.dirty = true
 			}
 		}
 		if keep <= NumDirect+PtrsPerBlock {
 			fs.markFree(in.dindirect)
-			delete(fs.cache, in.dindirect)
+			fs.evict(in.dindirect)
 			in.dindirect = 0
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -182,7 +183,12 @@ func (fs *FS) writeRaw(p *sim.Proc, in *inode, off uint32, data []byte) error {
 			b = fs.getBuf(p, phys, needFill)
 		}
 		b.owner, b.fblock = in.num, fb
-		copy(b.data[bo:bo+int64(take)], data[written:written+take])
+		if take == BlockSize {
+			fs.ownFresh(b)
+		} else {
+			fs.own(b)
+		}
+		block.CountCopy(copy(b.data[bo:bo+int64(take)], data[written:written+take]))
 		b.dirty = true
 		if mc {
 			in.dirtyMeta = true

@@ -129,7 +129,7 @@ func (fs *FS) freeInode(p *sim.Proc, in *inode) {
 	for _, b := range in.direct {
 		if b != 0 {
 			fs.markFree(b)
-			delete(fs.cache, b)
+			fs.evict(b)
 		}
 	}
 	freeIndirect := func(blk int64, depth int) {
@@ -148,11 +148,11 @@ func (fs *FS) freeInode(p *sim.Proc, in *inode) {
 					walk(ptr, d-1)
 				} else {
 					fs.markFree(ptr)
-					delete(fs.cache, ptr)
+					fs.evict(ptr)
 				}
 			}
 			fs.markFree(b)
-			delete(fs.cache, b)
+			fs.evict(b)
 		}
 		walk(blk, depth)
 	}
@@ -168,6 +168,7 @@ func (fs *FS) freeInode(p *sim.Proc, in *inode) {
 func (fs *FS) flushInodeSlotCleared(p *sim.Proc, ino vfs.Ino) {
 	phys, slot := inodeBlock(ino)
 	b := fs.getBuf(p, phys, true)
+	fs.own(b)
 	for i := 0; i < InodeSize; i++ {
 		b.data[slot*InodeSize+i] = 0
 	}
@@ -183,6 +184,7 @@ func (fs *FS) flushInodeSlotCleared(p *sim.Proc, ino vfs.Ino) {
 func (fs *FS) flushInode(p *sim.Proc, in *inode) {
 	phys, _ := inodeBlock(in.num)
 	b := fs.getBuf(p, phys, true)
+	fs.own(b)
 	first := vfs.Ino((phys-1))*InodesPerBlock + 1
 	for j := 0; j < InodesPerBlock; j++ {
 		other, ok := fs.inodes[first+vfs.Ino(j)]
@@ -277,6 +279,7 @@ func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, me
 			if err != nil {
 				return 0, metaChanged, err
 			}
+			fs.own(ib)
 			binary.BigEndian.PutUint64(ib.data[idx*8:], uint64(b))
 			ib.dirty = true
 			ptr = b
@@ -315,6 +318,7 @@ func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, me
 			if err != nil {
 				return 0, metaChanged, err
 			}
+			fs.own(db)
 			binary.BigEndian.PutUint64(db.data[l1*8:], uint64(b))
 			db.dirty = true
 			in.indBlocks = append(in.indBlocks, b)
@@ -333,6 +337,7 @@ func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, me
 			if err != nil {
 				return 0, metaChanged, err
 			}
+			fs.own(lb)
 			binary.BigEndian.PutUint64(lb.data[l2*8:], uint64(b))
 			lb.dirty = true
 			ptr = b

@@ -3,6 +3,7 @@ package ufs
 import (
 	"sort"
 
+	"repro/internal/block"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -67,6 +68,26 @@ func (fs *FS) Read(p *sim.Proc, ino vfs.Ino, off uint32, out []byte) (int, error
 //     blocks, with the reference port's one exception: an inode whose only
 //     change is the file modify time is written asynchronously (§4.4).
 func (fs *FS) Write(p *sim.Proc, ino vfs.Ino, off uint32, data []byte, flags vfs.IOFlags) error {
+	return fs.write(p, ino, off, len(data), data, nil, flags)
+}
+
+// WriteBuf implements vfs.BlockWriter: VOP_WRITE fed directly by a
+// refcounted payload buffer. A block-aligned full-block write adopts the
+// buffer into the cache — the payload is never copied at all; it travels
+// by reference from the wire to the platters. Other shapes fall back to
+// the copying path.
+func (fs *FS) WriteBuf(p *sim.Proc, ino vfs.Ino, off uint32, b *block.Buf, n int, flags vfs.IOFlags) error {
+	if off%BlockSize == 0 && n == BlockSize {
+		return fs.write(p, ino, off, n, nil, b, flags)
+	}
+	return fs.write(p, ino, off, n, b.Data()[:n], nil, flags)
+}
+
+// write is the common VOP_WRITE body. Exactly one of data and body is set:
+// data is the copying path (payload memmoved into cache blocks, counted
+// against the copy budget); body is a whole-block refcounted payload the
+// cache adopts by reference.
+func (fs *FS) write(p *sim.Proc, ino vfs.Ino, off uint32, n int, data []byte, body *block.Buf, flags vfs.IOFlags) error {
 	in, err := fs.getInode(ino)
 	if err != nil {
 		return err
@@ -74,7 +95,7 @@ func (fs *FS) Write(p *sim.Proc, ino vfs.Ino, off uint32, data []byte, flags vfs
 	if in.ftype == vfs.TypeDir {
 		return vfs.ErrIsDir
 	}
-	if int64(off)+int64(len(data)) > MaxFileSize {
+	if int64(off)+int64(n) > MaxFileSize {
 		return vfs.ErrFBig
 	}
 	metaChanged := false
@@ -83,27 +104,48 @@ func (fs *FS) Write(p *sim.Proc, ino vfs.Ino, off uint32, data []byte, flags vfs
 	var touchedArr [4]*buf
 	touched := touchedArr[:0]
 	written := 0
-	for written < len(data) {
+	for written < n {
 		fb := int64(off+uint32(written)) / BlockSize
 		bo := int64(off+uint32(written)) % BlockSize
 		take := BlockSize - int(bo)
-		if take > len(data)-written {
-			take = len(data) - written
+		if take > n-written {
+			take = n - written
 		}
 		phys, mc, err := fs.bmap(p, in, fb, true)
 		if err != nil {
 			return err
 		}
 		metaChanged = metaChanged || mc
-		// Fill from device only for a partial overwrite of an existing
-		// block; whole-block writes and fresh blocks need no read.
-		needFill := take != BlockSize && !mc && phys != 0
 		b, cached := fs.cache[phys]
-		if !cached {
-			b = fs.getBuf(p, phys, needFill)
+		switch {
+		case body != nil:
+			// Zero-copy landing: the cache takes a reference to the
+			// payload buffer itself; a missing entry is created around it
+			// directly (no scratch buffer, no zeroing).
+			if cached {
+				b.adopt(body)
+			} else {
+				b = fs.insertBuf(phys, body.Ref())
+			}
+		case take == BlockSize:
+			// Whole-block overwrite: every byte is about to be written, so
+			// a fresh (unzeroed) buffer suffices on either path.
+			if cached {
+				fs.ownFresh(b)
+			} else {
+				b = fs.insertBuf(phys, fs.pool.Get())
+			}
+			block.CountCopy(copy(b.data, data[written:written+take]))
+		default:
+			// Partial write: fill from the device only when overwriting an
+			// existing block; a fresh block's remainder must read as zeros.
+			if !cached {
+				b = fs.getBuf(p, phys, !mc && phys != 0)
+			}
+			fs.own(b)
+			block.CountCopy(copy(b.data[bo:bo+int64(take)], data[written:written+take]))
 		}
 		b.owner, b.fblock = ino, fb
-		copy(b.data[bo:bo+int64(take)], data[written:written+take])
 		b.dirty = true
 		touched = append(touched, b)
 		written += take
@@ -111,7 +153,7 @@ func (fs *FS) Write(p *sim.Proc, ino vfs.Ino, off uint32, data []byte, flags vfs
 	now := fs.sim.Now()
 	in.mtime, in.ctime = now, now
 	in.dirtyCore = true
-	if end := off + uint32(len(data)); end > in.size {
+	if end := off + uint32(n); end > in.size {
 		in.size = end
 		metaChanged = true
 	}
@@ -191,7 +233,9 @@ func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
 			continue
 		}
 		if b, ok := fs.cache[phys]; ok && b.dirty {
-			*dirty = append(*dirty, dirtyBlk{phys: phys, b: b})
+			// Pin the buffer now: the entry may be evicted or COW-replaced
+			// while this flush sleeps in device I/O below.
+			*dirty = append(*dirty, dirtyBlk{phys: phys, b: b, blk: b.blk.Ref()})
 		}
 	}
 	blks := *dirty
@@ -199,7 +243,10 @@ func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
 		return nil
 	}
 	sort.Slice(blks, func(i, j int) bool { return blks[i].phys < blks[j].phys })
-	// Cluster physically contiguous runs.
+	// Cluster physically contiguous runs. No byte assembly: the device is
+	// handed the cache buffers themselves and snapshots them by reference
+	// (it takes its own refs before sleeping), eliminating both the old
+	// cluster-assembly copy and the platter-store copy.
 	i := 0
 	for i < len(blks) {
 		j := i + 1
@@ -209,18 +256,20 @@ func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
 			j++
 		}
 		run := blks[i:j]
-		cluster := fs.getCluster()
+		bufs := fs.getRun()
 		for _, d := range run {
-			cluster = append(cluster, d.b.data...)
+			bufs = append(bufs, d.blk)
 		}
-		fs.dev.WriteBlocks(p, run[0].phys, cluster)
-		// WriteBlocks has copied the cluster to the platters by the time it
-		// returns, so the buffer can go straight back to the pool even
-		// though other processes may have run while the device slept.
-		fs.putCluster(cluster)
+		fs.dev.WriteBufs(p, run[0].phys, bufs)
+		fs.putRun(bufs)
 		fs.DataWrites++
 		for _, d := range run {
-			d.b.dirty = false
+			// Clear the dirty bit only if the entry still carries the
+			// buffer that just landed; an entry evicted or rewritten via
+			// copy-on-write during the transfer keeps its state.
+			if d.b.blk == d.blk {
+				d.b.dirty = false
+			}
 		}
 		i = j
 	}

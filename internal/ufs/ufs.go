@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/disk"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -52,8 +53,9 @@ type FS struct {
 	rotor    int64
 	genSeq   uint32
 
-	dirtyScratch []*[]dirtyBlk // SyncData dirty-list pool
-	clusterPool  [][]byte      // SyncData cluster-buffer pool
+	pool         *block.Pool    // backs cache buffers (and COW replacements)
+	dirtyScratch []*[]dirtyBlk  // SyncData dirty-list pool
+	runScratch   [][]*block.Buf // device-write run pool (WriteBufs arguments)
 
 	// MetaWrites counts synchronous metadata transactions (inode and
 	// indirect block writes), the quantity write gathering amortizes.
@@ -67,10 +69,14 @@ type FS struct {
 }
 
 // dirtyBlk pairs a dirty cache buffer with its physical block for the
-// clustering sort in SyncData.
+// clustering sort in SyncData. blk pins the buffer captured at scan time
+// (its own reference): the cache entry can be evicted by a concurrent
+// truncate/remove or COW-replaced while the flush sleeps in device I/O,
+// and the in-flight write must keep targeting the snapshot it captured.
 type dirtyBlk struct {
 	phys int64
 	b    *buf
+	blk  *block.Buf
 }
 
 // getDirtyScratch takes a reusable dirty-block list. SyncData can run from
@@ -87,34 +93,88 @@ func (fs *FS) getDirtyScratch() *[]dirtyBlk {
 	return &d
 }
 
+// putDirtyScratch releases the captured buffer references and recycles
+// the list. It runs deferred in SyncData, so a kill that unwinds the
+// flusher mid-transfer drops the snapshot pins too.
 func (fs *FS) putDirtyScratch(d *[]dirtyBlk) {
 	for i := range *d {
+		if (*d)[i].blk != nil {
+			(*d)[i].blk.Release()
+		}
 		(*d)[i] = dirtyBlk{}
 	}
 	fs.dirtyScratch = append(fs.dirtyScratch, d)
 }
 
-// getCluster takes a reusable cluster assembly buffer (up to MaxCluster).
-func (fs *FS) getCluster() []byte {
-	if n := len(fs.clusterPool); n > 0 {
-		b := fs.clusterPool[n-1]
-		fs.clusterPool = fs.clusterPool[:n-1]
-		return b[:0]
+// getRun takes a reusable device-write run (the []*block.Buf argument to
+// WriteBufs). SyncData and writeBuf can run from several processes at once
+// (they yield on device I/O), so the scratch is pooled.
+func (fs *FS) getRun() []*block.Buf {
+	if n := len(fs.runScratch); n > 0 {
+		r := fs.runScratch[n-1]
+		fs.runScratch = fs.runScratch[:n-1]
+		return r[:0]
 	}
-	return make([]byte, 0, MaxCluster)
+	return make([]*block.Buf, 0, MaxCluster/BlockSize)
 }
 
-func (fs *FS) putCluster(b []byte) { fs.clusterPool = append(fs.clusterPool, b) }
+func (fs *FS) putRun(r []*block.Buf) {
+	for i := range r {
+		r[i] = nil
+	}
+	fs.runScratch = append(fs.runScratch, r[:0])
+}
 
-// buf is a buffer-cache entry for one filesystem block.
+// buf is a buffer-cache entry for one filesystem block. data always
+// aliases blk.Data(): readers use data directly, while mutators must go
+// through own/ownFresh first — the backing buffer may be shared with the
+// platter store, the NVRAM dirty map or an in-flight datagram, all of
+// which hold point-in-time references that an in-place mutation would
+// corrupt (copy-on-write discipline).
 type buf struct {
 	phys  int64
+	blk   *block.Buf
 	data  []byte
 	dirty bool
 	// For data blocks: which file and file-block this caches; inode blocks
 	// and indirect blocks have owner == 0.
 	owner  vfs.Ino
 	fblock int64
+}
+
+// own prepares a cache buffer for partial in-place mutation: if the
+// backing buffer is shared, it is replaced by a fresh copy (the one copy a
+// partial rewrite of committed contents must pay).
+func (fs *FS) own(b *buf) {
+	if b.blk.Unique() {
+		return
+	}
+	nb := fs.pool.Get()
+	block.CountCopy(copy(nb.Data(), b.blk.Data()))
+	b.blk.Release()
+	b.blk = nb
+	b.data = nb.Data()
+}
+
+// ownFresh prepares a cache buffer for whole-block overwrite: a shared
+// backing buffer is swapped for a fresh one without copying, since every
+// byte is about to be rewritten.
+func (fs *FS) ownFresh(b *buf) {
+	if b.blk.Unique() {
+		return
+	}
+	b.blk.Release()
+	b.blk = fs.pool.Get()
+	b.data = b.blk.Data()
+}
+
+// adopt points the cache entry at nb (taking a reference), discarding the
+// previous backing buffer: the zero-copy landing of a full-block WRITE
+// payload.
+func (b *buf) adopt(nb *block.Buf) {
+	b.blk.Release()
+	b.blk = nb.Ref()
+	b.data = b.blk.Data()
 }
 
 // Format writes a fresh filesystem onto dev and returns it mounted.
@@ -134,6 +194,7 @@ func Format(s *sim.Sim, dev disk.Device, fsid uint32, ninodes int) (*FS, error) 
 		ninodes:     int(ib) * InodesPerBlock,
 		inodes:      make(map[vfs.Ino]*inode),
 		cache:       make(map[int64]*buf),
+		pool:        block.NewPool(),
 	}
 	if fs.dataStart >= fs.nblocks {
 		return nil, fmt.Errorf("ufs: device too small: %d blocks", fs.nblocks)
@@ -232,6 +293,7 @@ func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
 		inodeBlocks: int64(binary.BigEndian.Uint64(sb[12:])),
 		inodes:      make(map[vfs.Ino]*inode),
 		cache:       make(map[int64]*buf),
+		pool:        block.NewPool(),
 	}
 	fs.dataStart = 1 + fs.inodeBlocks
 	fs.ninodes = int(fs.inodeBlocks) * InodesPerBlock
@@ -306,28 +368,99 @@ func (fs *FS) claimBlocks(p *sim.Proc, in *inode) {
 }
 
 // getBuf returns the cache buffer for physical block phys, reading it from
-// the device if fill is true and it is absent.
+// the device if fill is true and it is absent. An absent, unfilled buffer
+// comes back zeroed (a fresh block's holes must read as zeros).
 func (fs *FS) getBuf(p *sim.Proc, phys int64, fill bool) *buf {
 	if b, ok := fs.cache[phys]; ok {
 		return b
 	}
-	b := &buf{phys: phys, data: make([]byte, BlockSize)}
-	if fill {
-		fs.dev.ReadBlocks(p, phys, b.data)
+	if !fill {
+		return fs.insertBuf(phys, fs.pool.GetZero())
 	}
+	blk := fs.pool.Get()
+	stored := false
+	defer func() {
+		// Covers both the lost race below and a kill that unwinds this
+		// process out of the device read.
+		if !stored {
+			blk.Release()
+		}
+	}()
+	fs.dev.ReadBlocks(p, phys, blk.Data()) // yields
+	if b, ok := fs.cache[phys]; ok {
+		// Another process cached this block while the read slept (two
+		// nfsds flushing inodes that share a block race here). Keep its
+		// entry — it may already carry dirty mutations — and drop the
+		// duplicate read; inserting over it would strand its buffer
+		// reference and lose its state.
+		return b
+	}
+	b := fs.insertBuf(phys, blk)
+	stored = true
+	return b
+}
+
+// insertBuf installs blk (whose reference the cache takes over) as the
+// entry for phys. Records are never pooled — an evicted record may still
+// be referenced by a flusher that captured it before a yield, and reusing
+// it would alias two blocks through one pointer.
+func (fs *FS) insertBuf(phys int64, blk *block.Buf) *buf {
+	b := &buf{phys: phys, blk: blk, data: blk.Data()}
 	fs.cache[phys] = b
 	return b
 }
 
-// writeBuf pushes one cache buffer to the device synchronously.
-func (fs *FS) writeBuf(p *sim.Proc, b *buf) {
-	fs.dev.WriteBlocks(p, b.phys, b.data)
-	b.dirty = false
+// evict removes a block from the cache, releasing the cache's reference
+// to its backing buffer. The record is tombstoned (blk/data nil), never
+// recycled: a flusher that captured it before yielding on device I/O may
+// still hold the pointer, and sees the tombstone instead of an aliased
+// reuse. Evicting an uncached block is a no-op.
+func (fs *FS) evict(phys int64) {
+	b, ok := fs.cache[phys]
+	if !ok {
+		return
+	}
+	delete(fs.cache, phys)
+	b.blk.Release()
+	b.blk, b.data = nil, nil
 }
 
+// writeBuf pushes one cache buffer to the device synchronously (zero-copy:
+// the device stores a reference to the backing buffer). The flush pins its
+// own snapshot reference across the device sleep, and only clears the
+// dirty bit if the entry is still current — a concurrent truncate may
+// evict it, and a concurrent copy-on-write may replace its buffer, while
+// the arm is busy. An already-evicted record is a no-op.
+func (fs *FS) writeBuf(p *sim.Proc, b *buf) {
+	if b.blk == nil {
+		return // evicted while the caller slept in an earlier flush
+	}
+	blk := b.blk.Ref()
+	run := fs.getRun()
+	run = append(run, blk)
+	defer func() {
+		fs.putRun(run)
+		blk.Release()
+	}()
+	fs.dev.WriteBufs(p, b.phys, run)
+	if b.blk == blk {
+		b.dirty = false
+	}
+}
+
+// CachedBufs reports how many cache entries hold a buffer reference
+// (leak-check accounting).
+func (fs *FS) CachedBufs() int { return len(fs.cache) }
+
 // DropCaches discards all volatile state without flushing: the crash.
-// After this, only Mount can resurrect the filesystem.
+// After this, only Mount can resurrect the filesystem. The cache's buffer
+// references are host memory, not stable storage, so they are released;
+// contents shared with the platter store live on there.
 func (fs *FS) DropCaches() {
+	for _, b := range fs.cache {
+		b.blk.Release()
+		b.blk, b.data = nil, nil
+	}
 	fs.cache = make(map[int64]*buf)
 	fs.inodes = make(map[vfs.Ino]*inode)
 }

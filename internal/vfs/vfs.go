@@ -8,6 +8,7 @@ package vfs
 import (
 	"errors"
 
+	"repro/internal/block"
 	"repro/internal/sim"
 )
 
@@ -133,4 +134,14 @@ type FileSystem interface {
 
 	// Statfs reports capacity.
 	Statfs(p *sim.Proc) (blockSize int, blocks, free int64)
+}
+
+// BlockWriter is the optional zero-copy write entry point: a filesystem
+// that implements it can land a refcounted payload buffer directly in its
+// cache (adopting the buffer for aligned full-block writes) instead of
+// memmoving the bytes out of the wire. The server write layer probes for
+// it once and falls back to Write otherwise. The caller keeps its own
+// reference to b; the filesystem takes another if it retains the buffer.
+type BlockWriter interface {
+	WriteBuf(p *sim.Proc, ino Ino, off uint32, b *block.Buf, n int, flags IOFlags) error
 }

@@ -124,7 +124,6 @@ type LADDIS struct {
 	errors  int
 	perOp   map[string]int
 	seq     int
-	bufs    [][]byte // pooled write payload buffers
 
 	// Write worker pool: one SFS write op is a burst of concurrent 8K
 	// WRITEs; bursts are dispatched to pre-spawned workers instead of a
@@ -177,19 +176,6 @@ func (l *LADDIS) rootFor(name string) nfsproto.FH {
 	return l.roots[client.ShardIndex(name, len(l.roots))]
 }
 
-// getBuf takes a MaxData write buffer from the pool.
-func (l *LADDIS) getBuf() []byte {
-	if n := len(l.bufs); n > 0 {
-		b := l.bufs[n-1]
-		l.bufs = l.bufs[:n-1]
-		return b
-	}
-	return make([]byte, nfsproto.MaxData)
-}
-
-// putBuf returns a buffer once its WRITE RPC has encoded and completed.
-func (l *LADDIS) putBuf(b []byte) { l.bufs = append(l.bufs, b) }
-
 // NewLADDIS builds a generator bound to one client.
 func NewLADDIS(cli *client.Client, root nfsproto.FH, cfg LADDISConfig) *LADDIS {
 	if cfg.Mix == (Mix{}) {
@@ -220,7 +206,6 @@ func (l *LADDIS) Setup(p *sim.Proc) error {
 		return fmt.Errorf("workload: scratch mkdir: %v %v", err, mres)
 	}
 	l.scratch = mres.File
-	buf := make([]byte, nfsproto.MaxData)
 	for i := 0; i < l.cfg.Files; i++ {
 		name := fmt.Sprintf("ws-%s-%d", l.cli.Name(), i)
 		cres, err := l.cli.Create(p, l.rootFor(name), name, 0644)
@@ -229,8 +214,12 @@ func (l *LADDIS) Setup(p *sim.Proc) error {
 		}
 		fh := cres.File // copy: cres is client scratch, dead at the next RPC
 		for b := 0; b < l.cfg.FileBlocks; b++ {
-			client.FillPattern(buf, uint32(b*nfsproto.MaxData))
-			if err := l.cli.WriteSync(p, fh, uint32(b*nfsproto.MaxData), buf); err != nil {
+			// One staging buffer per request, released on completion: the
+			// pool cannot recycle it while any queued duplicate datagram
+			// still references the payload.
+			buf := l.cli.GetWriteBuf()
+			client.FillPattern(buf.Data(), uint32(b*nfsproto.MaxData))
+			if err := l.cli.WriteSyncBufRelease(p, fh, uint32(b*nfsproto.MaxData), buf, nfsproto.MaxData); err != nil {
 				return fmt.Errorf("workload: fill %s: %w", name, err)
 			}
 		}
@@ -280,10 +269,10 @@ func (l *LADDIS) writeWorker(w *sim.Proc) {
 		if task.burst == nil {
 			return
 		}
-		buf := l.getBuf()
-		client.FillPattern(buf, task.off)
+		buf := l.cli.GetWriteBuf()
+		client.FillPattern(buf.Data(), task.off)
 		wbegin := w.Now()
-		if werr := l.cli.WriteSync(w, task.fh, task.off, buf); werr != nil {
+		if werr := l.cli.WriteSyncBufRelease(w, task.fh, task.off, buf, nfsproto.MaxData); werr != nil {
 			l.errors++
 		} else if l.done > l.cfg.Warmup {
 			l.lat.Record(w.Now().Sub(wbegin))
@@ -294,7 +283,6 @@ func (l *LADDIS) writeWorker(w *sim.Proc) {
 		if task.burst.remaining == 0 {
 			task.burst.done.Signal()
 		}
-		l.putBuf(buf)
 	}
 }
 
