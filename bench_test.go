@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -168,6 +169,36 @@ func BenchmarkScaleSweep(b *testing.B) {
 		b.ReportMetric(c.AvgLatencyMs, c.CellTag()+"-ms")
 	}
 	b.Logf("\n%s", experiments.RenderScaleSweep(spec, cells))
+}
+
+// BenchmarkScenarioFaultSweeps runs the two registry scenarios only the
+// declarative API can express — the partial-cluster crash under LADDIS
+// load and the multi-node flapping storm — and reports their headline
+// columns (the storm's lost-byte count must stay 0).
+func BenchmarkScenarioFaultSweeps(b *testing.B) {
+	partial, ok := scenario.Lookup("partialcrash")
+	if !ok {
+		b.Fatal("partialcrash not registered")
+	}
+	storm, ok := scenario.Lookup("flapstorm")
+	if !ok {
+		b.Fatal("flapstorm not registered")
+	}
+	var pres, sres *scenario.Result
+	for i := 0; i < b.N; i++ {
+		pres = scenario.MustRun(partial)
+		sres = scenario.MustRun(storm)
+	}
+	for _, c := range pres.Cells {
+		b.ReportMetric(c.AchievedOpsPerSec, c.Label+"-ops/s")
+		b.ReportMetric(c.P95LatencyMs, c.Label+"-p95ms")
+		b.ReportMetric(float64(c.RebootsSeen), c.Label+"-reboots-seen")
+	}
+	for _, c := range sres.Cells {
+		b.ReportMetric(float64(c.Crashes), "storm-"+c.Label+"-crashes")
+		b.ReportMetric(float64(c.LostBytes), "storm-"+c.Label+"-lost-B")
+	}
+	b.Logf("\n%s%s", pres.Render(), sres.Render())
 }
 
 // BenchmarkCrashRecovery runs the crash/recovery durability experiment

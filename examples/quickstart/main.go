@@ -1,44 +1,41 @@
-// Quickstart: build a complete simulated NFS testbed (client, FDDI
-// network, write-gathering server, UFS on an RZ26 disk), write a 1MB file
-// through it, and print what the gathering engine did.
+// Quickstart: describe a complete simulated NFS experiment as one
+// declarative scenario spec — an FDDI network, a 7-biod client, a
+// write-gathering server on an RZ26 disk, a 1MB sequential copy — run
+// it, and print what the gathering engine did.
+//
+// Everything here is data: the same spec JSON-encodes (see `nfsbench
+// -dump`), re-runs deterministically at its seed, and sweeps by adding
+// cells. See internal/scenario and DESIGN.md "Scenario API".
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/experiments"
-	"repro/internal/hw"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
 func main() {
-	rig := experiments.NewRig(experiments.RigConfig{
-		Net:       hw.FDDI(),
-		Gathering: true,
-		NumNfsds:  8,
-		Biods:     7,
-		Seed:      1,
-	})
+	spec := scenario.Spec{
+		Name: "quickstart",
+		Seed: 1,
+		Topology: scenario.Topology{
+			Net:     "fddi",
+			Clients: []scenario.ClientGroup{{Count: 1, Biods: 7}},
+			Servers: scenario.Servers{Count: 1, Gathering: true},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindCopy, Copy: &scenario.CopyWorkload{FileMB: 1}},
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		panic(err)
+	}
 
-	var elapsed sim.Duration
-	rig.Sim.Spawn("app", func(p *sim.Proc) {
-		cres, err := rig.Clients[0].Create(p, rig.Server.RootFH(), "hello.dat", 0644)
-		if err != nil {
-			panic(err)
-		}
-		rig.MarkInterval()
-		elapsed, err = rig.Clients[0].WriteFile(p, cres.File, 1<<20)
-		if err != nil {
-			panic(err)
-		}
-	})
-	rig.Sim.Run(0)
-
-	cpu, diskKB, diskTps := rig.IntervalStats()
-	st := rig.Server.Engine().Stats()
+	c := res.Cells[0]
+	st := c.Gather
 	fmt.Printf("wrote 1MB over simulated FDDI in %v (%.0f KB/s)\n",
-		elapsed, 1024/elapsed.Seconds())
-	fmt.Printf("server cpu %.1f%%, disk %.0f KB/s at %.0f trans/s\n", cpu, diskKB, diskTps)
+		c.Elapsed, c.ClientKBps)
+	fmt.Printf("server cpu %.1f%%, disk %.0f KB/s at %.0f trans/s\n",
+		c.CPUPercent, c.DiskKBps, c.DiskTps)
 	fmt.Printf("gathering: %d writes -> %d metadata commits (mean batch %.1f, max %d)\n",
 		st.Writes, st.Gathers, float64(st.GatheredWrites)/float64(st.Gathers), st.MaxBatch)
 	fmt.Printf("procrastinations=%d hunter hits=%d handle peak=%d\n",

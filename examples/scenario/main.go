@@ -1,0 +1,72 @@
+// Scenario: compose an experiment the legacy entry points could not
+// express — a two-shard cluster where one shard runs Presto NVRAM and
+// the other does not, crashed in turn under client write streams, with
+// every acked write durability-checked — entirely as data, then sweep
+// the server build across cells.
+//
+// Run with -dump to print the spec as JSON instead (pipe it to a file,
+// edit it, and replay it with `nfsbench -scenario <file>`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print the spec as JSON and exit")
+	flag.Parse()
+
+	presto := true
+	std, wg := false, true
+	spec := scenario.Spec{
+		Name:        "mixed-shard-crash",
+		Description: "asymmetric shards (one Presto, one plain) crashed in turn under write streams",
+		Seed:        2026,
+		Topology: scenario.Topology{
+			Net:     "fddi",
+			Clients: []scenario.ClientGroup{{Count: 2, Biods: 4, MaxRetries: 64}},
+			Servers: scenario.Servers{
+				Count: 2,
+				Nodes: []scenario.NodeOverride{
+					{}, // shard 1: plain disk
+					{Presto: &presto},
+				},
+			},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindStream,
+			Stream: &scenario.StreamWorkload{FileMB: 1, Shard: true}},
+		Faults: scenario.Faults{
+			CheckDurability: true,
+			Crashes: []scenario.CrashTrain{
+				{Node: 0, At: 300 * sim.Millisecond, Outage: 200 * sim.Millisecond, Count: 1},
+				{Node: 1, At: 900 * sim.Millisecond, Outage: 200 * sim.Millisecond, Count: 1},
+			},
+		},
+		Cells: []scenario.Cell{
+			{Label: "std", Gathering: &std},
+			{Label: "wg", Gathering: &wg},
+		},
+		Metrics: []string{"elapsed_sec", "client_kb_per_sec", "retransmissions", "reboots_seen", "crashes", "lost_bytes"},
+	}
+
+	if *dump {
+		blob, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

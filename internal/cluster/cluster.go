@@ -56,6 +56,35 @@ type Config struct {
 	// ClientRetries overrides the clients' RPC attempt bound; crash rigs
 	// raise it so calls ride out a server outage (default 8).
 	ClientRetries int
+	// Nodes optionally deviates individual servers from the homogeneous
+	// settings above (index-aligned; missing or nil entries keep the
+	// defaults). Overrides survive crash/reboot cycles: a node rebuilds
+	// its device stack and daemon pool from its own resolved settings.
+	Nodes []NodeConfig
+	// ClientGroups optionally replaces Clients/Biods/ClientRetries with
+	// heterogeneous client populations. Client numbering is continuous
+	// across groups (client1, client2, ...), so a single-group spec is
+	// identical to the homogeneous form.
+	ClientGroups []ClientGroup
+}
+
+// NodeConfig is one server's deviation from the cluster-wide settings.
+// Nil fields inherit the homogeneous Config value.
+type NodeConfig struct {
+	Presto      *bool
+	StripeDisks *int
+	NumNfsds    *int
+	Inodes      *int
+}
+
+// ClientGroup is one homogeneous client population.
+type ClientGroup struct {
+	// Count is the number of client hosts in the group.
+	Count int
+	// Biods per client (0 = fully synchronous writes).
+	Biods int
+	// MaxRetries overrides the RPC attempt bound (0 keeps the default).
+	MaxRetries int
 }
 
 // Node is one server shard with its full device stack.
@@ -81,6 +110,13 @@ type Node struct {
 	// mkfs is the boot-time image flusher (only meaningful for the first
 	// boot; killed by Crash like every other host process).
 	mkfs *sim.Proc
+
+	// Resolved per-node build settings (Config defaults plus this node's
+	// NodeConfig overrides); Crash/Reboot rebuilds from these.
+	presto      bool
+	stripeDisks int
+	numNfsds    int
+	inodes      int
 
 	// Measurement marks (IntervalStats).
 	cpuMark   sim.Duration
@@ -134,19 +170,38 @@ func New(cfg Config) *Cluster {
 
 	for i := 0; i < cfg.Servers; i++ {
 		n := &Node{
-			Name:  serverName(i),
-			Index: i,
-			FSID:  uint32(i + 1),
-			c:     c,
+			Name:        serverName(i),
+			Index:       i,
+			FSID:        uint32(i + 1),
+			c:           c,
+			presto:      cfg.Presto,
+			stripeDisks: cfg.StripeDisks,
+			numNfsds:    cfg.NumNfsds,
+			inodes:      cfg.Inodes,
 		}
-		for d := 0; d < cfg.StripeDisks; d++ {
+		if i < len(cfg.Nodes) {
+			o := cfg.Nodes[i]
+			if o.Presto != nil {
+				n.presto = *o.Presto
+			}
+			if o.StripeDisks != nil && *o.StripeDisks > 0 {
+				n.stripeDisks = *o.StripeDisks
+			}
+			if o.NumNfsds != nil && *o.NumNfsds > 0 {
+				n.numNfsds = *o.NumNfsds
+			}
+			if o.Inodes != nil && *o.Inodes > 0 {
+				n.inodes = *o.Inodes
+			}
+		}
+		for d := 0; d < n.stripeDisks; d++ {
 			n.Disks = append(n.Disks, disk.New(s, hw.RZ26()))
 		}
-		if cfg.StripeDisks > 1 {
+		if n.stripeDisks > 1 {
 			n.Stripe = disk.NewStripe(s, n.Disks, 8) // 64K stripe unit
 		}
 		dev, cpu := n.buildDeviceStack()
-		fs, err := ufs.Format(s, dev, n.FSID, cfg.Inodes)
+		fs, err := ufs.Format(s, dev, n.FSID, n.inodes)
 		if err != nil {
 			panic("cluster: " + err.Error())
 		}
@@ -166,16 +221,24 @@ func New(cfg Config) *Cluster {
 	}
 	c.Shards = newShardMap(c.Nodes)
 
-	for i := 0; i < cfg.Clients; i++ {
-		cli := client.New(s, c.Net, fmt.Sprintf("client%d", i+1), c.Nodes[0].Name,
-			hw.DEC3000Client(), cfg.Biods)
-		for _, n := range c.Nodes {
-			cli.AddRoute(n.FSID, n.Name)
+	groups := cfg.ClientGroups
+	if len(groups) == 0 {
+		groups = []ClientGroup{{Count: cfg.Clients, Biods: cfg.Biods, MaxRetries: cfg.ClientRetries}}
+	}
+	idx := 0
+	for _, g := range groups {
+		for i := 0; i < g.Count; i++ {
+			idx++
+			cli := client.New(s, c.Net, fmt.Sprintf("client%d", idx), c.Nodes[0].Name,
+				hw.DEC3000Client(), g.Biods)
+			for _, n := range c.Nodes {
+				cli.AddRoute(n.FSID, n.Name)
+			}
+			if g.MaxRetries > 0 {
+				cli.MaxRetries = g.MaxRetries
+			}
+			c.Clients = append(c.Clients, cli)
 		}
-		if cfg.ClientRetries > 0 {
-			cli.MaxRetries = cfg.ClientRetries
-		}
-		c.Clients = append(c.Clients, cli)
 	}
 	return c
 }
@@ -198,7 +261,7 @@ func (n *Node) buildDeviceStack() (disk.Device, *sim.Resource) {
 	costs := n.c.costs
 	cpu := sim.NewResource(s, 1)
 	dev := disk.Device(server.NewChargedDevice(n.raw(), cpu, costs.DriverTrip))
-	if n.c.cfg.Presto {
+	if n.presto {
 		n.Presto = nvram.New(s, hw.Prestoserve(), dev)
 		dev = server.NewChargedNVRAM(n.Presto, cpu, costs.DriverTrip,
 			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
@@ -212,10 +275,10 @@ func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
 	costs := n.c.costs
 	scfg := server.Config{
 		Name:          n.Name,
-		NumNfsds:      cfg.NumNfsds,
+		NumNfsds:      n.numNfsds,
 		Gathering:     cfg.Gathering,
 		Costs:         costs,
-		Accelerated:   cfg.Presto,
+		Accelerated:   n.presto,
 		RecordReplies: cfg.RecordReplies,
 		CPU:           cpu,
 		// The boot verifier changes every boot, which is how clients
@@ -226,7 +289,7 @@ func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
 		if cfg.GatherOverride != nil {
 			scfg.Gather = *cfg.GatherOverride
 		} else {
-			scfg.Gather = core.DefaultConfig(cfg.Presto, cfg.Net.Procrastinate)
+			scfg.Gather = core.DefaultConfig(n.presto, cfg.Net.Procrastinate)
 		}
 	}
 	n.Server = server.New(n.c.Sim, n.c.Net, fs, scfg)

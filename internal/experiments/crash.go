@@ -3,10 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/cluster"
-	"repro/internal/fault"
-	"repro/internal/hw"
-	"repro/internal/nfsproto"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -54,6 +51,12 @@ func DefaultCrashSpec(presto bool) CrashSpec {
 	return spec
 }
 
+// Scenario returns the declarative spec this configuration maps to.
+func (spec CrashSpec) Scenario() scenario.Spec {
+	return scenario.StreamCrash(spec.Name, "", spec.Presto, spec.Gathering,
+		spec.Clients, spec.FileMB, spec.CrashAt, spec.Period, spec.Outage, spec.Crashes, spec.Seed)
+}
+
 // CrashResult is one run's outcome.
 type CrashResult struct {
 	// AckedWrites/AckedBytes is the journal the checker verified.
@@ -82,79 +85,23 @@ type CrashResult struct {
 
 // RunCrashRecovery executes one crash/recovery durability run.
 func RunCrashRecovery(spec CrashSpec) CrashResult {
-	c := cluster.New(cluster.Config{
-		Net:           hw.FDDI(),
-		Clients:       spec.Clients,
-		Servers:       1,
-		Presto:        spec.Presto,
-		Gathering:     spec.Gathering,
-		Biods:         4,
-		Seed:          spec.Seed,
-		ClientRetries: 50,
-	})
-	j := fault.NewJournal()
-	for _, cli := range c.Clients {
-		j.Attach(cli)
+	res := scenario.MustRun(spec.Scenario())
+	c := res.Cells[0]
+	d := c.Durability
+	return CrashResult{
+		AckedWrites:          d.AckedWrites,
+		AckedBytes:           d.AckedBytes,
+		LostBytes:            d.LostBytes,
+		FirstLoss:            d.FirstLoss,
+		Crashes:              d.Crashes,
+		Reboots:              d.Reboots,
+		MeanRecoveryMs:       d.MeanRecoveryMs,
+		RecoveredNVRAMBlocks: d.RecoveredNVRAMBlocks,
+		Retransmissions:      c.Retransmissions,
+		RebootsSeen:          c.RebootsSeen,
+		ElapsedSec:           c.ElapsedSec,
+		ClientKBps:           c.ClientKBps,
 	}
-	in := fault.NewInjector(c)
-	in.ScheduleEvery(0, sim.Time(spec.CrashAt), spec.Period, spec.Outage, spec.Crashes)
-
-	roots := c.Roots()
-	size := spec.FileMB << 20
-	done := 0
-	var bytesWritten int64
-	for i, cli := range c.Clients {
-		i, cli := i, cli
-		c.Sim.Spawn(fmt.Sprintf("stream-%d", i), func(p *sim.Proc) {
-			name := fmt.Sprintf("stream-%d.dat", i)
-			cres, err := cli.Create(p, roots[0], name, 0644)
-			if err != nil || cres.Status != nfsproto.OK {
-				panic(fmt.Sprintf("experiments: crash-rig create: %v %v", err, cres))
-			}
-			if _, err := cli.WriteFile(p, cres.File, size); err != nil {
-				panic("experiments: crash-rig stream: " + err.Error())
-			}
-			bytesWritten += int64(size)
-			done++
-		})
-	}
-	// elapsed is the stream phase only: the durability audit below also
-	// consumes simulated device time and must not dilute the reported
-	// stream rate.
-	elapsed := c.Sim.Run(0)
-	if done != spec.Clients {
-		panic("experiments: crash-rig streams did not finish")
-	}
-
-	var check fault.CheckResult
-	c.Sim.Spawn("verify", func(p *sim.Proc) { check = j.Verify(p, c) })
-	c.Sim.Run(0)
-
-	res := CrashResult{
-		AckedWrites: check.AckedWrites,
-		AckedBytes:  check.AckedBytes,
-		LostBytes:   check.LostBytes,
-		FirstLoss:   check.FirstLoss,
-		Crashes:     in.Crashes,
-		Reboots:     in.Reboots,
-		ElapsedSec:  elapsed.Seconds(),
-	}
-	if len(in.RecoveryTimes) > 0 {
-		var sum sim.Duration
-		for _, d := range in.RecoveryTimes {
-			sum += d
-		}
-		res.MeanRecoveryMs = (sum / sim.Duration(len(in.RecoveryTimes))).Millis()
-	}
-	for _, cli := range c.Clients {
-		res.Retransmissions += cli.Retransmissions
-		res.RebootsSeen += cli.RebootsSeen
-	}
-	res.RecoveredNVRAMBlocks = c.Nodes[0].RecoveredBlocks
-	if res.ElapsedSec > 0 {
-		res.ClientKBps = float64(bytesWritten) / 1024 / res.ElapsedSec
-	}
-	return res
 }
 
 // RenderCrashRecovery formats one run.

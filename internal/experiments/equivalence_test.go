@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// These tests guard the compatibility shim: every legacy Run* entry
+// point must produce byte-identical metric columns to a scenario.Run of
+// a hand-built spec. The specs below are written out literally — not via
+// the shared builders — so drift in either the adapters or the builders
+// breaks the comparison.
+
+func ptr[T any](v T) *T { return &v }
+
+func TestCopyAdapterEquivalence(t *testing.T) {
+	spec := Table1Spec()
+	spec.FileMB = 1
+	legacy := RunCopy(spec, 3, true)
+
+	hand := scenario.Spec{
+		Name: "hand-table1",
+		Topology: scenario.Topology{
+			Net:     "ethernet",
+			Clients: []scenario.ClientGroup{{Count: 1}},
+			Servers: scenario.Servers{Count: 1, Nfsds: 8, StripeDisks: 1},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindCopy, Copy: &scenario.CopyWorkload{FileMB: 1}},
+		Cells: []scenario.Cell{{
+			Seed: ptr(int64(3)*131 + 17), Biods: ptr(3), Gathering: ptr(true),
+		}},
+	}
+	res, err := scenario.Run(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	got := CopyResult{
+		Biods: 3, ClientKBps: c.ClientKBps, CPUPercent: c.CPUPercent,
+		DiskKBps: c.DiskKBps, DiskTransSec: c.DiskTps, Elapsed: c.Elapsed, Gather: c.Gather,
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("adapter and hand-built scenario diverge:\nlegacy: %+v\nhand:   %+v", legacy, got)
+	}
+}
+
+func TestCopyTableAdapterEquivalence(t *testing.T) {
+	spec := Table3Spec()
+	spec.FileMB = 1
+	spec.Biods = []int{0, 7}
+	tbl := RunCopyTable(spec)
+
+	hand := scenario.Spec{
+		Name: "hand-table3",
+		Topology: scenario.Topology{
+			Net:      "fddi",
+			CPUScale: 1.8,
+			Clients:  []scenario.ClientGroup{{Count: 1}},
+			Servers:  scenario.Servers{Count: 1, Nfsds: 8, StripeDisks: 1},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindCopy, Copy: &scenario.CopyWorkload{FileMB: 1}},
+	}
+	for _, g := range []bool{false, true} {
+		for _, b := range []int{0, 7} {
+			hand.Cells = append(hand.Cells, scenario.Cell{
+				Seed: ptr(int64(b)*131 + 17), Biods: ptr(b), Gathering: ptr(g),
+			})
+		}
+	}
+	res, err := scenario.Run(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range []int{0, 7} {
+		pairs := []struct {
+			legacy CopyResult
+			cell   scenario.CellResult
+		}{
+			{tbl.Without[i], res.Cells[i]},
+			{tbl.With[i], res.Cells[2+i]},
+		}
+		for _, p := range pairs {
+			if p.legacy.ClientKBps != p.cell.ClientKBps ||
+				p.legacy.CPUPercent != p.cell.CPUPercent ||
+				p.legacy.DiskKBps != p.cell.DiskKBps ||
+				p.legacy.DiskTransSec != p.cell.DiskTps ||
+				p.legacy.Elapsed != p.cell.Elapsed {
+				t.Errorf("biods=%d: columns diverge:\nlegacy: %+v\ncell:   %+v", b, p.legacy, p.cell.Metrics)
+			}
+		}
+	}
+}
+
+func TestLADDISPointAdapterEquivalence(t *testing.T) {
+	spec := Figure2Spec()
+	spec.Measure = 1 * sim.Second
+	legacy := RunLADDISPoint(spec, 400, true)
+
+	hand := scenario.Spec{
+		Name: "hand-figure2",
+		Seed: 4242,
+		Topology: scenario.Topology{
+			Net:      "fddi",
+			CPUScale: 1.8,
+			Clients:  []scenario.ClientGroup{{Count: 4}},
+			Servers:  scenario.Servers{Count: 1, Nfsds: 32, StripeDisks: 8, Inodes: 2048},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindLADDIS, LADDIS: &scenario.LADDISWorkload{
+			Files: 32, FileBlocks: 8, Procs: 16,
+			Measure: 1 * sim.Second, Seed: 4242,
+		}},
+		Cells: []scenario.Cell{{
+			Seed: ptr(int64(4242 + 400)), OfferedOpsPerSec: ptr(400.0), Gathering: ptr(true),
+		}},
+	}
+	res, err := scenario.Run(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	got := LADDISPoint{
+		OfferedOpsPerSec:  c.OfferedOpsPerSec,
+		AchievedOpsPerSec: c.AchievedOpsPerSec,
+		AvgLatencyMs:      c.AvgLatencyMs,
+		CPUPercent:        c.CPUPercent,
+		Errors:            c.Errors,
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("adapter and hand-built scenario diverge:\nlegacy: %+v\nhand:   %+v", legacy, got)
+	}
+}
+
+func TestFigure1AdapterEquivalence(t *testing.T) {
+	cfg := Figure1Config{Gathering: true, FileKB: 160, Biods: 4, Seed: 3}
+	legacyText, legacyLog := RunFigure1(cfg)
+
+	hand := scenario.Spec{
+		Name: "hand-figure1",
+		Seed: 3,
+		Topology: scenario.Topology{
+			Net:      "fddi",
+			CPUScale: 1.8,
+			Clients:  []scenario.ClientGroup{{Count: 1, Biods: 4}},
+			Servers:  scenario.Servers{Count: 1, Nfsds: 8},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindTrace, Trace: &scenario.TraceWorkload{FileKB: 160}},
+		Cells:    []scenario.Cell{{Gathering: ptr(true)}},
+	}
+	res, err := scenario.Run(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.TraceText != legacyText {
+		t.Errorf("rendered timelines diverge:\nlegacy:\n%s\nhand:\n%s", legacyText, c.TraceText)
+	}
+	if !reflect.DeepEqual(legacyLog.Summary(0, 1<<62), c.TraceLog.Summary(0, 1<<62)) {
+		t.Errorf("trace summaries diverge: %v vs %v",
+			legacyLog.Summary(0, 1<<62), c.TraceLog.Summary(0, 1<<62))
+	}
+}
+
+func TestScaleCellAdapterEquivalence(t *testing.T) {
+	spec := DefaultScaleSpec()
+	spec.Measure = 1 * sim.Second
+	legacy := RunScaleCell(spec, 2, 2, true)
+
+	hand := scenario.Spec{
+		Name: "hand-scale",
+		Seed: 9494,
+		Topology: scenario.Topology{
+			Net:      "fddi",
+			CPUScale: 1.8,
+			Assembly: scenario.AssemblyCluster,
+			Clients:  []scenario.ClientGroup{{Count: 1}},
+			Servers:  scenario.Servers{Count: 1, Nfsds: 16, StripeDisks: 2, Inodes: 2048},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindLADDIS, LADDIS: &scenario.LADDISWorkload{
+			Files: 24, FileBlocks: 8, Procs: 8,
+			OfferedOpsPerSec: 250, OfferedIsPerClient: true,
+			Measure: 1 * sim.Second, Seed: 9494,
+		}},
+		Cells: []scenario.Cell{{
+			Seed:    ptr(int64(9494 + 2*100 + 2*10)),
+			Clients: ptr(2), Servers: ptr(2), Gathering: ptr(true),
+		}},
+	}
+	res, err := scenario.Run(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	got := ScaleCell{
+		Clients: 2, Servers: 2, Gathering: true, Presto: false,
+		OfferedOpsPerSec:  c.OfferedOpsPerSec,
+		AchievedOpsPerSec: c.AchievedOpsPerSec,
+		AvgLatencyMs:      c.AvgLatencyMs,
+		P95LatencyMs:      c.P95LatencyMs,
+		CPUMeanPercent:    c.CPUPercent,
+		CPUMaxPercent:     c.CPUMaxPercent,
+		DiskTps:           c.DiskTps,
+		Errors:            c.Errors,
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("adapter and hand-built scenario diverge:\nlegacy: %+v\nhand:   %+v", legacy, got)
+	}
+}
+
+func TestCrashAdapterEquivalence(t *testing.T) {
+	spec := DefaultCrashSpec(true)
+	spec.FileMB = 1
+	legacy := RunCrashRecovery(spec)
+
+	hand := scenario.Spec{
+		Name: "hand-crash",
+		Seed: 777,
+		Topology: scenario.Topology{
+			Net:      "fddi",
+			Assembly: scenario.AssemblyCluster,
+			Clients:  []scenario.ClientGroup{{Count: 2, Biods: 4, MaxRetries: 50}},
+			Servers:  scenario.Servers{Count: 1, Presto: true, Gathering: true},
+		},
+		Workload: scenario.Workload{Kind: scenario.KindStream, Stream: &scenario.StreamWorkload{FileMB: 1}},
+		Faults: scenario.Faults{
+			CheckDurability: true,
+			Crashes: []scenario.CrashTrain{{
+				Node: 0, At: 500 * sim.Millisecond, Period: 1500 * sim.Millisecond,
+				Outage: 400 * sim.Millisecond, Count: 2,
+			}},
+		},
+	}
+	res, err := scenario.Run(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	d := c.Durability
+	got := CrashResult{
+		AckedWrites: d.AckedWrites, AckedBytes: d.AckedBytes,
+		LostBytes: d.LostBytes, FirstLoss: d.FirstLoss,
+		Crashes: d.Crashes, Reboots: d.Reboots,
+		MeanRecoveryMs:       d.MeanRecoveryMs,
+		RecoveredNVRAMBlocks: d.RecoveredNVRAMBlocks,
+		Retransmissions:      c.Retransmissions, RebootsSeen: c.RebootsSeen,
+		ElapsedSec: c.ElapsedSec, ClientKBps: c.ClientKBps,
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("adapter and hand-built scenario diverge:\nlegacy: %+v\nhand:   %+v", legacy, got)
+	}
+	if legacy.LostBytes != 0 {
+		t.Errorf("durability violated: %s", legacy.FirstLoss)
+	}
+}
+
+// TestRegistryMatchesAdapters pins the built-in registry to the legacy
+// spec constructors: the named scenarios must describe the same
+// topology, workload and sweep cells the adapters build, so `nfsbench
+// -scenario` reruns the recorded experiments exactly.
+func TestRegistryMatchesAdapters(t *testing.T) {
+	cases := []struct {
+		name string
+		want scenario.Spec
+	}{
+		{"table1", scenario.CopySweep(Table1Spec().Scenario(), Table1Spec().Biods)},
+		{"table5", scenario.CopySweep(Table5Spec().Scenario(), Table5Spec().Biods)},
+		{"figure2", scenario.LADDISSweep(Figure2Spec().Scenario(), Figure2Spec().Loads)},
+		{"figure3", scenario.LADDISSweep(Figure3Spec().Scenario(), Figure3Spec().Loads)},
+		{"scale", scenario.ScaleSweep(DefaultScaleSpec().Scenario(), DefaultScaleSpec().ClientCounts, DefaultScaleSpec().ServerCounts)},
+	}
+	for _, tc := range cases {
+		got, ok := scenario.Lookup(tc.name)
+		if !ok {
+			t.Errorf("%s: not registered", tc.name)
+			continue
+		}
+		// Names and descriptions are presentation; the physics must match.
+		got.Name, got.Description = "", ""
+		tc.want.Name, tc.want.Description = "", ""
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: registry spec drifted from the adapter spec:\nregistry: %+v\nadapter:  %+v",
+				tc.name, got, tc.want)
+		}
+	}
+
+	// The crash registry entry sweeps plain+presto around the same base
+	// the adapter uses.
+	got, ok := scenario.Lookup("crash")
+	if !ok {
+		t.Fatal("crash: not registered")
+	}
+	want := DefaultCrashSpec(false).Scenario()
+	got.Name, got.Description, got.Cells = "", "", nil
+	want.Name, want.Description = "", ""
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("crash: registry base drifted from the adapter spec:\nregistry: %+v\nadapter:  %+v", got, want)
+	}
+}

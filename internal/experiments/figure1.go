@@ -1,10 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/hw"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -24,88 +21,18 @@ func DefaultFigure1(gathering bool) Figure1Config {
 	return Figure1Config{Gathering: gathering, FileKB: 256, Biods: 4, Seed: 99}
 }
 
+// Scenario returns the declarative spec this configuration maps to (one
+// cell for the selected server build).
+func (cfg Figure1Config) Scenario() scenario.Spec {
+	s := scenario.Trace("figure1", "", cfg.FileKB, cfg.Biods, cfg.Seed)
+	gathering := cfg.Gathering
+	s.Cells = []scenario.Cell{{Label: "trace", Gathering: &gathering}}
+	return s
+}
+
 // RunFigure1 executes the scenario and returns the rendered timeline for a
 // window starting >100K into the transfer, plus the raw log.
 func RunFigure1(cfg Figure1Config) (string, *trace.Log) {
-	rig := NewRig(RigConfig{
-		Net:       hw.FDDI(),
-		Gathering: cfg.Gathering,
-		NumNfsds:  8,
-		Biods:     cfg.Biods,
-		CPUScale:  1.8,
-		Seed:      cfg.Seed,
-	})
-	log := &trace.Log{}
-	cli := rig.Clients[0]
-	cli.OnWriteEvent = func(ev string, off uint32, n int) {
-		switch ev {
-		case "send":
-			log.Add(rig.Sim.Now(), "client", "8K Write off=%dK ->", off/1024)
-		case "reply":
-			log.Add(rig.Sim.Now(), "client", "<- Write Reply off=%dK", off/1024)
-		}
-	}
-	for i, d := range rig.Disks {
-		i, d := i, d
-		d.OnOp = func(write bool, blk int64, n int) {
-			kind := "read"
-			if write {
-				kind = "write"
-			}
-			what := "data"
-			if blk < 20 { // inode region of this filesystem
-				what = "metadata"
-			}
-			log.Add(rig.Sim.Now(), "disk", "%dK %s to disk (%s) [d%d]", n/1024, kind, what, i)
-		}
-	}
-
-	// Mark gather commits via the engine's stats transitions: poll cheaply
-	// from a watcher process.
-	if eng := rig.Server.Engine(); eng != nil {
-		rig.Sim.Spawn("gather-watch", func(p *sim.Proc) {
-			last := eng.Stats().Gathers
-			for {
-				p.Sleep(500 * sim.Microsecond)
-				st := eng.Stats()
-				if st.Gathers != last {
-					log.Add(p.Now(), "server", "Gather commit #%d (batch so far %d writes)",
-						st.Gathers, st.GatheredWrites)
-					last = st.Gathers
-				}
-				if p.Now() > sim.Time(60*sim.Second) {
-					return
-				}
-			}
-		})
-	}
-
-	var windowStart sim.Time
-	rig.Sim.Spawn("copy", func(p *sim.Proc) {
-		cres, err := rig.Clients[0].Create(p, rig.Server.RootFH(), "figure1.dat", 0644)
-		if err != nil {
-			panic("experiments: figure1 create: " + err.Error())
-		}
-		// Track when the transfer passes 100K to set the window.
-		inner := cli.OnWriteEvent
-		cli.OnWriteEvent = func(ev string, off uint32, n int) {
-			if windowStart == 0 && ev == "send" && off >= 100*1024 {
-				windowStart = p.Sim().Now()
-			}
-			inner(ev, off, n)
-		}
-		if _, err := cli.WriteFile(p, cres.File, cfg.FileKB*1024); err != nil {
-			panic("experiments: figure1 copy: " + err.Error())
-		}
-	})
-	rig.Sim.Run(sim.Time(60 * sim.Second))
-
-	mode := "Standard Server"
-	if cfg.Gathering {
-		mode = "Gathering Server"
-	}
-	title := fmt.Sprintf("Figure 1 (%s): client with %d biods, sequential writer, >100K into file",
-		mode, cfg.Biods)
-	out := log.Render(title, windowStart, windowStart.Add(60*sim.Millisecond))
-	return out, log
+	res := scenario.MustRun(cfg.Scenario())
+	return res.Cells[0].TraceText, res.Cells[0].TraceLog
 }

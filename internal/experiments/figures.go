@@ -3,10 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/hw"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // LADDISPoint is one offered-load sample for Figures 2 and 3.
@@ -61,6 +60,13 @@ type FigureSpec struct {
 	Seed    int64
 }
 
+// Scenario returns the declarative spec this figure configuration maps
+// to: the base topology/workload without sweep cells.
+func (spec FigureSpec) Scenario() scenario.Spec {
+	return scenario.LADDISRig(spec.Name, "", spec.Presto,
+		spec.Clients, spec.Procs, spec.Nfsds, spec.Disks, spec.Measure, spec.Seed)
+}
+
 // Figure2Spec is the plain-disk LADDIS sweep (paper Figure 2).
 func Figure2Spec() FigureSpec {
 	return FigureSpec{
@@ -84,6 +90,16 @@ func Figure3Spec() FigureSpec {
 	return s
 }
 
+func pointFromCell(c scenario.CellResult) LADDISPoint {
+	return LADDISPoint{
+		OfferedOpsPerSec:  c.OfferedOpsPerSec,
+		AchievedOpsPerSec: c.AchievedOpsPerSec,
+		AvgLatencyMs:      c.AvgLatencyMs,
+		CPUPercent:        c.CPUPercent,
+		Errors:            c.Errors,
+	}
+}
+
 // RunLADDISPoint executes one offered-load level against one server build.
 func RunLADDISPoint(spec FigureSpec, offered float64, gathering bool) LADDISPoint {
 	return runLADDISPoint(spec, offered, gathering, nil)
@@ -97,103 +113,36 @@ func RunLADDISPointDebug(spec FigureSpec, offered float64, gathering bool, lg lo
 }
 
 func runLADDISPoint(spec FigureSpec, offered float64, gathering bool, lg logger) LADDISPoint {
-	cfg := RigConfig{
-		Net:         hw.FDDI(),
-		Presto:      spec.Presto,
-		Gathering:   gathering,
-		StripeDisks: spec.Disks,
-		NumNfsds:    spec.Nfsds,
-		Clients:     spec.Clients,
-		Biods:       0, // LADDIS load processes issue synchronous ops
-		CPUScale:    1.8,
-		Seed:        spec.Seed + int64(offered),
-		Inodes:      2048,
-	}
-	r := NewRig(cfg)
-	perClient := offered / float64(spec.Clients)
-
-	gens := make([]*workload.LADDIS, len(r.Clients))
-	results := make([]workload.LADDISResult, len(r.Clients))
-	finished := 0
-	cond := sim.NewCond(r.Sim)
-	for i, cli := range r.Clients {
-		i, cli := i, cli
-		gens[i] = workload.NewLADDIS(cli, r.Server.RootFH(), workload.LADDISConfig{
-			Files:            32,
-			FileBlocks:       8,
-			OfferedOpsPerSec: perClient,
-			Procs:            spec.Procs,
-			Duration:         spec.Measure,
-			Seed:             spec.Seed + int64(i),
-		})
-		r.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
-			if err := gens[i].Setup(p); err != nil {
-				panic("experiments: laddis setup: " + err.Error())
-			}
-			// Synchronize measurement start across clients: wait until a
-			// common barrier time well past setup.
-			if wait := sim.Time(20 * sim.Second).Sub(p.Now()); wait > 0 {
-				p.Sleep(wait)
-			}
-			if i == 0 {
-				r.MarkInterval()
-			}
-			results[i] = gens[i].Run(p)
-			finished++
-			cond.Broadcast()
-		})
-	}
-	r.Sim.Run(0)
-	if finished != len(r.Clients) {
-		panic("experiments: laddis drivers did not finish")
-	}
-
-	pt := LADDISPoint{OfferedOpsPerSec: offered}
-	var latSum float64
-	var n float64
-	for _, res := range results {
-		pt.AchievedOpsPerSec += res.AchievedOpsPerSec
-		latSum += res.AvgLatencyMs * res.AchievedOpsPerSec
-		n += res.AchievedOpsPerSec
-		pt.Errors += res.Errors
-	}
-	if n > 0 {
-		pt.AvgLatencyMs = latSum / n
-	}
-	pt.CPUPercent, _, _ = r.IntervalStats()
+	s := spec.Scenario()
+	s.Cells = []scenario.Cell{scenario.LADDISCell(spec.Seed, offered, gathering)}
+	res := scenario.MustRun(s)
+	cell := res.Cells[0]
 	if lg != nil {
-		if eng := r.Server.Engine(); eng != nil {
-			st := eng.Stats()
+		if gathering {
+			st := cell.Gather
 			lg.Logf("engine: writes=%d gathers=%d mean batch=%.2f max=%d procr=%d hunter=%d handoffs=%d adoptions=%d",
 				st.Writes, st.Gathers, float64(st.GatheredWrites)/float64(st.Gathers),
 				st.MaxBatch, st.Procrastinations, st.HunterHits, st.HandoffsToActive, st.Adoptions)
 		}
-		cpu, dkb, dtps := r.IntervalStats()
 		lg.Logf("cpu=%.1f%% disk=%.0fKB/s trans=%.0f/s drops=%d retrans(sum)=%d",
-			cpu, dkb, dtps, r.Server.Endpoint().Drops(), totalRetrans(r))
-		for _, res := range results {
+			cell.CPUPercent, cell.DiskKBps, cell.DiskTps, cell.Drops, cell.Retransmissions)
+		for _, res := range cell.ClientResults {
 			lg.Logf("client: achieved=%.1f avg=%.2fms p95=%.2fms errors=%d perOp=%v",
 				res.AchievedOpsPerSec, res.AvgLatencyMs, res.P95LatencyMs, res.Errors, res.PerOp)
 		}
 	}
-	return pt
+	return pointFromCell(cell)
 }
 
-func totalRetrans(r *Rig) uint64 {
-	var n uint64
-	for _, c := range r.Clients {
-		n += c.Retransmissions
-	}
-	return n
-}
-
-// RunFigure sweeps the offered loads for both server builds.
+// RunFigure sweeps the offered loads for both server builds as one
+// scenario sweep (per load: standard first, then gathering).
 func RunFigure(spec FigureSpec) (without, with *LADDISCurve) {
+	res := scenario.MustRun(scenario.LADDISSweep(spec.Scenario(), spec.Loads))
 	without = &LADDISCurve{Name: spec.Name + " — without write gathering"}
 	with = &LADDISCurve{Name: spec.Name + " — with write gathering"}
-	for _, load := range spec.Loads {
-		without.Points = append(without.Points, RunLADDISPoint(spec, load, false))
-		with.Points = append(with.Points, RunLADDISPoint(spec, load, true))
+	for i := range spec.Loads {
+		without.Points = append(without.Points, pointFromCell(res.Cells[2*i]))
+		with.Points = append(with.Points, pointFromCell(res.Cells[2*i+1]))
 	}
 	return without, with
 }

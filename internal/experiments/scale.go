@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/cluster"
-	"repro/internal/hw"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // ScaleSpec parameterizes the scale-out sweep: a clients × servers grid of
@@ -56,6 +54,13 @@ func DefaultScaleSpec() ScaleSpec {
 	}
 }
 
+// Scenario returns the declarative spec this sweep configuration maps
+// to: the base topology/workload without grid cells.
+func (spec ScaleSpec) Scenario() scenario.Spec {
+	return scenario.ScaleBase(spec.Name, "", spec.Presto, spec.OfferedPerClient,
+		spec.Procs, spec.Nfsds, spec.Disks, spec.Files, spec.FileBlocks, spec.Measure, spec.Seed)
+}
+
 // ScaleCell is one grid cell's measurement.
 type ScaleCell struct {
 	Clients   int
@@ -73,101 +78,42 @@ type ScaleCell struct {
 	Errors            int
 }
 
+func scaleCellFromCell(spec ScaleSpec, nclients, nservers int, gathering bool, c scenario.CellResult) ScaleCell {
+	return ScaleCell{
+		Clients: nclients, Servers: nservers,
+		Gathering: gathering, Presto: spec.Presto,
+		OfferedOpsPerSec:  c.OfferedOpsPerSec,
+		AchievedOpsPerSec: c.AchievedOpsPerSec,
+		AvgLatencyMs:      c.AvgLatencyMs,
+		P95LatencyMs:      c.P95LatencyMs,
+		CPUMeanPercent:    c.CPUPercent,
+		CPUMaxPercent:     c.CPUMaxPercent,
+		DiskTps:           c.DiskTps,
+		Errors:            c.Errors,
+	}
+}
+
 // RunScaleCell measures one cell: nclients LADDIS clients, their working
 // sets sharded across nservers exports, one server build.
 func RunScaleCell(spec ScaleSpec, nclients, nservers int, gathering bool) ScaleCell {
-	c := cluster.New(cluster.Config{
-		Net:         hw.FDDI(),
-		Clients:     nclients,
-		Servers:     nservers,
-		Presto:      spec.Presto,
-		Gathering:   gathering,
-		StripeDisks: spec.Disks,
-		NumNfsds:    spec.Nfsds,
-		Biods:       0, // LADDIS load processes issue synchronous ops
-		CPUScale:    1.8,
-		Seed:        spec.Seed + int64(nclients*100+nservers*10),
-		Inodes:      2048,
-	})
-	roots := c.Roots()
-
-	gens := make([]*workload.LADDIS, nclients)
-	results := make([]workload.LADDISResult, nclients)
-	finished := 0
-	for i, cli := range c.Clients {
-		i, cli := i, cli
-		gens[i] = workload.NewLADDIS(cli, roots[0], workload.LADDISConfig{
-			Files:            spec.Files,
-			FileBlocks:       spec.FileBlocks,
-			OfferedOpsPerSec: spec.OfferedPerClient,
-			Procs:            spec.Procs,
-			Duration:         spec.Measure,
-			Seed:             spec.Seed + int64(i),
-			Roots:            roots,
-		})
-		c.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
-			if err := gens[i].Setup(p); err != nil {
-				panic("experiments: scale setup: " + err.Error())
-			}
-			// Barrier: measurement starts together, well past setup. A
-			// setup that overruns the barrier would silently skew the
-			// interval stats (clients starting staggered, MarkInterval
-			// mid-load), so it is a hard error: grow the barrier with the
-			// working set, don't ignore it.
-			const barrier = sim.Time(20 * sim.Second)
-			wait := barrier.Sub(p.Now())
-			if wait < 0 {
-				panic(fmt.Sprintf("experiments: scale setup for client %d ran %v past the %v barrier; working set too large for the barrier",
-					i, -wait, sim.Duration(barrier)))
-			}
-			p.Sleep(wait)
-			if i == 0 {
-				c.MarkInterval()
-			}
-			results[i] = gens[i].Run(p)
-			finished++
-		})
-	}
-	c.Sim.Run(0)
-	if finished != nclients {
-		panic("experiments: scale drivers did not finish")
-	}
-
-	cell := ScaleCell{
-		Clients: nclients, Servers: nservers,
-		Gathering: gathering, Presto: spec.Presto,
-		OfferedOpsPerSec: spec.OfferedPerClient * float64(nclients),
-	}
-	var latSum, n float64
-	var p95 float64
-	for _, res := range results {
-		cell.AchievedOpsPerSec += res.AchievedOpsPerSec
-		latSum += res.AvgLatencyMs * res.AchievedOpsPerSec
-		n += res.AchievedOpsPerSec
-		if res.P95LatencyMs > p95 {
-			p95 = res.P95LatencyMs
-		}
-		cell.Errors += res.Errors
-	}
-	if n > 0 {
-		cell.AvgLatencyMs = latSum / n
-	}
-	cell.P95LatencyMs = p95
-	st := c.IntervalStats()
-	cell.CPUMeanPercent = st.CPUMeanPercent
-	cell.CPUMaxPercent = st.CPUMaxPercent
-	cell.DiskTps = st.DiskTps
-	return cell
+	s := spec.Scenario()
+	s.Cells = []scenario.Cell{scenario.ScaleCell(spec.Seed, nclients, nservers, gathering)}
+	res := scenario.MustRun(s)
+	return scaleCellFromCell(spec, nclients, nservers, gathering, res.Cells[0])
 }
 
 // RunScaleSweep measures the full grid for both server builds (standard
 // first, gathering second, cell-major), mirroring RunFigure's pairing.
 func RunScaleSweep(spec ScaleSpec) []ScaleCell {
+	res := scenario.MustRun(scenario.ScaleSweep(spec.Scenario(), spec.ClientCounts, spec.ServerCounts))
 	var cells []ScaleCell
+	i := 0
 	for _, nc := range spec.ClientCounts {
 		for _, ns := range spec.ServerCounts {
-			cells = append(cells, RunScaleCell(spec, nc, ns, false))
-			cells = append(cells, RunScaleCell(spec, nc, ns, true))
+			cells = append(cells,
+				scaleCellFromCell(spec, nc, ns, false, res.Cells[i]),
+				scaleCellFromCell(spec, nc, ns, true, res.Cells[i+1]))
+			i += 2
 		}
 	}
 	return cells

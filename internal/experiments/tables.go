@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -38,54 +39,54 @@ type CopySpec struct {
 }
 
 // StandardBiods is the biod sweep of Tables 1-4.
-func StandardBiods() []int { return []int{0, 3, 7, 11, 15} }
+func StandardBiods() []int { return scenario.StandardBiods() }
 
 // StripeBiods is the extended sweep of Tables 5-6.
-func StripeBiods() []int { return []int{0, 3, 7, 11, 15, 19, 23} }
+func StripeBiods() []int { return scenario.StripeBiods() }
+
+// netName maps the legacy hw.NetParams selection onto the scenario
+// medium vocabulary. Only the two canonical media are expressible in a
+// spec; a hand-tuned NetParams would be silently replaced by its
+// canonical namesake inside the engine, so it is rejected loudly here.
+func netName(net hw.NetParams) string {
+	switch net {
+	case hw.Ethernet():
+		return "ethernet"
+	case hw.FDDI():
+		return "fddi"
+	}
+	panic(fmt.Sprintf("experiments: NetParams %q is not a canonical scenario medium (use hw.Ethernet() or hw.FDDI() unmodified)", net.Name))
+}
+
+// Scenario returns the declarative spec this table configuration maps
+// to: the base topology/workload without sweep cells.
+func (spec CopySpec) Scenario() scenario.Spec {
+	fileMB := spec.FileMB
+	if fileMB == 0 {
+		fileMB = FileCopyMB
+	}
+	return scenario.Copy(spec.Name, "", netName(spec.Net),
+		spec.Presto, spec.StripeDisks, spec.CPUScale, fileMB, spec.GatherOverride)
+}
+
+func copyResultFromCell(biods int, c scenario.CellResult) CopyResult {
+	return CopyResult{
+		Biods:        biods,
+		ClientKBps:   c.ClientKBps,
+		CPUPercent:   c.CPUPercent,
+		DiskKBps:     c.DiskKBps,
+		DiskTransSec: c.DiskTps,
+		Elapsed:      c.Elapsed,
+		Gather:       c.Gather,
+	}
+}
 
 // RunCopy executes one 10MB file copy and returns the measured cell group.
 func RunCopy(spec CopySpec, biods int, gathering bool) CopyResult {
-	cfg := RigConfig{
-		Net:            spec.Net,
-		Presto:         spec.Presto,
-		Gathering:      gathering,
-		GatherOverride: spec.GatherOverride,
-		StripeDisks:    spec.StripeDisks,
-		NumNfsds:       8,
-		Biods:          biods,
-		CPUScale:       spec.CPUScale,
-		Seed:           int64(biods)*131 + 17,
-	}
-	r := NewRig(cfg)
-	size := spec.FileMB
-	if size == 0 {
-		size = FileCopyMB
-	}
-	size *= 1024 * 1024
-
-	res := CopyResult{Biods: biods}
-	r.Sim.Spawn("copy", func(p *sim.Proc) {
-		// Create outside the measured interval, as the paper measures the
-		// transfer.
-		cres, err := r.Clients[0].Create(p, r.Server.RootFH(), "copy.dat", 0644)
-		if err != nil {
-			panic("experiments: create failed: " + err.Error())
-		}
-		r.MarkInterval()
-		start := p.Now()
-		if _, err := r.Clients[0].WriteFile(p, cres.File, size); err != nil {
-			panic("experiments: copy failed: " + err.Error())
-		}
-		res.Elapsed = p.Now().Sub(start)
-	})
-	r.Sim.Run(0)
-
-	res.ClientKBps = float64(size) / 1024 / res.Elapsed.Seconds()
-	res.CPUPercent, res.DiskKBps, res.DiskTransSec = r.IntervalStats()
-	if eng := r.Server.Engine(); eng != nil {
-		res.Gather = eng.Stats()
-	}
-	return res
+	s := spec.Scenario()
+	s.Cells = []scenario.Cell{scenario.CopyCell(biods, gathering)}
+	res := scenario.MustRun(s)
+	return copyResultFromCell(biods, res.Cells[0])
 }
 
 // CopyTable holds both halves of one paper table.
@@ -97,12 +98,12 @@ type CopyTable struct {
 
 // RunCopyTable sweeps the biod counts with and without gathering.
 func RunCopyTable(spec CopySpec) *CopyTable {
+	res := scenario.MustRun(scenario.CopySweep(spec.Scenario(), spec.Biods))
 	t := &CopyTable{Spec: spec}
-	for _, b := range spec.Biods {
-		t.Without = append(t.Without, RunCopy(spec, b, false))
-	}
-	for _, b := range spec.Biods {
-		t.With = append(t.With, RunCopy(spec, b, true))
+	n := len(spec.Biods)
+	for i, b := range spec.Biods {
+		t.Without = append(t.Without, copyResultFromCell(b, res.Cells[i]))
+		t.With = append(t.With, copyResultFromCell(b, res.Cells[n+i]))
 	}
 	return t
 }

@@ -1,0 +1,168 @@
+package scenario
+
+import "repro/internal/sim"
+
+// Entry is one named scenario in the built-in registry.
+type Entry struct {
+	Name        string
+	Description string
+	// Build returns a fresh copy of the spec (callers may mutate it).
+	Build func() Spec
+}
+
+// Registry lists the built-in scenarios in presentation order: the
+// paper's tables and figures, the post-paper sweeps, and scenarios only
+// the declarative API can express.
+func Registry() []Entry {
+	return []Entry{
+		{"table1", "Table 1: 10MB copy, Ethernet, 1 disk (biod sweep, std vs gathering)", table1},
+		{"table2", "Table 2: 10MB copy, Ethernet, Presto NVRAM", table2},
+		{"table3", "Table 3: 10MB copy, FDDI", table3},
+		{"table4", "Table 4: 10MB copy, FDDI, Presto NVRAM", table4},
+		{"table5", "Table 5: 10MB copy, FDDI, 3 striped drives", table5},
+		{"table6", "Table 6: 10MB copy, FDDI, Presto, 3 striped drives", table6},
+		{"figure1", "Figure 1: traffic timeline of a sequential writer, std vs gathering server", figure1},
+		{"figure2", "Figure 2: SPEC SFS 1.0 LADDIS throughput/latency sweep", figure2},
+		{"figure3", "Figure 3: LADDIS sweep with Prestoserve", figure3},
+		{"scale", "Scale-out grid: 1/2/4 LADDIS clients x 1/2 sharded servers", scale},
+		{"crash", "Crash/recovery durability: acked-write audit across two server crashes (plain and Presto)", crash},
+		{"partialcrash", "Partial-cluster crash under LADDIS load: one of two shards crashes mid-measure (std vs gathering)", partialCrash},
+		{"flapstorm", "Flapping storm: staggered short-outage crash trains on both shards under sharded write streams, durability-checked", flapStorm},
+	}
+}
+
+// Lookup returns the named scenario's spec.
+func Lookup(name string) (Spec, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e.Build(), true
+		}
+	}
+	return Spec{}, false
+}
+
+func table1() Spec {
+	return CopySweep(Copy("table1", "Table 1. NFS 10MB file copy: Ethernet",
+		"ethernet", false, 1, 0, 10, nil), StandardBiods())
+}
+
+func table2() Spec {
+	return CopySweep(Copy("table2", "Table 2. NFS 10MB file copy: Ethernet, Presto",
+		"ethernet", true, 1, 0, 10, nil), StandardBiods())
+}
+
+func table3() Spec {
+	return CopySweep(Copy("table3", "Table 3. NFS 10MB file copy: FDDI",
+		"fddi", false, 1, 1.8, 10, nil), StandardBiods())
+}
+
+func table4() Spec {
+	return CopySweep(Copy("table4", "Table 4. NFS 10MB file copy: FDDI, Presto",
+		"fddi", true, 1, 1.8, 10, nil), StandardBiods())
+}
+
+func table5() Spec {
+	return CopySweep(Copy("table5", "Table 5. NFS 10MB file copy: FDDI, 3 striped drives",
+		"fddi", false, 3, 1.8, 10, nil), StripeBiods())
+}
+
+func table6() Spec {
+	return CopySweep(Copy("table6", "Table 6. NFS 10MB file copy: FDDI, Presto, 3 striped drives",
+		"fddi", true, 3, 1.8, 10, nil), StripeBiods())
+}
+
+func figure1() Spec {
+	spec := Trace("figure1", "Figure 1. Traffic timeline >100K into a sequential transfer", 256, 4, 99)
+	std, wg := false, true
+	spec.Cells = []Cell{
+		{Label: "std", Gathering: &std},
+		{Label: "wg", Gathering: &wg},
+	}
+	return spec
+}
+
+func figure2() Spec {
+	return LADDISSweep(
+		LADDISRig("figure2", "Figure 2. SPEC SFS 1.0 baseline", false, 4, 16, 32, 8, 8*sim.Second, 4242),
+		[]float64{200, 400, 600, 800, 1000, 1200, 1400, 1600})
+}
+
+func figure3() Spec {
+	return LADDISSweep(
+		LADDISRig("figure3", "Figure 3. SPEC SFS 1.0 baseline, Prestoserve", true, 4, 16, 32, 8, 8*sim.Second, 4242),
+		[]float64{400, 800, 1200, 1600, 2000, 2400, 2800, 3200})
+}
+
+func scale() Spec {
+	return ScaleSweep(
+		ScaleBase("scale", "Scale-out sweep: LADDIS clients x sharded servers, FDDI",
+			false, 250, 8, 16, 2, 24, 8, 4*sim.Second, 9494),
+		[]int{1, 2, 4}, []int{1, 2})
+}
+
+func crash() Spec {
+	spec := StreamCrash("crash", "Crash/recovery durability, write gathering",
+		false, true, 2, 2,
+		500*sim.Millisecond, 1500*sim.Millisecond, 400*sim.Millisecond, 2, 777)
+	plain, presto := false, true
+	spec.Cells = []Cell{
+		{Label: "plain", Presto: &plain},
+		{Label: "presto", Presto: &presto},
+	}
+	return spec
+}
+
+// partialCrash is only expressible in the scenario API: the legacy scale
+// sweep had no fault schedule and the legacy crash rig had no LADDIS
+// load. One of two shards crashes mid-measure; the sweep compares how the
+// standard and gathering builds absorb the outage (latency cliff,
+// retransmissions, reboot detections).
+func partialCrash() Spec {
+	spec := ScaleBase("partialcrash",
+		"Partial-cluster crash under LADDIS load (2 clients x 2 shards, shard 2 crashes mid-measure)",
+		false, 250, 8, 16, 2, 24, 8, 6*sim.Second, 9595)
+	spec.Topology.Clients[0].MaxRetries = 64
+	spec.Faults = Faults{Crashes: []CrashTrain{
+		{Node: 1, At: 22 * sim.Second, Outage: 1 * sim.Second, Count: 1},
+	}}
+	two := 2
+	std, wg := false, true
+	spec.Cells = []Cell{
+		{Label: "std-crash", Clients: &two, Servers: &two, Gathering: &std},
+		{Label: "wg-crash", Clients: &two, Servers: &two, Gathering: &wg},
+	}
+	return spec
+}
+
+// flapStorm is the other scenario the legacy API could not express: the
+// legacy crash rig drove exactly one crash train against node 0. Here
+// both shards flap on staggered short-outage trains while every client
+// streams to its own shard, and the durability checker audits every
+// acked write across all eight crashes.
+func flapStorm() Spec {
+	spec := Spec{
+		Name:        "flapstorm",
+		Description: "Staggered flapping outages on both shards under sharded write streams",
+		Seed:        1331,
+		Topology: Topology{
+			Net:      "fddi",
+			Assembly: AssemblyCluster,
+			Clients:  []ClientGroup{{Count: 2, Biods: 4, MaxRetries: 100}},
+			Servers:  Servers{Count: 2, Gathering: true},
+		},
+		Workload: Workload{Kind: KindStream, Stream: &StreamWorkload{FileMB: 2, Shard: true}},
+		Faults: Faults{
+			CheckDurability: true,
+			Crashes: []CrashTrain{
+				{Node: 0, At: 400 * sim.Millisecond, Period: 900 * sim.Millisecond, Outage: 150 * sim.Millisecond, Count: 4},
+				{Node: 1, At: 850 * sim.Millisecond, Period: 900 * sim.Millisecond, Outage: 150 * sim.Millisecond, Count: 4},
+			},
+		},
+	}
+	plain, presto := false, true
+	spec.Cells = []Cell{
+		{Label: "plain", Presto: &plain},
+		{Label: "presto", Presto: &presto},
+	}
+	return spec
+}

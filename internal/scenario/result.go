@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Metrics is the uniform column set every cell reports — the 15 metric
+// columns all experiment entry points share. Columns that a workload
+// does not produce are zero (and can be dropped from output via
+// Spec.Metrics).
+type Metrics struct {
+	// ElapsedSec is the measured phase (copy/stream: the transfer
+	// including outages; laddis: the measured window).
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// ClientKBps is the client-observed sequential transfer rate.
+	ClientKBps float64 `json:"client_kb_per_sec"`
+	// CPUPercent is server CPU utilization over the measured interval
+	// (the across-shard mean on a cluster); CPUMaxPercent the busiest
+	// shard (equal to CPUPercent on a single server).
+	CPUPercent    float64 `json:"cpu_percent"`
+	CPUMaxPercent float64 `json:"cpu_max_percent"`
+	// DiskKBps and DiskTps are spindle-level aggregate rates.
+	DiskKBps float64 `json:"disk_kb_per_sec"`
+	DiskTps  float64 `json:"disk_trans_per_sec"`
+	// OfferedOpsPerSec / AchievedOpsPerSec / latency quantiles are the
+	// LADDIS curve coordinates.
+	OfferedOpsPerSec  float64 `json:"offered_ops_per_sec"`
+	AchievedOpsPerSec float64 `json:"achieved_ops_per_sec"`
+	AvgLatencyMs      float64 `json:"avg_latency_ms"`
+	P95LatencyMs      float64 `json:"p95_latency_ms"`
+	// Errors counts failed client operations.
+	Errors int `json:"errors"`
+	// Retransmissions and RebootsSeen are the client-side view of
+	// outages; Crashes the number of server crashes performed.
+	Retransmissions uint64 `json:"retransmissions"`
+	RebootsSeen     uint64 `json:"reboots_seen"`
+	Crashes         int    `json:"crashes"`
+	// LostBytes is the durability checker's verdict: client-acked bytes
+	// that did not survive recovery (the NFS contract demands 0).
+	LostBytes int64 `json:"lost_bytes"`
+}
+
+// MetricColumns lists the uniform column names in canonical order.
+func MetricColumns() []string {
+	return []string{
+		"elapsed_sec", "client_kb_per_sec", "cpu_percent", "cpu_max_percent",
+		"disk_kb_per_sec", "disk_trans_per_sec",
+		"offered_ops_per_sec", "achieved_ops_per_sec", "avg_latency_ms", "p95_latency_ms",
+		"errors", "retransmissions", "reboots_seen", "crashes", "lost_bytes",
+	}
+}
+
+// Column returns one column's value by name.
+func (m Metrics) Column(name string) (float64, bool) {
+	switch name {
+	case "elapsed_sec":
+		return m.ElapsedSec, true
+	case "client_kb_per_sec":
+		return m.ClientKBps, true
+	case "cpu_percent":
+		return m.CPUPercent, true
+	case "cpu_max_percent":
+		return m.CPUMaxPercent, true
+	case "disk_kb_per_sec":
+		return m.DiskKBps, true
+	case "disk_trans_per_sec":
+		return m.DiskTps, true
+	case "offered_ops_per_sec":
+		return m.OfferedOpsPerSec, true
+	case "achieved_ops_per_sec":
+		return m.AchievedOpsPerSec, true
+	case "avg_latency_ms":
+		return m.AvgLatencyMs, true
+	case "p95_latency_ms":
+		return m.P95LatencyMs, true
+	case "errors":
+		return float64(m.Errors), true
+	case "retransmissions":
+		return float64(m.Retransmissions), true
+	case "reboots_seen":
+		return float64(m.RebootsSeen), true
+	case "crashes":
+		return float64(m.Crashes), true
+	case "lost_bytes":
+		return float64(m.LostBytes), true
+	}
+	return 0, false
+}
+
+// Durability is the crash/recovery audit attached to cells that ran with
+// faults or the durability checker.
+type Durability struct {
+	// Checked is true when the acked-write journal was attached and
+	// verified; without it the Acked*/Lost* fields are vacuously zero
+	// (crash counters are still real) and renderers omit the verdict.
+	Checked              bool    `json:"checked"`
+	AckedWrites          int     `json:"acked_writes"`
+	AckedBytes           int64   `json:"acked_bytes"`
+	LostBytes            int64   `json:"lost_bytes"`
+	FirstLoss            string  `json:"first_loss,omitempty"`
+	Crashes              int     `json:"crashes"`
+	Reboots              int     `json:"reboots"`
+	MeanRecoveryMs       float64 `json:"mean_recovery_ms"`
+	RecoveredNVRAMBlocks int     `json:"recovered_nvram_blocks"`
+}
+
+// CellResult is one sweep point's outcome: the uniform metric columns
+// plus workload-specific detail the legacy adapters map back onto their
+// historical result types.
+type CellResult struct {
+	Label string `json:"label"`
+	Seed  int64  `json:"seed"`
+	Metrics
+
+	// Elapsed is the exact simulated duration of the measured phase.
+	Elapsed sim.Duration `json:"elapsed_ns"`
+	// Gather is the gathering engine's counters (zero without gathering;
+	// single-server cells only).
+	Gather core.Stats `json:"gather,omitempty"`
+	// ClientResults are the per-client LADDIS points (laddis cells).
+	ClientResults []workload.LADDISResult `json:"client_results,omitempty"`
+	// Drops counts datagrams the server endpoint dropped (single-server
+	// cells only).
+	Drops uint64 `json:"drops,omitempty"`
+	// Durability is the crash audit (fault/durability cells only).
+	Durability *Durability `json:"durability,omitempty"`
+	// TraceText is the rendered Figure 1-style timeline (trace cells).
+	TraceText string `json:"trace_text,omitempty"`
+	// TraceLog is the raw event log behind TraceText.
+	TraceLog *trace.Log `json:"-"`
+}
+
+// Result is one scenario run: its spec and every cell's outcome, in
+// sweep order.
+type Result struct {
+	Name  string       `json:"name"`
+	Spec  Spec         `json:"spec"`
+	Cells []CellResult `json:"cells"`
+}
+
+// selectedColumns returns the spec's metric selection (all columns when
+// unset).
+func (r *Result) selectedColumns() []string {
+	if len(r.Spec.Metrics) == 0 {
+		return MetricColumns()
+	}
+	return r.Spec.Metrics
+}
+
+// Render formats the result as one row per cell over the selected metric
+// columns, with trace timelines and durability verdicts appended.
+func (r *Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	if r.Spec.Description != "" {
+		b.WriteString(" — " + r.Spec.Description)
+	}
+	b.WriteString("\n")
+	cols := r.selectedColumns()
+	fmt.Fprintf(&b, "%-16s", "cell")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %*s", columnWidth(c), c)
+	}
+	b.WriteString("\n")
+	for _, cell := range r.Cells {
+		fmt.Fprintf(&b, "%-16s", cell.Label)
+		for _, c := range cols {
+			v, ok := cell.Column(c)
+			if !ok {
+				fmt.Fprintf(&b, " %*s", columnWidth(c), "?")
+				continue
+			}
+			fmt.Fprintf(&b, " %*.2f", columnWidth(c), v)
+		}
+		b.WriteString("\n")
+	}
+	for _, cell := range r.Cells {
+		if cell.Durability != nil {
+			d := cell.Durability
+			fmt.Fprintf(&b, "%s: crashes=%d reboots=%d mean recovery=%.1fms nvram replay=%d",
+				cell.Label, d.Crashes, d.Reboots, d.MeanRecoveryMs, d.RecoveredNVRAMBlocks)
+			if d.Checked {
+				fmt.Fprintf(&b, "  acked %d writes/%d KB  lost %d bytes",
+					d.AckedWrites, d.AckedBytes/1024, d.LostBytes)
+				if d.LostBytes > 0 {
+					b.WriteString("  DURABILITY VIOLATED: " + d.FirstLoss)
+				}
+			} else {
+				b.WriteString("  (no durability check)")
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, cell := range r.Cells {
+		if cell.TraceText != "" {
+			b.WriteString(cell.TraceText)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func columnWidth(name string) int {
+	if w := len(name); w > 10 {
+		return w
+	}
+	return 10
+}

@@ -1,0 +1,471 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/nfsproto"
+	"repro/internal/rig"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Run validates the spec and executes every cell of its sweep, each on a
+// fresh deterministic simulation, returning the uniform result. The
+// engine reproduces the paper's historical runners exactly — the rig
+// assembly for single-server copy/LADDIS/trace cells, the cluster
+// assembly for sharded, faulted or stream cells — so the legacy
+// experiments adapters produce byte-identical metric columns through it.
+func Run(spec Spec) (*Result, error) {
+	res := &Result{Name: spec.Name, Spec: spec}
+	for i, cell := range spec.cells() {
+		rc, err := spec.resolve(cell, i)
+		if err != nil {
+			return nil, err
+		}
+		cr := runCell(rc)
+		cr.Label = rc.label
+		cr.Seed = rc.seed
+		res.Cells = append(res.Cells, cr)
+	}
+	return res, nil
+}
+
+// MustRun is Run for specs known valid (the registry, the adapters).
+func MustRun(spec Spec) *Result {
+	res, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func runCell(rc *resolved) CellResult {
+	if rc.assembly == AssemblyRig {
+		return runRigCell(rc)
+	}
+	return runClusterCell(rc)
+}
+
+func (r *resolved) rigConfig() rig.Config {
+	return rig.Config{
+		Net:            r.net,
+		Presto:         r.servers.Presto,
+		Gathering:      r.servers.Gathering,
+		GatherOverride: r.servers.GatherOverride,
+		StripeDisks:    r.servers.StripeDisks,
+		NumNfsds:       r.servers.Nfsds,
+		Clients:        r.groups[0].Count,
+		Biods:          r.groups[0].Biods,
+		CPUScale:       r.cpuScale,
+		Seed:           r.seed,
+		RecordReplies:  r.servers.RecordReplies,
+		Inodes:         r.servers.Inodes,
+	}
+}
+
+// offered returns the per-client and aggregate LADDIS request rates.
+func (r *resolved) offered(nclients int) (perClient, total float64) {
+	if r.laddis.OfferedIsPerClient {
+		return r.laddis.OfferedOpsPerSec, r.laddis.OfferedOpsPerSec * float64(nclients)
+	}
+	return r.laddis.OfferedOpsPerSec / float64(nclients), r.laddis.OfferedOpsPerSec
+}
+
+// laddisBarrier is the common measurement-start barrier: setup runs
+// before it, every generator starts at it (legacy figure/scale runs used
+// the same 20 s instant).
+const laddisBarrier = sim.Time(20 * sim.Second)
+
+// aggregateLADDIS folds per-client points into the cell columns:
+// throughput-weighted mean latency, worst-client p95.
+func aggregateLADDIS(cr *CellResult, results []workload.LADDISResult) {
+	var latSum, n float64
+	var p95 float64
+	for _, res := range results {
+		cr.AchievedOpsPerSec += res.AchievedOpsPerSec
+		latSum += res.AvgLatencyMs * res.AchievedOpsPerSec
+		n += res.AchievedOpsPerSec
+		if res.P95LatencyMs > p95 {
+			p95 = res.P95LatencyMs
+		}
+		cr.Errors += res.Errors
+	}
+	if n > 0 {
+		cr.AvgLatencyMs = latSum / n
+	}
+	cr.P95LatencyMs = p95
+	cr.ClientResults = results
+}
+
+// runRigCell executes one cell on the single-server rig assembly.
+func runRigCell(rc *resolved) CellResult {
+	r := rig.New(rc.rigConfig())
+	var cr CellResult
+	switch rc.kind {
+	case KindCopy:
+		runRigCopy(rc, r, &cr)
+	case KindLADDIS:
+		runRigLADDIS(rc, r, &cr)
+	case KindTrace:
+		runRigTrace(rc, r, &cr)
+	}
+	if eng := r.Server.Engine(); eng != nil {
+		cr.Gather = eng.Stats()
+	}
+	cr.Drops = r.Server.Endpoint().Drops()
+	for _, cli := range r.Clients {
+		cr.Retransmissions += cli.Retransmissions
+		cr.RebootsSeen += cli.RebootsSeen
+	}
+	return cr
+}
+
+func runRigCopy(rc *resolved, r *rig.Rig, cr *CellResult) {
+	size := rc.copyW.FileMB * 1024 * 1024
+	r.Sim.Spawn("copy", func(p *sim.Proc) {
+		// Create outside the measured interval, as the paper measures the
+		// transfer.
+		cres, err := r.Clients[0].Create(p, r.Server.RootFH(), "copy.dat", 0644)
+		if err != nil {
+			panic("scenario: create failed: " + err.Error())
+		}
+		r.MarkInterval()
+		start := p.Now()
+		if _, err := r.Clients[0].WriteFile(p, cres.File, size); err != nil {
+			panic("scenario: copy failed: " + err.Error())
+		}
+		cr.Elapsed = p.Now().Sub(start)
+	})
+	r.Sim.Run(0)
+
+	cr.ElapsedSec = cr.Elapsed.Seconds()
+	cr.ClientKBps = float64(size) / 1024 / cr.Elapsed.Seconds()
+	cr.CPUPercent, cr.DiskKBps, cr.DiskTps = r.IntervalStats()
+	cr.CPUMaxPercent = cr.CPUPercent
+}
+
+func runRigLADDIS(rc *resolved, r *rig.Rig, cr *CellResult) {
+	perClient, total := rc.offered(len(r.Clients))
+
+	gens := make([]*workload.LADDIS, len(r.Clients))
+	results := make([]workload.LADDISResult, len(r.Clients))
+	finished := 0
+	cond := sim.NewCond(r.Sim)
+	for i, cli := range r.Clients {
+		i, cli := i, cli
+		gens[i] = workload.NewLADDIS(cli, r.Server.RootFH(), workload.LADDISConfig{
+			Files:            rc.laddis.Files,
+			FileBlocks:       rc.laddis.FileBlocks,
+			OfferedOpsPerSec: perClient,
+			Procs:            rc.laddis.Procs,
+			Warmup:           rc.laddis.Warmup,
+			Duration:         rc.laddis.Measure,
+			Seed:             rc.laddis.Seed + int64(i),
+		})
+		r.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
+			if err := gens[i].Setup(p); err != nil {
+				panic("scenario: laddis setup: " + err.Error())
+			}
+			// Synchronize measurement start across clients: wait until a
+			// common barrier time well past setup.
+			if wait := laddisBarrier.Sub(p.Now()); wait > 0 {
+				p.Sleep(wait)
+			}
+			if i == 0 {
+				r.MarkInterval()
+			}
+			results[i] = gens[i].Run(p)
+			finished++
+			cond.Broadcast()
+		})
+	}
+	r.Sim.Run(0)
+	if finished != len(r.Clients) {
+		panic("scenario: laddis drivers did not finish")
+	}
+
+	cr.OfferedOpsPerSec = total
+	aggregateLADDIS(cr, results)
+	cr.Elapsed = rc.laddis.Measure
+	cr.ElapsedSec = cr.Elapsed.Seconds()
+	cr.CPUPercent, cr.DiskKBps, cr.DiskTps = r.IntervalStats()
+	cr.CPUMaxPercent = cr.CPUPercent
+}
+
+func runRigTrace(rc *resolved, r *rig.Rig, cr *CellResult) {
+	log := &trace.Log{}
+	cli := r.Clients[0]
+	cli.OnWriteEvent = func(ev string, off uint32, n int) {
+		switch ev {
+		case "send":
+			log.Add(r.Sim.Now(), "client", "8K Write off=%dK ->", off/1024)
+		case "reply":
+			log.Add(r.Sim.Now(), "client", "<- Write Reply off=%dK", off/1024)
+		}
+	}
+	for i, d := range r.Disks {
+		i, d := i, d
+		d.OnOp = func(write bool, blk int64, n int) {
+			kind := "read"
+			if write {
+				kind = "write"
+			}
+			what := "data"
+			if blk < 20 { // inode region of this filesystem
+				what = "metadata"
+			}
+			log.Add(r.Sim.Now(), "disk", "%dK %s to disk (%s) [d%d]", n/1024, kind, what, i)
+		}
+	}
+
+	// Mark gather commits via the engine's stats transitions: poll cheaply
+	// from a watcher process.
+	bound := sim.Time(rc.trace.Bound)
+	if eng := r.Server.Engine(); eng != nil {
+		r.Sim.Spawn("gather-watch", func(p *sim.Proc) {
+			last := eng.Stats().Gathers
+			for {
+				p.Sleep(500 * sim.Microsecond)
+				st := eng.Stats()
+				if st.Gathers != last {
+					log.Add(p.Now(), "server", "Gather commit #%d (batch so far %d writes)",
+						st.Gathers, st.GatheredWrites)
+					last = st.Gathers
+				}
+				if p.Now() > bound {
+					return
+				}
+			}
+		})
+	}
+
+	windowAfter := uint32(rc.trace.WindowAfterKB) * 1024
+	var windowStart sim.Time
+	r.Sim.Spawn("copy", func(p *sim.Proc) {
+		cres, err := r.Clients[0].Create(p, r.Server.RootFH(), "figure1.dat", 0644)
+		if err != nil {
+			panic("scenario: trace create: " + err.Error())
+		}
+		// Track when the transfer passes the window offset.
+		inner := cli.OnWriteEvent
+		cli.OnWriteEvent = func(ev string, off uint32, n int) {
+			if windowStart == 0 && ev == "send" && off >= windowAfter {
+				windowStart = p.Sim().Now()
+			}
+			inner(ev, off, n)
+		}
+		if _, err := cli.WriteFile(p, cres.File, rc.trace.FileKB*1024); err != nil {
+			panic("scenario: trace copy: " + err.Error())
+		}
+	})
+	r.Sim.Run(bound)
+
+	mode := "Standard Server"
+	if rc.servers.Gathering {
+		mode = "Gathering Server"
+	}
+	title := fmt.Sprintf("Figure 1 (%s): client with %d biods, sequential writer, >%dK into file",
+		mode, rc.groups[0].Biods, rc.trace.WindowAfterKB)
+	cr.TraceText = log.Render(title, windowStart, windowStart.Add(rc.trace.Window))
+	cr.TraceLog = log
+	cr.Elapsed = sim.Duration(r.Sim.Now())
+	cr.ElapsedSec = cr.Elapsed.Seconds()
+}
+
+// runClusterCell executes one cell on the crashable sharded assembly.
+func runClusterCell(rc *resolved) CellResult {
+	c := cluster.New(rc.clusterConfig())
+	var cr CellResult
+
+	// Durability journal first, then the crash schedule, then the
+	// workload: hook order fixes same-instant event order, and recorded
+	// crash runs hooked in this order.
+	var j *fault.Journal
+	if rc.faults.CheckDurability {
+		j = fault.NewJournal()
+		for _, cli := range c.Clients {
+			j.Attach(cli)
+		}
+	}
+	var in *fault.Injector
+	if len(rc.faults.Crashes) > 0 {
+		in = fault.NewInjector(c)
+		for _, tr := range rc.faults.Crashes {
+			in.ScheduleEvery(tr.Node, sim.Time(tr.At), tr.Period, tr.Outage, tr.Count)
+		}
+	}
+
+	switch rc.kind {
+	case KindStream:
+		runClusterStream(rc, c, &cr)
+	case KindCopy:
+		runClusterCopy(rc, c, &cr)
+	case KindLADDIS:
+		runClusterLADDIS(rc, c, &cr)
+	}
+
+	// The audit phase runs after all workload and reboot activity; it
+	// consumes simulated device time but is excluded from the measured
+	// interval above.
+	var check fault.CheckResult
+	if j != nil {
+		c.Sim.Spawn("verify", func(p *sim.Proc) { check = j.Verify(p, c) })
+		c.Sim.Run(0)
+	}
+
+	for _, cli := range c.Clients {
+		cr.Retransmissions += cli.Retransmissions
+		cr.RebootsSeen += cli.RebootsSeen
+	}
+	if in != nil || j != nil {
+		d := &Durability{
+			Checked:     j != nil,
+			AckedWrites: check.AckedWrites,
+			AckedBytes:  check.AckedBytes,
+			LostBytes:   check.LostBytes,
+			FirstLoss:   check.FirstLoss,
+		}
+		if in != nil {
+			d.Crashes = in.Crashes
+			d.Reboots = in.Reboots
+			if len(in.RecoveryTimes) > 0 {
+				var sum sim.Duration
+				for _, rt := range in.RecoveryTimes {
+					sum += rt
+				}
+				d.MeanRecoveryMs = (sum / sim.Duration(len(in.RecoveryTimes))).Millis()
+			}
+		}
+		for _, n := range c.Nodes {
+			d.RecoveredNVRAMBlocks += n.RecoveredBlocks
+		}
+		cr.Durability = d
+		cr.Crashes = d.Crashes
+		cr.LostBytes = d.LostBytes
+	}
+	return cr
+}
+
+func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
+	roots := c.Roots()
+	size := rc.stream.FileMB << 20
+	done := 0
+	var bytesWritten int64
+	for i, cli := range c.Clients {
+		i, cli := i, cli
+		root := roots[0]
+		if rc.stream.Shard {
+			root = roots[i%len(roots)]
+		}
+		c.Sim.Spawn(fmt.Sprintf("stream-%d", i), func(p *sim.Proc) {
+			name := fmt.Sprintf("stream-%d.dat", i)
+			cres, err := cli.Create(p, root, name, 0644)
+			if err != nil || cres.Status != nfsproto.OK {
+				panic(fmt.Sprintf("scenario: stream create: %v %v", err, cres))
+			}
+			if _, err := cli.WriteFile(p, cres.File, size); err != nil {
+				panic("scenario: stream: " + err.Error())
+			}
+			bytesWritten += int64(size)
+			done++
+		})
+	}
+	// elapsed covers the stream phase only: the durability audit also
+	// consumes simulated device time and must not dilute the stream rate.
+	elapsed := c.Sim.Run(0)
+	if done != len(c.Clients) {
+		panic("scenario: streams did not finish")
+	}
+	cr.Elapsed = sim.Duration(elapsed)
+	cr.ElapsedSec = cr.Elapsed.Seconds()
+	if cr.ElapsedSec > 0 {
+		cr.ClientKBps = float64(bytesWritten) / 1024 / cr.ElapsedSec
+	}
+}
+
+func runClusterCopy(rc *resolved, c *cluster.Cluster, cr *CellResult) {
+	roots := c.Roots()
+	size := rc.copyW.FileMB * 1024 * 1024
+	c.Sim.Spawn("copy", func(p *sim.Proc) {
+		cres, err := c.Clients[0].Create(p, roots[0], "copy.dat", 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			panic(fmt.Sprintf("scenario: copy create: %v %v", err, cres))
+		}
+		c.MarkInterval()
+		start := p.Now()
+		if _, err := c.Clients[0].WriteFile(p, cres.File, size); err != nil {
+			panic("scenario: copy: " + err.Error())
+		}
+		cr.Elapsed = p.Now().Sub(start)
+	})
+	c.Sim.Run(0)
+
+	cr.ElapsedSec = cr.Elapsed.Seconds()
+	cr.ClientKBps = float64(size) / 1024 / cr.Elapsed.Seconds()
+	st := c.IntervalStats()
+	cr.CPUPercent = st.CPUMeanPercent
+	cr.CPUMaxPercent = st.CPUMaxPercent
+	cr.DiskKBps = st.DiskKBps
+	cr.DiskTps = st.DiskTps
+}
+
+func runClusterLADDIS(rc *resolved, c *cluster.Cluster, cr *CellResult) {
+	roots := c.Roots()
+	nclients := len(c.Clients)
+	perClient, total := rc.offered(nclients)
+
+	gens := make([]*workload.LADDIS, nclients)
+	results := make([]workload.LADDISResult, nclients)
+	finished := 0
+	for i, cli := range c.Clients {
+		i, cli := i, cli
+		gens[i] = workload.NewLADDIS(cli, roots[0], workload.LADDISConfig{
+			Files:            rc.laddis.Files,
+			FileBlocks:       rc.laddis.FileBlocks,
+			OfferedOpsPerSec: perClient,
+			Procs:            rc.laddis.Procs,
+			Warmup:           rc.laddis.Warmup,
+			Duration:         rc.laddis.Measure,
+			Seed:             rc.laddis.Seed + int64(i),
+			Roots:            roots,
+		})
+		c.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
+			if err := gens[i].Setup(p); err != nil {
+				panic("scenario: laddis setup: " + err.Error())
+			}
+			// Barrier: measurement starts together, well past setup. A
+			// setup that overruns the barrier would silently skew the
+			// interval stats (clients starting staggered, MarkInterval
+			// mid-load), so it is a hard error: grow the barrier with the
+			// working set, don't ignore it.
+			wait := laddisBarrier.Sub(p.Now())
+			if wait < 0 {
+				panic(fmt.Sprintf("scenario: laddis setup for client %d ran %v past the %v barrier; working set too large for the barrier",
+					i, -wait, sim.Duration(laddisBarrier)))
+			}
+			p.Sleep(wait)
+			if i == 0 {
+				c.MarkInterval()
+			}
+			results[i] = gens[i].Run(p)
+			finished++
+		})
+	}
+	c.Sim.Run(0)
+	if finished != nclients {
+		panic("scenario: laddis drivers did not finish")
+	}
+
+	cr.OfferedOpsPerSec = total
+	aggregateLADDIS(cr, results)
+	cr.Elapsed = rc.laddis.Measure
+	cr.ElapsedSec = cr.Elapsed.Seconds()
+	st := c.IntervalStats()
+	cr.CPUPercent = st.CPUMeanPercent
+	cr.CPUMaxPercent = st.CPUMaxPercent
+	cr.DiskKBps = st.DiskKBps
+	cr.DiskTps = st.DiskTps
+}

@@ -1,0 +1,256 @@
+// Package scenario is the unified experiment API: one declarative,
+// JSON-serializable Spec describes a topology (client groups, server
+// shards, media), a workload (file copies, LADDIS mixes, write streams,
+// traced transfers), an optional fault schedule (per-node crash trains)
+// and a metric selection — and one engine, Run, executes any of them on
+// the appropriate testbed assembly (internal/rig for the paper's
+// single-server configurations, internal/cluster for sharded and
+// crashable ones) and returns a uniform Result.
+//
+// Every entry point in internal/experiments (the paper's tables, figures,
+// scale and crash sweeps) is a thin adapter that builds a Spec and
+// delegates here; the built-in Registry names those plus scenarios the
+// legacy API could not express (crash-under-load sweeps, flapping
+// storms). New experiment shapes should be new specs, not new Run*
+// functions.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Decode parses a spec from JSON strictly: unknown fields are an error,
+// so a typo'd key in a hand-edited spec file fails loudly instead of
+// silently running with defaults. The decoded spec is not yet validated
+// (Run and Validate do that).
+func Decode(blob []byte) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	return spec, nil
+}
+
+// Spec is one complete, serializable experiment description.
+type Spec struct {
+	// Name identifies the scenario (registry key, result header).
+	Name string `json:"name"`
+	// Description is the one-line summary `nfsbench -list` prints.
+	Description string `json:"description,omitempty"`
+	// Seed is the base seed; cells may override it per cell.
+	Seed int64 `json:"seed"`
+
+	Topology Topology `json:"topology"`
+	Workload Workload `json:"workload"`
+	Faults   Faults   `json:"faults,omitempty"`
+
+	// Cells expands the spec into a sweep: each cell runs the base
+	// topology/workload with its overrides applied, in order, on a fresh
+	// simulation. Empty means one cell with no overrides.
+	Cells []Cell `json:"cells,omitempty"`
+
+	// Metrics selects which of the uniform metric columns renderers and
+	// encoders emit (see MetricColumns). Empty means all.
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// Topology declares the hardware: media, client groups and server shards.
+type Topology struct {
+	// Net selects the shared LAN: "ethernet" or "fddi". When Media is
+	// set, Net must be empty and Media[0] carries the medium instead.
+	Net string `json:"net,omitempty"`
+	// Media optionally names the network segments. The schema admits
+	// several (per-group/per-shard placement is the roadmap's bridged-
+	// media direction); validation currently rejects more than one
+	// segment with ErrUnsupported until a bridge node exists.
+	Media []Medium `json:"media,omitempty"`
+	// CPUScale divides every server CPU cost (the paper's FDDI tables
+	// ran on a ~1.8x faster DEC 3800). 0 means 1.0.
+	CPUScale float64 `json:"cpu_scale,omitempty"`
+	// Clients is the client population, as one or more homogeneous
+	// groups. Heterogeneous groups require the cluster assembly.
+	Clients []ClientGroup `json:"clients"`
+	// Servers is the server-shard population.
+	Servers Servers `json:"servers"`
+	// Assembly pins the testbed builder: "rig" (single-server, the
+	// paper's original testbed), "cluster" (crashable sharded nodes), or
+	// "" to let the engine choose. The two assemblies boot differently
+	// (the cluster flushes a mountable image at t=0 and names its server
+	// "server1", not "server"), so recorded baselines pin theirs.
+	Assembly string `json:"assembly,omitempty"`
+}
+
+// Medium is one named network segment.
+type Medium struct {
+	Name string `json:"name"`
+	// Net is the segment's medium kind: "ethernet" or "fddi".
+	Net string `json:"net"`
+}
+
+// ClientGroup is one homogeneous set of client hosts.
+type ClientGroup struct {
+	// Count is the number of hosts in the group.
+	Count int `json:"count"`
+	// Biods per client (0 = fully synchronous writes).
+	Biods int `json:"biods,omitempty"`
+	// MaxRetries overrides the RPC attempt bound (0 keeps the client
+	// default of 8); crash scenarios raise it to ride out outages.
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// Servers declares the server shards. Count homogeneous nodes by
+// default; Nodes deviates individual shards.
+type Servers struct {
+	// Count is the shard count (each shard exports one filesystem).
+	Count int `json:"count"`
+	// Nfsds is the daemon pool size per server (default 8).
+	Nfsds int `json:"nfsds,omitempty"`
+	// StripeDisks is the spindle count per server (default 1).
+	StripeDisks int `json:"stripe_disks,omitempty"`
+	// Presto interposes an NVRAM board in front of each disk stack.
+	Presto bool `json:"presto,omitempty"`
+	// Gathering enables the write gathering engine.
+	Gathering bool `json:"gathering,omitempty"`
+	// GatherOverride replaces the default engine policy (ablations).
+	GatherOverride *core.Config `json:"gather_override,omitempty"`
+	// Inodes sizes each shard's inode table (default 512).
+	Inodes int `json:"inodes,omitempty"`
+	// RecordReplies keeps per-server WRITE reply logs for crash audits.
+	RecordReplies bool `json:"record_replies,omitempty"`
+	// Nodes optionally deviates individual shards (index-aligned; nil
+	// fields inherit). Per-node deviations require the cluster assembly.
+	Nodes []NodeOverride `json:"nodes,omitempty"`
+}
+
+// NodeOverride is one shard's deviation from the homogeneous settings.
+type NodeOverride struct {
+	Presto      *bool `json:"presto,omitempty"`
+	StripeDisks *int  `json:"stripe_disks,omitempty"`
+	Nfsds       *int  `json:"nfsds,omitempty"`
+	Inodes      *int  `json:"inodes,omitempty"`
+}
+
+// Workload kinds.
+const (
+	// KindCopy is the paper's case study: one client sequentially writes
+	// a file and the transfer is the measured interval (Tables 1-6).
+	KindCopy = "copy"
+	// KindLADDIS is the SPEC SFS 1.0 mixed load: per-client open-loop
+	// generators over a pre-created working set (Figures 2-3, scale).
+	KindLADDIS = "laddis"
+	// KindStream is one sequential write stream per client, measured
+	// end-to-end including outages (the crash/recovery workload).
+	KindStream = "stream"
+	// KindTrace is the Figure 1 timeline: a traced sequential transfer
+	// with a rendered event window instead of interval metrics.
+	KindTrace = "trace"
+)
+
+// Workload declares the offered load. Exactly the variant matching Kind
+// must be set (or left nil to accept that kind's defaults).
+type Workload struct {
+	Kind   string          `json:"kind"`
+	Copy   *CopyWorkload   `json:"copy,omitempty"`
+	LADDIS *LADDISWorkload `json:"laddis,omitempty"`
+	Stream *StreamWorkload `json:"stream,omitempty"`
+	Trace  *TraceWorkload  `json:"trace,omitempty"`
+}
+
+// CopyWorkload is one sequential file copy by client 1.
+type CopyWorkload struct {
+	// FileMB is the transfer size (the paper used 10).
+	FileMB int `json:"file_mb"`
+}
+
+// LADDISWorkload is the SPEC SFS 1.0-style mixed load.
+type LADDISWorkload struct {
+	// Files and FileBlocks size each client's pre-created working set.
+	Files      int `json:"files"`
+	FileBlocks int `json:"file_blocks"`
+	// Procs is generator processes per client.
+	Procs int `json:"procs"`
+	// OfferedOpsPerSec is the open-loop request rate: aggregate across
+	// all clients, or per client when OfferedIsPerClient is set (the
+	// scale sweeps hold per-client load constant while clients multiply).
+	OfferedOpsPerSec   float64 `json:"offered_ops_per_sec"`
+	OfferedIsPerClient bool    `json:"offered_is_per_client,omitempty"`
+	// Measure bounds the measured phase (nanoseconds).
+	Measure sim.Duration `json:"measure_ns"`
+	// Warmup operations are excluded from latency statistics.
+	Warmup int `json:"warmup,omitempty"`
+	// Seed is the generator seed base (generator i uses Seed+i). It is
+	// distinct from the cell seed, which drives the simulation kernel.
+	Seed int64 `json:"seed"`
+}
+
+// StreamWorkload is one sequential write stream per client.
+type StreamWorkload struct {
+	// FileMB is the per-client stream size.
+	FileMB int `json:"file_mb"`
+	// Shard places client i's stream on shard i mod servers instead of
+	// everyone writing to shard 0.
+	Shard bool `json:"shard,omitempty"`
+}
+
+// TraceWorkload is the Figure 1 timeline scenario.
+type TraceWorkload struct {
+	// FileKB is the transfer size.
+	FileKB int `json:"file_kb"`
+	// WindowAfterKB opens the rendered window once the transfer passes
+	// this offset (the paper renders >100K into the file; default 100).
+	WindowAfterKB int `json:"window_after_kb,omitempty"`
+	// Window is the rendered window length (default 60ms).
+	Window sim.Duration `json:"window_ns,omitempty"`
+	// Bound caps the simulation (default 60s).
+	Bound sim.Duration `json:"bound_ns,omitempty"`
+}
+
+// Faults is the deterministic fault schedule.
+type Faults struct {
+	// Crashes are per-node crash trains (fault.Injector.ScheduleEvery).
+	Crashes []CrashTrain `json:"crashes,omitempty"`
+	// CheckDurability journals every client-acked write and, after the
+	// run, reads each range back through the recovered shards: acked
+	// bytes that did not survive are reported as LostBytes.
+	CheckDurability bool `json:"check_durability,omitempty"`
+}
+
+// CrashTrain schedules Count crash/reboot cycles on one server shard:
+// the first crash at At (simulated time), repeating every Period, each
+// with the given Outage before the reboot starts.
+type CrashTrain struct {
+	Node   int          `json:"node"`
+	At     sim.Duration `json:"at_ns"`
+	Period sim.Duration `json:"period_ns,omitempty"`
+	Outage sim.Duration `json:"outage_ns"`
+	Count  int          `json:"count"`
+}
+
+// Cell is one sweep point: the base spec with these overrides applied.
+// Nil fields inherit the base value.
+type Cell struct {
+	// Label names the cell in results (auto-generated when empty).
+	Label string `json:"label,omitempty"`
+	// Seed overrides the simulation seed for this cell.
+	Seed *int64 `json:"seed,omitempty"`
+	// Biods overrides every client group's biod count.
+	Biods *int `json:"biods,omitempty"`
+	// Clients overrides the first client group's host count.
+	Clients *int `json:"clients,omitempty"`
+	// Servers overrides the shard count.
+	Servers *int `json:"servers,omitempty"`
+	// Gathering and Presto override the server build.
+	Gathering *bool `json:"gathering,omitempty"`
+	Presto    *bool `json:"presto,omitempty"`
+	// OfferedOpsPerSec overrides the LADDIS offered load.
+	OfferedOpsPerSec *float64 `json:"offered_ops_per_sec,omitempty"`
+	// FileMB overrides the copy/stream transfer size.
+	FileMB *int `json:"file_mb,omitempty"`
+}

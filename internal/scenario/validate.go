@@ -1,0 +1,370 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// ValidationError reports one way a Spec is invalid. Field is the dotted
+// spec path ("topology.clients", "faults.crashes[1]"); for sweeps the
+// engine prefixes the offending cell.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("scenario: invalid spec: %s: %s", e.Field, e.Reason)
+}
+
+func invalid(field, format string, args ...any) error {
+	return &ValidationError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Assembly names.
+const (
+	AssemblyRig     = "rig"
+	AssemblyCluster = "cluster"
+)
+
+// Validate checks the spec and every cell it expands to, returning the
+// first *ValidationError found (nil if the spec is runnable).
+func (s *Spec) Validate() error {
+	for i, cell := range s.cells() {
+		if _, err := s.resolve(cell, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cells returns the sweep expansion: the declared cells, or one empty
+// cell for a single-run spec.
+func (s *Spec) cells() []Cell {
+	if len(s.Cells) == 0 {
+		return []Cell{{}}
+	}
+	return s.Cells
+}
+
+// resolved is one cell's fully-defaulted, validated configuration.
+type resolved struct {
+	label    string
+	seed     int64
+	net      hw.NetParams
+	cpuScale float64
+	groups   []ClientGroup
+	nclients int
+	servers  Servers
+	assembly string
+
+	kind   string
+	copyW  CopyWorkload
+	laddis LADDISWorkload
+	stream StreamWorkload
+	trace  TraceWorkload
+
+	faults Faults
+}
+
+func netParams(name string) (hw.NetParams, bool) {
+	switch name {
+	case "ethernet":
+		return hw.Ethernet(), true
+	case "fddi":
+		return hw.FDDI(), true
+	}
+	return hw.NetParams{}, false
+}
+
+// resolve applies cell overrides and defaults to the base spec and
+// validates the result.
+func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
+	r := &resolved{
+		label:    cell.Label,
+		seed:     s.Seed,
+		cpuScale: s.Topology.CPUScale,
+		servers:  s.Topology.Servers,
+		kind:     s.Workload.Kind,
+		faults:   s.Faults,
+	}
+	if r.label == "" {
+		r.label = fmt.Sprintf("cell%02d", idx)
+	}
+	if cell.Seed != nil {
+		r.seed = *cell.Seed
+	}
+
+	// Medium.
+	netName := s.Topology.Net
+	if len(s.Topology.Media) > 0 {
+		if len(s.Topology.Media) > 1 {
+			return nil, invalid("topology.media",
+				"multiple network segments declared; bridging between media is not implemented yet (single segment only)")
+		}
+		if netName != "" {
+			return nil, invalid("topology.net", "set either net or media, not both")
+		}
+		netName = s.Topology.Media[0].Net
+	}
+	net, ok := netParams(netName)
+	if !ok {
+		return nil, invalid("topology.net", "unknown medium %q (want \"ethernet\" or \"fddi\")", netName)
+	}
+	r.net = net
+
+	// Client groups.
+	r.groups = append(r.groups, s.Topology.Clients...)
+	if len(r.groups) == 0 {
+		return nil, invalid("topology.clients", "no client groups declared")
+	}
+	if cell.Clients != nil {
+		r.groups[0].Count = *cell.Clients
+	}
+	for gi := range r.groups {
+		if cell.Biods != nil {
+			r.groups[gi].Biods = *cell.Biods
+		}
+		if r.groups[gi].Count < 1 {
+			return nil, invalid(fmt.Sprintf("topology.clients[%d].count", gi),
+				"zero clients (each group needs at least one host)")
+		}
+		if r.groups[gi].Biods < 0 || r.groups[gi].MaxRetries < 0 {
+			return nil, invalid(fmt.Sprintf("topology.clients[%d]", gi), "negative biods or max_retries")
+		}
+		r.nclients += r.groups[gi].Count
+	}
+
+	// Servers.
+	if cell.Servers != nil {
+		r.servers.Count = *cell.Servers
+	}
+	if cell.Gathering != nil {
+		r.servers.Gathering = *cell.Gathering
+	}
+	if cell.Presto != nil {
+		r.servers.Presto = *cell.Presto
+	}
+	if r.servers.Count < 1 {
+		return nil, invalid("topology.servers.count", "at least one server shard required")
+	}
+	if r.servers.Nfsds < 0 || r.servers.StripeDisks < 0 || r.servers.Inodes < 0 {
+		return nil, invalid("topology.servers", "negative nfsds, stripe_disks or inodes")
+	}
+	if len(r.servers.Nodes) > r.servers.Count {
+		return nil, invalid("topology.servers.nodes",
+			"%d node overrides for %d shards", len(r.servers.Nodes), r.servers.Count)
+	}
+	for ni, o := range r.servers.Nodes {
+		if (o.StripeDisks != nil && *o.StripeDisks < 1) ||
+			(o.Nfsds != nil && *o.Nfsds < 1) ||
+			(o.Inodes != nil && *o.Inodes < 1) {
+			return nil, invalid(fmt.Sprintf("topology.servers.nodes[%d]", ni),
+				"node overrides must be positive when set")
+		}
+	}
+
+	// Workload.
+	switch r.kind {
+	case KindCopy:
+		if s.Workload.Copy != nil {
+			r.copyW = *s.Workload.Copy
+		}
+		if cell.FileMB != nil {
+			r.copyW.FileMB = *cell.FileMB
+		}
+		if r.copyW.FileMB == 0 {
+			r.copyW.FileMB = 10 // the paper's transfer size
+		}
+		if r.copyW.FileMB < 1 {
+			return nil, invalid("workload.copy.file_mb", "transfer size must be at least 1MB")
+		}
+		if r.nclients != 1 {
+			return nil, invalid("topology.clients",
+				"the copy workload measures a single writing client (got %d)", r.nclients)
+		}
+	case KindLADDIS:
+		if s.Workload.LADDIS == nil {
+			return nil, invalid("workload.laddis", "laddis parameters required")
+		}
+		r.laddis = *s.Workload.LADDIS
+		if cell.OfferedOpsPerSec != nil {
+			r.laddis.OfferedOpsPerSec = *cell.OfferedOpsPerSec
+		}
+		if r.laddis.OfferedOpsPerSec <= 0 {
+			return nil, invalid("workload.laddis.offered_ops_per_sec", "offered load must be positive")
+		}
+		if r.laddis.Measure <= 0 {
+			return nil, invalid("workload.laddis.measure_ns", "measured phase must be positive")
+		}
+		if r.laddis.Files < 0 || r.laddis.FileBlocks < 0 || r.laddis.Procs < 0 || r.laddis.Warmup < 0 {
+			return nil, invalid("workload.laddis", "negative working-set or generator parameters")
+		}
+	case KindStream:
+		if s.Workload.Stream != nil {
+			r.stream = *s.Workload.Stream
+		}
+		if cell.FileMB != nil {
+			r.stream.FileMB = *cell.FileMB
+		}
+		if r.stream.FileMB < 1 {
+			return nil, invalid("workload.stream.file_mb", "per-client stream size must be at least 1MB")
+		}
+	case KindTrace:
+		if s.Workload.Trace != nil {
+			r.trace = *s.Workload.Trace
+		}
+		if r.trace.FileKB < 1 {
+			return nil, invalid("workload.trace.file_kb", "transfer size must be at least 1KB")
+		}
+		if r.trace.WindowAfterKB == 0 {
+			r.trace.WindowAfterKB = 100
+		}
+		if r.trace.Window == 0 {
+			r.trace.Window = 60 * sim.Millisecond
+		}
+		if r.trace.Bound == 0 {
+			r.trace.Bound = 60 * sim.Second
+		}
+		if r.nclients != 1 {
+			return nil, invalid("topology.clients",
+				"the trace workload follows a single writing client (got %d)", r.nclients)
+		}
+	default:
+		return nil, invalid("workload.kind", "unknown workload kind %q", r.kind)
+	}
+
+	if err := r.validateFaults(); err != nil {
+		return nil, err
+	}
+
+	// Assembly.
+	needsCluster := r.needsCluster()
+	switch s.Topology.Assembly {
+	case "":
+		r.assembly = AssemblyRig
+		if needsCluster != "" {
+			r.assembly = AssemblyCluster
+		}
+	case AssemblyRig:
+		if needsCluster != "" {
+			return nil, invalid("topology.assembly", "rig assembly cannot express %s", needsCluster)
+		}
+		r.assembly = AssemblyRig
+	case AssemblyCluster:
+		r.assembly = AssemblyCluster
+	default:
+		return nil, invalid("topology.assembly", "unknown assembly %q", s.Topology.Assembly)
+	}
+	if r.kind == KindTrace && r.assembly == AssemblyCluster {
+		return nil, invalid("workload.kind",
+			"the trace workload runs on the single-server rig assembly only")
+	}
+	return r, nil
+}
+
+// needsCluster reports why the cell requires the cluster assembly ("" if
+// the single-server rig suffices).
+func (r *resolved) needsCluster() string {
+	switch {
+	case r.servers.Count > 1:
+		return "multiple server shards"
+	case len(r.faults.Crashes) > 0 || r.faults.CheckDurability:
+		return "fault injection (only cluster nodes are crashable)"
+	case len(r.servers.Nodes) > 0:
+		return "per-node server overrides"
+	case len(r.groups) > 1:
+		return "multiple client groups"
+	case r.groups[0].MaxRetries > 0:
+		return "a client retry override"
+	case r.kind == KindStream:
+		return "the stream workload"
+	}
+	return ""
+}
+
+// validateFaults checks the crash schedule against the resolved topology:
+// known targets, sane cycle parameters, and non-overlapping scheduled
+// outage windows per node (the injector skips a crash aimed at a node
+// that is still down, so an overlapping schedule would silently drop
+// cycles instead of running what the spec describes).
+func (r *resolved) validateFaults() error {
+	type window struct {
+		from, to sim.Duration
+	}
+	byNode := map[int][]window{}
+	for i, tr := range r.faults.Crashes {
+		field := fmt.Sprintf("faults.crashes[%d]", i)
+		if tr.Node < 0 || tr.Node >= r.servers.Count {
+			return invalid(field, "fault targets unknown node %d (topology has %d servers)", tr.Node, r.servers.Count)
+		}
+		if tr.Count < 1 {
+			return invalid(field, "crash count must be at least 1")
+		}
+		if tr.Outage <= 0 {
+			return invalid(field, "outage must be positive")
+		}
+		if tr.At < 0 {
+			return invalid(field, "first crash time must not be negative")
+		}
+		if tr.Count > 1 && tr.Period <= 0 {
+			return invalid(field, "repeating trains need a positive period")
+		}
+		for k := 0; k < tr.Count; k++ {
+			at := tr.At + sim.Duration(k)*tr.Period
+			byNode[tr.Node] = append(byNode[tr.Node], window{at, at + tr.Outage})
+		}
+	}
+	for node, ws := range byNode {
+		for i := range ws {
+			for j := i + 1; j < len(ws); j++ {
+				a, b := ws[i], ws[j]
+				if a.from < b.to && b.from < a.to {
+					return invalid("faults.crashes",
+						"overlapping crash windows on node %d ([%v,%v] and [%v,%v])",
+						node, a.from, a.to, b.from, b.to)
+				}
+			}
+		}
+	}
+	if r.faults.CheckDurability && r.kind == KindTrace {
+		return invalid("faults.check_durability", "the trace workload has no durability journal")
+	}
+	return nil
+}
+
+// clusterConfig maps the resolved cell onto a cluster build.
+func (r *resolved) clusterConfig() cluster.Config {
+	cfg := cluster.Config{
+		Net:            r.net,
+		Servers:        r.servers.Count,
+		Presto:         r.servers.Presto,
+		Gathering:      r.servers.Gathering,
+		GatherOverride: r.servers.GatherOverride,
+		StripeDisks:    r.servers.StripeDisks,
+		NumNfsds:       r.servers.Nfsds,
+		CPUScale:       r.cpuScale,
+		Seed:           r.seed,
+		Inodes:         r.servers.Inodes,
+		RecordReplies:  r.servers.RecordReplies,
+	}
+	for _, o := range r.servers.Nodes {
+		cfg.Nodes = append(cfg.Nodes, cluster.NodeConfig{
+			Presto: o.Presto, StripeDisks: o.StripeDisks, NumNfsds: o.Nfsds, Inodes: o.Inodes,
+		})
+	}
+	if len(r.groups) == 1 {
+		// The homogeneous form, byte-compatible with pre-scenario rigs.
+		cfg.Clients = r.groups[0].Count
+		cfg.Biods = r.groups[0].Biods
+		cfg.ClientRetries = r.groups[0].MaxRetries
+	} else {
+		for _, g := range r.groups {
+			cfg.ClientGroups = append(cfg.ClientGroups, cluster.ClientGroup(g))
+		}
+	}
+	return cfg
+}

@@ -18,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 bench="${BENCH:-BenchmarkTable1EthernetCopy\$|BenchmarkFigure2LADDIS\$|BenchmarkScaleSweep\$|BenchmarkCrashRecovery\$}"
 count="${COUNT:-3}"
 
