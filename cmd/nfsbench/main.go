@@ -10,6 +10,7 @@
 //	nfsbench -run partialcrash      # any registered scenario by name
 //	nfsbench -dump figure2          # emit a scenario spec as JSON
 //	nfsbench -dump figure2 > f.json; vi f.json
+//	nfsbench -validate f.json       # parse + validate without running
 //	nfsbench -scenario f.json       # run an edited spec
 //	nfsbench -run figure2 -quick    # coarser LADDIS sweep
 //	nfsbench -mb 4                  # smaller copies (faster, same rates)
@@ -33,6 +34,7 @@ func main() {
 	list := flag.Bool("list", false, "list the scenario registry and exit")
 	dump := flag.String("dump", "", "print the named scenario's spec as JSON and exit")
 	scenarioFile := flag.String("scenario", "", "run a scenario spec from a JSON file")
+	validate := flag.String("validate", "", "parse and validate a scenario spec file without running it")
 	mb := flag.Int("mb", 10, "file copy size in MB (the paper used 10)")
 	quick := flag.Bool("quick", false, "coarser LADDIS sweeps for figures 2-3")
 	flag.Parse()
@@ -43,6 +45,9 @@ func main() {
 		return
 	case *dump != "":
 		dumpScenario(*dump)
+		return
+	case *validate != "":
+		validateScenarioFile(*validate)
 		return
 	case *scenarioFile != "":
 		runScenarioFile(*scenarioFile)
@@ -139,11 +144,23 @@ func main() {
 	for _, n := range rest {
 		spec, ok := scenario.Lookup(n)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "nfsbench: no experiment or scenario named %q (try -list)\n", n)
+			fmt.Fprintf(os.Stderr, "nfsbench: no experiment or scenario named %q; known names: %s\n",
+				n, strings.Join(knownNames(), ", "))
 			os.Exit(2)
 		}
 		runSpec(spec)
 	}
+}
+
+// knownNames lists every runnable name: the registry carries all of them
+// (the legacy experiment names are registry keys too).
+func knownNames() []string {
+	var names []string
+	for _, e := range scenario.Registry() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func listScenarios() {
@@ -178,6 +195,32 @@ func runScenarioFile(path string) {
 		os.Exit(1)
 	}
 	runSpec(spec)
+}
+
+// validateScenarioFile parses and validates a spec file without running
+// it: decode errors (unknown fields, malformed JSON) and typed validation
+// errors print with the offending spec path, and the exit status is
+// nonzero on any problem — the CI-able lint for hand-edited specs.
+func validateScenarioFile(path string) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.Decode(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	cells := len(spec.Cells)
+	if cells == 0 {
+		cells = 1
+	}
+	fmt.Printf("%s: spec %q valid (%d cells, workload %s)\n", path, spec.Name, cells, spec.Workload.Kind)
 }
 
 func runSpec(spec scenario.Spec) {

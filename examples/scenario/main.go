@@ -1,11 +1,17 @@
 // Scenario: compose an experiment the legacy entry points could not
-// express — a two-shard cluster where one shard runs Presto NVRAM and
-// the other does not, crashed in turn under client write streams, with
-// every acked write durability-checked — entirely as data, then sweep
-// the server build across cells.
+// express — entirely as data. A two-shard cluster where one shard runs
+// Presto NVRAM and the other does not, under client write streams with
+// every acked write durability-checked, driven through the typed fault
+// API: the Presto shard first survives a classic crash/reboot cycle (the
+// legacy `crashes` form still decodes as-is, and the reboot replays its
+// NVRAM), one client's network attachment flaps mid-stream, and finally
+// the Presto shard dies for good and the plain shard adopts its disks
+// under a stable FSID — handles stay valid, clients reroute, and the
+// checker reads every acked byte back through the migrated export.
 //
 // Run with -dump to print the spec as JSON instead (pipe it to a file,
-// edit it, and replay it with `nfsbench -scenario <file>`).
+// check it with `nfsbench -validate <file>`, edit it, and replay it with
+// `nfsbench -scenario <file>`).
 package main
 
 import (
@@ -24,9 +30,10 @@ func main() {
 
 	presto := true
 	std, wg := false, true
+	client1 := 1
 	spec := scenario.Spec{
-		Name:        "mixed-shard-crash",
-		Description: "asymmetric shards (one Presto, one plain) crashed in turn under write streams",
+		Name:        "mixed-shard-faults",
+		Description: "asymmetric shards (one Presto, one plain): the Presto shard crashes and reboots, a client link flaps, then the Presto shard dies for good and is adopted",
 		Seed:        2026,
 		Topology: scenario.Topology{
 			Net:     "fddi",
@@ -43,9 +50,27 @@ func main() {
 			Stream: &scenario.StreamWorkload{FileMB: 1, Shard: true}},
 		Faults: scenario.Faults{
 			CheckDurability: true,
+			// The legacy crash-train form and the typed events compose in
+			// one schedule: trains are adapted onto server-crash events
+			// ahead of the list below.
 			Crashes: []scenario.CrashTrain{
-				{Node: 0, At: 300 * sim.Millisecond, Outage: 200 * sim.Millisecond, Count: 1},
-				{Node: 1, At: 900 * sim.Millisecond, Outage: 200 * sim.Millisecond, Count: 1},
+				{Node: 1, At: 300 * sim.Millisecond, Outage: 150 * sim.Millisecond, Count: 1},
+			},
+			Events: []scenario.FaultEvent{
+				{
+					Kind: scenario.FaultLinkOutage,
+					LinkOutage: &scenario.LinkOutageFault{
+						Client: &client1, At: 600 * sim.Millisecond,
+						Outage: 100 * sim.Millisecond, Count: 1,
+					},
+				},
+				{
+					Kind: scenario.FaultShardFailover,
+					ShardFailover: &scenario.ShardFailoverFault{
+						Node: 1, To: 0, At: 1100 * sim.Millisecond,
+						Takeover: 250 * sim.Millisecond,
+					},
+				},
 			},
 		},
 		Cells: []scenario.Cell{

@@ -60,6 +60,16 @@ type Client struct {
 	outstanding int
 	closeCond   *sim.Cond
 
+	// Volatile host state the fault layer manipulates: the daemon
+	// processes (receiver + biods) a crash kills, the application
+	// processes registered via AdoptApp that die with the host, and the
+	// per-biod in-flight job table KillBiods uses to settle flow-control
+	// accounting for daemons killed mid-RPC.
+	daemons    []*sim.Proc
+	apps       []*sim.Proc
+	activeJobs map[*sim.Proc]*writeJob
+	appsKilled int
+
 	// Per-client result decode scratch (see the discipline note at call).
 	scratchAttrStat   nfsproto.AttrStat
 	scratchDirOpRes   nfsproto.DirOpRes
@@ -74,6 +84,11 @@ type Client struct {
 	WriteLatency    stats.Latency
 	// RebootsSeen counts server boot-verifier changes observed in replies.
 	RebootsSeen uint64
+	// Down is true between Crash and Reboot; Boots counts completed boot
+	// cycles (1 after New). BiodsLost counts daemons KillBiods removed.
+	Down      bool
+	Boots     int
+	BiodsLost int
 	// MaxRTO caps backoff growth.
 	MaxRTO sim.Duration
 	// MaxRetries bounds send attempts per call (default 8). Crash tests
@@ -85,6 +100,12 @@ type Client struct {
 	// OnWriteAcked, when non-nil, observes every successfully acked WRITE;
 	// the crash-durability journal records these.
 	OnWriteAcked func(fh nfsproto.FH, off uint32, n int)
+	// OnWriteBuffered, when non-nil, observes every write accepted into
+	// write-behind: the application's write() returned before any server
+	// ack existed, so a client crash may legitimately lose it. The
+	// durability journal uses this to separate real loss (acked bytes
+	// gone) from permitted loss (buffered bytes never acked).
+	OnWriteBuffered func(fh nfsproto.FH, off uint32, n int)
 }
 
 // pendingCall embeds the reply decode target, so the steady-state RPC path
@@ -150,11 +171,20 @@ func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientPar
 		credRaw:    (&oncrpc.UnixCred{MachineName: name, UID: 0, GID: 0}).Encode(),
 		pool:       block.NewPool(),
 	}
-	s.Spawn(name+"-recv", c.receiver)
-	for i := 0; i < numBiods; i++ {
-		s.Spawn(fmt.Sprintf("%s-biod%d", name, i), c.biod)
-	}
+	c.startDaemons()
 	return c
+}
+
+// startDaemons spawns one boot's volatile processes: the reply receiver
+// and the biod pool. New and Reboot both go through here.
+func (c *Client) startDaemons() {
+	c.daemons = c.daemons[:0]
+	c.daemons = append(c.daemons, c.sim.Spawn(c.name+"-recv", c.receiver))
+	for i := 0; i < c.numBiods; i++ {
+		c.daemons = append(c.daemons, c.sim.Spawn(fmt.Sprintf("%s-biod%d", c.name, i), c.biod))
+	}
+	c.Boots++
+	c.Down = false
 }
 
 // Name returns the client's endpoint name.
@@ -229,7 +259,11 @@ func (c *Client) receiver(p *sim.Proc) {
 // (sleeps, sends, or performs another RPC): callers must consume a result
 // before their next blocking call, exactly like the server's result
 // scratch in dispatch.go.
-func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder, to string) (*oncrpc.ReplyMsg, error) {
+// call routes by fh: the destination is re-resolved from the routing
+// table on every transmission attempt, so a handle whose shard migrated
+// mid-call (failover) reaches the adopting server on the next retry
+// instead of timing out against the dead endpoint.
+func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder, fh nfsproto.FH) (*oncrpc.ReplyMsg, error) {
 	cred := oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: c.credRaw}
 	verf := oncrpc.NullAuth()
 	c.xidSeq++
@@ -237,13 +271,13 @@ func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder, to stri
 	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+args.EncodedSize()))
 	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(proc), cred, verf)
 	args.EncodeTo(e)
-	return c.finishCall(p, xid, to, e.Bytes(), nil, 0)
+	return c.finishCall(p, xid, fh, true, "", e.Bytes(), nil, 0)
 }
 
 // callBody performs one WRITE RPC whose payload rides as a refcounted
 // datagram body: only the RPC header and the WRITE argument head are
 // encoded into the wire buffer; the 8K data segment is never memmoved.
-func (c *Client) callBody(p *sim.Proc, fh nfsproto.FH, off uint32, body *block.Buf, n int, to string) (*oncrpc.ReplyMsg, error) {
+func (c *Client) callBody(p *sim.Proc, fh nfsproto.FH, off uint32, body *block.Buf, n int) (*oncrpc.ReplyMsg, error) {
 	cred := oncrpc.OpaqueAuth{Flavor: oncrpc.AuthUnix, Body: c.credRaw}
 	verf := oncrpc.NullAuth()
 	c.xidSeq++
@@ -251,7 +285,7 @@ func (c *Client) callBody(p *sim.Proc, fh nfsproto.FH, off uint32, body *block.B
 	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+nfsproto.WriteArgsHeadSize))
 	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcWrite), cred, verf)
 	nfsproto.AppendWriteArgsHead(e, fh, off, n)
-	return c.finishCall(p, xid, to, e.Bytes(), body, n)
+	return c.finishCall(p, xid, fh, true, "", e.Bytes(), body, n)
 }
 
 // Call performs one RPC to the default server with pre-encoded args and
@@ -274,15 +308,18 @@ func (c *Client) CallTo(p *sim.Proc, to string, proc nfsproto.Proc, args []byte)
 		Verf: oncrpc.NullAuth(),
 		Args: args,
 	}
-	return c.finishCall(p, xid, to, call.Encode(), nil, 0)
+	return c.finishCall(p, xid, nfsproto.FH{}, false, to, call.Encode(), nil, 0)
 }
 
 // finishCall registers the pending call and runs the retransmission loop.
 // raw must not be mutated afterwards: in-flight and queued (possibly
 // retransmitted) datagrams alias it. A non-nil body is the split WRITE
 // payload; each transmission's datagram takes its own reference, the
-// caller keeps its own.
-func (c *Client) finishCall(p *sim.Proc, xid uint32, to string, raw []byte, body *block.Buf, bodyLen int) (*oncrpc.ReplyMsg, error) {
+// caller keeps its own. With routed set, the destination is re-resolved
+// from fh's route before every attempt (static routes make this a no-op;
+// a mid-call failover redirects the next retry); otherwise to is used
+// verbatim.
+func (c *Client) finishCall(p *sim.Proc, xid uint32, fh nfsproto.FH, routed bool, to string, raw []byte, body *block.Buf, bodyLen int) (*oncrpc.ReplyMsg, error) {
 	pc := c.getPC()
 	c.pending[xid] = pc
 	defer func() {
@@ -299,6 +336,9 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, to string, raw []byte, body
 	for attempt := 0; attempt < tries; attempt++ {
 		if attempt > 0 {
 			c.Retransmissions++
+		}
+		if routed {
+			to = c.dest(fh)
 		}
 		if body != nil {
 			c.net.SendBuf(p, c.name, to, raw, body, bodyLen)
@@ -335,7 +375,7 @@ func decodeDone(reply *oncrpc.ReplyMsg, err error) error {
 // Lookup resolves name in dir.
 func (c *Client) Lookup(p *sim.Proc, dir nfsproto.FH, name string) (*nfsproto.DirOpRes, error) {
 	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
-	reply, err := c.call(p, nfsproto.ProcLookup, args, c.dest(dir))
+	reply, err := c.call(p, nfsproto.ProcLookup, args, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +392,7 @@ func (c *Client) Create(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) 
 		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
 		Attr:  nfsproto.DefaultSAttr(mode),
 	}
-	reply, err := c.call(p, nfsproto.ProcCreate, args, c.dest(dir))
+	reply, err := c.call(p, nfsproto.ProcCreate, args, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +409,7 @@ func (c *Client) Mkdir(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (
 		Where: nfsproto.DirOpArgs{Dir: dir, Name: name},
 		Attr:  nfsproto.DefaultSAttr(mode),
 	}
-	reply, err := c.call(p, nfsproto.ProcMkdir, args, c.dest(dir))
+	reply, err := c.call(p, nfsproto.ProcMkdir, args, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +423,7 @@ func (c *Client) Mkdir(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) (
 // Getattr fetches attributes.
 func (c *Client) Getattr(p *sim.Proc, fh nfsproto.FH) (*nfsproto.AttrStat, error) {
 	args := &nfsproto.FHArgs{File: fh}
-	reply, err := c.call(p, nfsproto.ProcGetattr, args, c.dest(fh))
+	reply, err := c.call(p, nfsproto.ProcGetattr, args, fh)
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +437,7 @@ func (c *Client) Getattr(p *sim.Proc, fh nfsproto.FH) (*nfsproto.AttrStat, error
 // Setattr applies attributes.
 func (c *Client) Setattr(p *sim.Proc, fh nfsproto.FH, sa nfsproto.SAttr) (*nfsproto.AttrStat, error) {
 	args := &nfsproto.SetattrArgs{File: fh, Attr: sa}
-	reply, err := c.call(p, nfsproto.ProcSetattr, args, c.dest(fh))
+	reply, err := c.call(p, nfsproto.ProcSetattr, args, fh)
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +451,7 @@ func (c *Client) Setattr(p *sim.Proc, fh nfsproto.FH, sa nfsproto.SAttr) (*nfspr
 // Read fetches count bytes at off.
 func (c *Client) Read(p *sim.Proc, fh nfsproto.FH, off, count uint32) (*nfsproto.ReadRes, error) {
 	args := &nfsproto.ReadArgs{File: fh, Offset: off, Count: count}
-	reply, err := c.call(p, nfsproto.ProcRead, args, c.dest(fh))
+	reply, err := c.call(p, nfsproto.ProcRead, args, fh)
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +465,7 @@ func (c *Client) Read(p *sim.Proc, fh nfsproto.FH, off, count uint32) (*nfsproto
 // Remove unlinks name in dir.
 func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Status, error) {
 	args := &nfsproto.DirOpArgs{Dir: dir, Name: name}
-	reply, err := c.call(p, nfsproto.ProcRemove, args, c.dest(dir))
+	reply, err := c.call(p, nfsproto.ProcRemove, args, dir)
 	if err != nil {
 		return nfsproto.ErrIO, err
 	}
@@ -439,7 +479,7 @@ func (c *Client) Remove(p *sim.Proc, dir nfsproto.FH, name string) (nfsproto.Sta
 // Readdir lists a directory page.
 func (c *Client) Readdir(p *sim.Proc, dir nfsproto.FH, cookie, count uint32) (*nfsproto.ReaddirRes, error) {
 	args := &nfsproto.ReaddirArgs{Dir: dir, Cookie: cookie, Count: count}
-	reply, err := c.call(p, nfsproto.ProcReaddir, args, c.dest(dir))
+	reply, err := c.call(p, nfsproto.ProcReaddir, args, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +500,7 @@ func (c *Client) WriteSync(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte)
 	if c.OnWriteEvent != nil {
 		c.OnWriteEvent("send", off, len(data))
 	}
-	reply, err := c.call(p, nfsproto.ProcWrite, args, c.dest(fh))
+	reply, err := c.call(p, nfsproto.ProcWrite, args, fh)
 	return c.writeDone(p, fh, off, len(data), start, reply, err)
 }
 
@@ -478,7 +518,7 @@ func (c *Client) WriteSyncBuf(p *sim.Proc, fh nfsproto.FH, off uint32, b *block.
 	if c.OnWriteEvent != nil {
 		c.OnWriteEvent("send", off, n)
 	}
-	reply, err := c.callBody(p, fh, off, b, n, c.dest(fh))
+	reply, err := c.callBody(p, fh, off, b, n)
 	return c.writeDone(p, fh, off, n, start, reply, err)
 }
 
@@ -514,16 +554,23 @@ func (c *Client) writeDone(p *sim.Proc, fh nfsproto.FH, off uint32, n int, start
 }
 
 // biod is one block-I/O daemon: it performs queued write-behind requests.
+// The active-job table entry (no yield between Get and the insert) lets
+// KillBiods settle flow control for a daemon killed mid-RPC.
 func (c *Client) biod(p *sim.Proc) {
 	for {
 		c.idleBiods++
 		job := c.jobs.Get(p)
 		c.idleBiods--
+		if c.activeJobs == nil {
+			c.activeJobs = make(map[*sim.Proc]*writeJob)
+		}
+		c.activeJobs[p] = job
 		if job.buf != nil {
 			_ = job.c.WriteSyncBufRelease(p, job.fh, job.off, job.buf, job.n)
 		} else {
 			_ = job.c.WriteSync(p, job.fh, job.off, job.data)
 		}
+		delete(c.activeJobs, p)
 		c.outstanding--
 		c.closeCond.Broadcast()
 	}
@@ -538,6 +585,9 @@ func (c *Client) biod(p *sim.Proc) {
 func (c *Client) WriteBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byte) error {
 	if c.idleBiods > c.jobs.Len() {
 		c.outstanding++
+		if c.OnWriteBuffered != nil {
+			c.OnWriteBuffered(fh, off, len(data))
+		}
 		c.jobs.Put(&writeJob{fh: fh, off: off, data: data, c: c})
 		return nil
 	}
@@ -550,6 +600,9 @@ func (c *Client) WriteBehind(p *sim.Proc, fh nfsproto.FH, off uint32, data []byt
 func (c *Client) writeBehindBuf(p *sim.Proc, fh nfsproto.FH, off uint32, b *block.Buf, n int) error {
 	if c.idleBiods > c.jobs.Len() {
 		c.outstanding++
+		if c.OnWriteBuffered != nil {
+			c.OnWriteBuffered(fh, off, n)
+		}
 		c.jobs.Put(&writeJob{fh: fh, off: off, buf: b, n: n, c: c})
 		return nil
 	}
@@ -562,6 +615,134 @@ func (c *Client) Close(p *sim.Proc) {
 	for c.outstanding > 0 {
 		c.closeCond.Wait(p)
 	}
+}
+
+// AdoptApp registers an application process as part of this client host:
+// a Crash kills it along with the daemons, because the workstation it ran
+// on is gone. Workload runners that support client faults register their
+// driver processes here.
+func (c *Client) AdoptApp(p *sim.Proc) { c.apps = append(c.apps, p) }
+
+// AppsKilled reports how many registered application processes were still
+// running when a Crash took them down — the runner's accounting for
+// streams that can never finish.
+func (c *Client) AppsKilled() int { return c.appsKilled }
+
+// Crash kills the client host instantaneously: the receiver, the biod
+// pool and every adopted application process die mid-operation, the
+// socket buffer is lost with the interface, and the dirty write-behind
+// queue — writes the application was told "done" about but no server ever
+// acked — is discarded, exactly what a workstation power cycle loses.
+// Pending RPCs clean themselves up as their killed callers unwind. The
+// platters of this story live on the servers; a client has none.
+func (c *Client) Crash() {
+	if c.Down {
+		return
+	}
+	for _, pr := range c.apps {
+		if !pr.Done() && !pr.Killed() {
+			c.appsKilled++
+		}
+		c.sim.Kill(pr)
+	}
+	c.apps = c.apps[:0]
+	for _, pr := range c.daemons {
+		c.sim.Kill(pr)
+	}
+	c.daemons = c.daemons[:0]
+	c.activeJobs = nil
+	c.net.Detach(c.name)
+	// Dirty write-behind dies with host memory; queued jobs still hold
+	// their staging-buffer references.
+	for {
+		job, ok := c.jobs.TryGet()
+		if !ok {
+			break
+		}
+		if job.buf != nil {
+			job.buf.Release()
+		}
+	}
+	// Flow-control state resets with the daemons: killed biods never run
+	// their post-Get bookkeeping, and nothing outstanding can complete.
+	c.idleBiods = 0
+	c.outstanding = 0
+	c.Down = true
+}
+
+// Reboot brings the client host back: a fresh interface attachment, a
+// fresh receiver and a fresh biod pool. Applications do not restart —
+// whatever stream was interrupted stays interrupted, as it would on a
+// real workstation — and the write-behind dropped by the crash stays
+// dropped: NFS promises durability only for server-acked bytes.
+func (c *Client) Reboot() {
+	if !c.Down {
+		return
+	}
+	c.ep = c.net.Attach(c.name, 0, 0)
+	c.startDaemons()
+}
+
+// KillBiods kills up to n biod daemons (the biod-loss fault): the pool
+// shrinks for the rest of the run, degrading write-behind to §4.1's
+// do-it-yourself flow control. A daemon killed mid-RPC abandons its write
+// — never acked, so never a durability obligation — and its flow-control
+// slot is settled here so a later Close does not wait on a corpse. It
+// returns how many daemons actually died.
+func (c *Client) KillBiods(n int) int {
+	killed := 0
+	for i := len(c.daemons) - 1; i >= 0 && killed < n; i-- {
+		pr := c.daemons[i]
+		if pr.Done() || pr.Killed() {
+			continue
+		}
+		if pr == c.daemons[0] {
+			continue // never the receiver; biods only
+		}
+		if job, busy := c.activeJobs[pr]; busy {
+			delete(c.activeJobs, pr)
+			_ = job // the unwinding WriteSyncBufRelease releases job.buf
+			c.outstanding--
+			c.closeCond.Broadcast()
+		} else {
+			// An idle biod parked in Get already counted itself idle and
+			// will never run the post-Get decrement.
+			c.idleBiods--
+		}
+		c.sim.Kill(pr)
+		c.daemons = append(c.daemons[:i], c.daemons[i+1:]...)
+		c.numBiods--
+		killed++
+	}
+	// With the whole pool gone, jobs already queued have no consumer left
+	// (queueing races the kill within one instant): they are abandoned
+	// unacked like a killed daemon's in-flight write, and their
+	// flow-control slots settle here so Close never hangs on them.
+	if c.numBiods == 0 {
+		for {
+			job, ok := c.jobs.TryGet()
+			if !ok {
+				break
+			}
+			if job.buf != nil {
+				job.buf.Release()
+			}
+			c.outstanding--
+		}
+		c.closeCond.Broadcast()
+	} else {
+		// A killed idle daemon may have consumed a same-instant Put's
+		// wake-up before ever running; re-queue the jobs so each Put
+		// re-issues the signal to a surviving daemon (write-behind is
+		// unordered, so the rotation is harmless).
+		for i, n := 0, c.jobs.Len(); i < n; i++ {
+			if job, ok := c.jobs.TryGet(); ok {
+				c.jobs.Put(job)
+			}
+		}
+	}
+	c.BiodsLost += killed
+	return killed
 }
 
 // Outstanding reports in-flight write-behind requests (diagnostics).
@@ -613,6 +794,15 @@ func FillPattern(buf []byte, off uint32) {
 // closes. It returns the elapsed time from first byte to close completion.
 func (c *Client) WriteFile(p *sim.Proc, fh nfsproto.FH, size int) (sim.Duration, error) {
 	start := p.Now()
+	// A host crash can kill this process while a staging buffer is filled
+	// but not yet handed to the write path (the WriteGenerate sleep); the
+	// deferred release keeps the pool's accounting exact across the kill.
+	var staged *block.Buf
+	defer func() {
+		if staged != nil {
+			staged.Release()
+		}
+	}()
 	var off uint32
 	for remaining := size; remaining > 0; {
 		n := nfsproto.MaxData
@@ -620,8 +810,10 @@ func (c *Client) WriteFile(p *sim.Proc, fh nfsproto.FH, size int) (sim.Duration,
 			n = remaining
 		}
 		buf := c.GetWriteBuf()
+		staged = buf
 		FillPattern(buf.Data()[:n], off)
 		p.Sleep(c.params.WriteGenerate)
+		staged = nil // ownership passes to the write path, which releases
 		if err := c.writeBehindBuf(p, fh, off, buf, n); err != nil {
 			return 0, err
 		}

@@ -87,6 +87,20 @@ type ClientGroup struct {
 	MaxRetries int
 }
 
+// AdoptedExport is a dead peer's filesystem served by a surviving node
+// after a shard failover: the peer's platters (and battery-backed NVRAM
+// dirty map, already replayed) mounted under the adopter, with a fresh
+// server instance on its own endpoint sharing the adopter's CPU. The
+// export keeps its FSID, so every file handle born on the dead shard
+// stays valid — clients just reroute.
+type AdoptedExport struct {
+	FSID   uint32
+	From   *Node // the dead shard the platters came from
+	FS     *ufs.FS
+	Server *server.Server
+	Presto *nvram.Presto
+}
+
 // Node is one server shard with its full device stack.
 type Node struct {
 	Name  string
@@ -96,6 +110,9 @@ type Node struct {
 	Boots int
 	// Down is true between Crash and the end of Reboot.
 	Down bool
+	// Rebooting is true while a Reboot is remounting (Down still true):
+	// the window where a failover must not adopt the same platters.
+	Rebooting bool
 	// RecoveredBlocks totals NVRAM dirty blocks replayed onto the
 	// platters across all reboots (0 without Presto).
 	RecoveredBlocks int
@@ -105,6 +122,11 @@ type Node struct {
 	Disks  []*disk.Disk
 	Stripe *disk.Stripe
 	Presto *nvram.Presto
+	// Adopted lists dead peers' exports this node took over (Adopt). They
+	// are part of the node's volatile serving state: a crash of the
+	// adopter drops them (the platters survive on the dead peer, but
+	// nobody serves them again).
+	Adopted []*AdoptedExport
 
 	c *Cluster
 	// mkfs is the boot-time image flusher (only meaningful for the first
@@ -269,32 +291,40 @@ func (n *Node) buildDeviceStack() (disk.Device, *sim.Resource) {
 	return dev, cpu
 }
 
-// startServer attaches a fresh server instance (a boot) over fs.
-func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
-	cfg := n.c.cfg
-	costs := n.c.costs
+// newServer builds one server instance over fs — a node's boot or an
+// adopted export's takeover instance. It is the single source of the
+// config defaulting, gather policy, boot-verifier formula (index and
+// boot count identify the export's instance; clients detect the change
+// and know the dup cache died) and metadata charge hook, so rebooted and
+// adopted servers can never silently diverge.
+func (c *Cluster) newServer(name string, fs *ufs.FS, cpu *sim.Resource, nfsds int, presto bool, index, boots int) *server.Server {
+	cfg := c.cfg
+	costs := c.costs
 	scfg := server.Config{
-		Name:          n.Name,
-		NumNfsds:      n.numNfsds,
+		Name:          name,
+		NumNfsds:      nfsds,
 		Gathering:     cfg.Gathering,
 		Costs:         costs,
-		Accelerated:   n.presto,
+		Accelerated:   presto,
 		RecordReplies: cfg.RecordReplies,
 		CPU:           cpu,
-		// The boot verifier changes every boot, which is how clients
-		// detect that the dup cache died with the old instance.
-		BootVerifier: uint64(n.Index+1)<<32 | uint64(n.Boots+1),
+		BootVerifier:  uint64(index+1)<<32 | uint64(boots+1),
 	}
 	if cfg.Gathering {
 		if cfg.GatherOverride != nil {
 			scfg.Gather = *cfg.GatherOverride
 		} else {
-			scfg.Gather = core.DefaultConfig(n.presto, cfg.Net.Procrastinate)
+			scfg.Gather = core.DefaultConfig(presto, cfg.Net.Procrastinate)
 		}
 	}
-	n.Server = server.New(n.c.Sim, n.c.Net, fs, scfg)
-	srv := n.Server
+	srv := server.New(c.Sim, c.Net, fs, scfg)
 	fs.ChargeMeta = func(p *sim.Proc) { srv.CPU().Use(p, costs.MetaUpdate) }
+	return srv
+}
+
+// startServer attaches a fresh server instance (a boot) over fs.
+func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
+	n.Server = n.c.newServer(n.Name, fs, cpu, n.numNfsds, n.presto, n.Index, n.Boots)
 	n.Boots++
 	n.Down = false
 }
@@ -318,6 +348,30 @@ func (n *Node) Crash() {
 	}
 	s.Kill(n.mkfs)
 	n.c.Net.Detach(n.Name)
+	// Adopted exports are volatile serving state: the dead peers' platters
+	// survive (they are the peers'), but this host's server instances,
+	// caches and replacement NVRAM boards die with it, and nothing brings
+	// the exports back — a rebooted adopter does not re-adopt.
+	for _, ex := range n.Adopted {
+		for _, pr := range ex.Server.Procs() {
+			s.Kill(pr)
+		}
+		if ex.Presto != nil {
+			for _, pr := range ex.Presto.Procs() {
+				s.Kill(pr)
+			}
+			// The replacement board sits on the dead peer's tray: its
+			// battery-backed dirty map survives this host's crash, carried
+			// by the peer again (and replayed if that box ever powers on).
+			ex.From.Presto = ex.Presto
+			ex.Presto = nil
+		}
+		n.c.Net.Detach(ex.Server.Endpoint().Name)
+		ex.FS.DropCaches()
+		ex.FS = nil
+		ex.Server = nil
+	}
+	n.Adopted = nil
 	// The in-core filesystem dies with the host; Reboot remounts from the
 	// platters. DropCaches releases the buffer cache's block references
 	// (host memory is gone; contents shared with the platter store and the
@@ -339,6 +393,8 @@ func (n *Node) Reboot(p *sim.Proc) error {
 	if !n.Down {
 		return fmt.Errorf("cluster: reboot of running node %s", n.Name)
 	}
+	n.Rebooting = true
+	defer func() { n.Rebooting = false }()
 	if n.Presto != nil {
 		// The replay targets the same device bottom the new stack mounts
 		// (disk and stripe both take platter-level injections).
@@ -352,6 +408,80 @@ func (n *Node) Reboot(p *sim.Proc) error {
 	}
 	n.FS = fs
 	n.startServer(fs, cpu)
+	return nil
+}
+
+// Adopt mounts a dead peer's disks under this node — the shard-failover
+// recovery step. The peer's battery-backed NVRAM dirty map replays onto
+// its platters first (the board travels with the disk tray), then the
+// adopter remounts the filesystem at device speed and starts a dedicated
+// server instance for it on its own endpoint, sharing this node's CPU:
+// the takeover is free in hardware but every adopted RPC now contends
+// with the adopter's own load. The export keeps the dead shard's FSID,
+// so existing file handles stay valid; the cluster reroutes every client
+// and reassigns shard-map ownership. The caller provides the takeover
+// process (its elapsed time is the remount, as for Reboot).
+func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
+	if n.Down {
+		return fmt.Errorf("cluster: %s cannot adopt while down", n.Name)
+	}
+	if !dead.Down {
+		return fmt.Errorf("cluster: adopting running node %s", dead.Name)
+	}
+	if dead.Presto != nil {
+		dead.RecoveredBlocks += dead.Presto.Recover(dead.raw().(nvram.BlockInjector))
+		dead.Presto = nil
+	}
+	s := n.c.Sim
+	costs := n.c.costs
+	cpu := n.Server.CPU()
+	dev := disk.Device(server.NewChargedDevice(dead.raw(), cpu, costs.DriverTrip))
+	ex := &AdoptedExport{FSID: dead.FSID, From: dead}
+	if dead.presto {
+		ex.Presto = nvram.New(s, hw.Prestoserve(), dev)
+		dev = server.NewChargedNVRAM(ex.Presto, cpu, costs.DriverTrip,
+			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
+	}
+	fs, err := ufs.Mount(s, p, dev)
+	if err != nil {
+		return fmt.Errorf("cluster: adopt %s on %s: %w", dead.Name, n.Name, err)
+	}
+	ex.FS = fs
+	// The adoption is the export's next boot — same verifier formula as a
+	// reboot, so clients that talked to the dead shard see the change and
+	// know the dup cache is gone.
+	name := fmt.Sprintf("%s+%s", n.Name, dead.Name)
+	ex.Server = n.c.newServer(name, fs, cpu, dead.numNfsds, dead.presto, dead.Index, dead.Boots)
+	// The new endpoint rides the adopter's NIC: if that attachment is
+	// currently severed, the adopted export is born cut off too.
+	if n.Server.Endpoint().LinkDown() {
+		n.c.Net.SetLinkDown(name, true)
+	}
+	n.Adopted = append(n.Adopted, ex)
+	n.c.Shards.reassign(dead.FSID, n)
+	for _, cli := range n.c.Clients {
+		cli.AddRoute(dead.FSID, name)
+	}
+	return nil
+}
+
+// FSByFSID resolves the mounted filesystem currently serving an export:
+// the owning node's own filesystem, or the adopter's mounted copy after
+// a failover. Nil when nobody serves it (the owner is down with no
+// adopter, or the adopter crashed).
+func (c *Cluster) FSByFSID(fsid uint32) *ufs.FS {
+	n := c.Shards.byFSID[fsid]
+	if n == nil {
+		return nil
+	}
+	if n.FSID == fsid {
+		return n.FS
+	}
+	for _, ex := range n.Adopted {
+		if ex.FSID == fsid {
+			return ex.FS
+		}
+	}
 	return nil
 }
 

@@ -28,9 +28,14 @@ func newShardMap(nodes []*Node) *ShardMap {
 // Len reports the shard count.
 func (m *ShardMap) Len() int { return len(m.nodes) }
 
-// ByHandle resolves the node owning a file handle (nil for an unknown
-// export).
+// ByHandle resolves the node currently serving a file handle (nil for an
+// unknown export). After a failover this is the adopter, not the dead
+// shard the handle was born on — handles keep their FSID across the
+// migration.
 func (m *ShardMap) ByHandle(fh nfsproto.FH) *Node { return m.byFSID[fh.FSID()] }
+
+// reassign moves an export's ownership to a new serving node (failover).
+func (m *ShardMap) reassign(fsid uint32, n *Node) { m.byFSID[fsid] = n }
 
 // ByKey places a key (typically a file name) on its shard, using the
 // cluster-wide placement function (client.ShardIndex) that workloads use

@@ -26,6 +26,14 @@ func accountedRefs(c *cluster.Cluster) int64 {
 		if node.Presto != nil {
 			n += int64(node.Presto.DirtyBufs())
 		}
+		for _, ex := range node.Adopted {
+			if ex.FS != nil {
+				n += int64(ex.FS.CachedBufs())
+			}
+			if ex.Presto != nil {
+				n += int64(ex.Presto.DirtyBufs())
+			}
+		}
 	}
 	return n
 }

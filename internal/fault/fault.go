@@ -23,26 +23,67 @@ type Crash struct {
 	Outage sim.Duration
 }
 
-// Injector schedules crashes against a cluster and records recovery
-// outcomes.
+// Injector schedules faults against a cluster and records recovery
+// outcomes. Fault behaviour is pluggable: every fault type implements
+// Kind, and the injector just arms each kind's schedule and aggregates
+// the shared accounting. The original crash-train methods (Schedule,
+// ScheduleEvery) remain as the server-crash primitive the ServerCrash
+// kind delegates to.
 type Injector struct {
-	c *cluster.Cluster
+	c     *cluster.Cluster
+	kinds []Kind
 
-	// Crashes and Reboots count completed transitions.
+	// Journal, when non-nil, is the durability journal kinds annotate
+	// with their loss semantics (ScheduleAll passes it to each kind).
+	Journal *Journal
+
+	// Crashes and Reboots count completed server transitions.
 	Crashes int
 	Reboots int
-	// RecoveryTimes records each reboot's remount duration — the time the
-	// boot spent re-reading the inode region and rebuilding allocation
-	// maps at device speed.
+	// ClientReboots, BiodsLost, Failovers and LinkOutages count the other
+	// kinds' completed injections.
+	ClientReboots int
+	BiodsLost     int
+	Failovers     int
+	LinkOutages   int
+	// RecoveryTimes records each reboot's (or adoption's) remount duration
+	// — the time the boot spent re-reading the inode region and rebuilding
+	// allocation maps at device speed.
 	RecoveryTimes []sim.Duration
 	// Failures collects reboot errors (a failed remount is a test failure,
 	// not a panic, so sweeps can report it).
 	Failures []error
+	// EventsFired is the ordered record of every fault transition, with
+	// its simulated timestamp. It is a pure function of the spec and the
+	// seed — the determinism contract scenarios assert on.
+	EventsFired []string
 }
 
 // NewInjector builds an injector over c.
 func NewInjector(c *cluster.Cluster) *Injector {
 	return &Injector{c: c}
+}
+
+// Add registers a fault kind; ScheduleAll arms it.
+func (in *Injector) Add(k Kind) { in.kinds = append(in.kinds, k) }
+
+// ScheduleAll arms every added kind, in order, and gives each a chance to
+// annotate the durability journal with its loss semantics. Kinds added in
+// the same order produce the same same-instant event order — the recorded
+// baselines depend on it.
+func (in *Injector) ScheduleAll() {
+	for _, k := range in.kinds {
+		k.Schedule(in)
+		if in.Journal != nil {
+			k.AnnotateJournal(in, in.Journal)
+		}
+	}
+}
+
+// fired appends one timestamped line to the EventsFired record.
+func (in *Injector) fired(format string, args ...any) {
+	in.EventsFired = append(in.EventsFired,
+		fmt.Sprintf("t=%v ", sim.Duration(in.c.Sim.Now()))+fmt.Sprintf(format, args...))
 }
 
 // Schedule arms one crash/reboot cycle. The crash fires exactly at f.At;
@@ -61,6 +102,7 @@ func (in *Injector) Schedule(f Crash) {
 		}
 		node.Crash()
 		in.Crashes++
+		in.fired("server-crash %s", node.Name)
 		s.SpawnAfter(f.Outage, fmt.Sprintf("reboot-%s", node.Name), func(p *sim.Proc) {
 			start := p.Now()
 			if err := node.Reboot(p); err != nil {
@@ -69,6 +111,7 @@ func (in *Injector) Schedule(f Crash) {
 			}
 			in.RecoveryTimes = append(in.RecoveryTimes, p.Now().Sub(start))
 			in.Reboots++
+			in.fired("server-reboot %s", node.Name)
 		})
 	})
 }

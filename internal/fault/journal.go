@@ -21,6 +21,19 @@ type AckedWrite struct {
 	When   sim.Time
 }
 
+// BufferedWrite is one write accepted into a client's write-behind: the
+// application was told "done", but no server ack exists yet. NFS promises
+// durability only at close, so a client crash may legitimately lose these
+// — the checker tracks them so permitted loss is visible and accounted,
+// never confused with a durability violation.
+type BufferedWrite struct {
+	Client string
+	FH     nfsproto.FH
+	Off    uint32
+	Len    int
+	When   sim.Time
+}
+
 // Journal records every client-acked write during a run. All workloads in
 // this repo write the deterministic audit pattern (client.FillPattern), so
 // the journal needs offsets only — expected bytes are regenerated at
@@ -28,12 +41,19 @@ type AckedWrite struct {
 // pattern is a pure function of the absolute file offset).
 type Journal struct {
 	Entries []AckedWrite
+	// Buffered records write-behind acceptances (see BufferedWrite).
+	Buffered []BufferedWrite
+	// crashExposed names clients a scheduled fault may crash (or whose
+	// biods it may kill): their unacked buffered writes are an expected
+	// loss. Kinds register these via AnnotateJournal.
+	crashExposed map[string]bool
 }
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal { return &Journal{} }
 
-// Attach hooks a client so every acked WRITE is journaled.
+// Attach hooks a client so every acked WRITE — and every write accepted
+// into write-behind ahead of its ack — is journaled.
 func (j *Journal) Attach(cli *client.Client) {
 	name := cli.Name()
 	cli.OnWriteAcked = func(fh nfsproto.FH, off uint32, n int) {
@@ -41,6 +61,20 @@ func (j *Journal) Attach(cli *client.Client) {
 			Client: name, FH: fh, Off: off, Len: n, When: cli.Sim().Now(),
 		})
 	}
+	cli.OnWriteBuffered = func(fh nfsproto.FH, off uint32, n int) {
+		j.Buffered = append(j.Buffered, BufferedWrite{
+			Client: name, FH: fh, Off: off, Len: n, When: cli.Sim().Now(),
+		})
+	}
+}
+
+// NoteCrashExposed marks a client as targeted by a client-side fault:
+// its buffered-but-never-acked writes become permitted loss.
+func (j *Journal) NoteCrashExposed(clientName string) {
+	if j.crashExposed == nil {
+		j.crashExposed = make(map[string]bool)
+	}
+	j.crashExposed[clientName] = true
 }
 
 // AckedBytes sums journaled write sizes (re-acked retransmissions count
@@ -62,29 +96,45 @@ type CheckResult struct {
 	LostBytes int64
 	// FirstLoss describes the first violation, for diagnosis.
 	FirstLoss string
+	// BufferedWrites/BufferedBytes count write-behind acceptances seen.
+	BufferedWrites int
+	BufferedBytes  int64
+	// DroppedBuffered/DroppedBufferedBytes count buffered writes that
+	// never earned a server ack on a crash-exposed client — the loss a
+	// client reboot is permitted, excluded from LostBytes by contract.
+	DroppedBuffered      int
+	DroppedBufferedBytes int64
+	// UnackedBuffered counts buffered writes without acks on clients no
+	// fault targeted (e.g. retry exhaustion during a long outage). Also
+	// excluded from LostBytes — no ack, no obligation — but reported
+	// separately because nothing scheduled them.
+	UnackedBuffered int
 }
 
-// Verify reads every journaled range back through the owning shard's
-// remounted filesystem and compares it with the regenerated audit pattern.
-// It must run after all scheduled reboots completed (every shard mounted).
-// The reads go through the simulated device stack, so Verify consumes
-// simulated time; run it from a dedicated process after the measured
-// phase.
+// Verify reads every journaled range back through the filesystem currently
+// serving the owning export — the shard's own remounted filesystem, or the
+// adopter's after a failover — and compares it with the regenerated audit
+// pattern. It must run after all scheduled recoveries completed (every
+// surviving export mounted). The reads go through the simulated device
+// stack, so Verify consumes simulated time; run it from a dedicated
+// process after the measured phase.
 func (j *Journal) Verify(p *sim.Proc, c *cluster.Cluster) CheckResult {
 	res := CheckResult{AckedWrites: len(j.Entries), AckedBytes: j.AckedBytes()}
 	buf := make([]byte, nfsproto.MaxData)
 	want := make([]byte, nfsproto.MaxData)
+	acked := make(map[BufferedWrite]bool, len(j.Entries))
 	for _, e := range j.Entries {
-		node := c.Shards.ByHandle(e.FH)
-		if node == nil || node.FS == nil {
+		acked[BufferedWrite{Client: e.Client, FH: e.FH, Off: e.Off, Len: e.Len}] = true
+		fs := c.FSByFSID(e.FH.FSID())
+		if fs == nil {
 			res.LostBytes += int64(e.Len)
 			if res.FirstLoss == "" {
-				res.FirstLoss = fmt.Sprintf("write %+v: shard missing or down", e)
+				res.FirstLoss = fmt.Sprintf("write %+v: no shard serves its export", e)
 			}
 			continue
 		}
 		got := buf[:e.Len]
-		n, err := node.FS.Read(p, vfs.Ino(e.FH.Ino()), e.Off, got)
+		n, err := fs.Read(p, vfs.Ino(e.FH.Ino()), e.Off, got)
 		if err != nil || n != e.Len {
 			res.LostBytes += int64(e.Len)
 			if res.FirstLoss == "" {
@@ -104,6 +154,19 @@ func (j *Journal) Verify(p *sim.Proc, c *cluster.Cluster) CheckResult {
 			if res.FirstLoss == "" {
 				res.FirstLoss = fmt.Sprintf("write %+v: %d bytes corrupted", e, lost)
 			}
+		}
+	}
+	for _, b := range j.Buffered {
+		res.BufferedWrites++
+		res.BufferedBytes += int64(b.Len)
+		if acked[BufferedWrite{Client: b.Client, FH: b.FH, Off: b.Off, Len: b.Len}] {
+			continue
+		}
+		if j.crashExposed[b.Client] {
+			res.DroppedBuffered++
+			res.DroppedBufferedBytes += int64(b.Len)
+		} else {
+			res.UnackedBuffered++
 		}
 	}
 	return res

@@ -1,0 +1,290 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Spec-level fault kind tags. The scenario schema's tagged events decode
+// onto exactly these; the two layers share the vocabulary through these
+// constants.
+const (
+	KindServerCrash   = "server-crash"
+	KindClientReboot  = "client-reboot"
+	KindBiodLoss      = "biod-loss"
+	KindShardFailover = "shard-failover"
+	KindLinkOutage    = "link-outage"
+)
+
+// Kind is one pluggable fault type. An implementation owns the full
+// lifecycle of its failure mode: Schedule arms the timed injection and
+// recovery transitions against the injector's cluster (recording each in
+// EventsFired and the shared counters), and AnnotateJournal teaches the
+// durability checker the kind's loss semantics — which bytes a recovery
+// may legitimately surface without, and which remain hard obligations.
+//
+// New failure modes plug in here: implement Kind, map a spec event onto
+// it, and every scenario machine (validation, sweeps, durability audit,
+// rendering) picks it up without a special case.
+type Kind interface {
+	// Kind returns the spec-level tag (Kind* constants).
+	Kind() string
+	// Schedule arms the fault's transitions. Called before the simulation
+	// runs; all timing is via the cluster's simulator.
+	Schedule(in *Injector)
+	// AnnotateJournal records the kind's durability semantics on the
+	// journal (no-op for kinds that change no obligations).
+	AnnotateJournal(in *Injector, j *Journal)
+}
+
+// ServerCrash is the original fault: a train of Count crash/reboot cycles
+// on one server shard, the first at At, spaced every Period, each with
+// the given Outage before the reboot starts.
+type ServerCrash struct {
+	Node   int
+	At     sim.Time
+	Period sim.Duration
+	Outage sim.Duration
+	Count  int
+}
+
+func (f ServerCrash) Kind() string { return KindServerCrash }
+
+func (f ServerCrash) Schedule(in *Injector) {
+	in.ScheduleEvery(f.Node, f.At, f.Period, f.Outage, f.Count)
+}
+
+// AnnotateJournal: a server crash changes no obligations — every acked
+// byte must survive it. That is the contract under test.
+func (f ServerCrash) AnnotateJournal(in *Injector, j *Journal) {}
+
+// ClientReboot power-cycles one client workstation at At: the host's
+// daemons and applications die, dirty write-behind is discarded, and
+// after Outage the host boots back with fresh daemons (applications do
+// not restart). Client is the 0-based index into the cluster's client
+// population.
+type ClientReboot struct {
+	Client int
+	At     sim.Time
+	Outage sim.Duration
+}
+
+func (f ClientReboot) Kind() string { return KindClientReboot }
+
+func (f ClientReboot) Schedule(in *Injector) {
+	cli := in.c.Clients[f.Client]
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: client reboot time %v already past", f.At))
+	}
+	s.At(delay, func() {
+		if cli.Down {
+			return
+		}
+		cli.Crash()
+		in.fired("client-crash %s", cli.Name())
+		s.At(f.Outage, func() {
+			cli.Reboot()
+			in.ClientReboots++
+			in.fired("client-reboot %s", cli.Name())
+		})
+	})
+}
+
+// AnnotateJournal marks the target client crash-exposed: its buffered
+// writes that never earned a server ack are a permitted loss, not a
+// durability violation. Server-acked writes stay hard obligations — the
+// client forgetting it wrote them does not excuse the server losing them.
+func (f ClientReboot) AnnotateJournal(in *Injector, j *Journal) {
+	j.NoteCrashExposed(in.c.Clients[f.Client].Name())
+}
+
+// BiodLoss kills Lose of one client's biod daemons at At — the daemons
+// never come back, so write-behind degrades toward §4.1's do-it-yourself
+// flow control. A daemon killed mid-RPC abandons its write unacked.
+type BiodLoss struct {
+	Client int
+	At     sim.Time
+	Lose   int
+}
+
+func (f BiodLoss) Kind() string { return KindBiodLoss }
+
+func (f BiodLoss) Schedule(in *Injector) {
+	cli := in.c.Clients[f.Client]
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: biod loss time %v already past", f.At))
+	}
+	s.At(delay, func() {
+		if cli.Down {
+			return
+		}
+		killed := cli.KillBiods(f.Lose)
+		if killed == 0 {
+			return // pool already empty (an earlier loss): nothing happened
+		}
+		in.BiodsLost += killed
+		in.fired("biod-loss %s (-%d daemons)", cli.Name(), killed)
+	})
+}
+
+// AnnotateJournal: a killed daemon's in-flight write was never acked, so
+// the client counts as crash-exposed for buffered-loss accounting.
+func (f BiodLoss) AnnotateJournal(in *Injector, j *Journal) {
+	j.NoteCrashExposed(in.c.Clients[f.Client].Name())
+}
+
+// ShardFailover kills shard Node at At and, after the Takeover delay
+// (failure detection plus tray handover), has surviving shard To adopt
+// its disks: NVRAM replay, remount at device speed, and a dedicated
+// server instance under the adopter's CPU serving the dead shard's FSID.
+// The source node never reboots — its export lives on through the
+// adopter.
+type ShardFailover struct {
+	Node     int
+	To       int
+	At       sim.Time
+	Takeover sim.Duration
+}
+
+func (f ShardFailover) Kind() string { return KindShardFailover }
+
+func (f ShardFailover) Schedule(in *Injector) {
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: failover time %v already past", f.At))
+	}
+	s.At(delay, func() {
+		node := in.c.Nodes[f.Node]
+		if !node.Down {
+			node.Crash()
+			in.Crashes++
+			in.fired("server-crash %s (failover source)", node.Name)
+		}
+		adopter := in.c.Nodes[f.To]
+		s.SpawnAfter(f.Takeover, fmt.Sprintf("failover-%s-%s", node.Name, adopter.Name),
+			func(p *sim.Proc) {
+				// An earlier crash train's reboot may still be remounting on
+				// either node (validation bounds scheduled windows, but a
+				// remount tail is device-timed and extends past them).
+				// Adoption must not mount platters a racing reboot is
+				// mid-mount on, so wait each side out: the adopter finishes
+				// booting, and the source — the failover decision stands —
+				// is powered back off the instant its reboot completes.
+				for adopter.Rebooting || node.Rebooting {
+					p.Sleep(5 * sim.Millisecond)
+				}
+				if !node.Down {
+					node.Crash()
+					in.Crashes++
+					in.fired("server-crash %s (failover source, rebooted mid-takeover)", node.Name)
+				}
+				start := p.Now()
+				if err := adopter.Adopt(p, node); err != nil {
+					in.Failures = append(in.Failures, err)
+					return
+				}
+				in.RecoveryTimes = append(in.RecoveryTimes, p.Now().Sub(start))
+				in.Failovers++
+				in.fired("shard-failover %s->%s", node.Name, adopter.Name)
+			})
+	})
+}
+
+// AnnotateJournal: failover preserves every obligation — the platters
+// move, the acked bytes must all still be readable through the adopter.
+func (f ShardFailover) AnnotateJournal(in *Injector, j *Journal) {}
+
+// LinkOutage severs one host's network attachment for a train of timed
+// windows: Count cycles starting at At, spaced every Period, each Outage
+// long. The host stays up — clients ride it out with retransmission, a
+// cut-off server keeps serving its queued work into a dead interface.
+// TargetClient selects a client host by index instead of a server shard.
+type LinkOutage struct {
+	TargetClient bool
+	Index        int
+	At           sim.Time
+	Period       sim.Duration
+	Outage       sim.Duration
+	Count        int
+}
+
+func (f LinkOutage) Kind() string { return KindLinkOutage }
+
+// targets resolves the host's endpoint names at fire time. A server host
+// carries one endpoint per export it serves — its own plus any adopted
+// ones — and a severed NIC cuts them all.
+func (f LinkOutage) targets(in *Injector) []string {
+	if f.TargetClient {
+		return []string{in.c.Clients[f.Index].Name()}
+	}
+	n := in.c.Nodes[f.Index]
+	names := []string{n.Name}
+	for _, ex := range n.Adopted {
+		names = append(names, ex.Server.Endpoint().Name)
+	}
+	return names
+}
+
+// hostDown reports whether the outage target's host is down (or still
+// remounting) — there is no attachment to sever then.
+func (f LinkOutage) hostDown(in *Injector) bool {
+	if f.TargetClient {
+		return in.c.Clients[f.Index].Down
+	}
+	n := in.c.Nodes[f.Index]
+	return n.Down || n.Rebooting
+}
+
+func (f LinkOutage) Schedule(in *Injector) {
+	s := in.c.Sim
+	at := f.At
+	for i := 0; i < f.Count; i++ {
+		delay := at.Sub(s.Now())
+		if delay < 0 {
+			panic(fmt.Sprintf("fault: link outage time %v already past", at))
+		}
+		// Each cycle is a paired down/up transition. A cycle aimed at a
+		// host that is down at the down-instant (a crash window precedes
+		// the cycle and its device-timed remount tail runs long) is
+		// skipped whole — the attachment is already gone, and counting a
+		// cut that never happened would misreport the run. Same skip
+		// semantics as a crash aimed at a node still down.
+		cut := new(bool)
+		s.At(delay, func() {
+			if f.hostDown(in) {
+				return
+			}
+			names := f.targets(in)
+			for _, name := range names {
+				in.c.Net.SetLinkDown(name, true)
+			}
+			*cut = true
+			in.LinkOutages++
+			in.fired("link-down %s", names[0])
+		})
+		s.At(delay+f.Outage, func() {
+			if !*cut {
+				return
+			}
+			// Re-resolve: an export adopted during the window attached to
+			// the severed NIC (Adopt inherits the link state) and comes
+			// back with it.
+			names := f.targets(in)
+			for _, name := range names {
+				in.c.Net.SetLinkDown(name, false)
+			}
+			in.fired("link-up %s", names[0])
+		})
+		at = at.Add(f.Period)
+	}
+}
+
+// AnnotateJournal: an outage loses datagrams, never acked bytes — the
+// retransmission layer's whole job. No obligations change.
+func (f LinkOutage) AnnotateJournal(in *Injector, j *Journal) {}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// TestLinkDownSevers: while an attachment is down, the host cannot
+// transmit (the send dies in the driver, never touching the medium) and
+// in-flight deliveries to it are lost on arrival — the sender still
+// burns medium time, exactly like any lost UDP datagram. Unlike a
+// Detach, queued datagrams survive in the socket buffer and the endpoint
+// object stays live, so consumers blocked on its inbox resume unharmed
+// when the link comes back.
+func TestLinkDownSevers(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, hw.Ethernet())
+	n.Attach("cli", 0, 0)
+	srv := n.Attach("srv", 0, 0)
+
+	s.Spawn("pre", func(p *sim.Proc) {
+		n.Send(p, "cli", "srv", make([]byte, 100)) // delivered before the cut
+	})
+	cutAt := sim.Duration(5 * sim.Millisecond)
+	s.At(cutAt, func() {
+		if srv.Inbox.Len() != 1 {
+			t.Errorf("pre-cut inbox len = %d, want 1", srv.Inbox.Len())
+		}
+		n.SetLinkDown("srv", true)
+		if !srv.LinkDown() || srv.Dead() {
+			t.Error("link-down endpoint should be down but not dead")
+		}
+		if srv.Inbox.Len() != 1 {
+			t.Error("link-down must not discard the socket buffer")
+		}
+	})
+
+	s.Spawn("cut-traffic", func(p *sim.Proc) {
+		p.Sleep(cutAt + sim.Millisecond)
+		// A live sender cannot tell the difference: the send succeeds and
+		// burns medium time, and the datagram dies on arrival.
+		if !n.Send(p, "cli", "srv", make([]byte, 100)) {
+			t.Error("send toward a severed link should look like any other send")
+		}
+		// The cut host itself cannot drive the medium at all.
+		util0 := n.Utilization()
+		if n.Send(p, "srv", "cli", make([]byte, 100)) {
+			t.Error("a severed host transmitted")
+		}
+		if n.Utilization() != util0 {
+			t.Error("a driver-dropped send must not consume medium time")
+		}
+		p.Sleep(2 * sim.Millisecond) // past the in-flight delivery
+		if n.DropsLinkDown != 2 {
+			t.Errorf("DropsLinkDown = %d, want 2 (one arrival, one driver drop)", n.DropsLinkDown)
+		}
+		n.SetLinkDown("srv", false)
+		if !n.Send(p, "cli", "srv", make([]byte, 100)) {
+			t.Error("send after link-up failed")
+		}
+	})
+
+	s.Run(0)
+	// Exactly two datagrams reached the host: the pre-cut delivery (which
+	// sat out the outage in the socket buffer) and the post-restore one.
+	if got := srv.Inbox.Len(); got != 2 {
+		t.Fatalf("inbox holds %d datagrams, want 2 (pre-cut + post-restore)", got)
+	}
+	for i := 0; i < 2; i++ {
+		dg, ok := srv.Inbox.TryGet()
+		if !ok {
+			t.Fatal("queued datagram vanished")
+		}
+		dg.Release()
+	}
+
+	// Unknown names are a no-op, so injectors may race crashes.
+	n.SetLinkDown("nobody", true)
+}

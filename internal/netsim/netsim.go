@@ -95,10 +95,17 @@ type Endpoint struct {
 	// dead marks a detached endpoint (host crashed / interface down);
 	// in-flight deliveries to it are dropped like any other lost datagram.
 	dead bool
+	// linkDown marks a severed attachment (SetLinkDown): the host is alive
+	// — queued datagrams stay in the socket buffer — but nothing crosses
+	// the interface in either direction until the link comes back.
+	linkDown bool
 }
 
 // Dead reports whether the endpoint has been detached from its network.
 func (e *Endpoint) Dead() bool { return e.dead }
+
+// LinkDown reports whether the endpoint's attachment is severed.
+func (e *Endpoint) LinkDown() bool { return e.linkDown }
 
 // Network is one shared-medium LAN segment.
 type Network struct {
@@ -112,6 +119,10 @@ type Network struct {
 	SentDatagrams uint64
 	SentBytes     uint64
 	DropsNoDest   uint64
+	// DropsLinkDown counts datagrams lost to a severed attachment: sends
+	// from a link-down host (the NIC cannot drive the medium) and
+	// deliveries arriving at one.
+	DropsLinkDown uint64
 }
 
 // New builds a network with the given link parameters.
@@ -171,6 +182,20 @@ func (n *Network) Detach(name string) *Endpoint {
 	return ep
 }
 
+// SetLinkDown severs or restores an endpoint's attachment without
+// discarding the host — the link-outage fault primitive, and the stepping
+// stone to bridged media (a bridge port going down is exactly this).
+// While down, the host cannot transmit (sends are dropped before they
+// reach the medium, as a dead NIC cannot drive it) and in-flight
+// deliveries to it are lost on arrival; the socket buffer's queued
+// datagrams survive, because host memory does. Unknown names are a no-op,
+// so outage injectors may race host crashes harmlessly.
+func (n *Network) SetLinkDown(name string, down bool) {
+	if ep, ok := n.endpoints[name]; ok {
+		ep.linkDown = down
+	}
+}
+
 // FragCount reports how many fragments a payload of n bytes needs.
 func (n *Network) FragCount(payload int) int {
 	total := payload + UDPIPOverhead
@@ -216,6 +241,12 @@ func (n *Network) SendBuf(p *sim.Proc, from, to string, head []byte, body *block
 }
 
 func (n *Network) send(p *sim.Proc, from, to string, payload []byte, body *block.Buf, bodyLen int) bool {
+	if src, ok := n.endpoints[from]; ok && src.linkDown {
+		// The sender's attachment is severed: the datagram dies in the
+		// driver without ever touching the shared medium.
+		n.DropsLinkDown++
+		return false
+	}
 	d, frags, wire := n.wireTime(len(payload) + bodyLen)
 	// Use (not Acquire/Release) so a sender killed mid-serialization — a
 	// crashing server's nfsd half-way through a reply — frees the shared
@@ -250,6 +281,13 @@ func (n *Network) getDatagram() *Datagram {
 	}
 	d := &Datagram{net: n}
 	d.deliver = func() {
+		if d.dst.linkDown {
+			// The destination's attachment went down while the datagram
+			// was in flight: it arrives at a severed interface and is lost.
+			d.net.DropsLinkDown++
+			d.Release()
+			return
+		}
 		if d.dst.dead || !d.dst.Inbox.Put(d) {
 			// Socket buffer overflow — or the destination host crashed
 			// while the datagram was in flight: it dies here, exactly as

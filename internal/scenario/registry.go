@@ -28,6 +28,8 @@ func Registry() []Entry {
 		{"crash", "Crash/recovery durability: acked-write audit across two server crashes (plain and Presto)", crash},
 		{"partialcrash", "Partial-cluster crash under LADDIS load: one of two shards crashes mid-measure (std vs gathering)", partialCrash},
 		{"flapstorm", "Flapping storm: staggered short-outage crash trains on both shards under sharded write streams, durability-checked", flapStorm},
+		{"failover", "Shard failover: one of two shards dies mid-stream and the survivor adopts its disks under a stable FSID (plain vs Presto)", failOver},
+		{"clientreboot", "Client crash model: one client reboots mid-stream dropping dirty write-behind, another loses biods; acked bytes must all survive", clientReboot},
 	}
 }
 
@@ -104,6 +106,89 @@ func crash() Spec {
 	spec := StreamCrash("crash", "Crash/recovery durability, write gathering",
 		false, true, 2, 2,
 		500*sim.Millisecond, 1500*sim.Millisecond, 400*sim.Millisecond, 2, 777)
+	plain, presto := false, true
+	spec.Cells = []Cell{
+		{Label: "plain", Presto: &plain},
+		{Label: "presto", Presto: &presto},
+	}
+	return spec
+}
+
+// failOver is a scenario the crash-train API could not express: the
+// shard map stops being static. Shard 2 dies mid-stream and never
+// reboots; after the takeover delay shard 1 adopts its disks — NVRAM
+// replay, remount, a dedicated server instance on the adopter's CPU —
+// under the same FSID, so every handle born on the dead shard stays
+// valid and the interrupted streams finish through the adopter. The
+// durability checker then reads every acked byte back through the
+// migrated export.
+func failOver() Spec {
+	spec := Spec{
+		Name:        "failover",
+		Description: "Shard 2 dies mid-stream; shard 1 adopts its disks under a stable FSID",
+		Seed:        4747,
+		Topology: Topology{
+			Net:      "fddi",
+			Assembly: AssemblyCluster,
+			Clients:  []ClientGroup{{Count: 2, Biods: 4, MaxRetries: 100}},
+			Servers:  Servers{Count: 2, Gathering: true},
+		},
+		Workload: Workload{Kind: KindStream, Stream: &StreamWorkload{FileMB: 2, Shard: true}},
+		Faults: Faults{
+			CheckDurability: true,
+			Events: []FaultEvent{{
+				Kind: FaultShardFailover,
+				ShardFailover: &ShardFailoverFault{
+					Node: 1, To: 0, At: 400 * sim.Millisecond, Takeover: 250 * sim.Millisecond,
+				},
+			}},
+		},
+	}
+	plain, presto := false, true
+	spec.Cells = []Cell{
+		{Label: "plain", Presto: &plain},
+		{Label: "presto", Presto: &presto},
+	}
+	return spec
+}
+
+// clientReboot is the client-side half of the fault matrix: client 2
+// power-cycles mid-stream — its dirty write-behind and the stream that
+// produced it die with the workstation — while client 1 loses half its
+// biod pool and grinds on. The checker proves the asymmetry the NFS
+// contract draws: every server-acked byte survives (LostBytes 0), while
+// the buffered-but-never-acked writes the reboot dropped are permitted
+// loss, reported but never counted against the server.
+func clientReboot() Spec {
+	spec := Spec{
+		Name:        "clientreboot",
+		Description: "Client 2 reboots mid-stream dropping dirty write-behind; client 1 loses 2 biods",
+		Seed:        2929,
+		Topology: Topology{
+			Net:      "fddi",
+			Assembly: AssemblyCluster,
+			Clients:  []ClientGroup{{Count: 2, Biods: 4, MaxRetries: 50}},
+			Servers:  Servers{Count: 1, Gathering: true},
+		},
+		Workload: Workload{Kind: KindStream, Stream: &StreamWorkload{FileMB: 2}},
+		Faults: Faults{
+			CheckDurability: true,
+			Events: []FaultEvent{
+				{
+					Kind: FaultClientReboot,
+					ClientReboot: &ClientRebootFault{
+						Client: 1, At: 300 * sim.Millisecond, Outage: 500 * sim.Millisecond,
+					},
+				},
+				{
+					Kind: FaultBiodLoss,
+					BiodLoss: &BiodLossFault{
+						Client: 0, At: 200 * sim.Millisecond, Lose: 2,
+					},
+				},
+			},
+		},
+	}
 	plain, presto := false, true
 	spec.Cells = []Cell{
 		{Label: "plain", Presto: &plain},

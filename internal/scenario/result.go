@@ -108,6 +108,23 @@ type Durability struct {
 	Reboots              int     `json:"reboots"`
 	MeanRecoveryMs       float64 `json:"mean_recovery_ms"`
 	RecoveredNVRAMBlocks int     `json:"recovered_nvram_blocks"`
+	// ClientReboots, BiodsLost, Failovers and LinkOutages count the
+	// completed injections of the other fault kinds.
+	ClientReboots int `json:"client_reboots,omitempty"`
+	BiodsLost     int `json:"biods_lost,omitempty"`
+	Failovers     int `json:"failovers,omitempty"`
+	LinkOutages   int `json:"link_outages,omitempty"`
+	// BufferedWrites counts write-behind acceptances; DroppedBuffered the
+	// subset a crash-exposed client never got acked — permitted loss,
+	// excluded from LostBytes. UnackedBuffered counts unacked buffered
+	// writes on untargeted clients (also excluded; no ack, no obligation).
+	BufferedWrites       int   `json:"buffered_writes,omitempty"`
+	DroppedBuffered      int   `json:"dropped_buffered,omitempty"`
+	DroppedBufferedBytes int64 `json:"dropped_buffered_bytes,omitempty"`
+	UnackedBuffered      int   `json:"unacked_buffered,omitempty"`
+	// EventsFired is the injector's timestamped fault transition log — a
+	// pure function of spec and seed (the determinism contract).
+	EventsFired []string `json:"events_fired,omitempty"`
 }
 
 // CellResult is one sweep point's outcome: the uniform metric columns
@@ -185,9 +202,25 @@ func (r *Result) Render() string {
 			d := cell.Durability
 			fmt.Fprintf(&b, "%s: crashes=%d reboots=%d mean recovery=%.1fms nvram replay=%d",
 				cell.Label, d.Crashes, d.Reboots, d.MeanRecoveryMs, d.RecoveredNVRAMBlocks)
+			if d.ClientReboots > 0 {
+				fmt.Fprintf(&b, " client reboots=%d", d.ClientReboots)
+			}
+			if d.BiodsLost > 0 {
+				fmt.Fprintf(&b, " biods lost=%d", d.BiodsLost)
+			}
+			if d.Failovers > 0 {
+				fmt.Fprintf(&b, " failovers=%d", d.Failovers)
+			}
+			if d.LinkOutages > 0 {
+				fmt.Fprintf(&b, " link outages=%d", d.LinkOutages)
+			}
 			if d.Checked {
 				fmt.Fprintf(&b, "  acked %d writes/%d KB  lost %d bytes",
 					d.AckedWrites, d.AckedBytes/1024, d.LostBytes)
+				if d.DroppedBuffered > 0 {
+					fmt.Fprintf(&b, "  dropped write-behind %d writes/%d KB (permitted)",
+						d.DroppedBuffered, d.DroppedBufferedBytes/1024)
+				}
 				if d.LostBytes > 0 {
 					b.WriteString("  DURABILITY VIOLATED: " + d.FirstLoss)
 				}

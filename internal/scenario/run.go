@@ -280,9 +280,11 @@ func runClusterCell(rc *resolved) CellResult {
 	c := cluster.New(rc.clusterConfig())
 	var cr CellResult
 
-	// Durability journal first, then the crash schedule, then the
+	// Durability journal first, then the fault schedule, then the
 	// workload: hook order fixes same-instant event order, and recorded
-	// crash runs hooked in this order.
+	// crash runs hooked in this order. The normalized event list already
+	// has the legacy crash trains ahead of the typed events, so a legacy
+	// spec arms exactly the s.At sequence it always did.
 	var j *fault.Journal
 	if rc.faults.CheckDurability {
 		j = fault.NewJournal()
@@ -291,11 +293,13 @@ func runClusterCell(rc *resolved) CellResult {
 		}
 	}
 	var in *fault.Injector
-	if len(rc.faults.Crashes) > 0 {
+	if len(rc.events) > 0 {
 		in = fault.NewInjector(c)
-		for _, tr := range rc.faults.Crashes {
-			in.ScheduleEvery(tr.Node, sim.Time(tr.At), tr.Period, tr.Outage, tr.Count)
+		in.Journal = j
+		for _, ev := range rc.events {
+			in.Add(buildKind(ev))
 		}
+		in.ScheduleAll()
 	}
 
 	switch rc.kind {
@@ -305,6 +309,14 @@ func runClusterCell(rc *resolved) CellResult {
 		runClusterCopy(rc, c, &cr)
 	case KindLADDIS:
 		runClusterLADDIS(rc, c, &cr)
+	}
+
+	// A scheduled recovery that failed (remount error, adoption error)
+	// means the run is not the experiment the spec declared; surfacing it
+	// loudly beats reporting plausible-looking metrics from the wrong
+	// scenario.
+	if in != nil && len(in.Failures) > 0 {
+		panic(fmt.Sprintf("scenario: fault recovery failed: %v", in.Failures))
 	}
 
 	// The audit phase runs after all workload and reboot activity; it
@@ -322,15 +334,24 @@ func runClusterCell(rc *resolved) CellResult {
 	}
 	if in != nil || j != nil {
 		d := &Durability{
-			Checked:     j != nil,
-			AckedWrites: check.AckedWrites,
-			AckedBytes:  check.AckedBytes,
-			LostBytes:   check.LostBytes,
-			FirstLoss:   check.FirstLoss,
+			Checked:              j != nil,
+			AckedWrites:          check.AckedWrites,
+			AckedBytes:           check.AckedBytes,
+			LostBytes:            check.LostBytes,
+			FirstLoss:            check.FirstLoss,
+			BufferedWrites:       check.BufferedWrites,
+			DroppedBuffered:      check.DroppedBuffered,
+			DroppedBufferedBytes: check.DroppedBufferedBytes,
+			UnackedBuffered:      check.UnackedBuffered,
 		}
 		if in != nil {
 			d.Crashes = in.Crashes
 			d.Reboots = in.Reboots
+			d.ClientReboots = in.ClientReboots
+			d.BiodsLost = in.BiodsLost
+			d.Failovers = in.Failovers
+			d.LinkOutages = in.LinkOutages
+			d.EventsFired = in.EventsFired
 			if len(in.RecoveryTimes) > 0 {
 				var sum sim.Duration
 				for _, rt := range in.RecoveryTimes {
@@ -349,6 +370,42 @@ func runClusterCell(rc *resolved) CellResult {
 	return cr
 }
 
+// buildKind maps one validated spec event onto its engine implementation.
+// The spec and engine layers share the kind vocabulary; this is the only
+// place that knows both shapes.
+func buildKind(ev FaultEvent) fault.Kind {
+	switch ev.Kind {
+	case FaultServerCrash:
+		f := ev.ServerCrash
+		return fault.ServerCrash{
+			Node: f.Node, At: sim.Time(f.At), Period: f.Period, Outage: f.Outage, Count: f.Count,
+		}
+	case FaultClientReboot:
+		f := ev.ClientReboot
+		return fault.ClientReboot{Client: f.Client, At: sim.Time(f.At), Outage: f.Outage}
+	case FaultBiodLoss:
+		f := ev.BiodLoss
+		return fault.BiodLoss{Client: f.Client, At: sim.Time(f.At), Lose: f.Lose}
+	case FaultShardFailover:
+		f := ev.ShardFailover
+		return fault.ShardFailover{
+			Node: f.Node, To: f.To, At: sim.Time(f.At), Takeover: f.Takeover,
+		}
+	case FaultLinkOutage:
+		f := ev.LinkOutage
+		k := fault.LinkOutage{
+			At: sim.Time(f.At), Period: f.Period, Outage: f.Outage, Count: f.Count,
+		}
+		if f.Client != nil {
+			k.TargetClient, k.Index = true, *f.Client
+		} else {
+			k.Index = *f.Node
+		}
+		return k
+	}
+	panic("scenario: unvalidated fault kind " + ev.Kind)
+}
+
 func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 	roots := c.Roots()
 	size := rc.stream.FileMB << 20
@@ -360,7 +417,7 @@ func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 		if rc.stream.Shard {
 			root = roots[i%len(roots)]
 		}
-		c.Sim.Spawn(fmt.Sprintf("stream-%d", i), func(p *sim.Proc) {
+		pr := c.Sim.Spawn(fmt.Sprintf("stream-%d", i), func(p *sim.Proc) {
 			name := fmt.Sprintf("stream-%d.dat", i)
 			cres, err := cli.Create(p, root, name, 0644)
 			if err != nil || cres.Status != nfsproto.OK {
@@ -372,11 +429,18 @@ func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 			bytesWritten += int64(size)
 			done++
 		})
+		// The stream is part of its client host: a client-reboot fault
+		// kills it with the workstation, and it does not restart.
+		cli.AdoptApp(pr)
 	}
 	// elapsed covers the stream phase only: the durability audit also
 	// consumes simulated device time and must not dilute the stream rate.
 	elapsed := c.Sim.Run(0)
-	if done != len(c.Clients) {
+	killed := 0
+	for _, cli := range c.Clients {
+		killed += cli.AppsKilled()
+	}
+	if done+killed != len(c.Clients) {
 		panic("scenario: streams did not finish")
 	}
 	cr.Elapsed = sim.Duration(elapsed)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -212,13 +213,35 @@ type TraceWorkload struct {
 	Bound sim.Duration `json:"bound_ns,omitempty"`
 }
 
-// Faults is the deterministic fault schedule.
+// Fault event kinds — the tags FaultEvent.Kind takes. The vocabulary is
+// shared with the engine layer (internal/fault), where each tag names a
+// pluggable fault.Kind implementation.
+const (
+	FaultServerCrash   = fault.KindServerCrash
+	FaultClientReboot  = fault.KindClientReboot
+	FaultBiodLoss      = fault.KindBiodLoss
+	FaultShardFailover = fault.KindShardFailover
+	FaultLinkOutage    = fault.KindLinkOutage
+)
+
+// Faults is the deterministic fault schedule: typed events plus the
+// legacy crash-train list.
 type Faults struct {
-	// Crashes are per-node crash trains (fault.Injector.ScheduleEvery).
+	// Crashes are per-node server crash trains — the original fault
+	// shape, kept first-class in the schema so every recorded spec and
+	// registry entry round-trips byte-identically. Each train is adapted
+	// onto a server-crash event ahead of the typed Events below, in list
+	// order, so a legacy spec schedules exactly what it always did.
 	Crashes []CrashTrain `json:"crashes,omitempty"`
+	// Events is the general form: a list of tagged fault events, each
+	// validated by kind and scheduled in list order after the legacy
+	// trains. See FaultEvent.
+	Events []FaultEvent `json:"events,omitempty"`
 	// CheckDurability journals every client-acked write and, after the
 	// run, reads each range back through the recovered shards: acked
-	// bytes that did not survive are reported as LostBytes.
+	// bytes that did not survive are reported as LostBytes. Writes a
+	// client buffered but no server ever acked are tracked separately —
+	// a client crash may legitimately lose those.
 	CheckDurability bool `json:"check_durability,omitempty"`
 }
 
@@ -227,6 +250,75 @@ type Faults struct {
 // with the given Outage before the reboot starts.
 type CrashTrain struct {
 	Node   int          `json:"node"`
+	At     sim.Duration `json:"at_ns"`
+	Period sim.Duration `json:"period_ns,omitempty"`
+	Outage sim.Duration `json:"outage_ns"`
+	Count  int          `json:"count"`
+}
+
+// FaultEvent is one tagged fault: Kind selects the failure mode and
+// exactly the matching variant field must be set (strict decoding — a
+// kind/variant mismatch is a validation error, an unknown kind likewise).
+type FaultEvent struct {
+	Kind string `json:"kind"`
+	// ServerCrash matches kind "server-crash".
+	ServerCrash *ServerCrashFault `json:"server_crash,omitempty"`
+	// ClientReboot matches kind "client-reboot".
+	ClientReboot *ClientRebootFault `json:"client_reboot,omitempty"`
+	// BiodLoss matches kind "biod-loss".
+	BiodLoss *BiodLossFault `json:"biod_loss,omitempty"`
+	// ShardFailover matches kind "shard-failover".
+	ShardFailover *ShardFailoverFault `json:"shard_failover,omitempty"`
+	// LinkOutage matches kind "link-outage".
+	LinkOutage *LinkOutageFault `json:"link_outage,omitempty"`
+}
+
+// ServerCrashFault is CrashTrain as a typed event: Count crash/reboot
+// cycles on server shard Node.
+type ServerCrashFault struct {
+	Node   int          `json:"node"`
+	At     sim.Duration `json:"at_ns"`
+	Period sim.Duration `json:"period_ns,omitempty"`
+	Outage sim.Duration `json:"outage_ns"`
+	Count  int          `json:"count"`
+}
+
+// ClientRebootFault power-cycles client host Client (0-based index into
+// the topology's client population) at At: dirty write-behind and pending
+// biod retries are discarded with host memory, and the host boots back
+// after Outage with fresh daemons. Applications do not restart — an
+// interrupted stream stays interrupted.
+type ClientRebootFault struct {
+	Client int          `json:"client"`
+	At     sim.Duration `json:"at_ns"`
+	Outage sim.Duration `json:"outage_ns"`
+}
+
+// BiodLossFault kills Lose of one client's biod daemons at At; the pool
+// stays shrunk for the rest of the run.
+type BiodLossFault struct {
+	Client int          `json:"client"`
+	At     sim.Duration `json:"at_ns"`
+	Lose   int          `json:"lose"`
+}
+
+// ShardFailoverFault kills server shard Node at At and, after the
+// Takeover delay, has surviving shard To adopt its disks under a stable
+// FSID: existing file handles stay valid and clients reroute to the
+// adopter. The source shard never reboots.
+type ShardFailoverFault struct {
+	Node     int          `json:"node"`
+	To       int          `json:"to"`
+	At       sim.Duration `json:"at_ns"`
+	Takeover sim.Duration `json:"takeover_ns"`
+}
+
+// LinkOutageFault severs one host's network attachment for Count timed
+// windows of Outage, starting at At and spaced every Period. Exactly one
+// of Node (server shard) and Client (client host) selects the target.
+type LinkOutageFault struct {
+	Node   *int         `json:"node,omitempty"`
+	Client *int         `json:"client,omitempty"`
 	At     sim.Duration `json:"at_ns"`
 	Period sim.Duration `json:"period_ns,omitempty"`
 	Outage sim.Duration `json:"outage_ns"`

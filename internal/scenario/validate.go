@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/hw"
@@ -68,6 +69,10 @@ type resolved struct {
 	trace  TraceWorkload
 
 	faults Faults
+	// events is the normalized fault schedule: the legacy crash trains
+	// adapted onto server-crash events (in list order), then the typed
+	// events, all validated. Run schedules exactly this list in order.
+	events []FaultEvent
 }
 
 func netParams(name string) (hw.NetParams, bool) {
@@ -272,8 +277,8 @@ func (r *resolved) needsCluster() string {
 	switch {
 	case r.servers.Count > 1:
 		return "multiple server shards"
-	case len(r.faults.Crashes) > 0 || r.faults.CheckDurability:
-		return "fault injection (only cluster nodes are crashable)"
+	case len(r.faults.Crashes) > 0 || len(r.faults.Events) > 0 || r.faults.CheckDurability:
+		return "fault injection (only cluster assemblies are faultable)"
 	case len(r.servers.Nodes) > 0:
 		return "per-node server overrides"
 	case len(r.groups) > 1:
@@ -286,47 +291,218 @@ func (r *resolved) needsCluster() string {
 	return ""
 }
 
-// validateFaults checks the crash schedule against the resolved topology:
-// known targets, sane cycle parameters, and non-overlapping scheduled
-// outage windows per node (the injector skips a crash aimed at a node
-// that is still down, so an overlapping schedule would silently drop
-// cycles instead of running what the spec describes).
+// faultWindow is one scheduled down-window on a target, kept with the
+// spec field it came from so overlap errors name both offenders. fatal
+// windows take the host down (crash, reboot, failover); non-fatal ones
+// only sever its attachment (link outage) — the host, its daemons and
+// any adopted exports live on.
+type faultWindow struct {
+	from, to sim.Duration
+	field    string
+	fatal    bool
+}
+
+// forever marks an open-ended window (a failed-over shard never comes
+// back).
+const forever = sim.Duration(1<<63 - 1)
+
+// validateFaults normalizes the fault schedule — the legacy crash trains
+// become server-crash events ahead of the typed list — and checks every
+// event by kind against the resolved topology: known targets, sane cycle
+// parameters, strict kind/variant pairing, per-target non-overlapping
+// down-windows (the injector skips a fault aimed at a target that is
+// still down, so an overlapping schedule would silently drop cycles
+// instead of running what the spec describes), and failover sanity (the
+// adopter must not be dead, dying, or itself failed-over).
 func (r *resolved) validateFaults() error {
-	type window struct {
-		from, to sim.Duration
+	r.events = nil
+	for _, tr := range r.faults.Crashes {
+		r.events = append(r.events, FaultEvent{
+			Kind: FaultServerCrash,
+			ServerCrash: &ServerCrashFault{
+				Node: tr.Node, At: tr.At, Period: tr.Period, Outage: tr.Outage, Count: tr.Count,
+			},
+		})
 	}
-	byNode := map[int][]window{}
-	for i, tr := range r.faults.Crashes {
-		field := fmt.Sprintf("faults.crashes[%d]", i)
-		if tr.Node < 0 || tr.Node >= r.servers.Count {
-			return invalid(field, "fault targets unknown node %d (topology has %d servers)", tr.Node, r.servers.Count)
+	legacy := len(r.faults.Crashes)
+	r.events = append(r.events, r.faults.Events...)
+
+	serverWin := map[int][]faultWindow{}
+	clientWin := map[int][]faultWindow{}
+	type adoption struct {
+		to    int
+		at    sim.Duration
+		field string
+	}
+	var adoptions []adoption
+	type point struct {
+		client int
+		at     sim.Duration
+		field  string
+	}
+	var biodPoints []point
+
+	for i, ev := range r.events {
+		var field string
+		if i < legacy {
+			field = fmt.Sprintf("faults.crashes[%d]", i)
+		} else {
+			field = fmt.Sprintf("faults.events[%d]", i-legacy)
 		}
-		if tr.Count < 1 {
-			return invalid(field, "crash count must be at least 1")
+		if err := r.checkVariant(field, ev); err != nil {
+			return err
 		}
-		if tr.Outage <= 0 {
-			return invalid(field, "outage must be positive")
-		}
-		if tr.At < 0 {
-			return invalid(field, "first crash time must not be negative")
-		}
-		if tr.Count > 1 && tr.Period <= 0 {
-			return invalid(field, "repeating trains need a positive period")
-		}
-		for k := 0; k < tr.Count; k++ {
-			at := tr.At + sim.Duration(k)*tr.Period
-			byNode[tr.Node] = append(byNode[tr.Node], window{at, at + tr.Outage})
+		switch ev.Kind {
+		case FaultServerCrash:
+			f := ev.ServerCrash
+			if f.Node < 0 || f.Node >= r.servers.Count {
+				return invalid(field, "fault targets unknown node %d (topology has %d servers)", f.Node, r.servers.Count)
+			}
+			if f.Count < 1 {
+				return invalid(field, "crash count must be at least 1")
+			}
+			if f.Outage <= 0 {
+				return invalid(field, "outage must be positive")
+			}
+			if f.At < 0 {
+				return invalid(field, "first crash time must not be negative")
+			}
+			if f.Count > 1 && f.Period <= 0 {
+				return invalid(field, "repeating trains need a positive period")
+			}
+			for k := 0; k < f.Count; k++ {
+				at := f.At + sim.Duration(k)*f.Period
+				serverWin[f.Node] = append(serverWin[f.Node], faultWindow{at, at + f.Outage, field, true})
+			}
+		case FaultClientReboot:
+			f := ev.ClientReboot
+			if f.Client < 0 || f.Client >= r.nclients {
+				return invalid(field, "fault targets unknown client %d (topology has %d clients)", f.Client, r.nclients)
+			}
+			if f.Outage <= 0 {
+				return invalid(field, "outage must be positive")
+			}
+			if f.At < 0 {
+				return invalid(field, "reboot time must not be negative")
+			}
+			if r.kind != KindStream {
+				return invalid(field, "client faults require the stream workload (the %s runner cannot lose a client)", r.kind)
+			}
+			clientWin[f.Client] = append(clientWin[f.Client], faultWindow{f.At, f.At + f.Outage, field, true})
+		case FaultBiodLoss:
+			f := ev.BiodLoss
+			if f.Client < 0 || f.Client >= r.nclients {
+				return invalid(field, "fault targets unknown client %d (topology has %d clients)", f.Client, r.nclients)
+			}
+			if f.At < 0 {
+				return invalid(field, "loss time must not be negative")
+			}
+			if r.kind != KindStream {
+				return invalid(field, "client faults require the stream workload (the %s runner cannot lose a client)", r.kind)
+			}
+			biods := r.clientBiods(f.Client)
+			if f.Lose < 1 || f.Lose > biods {
+				return invalid(field, "lose must be between 1 and the client's %d biods", biods)
+			}
+			biodPoints = append(biodPoints, point{f.Client, f.At, field})
+		case FaultShardFailover:
+			f := ev.ShardFailover
+			if f.Node < 0 || f.Node >= r.servers.Count {
+				return invalid(field, "fault targets unknown node %d (topology has %d servers)", f.Node, r.servers.Count)
+			}
+			if f.To < 0 || f.To >= r.servers.Count {
+				return invalid(field, "failover to unknown node %d (topology has %d servers)", f.To, r.servers.Count)
+			}
+			if f.To == f.Node {
+				return invalid(field, "a shard cannot fail over to itself")
+			}
+			if f.At < 0 || f.Takeover < 0 {
+				return invalid(field, "failover and takeover times must not be negative")
+			}
+			if r.kind == KindLADDIS {
+				return invalid(field,
+					"shard failover requires a fully handle-routed workload; the laddis generators issue statfs to the default server by name, which cannot follow a migrated export")
+			}
+			// The source never comes back: its down-window is open-ended,
+			// which also rejects any later event aimed at it.
+			serverWin[f.Node] = append(serverWin[f.Node], faultWindow{f.At, forever, field, true})
+			adoptions = append(adoptions, adoption{f.To, f.At, field})
+		case FaultLinkOutage:
+			f := ev.LinkOutage
+			if (f.Node == nil) == (f.Client == nil) {
+				return invalid(field, "exactly one of node and client selects the outage target")
+			}
+			if f.Count < 1 {
+				return invalid(field, "outage count must be at least 1")
+			}
+			if f.Outage <= 0 {
+				return invalid(field, "outage must be positive")
+			}
+			if f.At < 0 {
+				return invalid(field, "first outage time must not be negative")
+			}
+			if f.Count > 1 && f.Period <= 0 {
+				return invalid(field, "repeating trains need a positive period")
+			}
+			win := serverWin
+			idx, limit, what := 0, r.servers.Count, "node"
+			if f.Node != nil {
+				idx = *f.Node
+			} else {
+				win, idx, limit, what = clientWin, *f.Client, r.nclients, "client"
+			}
+			if idx < 0 || idx >= limit {
+				return invalid(field, "fault targets unknown %s %d", what, idx)
+			}
+			for k := 0; k < f.Count; k++ {
+				at := f.At + sim.Duration(k)*f.Period
+				win[idx] = append(win[idx], faultWindow{at, at + f.Outage, field, false})
+			}
+		default:
+			// checkVariant already rejected unknown kinds; a kind added
+			// to its table but not here must fail loudly, not skip its
+			// validation.
+			panic("scenario: fault kind " + ev.Kind + " has no validation case")
 		}
 	}
-	for node, ws := range byNode {
-		for i := range ws {
-			for j := i + 1; j < len(ws); j++ {
-				a, b := ws[i], ws[j]
-				if a.from < b.to && b.from < a.to {
-					return invalid("faults.crashes",
-						"overlapping crash windows on node %d ([%v,%v] and [%v,%v])",
-						node, a.from, a.to, b.from, b.to)
+
+	for _, byTarget := range []map[int][]faultWindow{serverWin, clientWin} {
+		for target, ws := range byTarget {
+			for i := range ws {
+				for j := i + 1; j < len(ws); j++ {
+					a, b := ws[i], ws[j]
+					if a.from < b.to && b.from < a.to {
+						return invalid(a.field,
+							"overlapping fault windows on target %d (%s [%v,%v] and %s [%v,%v])",
+							target, a.field, a.from, a.to, b.field, b.from, b.to)
+					}
 				}
+			}
+		}
+	}
+	// An adopter must survive from the failover on: adopted exports die
+	// with it and nothing re-adopts them. A host-fatal window still open
+	// (or opening) after the failover instant makes the failover a
+	// scheduled durability loss; windows fully recovered before it are
+	// fine (the takeover waits out a remount tail), and link outages
+	// never take the host down at all.
+	for _, ad := range adoptions {
+		for _, w := range serverWin[ad.to] {
+			if w.fatal && w.to > ad.at {
+				return invalid(ad.field,
+					"failover to node %d, which %s schedules down at %v — the adopter must stay up from the failover on",
+					ad.to, w.field, w.from)
+			}
+		}
+	}
+	for _, bp := range biodPoints {
+		for _, w := range clientWin[bp.client] {
+			// Only host-fatal windows matter: biods are alive (and
+			// killable) during a mere link outage.
+			if w.fatal && bp.at >= w.from && bp.at < w.to {
+				return invalid(bp.field,
+					"biod loss at %v lands inside %s's down-window [%v,%v]",
+					bp.at, w.field, w.from, w.to)
 			}
 		}
 	}
@@ -334,6 +510,53 @@ func (r *resolved) validateFaults() error {
 		return invalid("faults.check_durability", "the trace workload has no durability journal")
 	}
 	return nil
+}
+
+// checkVariant enforces the tagged-union contract: exactly the variant
+// matching Kind is set.
+func (r *resolved) checkVariant(field string, ev FaultEvent) error {
+	variants := []struct {
+		kind string
+		set  bool
+	}{
+		{FaultServerCrash, ev.ServerCrash != nil},
+		{FaultClientReboot, ev.ClientReboot != nil},
+		{FaultBiodLoss, ev.BiodLoss != nil},
+		{FaultShardFailover, ev.ShardFailover != nil},
+		{FaultLinkOutage, ev.LinkOutage != nil},
+	}
+	known := false
+	for _, v := range variants {
+		if v.kind == ev.Kind {
+			known = true
+			if !v.set {
+				return invalid(field, "kind %q declared but its %s variant is missing", ev.Kind, jsonName(ev.Kind))
+			}
+		} else if v.set {
+			return invalid(field, "kind %q set alongside a %s variant", ev.Kind, v.kind)
+		}
+	}
+	if !known {
+		return invalid(field, "unknown fault kind %q (want %q, %q, %q, %q or %q)", ev.Kind,
+			FaultServerCrash, FaultClientReboot, FaultBiodLoss, FaultShardFailover, FaultLinkOutage)
+	}
+	return nil
+}
+
+// jsonName maps a fault kind tag to its variant's JSON field name.
+func jsonName(kind string) string {
+	return strings.ReplaceAll(kind, "-", "_")
+}
+
+// clientBiods resolves a client index to its group's biod count.
+func (r *resolved) clientBiods(idx int) int {
+	for _, g := range r.groups {
+		if idx < g.Count {
+			return g.Biods
+		}
+		idx -= g.Count
+	}
+	return 0
 }
 
 // clusterConfig maps the resolved cell onto a cluster build.

@@ -490,6 +490,11 @@ func (s *Sim) Kill(p *Proc) {
 // Killed reports whether Kill has been called on the process.
 func (p *Proc) Killed() bool { return p.killed }
 
+// Done reports whether the process has finished (returned or unwound).
+// Fault injectors use it to tell a completed application from one their
+// kill actually took down.
+func (p *Proc) Done() bool { return p.done }
+
 // Trace, when non-nil, receives a line per control transfer (debugging).
 var Trace func(string)
 
