@@ -14,6 +14,9 @@
 //	nfsbench -scenario f.json       # run an edited spec
 //	nfsbench -run figure2 -quick    # coarser LADDIS sweep
 //	nfsbench -mb 4                  # smaller copies (faster, same rates)
+//	nfsbench -fuzz 200 -seed 7      # seed-driven scenario fuzzing; on a
+//	                                # failure prints the shrunk spec and
+//	                                # exits 1
 package main
 
 import (
@@ -37,9 +40,14 @@ func main() {
 	validate := flag.String("validate", "", "parse and validate a scenario spec file without running it")
 	mb := flag.Int("mb", 10, "file copy size in MB (the paper used 10)")
 	quick := flag.Bool("quick", false, "coarser LADDIS sweeps for figures 2-3")
+	fuzz := flag.Int("fuzz", 0, "run N fuzzed scenarios against the durability and leak invariants")
+	seed := flag.Int64("seed", 1, "fuzzing campaign seed (with -fuzz)")
 	flag.Parse()
 
 	switch {
+	case *fuzz > 0:
+		runFuzz(*fuzz, *seed)
+		return
 	case *list:
 		listScenarios()
 		return
@@ -221,6 +229,24 @@ func validateScenarioFile(path string) {
 		cells = 1
 	}
 	fmt.Printf("%s: spec %q valid (%d cells, workload %s)\n", path, spec.Name, cells, spec.Workload.Kind)
+}
+
+// runFuzz executes a fuzzing campaign. On a failure the minimal
+// reproducing spec prints as runnable JSON (feed it back through
+// -scenario) and the exit status is 1.
+func runFuzz(runs int, seed int64) {
+	failure := scenario.Fuzz(scenario.FuzzConfig{
+		Runs: runs,
+		Seed: seed,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if failure != nil {
+		fmt.Fprintln(os.Stderr, failure.String())
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz: %d runs, seed %d: all clean (durability and block accounting held)\n", runs, seed)
 }
 
 func runSpec(spec scenario.Spec) {

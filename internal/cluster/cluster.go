@@ -116,6 +116,9 @@ type Node struct {
 	// RecoveredBlocks totals NVRAM dirty blocks replayed onto the
 	// platters across all reboots (0 without Presto).
 	RecoveredBlocks int
+	// DroppedNVRAMBlocks totals dirty blocks a lying NVRAM board discarded
+	// at a power event instead of replaying (the acked data it lost).
+	DroppedNVRAMBlocks int
 
 	Server *server.Server
 	FS     *ufs.FS
@@ -234,9 +237,20 @@ func New(cfg Config) *Cluster {
 		// the node's volatile state — a crash in the first instants must
 		// kill it too, or it would land platter writes posthumously.
 		n.mkfs = s.Spawn(n.Name+"-mkfs", func(p *sim.Proc) {
-			fs.WriteSuper(p)
-			if err := fs.Fsync(p, fs.Root(), vfs.FWrite|vfs.FWriteMetadata); err != nil {
-				panic("cluster: initial root flush: " + err.Error())
+			// A storage fault can fail the initial flush; retry briefly
+			// (consuming transient media-error rules) before giving up.
+			for attempt := 0; ; attempt++ {
+				err := fs.WriteSuper(p)
+				if err == nil {
+					err = fs.Fsync(p, fs.Root(), vfs.FWrite|vfs.FWriteMetadata)
+				}
+				if err == nil {
+					return
+				}
+				if attempt >= 4 {
+					panic("cluster: initial root flush: " + err.Error())
+				}
+				p.Sleep(10 * sim.Millisecond)
 			}
 		})
 		c.Nodes = append(c.Nodes, n)
@@ -266,6 +280,23 @@ func New(cfg Config) *Cluster {
 }
 
 func serverName(i int) string { return fmt.Sprintf("server%d", i+1) }
+
+// mountRetry mounts with a bounded retry: a transient media error during
+// the superblock or inode-region read is absorbed the way disk firmware
+// absorbs it (retry the transfer); a persistent failure surfaces to the
+// caller. Healthy devices mount on the first attempt, identically to
+// before.
+func mountRetry(s *sim.Sim, p *sim.Proc, dev disk.Device) (*ufs.FS, error) {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var fs *ufs.FS
+		fs, err = ufs.Mount(s, p, dev)
+		if err == nil {
+			return fs, nil
+		}
+	}
+	return nil, err
+}
 
 // raw returns the bottom of the node's device stack (the persistent part).
 func (n *Node) raw() disk.Device {
@@ -396,13 +427,19 @@ func (n *Node) Reboot(p *sim.Proc) error {
 	n.Rebooting = true
 	defer func() { n.Rebooting = false }()
 	if n.Presto != nil {
-		// The replay targets the same device bottom the new stack mounts
-		// (disk and stripe both take platter-level injections).
-		n.RecoveredBlocks += n.Presto.Recover(n.raw().(nvram.BlockInjector))
+		if n.Presto.Lying() {
+			// A lying board's "battery-backed" dirty map evaporates at the
+			// power event: the acked writes it held are gone.
+			n.DroppedNVRAMBlocks += n.Presto.DropDirty()
+		} else {
+			// The replay targets the same device bottom the new stack mounts
+			// (disk and stripe both take platter-level injections).
+			n.RecoveredBlocks += n.Presto.Recover(n.raw().(nvram.BlockInjector))
+		}
 		n.Presto = nil
 	}
 	dev, cpu := n.buildDeviceStack()
-	fs, err := ufs.Mount(n.c.Sim, p, dev)
+	fs, err := mountRetry(n.c.Sim, p, dev)
 	if err != nil {
 		return fmt.Errorf("cluster: remount %s: %w", n.Name, err)
 	}
@@ -429,7 +466,11 @@ func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
 		return fmt.Errorf("cluster: adopting running node %s", dead.Name)
 	}
 	if dead.Presto != nil {
-		dead.RecoveredBlocks += dead.Presto.Recover(dead.raw().(nvram.BlockInjector))
+		if dead.Presto.Lying() {
+			dead.DroppedNVRAMBlocks += dead.Presto.DropDirty()
+		} else {
+			dead.RecoveredBlocks += dead.Presto.Recover(dead.raw().(nvram.BlockInjector))
+		}
 		dead.Presto = nil
 	}
 	s := n.c.Sim
@@ -442,7 +483,7 @@ func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
 		dev = server.NewChargedNVRAM(ex.Presto, cpu, costs.DriverTrip,
 			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
 	}
-	fs, err := ufs.Mount(s, p, dev)
+	fs, err := mountRetry(s, p, dev)
 	if err != nil {
 		return fmt.Errorf("cluster: adopt %s on %s: %w", dead.Name, n.Name, err)
 	}
@@ -503,6 +544,36 @@ func (c *Cluster) Roots() []nfsproto.FH {
 		roots[i] = nfsproto.NewFH(n.FSID, uint64(n.FS.Root()), 0)
 	}
 	return roots
+}
+
+// AccountedRefs sums the buffer references the cluster's long-lived
+// structures legitimately retain — buffer caches, platter stores and
+// NVRAM dirty maps, own and adopted. After a full quiesce, the process
+// block-reference total minus the pre-build baseline must equal exactly
+// this sum: any surplus is a reference leaked through an unwind path,
+// any deficit a double release. The scenario runner audits it per cell.
+func (c *Cluster) AccountedRefs() int64 {
+	var n int64
+	for _, node := range c.Nodes {
+		if node.FS != nil {
+			n += int64(node.FS.CachedBufs())
+		}
+		for _, d := range node.Disks {
+			n += int64(d.StoredBufs())
+		}
+		if node.Presto != nil {
+			n += int64(node.Presto.DirtyBufs())
+		}
+		for _, ex := range node.Adopted {
+			if ex.FS != nil {
+				n += int64(ex.FS.CachedBufs())
+			}
+			if ex.Presto != nil {
+				n += int64(ex.Presto.DirtyBufs())
+			}
+		}
+	}
+	return n
 }
 
 // MarkInterval starts a measurement interval on every node.

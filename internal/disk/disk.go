@@ -19,19 +19,21 @@ import (
 // is how UFS clustering reaches 64K per transaction.
 type Device interface {
 	// ReadBlocks reads len(buf) bytes starting at block blk, blocking p
-	// for the service time. len(buf) must be a multiple of BlockSize.
-	ReadBlocks(p *sim.Proc, blk int64, buf []byte)
+	// for the service time. len(buf) must be a multiple of BlockSize. A
+	// non-nil error (ErrMedia, ErrFailed) means the transfer failed and
+	// buf contents are undefined.
+	ReadBlocks(p *sim.Proc, blk int64, buf []byte) error
 	// WriteBlocks writes data starting at block blk, blocking p for the
 	// service time. len(data) must be a multiple of BlockSize. This is the
 	// copying path; the buffer cache uses WriteBufs.
-	WriteBlocks(p *sim.Proc, blk int64, data []byte)
+	WriteBlocks(p *sim.Proc, blk int64, data []byte) error
 	// WriteBufs writes one refcounted buffer per block starting at blk,
 	// blocking p for the service time of the combined transfer. The device
 	// takes its own references at entry (the point-in-time snapshot a DMA
 	// would capture) and stores them instead of copying the payload; a
 	// caller that mutates a buffer afterwards must follow the
 	// copy-on-write discipline (block.Buf.Unique).
-	WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf)
+	WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) error
 	// BlockSize is the block size in bytes.
 	BlockSize() int
 	// NumBlocks is the device capacity in blocks.
@@ -80,14 +82,14 @@ func (s *Stats) IntervalBytes() uint64 {
 // it — a buffer written from the buffer cache is shared, not copied, until
 // one side overwrites it.
 type Disk struct {
-	sim    *sim.Sim
-	p      hw.DiskParams
-	arm    *sim.Resource // serializes the actuator
-	pos    int64         // current head position, block number
-	data   map[int64]*block.Buf
-	pool   *block.Pool // backs []byte writes and injections
-	stats  Stats
-	faulty bool // when true, I/O panics — used by crash tests
+	sim   *sim.Sim
+	p     hw.DiskParams
+	arm   *sim.Resource // serializes the actuator
+	pos   int64         // current head position, block number
+	data  map[int64]*block.Buf
+	pool  *block.Pool // backs []byte writes and injections
+	stats Stats
+	fp    *plane // injectable fault plane; nil on a healthy disk
 	// OnOp, when non-nil, observes every completed transfer (tracing).
 	OnOp func(write bool, blk int64, n int)
 }
@@ -154,27 +156,50 @@ func (d *Disk) serviceTime(blk int64, n int) sim.Duration {
 	return d.p.CtlOverhead + seek + rot + xfer
 }
 
-func (d *Disk) check(blk int64, n int) {
-	if d.faulty {
-		panic("disk: I/O to crashed device")
-	}
+// check panics on malformed transfers (programming errors) and returns
+// ErrFailed for I/O against a fail-stopped device.
+func (d *Disk) check(blk int64, n int) error {
 	if n%d.p.BlockSize != 0 {
 		panic(fmt.Sprintf("disk: transfer of %d bytes not block aligned", n))
 	}
 	if blk < 0 || blk+int64(n/d.p.BlockSize) > d.p.NumBlocks {
 		panic(fmt.Sprintf("disk: access beyond device: blk %d len %d", blk, n))
 	}
+	if d.fp != nil && d.fp.failStop {
+		return ErrFailed
+	}
+	return nil
 }
 
-// ReadBlocks implements Device.
-func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
-	d.check(blk, len(buf))
+// service computes the transfer's service time, degraded if a fault
+// window covers the current instant.
+func (d *Disk) service(blk int64, n int) sim.Duration {
+	st := d.serviceTime(blk, n)
+	if d.fp != nil {
+		st = d.fp.scale(d.sim.Now(), st)
+	}
+	return st
+}
+
+// ReadBlocks implements Device. A transfer overlapping an armed media-error
+// rule occupies the arm for the full service time, then fails.
+func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
+	if err := d.check(blk, len(buf)); err != nil {
+		return err
+	}
 	d.arm.Acquire(p)
 	defer d.arm.Release()
-	st := d.serviceTime(blk, len(buf))
+	st := d.service(blk, len(buf))
 	p.Sleep(st)
 	d.stats.BusyTime += st
 	nb := int64(len(buf) / d.p.BlockSize)
+	if d.fp != nil {
+		if err := d.fp.readErr(blk, nb); err != nil {
+			d.pos = blk
+			d.stats.Reads++
+			return err
+		}
+	}
 	for i := int64(0); i < nb; i++ {
 		src := d.data[blk+i]
 		dst := buf[i*int64(d.p.BlockSize) : (i+1)*int64(d.p.BlockSize)]
@@ -192,17 +217,20 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 	if d.OnOp != nil {
 		d.OnOp(false, blk, len(buf))
 	}
+	return nil
 }
 
 // WriteBlocks implements Device. A process killed while the transfer is in
 // flight (a server crash mid-I/O) unwinds out of the Sleep: the deferred
 // release frees the arm, and the bytes never reach the platters — the
 // conservative power-failure model.
-func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
-	d.check(blk, len(data))
+func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) error {
+	if err := d.check(blk, len(data)); err != nil {
+		return err
+	}
 	d.arm.Acquire(p)
 	defer d.arm.Release()
-	st := d.serviceTime(blk, len(data))
+	st := d.service(blk, len(data))
 	p.Sleep(st)
 	d.stats.BusyTime += st
 	d.storeBytes(blk, data)
@@ -212,21 +240,48 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 	if d.OnOp != nil {
 		d.OnOp(true, blk, len(data))
 	}
+	return nil
 }
 
 // WriteBufs implements Device: the zero-copy write path. References are
 // taken before the service-time sleep — the snapshot a DMA engine would
 // capture at issue — so a buffer rewritten (copy-on-write) while the arm
 // is busy does not change what lands; on a mid-transfer kill the deferred
-// release drops the snapshot and nothing lands at all.
-func (d *Disk) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+// release drops the snapshot and nothing lands at all — unless the
+// torn-write failure mode is armed, in which case a strict prefix of the
+// blocks is already on the platters when the power dies.
+func (d *Disk) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) error {
 	n := len(bufs) * d.p.BlockSize
-	d.check(blk, n)
+	if err := d.check(blk, n); err != nil {
+		return err
+	}
 	pin := block.TakePin(bufs)
 	defer pin.Release()
+	landed := false
+	if d.fp != nil && d.fp.tornArmed {
+		defer func() {
+			if landed {
+				return
+			}
+			// The process was killed mid-transfer: land the prefix the
+			// firmware had already committed. This runs before the pin
+			// release (defers are LIFO), so the snapshot refs are still
+			// held and each stored block takes a fresh reference.
+			k := d.fp.intn(len(bufs))
+			for i := 0; i < k; i++ {
+				if old := d.data[blk+int64(i)]; old != nil {
+					old.Release()
+				}
+				d.data[blk+int64(i)] = bufs[i].Ref()
+			}
+			if k > 0 {
+				d.fp.torn++
+			}
+		}()
+	}
 	d.arm.Acquire(p)
 	defer d.arm.Release()
-	st := d.serviceTime(blk, n)
+	st := d.service(blk, n)
 	p.Sleep(st)
 	d.stats.BusyTime += st
 	for i, b := range bufs {
@@ -236,12 +291,14 @@ func (d *Disk) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
 		d.data[blk+int64(i)] = b // ownership of the snapshot ref transfers here
 	}
 	pin.Transfer()
+	landed = true
 	d.pos = blk + int64(len(bufs))
 	d.stats.Writes++
 	d.stats.WriteBytes += uint64(n)
 	if d.OnOp != nil {
 		d.OnOp(true, blk, n)
 	}
+	return nil
 }
 
 // storeBytes copies raw bytes into platter-owned buffers (the []byte write
@@ -277,9 +334,6 @@ func (d *Disk) PeekBlock(blk int64) []byte {
 
 // InjectBlock stores contents directly (test setup helper).
 func (d *Disk) InjectBlock(blk int64, data []byte) { d.storeBytes(blk, data) }
-
-// Fail makes all subsequent I/O panic, emulating a crashed controller.
-func (d *Disk) Fail() { d.faulty = true }
 
 // Stripe interleaves blocks across several member disks RAID-0 style.
 // A transfer spanning multiple members proceeds on them in parallel,
@@ -390,33 +444,40 @@ func (st *Stripe) segments(blk int64, n int) []segment {
 	return merged
 }
 
-// ReadBlocks implements Device.
-func (st *Stripe) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
-	st.rw(p, blk, buf, false)
+// Members exposes the member disks (fault targeting and tests).
+func (st *Stripe) Members() []*Disk { return st.members }
+
+// ReadBlocks implements Device. A member failure fails the whole logical
+// transfer; unaffected members complete their segments normally.
+func (st *Stripe) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
+	err := st.rw(p, blk, buf, false)
 	st.stats.Reads++
 	st.stats.ReadBytes += uint64(len(buf))
+	return err
 }
 
 // WriteBlocks implements Device.
-func (st *Stripe) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
-	st.rw(p, blk, data, true)
+func (st *Stripe) WriteBlocks(p *sim.Proc, blk int64, data []byte) error {
+	err := st.rw(p, blk, data, true)
 	st.stats.Writes++
 	st.stats.WriteBytes += uint64(len(data))
+	return err
 }
 
 // WriteBufs implements Device: per-member zero-copy writes. The stripe
 // takes the snapshot references at entry — before the member fan-out gets
 // a chance to interleave with other processes — so all members land the
 // same point-in-time contents.
-func (st *Stripe) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+func (st *Stripe) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) error {
 	pin := block.TakePin(bufs)
 	defer pin.Release()
 	segs := st.segments(blk, len(bufs)*st.BlockSize())
 	defer func() { st.segPool = append(st.segPool, segs) }()
 	bs := st.BlockSize()
+	var ioErr error
 	if len(segs) == 1 {
 		s := segs[0]
-		st.members[s.member].WriteBufs(p, s.phys, bufs[s.off/bs:(s.off+s.n)/bs])
+		ioErr = st.members[s.member].WriteBufs(p, s.phys, bufs[s.off/bs:(s.off+s.n)/bs])
 	} else {
 		// Parallel member I/O, children so a crash takes the in-flight
 		// member transfers down (see rw).
@@ -425,7 +486,9 @@ func (st *Stripe) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
 		for _, s := range segs {
 			s := s
 			p.Sim().SpawnChild(p, "stripe-io", func(q *sim.Proc) {
-				st.members[s.member].WriteBufs(q, s.phys, bufs[s.off/bs:(s.off+s.n)/bs])
+				if err := st.members[s.member].WriteBufs(q, s.phys, bufs[s.off/bs:(s.off+s.n)/bs]); err != nil && ioErr == nil {
+					ioErr = err
+				}
 				pending--
 				if pending == 0 {
 					done.Signal()
@@ -438,9 +501,10 @@ func (st *Stripe) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
 	}
 	st.stats.Writes++
 	st.stats.WriteBytes += uint64(len(bufs) * bs)
+	return ioErr
 }
 
-func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
+func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) error {
 	if len(buf)%st.BlockSize() != 0 {
 		panic("disk: stripe transfer not block aligned")
 	}
@@ -449,24 +513,29 @@ func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
 	if len(segs) == 1 {
 		s := segs[0]
 		if write {
-			st.members[s.member].WriteBlocks(p, s.phys, buf[s.off:s.off+s.n])
-		} else {
-			st.members[s.member].ReadBlocks(p, s.phys, buf[s.off:s.off+s.n])
+			return st.members[s.member].WriteBlocks(p, s.phys, buf[s.off:s.off+s.n])
 		}
-		return
+		return st.members[s.member].ReadBlocks(p, s.phys, buf[s.off:s.off+s.n])
 	}
 	// Parallel member I/O: spawn a child process per segment, wait for
 	// all. Children so a crash that kills the issuing process takes the
 	// in-flight member transfers down with it (no posthumous writes).
+	// A failing member fails the logical transfer; the other members
+	// still complete their segments.
 	done := sim.NewCond(p.Sim())
 	pending := len(segs)
+	var ioErr error
 	for _, s := range segs {
 		s := s
 		p.Sim().SpawnChild(p, "stripe-io", func(q *sim.Proc) {
+			var err error
 			if write {
-				st.members[s.member].WriteBlocks(q, s.phys, buf[s.off:s.off+s.n])
+				err = st.members[s.member].WriteBlocks(q, s.phys, buf[s.off:s.off+s.n])
 			} else {
-				st.members[s.member].ReadBlocks(q, s.phys, buf[s.off:s.off+s.n])
+				err = st.members[s.member].ReadBlocks(q, s.phys, buf[s.off:s.off+s.n])
+			}
+			if err != nil && ioErr == nil {
+				ioErr = err
 			}
 			pending--
 			if pending == 0 {
@@ -477,6 +546,7 @@ func (st *Stripe) rw(p *sim.Proc, blk int64, buf []byte, write bool) {
 	for pending > 0 {
 		done.Wait(p)
 	}
+	return ioErr
 }
 
 // InjectBlock stores contents directly on the owning members (crash

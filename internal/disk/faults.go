@@ -1,0 +1,151 @@
+package disk
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Storage fault errors. ErrMedia is an unrecoverable media error on a
+// targeted block range; ErrFailed is a fail-stop controller failure (every
+// subsequent operation errors).
+var (
+	ErrMedia  = errors.New("disk: unrecoverable media error")
+	ErrFailed = errors.New("disk: device failed")
+)
+
+// plane is the injectable error/latency plane of one disk. A healthy disk
+// carries a nil plane, so the unfaulted I/O path pays exactly one nil
+// check — recorded benchmarks are byte-identical with the plane compiled
+// in. The plane's RNG (torn-write prefix draws only) is created lazily at
+// the first tear, seeded from the sim stream at that instant: merely
+// arming rules that never fire consumes no randomness and leaves the
+// run's service-time draws untouched.
+type plane struct {
+	sim       *sim.Sim
+	failStop  bool
+	readRules []*readRule
+	degraded  []degradeWindow
+	tornArmed bool
+	torn      int
+	rng       *rand.Rand
+}
+
+// intn draws a torn-prefix length, creating the plane RNG on first use.
+func (fp *plane) intn(n int) int {
+	if fp.rng == nil {
+		fp.rng = rand.New(rand.NewSource(fp.sim.Rand().Int63()))
+	}
+	return fp.rng.Intn(n)
+}
+
+// readRule makes ReadBlocks transfers overlapping [from,to) fail with
+// ErrMedia. The first afterOps matching transfers succeed (errors after N
+// ops); the next times transfers fail; then the rule is spent.
+type readRule struct {
+	from, to int64
+	afterOps int
+	times    int
+}
+
+// degradeWindow multiplies the service time of every transfer issued
+// within [from,to) by factor — a disk in recovery/remap mode.
+type degradeWindow struct {
+	from, to sim.Time
+	factor   float64
+}
+
+func (d *Disk) plane() *plane {
+	if d.fp == nil {
+		d.fp = &plane{sim: d.sim}
+	}
+	return d.fp
+}
+
+// InjectReadError arms a media-error rule on blocks [from,to) (to <= 0
+// means the end of the device): the first afterOps overlapping reads
+// succeed, then the next times reads fail with ErrMedia (times <= 0 means
+// one-shot). Writes are unaffected — a real media error is discovered on
+// read-back.
+func (d *Disk) InjectReadError(from, to int64, afterOps, times int) {
+	if to <= 0 {
+		to = d.p.NumBlocks
+	}
+	if times <= 0 {
+		times = 1
+	}
+	if afterOps < 0 {
+		afterOps = 0
+	}
+	d.plane().readRules = append(d.plane().readRules, &readRule{from: from, to: to, afterOps: afterOps, times: times})
+}
+
+// Degrade multiplies the service time of transfers issued within [from,to)
+// by factor (a disk doing internal recovery). Factor <= 1 is a no-op.
+func (d *Disk) Degrade(from, to sim.Time, factor float64) {
+	if factor <= 1 {
+		return
+	}
+	d.plane().degraded = append(d.plane().degraded, degradeWindow{from: from, to: to, factor: factor})
+}
+
+// ArmTornWrite arms the torn-write failure mode: a multi-block WriteBufs
+// interrupted by a crash persists a prefix of its blocks instead of
+// nothing (the conservative default). It stays armed until Heal.
+func (d *Disk) ArmTornWrite() { d.plane().tornArmed = true }
+
+// Fail is the fail-stop case of the fault plane: every subsequent
+// operation returns ErrFailed (a dead controller).
+func (d *Disk) Fail() { d.plane().failStop = true }
+
+// Heal clears armed read-error rules, torn-write arming and fail-stop so a
+// post-run durability audit reads the platters unimpeded. Degrade windows
+// are time-bounded and expire on their own.
+func (d *Disk) Heal() {
+	if d.fp == nil {
+		return
+	}
+	d.fp.readRules = nil
+	d.fp.tornArmed = false
+	d.fp.failStop = false
+}
+
+// TornWrites reports how many interrupted transfers landed a torn prefix.
+func (d *Disk) TornWrites() int {
+	if d.fp == nil {
+		return 0
+	}
+	return d.fp.torn
+}
+
+// readErr consumes at most one matching read rule for a transfer of nb
+// blocks at blk and reports whether the transfer fails.
+func (fp *plane) readErr(blk int64, nb int64) error {
+	for i := 0; i < len(fp.readRules); i++ {
+		r := fp.readRules[i]
+		if blk >= r.to || blk+nb <= r.from {
+			continue
+		}
+		if r.afterOps > 0 {
+			r.afterOps--
+			return nil
+		}
+		r.times--
+		if r.times <= 0 {
+			fp.readRules = append(fp.readRules[:i], fp.readRules[i+1:]...)
+		}
+		return ErrMedia
+	}
+	return nil
+}
+
+// scale applies any degrade window covering now to st.
+func (fp *plane) scale(now sim.Time, st sim.Duration) sim.Duration {
+	for _, w := range fp.degraded {
+		if now >= w.from && now < w.to {
+			st = sim.Duration(float64(st) * w.factor)
+		}
+	}
+	return st
+}

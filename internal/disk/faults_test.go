@@ -1,0 +1,277 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestInjectReadErrorOneShot(t *testing.T) {
+	s := sim.New(1)
+	d := testDisk(s)
+	d.InjectReadError(100, 101, 0, 0)
+	var errs []error
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		errs = append(errs, d.WriteBlocks(p, 100, buf)) // writes unaffected
+		errs = append(errs, d.ReadBlocks(p, 100, buf))  // the one-shot error
+		errs = append(errs, d.ReadBlocks(p, 100, buf))  // rule spent
+		errs = append(errs, d.ReadBlocks(p, 200, buf))  // never targeted
+	})
+	s.Run(0)
+	want := []error{nil, ErrMedia, nil, nil}
+	for i, e := range errs {
+		if !errors.Is(e, want[i]) {
+			t.Fatalf("op %d: err = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestInjectReadErrorAfterOpsAndTimes(t *testing.T) {
+	s := sim.New(1)
+	d := testDisk(s)
+	d.InjectReadError(0, 0, 2, 3) // whole disk: 2 ops succeed, then 3 fail
+	var errs []error
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		for i := 0; i < 7; i++ {
+			errs = append(errs, d.ReadBlocks(p, int64(i), buf))
+		}
+	})
+	s.Run(0)
+	want := []error{nil, nil, ErrMedia, ErrMedia, ErrMedia, nil, nil}
+	for i, e := range errs {
+		if !errors.Is(e, want[i]) {
+			t.Fatalf("op %d: err = %v, want %v", i, e, want[i])
+		}
+	}
+}
+
+func TestInjectReadErrorRangeTargeted(t *testing.T) {
+	s := sim.New(1)
+	d := testDisk(s)
+	d.InjectReadError(10, 20, 0, 99)
+	var inRange, below, above, spanning error
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		below = d.ReadBlocks(p, 9, buf)
+		above = d.ReadBlocks(p, 20, buf)
+		inRange = d.ReadBlocks(p, 15, buf)
+		// A multi-block transfer overlapping the range fails as a whole.
+		spanning = d.ReadBlocks(p, 18, make([]byte, 4*8192))
+	})
+	s.Run(0)
+	if below != nil || above != nil {
+		t.Fatalf("reads outside [10,20) failed: below=%v above=%v", below, above)
+	}
+	if !errors.Is(inRange, ErrMedia) || !errors.Is(spanning, ErrMedia) {
+		t.Fatalf("reads overlapping [10,20) did not fail: in=%v span=%v", inRange, spanning)
+	}
+}
+
+func TestDegradeScalesServiceTime(t *testing.T) {
+	s := sim.New(1)
+	d := testDisk(s)
+	// Same transfer inside and outside the window; the degraded one must
+	// take measurably longer on an otherwise idle disk.
+	d.Degrade(0, sim.Time(1*sim.Second), 4)
+	var inWin, outWin sim.Duration
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		t0 := p.Sim().Now()
+		d.ReadBlocks(p, 100, buf)
+		inWin = p.Sim().Now().Sub(t0)
+		p.Sleep(2 * sim.Second) // window expires
+		d.ReadBlocks(p, 100, buf) // same block: no seek, same base time
+		t1 := p.Sim().Now()
+		d.ReadBlocks(p, 100, buf)
+		outWin = p.Sim().Now().Sub(t1)
+	})
+	s.Run(0)
+	if inWin < 3*outWin {
+		t.Fatalf("degraded transfer took %v, healthy %v; want ~4x", inWin, outWin)
+	}
+}
+
+func TestFailStopReturnsErrorsNotPanics(t *testing.T) {
+	s := sim.New(1)
+	d := testDisk(s)
+	var before, read, write, wbufs error
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		before = d.WriteBlocks(p, 5, buf)
+		d.Fail()
+		read = d.ReadBlocks(p, 5, buf)
+		write = d.WriteBlocks(p, 5, buf)
+		b := block.NewPool().GetZero()
+		wbufs = d.WriteBufs(p, 5, []*block.Buf{b})
+		b.Release()
+	})
+	s.Run(0)
+	if before != nil {
+		t.Fatalf("pre-failure write errored: %v", before)
+	}
+	for i, e := range []error{read, write, wbufs} {
+		if !errors.Is(e, ErrFailed) {
+			t.Fatalf("post-Fail op %d: err = %v, want ErrFailed", i, e)
+		}
+	}
+}
+
+func TestHealClearsRules(t *testing.T) {
+	s := sim.New(1)
+	d := testDisk(s)
+	d.InjectReadError(0, 0, 0, 99)
+	d.Fail()
+	d.ArmTornWrite()
+	d.Heal()
+	var err error
+	s.Spawn("io", func(p *sim.Proc) {
+		err = d.ReadBlocks(p, 0, make([]byte, 8192))
+	})
+	s.Run(0)
+	if err != nil {
+		t.Fatalf("healed disk still errors: %v", err)
+	}
+	if d.TornWrites() != 0 {
+		t.Fatalf("healed disk recorded torn writes: %d", d.TornWrites())
+	}
+}
+
+// tornWriteKill runs one 8-block WriteBufs against a disk and kills the
+// writing process mid-transfer, returning how many of the 8 blocks landed.
+func tornWriteKill(t *testing.T, arm bool, seed int64) int {
+	t.Helper()
+	s := sim.New(seed)
+	d := testDisk(s)
+	if arm {
+		d.ArmTornWrite()
+	}
+	pool := block.NewPool()
+	bufs := make([]*block.Buf, 8)
+	for i := range bufs {
+		bufs[i] = pool.GetZero()
+		bufs[i].Data()[0] = byte(i + 1)
+	}
+	p := s.Spawn("writer", func(p *sim.Proc) {
+		d.WriteBufs(p, 64, bufs)
+	})
+	s.At(1*sim.Millisecond, func() { s.Kill(p) }) // well inside the ~11ms transfer
+	s.Run(0)
+	landed := 0
+	for i := int64(0); i < 8; i++ {
+		if b := d.PeekBlock(64 + i); b != nil && b[0] == byte(i+1) {
+			landed++
+		}
+	}
+	return landed
+}
+
+func TestTornWriteLandsPrefixOnKill(t *testing.T) {
+	// The prefix length is drawn from the plane's own RNG; over a few
+	// seeds at least one kill must land a non-empty strict prefix, and
+	// none may land the full transfer.
+	sawPartial := false
+	for seed := int64(1); seed <= 8; seed++ {
+		n := tornWriteKill(t, true, seed)
+		if n == 8 {
+			t.Fatalf("seed %d: torn write landed the full transfer", seed)
+		}
+		if n > 0 {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no seed landed a torn prefix; arming had no effect")
+	}
+}
+
+func TestUnarmedKillLandsNothing(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if n := tornWriteKill(t, false, seed); n != 0 {
+			t.Fatalf("seed %d: unarmed interrupted write landed %d blocks, want 0", seed, n)
+		}
+	}
+}
+
+func TestFaultPlaneZeroCostWhenAbsent(t *testing.T) {
+	// A healthy disk (nil plane) and a disk whose plane only ever held an
+	// already-expired degrade window must produce identical service times.
+	run := func(prep func(*Disk)) sim.Time {
+		s := sim.New(7)
+		d := testDisk(s)
+		prep(d)
+		s.Spawn("io", func(p *sim.Proc) {
+			buf := make([]byte, 4*8192)
+			for i := 0; i < 32; i++ {
+				d.WriteBlocks(p, int64(i*4), buf)
+				d.ReadBlocks(p, int64(i*4), buf)
+			}
+		})
+		s.Run(0)
+		return s.Now()
+	}
+	healthy := run(func(d *Disk) {})
+	spent := run(func(d *Disk) {
+		d.InjectReadError(10_000, 10_001, 0, 1) // never-touched range
+	})
+	if healthy != spent {
+		t.Fatalf("fault plane perturbed healthy timing: %v vs %v", healthy, spent)
+	}
+}
+
+func newTestStripe(s *sim.Sim, n int) (*Stripe, []*Disk) {
+	var members []*Disk
+	for i := 0; i < n; i++ {
+		members = append(members, New(s, hw.RZ26()))
+	}
+	return NewStripe(s, members, 8), members
+}
+
+func TestStripeMemberReadErrorFailsLogicalRange(t *testing.T) {
+	s := sim.New(1)
+	st, members := newTestStripe(s, 3)
+	// With an 8-block stripe unit, logical blocks [8,16) live on member 1.
+	members[1].InjectReadError(0, 0, 0, 99)
+	var onMember, offMember, spanning error
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		st.WriteBlocks(p, 0, make([]byte, 24*8192))
+		onMember = st.ReadBlocks(p, 8, buf)   // member 1
+		offMember = st.ReadBlocks(p, 0, buf)  // member 0, unaffected
+		spanning = st.ReadBlocks(p, 0, make([]byte, 24*8192)) // all members
+	})
+	s.Run(0)
+	if !errors.Is(onMember, ErrMedia) {
+		t.Fatalf("read on faulted member: err = %v, want ErrMedia", onMember)
+	}
+	if offMember != nil {
+		t.Fatalf("read on healthy member errored: %v", offMember)
+	}
+	if !errors.Is(spanning, ErrMedia) {
+		t.Fatalf("logical transfer spanning the faulted member: err = %v, want ErrMedia", spanning)
+	}
+}
+
+func TestStripeHealthyMembersUnaffectedByFailStop(t *testing.T) {
+	s := sim.New(1)
+	st, members := newTestStripe(s, 2)
+	var preFail, postFailOther, postFailOn error
+	s.Spawn("io", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		preFail = st.WriteBlocks(p, 0, buf)
+		members[1].Fail()
+		postFailOther = st.ReadBlocks(p, 0, buf) // member 0 only
+		postFailOn = st.ReadBlocks(p, 8, buf)    // member 1, fail-stopped
+	})
+	s.Run(0)
+	if preFail != nil || postFailOther != nil {
+		t.Fatalf("healthy-member I/O errored: %v %v", preFail, postFailOther)
+	}
+	if !errors.Is(postFailOn, ErrFailed) {
+		t.Fatalf("fail-stopped member: err = %v, want ErrFailed", postFailOn)
+	}
+}

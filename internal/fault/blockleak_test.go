@@ -11,32 +11,9 @@ import (
 	"repro/internal/sim"
 )
 
-// accountedRefs sums the buffer references the cluster's long-lived
-// structures legitimately retain: buffer caches, platter stores and NVRAM
-// dirty maps.
-func accountedRefs(c *cluster.Cluster) int64 {
-	var n int64
-	for _, node := range c.Nodes {
-		if node.FS != nil {
-			n += int64(node.FS.CachedBufs())
-		}
-		for _, d := range node.Disks {
-			n += int64(d.StoredBufs())
-		}
-		if node.Presto != nil {
-			n += int64(node.Presto.DirtyBufs())
-		}
-		for _, ex := range node.Adopted {
-			if ex.FS != nil {
-				n += int64(ex.FS.CachedBufs())
-			}
-			if ex.Presto != nil {
-				n += int64(ex.Presto.DirtyBufs())
-			}
-		}
-	}
-	return n
-}
+// accountedRefs is the cluster's own leak-audit sum (the scenario runner
+// and the fuzzer audit the same quantity per cell).
+func accountedRefs(c *cluster.Cluster) int64 { return c.AccountedRefs() }
 
 // TestCrashMidWriteNoBlockLeakOrAckLoss is the kill-safety guard for the
 // refcounted block pipeline: a node crashed mid-WRITE-burst unwinds nfsds

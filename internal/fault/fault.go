@@ -46,6 +46,9 @@ type Injector struct {
 	BiodsLost     int
 	Failovers     int
 	LinkOutages   int
+	// StorageFaults counts storage-plane injections that fired (media
+	// read errors, degraded windows, torn-write arms, lying boards).
+	StorageFaults int
 	// RecoveryTimes records each reboot's (or adoption's) remount duration
 	// — the time the boot spent re-reading the inode region and rebuilding
 	// allocation maps at device speed.

@@ -47,6 +47,10 @@ type Journal struct {
 	// biods it may kill): their unacked buffered writes are an expected
 	// loss. Kinds register these via AnnotateJournal.
 	crashExposed map[string]bool
+	// lossExpected records scheduled faults that may legitimately lose
+	// acked bytes (a lying NVRAM board). Verify still counts every lost
+	// byte, but the verdict carries the classification.
+	lossExpected []string
 }
 
 // NewJournal returns an empty journal.
@@ -66,6 +70,14 @@ func (j *Journal) Attach(cli *client.Client) {
 			Client: name, FH: fh, Off: off, Len: n, When: cli.Sim().Now(),
 		})
 	}
+}
+
+// NoteLossExpected records that a scheduled fault (a lying NVRAM board,
+// an unrecoverable media failure) may legitimately surface acked-byte
+// loss: Verify's verdict reports ExpectedLoss so the caller can tell a
+// scheduled hardware betrayal from an engine durability bug.
+func (j *Journal) NoteLossExpected(reason string) {
+	j.lossExpected = append(j.lossExpected, reason)
 }
 
 // NoteCrashExposed marks a client as targeted by a client-side fault:
@@ -109,6 +121,11 @@ type CheckResult struct {
 	// excluded from LostBytes — no ack, no obligation — but reported
 	// separately because nothing scheduled them.
 	UnackedBuffered int
+	// ExpectedLoss is true when a scheduled fault declared acked-byte
+	// loss permissible (NoteLossExpected); ExpectedLossReasons says which.
+	// LostBytes > 0 with ExpectedLoss false is a durability bug.
+	ExpectedLoss        bool
+	ExpectedLossReasons []string
 }
 
 // Verify reads every journaled range back through the filesystem currently
@@ -119,7 +136,12 @@ type CheckResult struct {
 // stack, so Verify consumes simulated time; run it from a dedicated
 // process after the measured phase.
 func (j *Journal) Verify(p *sim.Proc, c *cluster.Cluster) CheckResult {
-	res := CheckResult{AckedWrites: len(j.Entries), AckedBytes: j.AckedBytes()}
+	res := CheckResult{
+		AckedWrites:         len(j.Entries),
+		AckedBytes:          j.AckedBytes(),
+		ExpectedLoss:        len(j.lossExpected) > 0,
+		ExpectedLossReasons: j.lossExpected,
+	}
 	buf := make([]byte, nfsproto.MaxData)
 	want := make([]byte, nfsproto.MaxData)
 	acked := make(map[BufferedWrite]bool, len(j.Entries))

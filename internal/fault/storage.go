@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Storage fault kind tags (see the disk/NVRAM kinds below). Like the host
+// and network kinds, the scenario schema shares this vocabulary.
+const (
+	KindDiskReadError  = "disk-read-error"
+	KindDiskDegraded   = "disk-degraded"
+	KindDiskTornWrite  = "disk-torn-write"
+	KindNVRAMLyingSync = "nvram-lying-sync"
+)
+
+// Healer is implemented by fault kinds whose injection rules can outlive
+// the workload — an unconsumed read-error rule, an armed torn write. The
+// runner calls HealAll before the durability audit: the audit must read
+// what the platters actually hold, not trip over a rule the run never
+// consumed. Healing clears injection state only; data a fault already
+// destroyed stays destroyed.
+type Healer interface {
+	Heal(in *Injector)
+}
+
+// HealAll disarms every healable kind's remaining injection rules (see
+// Healer). Call it after the workload quiesces and before Journal.Verify.
+func (in *Injector) HealAll() {
+	for _, k := range in.kinds {
+		if h, ok := k.(Healer); ok {
+			h.Heal(in)
+		}
+	}
+}
+
+// targetDisks resolves a (node, disk) spec target onto member spindles:
+// a negative disk index selects every member of the node's stripe.
+func targetDisks(in *Injector, node, idx int) []*disk.Disk {
+	ds := in.c.Nodes[node].Disks
+	if idx < 0 {
+		return ds
+	}
+	return ds[idx : idx+1]
+}
+
+// diskName names one spindle for the event log.
+func diskName(in *Injector, node, idx int) string {
+	n := in.c.Nodes[node]
+	if idx < 0 {
+		return fmt.Sprintf("%s/all-disks", n.Name)
+	}
+	return fmt.Sprintf("%s/disk%d", n.Name, idx)
+}
+
+// DiskReadError arms a media read error on one spindle (or every member
+// of a stripe when Disk is negative): reads overlapping blocks
+// [BlockFrom, BlockTo) fail with disk.ErrMedia, starting AfterOps
+// overlapping reads after At, for Times occurrences. The platter contents
+// are intact — only the transfer fails, as a grown media defect the drive
+// later remaps would fail it.
+type DiskReadError struct {
+	Node      int
+	Disk      int
+	At        sim.Time
+	BlockFrom int64
+	BlockTo   int64
+	AfterOps  int
+	Times     int
+}
+
+func (f DiskReadError) Kind() string { return KindDiskReadError }
+
+func (f DiskReadError) Schedule(in *Injector) {
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: disk read error time %v already past", f.At))
+	}
+	s.At(delay, func() {
+		for _, d := range targetDisks(in, f.Node, f.Disk) {
+			d.InjectReadError(f.BlockFrom, f.BlockTo, f.AfterOps, f.Times)
+		}
+		in.StorageFaults++
+		in.fired("disk-read-error %s blocks [%d,%d)", diskName(in, f.Node, f.Disk), f.BlockFrom, f.BlockTo)
+	})
+}
+
+// AnnotateJournal: a media read error destroys no stored byte — every
+// acked write remains a hard obligation (retries and recovery absorb the
+// failed transfers).
+func (f DiskReadError) AnnotateJournal(in *Injector, j *Journal) {}
+
+// Heal clears rules the workload never consumed so the audit reads clean.
+func (f DiskReadError) Heal(in *Injector) {
+	for _, d := range targetDisks(in, f.Node, f.Disk) {
+		d.Heal()
+	}
+}
+
+// DiskDegraded multiplies one spindle's service time by Factor for the
+// window [At, At+Duration) — a drive in internal error recovery, or
+// thermal recalibration, slow but correct.
+type DiskDegraded struct {
+	Node     int
+	Disk     int
+	At       sim.Time
+	Duration sim.Duration
+	Factor   float64
+}
+
+func (f DiskDegraded) Kind() string { return KindDiskDegraded }
+
+func (f DiskDegraded) Schedule(in *Injector) {
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: disk degrade time %v already past", f.At))
+	}
+	// The window is registered up front (the disk gates it on simulated
+	// time); only the event-log entry waits for the window to open.
+	for _, d := range targetDisks(in, f.Node, f.Disk) {
+		d.Degrade(f.At, f.At.Add(f.Duration), f.Factor)
+	}
+	s.At(delay, func() {
+		in.StorageFaults++
+		in.fired("disk-degraded %s x%.1f for %v", diskName(in, f.Node, f.Disk), f.Factor, f.Duration)
+	})
+}
+
+// AnnotateJournal: a slow disk loses nothing. No obligations change.
+func (f DiskDegraded) AnnotateJournal(in *Injector, j *Journal) {}
+
+// DiskTornWrite arms one torn multi-block write on the target spindle(s):
+// the next WriteBufs interrupted by a power event persists only a prefix
+// of its blocks. Without a crash the armed tear never manifests. A torn
+// write can never violate durability by itself — the interrupted transfer
+// was never acknowledged as complete, and an NVRAM board that acked the
+// data replays it on recovery.
+type DiskTornWrite struct {
+	Node int
+	Disk int
+	At   sim.Time
+}
+
+func (f DiskTornWrite) Kind() string { return KindDiskTornWrite }
+
+func (f DiskTornWrite) Schedule(in *Injector) {
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: torn write arm time %v already past", f.At))
+	}
+	s.At(delay, func() {
+		for _, d := range targetDisks(in, f.Node, f.Disk) {
+			d.ArmTornWrite()
+		}
+		in.StorageFaults++
+		in.fired("disk-torn-write armed %s", diskName(in, f.Node, f.Disk))
+	})
+}
+
+// AnnotateJournal: see above — a tear exposes no acked byte to loss.
+func (f DiskTornWrite) AnnotateJournal(in *Injector, j *Journal) {}
+
+// Heal disarms a tear no crash ever consumed.
+func (f DiskTornWrite) Heal(in *Injector) {
+	for _, d := range targetDisks(in, f.Node, f.Disk) {
+		d.Heal()
+	}
+}
+
+// NVRAMLyingSync corrupts one node's NVRAM board at At: from then on the
+// board keeps acknowledging stable storage but its "battery-backed" dirty
+// map evaporates at the next power event instead of replaying. Every
+// acked-but-undrained byte at that instant is lost — the scheduled,
+// detectable durability violation the checker must report.
+type NVRAMLyingSync struct {
+	Node int
+	At   sim.Time
+}
+
+func (f NVRAMLyingSync) Kind() string { return KindNVRAMLyingSync }
+
+func (f NVRAMLyingSync) Schedule(in *Injector) {
+	s := in.c.Sim
+	delay := f.At.Sub(s.Now())
+	if delay < 0 {
+		panic(fmt.Sprintf("fault: lying sync time %v already past", f.At))
+	}
+	s.At(delay, func() {
+		n := in.c.Nodes[f.Node]
+		if n.Presto == nil {
+			return // validation requires a board; a raced rebuild without one is a no-op
+		}
+		n.Presto.SetLying()
+		in.StorageFaults++
+		in.fired("nvram-lying-sync %s", n.Name)
+	})
+}
+
+// AnnotateJournal flags the run: if bytes are lost, the loss was a
+// scheduled hardware betrayal, not an engine bug. The checker still
+// counts every lost byte — the point of the kind is that the audit
+// catches the lie — but the verdict is classified expected.
+func (f NVRAMLyingSync) AnnotateJournal(in *Injector, j *Journal) {
+	j.NoteLossExpected(fmt.Sprintf("nvram-lying-sync on %s", in.c.Nodes[f.Node].Name))
+}

@@ -1,0 +1,95 @@
+package nvram
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDrainRetriesAfterDeviceError(t *testing.T) {
+	s, pr, d := rig(1)
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	// Fail the platters before the drainer gets to the block; heal them
+	// shortly after. The drain must back off, keep the block dirty, and
+	// land it once the disk recovers.
+	d.Fail()
+	s.Spawn("w", func(p *sim.Proc) {
+		pr.WriteBlocks(p, 300, data)
+	})
+	s.At(100*sim.Millisecond, func() { d.Heal() })
+	s.Run(0)
+	if pr.DrainErrors == 0 {
+		t.Fatal("no drain error counted against a failed disk")
+	}
+	if !bytes.Equal(d.PeekBlock(300), data) {
+		t.Fatal("block never drained after the disk healed")
+	}
+	if pr.DirtyBufs() != 0 {
+		t.Fatalf("%d blocks still dirty after successful drain", pr.DirtyBufs())
+	}
+}
+
+func TestLyingBoardDropsDirtyMap(t *testing.T) {
+	s, pr, d := rig(1)
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i * 5)
+	}
+	// Fail the platters so the accepted write cannot drain, then mark the
+	// board as lying. DropDirty (what a reboot does to a lying board)
+	// must discard the acked block instead of replaying it.
+	d.Fail()
+	s.Spawn("w", func(p *sim.Proc) {
+		pr.WriteBlocks(p, 400, data)
+	})
+	// The drainer retries a failed disk forever, so bound the run instead
+	// of draining the event queue.
+	s.Run(sim.Time(1 * sim.Second))
+	if pr.DirtyBufs() != 1 {
+		t.Fatalf("dirty blocks = %d, want 1", pr.DirtyBufs())
+	}
+	pr.SetLying()
+	if !pr.Lying() {
+		t.Fatal("Lying() false after SetLying")
+	}
+	if n := pr.DropDirty(); n != 1 {
+		t.Fatalf("DropDirty = %d, want 1", n)
+	}
+	if pr.DirtyBufs() != 0 || pr.CacheUsed() != 0 {
+		t.Fatalf("board still holds state after DropDirty: dirty=%d used=%d",
+			pr.DirtyBufs(), pr.CacheUsed())
+	}
+	d.Heal()
+	if bytes.Equal(d.PeekBlock(400), data) {
+		t.Fatal("dropped block reached the platters anyway")
+	}
+}
+
+func TestHonestBoardStillRecovers(t *testing.T) {
+	// Control for the lying case: same shape, honest board, Recover
+	// replays the block.
+	s, pr, d := rig(1)
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	d.Fail()
+	s.Spawn("w", func(p *sim.Proc) {
+		pr.WriteBlocks(p, 400, data)
+	})
+	s.Run(sim.Time(1 * sim.Second))
+	d.Heal()
+	if pr.Lying() {
+		t.Fatal("fresh board claims to be lying")
+	}
+	if n := pr.Recover(d); n != 1 {
+		t.Fatalf("Recover = %d, want 1", n)
+	}
+	if !bytes.Equal(d.PeekBlock(400), data) {
+		t.Fatal("recovered block missing from the platters")
+	}
+}

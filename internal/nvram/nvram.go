@@ -43,6 +43,14 @@ type Presto struct {
 	Accepted uint64
 	Declined uint64
 
+	// DrainErrors counts drain transfers the underlying device failed;
+	// the covered blocks stay dirty and are retried.
+	DrainErrors uint64
+	// lying marks a board that acknowledges persistence but will drop its
+	// dirty map at the next power event instead of replaying it — the
+	// fault-injection model of stable storage that lies about sync.
+	lying bool
+
 	draining int // drain I/Os currently in flight
 	stopped  bool
 	flushReq bool
@@ -109,14 +117,13 @@ func (pr *Presto) CacheUsed() int { return pr.used }
 // them (§6.3: "Presto may decline to accept requests above a certain
 // size... resulting in performance that degrades to underlying disk
 // speed").
-func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
+func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) error {
 	if len(data)%pr.BlockSize() != 0 {
 		panic(fmt.Sprintf("nvram: unaligned write of %d bytes", len(data)))
 	}
 	if len(data) > pr.p.MaxIO {
 		pr.Declined++
-		pr.under.WriteBlocks(p, blk, data)
-		return
+		return pr.under.WriteBlocks(p, blk, data)
 	}
 	nb := int64(len(data) / pr.BlockSize())
 	pr.waitSpace(p, blk, nb)
@@ -127,17 +134,17 @@ func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
 		pr.store(blk+i, nbuf)
 	}
 	pr.accept(len(data))
+	return nil
 }
 
 // WriteBufs implements disk.Device: the zero-copy accept path. The board
 // takes the snapshot references before the accept-latency sleep and stores
 // them in the dirty map instead of copying the payload into NVRAM-owned
 // memory; a mid-accept kill releases them on unwind.
-func (pr *Presto) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+func (pr *Presto) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) error {
 	if len(bufs)*pr.BlockSize() > pr.p.MaxIO {
 		pr.Declined++
-		pr.under.WriteBufs(p, blk, bufs)
-		return
+		return pr.under.WriteBufs(p, blk, bufs)
 	}
 	pin := block.TakePin(bufs)
 	defer pin.Release()
@@ -148,6 +155,7 @@ func (pr *Presto) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
 	}
 	pin.Transfer()
 	pr.accept(len(bufs) * pr.BlockSize())
+	return nil
 }
 
 // waitSpace blocks p until the nb-block write at blk fits in NVRAM.
@@ -193,7 +201,7 @@ func (pr *Presto) DirtyBufs() int { return len(pr.dirty) }
 
 // ReadBlocks implements disk.Device, serving from NVRAM when a block is
 // still dirty there.
-func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
+func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	bs := int64(pr.BlockSize())
 	nb := int64(len(buf)) / bs
 	allCached := true
@@ -210,9 +218,12 @@ func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 		}
 		pr.stats.Reads++
 		pr.stats.ReadBytes += uint64(len(buf))
-		return
+		return nil
 	}
-	pr.under.ReadBlocks(p, blk, buf)
+	if err := pr.under.ReadBlocks(p, blk, buf); err != nil {
+		pr.stats.Reads++
+		return err
+	}
 	// Overlay any blocks that are newer in NVRAM.
 	for i := int64(0); i < nb; i++ {
 		if b := pr.dirty[blk+i]; b != nil {
@@ -221,6 +232,7 @@ func (pr *Presto) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
 	}
 	pr.stats.Reads++
 	pr.stats.ReadBytes += uint64(len(buf))
+	return nil
 }
 
 // drainLoop is the background process that clusters dirty NVRAM blocks and
@@ -252,7 +264,16 @@ func (pr *Presto) drainLoop(p *sim.Proc) {
 			pr.work.WaitTimeout(p, pr.p.IdleFlush)
 			continue
 		}
-		pr.drainOne(p, blk, run, vers)
+		if err := pr.drainOne(p, blk, run, vers); err != nil {
+			// The disk failed the transfer; the blocks stayed dirty. Back
+			// off before retrying so a fail-stopped disk does not spin the
+			// drainer in zero simulated time.
+			retry := pr.p.IdleFlush
+			if retry <= 0 {
+				retry = 5 * sim.Millisecond
+			}
+			pr.work.WaitTimeout(p, retry)
+		}
 	}
 }
 
@@ -262,7 +283,7 @@ func (pr *Presto) drainLoop(p *sim.Proc) {
 // the dirty entry's buffer, it cannot mutate the snapshot). The deferred
 // cleanup keeps the board consistent when a crash kills the worker
 // mid-transfer.
-func (pr *Presto) drainOne(p *sim.Proc, blk int64, run []*block.Buf, vers []uint64) {
+func (pr *Presto) drainOne(p *sim.Proc, blk int64, run []*block.Buf, vers []uint64) error {
 	pr.draining++
 	nb := int64(len(run))
 	for i := int64(0); i < nb; i++ {
@@ -275,7 +296,12 @@ func (pr *Presto) drainOne(p *sim.Proc, blk int64, run []*block.Buf, vers []uint
 		pr.draining--
 		pr.putRun(run, vers)
 	}()
-	pr.under.WriteBufs(p, blk, run)
+	if err := pr.under.WriteBufs(p, blk, run); err != nil {
+		// The covered blocks stay dirty (acked data must not leave stable
+		// storage until the platters hold it); a later pass retries.
+		pr.DrainErrors++
+		return err
+	}
 	// Only now free the NVRAM space: until the disk write completed the
 	// data had to stay stable. A block rewritten during the disk I/O has
 	// a newer version and must stay dirty for the next drain pass.
@@ -291,6 +317,7 @@ func (pr *Presto) drainOne(p *sim.Proc, blk int64, run []*block.Buf, vers []uint
 		pr.flushReq = false
 		pr.clean.Broadcast()
 	}
+	return nil
 }
 
 // getRun takes a drain-cluster scratch pair from the pools.
@@ -404,6 +431,31 @@ func (pr *Presto) Recover(inj BlockInjector) int {
 	n := 0
 	for blk, b := range pr.dirty {
 		inj.InjectBlock(blk, b.buf.Data())
+		b.buf.Release()
+		delete(pr.dirty, blk)
+		n++
+	}
+	pr.used = 0
+	return n
+}
+
+// SetLying marks the board as lying about persistence: writes are still
+// acknowledged as stable, but the next power event discards the dirty map
+// instead of replaying it (see DropDirty). The flag lives on the board
+// object, which carries the dirty map across a crash; a replacement board
+// installed on reboot is honest again.
+func (pr *Presto) SetLying() { pr.lying = true }
+
+// Lying reports whether the board has been marked as lying about
+// persistence.
+func (pr *Presto) Lying() bool { return pr.lying }
+
+// DropDirty discards every dirty block without replaying it — what a lying
+// board's "battery-backed" memory turns out to hold after a power event.
+// It returns the number of blocks lost.
+func (pr *Presto) DropDirty() int {
+	n := 0
+	for blk, b := range pr.dirty {
 		b.buf.Release()
 		delete(pr.dirty, blk)
 		n++

@@ -1,0 +1,381 @@
+// Scenario fuzzing: generate random valid spec+fault combinations, run
+// each on the real engine, and assert the two whole-system invariants
+// every run must uphold regardless of the fault schedule:
+//
+//   - durability: no client-acked byte may be lost unless a scheduled
+//     fault (a lying NVRAM board, an unrecoverable media failure)
+//     explicitly declared the loss permissible;
+//   - accounting: after full quiesce, every outstanding block reference
+//     is attributable to a long-lived store (nothing leaked through a
+//     kill-unwind, nothing double-released).
+//
+// A failing spec is shrunk — events dropped, trains shortened, sweep
+// cells removed, topology reduced — to a minimal spec that still fails
+// the same way, and reported as runnable JSON (nfsbench -scenario).
+//
+// Everything is seed-driven: run i of Fuzz(seed S) derives its generator
+// from S and i alone, and the engine itself is deterministic, so a
+// reported failure replays exactly from (S, i) or from the printed spec.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// FuzzConfig parameterizes one fuzzing campaign.
+type FuzzConfig struct {
+	// Runs is the number of generated specs to execute (default 100).
+	Runs int
+	// Seed is the campaign seed; run i uses Seed and i alone.
+	Seed int64
+	// MaxShrinkRuns bounds the engine executions the shrinker may spend
+	// minimizing one failure (default 250).
+	MaxShrinkRuns int
+	// Log, when set, receives one progress line every few runs.
+	Log func(format string, args ...any)
+}
+
+// Failure classes.
+const (
+	// FailPanic: the engine panicked executing a valid spec.
+	FailPanic = "panic"
+	// FailDurability: acked bytes were lost and no scheduled fault
+	// declared the loss permissible.
+	FailDurability = "durability"
+	// FailLeak: block references unaccounted for after full quiesce.
+	FailLeak = "leak"
+	// FailInvalid: a spec the generator validated was rejected by Run —
+	// a fuzzer/validator disagreement, reported like any other bug.
+	FailInvalid = "invalid"
+)
+
+// FuzzFailure is one minimized counterexample.
+type FuzzFailure struct {
+	// Run is the failing run index (replay: same campaign seed, run Run).
+	Run int
+	// Class is the failure class (Fail* constants).
+	Class string
+	// Detail describes the original failure.
+	Detail string
+	// Spec is the original failing spec, Shrunk the minimized one (still
+	// failing with the same class).
+	Spec   Spec
+	Shrunk Spec
+	// ShrinkRuns counts engine executions the minimization spent.
+	ShrinkRuns int
+}
+
+// JSON renders the shrunk spec as runnable scenario JSON.
+func (f *FuzzFailure) JSON() string {
+	blob, err := json.MarshalIndent(f.Shrunk, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("<marshal failed: %v>", err)
+	}
+	return string(blob)
+}
+
+func (f *FuzzFailure) String() string {
+	return fmt.Sprintf("fuzz run %d failed (%s): %s\nminimal reproducing spec (%d shrink runs):\n%s",
+		f.Run, f.Class, f.Detail, f.ShrinkRuns, f.JSON())
+}
+
+// Fuzz runs the campaign and returns the first failure, minimized — or
+// nil if every generated spec upheld the invariants.
+func Fuzz(cfg FuzzConfig) *FuzzFailure {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	if cfg.MaxShrinkRuns <= 0 {
+		cfg.MaxShrinkRuns = 250
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		spec := genSpec(rng, i)
+		if cfg.Log != nil && i%10 == 0 {
+			cfg.Log("fuzz: run %d/%d", i, cfg.Runs)
+		}
+		class, detail := checkSpec(spec)
+		if class == "" {
+			continue
+		}
+		shrunk, n := shrinkSpec(spec, class, cfg.MaxShrinkRuns)
+		return &FuzzFailure{
+			Run: i, Class: class, Detail: detail,
+			Spec: spec, Shrunk: shrunk, ShrinkRuns: n,
+		}
+	}
+	return nil
+}
+
+// checkSpec executes one spec and classifies the outcome ("" = pass).
+func checkSpec(spec Spec) (class, detail string) {
+	defer func() {
+		if r := recover(); r != nil {
+			class, detail = FailPanic, fmt.Sprint(r)
+		}
+	}()
+	res, err := Run(spec)
+	if err != nil {
+		return FailInvalid, err.Error()
+	}
+	for _, cell := range res.Cells {
+		d := cell.Durability
+		if d == nil {
+			continue
+		}
+		if d.LostBytes > 0 && !d.LossExpected {
+			return FailDurability, fmt.Sprintf("cell %s: lost %d acked bytes: %s",
+				cell.Label, d.LostBytes, d.FirstLoss)
+		}
+		if d.UnaccountedRefs != 0 {
+			return FailLeak, fmt.Sprintf("cell %s: %d unaccounted block refs",
+				cell.Label, d.UnaccountedRefs)
+		}
+	}
+	return "", ""
+}
+
+// genSpec draws one random valid spec. Faults are grown monotonically:
+// each candidate event is appended and the whole spec re-validated, and
+// a candidate that does not fit (an overlap, a missing board, a bad
+// target) is simply dropped — so generation can never emit an invalid
+// spec, and every validator tightening automatically steers the fuzzer.
+func genSpec(rng *rand.Rand, run int) Spec {
+	servers := 1 + rng.Intn(2)
+	stripe := []int{1, 1, 2, 3}[rng.Intn(4)]
+	spec := Spec{
+		Name: fmt.Sprintf("fuzz-%d", run),
+		Seed: rng.Int63n(1 << 20),
+		Topology: Topology{
+			Net: []string{"ethernet", "fddi"}[rng.Intn(2)],
+			Clients: []ClientGroup{{
+				Count:      1 + rng.Intn(2),
+				Biods:      []int{0, 2, 4}[rng.Intn(3)],
+				MaxRetries: 100,
+			}},
+			Servers: Servers{
+				Count:       servers,
+				StripeDisks: stripe,
+				Presto:      rng.Intn(2) == 0,
+				Gathering:   rng.Intn(2) == 0,
+			},
+			Assembly: AssemblyCluster,
+		},
+		Workload: Workload{
+			Kind:   KindStream,
+			Stream: &StreamWorkload{FileMB: 1, Shard: rng.Intn(2) == 0},
+		},
+		Faults: Faults{CheckDurability: true},
+	}
+	// An occasional two-cell sweep exercises the per-cell reset path.
+	if rng.Intn(4) == 0 {
+		g, p := !spec.Topology.Servers.Gathering, spec.Topology.Servers.Presto
+		spec.Cells = []Cell{{Label: "base"}, {Label: "alt", Gathering: &g, Presto: &p}}
+	}
+	want := rng.Intn(5)
+	for tries := 0; len(spec.Faults.Events) < want && tries < want*8; tries++ {
+		ev := genEvent(rng, &spec)
+		spec.Faults.Events = append(spec.Faults.Events, ev)
+		if spec.Validate() != nil {
+			spec.Faults.Events = spec.Faults.Events[:len(spec.Faults.Events)-1]
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		panic("scenario: fuzz generator produced an invalid base spec: " + err.Error())
+	}
+	return spec
+}
+
+// Millisecond helpers for the generator's time draws.
+func ms(n int) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+
+func rngMS(rng *rand.Rand, lo, hi int) sim.Duration {
+	return ms(lo + rng.Intn(hi-lo+1))
+}
+
+// genEvent draws one candidate fault event against the spec's topology.
+// It need not be valid — genSpec drops candidates validation rejects.
+func genEvent(rng *rand.Rand, spec *Spec) FaultEvent {
+	servers := spec.Topology.Servers.Count
+	clients := spec.Topology.Clients[0].Count
+	node := rng.Intn(servers)
+	disk := []int{-1, 0, 1, 2}[rng.Intn(4)]
+	at := rngMS(rng, 0, 1500)
+	// Power faults start no earlier than 100ms: a crash during mkfs's
+	// initial image flush leaves a filesystem that never existed (stale
+	// root on remount) — a setup race, not a durability finding.
+	powerAt := rngMS(rng, 100, 1500)
+	switch rng.Intn(9) {
+	case 0:
+		return FaultEvent{Kind: FaultServerCrash, ServerCrash: &ServerCrashFault{
+			Node: node, At: powerAt, Period: rngMS(rng, 300, 700),
+			Outage: rngMS(rng, 50, 250), Count: 1 + rng.Intn(2),
+		}}
+	case 1:
+		return FaultEvent{Kind: FaultClientReboot, ClientReboot: &ClientRebootFault{
+			Client: rng.Intn(clients), At: at, Outage: rngMS(rng, 50, 250),
+		}}
+	case 2:
+		return FaultEvent{Kind: FaultBiodLoss, BiodLoss: &BiodLossFault{
+			Client: rng.Intn(clients), At: at, Lose: 1 + rng.Intn(3),
+		}}
+	case 3:
+		return FaultEvent{Kind: FaultShardFailover, ShardFailover: &ShardFailoverFault{
+			Node: node, To: (node + 1) % servers, At: powerAt, Takeover: rngMS(rng, 20, 100),
+		}}
+	case 4:
+		f := &LinkOutageFault{
+			At: at, Period: rngMS(rng, 200, 500),
+			Outage: rngMS(rng, 20, 120), Count: 1 + rng.Intn(2),
+		}
+		if rng.Intn(2) == 0 {
+			f.Node = &node
+		} else {
+			cli := rng.Intn(clients)
+			f.Client = &cli
+		}
+		return FaultEvent{Kind: FaultLinkOutage, LinkOutage: f}
+	case 5:
+		from := int64(rng.Intn(2000))
+		to := int64(0)
+		if rng.Intn(2) == 0 {
+			to = from + 1 + int64(rng.Intn(64))
+		}
+		return FaultEvent{Kind: FaultDiskReadError, DiskReadError: &DiskReadErrorFault{
+			Node: node, Disk: disk, At: at,
+			BlockFrom: from, BlockTo: to,
+			AfterOps: rng.Intn(4), Times: 1 + rng.Intn(3),
+		}}
+	case 6:
+		return FaultEvent{Kind: FaultDiskDegraded, DiskDegraded: &DiskDegradedFault{
+			Node: node, Disk: disk, At: at,
+			Duration: rngMS(rng, 50, 400), Factor: 2 + float64(rng.Intn(15)),
+		}}
+	case 7:
+		return FaultEvent{Kind: FaultDiskTornWrite, DiskTornWrite: &DiskTornWriteFault{
+			Node: node, Disk: disk, At: at,
+		}}
+	default:
+		return FaultEvent{Kind: FaultNVRAMLyingSync, NVRAMLyingSync: &NVRAMLyingSyncFault{
+			Node: node, At: at,
+		}}
+	}
+}
+
+// cloneSpec deep-copies a spec (the schema is JSON-complete by
+// construction, so a round-trip is exact and alias-free).
+func cloneSpec(spec Spec) Spec {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		panic("scenario: clone marshal: " + err.Error())
+	}
+	out, err := Decode(blob)
+	if err != nil {
+		panic("scenario: clone decode: " + err.Error())
+	}
+	return out
+}
+
+// shrinkSpec greedily minimizes a failing spec: each pass proposes
+// candidates (drop a cell, drop an event, shorten a train, reduce the
+// topology), keeps any candidate that still fails with the same class,
+// and repeats to fixpoint or until the run budget is spent. Candidates
+// that no longer validate are skipped, so the result is always runnable.
+func shrinkSpec(spec Spec, class string, budget int) (Spec, int) {
+	runs := 0
+	fails := func(cand Spec) bool {
+		if runs >= budget || cand.Validate() != nil {
+			return false
+		}
+		runs++
+		got, _ := checkSpec(cand)
+		return got == class
+	}
+	cur := spec
+	for changed := true; changed && runs < budget; {
+		changed = false
+		// Drop sweep cells.
+		for i := 0; i < len(cur.Cells); {
+			cand := cloneSpec(cur)
+			cand.Cells = append(cand.Cells[:i], cand.Cells[i+1:]...)
+			if fails(cand) {
+				cur, changed = cand, true
+			} else {
+				i++
+			}
+		}
+		// Drop fault events.
+		for i := 0; i < len(cur.Faults.Events); {
+			cand := cloneSpec(cur)
+			cand.Faults.Events = append(cand.Faults.Events[:i], cand.Faults.Events[i+1:]...)
+			if fails(cand) {
+				cur, changed = cand, true
+			} else {
+				i++
+			}
+		}
+		// Shorten trains and rule lifetimes inside surviving events.
+		for i := range cur.Faults.Events {
+			cand := cloneSpec(cur)
+			if simplifyEvent(&cand.Faults.Events[i]) && fails(cand) {
+				cur, changed = cand, true
+			}
+		}
+		// Reduce the topology and workload.
+		for _, mutate := range []func(*Spec) bool{
+			func(s *Spec) bool { return setInt(&s.Topology.Servers.Count, 1) },
+			func(s *Spec) bool { return setInt(&s.Topology.Clients[0].Count, 1) },
+			func(s *Spec) bool { return setInt(&s.Topology.Servers.StripeDisks, 1) },
+			func(s *Spec) bool { return setInt(&s.Topology.Clients[0].Biods, 0) },
+			func(s *Spec) bool { return setInt(&s.Workload.Stream.FileMB, 1) },
+			func(s *Spec) bool {
+				if !s.Topology.Servers.Gathering {
+					return false
+				}
+				s.Topology.Servers.Gathering = false
+				return true
+			},
+		} {
+			cand := cloneSpec(cur)
+			if mutate(&cand) && fails(cand) {
+				cur, changed = cand, true
+			}
+		}
+	}
+	return cur, runs
+}
+
+// setInt lowers *p to v, reporting whether that changed anything.
+func setInt(p *int, v int) bool {
+	if *p == v {
+		return false
+	}
+	*p = v
+	return true
+}
+
+// simplifyEvent lowers one event's counts to their minimum, reporting
+// whether anything changed.
+func simplifyEvent(ev *FaultEvent) bool {
+	changed := false
+	switch ev.Kind {
+	case FaultServerCrash:
+		changed = setInt(&ev.ServerCrash.Count, 1)
+	case FaultLinkOutage:
+		changed = setInt(&ev.LinkOutage.Count, 1)
+	case FaultBiodLoss:
+		changed = setInt(&ev.BiodLoss.Lose, 1)
+	case FaultDiskReadError:
+		f := ev.DiskReadError
+		changed = setInt(&f.Times, 1)
+		if f.AfterOps != 0 {
+			f.AfterOps = 0
+			changed = true
+		}
+	}
+	return changed
+}

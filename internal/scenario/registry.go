@@ -30,6 +30,7 @@ func Registry() []Entry {
 		{"flapstorm", "Flapping storm: staggered short-outage crash trains on both shards under sharded write streams, durability-checked", flapStorm},
 		{"failover", "Shard failover: one of two shards dies mid-stream and the survivor adopts its disks under a stable FSID (plain vs Presto)", failOver},
 		{"clientreboot", "Client crash model: one client reboots mid-stream dropping dirty write-behind, another loses biods; acked bytes must all survive", clientReboot},
+		{"mediastorm", "Partial storage failure: media read errors, a degraded spindle and an armed torn write across a crash, durability-audited (plain vs Presto)", mediaStorm},
 	}
 }
 
@@ -184,6 +185,64 @@ func clientReboot() Spec {
 					Kind: FaultBiodLoss,
 					BiodLoss: &BiodLossFault{
 						Client: 0, At: 200 * sim.Millisecond, Lose: 2,
+					},
+				},
+			},
+		},
+	}
+	plain, presto := false, true
+	spec.Cells = []Cell{
+		{Label: "plain", Presto: &plain},
+		{Label: "presto", Presto: &presto},
+	}
+	return spec
+}
+
+// mediaStorm drives the storage half of the fault matrix against one
+// two-spindle shard: a bounded run of media read errors on spindle 0, a
+// degraded window on spindle 1, and a torn write armed across a mid-
+// stream power cycle. Disks fail partially — not fail-stop — and the
+// durability audit must still hold: acked bytes survive the storm, or
+// every loss traces to a scheduled fault that declared it permissible.
+func mediaStorm() Spec {
+	spec := Spec{
+		Name:        "mediastorm",
+		Description: "Media errors + degraded spindle + torn write across a crash on one striped shard",
+		Seed:        6161,
+		Topology: Topology{
+			Net:      "fddi",
+			Assembly: AssemblyCluster,
+			Clients:  []ClientGroup{{Count: 2, Biods: 4, MaxRetries: 200}},
+			Servers:  Servers{Count: 1, StripeDisks: 2, Gathering: true},
+		},
+		Workload: Workload{Kind: KindStream, Stream: &StreamWorkload{FileMB: 2}},
+		Faults: Faults{
+			CheckDurability: true,
+			Events: []FaultEvent{
+				{
+					Kind: FaultDiskReadError,
+					DiskReadError: &DiskReadErrorFault{
+						Node: 0, Disk: 0, At: 200 * sim.Millisecond, Times: 2,
+					},
+				},
+				{
+					Kind: FaultDiskDegraded,
+					DiskDegraded: &DiskDegradedFault{
+						Node: 0, Disk: 1, At: 300 * sim.Millisecond,
+						Duration: 250 * sim.Millisecond, Factor: 6,
+					},
+				},
+				{
+					Kind: FaultDiskTornWrite,
+					DiskTornWrite: &DiskTornWriteFault{
+						Node: 0, Disk: -1, At: 100 * sim.Millisecond,
+					},
+				},
+				{
+					Kind: FaultServerCrash,
+					ServerCrash: &ServerCrashFault{
+						Node: 0, At: 600 * sim.Millisecond,
+						Outage: 150 * sim.Millisecond, Count: 1,
 					},
 				},
 			},

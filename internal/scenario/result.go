@@ -109,11 +109,28 @@ type Durability struct {
 	MeanRecoveryMs       float64 `json:"mean_recovery_ms"`
 	RecoveredNVRAMBlocks int     `json:"recovered_nvram_blocks"`
 	// ClientReboots, BiodsLost, Failovers and LinkOutages count the
-	// completed injections of the other fault kinds.
+	// completed injections of the other fault kinds; StorageFaults the
+	// storage-plane injections (media errors, degraded windows, torn
+	// writes, lying boards) that fired.
 	ClientReboots int `json:"client_reboots,omitempty"`
 	BiodsLost     int `json:"biods_lost,omitempty"`
 	Failovers     int `json:"failovers,omitempty"`
 	LinkOutages   int `json:"link_outages,omitempty"`
+	StorageFaults int `json:"storage_faults,omitempty"`
+	// DroppedNVRAMBlocks counts dirty blocks lying boards discarded at
+	// power events instead of replaying (the acked data they lost).
+	DroppedNVRAMBlocks int `json:"dropped_nvram_blocks,omitempty"`
+	// LossExpected is true when a scheduled fault declared acked-byte
+	// loss permissible (a lying board, an unrecoverable media failure):
+	// LostBytes > 0 with LossExpected false is a durability bug.
+	LossExpected bool `json:"loss_expected,omitempty"`
+	// RecoveryFailures lists scheduled recoveries that failed under
+	// storage faults (without them a failed recovery panics the run).
+	RecoveryFailures []string `json:"recovery_failures,omitempty"`
+	// UnaccountedRefs is the per-cell block-reference leak audit: the
+	// cell's outstanding references minus those attributable to the
+	// cluster's long-lived stores after full quiesce. Must be 0.
+	UnaccountedRefs int64 `json:"unaccounted_refs,omitempty"`
 	// BufferedWrites counts write-behind acceptances; DroppedBuffered the
 	// subset a crash-exposed client never got acked — permitted loss,
 	// excluded from LostBytes. UnackedBuffered counts unacked buffered
@@ -214,6 +231,12 @@ func (r *Result) Render() string {
 			if d.LinkOutages > 0 {
 				fmt.Fprintf(&b, " link outages=%d", d.LinkOutages)
 			}
+			if d.StorageFaults > 0 {
+				fmt.Fprintf(&b, " storage faults=%d", d.StorageFaults)
+			}
+			if d.DroppedNVRAMBlocks > 0 {
+				fmt.Fprintf(&b, " nvram dropped=%d", d.DroppedNVRAMBlocks)
+			}
 			if d.Checked {
 				fmt.Fprintf(&b, "  acked %d writes/%d KB  lost %d bytes",
 					d.AckedWrites, d.AckedBytes/1024, d.LostBytes)
@@ -221,7 +244,9 @@ func (r *Result) Render() string {
 					fmt.Fprintf(&b, "  dropped write-behind %d writes/%d KB (permitted)",
 						d.DroppedBuffered, d.DroppedBufferedBytes/1024)
 				}
-				if d.LostBytes > 0 {
+				if d.LostBytes > 0 && d.LossExpected {
+					b.WriteString("  loss expected (scheduled storage fault): " + d.FirstLoss)
+				} else if d.LostBytes > 0 {
 					b.WriteString("  DURABILITY VIOLATED: " + d.FirstLoss)
 				}
 			} else {

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/nfsproto"
@@ -277,6 +278,10 @@ func runRigTrace(rc *resolved, r *rig.Rig, cr *CellResult) {
 
 // runClusterCell executes one cell on the crashable sharded assembly.
 func runClusterCell(rc *resolved) CellResult {
+	// Block-reference baseline for the per-cell leak audit: after the
+	// full quiesce, every reference taken since here must sit in one of
+	// the cluster's long-lived stores (AccountedRefs).
+	refs0 := block.TotalRefs()
 	c := cluster.New(rc.clusterConfig())
 	var cr CellResult
 
@@ -314,15 +319,34 @@ func runClusterCell(rc *resolved) CellResult {
 	// A scheduled recovery that failed (remount error, adoption error)
 	// means the run is not the experiment the spec declared; surfacing it
 	// loudly beats reporting plausible-looking metrics from the wrong
-	// scenario.
+	// scenario. Under scheduled storage faults a failed recovery is a
+	// legitimate outcome (a persistent media error can defeat the mount
+	// retries), so it is reported in the durability record instead.
+	var recoveryFailures []string
 	if in != nil && len(in.Failures) > 0 {
-		panic(fmt.Sprintf("scenario: fault recovery failed: %v", in.Failures))
+		if !rc.storageFaults {
+			panic(fmt.Sprintf("scenario: fault recovery failed: %v", in.Failures))
+		}
+		for _, e := range in.Failures {
+			recoveryFailures = append(recoveryFailures, e.Error())
+		}
+		if j != nil {
+			// The unrecovered export's acked bytes are unreadable; the
+			// scheduled storage fault makes that loss expected, and the
+			// audit still counts every byte of it.
+			j.NoteLossExpected("scheduled recovery failed under storage faults")
+		}
 	}
 
 	// The audit phase runs after all workload and reboot activity; it
 	// consumes simulated device time but is excluded from the measured
-	// interval above.
+	// interval above. Injection rules the workload never consumed are
+	// disarmed first — the audit must read what the platters hold, not
+	// trip over a leftover rule.
 	var check fault.CheckResult
+	if in != nil {
+		in.HealAll()
+	}
 	if j != nil {
 		c.Sim.Spawn("verify", func(p *sim.Proc) { check = j.Verify(p, c) })
 		c.Sim.Run(0)
@@ -343,6 +367,8 @@ func runClusterCell(rc *resolved) CellResult {
 			DroppedBuffered:      check.DroppedBuffered,
 			DroppedBufferedBytes: check.DroppedBufferedBytes,
 			UnackedBuffered:      check.UnackedBuffered,
+			LossExpected:         check.ExpectedLoss,
+			RecoveryFailures:     recoveryFailures,
 		}
 		if in != nil {
 			d.Crashes = in.Crashes
@@ -351,6 +377,7 @@ func runClusterCell(rc *resolved) CellResult {
 			d.BiodsLost = in.BiodsLost
 			d.Failovers = in.Failovers
 			d.LinkOutages = in.LinkOutages
+			d.StorageFaults = in.StorageFaults
 			d.EventsFired = in.EventsFired
 			if len(in.RecoveryTimes) > 0 {
 				var sum sim.Duration
@@ -362,7 +389,11 @@ func runClusterCell(rc *resolved) CellResult {
 		}
 		for _, n := range c.Nodes {
 			d.RecoveredNVRAMBlocks += n.RecoveredBlocks
+			d.DroppedNVRAMBlocks += n.DroppedNVRAMBlocks
 		}
+		// Leak audit: after the quiesce above, the cell's outstanding
+		// block references must all be attributable to long-lived stores.
+		d.UnaccountedRefs = block.TotalRefs() - refs0 - c.AccountedRefs()
 		cr.Durability = d
 		cr.Crashes = d.Crashes
 		cr.LostBytes = d.LostBytes
@@ -402,6 +433,25 @@ func buildKind(ev FaultEvent) fault.Kind {
 			k.Index = *f.Node
 		}
 		return k
+	case FaultDiskReadError:
+		f := ev.DiskReadError
+		return fault.DiskReadError{
+			Node: f.Node, Disk: f.Disk, At: sim.Time(f.At),
+			BlockFrom: f.BlockFrom, BlockTo: f.BlockTo,
+			AfterOps: f.AfterOps, Times: f.Times,
+		}
+	case FaultDiskDegraded:
+		f := ev.DiskDegraded
+		return fault.DiskDegraded{
+			Node: f.Node, Disk: f.Disk, At: sim.Time(f.At),
+			Duration: f.Duration, Factor: f.Factor,
+		}
+	case FaultDiskTornWrite:
+		f := ev.DiskTornWrite
+		return fault.DiskTornWrite{Node: f.Node, Disk: f.Disk, At: sim.Time(f.At)}
+	case FaultNVRAMLyingSync:
+		f := ev.NVRAMLyingSync
+		return fault.NVRAMLyingSync{Node: f.Node, At: sim.Time(f.At)}
 	}
 	panic("scenario: unvalidated fault kind " + ev.Kind)
 }
@@ -410,6 +460,7 @@ func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 	roots := c.Roots()
 	size := rc.stream.FileMB << 20
 	done := 0
+	failed := 0
 	var bytesWritten int64
 	for i, cli := range c.Clients {
 		i, cli := i, cli
@@ -421,9 +472,22 @@ func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 			name := fmt.Sprintf("stream-%d.dat", i)
 			cres, err := cli.Create(p, root, name, 0644)
 			if err != nil || cres.Status != nfsproto.OK {
+				// Under scheduled storage faults an I/O-error reply (or
+				// retry exhaustion against an unrecoverable shard) is a
+				// legitimate outcome; the stream ends and is counted.
+				if rc.storageFaults {
+					cr.Errors++
+					failed++
+					return
+				}
 				panic(fmt.Sprintf("scenario: stream create: %v %v", err, cres))
 			}
 			if _, err := cli.WriteFile(p, cres.File, size); err != nil {
+				if rc.storageFaults {
+					cr.Errors++
+					failed++
+					return
+				}
 				panic("scenario: stream: " + err.Error())
 			}
 			bytesWritten += int64(size)
@@ -440,7 +504,7 @@ func runClusterStream(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 	for _, cli := range c.Clients {
 		killed += cli.AppsKilled()
 	}
-	if done+killed != len(c.Clients) {
+	if done+failed+killed != len(c.Clients) {
 		panic("scenario: streams did not finish")
 	}
 	cr.Elapsed = sim.Duration(elapsed)

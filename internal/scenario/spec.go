@@ -217,11 +217,15 @@ type TraceWorkload struct {
 // shared with the engine layer (internal/fault), where each tag names a
 // pluggable fault.Kind implementation.
 const (
-	FaultServerCrash   = fault.KindServerCrash
-	FaultClientReboot  = fault.KindClientReboot
-	FaultBiodLoss      = fault.KindBiodLoss
-	FaultShardFailover = fault.KindShardFailover
-	FaultLinkOutage    = fault.KindLinkOutage
+	FaultServerCrash    = fault.KindServerCrash
+	FaultClientReboot   = fault.KindClientReboot
+	FaultBiodLoss       = fault.KindBiodLoss
+	FaultShardFailover  = fault.KindShardFailover
+	FaultLinkOutage     = fault.KindLinkOutage
+	FaultDiskReadError  = fault.KindDiskReadError
+	FaultDiskDegraded   = fault.KindDiskDegraded
+	FaultDiskTornWrite  = fault.KindDiskTornWrite
+	FaultNVRAMLyingSync = fault.KindNVRAMLyingSync
 )
 
 // Faults is the deterministic fault schedule: typed events plus the
@@ -271,6 +275,14 @@ type FaultEvent struct {
 	ShardFailover *ShardFailoverFault `json:"shard_failover,omitempty"`
 	// LinkOutage matches kind "link-outage".
 	LinkOutage *LinkOutageFault `json:"link_outage,omitempty"`
+	// DiskReadError matches kind "disk-read-error".
+	DiskReadError *DiskReadErrorFault `json:"disk_read_error,omitempty"`
+	// DiskDegraded matches kind "disk-degraded".
+	DiskDegraded *DiskDegradedFault `json:"disk_degraded,omitempty"`
+	// DiskTornWrite matches kind "disk-torn-write".
+	DiskTornWrite *DiskTornWriteFault `json:"disk_torn_write,omitempty"`
+	// NVRAMLyingSync matches kind "nvram-lying-sync".
+	NVRAMLyingSync *NVRAMLyingSyncFault `json:"nvram_lying_sync,omitempty"`
 }
 
 // ServerCrashFault is CrashTrain as a typed event: Count crash/reboot
@@ -323,6 +335,54 @@ type LinkOutageFault struct {
 	Period sim.Duration `json:"period_ns,omitempty"`
 	Outage sim.Duration `json:"outage_ns"`
 	Count  int          `json:"count"`
+}
+
+// DiskReadErrorFault arms a media read error on server shard Node's
+// spindle Disk (-1 targets every member of the shard's stripe): reads
+// overlapping platter blocks [BlockFrom, BlockTo) fail, starting
+// AfterOps overlapping reads after At, for Times occurrences (0 means
+// one — the one-shot grown defect). BlockTo 0 means the end of the disk.
+// The stored bytes are intact; only transfers fail, and the server's
+// error path surfaces them as I/O-error NFS replies.
+type DiskReadErrorFault struct {
+	Node      int          `json:"node"`
+	Disk      int          `json:"disk,omitempty"`
+	At        sim.Duration `json:"at_ns"`
+	BlockFrom int64        `json:"block_from,omitempty"`
+	BlockTo   int64        `json:"block_to,omitempty"`
+	AfterOps  int          `json:"after_ops,omitempty"`
+	Times     int          `json:"times,omitempty"`
+}
+
+// DiskDegradedFault multiplies shard Node's spindle Disk service time by
+// Factor (> 1) for the window [At, At+Duration) — a drive slow but
+// correct. Windows on the same spindle must not overlap.
+type DiskDegradedFault struct {
+	Node     int          `json:"node"`
+	Disk     int          `json:"disk,omitempty"`
+	At       sim.Duration `json:"at_ns"`
+	Duration sim.Duration `json:"duration_ns"`
+	Factor   float64      `json:"factor"`
+}
+
+// DiskTornWriteFault arms one torn multi-block write on shard Node's
+// spindle Disk at At: the next clustered write a power event interrupts
+// persists only a prefix of its blocks. Pair it with a server-crash
+// event — without a crash the armed tear never manifests.
+type DiskTornWriteFault struct {
+	Node int          `json:"node"`
+	Disk int          `json:"disk,omitempty"`
+	At   sim.Duration `json:"at_ns"`
+}
+
+// NVRAMLyingSyncFault corrupts shard Node's NVRAM board at At: it keeps
+// acknowledging stable storage, but its dirty map evaporates at the next
+// power event instead of replaying. Requires the shard to run Presto.
+// The durability checker reports the resulting loss as expected — the
+// scenario exists to prove the audit catches a lying board.
+type NVRAMLyingSyncFault struct {
+	Node int          `json:"node"`
+	At   sim.Duration `json:"at_ns"`
 }
 
 // Cell is one sweep point: the base spec with these overrides applied.

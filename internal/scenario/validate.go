@@ -73,6 +73,11 @@ type resolved struct {
 	// adapted onto server-crash events (in list order), then the typed
 	// events, all validated. Run schedules exactly this list in order.
 	events []FaultEvent
+	// storageFaults is true when the schedule carries storage-plane
+	// events (media errors, degraded windows, torn writes, lying NVRAM):
+	// the runner then tolerates failed client operations and failed
+	// recoveries instead of treating them as harness panics.
+	storageFaults bool
 }
 
 func netParams(name string) (hw.NetParams, bool) {
@@ -341,6 +346,16 @@ func (r *resolved) validateFaults() error {
 		field  string
 	}
 	var biodPoints []point
+	// Degraded-window overlap ledger: stacked windows on one spindle
+	// would multiply factors in an order the spec never stated, so they
+	// are rejected. disk -1 (every stripe member) conflicts with any
+	// window on the same node.
+	type diskWindow struct {
+		disk     int
+		from, to sim.Duration
+		field    string
+	}
+	degradeWin := map[int][]diskWindow{}
 
 	for i, ev := range r.events {
 		var field string
@@ -458,11 +473,84 @@ func (r *resolved) validateFaults() error {
 				at := f.At + sim.Duration(k)*f.Period
 				win[idx] = append(win[idx], faultWindow{at, at + f.Outage, field, false})
 			}
+		case FaultDiskReadError:
+			f := ev.DiskReadError
+			if err := r.checkDiskTarget(field, f.Node, f.Disk); err != nil {
+				return err
+			}
+			if f.At < 0 {
+				return invalid(field, "injection time must not be negative")
+			}
+			if f.BlockFrom < 0 || f.BlockTo < 0 {
+				return invalid(field, "negative block range")
+			}
+			if f.BlockTo != 0 && f.BlockTo <= f.BlockFrom {
+				return invalid(field, "empty block range [%d,%d) (block_to 0 means end of disk)", f.BlockFrom, f.BlockTo)
+			}
+			if f.AfterOps < 0 || f.Times < 0 {
+				return invalid(field, "negative after_ops or times")
+			}
+			if r.kind != KindStream {
+				return invalid(field, "disk read errors require the stream workload (the %s runner cannot absorb I/O-error replies)", r.kind)
+			}
+			r.storageFaults = true
+		case FaultDiskDegraded:
+			f := ev.DiskDegraded
+			if err := r.checkDiskTarget(field, f.Node, f.Disk); err != nil {
+				return err
+			}
+			if f.At < 0 {
+				return invalid(field, "window start must not be negative")
+			}
+			if f.Duration <= 0 {
+				return invalid(field, "window duration must be positive")
+			}
+			if f.Factor <= 1 {
+				return invalid(field, "degrade factor must exceed 1 (got %g)", f.Factor)
+			}
+			degradeWin[f.Node] = append(degradeWin[f.Node],
+				diskWindow{f.Disk, f.At, f.At + f.Duration, field})
+			r.storageFaults = true
+		case FaultDiskTornWrite:
+			f := ev.DiskTornWrite
+			if err := r.checkDiskTarget(field, f.Node, f.Disk); err != nil {
+				return err
+			}
+			if f.At < 0 {
+				return invalid(field, "arm time must not be negative")
+			}
+			r.storageFaults = true
+		case FaultNVRAMLyingSync:
+			f := ev.NVRAMLyingSync
+			if f.Node < 0 || f.Node >= r.servers.Count {
+				return invalid(field, "fault targets unknown node %d (topology has %d servers)", f.Node, r.servers.Count)
+			}
+			if !r.nodePresto(f.Node) {
+				return invalid(field, "node %d runs no NVRAM board (set topology.servers.presto or the node override)", f.Node)
+			}
+			if f.At < 0 {
+				return invalid(field, "corruption time must not be negative")
+			}
+			r.storageFaults = true
 		default:
 			// checkVariant already rejected unknown kinds; a kind added
 			// to its table but not here must fail loudly, not skip its
 			// validation.
 			panic("scenario: fault kind " + ev.Kind + " has no validation case")
+		}
+	}
+
+	for node, ws := range degradeWin {
+		for i := range ws {
+			for j := i + 1; j < len(ws); j++ {
+				a, b := ws[i], ws[j]
+				sameDisk := a.disk < 0 || b.disk < 0 || a.disk == b.disk
+				if sameDisk && a.from < b.to && b.from < a.to {
+					return invalid(a.field,
+						"overlapping degraded windows on node %d disk %d (%s [%v,%v] and %s [%v,%v])",
+						node, a.disk, a.field, a.from, a.to, b.field, b.from, b.to)
+				}
+			}
 		}
 	}
 
@@ -524,6 +612,10 @@ func (r *resolved) checkVariant(field string, ev FaultEvent) error {
 		{FaultBiodLoss, ev.BiodLoss != nil},
 		{FaultShardFailover, ev.ShardFailover != nil},
 		{FaultLinkOutage, ev.LinkOutage != nil},
+		{FaultDiskReadError, ev.DiskReadError != nil},
+		{FaultDiskDegraded, ev.DiskDegraded != nil},
+		{FaultDiskTornWrite, ev.DiskTornWrite != nil},
+		{FaultNVRAMLyingSync, ev.NVRAMLyingSync != nil},
 	}
 	known := false
 	for _, v := range variants {
@@ -537,8 +629,12 @@ func (r *resolved) checkVariant(field string, ev FaultEvent) error {
 		}
 	}
 	if !known {
-		return invalid(field, "unknown fault kind %q (want %q, %q, %q, %q or %q)", ev.Kind,
-			FaultServerCrash, FaultClientReboot, FaultBiodLoss, FaultShardFailover, FaultLinkOutage)
+		names := make([]string, len(variants))
+		for i, v := range variants {
+			names[i] = fmt.Sprintf("%q", v.kind)
+		}
+		return invalid(field, "unknown fault kind %q (want one of %s)", ev.Kind,
+			strings.Join(names, ", "))
 	}
 	return nil
 }
@@ -546,6 +642,41 @@ func (r *resolved) checkVariant(field string, ev FaultEvent) error {
 // jsonName maps a fault kind tag to its variant's JSON field name.
 func jsonName(kind string) string {
 	return strings.ReplaceAll(kind, "-", "_")
+}
+
+// nodeStripeDisks resolves one shard's spindle count: the homogeneous
+// setting (0 defaults to 1) plus any per-node override — the same
+// resolution the cluster build performs.
+func (r *resolved) nodeStripeDisks(node int) int {
+	n := r.servers.StripeDisks
+	if node < len(r.servers.Nodes) && r.servers.Nodes[node].StripeDisks != nil {
+		n = *r.servers.Nodes[node].StripeDisks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// nodePresto resolves whether one shard runs an NVRAM board.
+func (r *resolved) nodePresto(node int) bool {
+	p := r.servers.Presto
+	if node < len(r.servers.Nodes) && r.servers.Nodes[node].Presto != nil {
+		p = *r.servers.Nodes[node].Presto
+	}
+	return p
+}
+
+// checkDiskTarget validates a (node, disk) storage-fault target against
+// the resolved topology. disk -1 selects every stripe member.
+func (r *resolved) checkDiskTarget(field string, node, disk int) error {
+	if node < 0 || node >= r.servers.Count {
+		return invalid(field, "fault targets unknown node %d (topology has %d servers)", node, r.servers.Count)
+	}
+	if nd := r.nodeStripeDisks(node); disk < -1 || disk >= nd {
+		return invalid(field, "fault targets unknown disk %d on node %d (%d spindles; -1 means all)", disk, node, nd)
+	}
+	return nil
 }
 
 // clientBiods resolves a client index to its group's biod count.

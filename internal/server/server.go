@@ -233,28 +233,28 @@ func (c *ChargedDevice) writeCost(n int) sim.Duration {
 }
 
 // WriteBlocks implements disk.Device.
-func (c *ChargedDevice) WriteBlocks(p *sim.Proc, blk int64, data []byte) {
+func (c *ChargedDevice) WriteBlocks(p *sim.Proc, blk int64, data []byte) error {
 	if cost := c.writeCost(len(data)); cost > 0 {
 		c.cpu.Use(p, cost)
 	}
-	c.Device.WriteBlocks(p, blk, data)
+	return c.Device.WriteBlocks(p, blk, data)
 }
 
 // WriteBufs implements disk.Device: the zero-copy path pays exactly the
 // same modelled CPU costs as the byte path — the simulated 1994 kernel
 // still does its driver trip and NVRAM board copy; only the simulator's
 // own host-side memmoves were eliminated.
-func (c *ChargedDevice) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) {
+func (c *ChargedDevice) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) error {
 	if cost := c.writeCost(len(bufs) * c.Device.BlockSize()); cost > 0 {
 		c.cpu.Use(p, cost)
 	}
-	c.Device.WriteBufs(p, blk, bufs)
+	return c.Device.WriteBufs(p, blk, bufs)
 }
 
 // ReadBlocks implements disk.Device.
-func (c *ChargedDevice) ReadBlocks(p *sim.Proc, blk int64, buf []byte) {
+func (c *ChargedDevice) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	if c.TripCost > 0 {
 		c.cpu.Use(p, c.TripCost)
 	}
-	c.Device.ReadBlocks(p, blk, buf)
+	return c.Device.ReadBlocks(p, blk, buf)
 }

@@ -22,6 +22,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 )
 
 // Time is an absolute virtual time in microseconds since the start of the
@@ -130,7 +131,21 @@ type Sim struct {
 	// terminates in some process's goroutine (see loop).
 	mainWake chan struct{}
 
+	// fatal carries a model-code panic from the process goroutine it
+	// unwound to the Run caller, which re-raises it (see runProc). The
+	// transfer makes a panicking simulation abort deterministically on
+	// the driving goroutine — recoverable by harnesses like the scenario
+	// fuzzer — instead of crashing the whole OS process from a worker.
+	fatal *fatalPanic
+
 	freeWaiters []*condWaiter
+}
+
+// fatalPanic records a panic captured in a process goroutine.
+type fatalPanic struct {
+	val   any
+	proc  string
+	stack []byte
 }
 
 // New returns a simulator with its clock at zero and the given RNG seed.
@@ -250,6 +265,12 @@ func (s *Sim) wakeProc(p *Proc) {
 func (s *Sim) Run(until Time) Time {
 	s.until = until
 	s.loop(nil)
+	if f := s.fatal; f != nil {
+		// Re-raise a captured process panic here, on the driving
+		// goroutine. The simulation is dead: parked process goroutines
+		// stay parked (their sim is abandoned with them).
+		panic(fmt.Sprintf("sim: process %q panicked at t=%d: %v\n%s", f.proc, s.now, f.val, f.stack))
+	}
 	if until > 0 && s.now < until {
 		s.now = until
 	}
@@ -269,7 +290,7 @@ func (s *Sim) Run(until Time) Time {
 // goroutine and model code resumes), or, for the Run caller, when the loop
 // has terminated and the token came home.
 func (s *Sim) loop(self *Proc) {
-	for len(s.events) > 0 {
+	for len(s.events) > 0 && s.fatal == nil {
 		e := s.events[0]
 		if s.until > 0 && e.t > s.until {
 			s.now = s.until
@@ -437,12 +458,18 @@ func (p *Proc) unlinkParent() {
 // runProc swallows it so only the victim dies.
 type killSentinel struct{}
 
-// runProc runs a process body, absorbing the kill unwind.
+// runProc runs a process body, absorbing the kill unwind. Any other
+// panic is captured into s.fatal — the process's deferred cleanups have
+// already run by the time the recover sees it — and the loop shuts down
+// so the Run caller can re-raise it on the driving goroutine.
 func runProc(p *Proc, fn func(p *Proc)) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(killSentinel); !ok {
-				panic(r)
+			if _, ok := r.(killSentinel); ok {
+				return
+			}
+			if p.sim.fatal == nil {
+				p.sim.fatal = &fatalPanic{val: r, proc: p.name, stack: debug.Stack()}
 			}
 		}
 	}()

@@ -56,7 +56,9 @@ func (fs *FS) SetAttrs(p *sim.Proc, ino vfs.Ino, sa vfs.SetAttr) (vfs.Attr, erro
 	}
 	in.ctime = fs.sim.Now()
 	in.dirtyCore, in.dirtyMeta = true, true
-	fs.flushInode(p, in)
+	if err := fs.flushInode(p, in, false, true); err != nil {
+		return vfs.Attr{}, err
+	}
 	return fs.attrOf(in), nil
 }
 
@@ -80,7 +82,10 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 	}
 	// Free single-indirect data blocks beyond the cut.
 	if in.indirect != 0 {
-		ib := fs.getBuf(p, in.indirect, true)
+		ib, err := fs.getBuf(p, in.indirect, true)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < PtrsPerBlock; i++ {
 			fb := int64(NumDirect + i)
 			ptr := int64(binary.BigEndian.Uint64(ib.data[i*8:]))
@@ -100,13 +105,19 @@ func (fs *FS) truncate(p *sim.Proc, in *inode, size uint32) error {
 	}
 	// Free double-indirect data blocks beyond the cut.
 	if in.dindirect != 0 {
-		db := fs.getBuf(p, in.dindirect, true)
+		db, err := fs.getBuf(p, in.dindirect, true)
+		if err != nil {
+			return err
+		}
 		for l1 := 0; l1 < PtrsPerBlock; l1++ {
 			l1ptr := int64(binary.BigEndian.Uint64(db.data[l1*8:]))
 			if l1ptr == 0 {
 				continue
 			}
-			lb := fs.getBuf(p, l1ptr, true)
+			lb, err := fs.getBuf(p, l1ptr, true)
+			if err != nil {
+				return err
+			}
 			anyKept := false
 			for l2 := 0; l2 < PtrsPerBlock; l2++ {
 				fb := int64(NumDirect + PtrsPerBlock + l1*PtrsPerBlock + l2)

@@ -129,9 +129,10 @@ func (fs *FS) storeDir(p *sim.Proc, in *inode, ents []dirent) error {
 	if err := fs.SyncData(p, in.num, 0, in.size); err != nil {
 		return err
 	}
-	fs.flushDirtyIndirect(p, in)
-	fs.flushInode(p, in)
-	return nil
+	if err := fs.flushDirtyIndirect(p, in); err != nil {
+		return err
+	}
+	return fs.flushInode(p, in, false, true)
 }
 
 // readRaw reads file bytes without touching atime (directory internal).
@@ -154,7 +155,10 @@ func (fs *FS) readRaw(p *sim.Proc, in *inode, off uint32, out []byte) (int, erro
 				out[read+i] = 0
 			}
 		} else {
-			b := fs.getBuf(p, phys, true)
+			b, err := fs.getBuf(p, phys, true)
+			if err != nil {
+				return read, err
+			}
 			copy(out[read:read+take], b.data[bo:bo+int64(take)])
 		}
 		read += take
@@ -180,7 +184,11 @@ func (fs *FS) writeRaw(p *sim.Proc, in *inode, off uint32, data []byte) error {
 		needFill := take != BlockSize && !mc
 		b, cached := fs.cache[phys]
 		if !cached {
-			b = fs.getBuf(p, phys, needFill)
+			nb, err := fs.getBuf(p, phys, needFill)
+			if err != nil {
+				return err
+			}
+			b = nb
 		}
 		b.owner, b.fblock = in.num, fb
 		if take == BlockSize {
@@ -272,7 +280,9 @@ func (fs *FS) makeNode(p *sim.Proc, dir vfs.Ino, name string, mode uint32, ft vf
 		return 0, err
 	}
 	// New inode durable too.
-	fs.flushInode(p, in)
+	if err := fs.flushInode(p, in, false, true); err != nil {
+		return 0, err
+	}
 	return in.num, nil
 }
 
@@ -324,11 +334,9 @@ func (fs *FS) unlink(p *sim.Proc, dir vfs.Ino, name string, wantDir bool) error 
 		}
 		tin.nlink--
 		if tin.nlink == 0 || (wantDir && tin.nlink <= 1) {
-			fs.freeInode(p, tin)
-		} else {
-			fs.flushInode(p, tin)
+			return fs.freeInode(p, tin)
 		}
-		return nil
+		return fs.flushInode(p, tin, false, true)
 	}
 	return vfs.ErrNoEnt
 }
@@ -410,7 +418,7 @@ func (fs *FS) dropTarget(p *sim.Proc, ino vfs.Ino) error {
 	}
 	tin.nlink--
 	if tin.nlink == 0 {
-		fs.freeInode(p, tin)
+		return fs.freeInode(p, tin)
 	}
 	return nil
 }

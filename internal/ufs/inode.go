@@ -30,6 +30,13 @@ type inode struct {
 
 	dirtyCore bool
 	dirtyMeta bool
+	// pendingFlush marks an inode whose dirty state was encoded into an
+	// inode-block write that has not yet landed. The encoder clears the
+	// dirty flags, so without this marker a committer racing the in-flight
+	// write would take "flags clean" for "durable" and acknowledge early;
+	// with it, sync paths route through flushInode, which waits on the
+	// block's flush gate for the landing.
+	pendingFlush bool
 	// indBlocks tracks physical block numbers of this file's indirect
 	// blocks so a metadata-only fsync can find the dirty ones.
 	indBlocks []int64
@@ -124,7 +131,7 @@ func (fs *FS) allocInode(ft vfs.FileType, mode uint32) *inode {
 }
 
 // freeInode releases an inode and all its blocks.
-func (fs *FS) freeInode(p *sim.Proc, in *inode) {
+func (fs *FS) freeInode(p *sim.Proc, in *inode) error {
 	in.dents, in.dentsOK = nil, false
 	for _, b := range in.direct {
 		if b != 0 {
@@ -132,20 +139,25 @@ func (fs *FS) freeInode(p *sim.Proc, in *inode) {
 			fs.evict(b)
 		}
 	}
-	freeIndirect := func(blk int64, depth int) {
-		var walk func(int64, int)
-		walk = func(b int64, d int) {
+	freeIndirect := func(blk int64, depth int) error {
+		var walk func(int64, int) error
+		walk = func(b int64, d int) error {
 			if b == 0 {
-				return
+				return nil
 			}
-			ib := fs.getBuf(p, b, true)
+			ib, err := fs.getBuf(p, b, true)
+			if err != nil {
+				return err
+			}
 			for i := 0; i < PtrsPerBlock; i++ {
 				ptr := int64(binary.BigEndian.Uint64(ib.data[i*8:]))
 				if ptr == 0 {
 					continue
 				}
 				if d > 0 {
-					walk(ptr, d-1)
+					if err := walk(ptr, d-1); err != nil {
+						return err
+					}
 				} else {
 					fs.markFree(ptr)
 					fs.evict(ptr)
@@ -153,52 +165,122 @@ func (fs *FS) freeInode(p *sim.Proc, in *inode) {
 			}
 			fs.markFree(b)
 			fs.evict(b)
+			return nil
 		}
-		walk(blk, depth)
+		return walk(blk, depth)
 	}
-	freeIndirect(in.indirect, 0)
-	freeIndirect(in.dindirect, 1)
+	if err := freeIndirect(in.indirect, 0); err != nil {
+		return err
+	}
+	if err := freeIndirect(in.dindirect, 1); err != nil {
+		return err
+	}
 	delete(fs.inodes, in.num)
 	fs.inodeMap[in.num] = false
 	// Clear the on-disk slot synchronously so the remove is durable.
-	fs.flushInodeSlotCleared(p, in.num)
+	return fs.flushInodeSlotCleared(p, in.num)
 }
 
 // flushInodeSlotCleared zeroes an inode's on-disk slot.
-func (fs *FS) flushInodeSlotCleared(p *sim.Proc, ino vfs.Ino) {
+func (fs *FS) flushInodeSlotCleared(p *sim.Proc, ino vfs.Ino) error {
 	phys, slot := inodeBlock(ino)
-	b := fs.getBuf(p, phys, true)
+	// Prefetch before gating, as in flushInode: the device read keeps its
+	// ungated concurrency, only encode+write serializes.
+	if _, err := fs.getBuf(p, phys, true); err != nil {
+		return err
+	}
+	gate := fs.inodeGate(phys)
+	gate.Acquire(p)
+	defer gate.Release()
+	b, err := fs.getBuf(p, phys, true)
+	if err != nil {
+		return err
+	}
 	fs.own(b)
 	for i := 0; i < InodeSize; i++ {
 		b.data[slot*InodeSize+i] = 0
 	}
-	fs.writeBuf(p, b)
+	if err := fs.writeBuf(p, b); err != nil {
+		return err
+	}
 	fs.MetaWrites++
 	if fs.ChargeMeta != nil {
 		fs.ChargeMeta(p)
 	}
+	return nil
 }
 
 // flushInode writes the inode's block to the device synchronously,
-// serializing every in-core inode that lives in that block.
-func (fs *FS) flushInode(p *sim.Proc, in *inode) {
+// serializing every in-core inode that lives in that block. The block's
+// flush gate is held across encode and device write. With force true the
+// write is unconditional (directory-op and setattr callers always commit
+// the block, dirty or not); with force false the dirtiness predicate is
+// re-checked once the gate is acquired: a caller that queued behind an
+// in-flight flush covering its changes finds its flags clean after the
+// landing and returns without a second write — the ack waited for the
+// platters, which is the whole point of the gate. With metaOnly true the
+// re-check considers only stable-storage-relevant dirt (dirtyMeta); an
+// inode stale only in its modify time is left to asynchronous update.
+func (fs *FS) flushInode(p *sim.Proc, in *inode, metaOnly, force bool) error {
 	phys, _ := inodeBlock(in.num)
-	b := fs.getBuf(p, phys, true)
+	// Prefetch the block before taking the gate: a cache miss pays its
+	// device read with the same concurrency the ungated code had, and the
+	// gated re-fetch below then hits the cache. Serializing only the
+	// encode+write section keeps the gate's timing footprint to exactly
+	// what the durability invariant requires.
+	if _, err := fs.getBuf(p, phys, true); err != nil {
+		return err
+	}
+	gate := fs.inodeGate(phys)
+	gate.Acquire(p)
+	defer gate.Release()
+	if !force {
+		if metaOnly {
+			if !in.dirtyMeta {
+				return nil
+			}
+		} else if !in.dirtyCore && !in.dirtyMeta {
+			return nil
+		}
+	}
+	b, err := fs.getBuf(p, phys, true)
+	if err != nil {
+		return err
+	}
 	fs.own(b)
 	first := vfs.Ino((phys-1))*InodesPerBlock + 1
+	var encoded []*inode
 	for j := 0; j < InodesPerBlock; j++ {
 		other, ok := fs.inodes[first+vfs.Ino(j)]
 		if !ok {
 			continue
 		}
 		other.encode(b.data[j*InodeSize : (j+1)*InodeSize])
-		other.dirtyCore, other.dirtyMeta = false, false
+		if other.dirtyCore || other.dirtyMeta {
+			// This write carries the inode's un-landed state; mark it
+			// pending so sync paths wait for the landing rather than
+			// trusting the flags cleared here.
+			other.dirtyCore, other.dirtyMeta = false, false
+			other.pendingFlush = true
+			encoded = append(encoded, other)
+		}
 	}
-	fs.writeBuf(p, b)
+	err = fs.writeBuf(p, b)
+	for _, other := range encoded {
+		other.pendingFlush = false
+		if err != nil {
+			// Nothing became durable: re-dirty so a later flush retries.
+			other.dirtyCore, other.dirtyMeta = true, true
+		}
+	}
+	if err != nil {
+		return err
+	}
 	fs.MetaWrites++
 	if fs.ChargeMeta != nil {
 		fs.ChargeMeta(p)
 	}
+	return nil
 }
 
 // allocBlock finds a free data block near hint (sequential placement).
@@ -258,11 +340,14 @@ func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, me
 			}
 			in.indirect = b
 			in.indBlocks = append(in.indBlocks, b)
-			ib := fs.getBuf(p, b, false) // fresh zero block
+			ib, _ := fs.getBuf(p, b, false) // fresh zero block; no device read
 			ib.dirty = true
 			metaChanged = true
 		}
-		ib := fs.getBuf(p, in.indirect, true)
+		ib, err := fs.getBuf(p, in.indirect, true)
+		if err != nil {
+			return 0, metaChanged, err
+		}
 		ptr := int64(binary.BigEndian.Uint64(ib.data[idx*8:]))
 		if ptr == 0 {
 			if !alloc {
@@ -304,11 +389,14 @@ func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, me
 			}
 			in.dindirect = b
 			in.indBlocks = append(in.indBlocks, b)
-			db := fs.getBuf(p, b, false)
+			db, _ := fs.getBuf(p, b, false)
 			db.dirty = true
 			metaChanged = true
 		}
-		db := fs.getBuf(p, in.dindirect, true)
+		db, err := fs.getBuf(p, in.dindirect, true)
+		if err != nil {
+			return 0, metaChanged, err
+		}
 		l1ptr := int64(binary.BigEndian.Uint64(db.data[l1*8:]))
 		if l1ptr == 0 {
 			if !alloc {
@@ -322,12 +410,15 @@ func (fs *FS) bmap(p *sim.Proc, in *inode, fb int64, alloc bool) (phys int64, me
 			binary.BigEndian.PutUint64(db.data[l1*8:], uint64(b))
 			db.dirty = true
 			in.indBlocks = append(in.indBlocks, b)
-			lb := fs.getBuf(p, b, false)
+			lb, _ := fs.getBuf(p, b, false)
 			lb.dirty = true
 			l1ptr = b
 			metaChanged = true
 		}
-		lb := fs.getBuf(p, l1ptr, true)
+		lb, err := fs.getBuf(p, l1ptr, true)
+		if err != nil {
+			return 0, metaChanged, err
+		}
 		ptr := int64(binary.BigEndian.Uint64(lb.data[l2*8:]))
 		if ptr == 0 {
 			if !alloc {

@@ -44,7 +44,11 @@ func (fs *FS) Read(p *sim.Proc, ino vfs.Ino, off uint32, out []byte) (int, error
 		} else {
 			b, cached := fs.cache[phys]
 			if !cached || (!b.dirty && b.owner != ino) {
-				b = fs.getBuf(p, phys, true)
+				nb, err := fs.getBuf(p, phys, true)
+				if err != nil {
+					return read, err
+				}
+				b = nb
 				b.owner, b.fblock = ino, fb
 			}
 			copy(out[read:read+take], b.data[bo:bo+int64(take)])
@@ -140,7 +144,11 @@ func (fs *FS) write(p *sim.Proc, ino vfs.Ino, off uint32, n int, data []byte, bo
 			// Partial write: fill from the device only when overwriting an
 			// existing block; a fresh block's remainder must read as zeros.
 			if !cached {
-				b = fs.getBuf(p, phys, !mc && phys != 0)
+				nb, err := fs.getBuf(p, phys, !mc && phys != 0)
+				if err != nil {
+					return err
+				}
+				b = nb
 			}
 			fs.own(b)
 			block.CountCopy(copy(b.data[bo:bo+int64(take)], data[written:written+take]))
@@ -169,7 +177,9 @@ func (fs *FS) write(p *sim.Proc, ino vfs.Ino, off uint32, n int, data []byte, bo
 		// Push data blocks through; metadata delayed.
 		for _, b := range touched {
 			if b.dirty {
-				fs.writeBuf(p, b)
+				if err := fs.writeBuf(p, b); err != nil {
+					return err
+				}
 				fs.DataWrites++
 			}
 		}
@@ -178,14 +188,18 @@ func (fs *FS) write(p *sim.Proc, ino vfs.Ino, off uint32, n int, data []byte, bo
 		// Fully synchronous: data, then metadata.
 		for _, b := range touched {
 			if b.dirty {
-				fs.writeBuf(p, b)
+				if err := fs.writeBuf(p, b); err != nil {
+					return err
+				}
 				fs.DataWrites++
 			}
 		}
 		// Indirect blocks dirtied by this write.
-		fs.flushDirtyIndirect(p, in)
-		if in.dirtyMeta {
-			fs.flushInode(p, in)
+		if err := fs.flushDirtyIndirect(p, in); err != nil {
+			return err
+		}
+		if in.dirtyMeta || in.pendingFlush {
+			return fs.flushInode(p, in, true, false)
 		}
 		// else: mtime-only change; left async per the reference port.
 		return nil
@@ -193,16 +207,19 @@ func (fs *FS) write(p *sim.Proc, ino vfs.Ino, off uint32, n int, data []byte, bo
 }
 
 // flushDirtyIndirect writes any dirty indirect blocks belonging to in.
-func (fs *FS) flushDirtyIndirect(p *sim.Proc, in *inode) {
+func (fs *FS) flushDirtyIndirect(p *sim.Proc, in *inode) error {
 	for _, phys := range in.indBlocks {
 		if b, ok := fs.cache[phys]; ok && b.dirty {
-			fs.writeBuf(p, b)
+			if err := fs.writeBuf(p, b); err != nil {
+				return err
+			}
 			fs.MetaWrites++
 			if fs.ChargeMeta != nil {
 				fs.ChargeMeta(p)
 			}
 		}
 	}
+	return nil
 }
 
 // SyncData implements vfs.FileSystem: VOP_SYNCDATA with byte-range hints.
@@ -260,8 +277,12 @@ func (fs *FS) SyncData(p *sim.Proc, ino vfs.Ino, from, to uint32) error {
 		for _, d := range run {
 			bufs = append(bufs, d.blk)
 		}
-		fs.dev.WriteBufs(p, run[0].phys, bufs)
+		err := fs.dev.WriteBufs(p, run[0].phys, bufs)
 		fs.putRun(bufs)
+		if err != nil {
+			// The run never landed; the blocks stay dirty for a retry.
+			return vfs.ErrIO
+		}
 		fs.DataWrites++
 		for _, d := range run {
 			// Clear the dirty bit only if the entry still carries the
@@ -288,9 +309,11 @@ func (fs *FS) Fsync(p *sim.Proc, ino vfs.Ino, flags vfs.FsyncFlags) error {
 		if err := fs.SyncData(p, ino, 0, in.size); err != nil {
 			return err
 		}
-		fs.flushDirtyIndirect(p, in)
-		if in.dirtyCore || in.dirtyMeta {
-			fs.flushInode(p, in)
+		if err := fs.flushDirtyIndirect(p, in); err != nil {
+			return err
+		}
+		if in.dirtyCore || in.dirtyMeta || in.pendingFlush {
+			return fs.flushInode(p, in, false, false)
 		}
 		return nil
 	}
@@ -298,9 +321,11 @@ func (fs *FS) Fsync(p *sim.Proc, ino vfs.Ino, flags vfs.FsyncFlags) error {
 	// too — an inode whose only staleness is the file modify time is left
 	// to an asynchronous update (§4.4), so a gather of pure overwrites
 	// commits no inode write at all.
-	fs.flushDirtyIndirect(p, in)
-	if in.dirtyMeta {
-		fs.flushInode(p, in)
+	if err := fs.flushDirtyIndirect(p, in); err != nil {
+		return err
+	}
+	if in.dirtyMeta || in.pendingFlush {
+		return fs.flushInode(p, in, true, false)
 	}
 	return nil
 }

@@ -87,6 +87,9 @@ var (
 	ErrNoSpace  = errors.New("vfs: no space on device")
 	ErrStale    = errors.New("vfs: stale file reference")
 	ErrFBig     = errors.New("vfs: file too large")
+	// ErrIO reports a device-level I/O failure (media error, failed
+	// controller); the NFS layer maps it to NFS3ERR_IO-style status.
+	ErrIO = errors.New("vfs: I/O error")
 )
 
 // FileSystem is the interface between the NFS server layer and the local
