@@ -26,11 +26,18 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
+
+// traceOut and probesOut are the -trace / -probes destinations; either
+// being set forces the observe plane on for every scenario runSpec
+// executes (when several scenarios run, the last one's artifacts win).
+var traceOut, probesOut string
 
 func main() {
 	run := flag.String("run", "", "experiments to run: tableN, figureN, scale, crash, any registered scenario, comma separated, or 'all'")
@@ -42,7 +49,10 @@ func main() {
 	quick := flag.Bool("quick", false, "coarser LADDIS sweeps for figures 2-3")
 	fuzz := flag.Int("fuzz", 0, "run N fuzzed scenarios against the durability and leak invariants")
 	seed := flag.Int64("seed", 1, "fuzzing campaign seed (with -fuzz)")
+	flag.StringVar(&traceOut, "trace", "", "write a Chrome trace_event JSON file for scenario runs (view in chrome://tracing or ui.perfetto.dev); forces the observe plane on")
+	flag.StringVar(&probesOut, "probes", "", "write the periodic probe time-series as CSV for scenario runs; forces the observe plane on")
 	flag.Parse()
+	wall := time.Now()
 
 	switch {
 	case *fuzz > 0:
@@ -158,6 +168,7 @@ func main() {
 		}
 		runSpec(spec)
 	}
+	fmt.Printf("nfsbench: total wall time %.2f s\n", time.Since(wall).Seconds())
 }
 
 // knownNames lists every runnable name: the registry carries all of them
@@ -244,16 +255,87 @@ func runFuzz(runs int, seed int64) {
 	})
 	if failure != nil {
 		fmt.Fprintln(os.Stderr, failure.String())
+		// Persist the repro with its observability artifacts: the shrunken
+		// spec as runnable JSON, plus the instrumented replay's span trace
+		// and probe time-series (partial when the replay panics).
+		writeRepro("fuzz-repro.json", []byte(failure.JSON()+"\n"))
+		writeRepro("fuzz-repro.trace.json", failure.TraceJSON)
+		writeRepro("fuzz-repro.series.csv", failure.SeriesCSV)
 		os.Exit(1)
 	}
 	fmt.Printf("fuzz: %d runs, seed %d: all clean (durability and block accounting held)\n", runs, seed)
 }
 
+func writeRepro(name string, blob []byte) {
+	if len(blob) == 0 {
+		return
+	}
+	if err := os.WriteFile(name, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: write %s: %v\n", name, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "nfsbench: wrote %s\n", name)
+}
+
 func runSpec(spec scenario.Spec) {
+	if traceOut != "" || probesOut != "" {
+		o := scenario.Observe{}
+		if spec.Observe != nil {
+			o = *spec.Observe
+		}
+		if traceOut != "" {
+			o.Trace = true
+		}
+		if probesOut != "" {
+			o.Probes = true
+		}
+		o.Histograms = true
+		spec.Observe = &o
+	}
+	wall := time.Now()
 	res, err := scenario.Run(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nfsbench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println(res.Render())
+	var simTotal sim.Duration
+	for _, c := range res.Cells {
+		simTotal += c.SimTime
+	}
+	fmt.Printf("%s: %.2f s wall, %.2f s simulated (%d cells)\n",
+		spec.Name, time.Since(wall).Seconds(), simTotal.Seconds(), len(res.Cells))
+	if traceOut != "" {
+		var traces []*obs.Trace
+		for i := range res.Cells {
+			if t := res.Cells[i].Trace; t != nil {
+				traces = append(traces, t)
+			}
+		}
+		writeArtifact(traceOut, func(f *os.File) error { return obs.WriteTraces(f, traces) })
+	}
+	if probesOut != "" {
+		var series []*obs.TimeSeries
+		for i := range res.Cells {
+			if s := res.Cells[i].Series; s != nil {
+				series = append(series, s)
+			}
+		}
+		writeArtifact(probesOut, func(f *os.File) error { return obs.WriteSeriesCSV(f, series) })
+	}
+}
+
+func writeArtifact(path string, emit func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = emit(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("nfsbench: wrote %s\n", path)
 }

@@ -106,6 +106,12 @@ type Client struct {
 	// durability journal uses this to separate real loss (acked bytes
 	// gone) from permitted loss (buffered bytes never acked).
 	OnWriteBuffered func(fh nfsproto.FH, off uint32, n int)
+	// OnRPC, when non-nil, observes every completed RPC: the issue time,
+	// how many transmissions it took (attempts > 1 means retransmitted),
+	// and whether a reply arrived. The observability plane turns these
+	// into client-side lifecycle spans. Calls unwound by a host crash are
+	// never reported — a dead workstation writes no trace.
+	OnRPC func(proc nfsproto.Proc, xid uint32, issued sim.Time, attempts int, ok bool)
 }
 
 // pendingCall embeds the reply decode target, so the steady-state RPC path
@@ -271,7 +277,7 @@ func (c *Client) call(p *sim.Proc, proc nfsproto.Proc, args argsEncoder, fh nfsp
 	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+args.EncodedSize()))
 	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(proc), cred, verf)
 	args.EncodeTo(e)
-	return c.finishCall(p, xid, fh, true, "", e.Bytes(), nil, 0)
+	return c.finishCall(p, proc, xid, fh, true, "", e.Bytes(), nil, 0)
 }
 
 // callBody performs one WRITE RPC whose payload rides as a refcounted
@@ -285,7 +291,7 @@ func (c *Client) callBody(p *sim.Proc, fh nfsproto.FH, off uint32, body *block.B
 	e := xdr.NewEncoder(make([]byte, 0, oncrpc.CallHeaderSize(cred, verf)+nfsproto.WriteArgsHeadSize))
 	oncrpc.AppendCallHeader(e, xid, nfsproto.Program, nfsproto.Version, uint32(nfsproto.ProcWrite), cred, verf)
 	nfsproto.AppendWriteArgsHead(e, fh, off, n)
-	return c.finishCall(p, xid, fh, true, "", e.Bytes(), body, n)
+	return c.finishCall(p, nfsproto.ProcWrite, xid, fh, true, "", e.Bytes(), body, n)
 }
 
 // Call performs one RPC to the default server with pre-encoded args and
@@ -308,7 +314,7 @@ func (c *Client) CallTo(p *sim.Proc, to string, proc nfsproto.Proc, args []byte)
 		Verf: oncrpc.NullAuth(),
 		Args: args,
 	}
-	return c.finishCall(p, xid, nfsproto.FH{}, false, to, call.Encode(), nil, 0)
+	return c.finishCall(p, proc, xid, nfsproto.FH{}, false, to, call.Encode(), nil, 0)
 }
 
 // finishCall registers the pending call and runs the retransmission loop.
@@ -319,7 +325,7 @@ func (c *Client) CallTo(p *sim.Proc, to string, proc nfsproto.Proc, args []byte)
 // from fh's route before every attempt (static routes make this a no-op;
 // a mid-call failover redirects the next retry); otherwise to is used
 // verbatim.
-func (c *Client) finishCall(p *sim.Proc, xid uint32, fh nfsproto.FH, routed bool, to string, raw []byte, body *block.Buf, bodyLen int) (*oncrpc.ReplyMsg, error) {
+func (c *Client) finishCall(p *sim.Proc, proc nfsproto.Proc, xid uint32, fh nfsproto.FH, routed bool, to string, raw []byte, body *block.Buf, bodyLen int) (*oncrpc.ReplyMsg, error) {
 	pc := c.getPC()
 	c.pending[xid] = pc
 	defer func() {
@@ -327,6 +333,7 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, fh nfsproto.FH, routed bool
 		c.freePC = append(c.freePC, pc)
 	}()
 
+	issued := p.Now()
 	rto := c.params.RetransTimeout
 	c.Calls++
 	tries := c.MaxRetries
@@ -347,6 +354,9 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, fh nfsproto.FH, routed bool
 		}
 		if pc.cond.WaitTimeout(p, rto) || pc.reply != nil {
 			reply := pc.reply
+			if c.OnRPC != nil {
+				c.OnRPC(proc, xid, issued, attempt+1, reply.Stat == oncrpc.MsgAccepted && reply.AccStat == oncrpc.Success)
+			}
 			if reply.Stat != oncrpc.MsgAccepted {
 				return reply, ErrDenied
 			}
@@ -360,8 +370,15 @@ func (c *Client) finishCall(p *sim.Proc, xid uint32, fh nfsproto.FH, routed bool
 			rto = c.MaxRTO
 		}
 	}
+	if c.OnRPC != nil {
+		c.OnRPC(proc, xid, issued, tries, false)
+	}
 	return nil, ErrTimeout
 }
+
+// PendingRPCs reports calls awaiting replies right now — the
+// outstanding-RPC probe of the observability plane.
+func (c *Client) PendingRPCs() int { return len(c.pending) }
 
 // decodeDone clears a pooled reply record once its results are decoded,
 // so records waiting in the pool do not pin the wire payloads they last

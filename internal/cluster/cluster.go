@@ -66,6 +66,12 @@ type Config struct {
 	// across groups (client1, client2, ...), so a single-group spec is
 	// identical to the homogeneous form.
 	ClientGroups []ClientGroup
+	// OnServerUp, when non-nil, fires every time a server instance starts
+	// serving — initial boot, reboot, and adoption takeover — with the
+	// instance and the NVRAM board (nil without Presto) of its boot.
+	// Server instances are replaced wholesale on these transitions, so
+	// observers use this to (re)install their hooks on the fresh objects.
+	OnServerUp func(srv *server.Server, presto *nvram.Presto)
 }
 
 // NodeConfig is one server's deviation from the cluster-wide settings.
@@ -358,6 +364,9 @@ func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
 	n.Server = n.c.newServer(n.Name, fs, cpu, n.numNfsds, n.presto, n.Index, n.Boots)
 	n.Boots++
 	n.Down = false
+	if n.c.cfg.OnServerUp != nil {
+		n.c.cfg.OnServerUp(n.Server, n.Presto)
+	}
 }
 
 // Crash kills the node instantaneously: nfsd state, socket buffers, the
@@ -502,6 +511,9 @@ func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
 	n.c.Shards.reassign(dead.FSID, n)
 	for _, cli := range n.c.Clients {
 		cli.AddRoute(dead.FSID, name)
+	}
+	if n.c.cfg.OnServerUp != nil {
+		n.c.cfg.OnServerUp(ex.Server, ex.Presto)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ package core
 import (
 	"repro/internal/block"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/vfs"
 )
 
@@ -142,6 +143,18 @@ type Engine struct {
 	stats  Stats
 	inUse  int // detached transport handles currently held
 	handle int // handle cache high-water mark bookkeeping
+
+	// Distribution views of the paper's central mechanism: how many
+	// writes each commit covered, and how long the commit took. Pure
+	// counter updates on the commit path (no events, no sleeps), so they
+	// perturb nothing.
+	batchHist  stats.Histogram // writes per successful commit
+	commitHist stats.Histogram // commit latency, µs
+
+	// OnCommit, when non-nil, observes every successful metadata commit:
+	// the file, the batch size, and the commit window. The observability
+	// plane turns these into gather spans.
+	OnCommit func(ino vfs.Ino, batch int, start, end sim.Time)
 }
 
 // fileGather is the per-file gather state: how many nfsds are inside the
@@ -191,6 +204,12 @@ func NewEngine(s *sim.Sim, fs vfs.FileSystem, numNfsds int, cfg Config, hunter f
 
 // Stats returns a copy of the cumulative statistics.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// BatchHist reports the distribution of writes covered per commit.
+func (e *Engine) BatchHist() *stats.Histogram { return &e.batchHist }
+
+// CommitHist reports the distribution of per-batch commit latency (µs).
+func (e *Engine) CommitHist() *stats.Histogram { return &e.commitHist }
 
 // Locks exposes the vnode sleep-lock table so the rest of the server
 // (standard paths, SETATTR, directory ops) can serialize against gathers.
@@ -368,6 +387,7 @@ func (e *Engine) HandleWrite(p *sim.Proc, nfsd int, d *WriteDesc, data []byte) e
 // vnode lock is held across the flush so no new write mutates metadata
 // between the data flush and the inode commit.
 func (e *Engine) commit(p *sim.Proc, ino vfs.Ino, batch []*WriteDesc) error {
+	start := e.sim.Now()
 	e.locks.Lock(p, ino)
 	defer e.locks.Unlock(ino)
 	if !e.cfg.Accelerated {
@@ -393,6 +413,12 @@ func (e *Engine) commit(p *sim.Proc, ino vfs.Ino, batch []*WriteDesc) error {
 	e.stats.GatheredWrites += uint64(len(batch))
 	if len(batch) > e.stats.MaxBatch {
 		e.stats.MaxBatch = len(batch)
+	}
+	end := e.sim.Now()
+	e.batchHist.Record(int64(len(batch)))
+	e.commitHist.Record(int64(end.Sub(start)))
+	if e.OnCommit != nil {
+		e.OnCommit(ino, len(batch), start, end)
 	}
 	e.sendAll(p, batch, true)
 	return nil

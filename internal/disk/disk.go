@@ -90,8 +90,10 @@ type Disk struct {
 	pool  *block.Pool // backs []byte writes and injections
 	stats Stats
 	fp    *plane // injectable fault plane; nil on a healthy disk
-	// OnOp, when non-nil, observes every completed transfer (tracing).
-	OnOp func(write bool, blk int64, n int)
+	// OnOp, when non-nil, observes every completed transfer (tracing);
+	// svc is the service time the arm spent, so [now-svc, now] is the
+	// transfer's occupancy window.
+	OnOp func(write bool, blk int64, n int, svc sim.Duration)
 }
 
 // New returns a disk with the given parameters.
@@ -215,7 +217,7 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	d.stats.Reads++
 	d.stats.ReadBytes += uint64(len(buf))
 	if d.OnOp != nil {
-		d.OnOp(false, blk, len(buf))
+		d.OnOp(false, blk, len(buf), st)
 	}
 	return nil
 }
@@ -238,7 +240,7 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, data []byte) error {
 	d.stats.Writes++
 	d.stats.WriteBytes += uint64(len(data))
 	if d.OnOp != nil {
-		d.OnOp(true, blk, len(data))
+		d.OnOp(true, blk, len(data), st)
 	}
 	return nil
 }
@@ -296,7 +298,7 @@ func (d *Disk) WriteBufs(p *sim.Proc, blk int64, bufs []*block.Buf) error {
 	d.stats.Writes++
 	d.stats.WriteBytes += uint64(n)
 	if d.OnOp != nil {
-		d.OnOp(true, blk, n)
+		d.OnOp(true, blk, n, st)
 	}
 	return nil
 }

@@ -84,7 +84,7 @@ func TestDegradeScalesServiceTime(t *testing.T) {
 		t0 := p.Sim().Now()
 		d.ReadBlocks(p, 100, buf)
 		inWin = p.Sim().Now().Sub(t0)
-		p.Sleep(2 * sim.Second) // window expires
+		p.Sleep(2 * sim.Second)   // window expires
 		d.ReadBlocks(p, 100, buf) // same block: no seek, same base time
 		t1 := p.Sim().Now()
 		d.ReadBlocks(p, 100, buf)
@@ -240,8 +240,8 @@ func TestStripeMemberReadErrorFailsLogicalRange(t *testing.T) {
 	s.Spawn("io", func(p *sim.Proc) {
 		buf := make([]byte, 8192)
 		st.WriteBlocks(p, 0, make([]byte, 24*8192))
-		onMember = st.ReadBlocks(p, 8, buf)   // member 1
-		offMember = st.ReadBlocks(p, 0, buf)  // member 0, unaffected
+		onMember = st.ReadBlocks(p, 8, buf)                   // member 1
+		offMember = st.ReadBlocks(p, 0, buf)                  // member 0, unaffected
 		spanning = st.ReadBlocks(p, 0, make([]byte, 24*8192)) // all members
 	})
 	s.Run(0)

@@ -64,6 +64,11 @@ type Presto struct {
 	// the scratch is pooled, not a single slot).
 	runPool  [][]*block.Buf
 	versPool [][]uint64
+
+	// OnDrain, when non-nil, observes every completed drain transfer to
+	// the platters: starting block, cluster size, and the I/O window.
+	// Failed transfers are not reported (the blocks stay dirty).
+	OnDrain func(blk int64, nblocks int, start, end sim.Time)
 }
 
 // New interposes a Presto board in front of under and starts its drainer.
@@ -110,6 +115,10 @@ func (pr *Presto) Under() disk.Device { return pr.under }
 
 // CacheUsed reports bytes of NVRAM currently holding undrained data.
 func (pr *Presto) CacheUsed() int { return pr.used }
+
+// CacheBytes reports the board's capacity; CacheUsed/CacheBytes is the
+// dirty ratio the observability probes sample.
+func (pr *Presto) CacheBytes() int { return pr.p.CacheBytes }
 
 // WriteBlocks implements disk.Device. Writes no larger than MaxIO are
 // absorbed by NVRAM (blocking only if the cache is full); larger writes are
@@ -296,11 +305,15 @@ func (pr *Presto) drainOne(p *sim.Proc, blk int64, run []*block.Buf, vers []uint
 		pr.draining--
 		pr.putRun(run, vers)
 	}()
+	start := p.Now()
 	if err := pr.under.WriteBufs(p, blk, run); err != nil {
 		// The covered blocks stay dirty (acked data must not leave stable
 		// storage until the platters hold it); a later pass retries.
 		pr.DrainErrors++
 		return err
+	}
+	if pr.OnDrain != nil {
+		pr.OnDrain(blk, len(run), start, p.Now())
 	}
 	// Only now free the NVRAM space: until the disk write completed the
 	// data had to stay stable. A block rewritten during the disk I/O has

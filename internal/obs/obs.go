@@ -1,0 +1,79 @@
+// Package obs is the deterministic sim-time observability plane: an RPC
+// lifecycle trace (exported as Chrome trace_event JSON, viewable in
+// chrome://tracing or Perfetto), and periodic time-series probes of
+// engine state (queue depths, cache occupancy, NVRAM dirty ratio, disk
+// utilization, outstanding RPCs).
+//
+// The package is wired entirely through nil-by-default hooks on the
+// simulated components: with no Observe section in a scenario spec,
+// nothing here is constructed, no hooks are installed, and the hot path
+// pays at most a nil check. Everything recorded is keyed to virtual
+// time, so a trace is bit-for-bit reproducible for a fixed seed.
+package obs
+
+import "repro/internal/sim"
+
+// Arg is one span/counter annotation. Args are ordered key/value pairs
+// (not a map) so serialized traces are deterministic.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one trace record: a completed span ("X" in trace_event
+// terms) or a counter sample ("C"). Times are virtual microseconds,
+// which is exactly the trace_event unit.
+type Event struct {
+	Phase  byte // 'X' span, 'C' counter
+	Name   string
+	Cat    string
+	Proc   string // process track, e.g. "server:s0" or "client:c3"
+	Thread string // thread track within the process, e.g. "nfsd2"
+	TS     sim.Time
+	Dur    sim.Duration // spans only
+	Args   []Arg
+}
+
+// Trace accumulates events for one scenario cell up to a fixed cap.
+// Past the cap, events are counted as dropped instead of stored, so a
+// runaway workload cannot exhaust memory.
+type Trace struct {
+	Label   string // cell label; prefixes process names on export
+	Max     int
+	Events  []Event
+	Dropped int64
+}
+
+// NewTrace returns a trace holding at most max events (<=0 picks the
+// default of 200k).
+func NewTrace(label string, max int) *Trace {
+	if max <= 0 {
+		max = 200_000
+	}
+	return &Trace{Label: label, Max: max}
+}
+
+// Span records a completed span on proc/thread covering [start, end].
+func (t *Trace) Span(proc, thread, name, cat string, start, end sim.Time, args ...Arg) {
+	if len(t.Events) >= t.Max {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Phase: 'X', Name: name, Cat: cat, Proc: proc, Thread: thread,
+		TS: start, Dur: end.Sub(start), Args: args,
+	})
+}
+
+// Counter records a counter sample at time ts. Chrome renders counters
+// as stacked area tracks.
+func (t *Trace) Counter(proc, name string, ts sim.Time, val int64) {
+	if len(t.Events) >= t.Max {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Phase: 'C', Name: name, Proc: proc, TS: ts,
+		Args: []Arg{{Key: "value", Val: val}},
+	})
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// TimeSeries holds periodic probe samples for one scenario cell: a
+// fixed column set and one row per sim-clock sample tick.
+type TimeSeries struct {
+	Label string   // cell label, carried into CSV/JSON export
+	Cols  []string // metric names, excluding the leading time column
+	Times []sim.Time
+	Rows  [][]float64
+}
+
+// NewTimeSeries returns an empty series with the given columns.
+func NewTimeSeries(label string, cols ...string) *TimeSeries {
+	return &TimeSeries{Label: label, Cols: cols}
+}
+
+// Sample appends one row; vals must match Cols.
+func (s *TimeSeries) Sample(t sim.Time, vals ...float64) {
+	if len(vals) != len(s.Cols) {
+		panic("obs: TimeSeries.Sample arity mismatch")
+	}
+	row := make([]float64, len(vals))
+	copy(row, vals)
+	s.Times = append(s.Times, t)
+	s.Rows = append(s.Rows, row)
+}
+
+// N reports the number of samples taken.
+func (s *TimeSeries) N() int { return len(s.Times) }
+
+// WriteCSV emits the series with a header row. A non-empty Label is
+// written as a leading "cell" column so concatenated sweeps stay
+// distinguishable.
+func (s *TimeSeries) WriteCSV(w io.Writer) error {
+	return WriteSeriesCSV(w, []*TimeSeries{s})
+}
+
+// WriteSeriesCSV concatenates multiple cell series into one CSV with a
+// shared header. All series must have identical columns.
+func WriteSeriesCSV(w io.Writer, all []*TimeSeries) error {
+	bw := bufio.NewWriter(w)
+	var cols []string
+	for _, s := range all {
+		if s != nil && len(s.Cols) > 0 {
+			cols = s.Cols
+			break
+		}
+	}
+	bw.WriteString("cell,time_s")
+	for _, c := range cols {
+		bw.WriteString(",")
+		bw.WriteString(c)
+	}
+	bw.WriteByte('\n')
+	for _, s := range all {
+		if s == nil {
+			continue
+		}
+		for i, t := range s.Times {
+			fmt.Fprintf(bw, "%s,%.6f", s.Label, t.Seconds())
+			for _, v := range s.Rows[i] {
+				fmt.Fprintf(bw, ",%g", v)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

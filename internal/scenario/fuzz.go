@@ -19,10 +19,12 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -67,6 +69,13 @@ type FuzzFailure struct {
 	Shrunk Spec
 	// ShrinkRuns counts engine executions the minimization spent.
 	ShrinkRuns int
+	// TraceJSON and SeriesCSV are the shrunken spec's observability
+	// artifacts — a Chrome trace_event file and the probe time-series —
+	// captured by replaying the minimal spec with the observe plane on.
+	// For panic-class failures they cover the run up to the panic. Empty
+	// when the instrumented replay produced nothing.
+	TraceJSON []byte `json:"-"`
+	SeriesCSV []byte `json:"-"`
 }
 
 // JSON renders the shrunk spec as runnable scenario JSON.
@@ -103,12 +112,56 @@ func Fuzz(cfg FuzzConfig) *FuzzFailure {
 			continue
 		}
 		shrunk, n := shrinkSpec(spec, class, cfg.MaxShrinkRuns)
-		return &FuzzFailure{
+		f := &FuzzFailure{
 			Run: i, Class: class, Detail: detail,
 			Spec: spec, Shrunk: shrunk, ShrinkRuns: n,
 		}
+		f.TraceJSON, f.SeriesCSV = captureObs(shrunk)
+		return f
 	}
 	return nil
+}
+
+// captureObs replays spec with the full observe plane forced on and
+// serializes whatever the run produced. The obsCapture hook keeps each
+// cell's live observer reachable, so a replay that panics mid-cell (the
+// usual case for panic-class repros) still yields its partial trace.
+func captureObs(spec Spec) (traceJSON, seriesCSV []byte) {
+	c := cloneSpec(spec)
+	c.Observe = &Observe{Trace: true, Probes: true, Histograms: true}
+	if c.Validate() != nil {
+		return nil, nil
+	}
+	var traces []*obs.Trace
+	var series []*obs.TimeSeries
+	obsCapture = func(label string, ob *cellObs) {
+		if ob.trace != nil {
+			traces = append(traces, ob.trace)
+		}
+		if ob.series != nil {
+			series = append(series, ob.series)
+		}
+	}
+	func() {
+		defer func() {
+			obsCapture = nil
+			_ = recover() // the failure is already classified; keep the artifacts
+		}()
+		_, _ = Run(c)
+	}()
+	if len(traces) > 0 {
+		var b bytes.Buffer
+		if obs.WriteTraces(&b, traces) == nil {
+			traceJSON = b.Bytes()
+		}
+	}
+	if len(series) > 0 {
+		var b bytes.Buffer
+		if obs.WriteSeriesCSV(&b, series) == nil {
+			seriesCSV = b.Bytes()
+		}
+	}
+	return traceJSON, seriesCSV
 }
 
 // checkSpec executes one spec and classifies the outcome ("" = pass).

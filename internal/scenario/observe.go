@@ -1,0 +1,299 @@
+// The scenario layer owns all observability wiring: the emission points
+// (client, server, core, nvram, disk) carry nil-by-default hook fields
+// and never import internal/obs; this file installs closures into those
+// hooks when — and only when — the spec's Observe section asks for them.
+// With Observe absent no hook is set, no sampler event is scheduled, and
+// every recorded metric column stays byte-identical.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/nfsproto"
+	"repro/internal/nvram"
+	"repro/internal/obs"
+	"repro/internal/rig"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+	"repro/internal/vfs"
+)
+
+// probeColumns is the time-series probe catalog, in column order.
+//
+//	nfsd_queue        datagrams waiting in server inboxes (all shards)
+//	cache_bufs        buffer-cache blocks resident (all shards)
+//	nvram_dirty_pct   NVRAM write-cache fill, percent of capacity
+//	disk_util_pct     spindle busy time over the sample window, percent
+//	rpcs_outstanding  client RPCs issued and not yet answered
+var probeColumns = []string{
+	"nfsd_queue", "cache_bufs", "nvram_dirty_pct", "disk_util_pct", "rpcs_outstanding",
+}
+
+// cellObs is one cell's live observability plane: the trace buffer and
+// probe series its hook closures feed. A nil *cellObs (Observe absent or
+// empty) is valid and inert — every method guards it.
+type cellObs struct {
+	cfg    Observe
+	trace  *obs.Trace
+	series *obs.TimeSeries
+}
+
+// obsCapture, when set, receives every cell's live observer the moment
+// its hooks are installed — before the workload runs — so a run that
+// dies mid-cell still leaves its partial trace reachable. The fuzzer
+// uses it to attach observability artifacts to panic-class repros; Run
+// is otherwise pure and the hook is unset outside fuzzing.
+var obsCapture func(label string, ob *cellObs)
+
+// newCellObs builds the cell's observer, or nil when the resolved spec
+// enables no instrument.
+func newCellObs(rc *resolved) *cellObs {
+	o := rc.observe
+	if o == nil || (!o.Trace && !o.Probes && !o.Histograms) {
+		return nil
+	}
+	ob := &cellObs{cfg: *o}
+	if o.Trace {
+		ob.trace = obs.NewTrace(rc.label, o.TraceMaxEvents)
+	}
+	if o.Probes {
+		ob.series = obs.NewTimeSeries(rc.label, probeColumns...)
+	}
+	if obsCapture != nil {
+		obsCapture(rc.label, ob)
+	}
+	return ob
+}
+
+// histograms reports whether LADDIS generators should stream per-op
+// latency histograms for this cell.
+func (rc *resolved) histograms() bool {
+	return rc.observe != nil && rc.observe.Histograms
+}
+
+// hookClient wires one client's RPC-completion hook: a span from issue
+// to completion on the client's "rpc" track, with retransmission count
+// and outcome. Calls unwound by a host crash never report (the client
+// invokes the hook only on reply or final timeout).
+func (ob *cellObs) hookClient(s *sim.Sim, idx int, cli *client.Client) {
+	if ob == nil || ob.trace == nil {
+		return
+	}
+	proc := fmt.Sprintf("client:c%d", idx)
+	cli.OnRPC = func(op nfsproto.Proc, xid uint32, issued sim.Time, attempts int, ok bool) {
+		var okv int64
+		if ok {
+			okv = 1
+		}
+		ob.trace.Span(proc, "rpc", op.String(), "rpc", issued, s.Now(),
+			obs.Arg{Key: "xid", Val: int64(xid)},
+			obs.Arg{Key: "attempts", Val: int64(attempts)},
+			obs.Arg{Key: "ok", Val: okv})
+	}
+}
+
+// hookServer wires one server build's spans: per-nfsd service spans with
+// queueing delay, gather-batch commit spans, and NVRAM drain spans. The
+// cluster re-invokes this on every reboot and adoption (the server and
+// board objects are rebuilt per boot).
+func (ob *cellObs) hookServer(srv *server.Server, pr *nvram.Presto) {
+	if ob == nil || ob.trace == nil {
+		return
+	}
+	proc := "server:" + srv.Name()
+	srv.OnServe = func(nfsd int, op nfsproto.Proc, xid uint32, queued, start, end sim.Time) {
+		ob.trace.Span(proc, fmt.Sprintf("nfsd%d", nfsd), op.String(), "nfs", start, end,
+			obs.Arg{Key: "xid", Val: int64(xid)},
+			obs.Arg{Key: "queue_us", Val: int64(start.Sub(queued))})
+	}
+	if eng := srv.Engine(); eng != nil {
+		eng.OnCommit = func(ino vfs.Ino, batch int, start, end sim.Time) {
+			ob.trace.Span(proc, "gather", "commit", "gather", start, end,
+				obs.Arg{Key: "ino", Val: int64(ino)},
+				obs.Arg{Key: "batch", Val: int64(batch)})
+		}
+	}
+	if pr != nil {
+		pr.OnDrain = func(blk int64, nblocks int, start, end sim.Time) {
+			ob.trace.Span(proc, "nvram-drain", "drain", "nvram", start, end,
+				obs.Arg{Key: "blk", Val: blk},
+				obs.Arg{Key: "nblocks", Val: int64(nblocks)})
+		}
+	}
+}
+
+// hookDisk wires one spindle's transfer spans. The disk reports its
+// service time with each completed op, so the span covers exactly the
+// platter busy window.
+func (ob *cellObs) hookDisk(s *sim.Sim, proc string, idx int, d *disk.Disk) {
+	if ob == nil || ob.trace == nil {
+		return
+	}
+	thread := fmt.Sprintf("disk%d", idx)
+	d.OnOp = func(write bool, blk int64, n int, svc sim.Duration) {
+		name := "read"
+		if write {
+			name = "write"
+		}
+		now := s.Now()
+		ob.trace.Span(proc, thread, name, "disk", now.Add(-svc), now,
+			obs.Arg{Key: "blk", Val: blk},
+			obs.Arg{Key: "bytes", Val: int64(n)})
+	}
+}
+
+// probeSources abstracts the two assemblies for the sampler. Servers,
+// filesystems and boards are fetched per sample (the cluster rebuilds
+// them across reboots); spindles and clients are stable objects.
+type probeSources struct {
+	servers func() []*server.Server
+	fses    func() []*ufs.FS
+	prestos func() []*nvram.Presto
+	disks   []*disk.Disk
+	clients []*client.Client
+}
+
+// startProbes arms the periodic sampler: a self-rescheduling weak event
+// that samples the probe catalog every SampleEvery. Weak events fire only
+// while live ordinary work remains and are otherwise dropped without
+// advancing the clock, so the chain ends by itself at the workload's
+// natural quiesce — the run's final sim time is identical with and
+// without the sampler. The sampler draws no randomness and acquires no
+// resources, so enabling it never changes any other event's order.
+func (ob *cellObs) startProbes(s *sim.Sim, src probeSources) {
+	if ob == nil || ob.series == nil {
+		return
+	}
+	var lastBusy sim.Duration
+	var lastT sim.Time
+	var tick func()
+	tick = func() {
+		now := s.Now()
+		var queue, cache, outst int
+		var used, capacity int
+		for _, srv := range src.servers() {
+			if srv != nil {
+				queue += srv.Endpoint().Inbox.Len()
+			}
+		}
+		for _, fs := range src.fses() {
+			if fs != nil {
+				cache += fs.CachedBufs()
+			}
+		}
+		for _, pr := range src.prestos() {
+			if pr != nil {
+				used += pr.CacheUsed()
+				capacity += pr.CacheBytes()
+			}
+		}
+		var busy sim.Duration
+		for _, d := range src.disks {
+			busy += d.Stats().BusyTime
+		}
+		for _, cli := range src.clients {
+			outst += cli.PendingRPCs()
+		}
+		dirtyPct := 0.0
+		if capacity > 0 {
+			dirtyPct = 100 * float64(used) / float64(capacity)
+		}
+		utilPct := 0.0
+		if window := now.Sub(lastT); window > 0 && len(src.disks) > 0 {
+			utilPct = 100 * float64(busy-lastBusy) / float64(int64(window)*int64(len(src.disks)))
+		}
+		lastBusy, lastT = busy, now
+		ob.series.Sample(now,
+			float64(queue), float64(cache), dirtyPct, utilPct, float64(outst))
+		if ob.trace != nil {
+			ob.trace.Counter("probes", "nfsd_queue", now, int64(queue))
+			ob.trace.Counter("probes", "cache_bufs", now, int64(cache))
+			ob.trace.Counter("probes", "nvram_dirty_pct", now, int64(dirtyPct))
+			ob.trace.Counter("probes", "disk_util_pct", now, int64(utilPct))
+			ob.trace.Counter("probes", "rpcs_outstanding", now, int64(outst))
+		}
+		s.AtWeak(ob.cfg.SampleEvery, tick)
+	}
+	s.AtWeak(ob.cfg.SampleEvery, tick)
+}
+
+// installRig wires the whole plane onto a single-server rig.
+func (ob *cellObs) installRig(r *rig.Rig) {
+	if ob == nil {
+		return
+	}
+	for i, cli := range r.Clients {
+		ob.hookClient(r.Sim, i, cli)
+	}
+	ob.hookServer(r.Server, r.Presto)
+	for i, d := range r.Disks {
+		ob.hookDisk(r.Sim, "server:"+r.Server.Name(), i, d)
+	}
+	ob.startProbes(r.Sim, probeSources{
+		servers: func() []*server.Server { return []*server.Server{r.Server} },
+		fses:    func() []*ufs.FS { return []*ufs.FS{r.FS} },
+		prestos: func() []*nvram.Presto { return []*nvram.Presto{r.Presto} },
+		disks:   r.Disks,
+		clients: r.Clients,
+	})
+}
+
+// installCluster wires clients, spindles and the sampler onto a cluster.
+// Server-side hooks ride cluster.Config.OnServerUp instead (see
+// clusterObserveConfig): the server and NVRAM objects are rebuilt on
+// every reboot and adoption, and the hook re-fires for each new build.
+func (ob *cellObs) installCluster(c *cluster.Cluster) {
+	if ob == nil {
+		return
+	}
+	for i, cli := range c.Clients {
+		ob.hookClient(c.Sim, i, cli)
+	}
+	var disks []*disk.Disk
+	for _, n := range c.Nodes {
+		for i, d := range n.Disks {
+			ob.hookDisk(c.Sim, "server:"+n.Name, i, d)
+			disks = append(disks, d)
+		}
+	}
+	ob.startProbes(c.Sim, probeSources{
+		servers: func() []*server.Server {
+			srvs := make([]*server.Server, 0, len(c.Nodes))
+			for _, n := range c.Nodes {
+				if !n.Down {
+					srvs = append(srvs, n.Server)
+				}
+			}
+			return srvs
+		},
+		fses: func() []*ufs.FS {
+			fss := make([]*ufs.FS, 0, len(c.Nodes))
+			for _, n := range c.Nodes {
+				fss = append(fss, n.FS)
+			}
+			return fss
+		},
+		prestos: func() []*nvram.Presto {
+			prs := make([]*nvram.Presto, 0, len(c.Nodes))
+			for _, n := range c.Nodes {
+				prs = append(prs, n.Presto)
+			}
+			return prs
+		},
+		disks:   disks,
+		clients: c.Clients,
+	})
+}
+
+// finish hands the cell its collected artifacts.
+func (ob *cellObs) finish(cr *CellResult) {
+	if ob == nil {
+		return
+	}
+	cr.Trace = ob.trace
+	cr.Series = ob.series
+}

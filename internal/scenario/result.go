@@ -2,10 +2,13 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,6 +47,22 @@ type Metrics struct {
 	// LostBytes is the durability checker's verdict: client-acked bytes
 	// that did not survive recovery (the NFS contract demands 0).
 	LostBytes int64 `json:"lost_bytes"`
+
+	// P50..P999LatencyMs are streaming-histogram latency quantiles across
+	// all measured LADDIS operations. They exist only when the spec's
+	// Observe section enables histograms, are omitted from the default
+	// column set, and recorded baselines (which never set Observe) are
+	// unaffected.
+	P50LatencyMs  float64 `json:"p50_latency_ms,omitempty"`
+	P90LatencyMs  float64 `json:"p90_latency_ms,omitempty"`
+	P99LatencyMs  float64 `json:"p99_latency_ms,omitempty"`
+	P999LatencyMs float64 `json:"p999_latency_ms,omitempty"`
+}
+
+// QuantileColumns lists the histogram-backed latency columns appended to
+// renders when Observe.Histograms is set.
+func QuantileColumns() []string {
+	return []string{"p50_latency_ms", "p90_latency_ms", "p99_latency_ms", "p999_latency_ms"}
 }
 
 // MetricColumns lists the uniform column names in canonical order.
@@ -89,6 +108,14 @@ func (m Metrics) Column(name string) (float64, bool) {
 		return float64(m.Crashes), true
 	case "lost_bytes":
 		return float64(m.LostBytes), true
+	case "p50_latency_ms":
+		return m.P50LatencyMs, true
+	case "p90_latency_ms":
+		return m.P90LatencyMs, true
+	case "p99_latency_ms":
+		return m.P99LatencyMs, true
+	case "p999_latency_ms":
+		return m.P999LatencyMs, true
 	}
 	return 0, false
 }
@@ -168,6 +195,106 @@ type CellResult struct {
 	TraceText string `json:"trace_text,omitempty"`
 	// TraceLog is the raw event log behind TraceText.
 	TraceLog *trace.Log `json:"-"`
+
+	// SimTime is the full simulated extent of the cell — setup, measured
+	// phase, fault recovery and audits — as read off the simulation clock
+	// when the cell quiesced (Elapsed covers the measured phase only).
+	SimTime sim.Duration `json:"sim_time_ns,omitempty"`
+	// GatherBatch and GatherCommitMs summarize the gathering engine's
+	// always-on distributions: writes per committed batch, and per-batch
+	// commit latency (gather close to platter/NVRAM completion) in
+	// milliseconds. Nil without gathering. On a cluster they merge the
+	// current boot's engines (earlier boots die with their servers).
+	GatherBatch    *DistSummary `json:"gather_batch,omitempty"`
+	GatherCommitMs *DistSummary `json:"gather_commit_ms,omitempty"`
+	// OpQuantiles is the per-op latency quantile table (LADDIS cells with
+	// Observe.Histograms), sorted by op name.
+	OpQuantiles []OpQuantiles `json:"op_quantiles,omitempty"`
+	// Trace and Series are the cell's collected observability artifacts
+	// (Observe cells only); nfsbench serializes them on demand.
+	Trace  *obs.Trace      `json:"-"`
+	Series *obs.TimeSeries `json:"-"`
+}
+
+// DistSummary is a histogram rendered to its headline numbers.
+type DistSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+// summarize renders h with every value scaled by scale (1 for counts,
+// 1e-3 for µs→ms). Nil when the histogram is empty.
+func summarize(h *stats.Histogram, scale float64) *DistSummary {
+	if h == nil || h.N() == 0 {
+		return nil
+	}
+	return &DistSummary{
+		Count: h.N(),
+		Mean:  h.Mean() * scale,
+		P50:   h.Quantile(0.50) * scale,
+		P90:   h.Quantile(0.90) * scale,
+		P99:   h.Quantile(0.99) * scale,
+		P999:  h.Quantile(0.999) * scale,
+		Max:   float64(h.MaxSeen) * scale,
+	}
+}
+
+// OpQuantiles is one op kind's latency quantile row (milliseconds),
+// merged across every client's streaming histogram.
+type OpQuantiles struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// fillQuantiles merges the per-client, per-op streaming histograms into
+// the cell's quantile columns and per-op table. Histograms record µs.
+func fillQuantiles(cr *CellResult, results []workload.LADDISResult) {
+	var all stats.Histogram
+	perOp := map[string]*stats.Histogram{}
+	for _, res := range results {
+		for op, h := range res.Hists {
+			if perOp[op] == nil {
+				perOp[op] = &stats.Histogram{}
+			}
+			perOp[op].Merge(h)
+			all.Merge(h)
+		}
+	}
+	if all.N() == 0 {
+		return
+	}
+	const usPerMs = 1000.0
+	cr.P50LatencyMs = all.Quantile(0.50) / usPerMs
+	cr.P90LatencyMs = all.Quantile(0.90) / usPerMs
+	cr.P99LatencyMs = all.Quantile(0.99) / usPerMs
+	cr.P999LatencyMs = all.Quantile(0.999) / usPerMs
+	ops := make([]string, 0, len(perOp))
+	for op := range perOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		h := perOp[op]
+		cr.OpQuantiles = append(cr.OpQuantiles, OpQuantiles{
+			Op:     op,
+			Count:  h.N(),
+			MeanMs: h.Mean() / usPerMs,
+			P50Ms:  h.Quantile(0.50) / usPerMs,
+			P90Ms:  h.Quantile(0.90) / usPerMs,
+			P99Ms:  h.Quantile(0.99) / usPerMs,
+			P999Ms: h.Quantile(0.999) / usPerMs,
+		})
+	}
 }
 
 // Result is one scenario run: its spec and every cell's outcome, in
@@ -179,10 +306,14 @@ type Result struct {
 }
 
 // selectedColumns returns the spec's metric selection (all columns when
-// unset).
+// unset, plus the quantile columns when histograms are on).
 func (r *Result) selectedColumns() []string {
 	if len(r.Spec.Metrics) == 0 {
-		return MetricColumns()
+		cols := MetricColumns()
+		if r.Spec.Observe != nil && r.Spec.Observe.Histograms {
+			cols = append(cols, QuantileColumns()...)
+		}
+		return cols
 	}
 	return r.Spec.Metrics
 }
@@ -253,6 +384,33 @@ func (r *Result) Render() string {
 				b.WriteString("  (no durability check)")
 			}
 			b.WriteString("\n")
+		}
+	}
+	for _, cell := range r.Cells {
+		if cell.GatherBatch == nil && cell.GatherCommitMs == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: gather", cell.Label)
+		if d := cell.GatherBatch; d != nil {
+			fmt.Fprintf(&b, " batches=%d size mean=%.1f p50=%.0f p99=%.0f max=%.0f",
+				d.Count, d.Mean, d.P50, d.P99, d.Max)
+		}
+		if d := cell.GatherCommitMs; d != nil {
+			fmt.Fprintf(&b, "  commit ms mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+				d.Mean, d.P50, d.P99, d.Max)
+		}
+		b.WriteString("\n")
+	}
+	for _, cell := range r.Cells {
+		if len(cell.OpQuantiles) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s per-op latency quantiles (ms):\n", cell.Label)
+		fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s %10s %10s\n",
+			"op", "n", "mean", "p50", "p90", "p99", "p999")
+		for _, oq := range cell.OpQuantiles {
+			fmt.Fprintf(&b, "  %-10s %10d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+				oq.Op, oq.Count, oq.MeanMs, oq.P50Ms, oq.P90Ms, oq.P99Ms, oq.P999Ms)
 		}
 	}
 	for _, cell := range r.Cells {

@@ -7,8 +7,11 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/nfsproto"
+	"repro/internal/nvram"
 	"repro/internal/rig"
+	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -104,6 +107,8 @@ func aggregateLADDIS(cr *CellResult, results []workload.LADDISResult) {
 // runRigCell executes one cell on the single-server rig assembly.
 func runRigCell(rc *resolved) CellResult {
 	r := rig.New(rc.rigConfig())
+	ob := newCellObs(rc)
+	ob.installRig(r)
 	var cr CellResult
 	switch rc.kind {
 	case KindCopy:
@@ -115,12 +120,16 @@ func runRigCell(rc *resolved) CellResult {
 	}
 	if eng := r.Server.Engine(); eng != nil {
 		cr.Gather = eng.Stats()
+		cr.GatherBatch = summarize(eng.BatchHist(), 1)
+		cr.GatherCommitMs = summarize(eng.CommitHist(), 1e-3)
 	}
 	cr.Drops = r.Server.Endpoint().Drops()
 	for _, cli := range r.Clients {
 		cr.Retransmissions += cli.Retransmissions
 		cr.RebootsSeen += cli.RebootsSeen
 	}
+	cr.SimTime = sim.Duration(r.Sim.Now())
+	ob.finish(&cr)
 	return cr
 }
 
@@ -165,6 +174,7 @@ func runRigLADDIS(rc *resolved, r *rig.Rig, cr *CellResult) {
 			Warmup:           rc.laddis.Warmup,
 			Duration:         rc.laddis.Measure,
 			Seed:             rc.laddis.Seed + int64(i),
+			Histograms:       rc.histograms(),
 		})
 		r.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
 			if err := gens[i].Setup(p); err != nil {
@@ -190,6 +200,9 @@ func runRigLADDIS(rc *resolved, r *rig.Rig, cr *CellResult) {
 
 	cr.OfferedOpsPerSec = total
 	aggregateLADDIS(cr, results)
+	if rc.histograms() {
+		fillQuantiles(cr, results)
+	}
 	cr.Elapsed = rc.laddis.Measure
 	cr.ElapsedSec = cr.Elapsed.Seconds()
 	cr.CPUPercent, cr.DiskKBps, cr.DiskTps = r.IntervalStats()
@@ -209,7 +222,13 @@ func runRigTrace(rc *resolved, r *rig.Rig, cr *CellResult) {
 	}
 	for i, d := range r.Disks {
 		i, d := i, d
-		d.OnOp = func(write bool, blk int64, n int) {
+		// The observe plane may already own the hook; chain it so a traced
+		// run can carry both the Figure 1 timeline and the span trace.
+		prev := d.OnOp
+		d.OnOp = func(write bool, blk int64, n int, svc sim.Duration) {
+			if prev != nil {
+				prev(write, blk, n, svc)
+			}
 			kind := "read"
 			if write {
 				kind = "write"
@@ -282,7 +301,17 @@ func runClusterCell(rc *resolved) CellResult {
 	// full quiesce, every reference taken since here must sit in one of
 	// the cluster's long-lived stores (AccountedRefs).
 	refs0 := block.TotalRefs()
-	c := cluster.New(rc.clusterConfig())
+	ob := newCellObs(rc)
+	ccfg := rc.clusterConfig()
+	if ob != nil {
+		// Server-side hooks must follow the server object across reboots
+		// and adoptions: the cluster re-announces every (re)built server.
+		ccfg.OnServerUp = func(srv *server.Server, pr *nvram.Presto) {
+			ob.hookServer(srv, pr)
+		}
+	}
+	c := cluster.New(ccfg)
+	ob.installCluster(c)
 	var cr CellResult
 
 	// Durability journal first, then the fault schedule, then the
@@ -398,6 +427,22 @@ func runClusterCell(rc *resolved) CellResult {
 		cr.Crashes = d.Crashes
 		cr.LostBytes = d.LostBytes
 	}
+	// Gather distributions: merge the current boot's engines (an engine
+	// dies with its server on crash, so earlier boots are not included).
+	var batch, commit stats.Histogram
+	for _, n := range c.Nodes {
+		if n.Server == nil {
+			continue
+		}
+		if eng := n.Server.Engine(); eng != nil {
+			batch.Merge(eng.BatchHist())
+			commit.Merge(eng.CommitHist())
+		}
+	}
+	cr.GatherBatch = summarize(&batch, 1)
+	cr.GatherCommitMs = summarize(&commit, 1e-3)
+	cr.SimTime = sim.Duration(c.Sim.Now())
+	ob.finish(&cr)
 	return cr
 }
 
@@ -559,6 +604,7 @@ func runClusterLADDIS(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 			Duration:         rc.laddis.Measure,
 			Seed:             rc.laddis.Seed + int64(i),
 			Roots:            roots,
+			Histograms:       rc.histograms(),
 		})
 		c.Sim.Spawn(fmt.Sprintf("laddis-driver-%d", i), func(p *sim.Proc) {
 			if err := gens[i].Setup(p); err != nil {
@@ -589,6 +635,9 @@ func runClusterLADDIS(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 
 	cr.OfferedOpsPerSec = total
 	aggregateLADDIS(cr, results)
+	if rc.histograms() {
+		fillQuantiles(cr, results)
+	}
 	cr.Elapsed = rc.laddis.Measure
 	cr.ElapsedSec = cr.Elapsed.Seconds()
 	st := c.IntervalStats()

@@ -60,6 +60,39 @@ type Spec struct {
 	// Metrics selects which of the uniform metric columns renderers and
 	// encoders emit (see MetricColumns). Empty means all.
 	Metrics []string `json:"metrics,omitempty"`
+
+	// Observe switches on the observability plane for every cell. Nil (the
+	// default, and the only form recorded baselines use) costs the hot
+	// paths nothing beyond nil checks: no spans, no probes, no extra
+	// simulation events, byte-identical metric columns.
+	Observe *Observe `json:"observe,omitempty"`
+}
+
+// Observe configures the observability plane: RPC lifecycle tracing,
+// streaming latency histograms and periodic time-series probes. Each
+// instrument is off unless its flag is set.
+type Observe struct {
+	// Trace records sim-time lifecycle spans at every hop — client RPC
+	// issue to completion, nfsd service with queueing delay, gather-batch
+	// commits, NVRAM drains, platter transfers — for export as Chrome
+	// trace_event JSON (nfsbench -trace out.json; load in chrome://tracing
+	// or Perfetto).
+	Trace bool `json:"trace,omitempty"`
+	// TraceMaxEvents caps the in-memory span buffer (default 200000);
+	// events past the cap are counted as dropped, never grown.
+	TraceMaxEvents int `json:"trace_max_events,omitempty"`
+	// Probes samples gauge probes — nfsd queue depth, buffer-cache
+	// occupancy, NVRAM dirty ratio, disk utilization, outstanding RPCs —
+	// on the simulated clock, for CSV export (nfsbench -probes out.csv).
+	// With Trace also set the samples additionally appear as counter
+	// tracks in the trace file.
+	Probes bool `json:"probes,omitempty"`
+	// SampleEvery is the probe sampling period (default 100ms simulated).
+	SampleEvery sim.Duration `json:"sample_every_ns,omitempty"`
+	// Histograms streams every measured LADDIS operation latency into
+	// fixed-bucket log-scale histograms (constant memory), adding
+	// p50/p90/p99/p999 columns and a per-op quantile table to results.
+	Histograms bool `json:"histograms,omitempty"`
 }
 
 // Topology declares the hardware: media, client groups and server shards.

@@ -68,6 +68,10 @@ type resolved struct {
 	stream StreamWorkload
 	trace  TraceWorkload
 
+	// observe is the defaulted observability configuration (nil when the
+	// spec declares none — the zero-cost path).
+	observe *Observe
+
 	faults Faults
 	// events is the normalized fault schedule: the legacy crash trains
 	// adapted onto server-crash events (in list order), then the typed
@@ -245,6 +249,24 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 		}
 	default:
 		return nil, invalid("workload.kind", "unknown workload kind %q", r.kind)
+	}
+
+	// Observability plane.
+	if s.Observe != nil {
+		o := *s.Observe
+		if o.SampleEvery < 0 {
+			return nil, invalid("observe.sample_every_ns", "sample period must not be negative")
+		}
+		if o.TraceMaxEvents < 0 {
+			return nil, invalid("observe.trace_max_events", "event cap must not be negative")
+		}
+		if o.SampleEvery == 0 {
+			o.SampleEvery = 100 * sim.Millisecond
+		}
+		if o.TraceMaxEvents == 0 {
+			o.TraceMaxEvents = 200_000
+		}
+		r.observe = &o
 	}
 
 	if err := r.validateFaults(); err != nil {

@@ -25,7 +25,22 @@ func (s *Server) nfsd(p *sim.Proc, id int) {
 // this, every request in flight at a crash would leak its body buffer.
 func (s *Server) serveOne(p *sim.Proc, id int, dg *netsim.Datagram) {
 	defer dg.Release()
-	s.handle(p, id, dg)
+	if s.OnServe != nil {
+		queued, start := dg.Sent, p.Now()
+		s.handle(p, id, dg)
+		// The parse memoized by handle carries proc/xid; a call too
+		// mangled to decode reports zeros. Placed after handle returns
+		// (not deferred), so a crash that unwinds the nfsd mid-request
+		// leaves no span — matching what the dead daemon got done.
+		var proc nfsproto.Proc
+		var xid uint32
+		if pc, ok := dg.Parsed.(*parsedCall); ok && !pc.bad {
+			proc, xid = pc.proc, pc.call.XID
+		}
+		s.OnServe(id, proc, xid, queued, start, p.Now())
+	} else {
+		s.handle(p, id, dg)
+	}
 	// The datagram record and its parse are dead once handled (decoded
 	// slices alias the payload, not the records); recycle them. Write
 	// parses are exempt only on a gathering server, where a detached

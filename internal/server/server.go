@@ -100,6 +100,14 @@ type Server struct {
 	DupResends  uint64
 	ReplyLog    []ReplyRecord
 
+	// OnServe, when non-nil, observes every datagram an nfsd finishes
+	// handling: which daemon, the decoded proc/xid (zero for undecodable
+	// calls), when the request entered the socket buffer, and the
+	// handling window. The observability plane turns these into server
+	// spans with queue-wait attribution. Requests abandoned by a crash
+	// mid-handling are not reported.
+	OnServe func(nfsd int, proc nfsproto.Proc, xid uint32, queued, start, end sim.Time)
+
 	cpuMark sim.Duration
 }
 
@@ -149,6 +157,9 @@ func New(s *sim.Sim, n *netsim.Network, fs *ufs.FS, cfg Config) *Server {
 // Procs returns the server's daemon processes; a crash injector kills
 // them, losing whatever request state they held.
 func (s *Server) Procs() []*sim.Proc { return s.procs }
+
+// Name returns the server's endpoint name.
+func (s *Server) Name() string { return s.cfg.Name }
 
 // Endpoint returns the server's network endpoint (tests inspect drops).
 func (s *Server) Endpoint() *netsim.Endpoint { return s.ep }

@@ -83,6 +83,7 @@ type event struct {
 	proc      *Proc
 	waiter    *condWaiter
 	cancelled bool
+	weak      bool
 	gen       uint64
 }
 
@@ -183,6 +184,7 @@ func (s *Sim) recycle(e *event) {
 	e.proc = nil
 	e.waiter = nil
 	e.cancelled = false
+	e.weak = false
 	s.free = append(s.free, e)
 }
 
@@ -254,6 +256,31 @@ func (s *Sim) At(d Duration, fn func()) Event {
 	return Event{e: e, gen: e.gen}
 }
 
+// AtWeak schedules fn like At, but as a weak event: at its scheduled time
+// it fires only if at least one live ordinary (non-weak, non-cancelled)
+// event remains in the heap. Otherwise the record is discarded without
+// advancing the clock — the same no-time-passes treatment a cancelled
+// corpse gets. A self-rescheduling observer (a periodic sampler) uses this
+// so its next tick can never extend the simulation past the workload's
+// natural quiesce: the run ends at exactly the instant it would have ended
+// with no observer scheduled at all.
+func (s *Sim) AtWeak(d Duration, fn func()) Event {
+	e := s.schedule(d, fn, nil, nil)
+	e.weak = true
+	return Event{e: e, gen: e.gen}
+}
+
+// liveOrdinary reports whether any non-weak, non-cancelled event remains
+// in the heap. O(heap); only evaluated when a weak event is popped.
+func (s *Sim) liveOrdinary() bool {
+	for _, e := range s.events {
+		if !e.cancelled && !e.weak {
+			return true
+		}
+	}
+	return false
+}
+
 // wakeProc schedules a dispatch of p at the current instant without
 // allocating a closure (the typed fast path behind Cond, Resource, Queue).
 func (s *Sim) wakeProc(p *Proc) {
@@ -298,6 +325,13 @@ func (s *Sim) loop(self *Proc) {
 		}
 		s.heapPop()
 		if e.cancelled {
+			s.recycle(e)
+			continue
+		}
+		if e.weak && !s.liveOrdinary() {
+			// A weak event with no live ordinary work left behind it:
+			// drop it without advancing the clock, so observers never
+			// stretch a quiesced simulation.
 			s.recycle(e)
 			continue
 		}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Every value must land in a bucket whose bounds bracket it, and bucket
+// lower bounds must be strictly increasing.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for i := 1; i < HistBuckets; i++ {
+		if BucketBound(i) <= BucketBound(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d: %d then %d",
+				i, BucketBound(i-1), BucketBound(i))
+		}
+	}
+	vals := []int64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1000,
+		8191, 8192, 1 << 20, (1 << 40) + 12345, 1<<62 + 1}
+	for _, v := range vals {
+		i := BucketIndex(v)
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of range", v, i)
+		}
+		lo := BucketBound(i)
+		if v < lo {
+			t.Fatalf("value %d below its bucket %d lower bound %d", v, i, lo)
+		}
+		if i+1 < HistBuckets {
+			if hi := BucketBound(i + 1); v >= hi {
+				t.Fatalf("value %d at/above bucket %d upper bound %d", v, i, hi)
+			}
+		}
+	}
+	// Exact buckets for tiny values.
+	for v := int64(0); v < 4; v++ {
+		if got := BucketIndex(v); got != int(v) {
+			t.Fatalf("BucketIndex(%d) = %d, want exact bucket", v, got)
+		}
+	}
+	if BucketIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile must be 0")
+	}
+	// All mass in one exact bucket: every quantile is that value.
+	for i := 0; i < 10; i++ {
+		h.Record(3)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3 {
+			t.Fatalf("single-value histogram Quantile(%g) = %g, want 3", q, got)
+		}
+	}
+	// Uniform 0..3 over exact buckets: median interpolates between 1 and 2.
+	var u Histogram
+	for v := int64(0); v < 4; v++ {
+		u.Record(v)
+	}
+	if p50 := u.Quantile(0.5); p50 < 1 || p50 > 2 {
+		t.Fatalf("uniform{0,1,2,3} p50 = %g, want within [1,2]", p50)
+	}
+	if p0 := u.Quantile(0); p0 != 0 {
+		t.Fatalf("p0 = %g, want 0", p0)
+	}
+	if p100 := u.Quantile(1); p100 != 3 {
+		t.Fatalf("p100 = %g, want 3", p100)
+	}
+	// Quantiles are monotone in q and clamped to [min, max].
+	var r Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		r.Record(rng.Int63n(1_000_000))
+	}
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		v := r.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: Quantile(%g) = %g < %g", q, v, prev)
+		}
+		if v < float64(r.MinSeen) || v > float64(r.MaxSeen) {
+			t.Fatalf("Quantile(%g) = %g outside [%d, %d]", q, v, r.MinSeen, r.MaxSeen)
+		}
+		prev = v
+	}
+	// With 4 sub-buckets per octave, an interpolated quantile can be off
+	// from the exact order statistic by at most one bucket width, i.e. a
+	// relative error under 25%.
+	exact := make([]int64, 0, 5000)
+	rng = rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		exact = append(exact, rng.Int63n(1_000_000))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := r.Quantile(q)
+		want := float64(exact[int(q*float64(len(exact)))-1])
+		if got < want*0.75 || got > want*1.25 {
+			t.Fatalf("Quantile(%g) = %g, exact %g: outside 25%% bucket bound", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeAssociativity(t *testing.T) {
+	mk := func(seed int64, n int) *Histogram {
+		h := &Histogram{}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.Record(rng.Int63n(1 << 30))
+		}
+		return h
+	}
+	a, b, c := mk(1, 1000), mk(2, 500), mk(3, 2000)
+
+	// (a+b)+c
+	left := &Histogram{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+	// a+(b+c)
+	bc := &Histogram{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := &Histogram{}
+	right.Merge(a)
+	right.Merge(bc)
+
+	if *left != *right {
+		t.Fatalf("merge is not associative: (a+b)+c != a+(b+c)")
+	}
+	if left.Count != 3500 {
+		t.Fatalf("merged count = %d, want 3500", left.Count)
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := *left
+	left.Merge(&Histogram{})
+	left.Merge(nil)
+	if *left != before {
+		t.Fatalf("merging empty/nil changed the histogram")
+	}
+}
+
+// Identical seeds must produce bit-identical histograms and quantiles —
+// the property the scenario layer's trace determinism rests on.
+func TestHistogramDeterminism(t *testing.T) {
+	run := func() (Histogram, []float64) {
+		var h Histogram
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 20000; i++ {
+			h.Record(rng.Int63n(10_000_000))
+		}
+		qs := make([]float64, 0, 4)
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			qs = append(qs, h.Quantile(q))
+		}
+		return h, qs
+	}
+	h1, q1 := run()
+	h2, q2 := run()
+	if h1 != h2 {
+		t.Fatalf("histograms differ across identical seeds")
+	}
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("quantile %d differs across identical seeds: %g vs %g", i, q1[i], q2[i])
+		}
+	}
+}

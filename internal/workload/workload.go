@@ -96,6 +96,11 @@ type LADDISConfig struct {
 	// cluster rig passes one root per server). Empty means the single root
 	// given to NewLADDIS.
 	Roots []nfsproto.FH
+	// Histograms additionally records per-op-kind latency histograms
+	// (constant memory, streaming) surfaced as LADDISResult.Hists. The
+	// recording sites and sampled set are identical to the mean/P95
+	// recorder, so enabling it does not change any existing figure.
+	Histograms bool
 }
 
 // LADDISResult is one point on the throughput/latency curve.
@@ -105,6 +110,9 @@ type LADDISResult struct {
 	P95LatencyMs      float64
 	PerOp             map[string]int
 	Errors            int
+	// Hists holds per-op latency histograms (µs) when
+	// LADDISConfig.Histograms was set; nil otherwise. Keys are op names.
+	Hists map[string]*stats.Histogram `json:",omitempty"`
 }
 
 // LADDIS drives the mixed workload through cli against the server's root
@@ -120,6 +128,7 @@ type LADDIS struct {
 	cursors []int // per-file append cursor, in blocks
 	scratch nfsproto.FH
 	lat     stats.Latency
+	hists   *[numOps]stats.Histogram // nil unless cfg.Histograms
 	done    int
 	errors  int
 	perOp   map[string]int
@@ -194,7 +203,11 @@ func NewLADDIS(cli *client.Client, root nfsproto.FH, cfg LADDISConfig) *LADDIS {
 	if len(roots) == 0 {
 		roots = []nfsproto.FH{root}
 	}
-	return &LADDIS{cfg: cfg, cli: cli, root: root, roots: roots, perOp: make(map[string]int)}
+	l := &LADDIS{cfg: cfg, cli: cli, root: root, roots: roots, perOp: make(map[string]int)}
+	if cfg.Histograms {
+		l.hists = new([numOps]stats.Histogram)
+	}
+	return l
 }
 
 // Setup creates and fills the working set (not measured). With shard
@@ -275,7 +288,11 @@ func (l *LADDIS) writeWorker(w *sim.Proc) {
 		if werr := l.cli.WriteSyncBufRelease(w, task.fh, task.off, buf, nfsproto.MaxData); werr != nil {
 			l.errors++
 		} else if l.done > l.cfg.Warmup {
-			l.lat.Record(w.Now().Sub(wbegin))
+			d := w.Now().Sub(wbegin)
+			l.lat.Record(d)
+			if l.hists != nil {
+				l.hists[OpWrite].Record(int64(d))
+			}
 		}
 		l.done++
 		l.perOp[OpWrite.String()]++
@@ -336,6 +353,14 @@ func (l *LADDIS) Run(p *sim.Proc) LADDISResult {
 	if l.lat.N() > 0 {
 		res.AvgLatencyMs = sim.Duration(l.lat.Mean()).Millis()
 		res.P95LatencyMs = sim.Duration(l.lat.Percentile(95)).Millis()
+	}
+	if l.hists != nil {
+		res.Hists = make(map[string]*stats.Histogram)
+		for op := Op(0); op < numOps; op++ {
+			if l.hists[op].N() > 0 {
+				res.Hists[op.String()] = &l.hists[op]
+			}
+		}
 	}
 	return res
 }
@@ -411,6 +436,10 @@ func (l *LADDIS) doOp(q *sim.Proc, r int) {
 		return
 	}
 	if l.done > l.cfg.Warmup {
-		l.lat.Record(q.Now().Sub(begin))
+		d := q.Now().Sub(begin)
+		l.lat.Record(d)
+		if l.hists != nil {
+			l.hists[op].Record(int64(d))
+		}
 	}
 }
