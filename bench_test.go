@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -222,4 +223,85 @@ func BenchmarkCrashRecovery(b *testing.B) {
 	b.Logf("\n%s%s",
 		experiments.RenderCrashRecovery(experiments.DefaultCrashSpec(false), plain),
 		experiments.RenderCrashRecovery(experiments.DefaultCrashSpec(true), presto))
+}
+
+// Parallel-harness benchmarks: the same work at worker-pool sizes 1 and
+// GOMAXPROCS. The metric columns must be identical between the Seq and
+// Par variants of each pair (the engine's byte-identity contract); only
+// ns/op may move, and only with real cores to spread across.
+
+// figure2EngineSpec is the figure2 LADDIS sweep as a declarative spec
+// (the multi-cell sweep BENCH_PR8 times sequential vs parallel). Under
+// -short the sweep coarsens like benchFigure does.
+func figure2EngineSpec(b *testing.B) scenario.Spec {
+	spec, ok := scenario.Lookup("figure2")
+	if !ok {
+		b.Fatal("figure2 not registered")
+	}
+	if testing.Short() {
+		var half []scenario.Cell
+		for i, c := range spec.Cells {
+			if i%2 == 1 {
+				half = append(half, c)
+			}
+		}
+		spec.Cells = half
+		l := *spec.Workload.LADDIS
+		l.Measure = 4 * sim.Second
+		spec.Workload.LADDIS = &l
+	}
+	return spec
+}
+
+func benchFigure2Engine(b *testing.B, workers int) {
+	spec := figure2EngineSpec(b)
+	b.ReportAllocs()
+	var res *scenario.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = scenario.RunWorkers(spec, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ops float64
+	for _, c := range res.Cells {
+		ops += c.AchievedOpsPerSec
+	}
+	b.ReportMetric(float64(len(res.Cells)), "cells")
+	b.ReportMetric(ops, "agg-ops/s")
+}
+
+func BenchmarkFigure2EngineSequential(b *testing.B) { benchFigure2Engine(b, 1) }
+func BenchmarkFigure2EngineParallel(b *testing.B) {
+	benchFigure2Engine(b, runtime.GOMAXPROCS(0))
+}
+
+// fuzzBatchRuns sizes the benchmarked campaign: every generated spec is
+// a small faulted stream sim, and the fixed (seed, runs) prefix is known
+// clean, so the whole batch is timed (no early exit).
+func fuzzBatchRuns(b *testing.B) int {
+	if testing.Short() {
+		return 25
+	}
+	return 100
+}
+
+func benchFuzzBatch(b *testing.B, workers int) {
+	runs := fuzzBatchRuns(b)
+	b.ReportAllocs()
+	var failed float64
+	for i := 0; i < b.N; i++ {
+		if f := scenario.Fuzz(scenario.FuzzConfig{Runs: runs, Seed: 1, Workers: workers}); f != nil {
+			failed = 1
+			b.Errorf("fuzz batch found a failure:\n%s", f)
+		}
+	}
+	b.ReportMetric(float64(runs), "runs")
+	b.ReportMetric(failed, "failed")
+}
+
+func BenchmarkFuzzBatchSequential(b *testing.B) { benchFuzzBatch(b, 1) }
+func BenchmarkFuzzBatchParallel(b *testing.B) {
+	benchFuzzBatch(b, runtime.GOMAXPROCS(0))
 }

@@ -17,6 +17,13 @@
 //	nfsbench -fuzz 200 -seed 7      # seed-driven scenario fuzzing; on a
 //	                                # failure prints the shrunk spec and
 //	                                # exits 1
+//	nfsbench -run figure2 -j 8      # sweep cells across 8 workers
+//	nfsbench -j 1 ...               # force the sequential engine
+//
+// -j sets the worker-pool size for sweep cells, registry scenarios and
+// fuzz runs (default GOMAXPROCS). Every output byte is identical at any
+// -j: cells are independent sims gathered in deterministic order, and
+// only the wall-time lines (which report real time) differ.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -49,9 +58,11 @@ func main() {
 	quick := flag.Bool("quick", false, "coarser LADDIS sweeps for figures 2-3")
 	fuzz := flag.Int("fuzz", 0, "run N fuzzed scenarios against the durability and leak invariants")
 	seed := flag.Int64("seed", 1, "fuzzing campaign seed (with -fuzz)")
+	jobs := flag.Int("j", 0, "worker-pool size for sweep cells, registry scenarios and fuzz runs (default GOMAXPROCS; 1 forces the sequential engine)")
 	flag.StringVar(&traceOut, "trace", "", "write a Chrome trace_event JSON file for scenario runs (view in chrome://tracing or ui.perfetto.dev); forces the observe plane on")
 	flag.StringVar(&probesOut, "probes", "", "write the periodic probe time-series as CSV for scenario runs; forces the observe plane on")
 	flag.Parse()
+	scenario.SetWorkers(*jobs)
 	wall := time.Now()
 
 	switch {
@@ -77,8 +88,11 @@ func main() {
 
 	want := map[string]bool{}
 	if *run == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "table4", "table5", "table6", "figure1", "figure2", "figure3", "scale", "crash"} {
-			want[n] = true
+		// Every registry entry: the legacy names render through their
+		// historical formatters below, and the remaining registry
+		// scenarios run through the uniform engine (in parallel at -j>1).
+		for _, e := range scenario.Registry() {
+			want[e.Name] = true
 		}
 	} else {
 		for _, n := range strings.Split(*run, ",") {
@@ -159,16 +173,62 @@ func main() {
 		rest = append(rest, n)
 	}
 	sort.Strings(rest)
-	for _, n := range rest {
+	specsToRun := make([]scenario.Spec, len(rest))
+	for i, n := range rest {
 		spec, ok := scenario.Lookup(n)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nfsbench: no experiment or scenario named %q; known names: %s\n",
 				n, strings.Join(knownNames(), ", "))
 			os.Exit(2)
 		}
-		runSpec(spec)
+		specsToRun[i] = spec
 	}
+	runRegistryScenarios(rest, specsToRun)
 	fmt.Printf("nfsbench: total wall time %.2f s\n", time.Since(wall).Seconds())
+}
+
+// runRegistryScenarios executes the registry scenarios, concurrently when
+// the worker pool allows: each scenario renders into its own buffer and
+// the buffers print in name order, so the transcript is byte-identical
+// to the sequential loop (wall-time lines aside). The -trace/-probes
+// artifact path keeps the sequential loop — its last-scenario-wins file
+// semantics are inherently ordered.
+func runRegistryScenarios(names []string, specs []scenario.Spec) {
+	workers := scenario.Workers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 || traceOut != "" || probesOut != "" {
+		for _, spec := range specs {
+			runSpec(spec)
+		}
+		return
+	}
+	outs := make([]string, len(specs))
+	errs := make([]error, len(specs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				_, outs[i], errs[i] = execSpec(specs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range specs {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "nfsbench: %s: %v\n", names[i], errs[i])
+			os.Exit(1)
+		}
+		fmt.Print(outs[i])
+	}
 }
 
 // knownNames lists every runnable name: the registry carries all of them
@@ -277,7 +337,11 @@ func writeRepro(name string, blob []byte) {
 	fmt.Fprintf(os.Stderr, "nfsbench: wrote %s\n", name)
 }
 
-func runSpec(spec scenario.Spec) {
+// execSpec runs one scenario and renders its full report — the result
+// table, the per-cell wall times, and the wall+sim summary — into a
+// string, so concurrent scenario runs can buffer output and print in
+// deterministic order.
+func execSpec(spec scenario.Spec) (*scenario.Result, string, error) {
 	if traceOut != "" || probesOut != "" {
 		o := scenario.Observe{}
 		if spec.Observe != nil {
@@ -295,16 +359,31 @@ func runSpec(spec scenario.Spec) {
 	wall := time.Now()
 	res, err := scenario.Run(spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nfsbench: %v\n", err)
-		os.Exit(1)
+		return nil, "", err
 	}
-	fmt.Println(res.Render())
+	var b strings.Builder
+	fmt.Fprintln(&b, res.Render())
 	var simTotal sim.Duration
 	for _, c := range res.Cells {
 		simTotal += c.SimTime
 	}
-	fmt.Printf("%s: %.2f s wall, %.2f s simulated (%d cells)\n",
-		spec.Name, time.Since(wall).Seconds(), simTotal.Seconds(), len(res.Cells))
+	if len(res.Cells) > 1 {
+		for _, c := range res.Cells {
+			fmt.Fprintf(&b, "  cell %-28s %8.3f s wall\n", c.Label, c.Wall.Seconds())
+		}
+	}
+	fmt.Fprintf(&b, "%s: %.2f s wall, %.2f s simulated (%d cells, %d workers)\n",
+		spec.Name, time.Since(wall).Seconds(), simTotal.Seconds(), len(res.Cells), scenario.Workers())
+	return res, b.String(), nil
+}
+
+func runSpec(spec scenario.Spec) {
+	res, out, err := execSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nfsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
 	if traceOut != "" {
 		var traces []*obs.Trace
 		for i := range res.Cells {

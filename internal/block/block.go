@@ -15,9 +15,13 @@
 //   - Release of the last reference returns the buffer to its origin pool
 //     and bumps its generation, which invalidates outstanding Handles.
 //
-// The package keeps global accounting (live buffers, payload copies) that
-// leak-check and copy-budget tests read; counters are atomic so the -race
-// smoke of the kernel and cluster suites stays clean.
+// Accounting (live buffers, total references, payload copies) is kept per
+// Accounting handle: each simulation instance owns one, so concurrently
+// executing sims never perturb each other's leak audits or copy budgets.
+// Pools made with plain NewPool charge the process-global handle, which
+// keeps single-sim tests and direct assemblies working unchanged; counters
+// are atomic so the -race smoke of the kernel and cluster suites stays
+// clean even when a handle is shared.
 package block
 
 import (
@@ -29,44 +33,82 @@ import (
 // block.
 const Size = 8192
 
-// Debug enables paranoid lifecycle checking: stale Handle dereferences
-// panic instead of returning old bytes. Refcount underflow always panics.
+// Debug enables paranoid lifecycle checking process-wide: stale Handle
+// dereferences panic instead of returning old bytes. Refcount underflow
+// always panics. Per-sim debug rides Accounting.Debug instead.
 var Debug bool
 
-// live counts buffers currently checked out of any pool (global, so a
-// leak check does not need to reach every layer's pool).
-var live atomic.Int64
+// Accounting is one simulation's buffer ledger. Every pool charges
+// exactly one Accounting, fixed at pool creation; a scenario cell creates
+// its own so its leak audit reads its own sim's counters exactly —
+// immune to whatever other cells, goroutines or tests do to theirs.
+type Accounting struct {
+	// live counts buffers currently checked out of any of this ledger's
+	// pools (so a leak check does not need to reach every layer's pool).
+	live atomic.Int64
+	// totalRefs counts outstanding references across all live buffers
+	// (Get and Ref increment, Release decrements). Distinct from live:
+	// one buffer shared by the ufs cache, the NVRAM dirty map and the
+	// platter store is 1 live buffer carrying 3 references.
+	totalRefs atomic.Int64
+	// copies counts payload bytes memmoved by the data path (CountCopy
+	// calls); the copy-budget guard reads it around a write burst.
+	copies atomic.Int64
+	// Debug enables paranoid lifecycle checking for this ledger's
+	// buffers, like the package-level flag but scoped to one sim. Set it
+	// before the sim runs; it is read on the data path.
+	Debug bool
+}
 
-// totalRefs counts outstanding references across all live buffers (Get
-// and Ref increment, Release decrements). Distinct from live: one buffer
-// shared by the ufs cache, the NVRAM dirty map and the platter store is 1
-// live buffer carrying 3 references.
-var totalRefs atomic.Int64
+// global is the process-wide default ledger: pools made with NewPool (and
+// nil Accounting handles passed to constructors) charge it, preserving
+// the historical package-level counters.
+var global Accounting
 
-// copies counts payload bytes memmoved by the data path (CountCopy calls);
-// the copy-budget guard reads it around a write burst.
-var copies atomic.Int64
+// Global returns the process-wide default ledger.
+func Global() *Accounting { return &global }
 
-// Live reports how many buffers are currently out of their pools across
-// the process. At quiesce this must equal the number of DISTINCT buffers
-// retained by long-lived structures (caches, platter stores, NVRAM dirty
-// maps).
-func Live() int64 { return live.Load() }
+// NewAccounting returns a fresh, empty ledger.
+func NewAccounting() *Accounting { return &Accounting{} }
+
+// Or resolves an optional handle: a, or the global ledger when a is nil.
+// Constructors that take an optional *Accounting call it once.
+func Or(a *Accounting) *Accounting {
+	if a == nil {
+		return &global
+	}
+	return a
+}
+
+// Live reports how many buffers are currently out of this ledger's pools.
+// At quiesce this must equal the number of DISTINCT buffers retained by
+// long-lived structures (caches, platter stores, NVRAM dirty maps).
+func (a *Accounting) Live() int64 { return a.live.Load() }
 
 // TotalRefs reports the outstanding references across all live buffers.
 // At quiesce this must equal the total retained SLOTS across long-lived
 // structures — every reference attributable, none leaked by a dead
 // datagram or an unwound process.
-func TotalRefs() int64 { return totalRefs.Load() }
+func (a *Accounting) TotalRefs() int64 { return a.totalRefs.Load() }
 
 // Copies reports cumulative payload bytes copied through CountCopy.
-func Copies() int64 { return copies.Load() }
+func (a *Accounting) Copies() int64 { return a.copies.Load() }
 
 // CountCopy records n payload bytes memmoved; data-path copy sites call it
 // so the copy-count budget is testable. It returns n so it can wrap copy().
-func CountCopy(n int) int {
-	copies.Add(int64(n))
+func (a *Accounting) CountCopy(n int) int {
+	a.copies.Add(int64(n))
 	return n
+}
+
+// Live, TotalRefs, Copies and CountCopy are the process-global ledger's
+// counters — the historical package API, used by tests and assemblies
+// that run one sim at a time.
+func Live() int64      { return global.Live() }
+func TotalRefs() int64 { return global.TotalRefs() }
+func Copies() int64    { return global.Copies() }
+func CountCopy(n int) int {
+	return global.CountCopy(n)
 }
 
 // Buf is one refcounted payload buffer. The zero value is not usable;
@@ -80,22 +122,30 @@ type Buf struct {
 
 // Pool is a free list of buffers. Buffers return to the pool they were
 // allocated from regardless of which layer releases the last reference, so
-// layers may each own a pool and still exchange buffers freely.
+// layers may each own a pool and still exchange buffers freely. Every
+// pool charges exactly one Accounting, fixed at creation.
 type Pool struct {
+	acct *Accounting
 	free []*Buf
 	gets uint64
 }
 
-// NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{} }
+// NewPool returns an empty pool charging the process-global ledger.
+func NewPool() *Pool { return global.NewPool() }
+
+// NewPool returns an empty pool charging this ledger.
+func (a *Accounting) NewPool() *Pool { return &Pool{acct: a} }
+
+// Acct returns the ledger this pool charges.
+func (p *Pool) Acct() *Accounting { return p.acct }
 
 // Get returns a buffer with one reference. Contents are unspecified (the
 // recycled bytes of an earlier tenant); callers that overwrite the whole
 // buffer — device reads, full-block copies, pattern fills — use it
 // directly, others want GetZero.
 func (p *Pool) Get() *Buf {
-	live.Add(1)
-	totalRefs.Add(1)
+	p.acct.live.Add(1)
+	p.acct.totalRefs.Add(1)
 	p.gets++
 	if n := len(p.free); n > 0 {
 		b := p.free[n-1]
@@ -137,7 +187,7 @@ func (b *Buf) Ref() *Buf {
 		panic("block: Ref of released buffer")
 	}
 	b.refs++
-	totalRefs.Add(1)
+	b.pool.acct.totalRefs.Add(1)
 	return b
 }
 
@@ -148,12 +198,12 @@ func (b *Buf) Release() {
 		panic("block: double release")
 	}
 	b.refs--
-	totalRefs.Add(-1)
+	b.pool.acct.totalRefs.Add(-1)
 	if b.refs > 0 {
 		return
 	}
 	b.gen++
-	live.Add(-1)
+	b.pool.acct.live.Add(-1)
 	b.pool.free = append(b.pool.free, b)
 }
 
@@ -209,10 +259,11 @@ func (b *Buf) Handle() Handle { return Handle{b: b, gen: b.gen} }
 func (h Handle) Valid() bool { return h.b != nil && h.b.gen == h.gen && h.b.refs > 0 }
 
 // Buf returns the referenced buffer, nil if the handle is stale or zero.
-// Under Debug a stale dereference panics, naming the misuse.
+// Under Debug (package-wide or the buffer ledger's) a stale dereference
+// panics, naming the misuse.
 func (h Handle) Buf() *Buf {
 	if !h.Valid() {
-		if Debug && h.b != nil {
+		if (Debug || (h.b != nil && h.b.pool.acct.Debug)) && h.b != nil {
 			panic(fmt.Sprintf("block: stale handle (gen %d, buffer at gen %d, refs %d)",
 				h.gen, h.b.gen, h.b.refs))
 		}

@@ -41,7 +41,7 @@ func TestReplyDecodeSteadyStateAllocs(t *testing.T) {
 		}
 	})
 
-	c := New(s, n, "c", "server", fastParams(), 0)
+	c := New(s, n, "c", "server", fastParams(), 0, nil)
 	trigger := sim.NewQueue[int](s, 0)
 	s.Spawn("app", func(p *sim.Proc) {
 		for {

@@ -159,8 +159,10 @@ type writeJob struct {
 }
 
 // New attaches a client named name to the network, pointed at server, with
-// the given number of biods (0 = fully synchronous writes).
-func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientParams, numBiods int) *Client {
+// the given number of biods (0 = fully synchronous writes). acct is the
+// buffer ledger the write-staging pool charges (nil = the process-global
+// one).
+func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientParams, numBiods int, acct *block.Accounting) *Client {
 	c := &Client{
 		sim:        s,
 		net:        n,
@@ -175,7 +177,7 @@ func New(s *sim.Sim, n *netsim.Network, name, server string, params hw.ClientPar
 		MaxRTO:     params.RetransMax,
 		MaxRetries: 8,
 		credRaw:    (&oncrpc.UnixCred{MachineName: name, UID: 0, GID: 0}).Encode(),
-		pool:       block.NewPool(),
+		pool:       block.Or(acct).NewPool(),
 	}
 	c.startDaemons()
 	return c

@@ -56,7 +56,7 @@ func TestCallRoundTrip(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	newEchoServer(s, n, sim.Millisecond, 0)
-	c := New(s, n, "c", "server", fastParams(), 0)
+	c := New(s, n, "c", "server", fastParams(), 0, nil)
 	var err error
 	s.Spawn("app", func(p *sim.Proc) {
 		_, err = c.Call(p, nfsproto.ProcGetattr, (&nfsproto.FHArgs{}).Encode())
@@ -74,7 +74,7 @@ func TestRetransmissionRecoversDrop(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	newEchoServer(s, n, sim.Millisecond, 2) // first two attempts eaten
-	c := New(s, n, "c", "server", fastParams(), 0)
+	c := New(s, n, "c", "server", fastParams(), 0, nil)
 	var err error
 	var done sim.Time
 	s.Spawn("app", func(p *sim.Proc) {
@@ -100,7 +100,7 @@ func TestCallGivesUpEventually(t *testing.T) {
 	n.Attach("server", 0, 0) // black hole: no responder
 	p := fastParams()
 	p.RetransMax = 40 * sim.Millisecond
-	c := New(s, n, "c", "server", p, 0)
+	c := New(s, n, "c", "server", p, 0, nil)
 	var err error
 	s.Spawn("app", func(q *sim.Proc) {
 		_, err = c.Call(q, nfsproto.ProcNull, nil)
@@ -118,7 +118,7 @@ func TestWriteBehindUsesBiods(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	srv := newEchoServer(s, n, 10*sim.Millisecond, 0)
-	c := New(s, n, "c", "server", fastParams(), 4)
+	c := New(s, n, "c", "server", fastParams(), 4, nil)
 	var handoffDone sim.Time
 	s.Spawn("app", func(p *sim.Proc) {
 		// Four hand-offs return immediately; server takes 10ms each.
@@ -152,7 +152,7 @@ func TestWriteBehindBlocksWithoutBiods(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	newEchoServer(s, n, 10*sim.Millisecond, 0)
-	c := New(s, n, "c", "server", fastParams(), 0)
+	c := New(s, n, "c", "server", fastParams(), 0, nil)
 	var done sim.Time
 	s.Spawn("app", func(p *sim.Proc) {
 		c.WriteBehind(p, nfsproto.FH{}, 0, make([]byte, 8192))
@@ -168,7 +168,7 @@ func TestCloseWaitsForAllOutstanding(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	newEchoServer(s, n, 20*sim.Millisecond, 0)
-	c := New(s, n, "c", "server", fastParams(), 2)
+	c := New(s, n, "c", "server", fastParams(), 2, nil)
 	var closed sim.Time
 	s.Spawn("app", func(p *sim.Proc) {
 		c.WriteBehind(p, nfsproto.FH{}, 0, make([]byte, 8192))
@@ -186,7 +186,7 @@ func TestWriteFileElapsedAndPattern(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	newEchoServer(s, n, sim.Millisecond, 0)
-	c := New(s, n, "c", "server", fastParams(), 4)
+	c := New(s, n, "c", "server", fastParams(), 4, nil)
 	var elapsed sim.Duration
 	var err error
 	s.Spawn("app", func(p *sim.Proc) {
@@ -256,7 +256,7 @@ func TestOnWriteEventHook(t *testing.T) {
 	s := sim.New(1)
 	n := netsim.New(s, hw.FDDI())
 	newEchoServer(s, n, sim.Millisecond, 0)
-	c := New(s, n, "c", "server", fastParams(), 0)
+	c := New(s, n, "c", "server", fastParams(), 0, nil)
 	var events []string
 	c.OnWriteEvent = func(ev string, off uint32, n int) {
 		events = append(events, ev)

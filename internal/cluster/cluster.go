@@ -13,6 +13,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -66,6 +67,11 @@ type Config struct {
 	// across groups (client1, client2, ...), so a single-group spec is
 	// identical to the homogeneous form.
 	ClientGroups []ClientGroup
+	// Acct is the buffer ledger every pool in the cluster charges (nil =
+	// the process-global one). The scenario engine gives each cell its
+	// own, making the per-cell leak audit exact and immune to whatever
+	// concurrently executing cells do to their own ledgers.
+	Acct *block.Accounting
 	// OnServerUp, when non-nil, fires every time a server instance starts
 	// serving — initial boot, reboot, and adoption takeover — with the
 	// instance and the NVRAM board (nil without Presto) of its boot.
@@ -226,13 +232,13 @@ func New(cfg Config) *Cluster {
 			}
 		}
 		for d := 0; d < n.stripeDisks; d++ {
-			n.Disks = append(n.Disks, disk.New(s, hw.RZ26()))
+			n.Disks = append(n.Disks, disk.New(s, hw.RZ26(), cfg.Acct))
 		}
 		if n.stripeDisks > 1 {
 			n.Stripe = disk.NewStripe(s, n.Disks, 8) // 64K stripe unit
 		}
 		dev, cpu := n.buildDeviceStack()
-		fs, err := ufs.Format(s, dev, n.FSID, n.inodes)
+		fs, err := ufs.Format(s, dev, n.FSID, n.inodes, cfg.Acct)
 		if err != nil {
 			panic("cluster: " + err.Error())
 		}
@@ -272,7 +278,7 @@ func New(cfg Config) *Cluster {
 		for i := 0; i < g.Count; i++ {
 			idx++
 			cli := client.New(s, c.Net, fmt.Sprintf("client%d", idx), c.Nodes[0].Name,
-				hw.DEC3000Client(), g.Biods)
+				hw.DEC3000Client(), g.Biods, cfg.Acct)
 			for _, n := range c.Nodes {
 				cli.AddRoute(n.FSID, n.Name)
 			}
@@ -292,11 +298,11 @@ func serverName(i int) string { return fmt.Sprintf("server%d", i+1) }
 // absorbs it (retry the transfer); a persistent failure surfaces to the
 // caller. Healthy devices mount on the first attempt, identically to
 // before.
-func mountRetry(s *sim.Sim, p *sim.Proc, dev disk.Device) (*ufs.FS, error) {
+func mountRetry(s *sim.Sim, p *sim.Proc, dev disk.Device, acct *block.Accounting) (*ufs.FS, error) {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
 		var fs *ufs.FS
-		fs, err = ufs.Mount(s, p, dev)
+		fs, err = ufs.Mount(s, p, dev, acct)
 		if err == nil {
 			return fs, nil
 		}
@@ -321,7 +327,7 @@ func (n *Node) buildDeviceStack() (disk.Device, *sim.Resource) {
 	cpu := sim.NewResource(s, 1)
 	dev := disk.Device(server.NewChargedDevice(n.raw(), cpu, costs.DriverTrip))
 	if n.presto {
-		n.Presto = nvram.New(s, hw.Prestoserve(), dev)
+		n.Presto = nvram.New(s, hw.Prestoserve(), dev, n.c.cfg.Acct)
 		dev = server.NewChargedNVRAM(n.Presto, cpu, costs.DriverTrip,
 			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
 	}
@@ -448,7 +454,7 @@ func (n *Node) Reboot(p *sim.Proc) error {
 		n.Presto = nil
 	}
 	dev, cpu := n.buildDeviceStack()
-	fs, err := mountRetry(n.c.Sim, p, dev)
+	fs, err := mountRetry(n.c.Sim, p, dev, n.c.cfg.Acct)
 	if err != nil {
 		return fmt.Errorf("cluster: remount %s: %w", n.Name, err)
 	}
@@ -488,11 +494,11 @@ func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
 	dev := disk.Device(server.NewChargedDevice(dead.raw(), cpu, costs.DriverTrip))
 	ex := &AdoptedExport{FSID: dead.FSID, From: dead}
 	if dead.presto {
-		ex.Presto = nvram.New(s, hw.Prestoserve(), dev)
+		ex.Presto = nvram.New(s, hw.Prestoserve(), dev, n.c.cfg.Acct)
 		dev = server.NewChargedNVRAM(ex.Presto, cpu, costs.DriverTrip,
 			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
 	}
-	fs, err := mountRetry(s, p, dev)
+	fs, err := mountRetry(s, p, dev, n.c.cfg.Acct)
 	if err != nil {
 		return fmt.Errorf("cluster: adopt %s on %s: %w", dead.Name, n.Name, err)
 	}

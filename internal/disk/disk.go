@@ -96,8 +96,11 @@ type Disk struct {
 	OnOp func(write bool, blk int64, n int, svc sim.Duration)
 }
 
-// New returns a disk with the given parameters.
-func New(s *sim.Sim, p hw.DiskParams) *Disk {
+// New returns a disk with the given parameters. acct is the buffer
+// ledger the platter store charges (nil = the process-global one); a
+// scenario cell passes its own so concurrently executing cells keep
+// exact, independent accounting.
+func New(s *sim.Sim, p hw.DiskParams, acct *block.Accounting) *Disk {
 	if p.BlockSize != block.Size {
 		panic(fmt.Sprintf("disk: block size %d, want %d", p.BlockSize, block.Size))
 	}
@@ -106,7 +109,7 @@ func New(s *sim.Sim, p hw.DiskParams) *Disk {
 		p:    p,
 		arm:  sim.NewResource(s, 1),
 		data: make(map[int64]*block.Buf),
-		pool: block.NewPool(),
+		pool: block.Or(acct).NewPool(),
 	}
 }
 
@@ -319,7 +322,7 @@ func (d *Disk) storeBytes(blk int64, data []byte) {
 			b = d.pool.Get()
 			d.data[blk+i] = b
 		}
-		block.CountCopy(copy(b.Data(), data[i*int64(d.p.BlockSize):(i+1)*int64(d.p.BlockSize)]))
+		d.pool.Acct().CountCopy(copy(b.Data(), data[i*int64(d.p.BlockSize):(i+1)*int64(d.p.BlockSize)]))
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 )
 
 func testDisk(s *sim.Sim) *Disk {
-	return New(s, hw.RZ26())
+	return New(s, hw.RZ26(), nil)
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
@@ -199,7 +199,7 @@ func TestPeekAndInject(t *testing.T) {
 func newStripe(s *sim.Sim, n int) (*Stripe, []*Disk) {
 	members := make([]*Disk, n)
 	for i := range members {
-		members[i] = New(s, hw.RZ26())
+		members[i] = New(s, hw.RZ26(), nil)
 	}
 	return NewStripe(s, members, 8), members
 }
@@ -252,7 +252,7 @@ func TestStripeParallelism(t *testing.T) {
 	// A 24-block write spanning 3 members should complete in roughly the
 	// time of one 8-block member write, not three.
 	sOne := sim.New(1)
-	single := New(sOne, hw.RZ26())
+	single := New(sOne, hw.RZ26(), nil)
 	var tSingle sim.Duration
 	sOne.Spawn("io", func(p *sim.Proc) {
 		start := p.Now()

@@ -226,7 +226,7 @@ func TestFaultPlaneZeroCostWhenAbsent(t *testing.T) {
 func newTestStripe(s *sim.Sim, n int) (*Stripe, []*Disk) {
 	var members []*Disk
 	for i := 0; i < n; i++ {
-		members = append(members, New(s, hw.RZ26()))
+		members = append(members, New(s, hw.RZ26(), nil))
 	}
 	return NewStripe(s, members, 8), members
 }

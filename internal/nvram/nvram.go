@@ -71,8 +71,10 @@ type Presto struct {
 	OnDrain func(blk int64, nblocks int, start, end sim.Time)
 }
 
-// New interposes a Presto board in front of under and starts its drainer.
-func New(s *sim.Sim, p hw.PrestoParams, under disk.Device) *Presto {
+// New interposes a Presto board in front of under and starts its
+// drainer. acct is the buffer ledger the dirty map charges (nil = the
+// process-global one).
+func New(s *sim.Sim, p hw.PrestoParams, under disk.Device, acct *block.Accounting) *Presto {
 	pr := &Presto{
 		sim:      s,
 		p:        p,
@@ -82,7 +84,7 @@ func New(s *sim.Sim, p hw.PrestoParams, under disk.Device) *Presto {
 		work:     sim.NewCond(s),
 		clean:    sim.NewCond(s),
 		inFlight: make(map[int64]bool),
-		pool:     block.NewPool(),
+		pool:     block.Or(acct).NewPool(),
 	}
 	workers := p.DrainWorkers
 	if workers < 1 {
@@ -139,7 +141,7 @@ func (pr *Presto) WriteBlocks(p *sim.Proc, blk int64, data []byte) error {
 	p.Sleep(pr.p.AcceptLatency)
 	for i := int64(0); i < nb; i++ {
 		nbuf := pr.pool.Get()
-		block.CountCopy(copy(nbuf.Data(), data[i*int64(pr.BlockSize()):(i+1)*int64(pr.BlockSize())]))
+		pr.pool.Acct().CountCopy(copy(nbuf.Data(), data[i*int64(pr.BlockSize()):(i+1)*int64(pr.BlockSize())]))
 		pr.store(blk+i, nbuf)
 	}
 	pr.accept(len(data))

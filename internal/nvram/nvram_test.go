@@ -11,8 +11,8 @@ import (
 
 func rig(seed int64) (*sim.Sim, *Presto, *disk.Disk) {
 	s := sim.New(seed)
-	d := disk.New(s, hw.RZ26())
-	pr := New(s, hw.Prestoserve(), d)
+	d := disk.New(s, hw.RZ26(), nil)
+	pr := New(s, hw.Prestoserve(), d, nil)
 	return s, pr, d
 }
 
@@ -102,10 +102,10 @@ func TestReadMissGoesToDisk(t *testing.T) {
 
 func TestCacheFullBlocksWriter(t *testing.T) {
 	s := sim.New(1)
-	d := disk.New(s, hw.RZ26())
+	d := disk.New(s, hw.RZ26(), nil)
 	params := hw.Prestoserve()
 	params.CacheBytes = 4 * 8192 // tiny board
-	pr := New(s, params, d)
+	pr := New(s, params, d, nil)
 	var done sim.Time
 	s.Spawn("w", func(p *sim.Proc) {
 		buf := make([]byte, 8192)
@@ -178,9 +178,9 @@ func TestRecoverToFlushesDirtyBlocks(t *testing.T) {
 	// Simulate a crash with data still in NVRAM: RecoverTo must place it
 	// on the platters, which is what makes NVRAM count as stable storage.
 	s := sim.New(1)
-	d := disk.New(s, hw.RZ26())
+	d := disk.New(s, hw.RZ26(), nil)
 	params := hw.Prestoserve()
-	pr := New(s, params, d)
+	pr := New(s, params, d, nil)
 	data := make([]byte, 8192)
 	data[100] = 0xCC
 	s.Spawn("w", func(p *sim.Proc) {

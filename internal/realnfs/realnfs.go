@@ -39,8 +39,8 @@ type Server struct {
 // (e.g. "127.0.0.1:0").
 func New(addr string) (*Server, error) {
 	s := sim.New(1)
-	d := disk.New(s, hw.RZ26())
-	fs, err := ufs.Format(s, d, 1, 1024)
+	d := disk.New(s, hw.RZ26(), nil)
+	fs, err := ufs.Format(s, d, 1, 1024, nil)
 	if err != nil {
 		return nil, err
 	}

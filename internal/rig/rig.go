@@ -8,6 +8,7 @@ package rig
 import (
 	"fmt"
 
+	"repro/internal/block"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -49,6 +50,10 @@ type Config struct {
 	RecordReplies bool
 	// Inodes sizes the filesystem's inode table (default 512).
 	Inodes int
+	// Acct is the buffer ledger every pool in the rig charges (nil = the
+	// process-global one). The scenario engine gives each cell its own,
+	// so cells executing in parallel keep exact, independent accounting.
+	Acct *block.Accounting
 }
 
 // Rig is an assembled testbed.
@@ -97,7 +102,7 @@ func New(cfg Config) *Rig {
 	srvCPU := sim.NewResource(s, 1)
 	var raw disk.Device
 	for i := 0; i < cfg.StripeDisks; i++ {
-		r.Disks = append(r.Disks, disk.New(s, hw.RZ26()))
+		r.Disks = append(r.Disks, disk.New(s, hw.RZ26(), cfg.Acct))
 	}
 	if cfg.StripeDisks > 1 {
 		r.Stripe = disk.NewStripe(s, r.Disks, 8) // 64K stripe unit
@@ -107,11 +112,11 @@ func New(cfg Config) *Rig {
 	}
 	dev := disk.Device(server.NewChargedDevice(raw, srvCPU, costs.DriverTrip))
 	if cfg.Presto {
-		r.Presto = nvram.New(s, hw.Prestoserve(), dev)
+		r.Presto = nvram.New(s, hw.Prestoserve(), dev, cfg.Acct)
 		dev = server.NewChargedNVRAM(r.Presto, srvCPU, costs.DriverTrip,
 			costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
 	}
-	fs, err := ufs.Format(s, dev, 1, cfg.Inodes)
+	fs, err := ufs.Format(s, dev, 1, cfg.Inodes, cfg.Acct)
 	if err != nil {
 		panic("rig: " + err.Error())
 	}
@@ -137,7 +142,7 @@ func New(cfg Config) *Rig {
 
 	for i := 0; i < cfg.Clients; i++ {
 		name := fmt.Sprintf("client%d", i+1)
-		r.Clients = append(r.Clients, client.New(s, n, name, "server", hw.DEC3000Client(), cfg.Biods))
+		r.Clients = append(r.Clients, client.New(s, n, name, "server", hw.DEC3000Client(), cfg.Biods, cfg.Acct))
 	}
 	return r
 }

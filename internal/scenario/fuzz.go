@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -37,6 +39,15 @@ type FuzzConfig struct {
 	// MaxShrinkRuns bounds the engine executions the shrinker may spend
 	// minimizing one failure (default 250).
 	MaxShrinkRuns int
+	// Workers is the campaign's worker-pool size: that many generated
+	// specs execute concurrently, each a fully independent sim with its
+	// own buffer ledger. 0 uses the package default (Workers); 1 forces
+	// the sequential path. The verdict is identical at any width: run-i
+	// spec generation depends on (Seed, i) alone, runs are classified
+	// independently, and the lowest failing index wins — exactly the run
+	// the sequential campaign would have stopped at. Shrinking is always
+	// sequential, so the minimized spec and artifacts match too.
+	Workers int
 	// Log, when set, receives one progress line every few runs.
 	Log func(format string, args ...any)
 }
@@ -93,7 +104,10 @@ func (f *FuzzFailure) String() string {
 }
 
 // Fuzz runs the campaign and returns the first failure, minimized — or
-// nil if every generated spec upheld the invariants.
+// nil if every generated spec upheld the invariants. Generated specs
+// execute across cfg.Workers concurrent sims; the reported failure is
+// the lowest failing run index, which is exactly the sequential
+// campaign's verdict (see FuzzConfig.Workers).
 func Fuzz(cfg FuzzConfig) *FuzzFailure {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 100
@@ -101,31 +115,107 @@ func Fuzz(cfg FuzzConfig) *FuzzFailure {
 	if cfg.MaxShrinkRuns <= 0 {
 		cfg.MaxShrinkRuns = 250
 	}
-	for i := 0; i < cfg.Runs; i++ {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+	f := fuzzCampaign(cfg, workers)
+	if f == nil {
+		return nil
+	}
+	// Minimize and capture artifacts outside the worker pool: the
+	// shrinker's greedy passes are order-dependent, so they always run
+	// sequentially regardless of campaign width.
+	f.Shrunk, f.ShrinkRuns = shrinkSpec(f.Spec, f.Class, cfg.MaxShrinkRuns)
+	f.TraceJSON, f.SeriesCSV = captureObs(f.Shrunk)
+	return f
+}
+
+// fuzzCampaign executes the generate-and-check loop and returns the
+// lowest-index failure, not yet minimized (nil if the campaign passed).
+func fuzzCampaign(cfg FuzzConfig, workers int) *FuzzFailure {
+	runOne := func(i int) *FuzzFailure {
 		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
 		spec := genSpec(rng, i)
-		if cfg.Log != nil && i%10 == 0 {
-			cfg.Log("fuzz: run %d/%d", i, cfg.Runs)
-		}
 		class, detail := checkSpec(spec)
 		if class == "" {
-			continue
+			return nil
 		}
-		shrunk, n := shrinkSpec(spec, class, cfg.MaxShrinkRuns)
-		f := &FuzzFailure{
-			Run: i, Class: class, Detail: detail,
-			Spec: spec, Shrunk: shrunk, ShrinkRuns: n,
-		}
-		f.TraceJSON, f.SeriesCSV = captureObs(shrunk)
-		return f
+		return &FuzzFailure{Run: i, Class: class, Detail: detail, Spec: spec}
 	}
-	return nil
+	if workers <= 1 {
+		for i := 0; i < cfg.Runs; i++ {
+			if cfg.Log != nil && i%10 == 0 {
+				cfg.Log("fuzz: run %d/%d", i, cfg.Runs)
+			}
+			if f := runOne(i); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	// Parallel campaign. Indices are handed out in order; a worker pulls
+	// the next index only while it could still matter (below the best
+	// failure seen so far), so a failure at run k stops the campaign
+	// after O(workers) extra runs, like the sequential early exit. Every
+	// index below a recorded failure is guaranteed dispatched (dispatch
+	// is monotone) and drained (the pool joins before reporting), so the
+	// surviving lowest index is the true first failure.
+	var (
+		mu   sync.Mutex
+		next int
+		best *FuzzFailure
+		wg   sync.WaitGroup
+	)
+	var panicked atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				// genSpec panics on generator bugs; surface them on the
+				// caller instead of crashing from a worker goroutine.
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, r)
+				}
+			}()
+			for {
+				mu.Lock()
+				if next >= cfg.Runs || (best != nil && next > best.Run) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				if cfg.Log != nil && i%10 == 0 {
+					cfg.Log("fuzz: run %d/%d", i, cfg.Runs)
+				}
+				mu.Unlock()
+				if f := runOne(i); f != nil {
+					mu.Lock()
+					if best == nil || f.Run < best.Run {
+						best = f
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return best
 }
 
 // captureObs replays spec with the full observe plane forced on and
-// serializes whatever the run produced. The obsCapture hook keeps each
+// serializes whatever the run produced. The capture callback keeps each
 // cell's live observer reachable, so a replay that panics mid-cell (the
-// usual case for panic-class repros) still yields its partial trace.
+// usual case for panic-class repros) still yields its partial trace. The
+// replay is sequential — cell order fixes the artifact order.
 func captureObs(spec Spec) (traceJSON, seriesCSV []byte) {
 	c := cloneSpec(spec)
 	c.Observe = &Observe{Trace: true, Probes: true, Histograms: true}
@@ -134,7 +224,7 @@ func captureObs(spec Spec) (traceJSON, seriesCSV []byte) {
 	}
 	var traces []*obs.Trace
 	var series []*obs.TimeSeries
-	obsCapture = func(label string, ob *cellObs) {
+	capture := func(label string, ob *cellObs) {
 		if ob.trace != nil {
 			traces = append(traces, ob.trace)
 		}
@@ -144,10 +234,9 @@ func captureObs(spec Spec) (traceJSON, seriesCSV []byte) {
 	}
 	func() {
 		defer func() {
-			obsCapture = nil
 			_ = recover() // the failure is already classified; keep the artifacts
 		}()
-		_, _ = Run(c)
+		_, _ = runEngine(c, 1, capture)
 	}()
 	if len(traces) > 0 {
 		var b bytes.Buffer
@@ -165,13 +254,16 @@ func captureObs(spec Spec) (traceJSON, seriesCSV []byte) {
 }
 
 // checkSpec executes one spec and classifies the outcome ("" = pass).
+// Cells run in-line: the fuzz campaign's worker pool is the unit of
+// parallelism, and a spec's one or two cells never warrant a nested
+// pool.
 func checkSpec(spec Spec) (class, detail string) {
 	defer func() {
 		if r := recover(); r != nil {
 			class, detail = FailPanic, fmt.Sprint(r)
 		}
 	}()
-	res, err := Run(spec)
+	res, err := RunWorkers(spec, 1)
 	if err != nil {
 		return FailInvalid, err.Error()
 	}

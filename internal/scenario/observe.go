@@ -42,16 +42,18 @@ type cellObs struct {
 	series *obs.TimeSeries
 }
 
-// obsCapture, when set, receives every cell's live observer the moment
-// its hooks are installed — before the workload runs — so a run that
-// dies mid-cell still leaves its partial trace reachable. The fuzzer
-// uses it to attach observability artifacts to panic-class repros; Run
-// is otherwise pure and the hook is unset outside fuzzing.
-var obsCapture func(label string, ob *cellObs)
+// obsCaptureFn, when threaded into a run, receives every cell's live
+// observer the moment its hooks are installed — before the workload runs
+// — so a run that dies mid-cell still leaves its partial trace
+// reachable. The fuzzer uses it to attach observability artifacts to
+// panic-class repros; Run passes nil and is otherwise pure. It is a
+// per-run parameter, not a package hook, so concurrent runs (the
+// parallel engine, parallel fuzz workers) never see each other's cells.
+type obsCaptureFn func(label string, ob *cellObs)
 
 // newCellObs builds the cell's observer, or nil when the resolved spec
 // enables no instrument.
-func newCellObs(rc *resolved) *cellObs {
+func newCellObs(rc *resolved, capture obsCaptureFn) *cellObs {
 	o := rc.observe
 	if o == nil || (!o.Trace && !o.Probes && !o.Histograms) {
 		return nil
@@ -63,8 +65,8 @@ func newCellObs(rc *resolved) *cellObs {
 	if o.Probes {
 		ob.series = obs.NewTimeSeries(rc.label, probeColumns...)
 	}
-	if obsCapture != nil {
-		obsCapture(rc.label, ob)
+	if capture != nil {
+		capture(rc.label, ob)
 	}
 	return ob
 }

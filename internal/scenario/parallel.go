@@ -1,0 +1,31 @@
+package scenario
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// workerOverride holds the package-wide worker count set by SetWorkers;
+// 0 means "use GOMAXPROCS". Atomic because nfsbench sets it once at flag
+// parse while tests may run scenarios concurrently.
+var workerOverride atomic.Int32
+
+// Workers reports the worker-pool size Run uses: the SetWorkers override
+// if one is set, else GOMAXPROCS. Every cell is an independent sim with
+// its own buffer ledger and results gather in cell order, so the worker
+// count never changes any output byte — only wall-clock time.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers fixes the package-wide worker count (nfsbench -j). n <= 0
+// restores the GOMAXPROCS default; 1 forces the sequential in-line path.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int32(n))
+}

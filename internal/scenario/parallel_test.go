@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// laddisSweepSpec is a small multi-cell LADDIS sweep (the figure2 load
+// curve, trimmed): the single-server rig assembly under the parallel
+// engine.
+func laddisSweepSpec(t *testing.T) Spec {
+	t.Helper()
+	spec, ok := Lookup("figure2")
+	if !ok {
+		t.Fatal("figure2 not registered")
+	}
+	if len(spec.Cells) > 4 {
+		spec.Cells = spec.Cells[:4]
+	}
+	l := *spec.Workload.LADDIS
+	l.Measure = 1 * sim.Second
+	spec.Workload.LADDIS = &l
+	return spec
+}
+
+// faultedClusterSpec is a durability-checked storage-fault sweep: the
+// cluster assembly, crash recovery and the leak audit under the
+// parallel engine.
+func faultedClusterSpec(t *testing.T) Spec {
+	t.Helper()
+	spec, ok := Lookup("mediastorm")
+	if !ok {
+		t.Fatal("mediastorm not registered")
+	}
+	return shrink(spec)
+}
+
+// TestParallelRunByteIdentical is the parallel engine's core contract:
+// the same spec run sequentially (workers=1) and across a pool
+// (workers=4) yields identical output — Render bytes, the full
+// serialized result, and every metric column — for both assemblies.
+func TestParallelRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweeps in -short mode")
+	}
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"laddis-sweep", laddisSweepSpec(t)},
+		{"faulted-cluster", faultedClusterSpec(t)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := RunWorkers(tc.spec, 1)
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			par, err := RunWorkers(tc.spec, 4)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if a, b := seq.Render(), par.Render(); a != b {
+				t.Errorf("Render differs between workers=1 and workers=4:\n--- sequential\n%s\n--- parallel\n%s", a, b)
+			}
+			aj, err := json.Marshal(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := json.Marshal(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(aj) != string(bj) {
+				t.Errorf("serialized results differ between workers=1 and workers=4")
+			}
+			for i := range seq.Cells {
+				if !reflect.DeepEqual(seq.Cells[i].Metrics, par.Cells[i].Metrics) {
+					t.Errorf("cell %s: metric columns differ:\n%+v\n%+v",
+						seq.Cells[i].Label, seq.Cells[i].Metrics, par.Cells[i].Metrics)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFuzzMatchesSequential plants the known remount bug and
+// runs the same 200-run campaign at workers=1 and workers=4: the
+// verdict — failing run index, class, detail, shrunk spec, shrink-run
+// count — must match byte for byte. Lowest-failing-index selection plus
+// per-run (Seed, i) generation makes the campaign width invisible.
+func TestParallelFuzzMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaigns in -short mode")
+	}
+	ufs.DebugSkipIndirectClaim = true
+	defer func() { ufs.DebugSkipIndirectClaim = false }()
+
+	seq := Fuzz(FuzzConfig{Runs: 200, Seed: 2, Workers: 1})
+	par := Fuzz(FuzzConfig{Runs: 200, Seed: 2, Workers: 4})
+	switch {
+	case seq == nil || par == nil:
+		t.Fatalf("planted bug missed: sequential=%v parallel=%v", seq, par)
+	case seq.String() != par.String():
+		t.Fatalf("campaign verdict differs between workers=1 and workers=4:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
+	}
+	if seq.Run != par.Run {
+		t.Fatalf("failure seed differs: run %d vs %d", seq.Run, par.Run)
+	}
+}
+
+// TestCellsChargePrivateLedger is the per-sim accounting regression
+// test: a scenario run must not move the process-global block counters
+// at all — every one of its pools charges the cell's own ledger, which
+// is what makes the leak audit exact.
+func TestCellsChargePrivateLedger(t *testing.T) {
+	live0, refs0 := block.Live(), block.TotalRefs()
+	res := MustRun(faultedClusterSpec(t))
+	for _, c := range res.Cells {
+		if c.Durability == nil {
+			t.Fatalf("%s: no durability audit", c.Label)
+		}
+		if c.Durability.UnaccountedRefs != 0 {
+			t.Errorf("%s: %d unaccounted refs", c.Label, c.Durability.UnaccountedRefs)
+		}
+	}
+	if l, r := block.Live(), block.TotalRefs(); l != live0 || r != refs0 {
+		t.Errorf("scenario run moved the global ledger: live %d->%d, refs %d->%d",
+			live0, l, refs0, r)
+	}
+}
+
+// TestLeakAuditImmuneToGlobalNoise reproduces the latent contamination
+// the per-cell ledger fixes: the old audit diffed global counters
+// against a baseline, so any concurrent pool activity could fake or
+// mask a leak. Here a background goroutine churns (and deliberately
+// holds) global-ledger buffers for the whole run, and every cell's
+// audit must still read exactly zero.
+func TestLeakAuditImmuneToGlobalNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faulted sweep in -short mode")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := block.NewPool()
+		var held []*block.Buf
+		for {
+			select {
+			case <-stop:
+				for _, b := range held {
+					b.Release()
+				}
+				return
+			default:
+			}
+			held = append(held, p.Get())
+			if len(held) > 64 {
+				held[0].Release()
+				held = held[1:]
+			}
+			runtime.Gosched()
+		}
+	}()
+	res, err := RunWorkers(faultedClusterSpec(t), 4)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Durability == nil {
+			t.Fatalf("%s: no durability audit", c.Label)
+		}
+		if c.Durability.UnaccountedRefs != 0 {
+			t.Errorf("%s: global-ledger noise contaminated the audit: %d unaccounted refs",
+				c.Label, c.Durability.UnaccountedRefs)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -181,6 +182,11 @@ type CellResult struct {
 
 	// Elapsed is the exact simulated duration of the measured phase.
 	Elapsed sim.Duration `json:"elapsed_ns"`
+	// Wall is the real (host) time the cell took to execute. It is
+	// harness observability — nondeterministic by nature — so it is
+	// excluded from serialization and from Render, keeping every
+	// recorded output byte-identical across worker counts and machines.
+	Wall time.Duration `json:"-"`
 	// Gather is the gathering engine's counters (zero without gathering;
 	// single-server cells only).
 	Gather core.Stats `json:"gather,omitempty"`

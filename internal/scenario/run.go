@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/cluster"
@@ -22,19 +25,108 @@ import (
 // assembly for single-server copy/LADDIS/trace cells, the cluster
 // assembly for sharded, faulted or stream cells — so the legacy
 // experiments adapters produce byte-identical metric columns through it.
+//
+// Cells execute across the package worker pool (Workers, default
+// GOMAXPROCS); every cell is an independent simulation with its own
+// buffer ledger, and results are gathered in cell order, so the result —
+// Render bytes included — is byte-identical to the sequential engine
+// regardless of worker count. RunWorkers overrides the pool size per
+// call; 1 forces the historical in-line sequential path.
 func Run(spec Spec) (*Result, error) {
+	return runEngine(spec, Workers(), nil)
+}
+
+// RunWorkers is Run with an explicit worker count for this call (1 =
+// sequential, in-line on the calling goroutine).
+func RunWorkers(spec Spec, workers int) (*Result, error) {
+	return runEngine(spec, workers, nil)
+}
+
+// runEngine resolves every cell up front (deterministic label/seed
+// derivation, validation errors before any simulation runs), executes the
+// cells, and gathers results in cell order. capture, when non-nil,
+// receives each cell's live observer as its hooks are installed (the
+// fuzzer's panic-survivable artifact path).
+func runEngine(spec Spec, workers int, capture obsCaptureFn) (*Result, error) {
 	res := &Result{Name: spec.Name, Spec: spec}
+	var rcs []*resolved
 	for i, cell := range spec.cells() {
 		rc, err := spec.resolve(cell, i)
 		if err != nil {
 			return nil, err
 		}
-		cr := runCell(rc)
-		cr.Label = rc.label
-		cr.Seed = rc.seed
-		res.Cells = append(res.Cells, cr)
+		rcs = append(rcs, rc)
 	}
+	crs := make([]CellResult, len(rcs))
+	if workers > 1 && len(rcs) > 1 {
+		runCellsParallel(rcs, crs, workers, capture)
+	} else {
+		for i, rc := range rcs {
+			crs[i] = runCellTimed(rc, capture)
+		}
+	}
+	for i := range crs {
+		crs[i].Label = rcs[i].label
+		crs[i].Seed = rcs[i].seed
+	}
+	res.Cells = crs
 	return res, nil
+}
+
+// runCellsParallel executes the resolved cells across a pool of workers.
+// Cells are handed out in index order and every result lands in its own
+// slot, so gathering is order-independent. A cell that panics does not
+// take the process down from a worker goroutine: the panic is captured
+// and re-raised — lowest cell index first, matching what the sequential
+// engine would have surfaced — on the calling goroutine after the pool
+// drains, so harnesses that recover (the fuzzer) see the same value.
+func runCellsParallel(rcs []*resolved, crs []CellResult, workers int, capture obsCaptureFn) {
+	if workers > len(rcs) {
+		workers = len(rcs)
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	panicIdx := -1
+	var panicVal any
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rcs) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicVal = i, r
+							}
+							mu.Unlock()
+						}
+					}()
+					crs[i] = runCellTimed(rcs[i], capture)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
+}
+
+// runCellTimed stamps the cell's real (host) execution time — harness
+// observability for the parallel engine, never part of rendered or
+// serialized output.
+func runCellTimed(rc *resolved, capture obsCaptureFn) CellResult {
+	t0 := time.Now()
+	cr := runCell(rc, capture)
+	cr.Wall = time.Since(t0)
+	return cr
 }
 
 // MustRun is Run for specs known valid (the registry, the adapters).
@@ -46,11 +138,11 @@ func MustRun(spec Spec) *Result {
 	return res
 }
 
-func runCell(rc *resolved) CellResult {
+func runCell(rc *resolved, capture obsCaptureFn) CellResult {
 	if rc.assembly == AssemblyRig {
-		return runRigCell(rc)
+		return runRigCell(rc, capture)
 	}
-	return runClusterCell(rc)
+	return runClusterCell(rc, capture)
 }
 
 func (r *resolved) rigConfig() rig.Config {
@@ -105,9 +197,13 @@ func aggregateLADDIS(cr *CellResult, results []workload.LADDISResult) {
 }
 
 // runRigCell executes one cell on the single-server rig assembly.
-func runRigCell(rc *resolved) CellResult {
-	r := rig.New(rc.rigConfig())
-	ob := newCellObs(rc)
+func runRigCell(rc *resolved, capture obsCaptureFn) CellResult {
+	cfg := rc.rigConfig()
+	// Per-cell buffer ledger: this sim's pools charge their own counters,
+	// so concurrent cells never perturb each other's accounting.
+	cfg.Acct = block.NewAccounting()
+	r := rig.New(cfg)
+	ob := newCellObs(rc, capture)
 	ob.installRig(r)
 	var cr CellResult
 	switch rc.kind {
@@ -296,13 +392,16 @@ func runRigTrace(rc *resolved, r *rig.Rig, cr *CellResult) {
 }
 
 // runClusterCell executes one cell on the crashable sharded assembly.
-func runClusterCell(rc *resolved) CellResult {
-	// Block-reference baseline for the per-cell leak audit: after the
-	// full quiesce, every reference taken since here must sit in one of
-	// the cluster's long-lived stores (AccountedRefs).
-	refs0 := block.TotalRefs()
-	ob := newCellObs(rc)
+func runClusterCell(rc *resolved, capture obsCaptureFn) CellResult {
+	// Per-cell buffer ledger: every pool in this cell's assembly charges
+	// it, so the leak audit below reads this sim's counters exactly —
+	// immune to other cells, tests or goroutines touching the global
+	// ledger (the historical audit diffed global counters against a
+	// baseline, which concurrent activity could mask or misattribute).
+	acct := block.NewAccounting()
+	ob := newCellObs(rc, capture)
 	ccfg := rc.clusterConfig()
+	ccfg.Acct = acct
 	if ob != nil {
 		// Server-side hooks must follow the server object across reboots
 		// and adoptions: the cluster re-announces every (re)built server.
@@ -422,7 +521,9 @@ func runClusterCell(rc *resolved) CellResult {
 		}
 		// Leak audit: after the quiesce above, the cell's outstanding
 		// block references must all be attributable to long-lived stores.
-		d.UnaccountedRefs = block.TotalRefs() - refs0 - c.AccountedRefs()
+		// The cell's ledger started at zero and nothing else charges it,
+		// so the audit is exact — no baseline subtraction.
+		d.UnaccountedRefs = acct.TotalRefs() - c.AccountedRefs()
 		cr.Durability = d
 		cr.Crashes = d.Crashes
 		cr.LostBytes = d.LostBytes

@@ -48,7 +48,7 @@ func newRig(t *testing.T, seed int64, o rigOpts) *rig {
 	costs := hw.DEC3000CPU()
 
 	r := &rig{sim: s, net: n}
-	r.disk = disk.New(s, hw.RZ26())
+	r.disk = disk.New(s, hw.RZ26(), nil)
 	nfsds := o.nfsds
 	if nfsds == 0 {
 		nfsds = 8
@@ -67,17 +67,17 @@ func newRig(t *testing.T, seed int64, o rigOpts) *rig {
 	}
 	var dev disk.Device = NewChargedDevice(r.disk, srvCPU, costs.DriverTrip)
 	if o.presto {
-		r.presto = nvram.New(s, hw.Prestoserve(), dev)
+		r.presto = nvram.New(s, hw.Prestoserve(), dev, nil)
 		dev = NewChargedNVRAM(r.presto, srvCPU, costs.DriverTrip, costs.NVRAMCopyPer8K, hw.Prestoserve().MaxIO)
 	}
-	fs, err := ufs.Format(s, dev, 1, 512)
+	fs, err := ufs.Format(s, dev, 1, 512, nil)
 	if err != nil {
 		t.Fatalf("Format: %v", err)
 	}
 	r.fs = fs
 	r.srv = New(s, n, fs, cfg)
 	fs.ChargeMeta = func(p *sim.Proc) { r.srv.charge(p, costs.MetaUpdate) }
-	r.cli = client.New(s, n, "client1", "server", hw.DEC3000Client(), o.biods)
+	r.cli = client.New(s, n, "client1", "server", hw.DEC3000Client(), o.biods, nil)
 	return r
 }
 
@@ -293,7 +293,7 @@ func TestCrashAuditEveryRepliedWriteDurable(t *testing.T) {
 		r.fs.DropCaches()
 		s2 := sim.New(99)
 		s2.Spawn("audit", func(p *sim.Proc) {
-			m, err := ufs.Mount(s2, p, r.disk)
+			m, err := ufs.Mount(s2, p, r.disk, nil)
 			if err != nil {
 				t.Errorf("cut=%v: Mount: %v", cut, err)
 				return
@@ -341,7 +341,7 @@ func TestCrashAuditWithPresto(t *testing.T) {
 	r.fs.DropCaches()
 	s2 := sim.New(99)
 	s2.Spawn("audit", func(p *sim.Proc) {
-		m, err := ufs.Mount(s2, p, r.disk)
+		m, err := ufs.Mount(s2, p, r.disk, nil)
 		if err != nil {
 			t.Errorf("Mount: %v", err)
 			return
@@ -418,9 +418,9 @@ func TestSocketBufferDropsRecovered(t *testing.T) {
 	n := netsim.New(s, hw.FDDI())
 	costs := hw.DEC3000CPU()
 	srvCPU := sim.NewResource(s, 1)
-	d := disk.New(s, hw.RZ26())
+	d := disk.New(s, hw.RZ26(), nil)
 	charged := NewChargedDevice(d, srvCPU, costs.DriverTrip)
-	fs, _ := ufs.Format(s, charged, 1, 128)
+	fs, _ := ufs.Format(s, charged, 1, 128, nil)
 	cfg := Config{
 		NumNfsds: 2, Gathering: true,
 		Gather:       core.DefaultConfig(false, hw.FDDI().Procrastinate),
@@ -429,7 +429,7 @@ func TestSocketBufferDropsRecovered(t *testing.T) {
 	}
 	srv := New(s, n, fs, cfg)
 	srv.cpu = srvCPU
-	cli := client.New(s, n, "c", "server", fastRetransClient(), 7)
+	cli := client.New(s, n, "c", "server", fastRetransClient(), 7, nil)
 	root := srv.RootFH()
 	var err error
 	var elapsed sim.Duration

@@ -139,6 +139,11 @@ type Sim struct {
 	// fuzzer — instead of crashing the whole OS process from a worker.
 	fatal *fatalPanic
 
+	// Trace, when non-nil, receives a line per control transfer
+	// (debugging). Per-instance so concurrently executing sims can be
+	// traced independently without racing on a package global.
+	Trace func(string)
+
 	freeWaiters []*condWaiter
 }
 
@@ -360,8 +365,8 @@ func (s *Sim) loop(self *Proc) {
 		if p.done {
 			continue
 		}
-		if Trace != nil {
-			Trace(fmt.Sprintf("t=%d dispatch %s", s.now, p.name))
+		if s.Trace != nil {
+			s.Trace(fmt.Sprintf("t=%d dispatch %s", s.now, p.name))
 		}
 		if p == self {
 			return // own wake-up: resume model code, zero switches
@@ -555,9 +560,6 @@ func (p *Proc) Killed() bool { return p.killed }
 // Fault injectors use it to tell a completed application from one their
 // kill actually took down.
 func (p *Proc) Done() bool { return p.done }
-
-// Trace, when non-nil, receives a line per control transfer (debugging).
-var Trace func(string)
 
 // yield hands the run-loop token back to the event loop, which keeps
 // running on this goroutine until another process (or the Run caller) must

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/block"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -196,7 +195,7 @@ func (fs *FS) writeRaw(p *sim.Proc, in *inode, off uint32, data []byte) error {
 		} else {
 			fs.own(b)
 		}
-		block.CountCopy(copy(b.data[bo:bo+int64(take)], data[written:written+take]))
+		fs.pool.Acct().CountCopy(copy(b.data[bo:bo+int64(take)], data[written:written+take]))
 		b.dirty = true
 		if mc {
 			in.dirtyMeta = true

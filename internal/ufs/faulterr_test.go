@@ -27,7 +27,7 @@ func TestMountSurfacesReadError(t *testing.T) {
 	d.InjectReadError(0, 0, 0, 999) // every read fails, incl. the superblock
 	s2 := sim.New(2)
 	s2.Spawn("mount", func(p *sim.Proc) {
-		if _, err := Mount(s2, p, d); err == nil {
+		if _, err := Mount(s2, p, d, nil); err == nil {
 			t.Error("Mount on a dead disk succeeded")
 		}
 	})
@@ -132,8 +132,8 @@ func TestRemoveSurfacesDeviceFailure(t *testing.T) {
 // Fsync must not return before the in-flight block write lands.
 func TestCommitWaitsForInodeBlockLanding(t *testing.T) {
 	s := sim.New(1)
-	d := disk.New(s, hw.RZ26())
-	fs, err := Format(s, d, 1, 256)
+	d := disk.New(s, hw.RZ26(), nil)
+	fs, err := Format(s, d, 1, 256, nil)
 	if err != nil {
 		t.Fatalf("Format: %v", err)
 	}

@@ -37,7 +37,7 @@ func TestRemountedIndirectBlocksStayDurable(t *testing.T) {
 	fs.DropCaches()
 	s2 := sim.New(2)
 	s2.Spawn("boot2", func(p *sim.Proc) {
-		m, err := Mount(s2, p, d)
+		m, err := Mount(s2, p, d, nil)
 		if err != nil {
 			t.Errorf("mount 2: %v", err)
 			return
@@ -64,7 +64,7 @@ func TestRemountedIndirectBlocksStayDurable(t *testing.T) {
 	// Crash 2 + boot 3: the extension must have survived.
 	s3 := sim.New(3)
 	s3.Spawn("boot3", func(p *sim.Proc) {
-		m, err := Mount(s3, p, d)
+		m, err := Mount(s3, p, d, nil)
 		if err != nil {
 			t.Errorf("mount 3: %v", err)
 			return

@@ -162,7 +162,7 @@ func (fs *FS) own(b *buf) {
 		return
 	}
 	nb := fs.pool.Get()
-	block.CountCopy(copy(nb.Data(), b.blk.Data()))
+	fs.pool.Acct().CountCopy(copy(nb.Data(), b.blk.Data()))
 	b.blk.Release()
 	b.blk = nb
 	b.data = nb.Data()
@@ -191,7 +191,7 @@ func (b *buf) adopt(nb *block.Buf) {
 
 // Format writes a fresh filesystem onto dev and returns it mounted.
 // ninodes is rounded up to a whole inode block.
-func Format(s *sim.Sim, dev disk.Device, fsid uint32, ninodes int) (*FS, error) {
+func Format(s *sim.Sim, dev disk.Device, fsid uint32, ninodes int, acct *block.Accounting) (*FS, error) {
 	if dev.BlockSize() != BlockSize {
 		return nil, fmt.Errorf("ufs: device block size %d, want %d", dev.BlockSize(), BlockSize)
 	}
@@ -206,7 +206,7 @@ func Format(s *sim.Sim, dev disk.Device, fsid uint32, ninodes int) (*FS, error) 
 		ninodes:     int(ib) * InodesPerBlock,
 		inodes:      make(map[vfs.Ino]*inode),
 		cache:       make(map[int64]*buf),
-		pool:        block.NewPool(),
+		pool:        block.Or(acct).NewPool(),
 	}
 	if fs.dataStart >= fs.nblocks {
 		return nil, fmt.Errorf("ufs: device too small: %d blocks", fs.nblocks)
@@ -315,7 +315,7 @@ func (fs *FS) WriteSuper(p *sim.Proc) error {
 // every inode block; the allocation bitmaps are rebuilt by walking the
 // block pointers of live inodes (what fsck does). All volatile state is
 // discarded — this is the crash-recovery entry point.
-func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
+func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device, acct *block.Accounting) (*FS, error) {
 	sb := make([]byte, BlockSize)
 	if err := dev.ReadBlocks(p, 0, sb); err != nil {
 		return nil, fmt.Errorf("ufs: mount: superblock read: %w", err)
@@ -331,7 +331,7 @@ func Mount(s *sim.Sim, p *sim.Proc, dev disk.Device) (*FS, error) {
 		inodeBlocks: int64(binary.BigEndian.Uint64(sb[12:])),
 		inodes:      make(map[vfs.Ino]*inode),
 		cache:       make(map[int64]*buf),
-		pool:        block.NewPool(),
+		pool:        block.Or(acct).NewPool(),
 	}
 	fs.dataStart = 1 + fs.inodeBlocks
 	fs.ninodes = int(fs.inodeBlocks) * InodesPerBlock

@@ -15,8 +15,8 @@ import (
 func rig(t *testing.T, seed int64) (*sim.Sim, *FS, *disk.Disk) {
 	t.Helper()
 	s := sim.New(seed)
-	d := disk.New(s, hw.RZ26())
-	fs, err := Format(s, d, 1, 256)
+	d := disk.New(s, hw.RZ26(), nil)
+	fs, err := Format(s, d, 1, 256, nil)
 	if err != nil {
 		t.Fatalf("Format: %v", err)
 	}
@@ -436,7 +436,7 @@ func TestCrashBeforeMetadataFlushLosesFile(t *testing.T) {
 	var m *FS
 	s2.Spawn("mount", func(p *sim.Proc) {
 		var err error
-		m, err = Mount(s2, p, d)
+		m, err = Mount(s2, p, d, nil)
 		if err != nil {
 			t.Errorf("Mount: %v", err)
 			return
@@ -465,7 +465,7 @@ func TestCrashAfterFsyncKeepsFile(t *testing.T) {
 	fs.DropCaches()
 	s2 := sim.New(2)
 	s2.Spawn("mount", func(p *sim.Proc) {
-		m, err := Mount(s2, p, d)
+		m, err := Mount(s2, p, d, nil)
 		if err != nil {
 			t.Errorf("Mount: %v", err)
 			return
@@ -502,7 +502,7 @@ func TestRemountPreservesDirectoryTree(t *testing.T) {
 	fs.DropCaches()
 	s2 := sim.New(2)
 	s2.Spawn("mount", func(p *sim.Proc) {
-		m, err := Mount(s2, p, d)
+		m, err := Mount(s2, p, d, nil)
 		if err != nil {
 			t.Errorf("Mount: %v", err)
 			return
@@ -537,8 +537,8 @@ func TestQuickWriteReadProperty(t *testing.T) {
 			offs = offs[:12]
 		}
 		s := sim.New(seed)
-		d := disk.New(s, hw.RZ26())
-		fs, err := Format(s, d, 1, 64)
+		d := disk.New(s, hw.RZ26(), nil)
+		fs, err := Format(s, d, 1, 64, nil)
 		if err != nil {
 			return false
 		}
@@ -586,8 +586,8 @@ func TestQuickWriteReadProperty(t *testing.T) {
 func TestQuickAllocatorNeverDoubleAllocates(t *testing.T) {
 	f := func(seed int64, nFiles uint8) bool {
 		s := sim.New(seed)
-		d := disk.New(s, hw.RZ26())
-		fs, err := Format(s, d, 1, 64)
+		d := disk.New(s, hw.RZ26(), nil)
+		fs, err := Format(s, d, 1, 64, nil)
 		if err != nil {
 			return false
 		}
@@ -628,8 +628,8 @@ func TestFormatTooSmallDevice(t *testing.T) {
 	s := sim.New(1)
 	params := hw.RZ26()
 	params.NumBlocks = 4
-	d := disk.New(s, params)
-	if _, err := Format(s, d, 1, 256); err == nil {
+	d := disk.New(s, params, nil)
+	if _, err := Format(s, d, 1, 256, nil); err == nil {
 		t.Fatal("Format accepted a 4-block device with a 9-block inode region")
 	}
 }

@@ -20,9 +20,9 @@ func testbed(t *testing.T, gathering bool) (*sim.Sim, *client.Client, *server.Se
 	n := netsim.New(s, hw.FDDI())
 	cpu := sim.NewResource(s, 1)
 	costs := hw.DEC3800CPU()
-	d := disk.New(s, hw.RZ26())
+	d := disk.New(s, hw.RZ26(), nil)
 	dev := server.NewChargedDevice(d, cpu, costs.DriverTrip)
-	fs, err := ufs.Format(s, dev, 1, 512)
+	fs, err := ufs.Format(s, dev, 1, 512, nil)
 	if err != nil {
 		t.Fatalf("Format: %v", err)
 	}
@@ -32,7 +32,7 @@ func testbed(t *testing.T, gathering bool) (*sim.Sim, *client.Client, *server.Se
 	}
 	srv := server.New(s, n, fs, cfg)
 	fs.ChargeMeta = func(p *sim.Proc) { cpu.Use(p, costs.MetaUpdate) }
-	cli := client.New(s, n, "c", "server", hw.DEC3000Client(), 4)
+	cli := client.New(s, n, "c", "server", hw.DEC3000Client(), 4, nil)
 	return s, cli, srv
 }
 

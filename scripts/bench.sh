@@ -29,7 +29,7 @@ go test -run '^$' -bench "$bench" -benchmem -short -benchtime=1x \
 	-count="$count" . | tee "$raw"
 
 python3 - "$raw" "$out" <<'EOF'
-import json, re, statistics, subprocess, sys
+import json, os, re, statistics, subprocess, sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 runs = {}
@@ -51,6 +51,7 @@ for line in open(raw_path):
 result = {
     "go": subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip(),
     "flags": "-short -benchtime=1x",
+    "cpus": os.cpu_count(),
     "benchmarks": {},
 }
 for name, e in sorted(runs.items()):
@@ -62,7 +63,6 @@ for name, e in sorted(runs.items()):
         "metrics": e["metrics"],
     }
 
-import os
 base_path = os.environ.get("BASELINE")
 if base_path:
     base = json.load(open(base_path))
