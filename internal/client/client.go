@@ -39,10 +39,14 @@ type Client struct {
 	// handle. Handles with no route go to the default server.
 	routes map[uint32]string
 
-	xidSeq  uint32
-	pending map[uint32]*pendingCall
-	freePC  []*pendingCall // pendingCall pool
-	credRaw []byte         // AUTH_UNIX credential, constant per client
+	xidSeq uint32
+	// lastAttempts is the transmission count of the most recent completed
+	// call: >1 means the reply answers a retransmission, which
+	// non-idempotent ops (CREATE) must account for.
+	lastAttempts int
+	pending      map[uint32]*pendingCall
+	freePC       []*pendingCall // pendingCall pool
+	credRaw      []byte         // AUTH_UNIX credential, constant per client
 	// pool backs write payload staging: WriteFile and the LADDIS burst
 	// workers stage each 8K request in a refcounted buffer that then rides
 	// the wire by reference (every in-flight datagram holds its own ref),
@@ -356,6 +360,7 @@ func (c *Client) finishCall(p *sim.Proc, proc nfsproto.Proc, xid uint32, fh nfsp
 		}
 		if pc.cond.WaitTimeout(p, rto) || pc.reply != nil {
 			reply := pc.reply
+			c.lastAttempts = attempt + 1
 			if c.OnRPC != nil {
 				c.OnRPC(proc, xid, issued, attempt+1, reply.Stat == oncrpc.MsgAccepted && reply.AccStat == oncrpc.Success)
 			}
@@ -372,6 +377,7 @@ func (c *Client) finishCall(p *sim.Proc, proc nfsproto.Proc, xid uint32, fh nfsp
 			rto = c.MaxRTO
 		}
 	}
+	c.lastAttempts = tries
 	if c.OnRPC != nil {
 		c.OnRPC(proc, xid, issued, tries, false)
 	}
@@ -418,6 +424,14 @@ func (c *Client) Create(p *sim.Proc, dir nfsproto.FH, name string, mode uint32) 
 	res := &c.scratchDirOpRes
 	if err := decodeDone(reply, nfsproto.DecodeDirOpResInto(reply.Results, res)); err != nil {
 		return nil, err
+	}
+	if res.Status == nfsproto.ErrExist && c.lastAttempts > 1 {
+		// CREATE is not idempotent and the server keeps no reply cache: a
+		// retransmitted CREATE whose first execution's reply was lost (a
+		// crash window, a severed link, a dropped datagram) finds the file
+		// it just made already there. Recover the way real NFS clients do:
+		// treat EXIST on a retried CREATE as success and LOOKUP the handle.
+		return c.Lookup(p, dir, name)
 	}
 	return res, nil
 }

@@ -31,6 +31,16 @@ import (
 type Config struct {
 	// Net selects the LAN (hw.Ethernet() or hw.FDDI()).
 	Net hw.NetParams
+	// Segments, when non-empty, replaces the single Net medium with a
+	// bridged fabric of named segments (see netsim.Fabric). Hosts land
+	// on the root segment unless placed elsewhere by ServerSegment,
+	// ClientSegment, a NodeConfig or a ClientGroup.
+	Segments []netsim.SegmentSpec
+	// ServerSegment places the server shards (default: the root).
+	ServerSegment string
+	// ClientSegment places the homogeneous client population when
+	// ClientGroups is empty (default: the root).
+	ClientSegment string
 	// Clients and Servers are the node counts.
 	Clients int
 	Servers int
@@ -87,6 +97,9 @@ type NodeConfig struct {
 	StripeDisks *int
 	NumNfsds    *int
 	Inodes      *int
+	// Segment places this shard on a named fabric segment, overriding
+	// Config.ServerSegment. Requires Config.Segments.
+	Segment *string
 }
 
 // ClientGroup is one homogeneous client population.
@@ -97,6 +110,9 @@ type ClientGroup struct {
 	Biods int
 	// MaxRetries overrides the RPC attempt bound (0 keeps the default).
 	MaxRetries int
+	// Segment places the group's hosts on a named fabric segment
+	// (default: the root). Requires Config.Segments.
+	Segment string
 }
 
 // AdoptedExport is a dead peer's filesystem served by a surviving node
@@ -144,6 +160,9 @@ type Node struct {
 	Adopted []*AdoptedExport
 
 	c *Cluster
+	// net is the segment this shard's NIC attaches to (the cluster-wide
+	// network without a fabric).
+	net *netsim.Network
 	// mkfs is the boot-time image flusher (only meaningful for the first
 	// boot; killed by Crash like every other host process).
 	mkfs *sim.Proc
@@ -154,6 +173,7 @@ type Node struct {
 	stripeDisks int
 	numNfsds    int
 	inodes      int
+	segment     string
 
 	// Measurement marks (IntervalStats).
 	cpuMark   sim.Duration
@@ -163,8 +183,12 @@ type Node struct {
 
 // Cluster is an assembled scale-out testbed.
 type Cluster struct {
-	Sim     *sim.Sim
-	Net     *netsim.Network
+	Sim *sim.Sim
+	// Net is the servers' default segment: the lone medium without a
+	// fabric, the ServerSegment (or root) network with one.
+	Net *netsim.Network
+	// Fabric is the bridged segment tree (nil without Config.Segments).
+	Fabric  *netsim.Fabric
 	Nodes   []*Node
 	Clients []*client.Client
 	Shards  *ShardMap
@@ -200,9 +224,14 @@ func New(cfg Config) *Cluster {
 	}
 	c := &Cluster{
 		Sim:   s,
-		Net:   netsim.New(s, cfg.Net),
 		cfg:   cfg,
 		costs: costs,
+	}
+	if len(cfg.Segments) > 0 {
+		c.Fabric = netsim.NewFabric(s, cfg.Segments)
+		c.Net = c.Fabric.Segment(cfg.ServerSegment)
+	} else {
+		c.Net = netsim.New(s, cfg.Net)
 	}
 
 	for i := 0; i < cfg.Servers; i++ {
@@ -215,6 +244,7 @@ func New(cfg Config) *Cluster {
 			stripeDisks: cfg.StripeDisks,
 			numNfsds:    cfg.NumNfsds,
 			inodes:      cfg.Inodes,
+			segment:     cfg.ServerSegment,
 		}
 		if i < len(cfg.Nodes) {
 			o := cfg.Nodes[i]
@@ -230,6 +260,14 @@ func New(cfg Config) *Cluster {
 			if o.Inodes != nil && *o.Inodes > 0 {
 				n.inodes = *o.Inodes
 			}
+			if o.Segment != nil && *o.Segment != "" {
+				n.segment = *o.Segment
+			}
+		}
+		n.net = c.Net
+		if c.Fabric != nil {
+			n.net = c.Fabric.Segment(n.segment)
+			c.Fabric.Place(n.Name, n.segment)
 		}
 		for d := 0; d < n.stripeDisks; d++ {
 			n.Disks = append(n.Disks, disk.New(s, hw.RZ26(), cfg.Acct))
@@ -271,14 +309,23 @@ func New(cfg Config) *Cluster {
 
 	groups := cfg.ClientGroups
 	if len(groups) == 0 {
-		groups = []ClientGroup{{Count: cfg.Clients, Biods: cfg.Biods, MaxRetries: cfg.ClientRetries}}
+		groups = []ClientGroup{{Count: cfg.Clients, Biods: cfg.Biods,
+			MaxRetries: cfg.ClientRetries, Segment: cfg.ClientSegment}}
 	}
 	idx := 0
 	for _, g := range groups {
+		cnet := c.Net
+		if c.Fabric != nil {
+			cnet = c.Fabric.Segment(g.Segment)
+		}
 		for i := 0; i < g.Count; i++ {
 			idx++
-			cli := client.New(s, c.Net, fmt.Sprintf("client%d", idx), c.Nodes[0].Name,
+			name := fmt.Sprintf("client%d", idx)
+			cli := client.New(s, cnet, name, c.Nodes[0].Name,
 				hw.DEC3000Client(), g.Biods, cfg.Acct)
+			if c.Fabric != nil {
+				c.Fabric.Place(name, g.Segment)
+			}
 			for _, n := range c.Nodes {
 				cli.AddRoute(n.FSID, n.Name)
 			}
@@ -340,7 +387,7 @@ func (n *Node) buildDeviceStack() (disk.Device, *sim.Resource) {
 // boot count identify the export's instance; clients detect the change
 // and know the dup cache died) and metadata charge hook, so rebooted and
 // adopted servers can never silently diverge.
-func (c *Cluster) newServer(name string, fs *ufs.FS, cpu *sim.Resource, nfsds int, presto bool, index, boots int) *server.Server {
+func (c *Cluster) newServer(net *netsim.Network, name string, fs *ufs.FS, cpu *sim.Resource, nfsds int, presto bool, index, boots int) *server.Server {
 	cfg := c.cfg
 	costs := c.costs
 	scfg := server.Config{
@@ -357,17 +404,17 @@ func (c *Cluster) newServer(name string, fs *ufs.FS, cpu *sim.Resource, nfsds in
 		if cfg.GatherOverride != nil {
 			scfg.Gather = *cfg.GatherOverride
 		} else {
-			scfg.Gather = core.DefaultConfig(presto, cfg.Net.Procrastinate)
+			scfg.Gather = core.DefaultConfig(presto, net.Params().Procrastinate)
 		}
 	}
-	srv := server.New(c.Sim, c.Net, fs, scfg)
+	srv := server.New(c.Sim, net, fs, scfg)
 	fs.ChargeMeta = func(p *sim.Proc) { srv.CPU().Use(p, costs.MetaUpdate) }
 	return srv
 }
 
 // startServer attaches a fresh server instance (a boot) over fs.
 func (n *Node) startServer(fs *ufs.FS, cpu *sim.Resource) {
-	n.Server = n.c.newServer(n.Name, fs, cpu, n.numNfsds, n.presto, n.Index, n.Boots)
+	n.Server = n.c.newServer(n.net, n.Name, fs, cpu, n.numNfsds, n.presto, n.Index, n.Boots)
 	n.Boots++
 	n.Down = false
 	if n.c.cfg.OnServerUp != nil {
@@ -393,7 +440,7 @@ func (n *Node) Crash() {
 		}
 	}
 	s.Kill(n.mkfs)
-	n.c.Net.Detach(n.Name)
+	n.net.Detach(n.Name)
 	// Adopted exports are volatile serving state: the dead peers' platters
 	// survive (they are the peers'), but this host's server instances,
 	// caches and replacement NVRAM boards die with it, and nothing brings
@@ -412,7 +459,7 @@ func (n *Node) Crash() {
 			ex.From.Presto = ex.Presto
 			ex.Presto = nil
 		}
-		n.c.Net.Detach(ex.Server.Endpoint().Name)
+		n.net.Detach(ex.Server.Endpoint().Name)
 		ex.FS.DropCaches()
 		ex.FS = nil
 		ex.Server = nil
@@ -507,11 +554,17 @@ func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
 	// reboot, so clients that talked to the dead shard see the change and
 	// know the dup cache is gone.
 	name := fmt.Sprintf("%s+%s", n.Name, dead.Name)
-	ex.Server = n.c.newServer(name, fs, cpu, dead.numNfsds, dead.presto, dead.Index, dead.Boots)
+	ex.Server = n.c.newServer(n.net, name, fs, cpu, dead.numNfsds, dead.presto, dead.Index, dead.Boots)
+	// The adopted export lives on the adopter's segment now; re-placing
+	// it repoints every other segment's route at the survivor, so the
+	// dead shard's handles stay reachable across bridges.
+	if n.c.Fabric != nil {
+		n.c.Fabric.Place(name, n.segment)
+	}
 	// The new endpoint rides the adopter's NIC: if that attachment is
 	// currently severed, the adopted export is born cut off too.
 	if n.Server.Endpoint().LinkDown() {
-		n.c.Net.SetLinkDown(name, true)
+		n.net.SetLinkDown(name, true)
 	}
 	n.Adopted = append(n.Adopted, ex)
 	n.c.Shards.reassign(dead.FSID, n)
@@ -522,6 +575,28 @@ func (n *Node) Adopt(p *sim.Proc, dead *Node) error {
 		n.c.cfg.OnServerUp(ex.Server, ex.Presto)
 	}
 	return nil
+}
+
+// SetHostLinkDown severs or restores a host NIC by name, wherever the
+// host lives: on the fabric it sweeps every segment (unknown names are
+// a no-op per segment), without one it acts on the lone medium.
+func (c *Cluster) SetHostLinkDown(name string, down bool) {
+	if c.Fabric != nil {
+		c.Fabric.SetLinkDown(name, down)
+		return
+	}
+	c.Net.SetLinkDown(name, down)
+}
+
+// SetUplinkDown severs or restores a fabric segment's uplink port,
+// partitioning the whole segment from the rest of the tree. It reports
+// whether the segment exists and has an uplink (false without a fabric
+// or for the root).
+func (c *Cluster) SetUplinkDown(segment string, down bool) bool {
+	if c.Fabric == nil {
+		return false
+	}
+	return c.Fabric.SetUplinkDown(segment, down)
 }
 
 // FSByFSID resolves the mounted filesystem currently serving an export:

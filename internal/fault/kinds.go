@@ -204,10 +204,13 @@ func (f ShardFailover) AnnotateJournal(in *Injector, j *Journal) {}
 // windows: Count cycles starting at At, spaced every Period, each Outage
 // long. The host stays up — clients ride it out with retransmission, a
 // cut-off server keeps serving its queued work into a dead interface.
-// TargetClient selects a client host by index instead of a server shard.
+// TargetClient selects a client host by index instead of a server shard;
+// Segment instead severs a whole bridged segment's uplink port,
+// partitioning every host on it from the rest of the fabric.
 type LinkOutage struct {
 	TargetClient bool
 	Index        int
+	Segment      string
 	At           sim.Time
 	Period       sim.Duration
 	Outage       sim.Duration
@@ -232,8 +235,12 @@ func (f LinkOutage) targets(in *Injector) []string {
 }
 
 // hostDown reports whether the outage target's host is down (or still
-// remounting) — there is no attachment to sever then.
+// remounting) — there is no attachment to sever then. A segment target
+// has no host: its uplink port is bridge hardware, always severable.
 func (f LinkOutage) hostDown(in *Injector) bool {
+	if f.Segment != "" {
+		return false
+	}
 	if f.TargetClient {
 		return in.c.Clients[f.Index].Down
 	}
@@ -260,9 +267,18 @@ func (f LinkOutage) Schedule(in *Injector) {
 			if f.hostDown(in) {
 				return
 			}
+			if f.Segment != "" {
+				if !in.c.SetUplinkDown(f.Segment, true) {
+					return
+				}
+				*cut = true
+				in.LinkOutages++
+				in.fired("link-down segment %s", f.Segment)
+				return
+			}
 			names := f.targets(in)
 			for _, name := range names {
-				in.c.Net.SetLinkDown(name, true)
+				in.c.SetHostLinkDown(name, true)
 			}
 			*cut = true
 			in.LinkOutages++
@@ -272,12 +288,17 @@ func (f LinkOutage) Schedule(in *Injector) {
 			if !*cut {
 				return
 			}
+			if f.Segment != "" {
+				in.c.SetUplinkDown(f.Segment, false)
+				in.fired("link-up segment %s", f.Segment)
+				return
+			}
 			// Re-resolve: an export adopted during the window attached to
 			// the severed NIC (Adopt inherits the link state) and comes
 			// back with it.
 			names := f.targets(in)
 			for _, name := range names {
-				in.c.Net.SetLinkDown(name, false)
+				in.c.SetHostLinkDown(name, false)
 			}
 			in.fired("link-up %s", names[0])
 		})

@@ -1,0 +1,181 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A Bridge is a store-and-forward node joining two or more Network
+// segments. Each port attaches one endpoint on its segment (receiving
+// datagrams through the normal delivery path — the "store") and owns a
+// bounded FIFO output queue feeding a transmitter process that
+// re-serializes forwarded datagrams onto the attached segment (the
+// "forward"). Queueing delay is therefore charged in sim time by the
+// target medium itself: one transmitter per port drains the FIFO in
+// order, and each datagram pays the full wire time of the outgoing
+// segment. The queue bound is the bridge's drop budget; overflow and
+// down-port losses are counted per port.
+//
+// Forwarding is static: hosts are registered with SetForward (the Fabric
+// does this when a host is placed on a segment), mapping a destination
+// host name to the output port one hop closer to it. Datagrams for
+// unknown destinations are filtered, as a learning bridge discards
+// frames for addresses local to the arrival segment.
+type Bridge struct {
+	Name  string
+	Ports []*BridgePort
+
+	sim     *sim.Sim
+	p       BridgeParams
+	forward map[string]*BridgePort
+}
+
+// BridgeParams configures a bridge's per-port behaviour.
+type BridgeParams struct {
+	// ForwardLatency is the per-datagram store-and-forward processing
+	// time between dequeue and retransmission.
+	ForwardLatency sim.Duration
+	// QueueItems bounds each port's output FIFO in datagrams
+	// (0 = unbounded). This is the drop budget: a full queue drops.
+	QueueItems int
+	// QueueBytes bounds each port's output FIFO in payload bytes
+	// (0 = unbounded).
+	QueueBytes int
+}
+
+// BridgePort is one attachment of a bridge to a segment, transmitting
+// forwarded datagrams onto that segment.
+type BridgePort struct {
+	Index   int
+	Segment string // label for reporting (the attached segment's name)
+
+	bridge *Bridge
+	net    *Network
+	ep     *Endpoint
+	out    *sim.Queue[*Datagram]
+	down   bool
+
+	// Counters.
+	Forwarded      uint64 // datagrams retransmitted onto this port's segment
+	ForwardedBytes uint64 // payload bytes retransmitted
+	DropsNoRoute   uint64 // arrivals with no forwarding entry (filtered)
+	dropsLinkDown  uint64 // dequeued while the port was down
+}
+
+// Net returns the segment network the port is attached to.
+func (bp *BridgePort) Net() *Network { return bp.net }
+
+// Down reports whether the port's link is severed.
+func (bp *BridgePort) Down() bool { return bp.down }
+
+// QueueLen reports the current output FIFO depth in datagrams.
+func (bp *BridgePort) QueueLen() int { return bp.out.Len() }
+
+// PeakQueueLen reports the high-water output FIFO depth.
+func (bp *BridgePort) PeakQueueLen() int { return bp.out.PeakLen() }
+
+// DropsQueueFull counts datagrams lost to output FIFO overflow — the
+// drop budget spent on this port.
+func (bp *BridgePort) DropsQueueFull() uint64 { return bp.out.Drops() }
+
+// DropsLinkDown counts datagrams lost because the port was down: queued
+// output drained while severed, plus in-flight deliveries that arrived
+// at the severed attachment (counted by the segment, attributed here).
+func (bp *BridgePort) DropsLinkDown() uint64 { return bp.dropsLinkDown }
+
+// SetDown severs or restores the port. While down the port neither
+// receives (in-flight deliveries to its endpoint are lost, exactly as
+// for a host behind SetLinkDown) nor transmits (dequeued datagrams are
+// dropped and counted). Queued datagrams in the output FIFO do NOT
+// survive an outage: the transmitter keeps draining and dropping, which
+// is what a bridge flushing a dead interface does.
+func (bp *BridgePort) SetDown(down bool) {
+	bp.down = down
+	bp.net.SetLinkDown(bp.ep.Name, down)
+}
+
+// NewBridge builds a bridge with no ports; call AttachPort once per
+// segment it joins (at least two for anything useful).
+func NewBridge(s *sim.Sim, name string, p BridgeParams) *Bridge {
+	return &Bridge{
+		Name:    name,
+		sim:     s,
+		p:       p,
+		forward: make(map[string]*BridgePort),
+	}
+}
+
+// AttachPort joins the bridge to a segment: it attaches an endpoint
+// named after the bridge, and spawns the port's receiver and
+// transmitter processes. segment is a reporting label.
+func (b *Bridge) AttachPort(n *Network, segment string) *BridgePort {
+	bp := &BridgePort{
+		Index:   len(b.Ports),
+		Segment: segment,
+		bridge:  b,
+		net:     n,
+		ep:      n.Attach(b.Name, 0, 0),
+		out: sim.NewByteQueue[*Datagram](b.sim, b.p.QueueItems, b.p.QueueBytes,
+			func(d *Datagram) int { return d.Size() }),
+	}
+	b.Ports = append(b.Ports, bp)
+	b.sim.Spawn(fmt.Sprintf("%s.rx%d", b.Name, bp.Index), func(p *sim.Proc) { b.receive(p, bp) })
+	b.sim.Spawn(fmt.Sprintf("%s.tx%d", b.Name, bp.Index), func(p *sim.Proc) { bp.transmit(p) })
+	return bp
+}
+
+// SetForward installs a forwarding entry: datagrams addressed to dest
+// leave through out. Re-installing overwrites (a host that moved).
+func (b *Bridge) SetForward(dest string, out *BridgePort) {
+	b.forward[dest] = out
+}
+
+// receive drains one port's inbox, looking up the output port for each
+// datagram and enqueueing it on that port's FIFO. A missing entry — or
+// an entry pointing back out the arrival port — filters the datagram.
+func (b *Bridge) receive(p *sim.Proc, in *BridgePort) {
+	for {
+		dg := in.ep.Inbox.Get(p)
+		out := b.forward[dg.To]
+		if out == nil || out == in {
+			in.DropsNoRoute++
+			dg.Release()
+			continue
+		}
+		if !out.out.Put(dg) {
+			// Queue full: the per-port drop budget is spent; the byte
+			// queue counted the drop, we just release the record.
+			dg.Release()
+		}
+	}
+}
+
+// transmit drains a port's output FIFO onto its segment. The original
+// addressing is preserved; the target network resolves the destination
+// again (an attached host, or the next bridge via a route) and takes
+// its own reference to any body buffer, so pooled datagram records
+// never migrate between networks.
+func (bp *BridgePort) transmit(p *sim.Proc) {
+	for {
+		dg := bp.out.Get(p)
+		if bp.down {
+			bp.dropsLinkDown++
+			dg.Release()
+			continue
+		}
+		if d := bp.bridge.p.ForwardLatency; d > 0 {
+			p.Sleep(d)
+		}
+		if bp.down {
+			// The port went down while the datagram was being processed.
+			bp.dropsLinkDown++
+			dg.Release()
+			continue
+		}
+		bp.Forwarded++
+		bp.ForwardedBytes += uint64(dg.Size())
+		bp.net.send(p, dg.From, dg.To, dg.Payload, dg.Body, dg.BodyLen)
+		dg.Release()
+	}
+}

@@ -113,7 +113,11 @@ type Network struct {
 	p         hw.NetParams
 	medium    *sim.Resource
 	endpoints map[string]*Endpoint
-	free      []*Datagram // datagram record pool
+	// routes maps destination host names that are NOT attached to this
+	// segment to the local endpoint of a bridge that is one hop closer to
+	// them. A local endpoint always wins over a route.
+	routes map[string]*Endpoint
+	free   []*Datagram // datagram record pool
 
 	// Counters.
 	SentDatagrams uint64
@@ -144,6 +148,23 @@ func (n *Network) Utilization() float64 { return n.medium.Utilization() }
 // MediumInUse reports whether a sender currently holds the medium
 // (diagnostics).
 func (n *Network) MediumInUse() int { return n.medium.InUse() }
+
+// MediumBusy reports the cumulative time the medium has been busy
+// (probes derive windowed utilization from deltas of this).
+func (n *Network) MediumBusy() sim.Duration { return n.medium.BusyTime() }
+
+// AddRoute declares that datagrams addressed to dest — a host name with no
+// endpoint on this segment — should be delivered to via, the local
+// endpoint of a bridge one hop closer to dest. The original destination
+// address is preserved, so the next segment resolves it again; chains of
+// routes carry a datagram across a multi-segment fabric. A locally
+// attached endpoint always shadows a route with the same name.
+func (n *Network) AddRoute(dest string, via *Endpoint) {
+	if n.routes == nil {
+		n.routes = make(map[string]*Endpoint)
+	}
+	n.routes[dest] = via
+}
 
 // Attach creates an endpoint with a socket buffer bounded to maxBytes of
 // payload (0 = unbounded), and at most maxItems datagrams (0 = unbounded).
@@ -256,8 +277,14 @@ func (n *Network) send(p *sim.Proc, from, to string, payload []byte, body *block
 	n.SentBytes += uint64(wire)
 	dst, ok := n.endpoints[to]
 	if !ok {
-		n.DropsNoDest++
-		return false
+		// Off-segment destination: hand the datagram to the bridge one hop
+		// closer, keeping the original addressing.
+		if via, routed := n.routes[to]; routed && !via.dead {
+			dst = via
+		} else {
+			n.DropsNoDest++
+			return false
+		}
 	}
 	dg := n.getDatagram()
 	dg.From, dg.To, dg.Payload = from, to, payload

@@ -44,14 +44,23 @@ func (s *TimeSeries) WriteCSV(w io.Writer) error {
 }
 
 // WriteSeriesCSV concatenates multiple cell series into one CSV with a
-// shared header. All series must have identical columns.
+// shared header: the union of every series' columns in first-seen
+// order. Sweeps whose cells probe different hardware (a segment-count
+// sweep grows the fabric cell by cell) still share one labeled header;
+// a row leaves the columns its cell does not probe empty.
 func WriteSeriesCSV(w io.Writer, all []*TimeSeries) error {
 	bw := bufio.NewWriter(w)
 	var cols []string
+	idx := make(map[string]int)
 	for _, s := range all {
-		if s != nil && len(s.Cols) > 0 {
-			cols = s.Cols
-			break
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Cols {
+			if _, ok := idx[c]; !ok {
+				idx[c] = len(cols)
+				cols = append(cols, c)
+			}
 		}
 	}
 	bw.WriteString("cell,time_s")
@@ -60,14 +69,26 @@ func WriteSeriesCSV(w io.Writer, all []*TimeSeries) error {
 		bw.WriteString(c)
 	}
 	bw.WriteByte('\n')
+	row := make([]string, len(cols))
 	for _, s := range all {
 		if s == nil {
 			continue
 		}
+		slots := make([]int, len(s.Cols))
+		for j, c := range s.Cols {
+			slots[j] = idx[c]
+		}
 		for i, t := range s.Times {
+			for j := range row {
+				row[j] = ""
+			}
+			for j, v := range s.Rows[i] {
+				row[slots[j]] = fmt.Sprintf("%g", v)
+			}
 			fmt.Fprintf(bw, "%s,%.6f", s.Label, t.Seconds())
-			for _, v := range s.Rows[i] {
-				fmt.Fprintf(bw, ",%g", v)
+			for _, v := range row {
+				bw.WriteString(",")
+				bw.WriteString(v)
 			}
 			bw.WriteByte('\n')
 		}

@@ -24,6 +24,13 @@ import (
 type Config struct {
 	// Net selects the LAN (hw.Ethernet() or hw.FDDI()).
 	Net hw.NetParams
+	// Segments, when non-empty, replaces the single Net medium with a
+	// bridged fabric of named segments (see netsim.Fabric).
+	Segments []netsim.SegmentSpec
+	// ServerSegment places the server (default: the root segment).
+	ServerSegment string
+	// ClientSegment places the client hosts (default: the root).
+	ClientSegment string
 	// Presto interposes an NVRAM board in front of the disk stack.
 	Presto bool
 	// Gathering enables the write gathering engine.
@@ -58,8 +65,11 @@ type Config struct {
 
 // Rig is an assembled testbed.
 type Rig struct {
-	Sim     *sim.Sim
-	Net     *netsim.Network
+	Sim *sim.Sim
+	// Net is the server's segment: the lone medium without a fabric.
+	Net *netsim.Network
+	// Fabric is the bridged segment tree (nil without Config.Segments).
+	Fabric  *netsim.Fabric
 	Disks   []*disk.Disk
 	Stripe  *disk.Stripe
 	Presto  *nvram.Presto
@@ -90,12 +100,19 @@ func New(cfg Config) *Rig {
 		cfg.Inodes = 512
 	}
 	s := sim.New(cfg.Seed)
-	n := netsim.New(s, cfg.Net)
+	var fabric *netsim.Fabric
+	var n *netsim.Network
+	if len(cfg.Segments) > 0 {
+		fabric = netsim.NewFabric(s, cfg.Segments)
+		n = fabric.Segment(cfg.ServerSegment)
+	} else {
+		n = netsim.New(s, cfg.Net)
+	}
 	costs := hw.DEC3000CPU()
 	if cfg.CPUScale > 1 {
 		costs = costs.Scale(cfg.CPUScale)
 	}
-	r := &Rig{Sim: s, Net: n, cfg: cfg, costs: costs}
+	r := &Rig{Sim: s, Net: n, Fabric: fabric, cfg: cfg, costs: costs}
 
 	// Device stack, bottom up: disks -> (stripe) -> CPU charging ->
 	// (Presto -> CPU charging) -> UFS.
@@ -134,15 +151,25 @@ func New(cfg Config) *Rig {
 		if cfg.GatherOverride != nil {
 			scfg.Gather = *cfg.GatherOverride
 		} else {
-			scfg.Gather = core.DefaultConfig(cfg.Presto, cfg.Net.Procrastinate)
+			scfg.Gather = core.DefaultConfig(cfg.Presto, n.Params().Procrastinate)
 		}
 	}
 	r.Server = server.New(s, n, fs, scfg)
 	fs.ChargeMeta = func(p *sim.Proc) { r.Server.CPU().Use(p, costs.MetaUpdate) }
+	if fabric != nil {
+		fabric.Place("server", cfg.ServerSegment)
+	}
 
+	cnet := n
+	if fabric != nil {
+		cnet = fabric.Segment(cfg.ClientSegment)
+	}
 	for i := 0; i < cfg.Clients; i++ {
 		name := fmt.Sprintf("client%d", i+1)
-		r.Clients = append(r.Clients, client.New(s, n, name, "server", hw.DEC3000Client(), cfg.Biods, cfg.Acct))
+		r.Clients = append(r.Clients, client.New(s, cnet, name, "server", hw.DEC3000Client(), cfg.Biods, cfg.Acct))
+		if fabric != nil {
+			fabric.Place(name, cfg.ClientSegment)
+		}
 	}
 	return r
 }

@@ -178,6 +178,63 @@ func ScaleSweep(spec Spec, clientCounts, serverCounts []int) Spec {
 	return spec
 }
 
+// Bridged builds the base spec of a multi-segment LADDIS sweep on the
+// cluster assembly: one FDDI core segment carrying the server shard, and
+// maxSegments Ethernet leaf segments ("lan1".."lanN") each bridged into
+// the core and each carrying its own client group. Cells trim the leaf
+// count (BridgedCell), so one spec sweeps topology scale from a single
+// LAN to the full fan-in.
+func Bridged(name, description string, presto bool, maxSegments, clientsPerSegment, procs, nfsds, disks int, offeredPerClient float64, measure sim.Duration, seed int64) Spec {
+	media := []Medium{{Name: "core", Net: "fddi"}}
+	var groups []ClientGroup
+	for i := 1; i <= maxSegments; i++ {
+		lan := fmt.Sprintf("lan%d", i)
+		media = append(media, Medium{Name: lan, Net: "ethernet", Uplink: "core"})
+		groups = append(groups, ClientGroup{Count: clientsPerSegment, Segment: lan})
+	}
+	return Spec{
+		Name:        name,
+		Description: description,
+		Seed:        seed,
+		Topology: Topology{
+			Media:    media,
+			CPUScale: 1.8,
+			Assembly: AssemblyCluster,
+			Clients:  groups,
+			Servers: Servers{
+				Count: 1, Nfsds: nfsds, StripeDisks: disks, Presto: presto, Inodes: 2048,
+			},
+		},
+		Workload: Workload{Kind: KindLADDIS, LADDIS: &LADDISWorkload{
+			Files: 24, FileBlocks: 8, Procs: procs,
+			OfferedOpsPerSec: offeredPerClient, OfferedIsPerClient: true,
+			Measure: measure, Seed: seed,
+		}},
+	}
+}
+
+// BridgedCell is one segment-count point; the seed formula is the
+// recorded seedBase + 1000·segments.
+func BridgedCell(seedBase int64, segments int, gathering bool) Cell {
+	seed := seedBase + int64(segments*1000)
+	return Cell{
+		Label: fmt.Sprintf("seg%d-%s", segments, buildTag(gathering)),
+		Seed:  &seed, Segments: &segments, Gathering: &gathering,
+	}
+}
+
+// BridgedSweep appends the segment-count sweep to a Bridged base: for
+// each leaf count, the standard build then the gathering build (the
+// recorded order).
+func BridgedSweep(spec Spec, segmentCounts []int) Spec {
+	for _, n := range segmentCounts {
+		spec.Cells = append(spec.Cells,
+			BridgedCell(spec.Seed, n, false),
+			BridgedCell(spec.Seed, n, true))
+	}
+	return spec
+}
+
 // StreamCrash builds the crash/recovery durability spec: clients
 // streaming sequential writes through gathering servers that crash on the
 // given train, every acked write journaled and verified after recovery.

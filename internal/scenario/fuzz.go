@@ -316,6 +316,24 @@ func genSpec(rng *rand.Rand, run int) Spec {
 		},
 		Faults: Faults{CheckDurability: true},
 	}
+	// A third of the runs move onto a bridged fabric: a root core
+	// segment plus one or two leaf LANs, the whole client group placed
+	// on the first leaf, so every acked byte crosses the store-and-
+	// forward bridges — same invariants, longer datagram path.
+	if rng.Intn(3) == 0 {
+		leaves := 1 + rng.Intn(2)
+		media := []Medium{{Name: "core", Net: spec.Topology.Net}}
+		for i := 1; i <= leaves; i++ {
+			media = append(media, Medium{
+				Name:   fmt.Sprintf("lan%d", i),
+				Net:    []string{"ethernet", "fddi"}[rng.Intn(2)],
+				Uplink: "core",
+			})
+		}
+		spec.Topology.Net = ""
+		spec.Topology.Media = media
+		spec.Topology.Clients[0].Segment = "lan1"
+	}
 	// An occasional two-cell sweep exercises the per-cell reset path.
 	if rng.Intn(4) == 0 {
 		g, p := !spec.Topology.Servers.Gathering, spec.Topology.Servers.Presto
@@ -377,9 +395,15 @@ func genEvent(rng *rand.Rand, spec *Spec) FaultEvent {
 			At: at, Period: rngMS(rng, 200, 500),
 			Outage: rngMS(rng, 20, 120), Count: 1 + rng.Intn(2),
 		}
-		if rng.Intn(2) == 0 {
+		switch {
+		case len(spec.Topology.Media) > 1 && rng.Intn(3) == 0:
+			// Sever a whole leaf segment's uplink: every host on it
+			// partitions from the fabric at once.
+			seg := spec.Topology.Media[1+rng.Intn(len(spec.Topology.Media)-1)].Name
+			f.Segment = &seg
+		case rng.Intn(2) == 0:
 			f.Node = &node
-		} else {
+		default:
 			cli := rng.Intn(clients)
 			f.Client = &cli
 		}
@@ -482,6 +506,42 @@ func shrinkSpec(spec Spec, class string, budget int) (Spec, int) {
 					return false
 				}
 				s.Topology.Servers.Gathering = false
+				return true
+			},
+			// Collapse a bridged fabric back to the root's flat medium:
+			// placements cleared, segment-targeted outages dropped (they
+			// have no target without the fabric).
+			func(s *Spec) bool {
+				if len(s.Topology.Media) == 0 {
+					return false
+				}
+				net := s.Topology.Media[0].Net
+				for _, m := range s.Topology.Media {
+					if m.Uplink == "" {
+						net = m.Net
+						break
+					}
+				}
+				s.Topology.Net = net
+				s.Topology.Media = nil
+				s.Topology.Servers.Segment = ""
+				for i := range s.Topology.Clients {
+					s.Topology.Clients[i].Segment = ""
+				}
+				for i := range s.Topology.Servers.Nodes {
+					s.Topology.Servers.Nodes[i].Segment = nil
+				}
+				for i := range s.Cells {
+					s.Cells[i].Segments = nil
+				}
+				kept := s.Faults.Events[:0]
+				for _, ev := range s.Faults.Events {
+					if ev.Kind == FaultLinkOutage && ev.LinkOutage.Segment != nil {
+						continue
+					}
+					kept = append(kept, ev)
+				}
+				s.Faults.Events = kept
 				return true
 			},
 		} {

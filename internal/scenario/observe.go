@@ -12,6 +12,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/disk"
+	"repro/internal/netsim"
 	"repro/internal/nfsproto"
 	"repro/internal/nvram"
 	"repro/internal/obs"
@@ -31,6 +32,30 @@ import (
 //	rpcs_outstanding  client RPCs issued and not yet answered
 var probeColumns = []string{
 	"nfsd_queue", "cache_bufs", "nvram_dirty_pct", "disk_util_pct", "rpcs_outstanding",
+}
+
+// probeCols is the cell's probe catalog: the fixed columns, plus — for
+// bridged multi-segment topologies only — one windowed utilization
+// column per segment and one queue-depth column per uplink bridge, in
+// declaration order. Single-medium cells keep exactly the historical
+// header, so recorded probe CSVs never change shape.
+//
+//	seg_<name>_util_pct   segment medium busy over the sample window, percent
+//	bridge_<name>_queue   datagrams parked in the uplink bridge's output FIFOs
+func probeCols(rc *resolved) []string {
+	if len(rc.segments) == 0 {
+		return probeColumns
+	}
+	cols := append([]string(nil), probeColumns...)
+	for _, sg := range rc.segments {
+		cols = append(cols, "seg_"+sg.Name+"_util_pct")
+	}
+	for _, sg := range rc.segments {
+		if sg.Uplink != "" {
+			cols = append(cols, "bridge_"+sg.Name+"_queue")
+		}
+	}
+	return cols
 }
 
 // cellObs is one cell's live observability plane: the trace buffer and
@@ -63,7 +88,7 @@ func newCellObs(rc *resolved, capture obsCaptureFn) *cellObs {
 		ob.trace = obs.NewTrace(rc.label, o.TraceMaxEvents)
 	}
 	if o.Probes {
-		ob.series = obs.NewTimeSeries(rc.label, probeColumns...)
+		ob.series = obs.NewTimeSeries(rc.label, probeCols(rc)...)
 	}
 	if capture != nil {
 		capture(rc.label, ob)
@@ -157,6 +182,9 @@ type probeSources struct {
 	prestos func() []*nvram.Presto
 	disks   []*disk.Disk
 	clients []*client.Client
+	// fabric, when non-nil, appends the bridged-topology columns (see
+	// probeCols); nil keeps the historical five-column samples.
+	fabric *netsim.Fabric
 }
 
 // startProbes arms the periodic sampler: a self-rescheduling weak event
@@ -172,6 +200,14 @@ func (ob *cellObs) startProbes(s *sim.Sim, src probeSources) {
 	}
 	var lastBusy sim.Duration
 	var lastT sim.Time
+	var segNames []string
+	var bridges []*netsim.Bridge
+	var lastSegBusy []sim.Duration
+	if src.fabric != nil {
+		segNames = src.fabric.Names()
+		bridges = src.fabric.Bridges()
+		lastSegBusy = make([]sim.Duration, len(segNames))
+	}
 	var tick func()
 	tick = func() {
 		now := s.Now()
@@ -208,15 +244,31 @@ func (ob *cellObs) startProbes(s *sim.Sim, src probeSources) {
 		if window := now.Sub(lastT); window > 0 && len(src.disks) > 0 {
 			utilPct = 100 * float64(busy-lastBusy) / float64(int64(window)*int64(len(src.disks)))
 		}
+		window := now.Sub(lastT)
 		lastBusy, lastT = busy, now
-		ob.series.Sample(now,
-			float64(queue), float64(cache), dirtyPct, utilPct, float64(outst))
+		vals := []float64{float64(queue), float64(cache), dirtyPct, utilPct, float64(outst)}
+		for i, name := range segNames {
+			segBusy := src.fabric.Segment(name).MediumBusy()
+			segUtil := 0.0
+			if window > 0 {
+				segUtil = 100 * float64(segBusy-lastSegBusy[i]) / float64(window)
+			}
+			lastSegBusy[i] = segBusy
+			vals = append(vals, segUtil)
+		}
+		for _, br := range bridges {
+			depth := 0
+			for _, bp := range br.Ports {
+				depth += bp.QueueLen()
+			}
+			vals = append(vals, float64(depth))
+		}
+		ob.series.Sample(now, vals...)
 		if ob.trace != nil {
-			ob.trace.Counter("probes", "nfsd_queue", now, int64(queue))
-			ob.trace.Counter("probes", "cache_bufs", now, int64(cache))
-			ob.trace.Counter("probes", "nvram_dirty_pct", now, int64(dirtyPct))
-			ob.trace.Counter("probes", "disk_util_pct", now, int64(utilPct))
-			ob.trace.Counter("probes", "rpcs_outstanding", now, int64(outst))
+			cols := ob.series.Cols
+			for i, v := range vals {
+				ob.trace.Counter("probes", cols[i], now, int64(v))
+			}
 		}
 		s.AtWeak(ob.cfg.SampleEvery, tick)
 	}
@@ -241,6 +293,7 @@ func (ob *cellObs) installRig(r *rig.Rig) {
 		prestos: func() []*nvram.Presto { return []*nvram.Presto{r.Presto} },
 		disks:   r.Disks,
 		clients: r.Clients,
+		fabric:  r.Fabric,
 	})
 }
 
@@ -288,6 +341,7 @@ func (ob *cellObs) installCluster(c *cluster.Cluster) {
 		},
 		disks:   disks,
 		clients: c.Clients,
+		fabric:  c.Fabric,
 	})
 }
 

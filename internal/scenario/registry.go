@@ -25,6 +25,7 @@ func Registry() []Entry {
 		{"figure2", "Figure 2: SPEC SFS 1.0 LADDIS throughput/latency sweep", figure2},
 		{"figure3", "Figure 3: LADDIS sweep with Prestoserve", figure3},
 		{"scale", "Scale-out grid: 1/2/4 LADDIS clients x 1/2 sharded servers", scale},
+		{"bridged", "Bridged fabric: Ethernet client segments store-and-forwarded into one FDDI server core, swept over segment count", bridged},
 		{"crash", "Crash/recovery durability: acked-write audit across two server crashes (plain and Presto)", crash},
 		{"partialcrash", "Partial-cluster crash under LADDIS load: one of two shards crashes mid-measure (std vs gathering)", partialCrash},
 		{"flapstorm", "Flapping storm: staggered short-outage crash trains on both shards under sharded write streams, durability-checked", flapStorm},
@@ -101,6 +102,13 @@ func scale() Spec {
 		ScaleBase("scale", "Scale-out sweep: LADDIS clients x sharded servers, FDDI",
 			false, 250, 8, 16, 2, 24, 8, 4*sim.Second, 9494),
 		[]int{1, 2, 4}, []int{1, 2})
+}
+
+func bridged() Spec {
+	return BridgedSweep(
+		Bridged("bridged", "Bridged fabric sweep: LADDIS clients on Ethernet leaf segments behind store-and-forward bridges into one FDDI core shard",
+			false, 4, 2, 8, 16, 2, 250, 4*sim.Second, 7777),
+		[]int{1, 2, 4})
 }
 
 func crash() Spec {

@@ -49,6 +49,14 @@ type Metrics struct {
 	// that did not survive recovery (the NFS contract demands 0).
 	LostBytes int64 `json:"lost_bytes"`
 
+	// NetMaxUtilPct is the busiest segment's medium utilization over the
+	// cell's run and BridgeDrops the datagrams its bridges dropped (queue
+	// overflow, severed uplinks, unknown destinations). Both exist only on
+	// bridged multi-segment topologies; single-medium cells — including
+	// every recorded baseline — never report them.
+	NetMaxUtilPct float64 `json:"net_max_util_pct,omitempty"`
+	BridgeDrops   uint64  `json:"bridge_drops,omitempty"`
+
 	// P50..P999LatencyMs are streaming-histogram latency quantiles across
 	// all measured LADDIS operations. They exist only when the spec's
 	// Observe section enables histograms, are omitted from the default
@@ -64,6 +72,12 @@ type Metrics struct {
 // renders when Observe.Histograms is set.
 func QuantileColumns() []string {
 	return []string{"p50_latency_ms", "p90_latency_ms", "p99_latency_ms", "p999_latency_ms"}
+}
+
+// SegmentColumns lists the bridged-topology columns appended to renders
+// when the topology declares more than one media segment.
+func SegmentColumns() []string {
+	return []string{"net_max_util_pct", "bridge_drops"}
 }
 
 // MetricColumns lists the uniform column names in canonical order.
@@ -109,6 +123,10 @@ func (m Metrics) Column(name string) (float64, bool) {
 		return float64(m.Crashes), true
 	case "lost_bytes":
 		return float64(m.LostBytes), true
+	case "net_max_util_pct":
+		return m.NetMaxUtilPct, true
+	case "bridge_drops":
+		return float64(m.BridgeDrops), true
 	case "p50_latency_ms":
 		return m.P50LatencyMs, true
 	case "p90_latency_ms":
@@ -202,6 +220,12 @@ type CellResult struct {
 	// TraceLog is the raw event log behind TraceText.
 	TraceLog *trace.Log `json:"-"`
 
+	// Segments and Bridges are the bridged-fabric roll-up, in declaration
+	// order (multi-segment cells only): per-segment wire accounting and
+	// per-bridge forward/drop/queue counters.
+	Segments []SegmentStat `json:"segments,omitempty"`
+	Bridges  []BridgeStat  `json:"bridges,omitempty"`
+
 	// SimTime is the full simulated extent of the cell — setup, measured
 	// phase, fault recovery and audits — as read off the simulation clock
 	// when the cell quiesced (Elapsed covers the measured phase only).
@@ -220,6 +244,26 @@ type CellResult struct {
 	// (Observe cells only); nfsbench serializes them on demand.
 	Trace  *obs.Trace      `json:"-"`
 	Series *obs.TimeSeries `json:"-"`
+}
+
+// SegmentStat is one fabric segment's wire roll-up over the cell's run.
+type SegmentStat struct {
+	Name          string  `json:"name"`
+	UtilPct       float64 `json:"util_pct"`
+	Datagrams     uint64  `json:"datagrams"`
+	KBytes        uint64  `json:"kbytes"`
+	DropsLinkDown uint64  `json:"drops_link_down,omitempty"`
+	DropsNoDest   uint64  `json:"drops_no_dest,omitempty"`
+}
+
+// BridgeStat is one uplink bridge's roll-up, both ports summed.
+type BridgeStat struct {
+	Name           string `json:"name"`
+	Forwarded      uint64 `json:"forwarded"`
+	DropsQueueFull uint64 `json:"drops_queue_full,omitempty"`
+	DropsLinkDown  uint64 `json:"drops_link_down,omitempty"`
+	DropsNoRoute   uint64 `json:"drops_no_route,omitempty"`
+	PeakQueue      int    `json:"peak_queue,omitempty"`
 }
 
 // DistSummary is a histogram rendered to its headline numbers.
@@ -319,6 +363,9 @@ func (r *Result) selectedColumns() []string {
 		if r.Spec.Observe != nil && r.Spec.Observe.Histograms {
 			cols = append(cols, QuantileColumns()...)
 		}
+		if len(r.Spec.Topology.Media) > 1 {
+			cols = append(cols, SegmentColumns()...)
+		}
 		return cols
 	}
 	return r.Spec.Metrics
@@ -404,6 +451,25 @@ func (r *Result) Render() string {
 		if d := cell.GatherCommitMs; d != nil {
 			fmt.Fprintf(&b, "  commit ms mean=%.2f p50=%.2f p99=%.2f max=%.2f",
 				d.Mean, d.P50, d.P99, d.Max)
+		}
+		b.WriteString("\n")
+	}
+	for _, cell := range r.Cells {
+		if len(cell.Segments) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: segments", cell.Label)
+		for _, sg := range cell.Segments {
+			fmt.Fprintf(&b, " %s=%.1f%%/%ddg", sg.Name, sg.UtilPct, sg.Datagrams)
+		}
+		for _, br := range cell.Bridges {
+			fmt.Fprintf(&b, "  %s fwd=%d", br.Name, br.Forwarded)
+			if drops := br.DropsQueueFull + br.DropsLinkDown + br.DropsNoRoute; drops > 0 {
+				fmt.Fprintf(&b, " drops=%d", drops)
+			}
+			if br.PeakQueue > 0 {
+				fmt.Fprintf(&b, " peakq=%d", br.PeakQueue)
+			}
 		}
 		b.WriteString("\n")
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/netsim"
 	"repro/internal/nfsproto"
 	"repro/internal/nvram"
 	"repro/internal/rig"
@@ -148,6 +149,9 @@ func runCell(rc *resolved, capture obsCaptureFn) CellResult {
 func (r *resolved) rigConfig() rig.Config {
 	return rig.Config{
 		Net:            r.net,
+		Segments:       r.segments,
+		ServerSegment:  r.servers.Segment,
+		ClientSegment:  r.groups[0].Segment,
 		Presto:         r.servers.Presto,
 		Gathering:      r.servers.Gathering,
 		GatherOverride: r.servers.GatherOverride,
@@ -224,6 +228,7 @@ func runRigCell(rc *resolved, capture obsCaptureFn) CellResult {
 		cr.Retransmissions += cli.Retransmissions
 		cr.RebootsSeen += cli.RebootsSeen
 	}
+	collectFabric(&cr, r.Fabric)
 	cr.SimTime = sim.Duration(r.Sim.Now())
 	ob.finish(&cr)
 	return cr
@@ -542,9 +547,50 @@ func runClusterCell(rc *resolved, capture obsCaptureFn) CellResult {
 	}
 	cr.GatherBatch = summarize(&batch, 1)
 	cr.GatherCommitMs = summarize(&commit, 1e-3)
+	collectFabric(&cr, c.Fabric)
 	cr.SimTime = sim.Duration(c.Sim.Now())
 	ob.finish(&cr)
 	return cr
+}
+
+// collectFabric rolls the bridged fabric's wire and bridge counters into
+// the cell: per-segment utilization and traffic in declaration order,
+// per-bridge forward/drop/queue totals (ports summed), and the two
+// aggregate columns. No-op (all fields stay zero/omitted) without a
+// fabric, so single-segment cells keep their historical output bytes.
+func collectFabric(cr *CellResult, f *netsim.Fabric) {
+	if f == nil {
+		return
+	}
+	for _, name := range f.Names() {
+		n := f.Segment(name)
+		util := 100 * n.Utilization()
+		cr.Segments = append(cr.Segments, SegmentStat{
+			Name:          name,
+			UtilPct:       util,
+			Datagrams:     n.SentDatagrams,
+			KBytes:        n.SentBytes / 1024,
+			DropsLinkDown: n.DropsLinkDown,
+			DropsNoDest:   n.DropsNoDest,
+		})
+		if util > cr.NetMaxUtilPct {
+			cr.NetMaxUtilPct = util
+		}
+	}
+	for _, br := range f.Bridges() {
+		bs := BridgeStat{Name: br.Name}
+		for _, bp := range br.Ports {
+			bs.Forwarded += bp.Forwarded
+			bs.DropsQueueFull += bp.DropsQueueFull()
+			bs.DropsLinkDown += bp.DropsLinkDown()
+			bs.DropsNoRoute += bp.DropsNoRoute
+			if q := bp.PeakQueueLen(); q > bs.PeakQueue {
+				bs.PeakQueue = q
+			}
+		}
+		cr.BridgeDrops += bs.DropsQueueFull + bs.DropsLinkDown + bs.DropsNoRoute
+		cr.Bridges = append(cr.Bridges, bs)
+	}
 }
 
 // buildKind maps one validated spec event onto its engine implementation.
@@ -573,9 +619,12 @@ func buildKind(ev FaultEvent) fault.Kind {
 		k := fault.LinkOutage{
 			At: sim.Time(f.At), Period: f.Period, Outage: f.Outage, Count: f.Count,
 		}
-		if f.Client != nil {
+		switch {
+		case f.Client != nil:
 			k.TargetClient, k.Index = true, *f.Client
-		} else {
+		case f.Segment != nil:
+			k.Segment = *f.Segment
+		default:
 			k.Index = *f.Node
 		}
 		return k

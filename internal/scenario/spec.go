@@ -98,12 +98,15 @@ type Observe struct {
 // Topology declares the hardware: media, client groups and server shards.
 type Topology struct {
 	// Net selects the shared LAN: "ethernet" or "fddi". When Media is
-	// set, Net must be empty and Media[0] carries the medium instead.
+	// set, Net must be empty — the media list carries the medium kinds.
 	Net string `json:"net,omitempty"`
-	// Media optionally names the network segments. The schema admits
-	// several (per-group/per-shard placement is the roadmap's bridged-
-	// media direction); validation currently rejects more than one
-	// segment with ErrUnsupported until a bridge node exists.
+	// Media names the network segments. One segment behaves exactly like
+	// Net; with several, every non-root segment declares an Uplink and a
+	// dedicated store-and-forward bridge joins it to its parent, forming
+	// a tree rooted at the single segment without an uplink. Client
+	// groups and server shards are placed on segments by name (default:
+	// the root); cross-segment RPC traffic is forwarded through the
+	// bridges, paying per-hop queueing and serialization in sim time.
 	Media []Medium `json:"media,omitempty"`
 	// CPUScale divides every server CPU cost (the paper's FDDI tables
 	// ran on a ~1.8x faster DEC 3800). 0 means 1.0.
@@ -121,11 +124,22 @@ type Topology struct {
 	Assembly string `json:"assembly,omitempty"`
 }
 
-// Medium is one named network segment.
+// Medium is one named network segment of a (possibly bridged) topology.
 type Medium struct {
 	Name string `json:"name"`
 	// Net is the segment's medium kind: "ethernet" or "fddi".
 	Net string `json:"net"`
+	// Uplink names the parent segment this one bridges into. Exactly one
+	// segment — the root — leaves it empty; every other segment must
+	// name a declared segment, and the graph must be a tree.
+	Uplink string `json:"uplink,omitempty"`
+	// BridgeLatency is the uplink bridge's per-datagram store-and-forward
+	// processing time (default 50µs). Only meaningful with Uplink.
+	BridgeLatency sim.Duration `json:"bridge_latency_ns,omitempty"`
+	// BridgeQueue bounds each uplink-bridge port's output FIFO in
+	// datagrams — the drop budget (default 64). Only meaningful with
+	// Uplink.
+	BridgeQueue int `json:"bridge_queue,omitempty"`
 }
 
 // ClientGroup is one homogeneous set of client hosts.
@@ -137,6 +151,9 @@ type ClientGroup struct {
 	// MaxRetries overrides the RPC attempt bound (0 keeps the client
 	// default of 8); crash scenarios raise it to ride out outages.
 	MaxRetries int `json:"max_retries,omitempty"`
+	// Segment places the group's hosts on a named media segment
+	// (default: the root segment). Requires topology.media.
+	Segment string `json:"segment,omitempty"`
 }
 
 // Servers declares the server shards. Count homogeneous nodes by
@@ -158,6 +175,10 @@ type Servers struct {
 	Inodes int `json:"inodes,omitempty"`
 	// RecordReplies keeps per-server WRITE reply logs for crash audits.
 	RecordReplies bool `json:"record_replies,omitempty"`
+	// Segment places every shard on a named media segment (default: the
+	// root segment). Requires topology.media; node overrides deviate
+	// individual shards.
+	Segment string `json:"segment,omitempty"`
 	// Nodes optionally deviates individual shards (index-aligned; nil
 	// fields inherit). Per-node deviations require the cluster assembly.
 	Nodes []NodeOverride `json:"nodes,omitempty"`
@@ -165,10 +186,11 @@ type Servers struct {
 
 // NodeOverride is one shard's deviation from the homogeneous settings.
 type NodeOverride struct {
-	Presto      *bool `json:"presto,omitempty"`
-	StripeDisks *int  `json:"stripe_disks,omitempty"`
-	Nfsds       *int  `json:"nfsds,omitempty"`
-	Inodes      *int  `json:"inodes,omitempty"`
+	Presto      *bool   `json:"presto,omitempty"`
+	StripeDisks *int    `json:"stripe_disks,omitempty"`
+	Nfsds       *int    `json:"nfsds,omitempty"`
+	Inodes      *int    `json:"inodes,omitempty"`
+	Segment     *string `json:"segment,omitempty"`
 }
 
 // Workload kinds.
@@ -358,16 +380,20 @@ type ShardFailoverFault struct {
 	Takeover sim.Duration `json:"takeover_ns"`
 }
 
-// LinkOutageFault severs one host's network attachment for Count timed
-// windows of Outage, starting at At and spaced every Period. Exactly one
-// of Node (server shard) and Client (client host) selects the target.
+// LinkOutageFault severs a network attachment for Count timed windows
+// of Outage, starting at At and spaced every Period. Exactly one of
+// Node (server shard), Client (client host) and Segment (a bridged
+// segment's uplink port — partitioning the whole segment from the rest
+// of the fabric) selects the target. Segment targets require a
+// multi-segment topology.media and must name a non-root segment.
 type LinkOutageFault struct {
-	Node   *int         `json:"node,omitempty"`
-	Client *int         `json:"client,omitempty"`
-	At     sim.Duration `json:"at_ns"`
-	Period sim.Duration `json:"period_ns,omitempty"`
-	Outage sim.Duration `json:"outage_ns"`
-	Count  int          `json:"count"`
+	Node    *int         `json:"node,omitempty"`
+	Client  *int         `json:"client,omitempty"`
+	Segment *string      `json:"segment,omitempty"`
+	At      sim.Duration `json:"at_ns"`
+	Period  sim.Duration `json:"period_ns,omitempty"`
+	Outage  sim.Duration `json:"outage_ns"`
+	Count   int          `json:"count"`
 }
 
 // DiskReadErrorFault arms a media read error on server shard Node's
@@ -438,4 +464,8 @@ type Cell struct {
 	OfferedOpsPerSec *float64 `json:"offered_ops_per_sec,omitempty"`
 	// FileMB overrides the copy/stream transfer size.
 	FileMB *int `json:"file_mb,omitempty"`
+	// Segments keeps only the first N non-root media segments (in
+	// declaration order) and drops client groups placed on the removed
+	// ones — the segment-count sweep axis for bridged topologies.
+	Segments *int `json:"segments,omitempty"`
 }

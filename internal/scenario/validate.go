@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hw"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 )
 
@@ -62,6 +63,13 @@ type resolved struct {
 	servers  Servers
 	assembly string
 
+	// segments is the bridged-fabric build plan, nil for single-segment
+	// topologies (plain Net, or media with one segment — both take the
+	// historical one-network path, byte-identical to pre-bridge runs).
+	segments []netsim.SegmentSpec
+	rootSeg  string
+	segIndex map[string]int // segment name -> media index; nil without media
+
 	kind   string
 	copyW  CopyWorkload
 	laddis LADDISWorkload
@@ -94,6 +102,20 @@ func netParams(name string) (hw.NetParams, bool) {
 	return hw.NetParams{}, false
 }
 
+// knownMediaKinds lists the medium kinds netParams accepts, for error
+// messages.
+func knownMediaKinds() string { return `"ethernet", "fddi"` }
+
+// Bridged-media defaults applied at resolve time.
+const (
+	// DefaultBridgeLatency is the store-and-forward processing time of
+	// an uplink bridge when the medium declares none.
+	DefaultBridgeLatency = 50 * sim.Microsecond
+	// DefaultBridgeQueue is the per-port output FIFO bound (the drop
+	// budget) when the medium declares none.
+	DefaultBridgeQueue = 64
+)
+
 // resolve applies cell overrides and defaults to the base spec and
 // validates the result.
 func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
@@ -112,26 +134,47 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 		r.seed = *cell.Seed
 	}
 
-	// Medium.
+	// Medium. Net and Media are mutually exclusive; a media list of one
+	// segment is exactly Net, and several segments form a bridged tree.
 	netName := s.Topology.Net
-	if len(s.Topology.Media) > 0 {
-		if len(s.Topology.Media) > 1 {
-			return nil, invalid("topology.media",
-				"multiple network segments declared; bridging between media is not implemented yet (single segment only)")
+	media := s.Topology.Media
+	if len(media) > 0 && netName != "" {
+		return nil, invalid("topology.net",
+			"set either net or media, not both (media kinds: %s)", knownMediaKinds())
+	}
+	groups := append([]ClientGroup(nil), s.Topology.Clients...)
+	if cell.Segments != nil {
+		var err error
+		if media, groups, err = trimSegments(media, groups, *cell.Segments); err != nil {
+			return nil, err
 		}
-		if netName != "" {
-			return nil, invalid("topology.net", "set either net or media, not both")
+	}
+	if len(media) > 0 {
+		if err := r.resolveMedia(media); err != nil {
+			return nil, err
 		}
-		netName = s.Topology.Media[0].Net
+		// The single-network parameters (gather procrastination, legacy
+		// configs) follow the shards' default segment.
+		if err := r.checkSegment("topology.servers.segment", r.servers.Segment); err != nil {
+			return nil, err
+		}
+		serverSeg := r.servers.Segment
+		if serverSeg == "" {
+			serverSeg = r.rootSeg
+		}
+		netName = media[r.segIndex[serverSeg]].Net
+	} else if r.servers.Segment != "" {
+		return nil, invalid("topology.servers.segment",
+			"segment placement requires topology.media")
 	}
 	net, ok := netParams(netName)
 	if !ok {
-		return nil, invalid("topology.net", "unknown medium %q (want \"ethernet\" or \"fddi\")", netName)
+		return nil, invalid("topology.net", "unknown medium %q (want one of %s)", netName, knownMediaKinds())
 	}
 	r.net = net
 
 	// Client groups.
-	r.groups = append(r.groups, s.Topology.Clients...)
+	r.groups = groups
 	if len(r.groups) == 0 {
 		return nil, invalid("topology.clients", "no client groups declared")
 	}
@@ -148,6 +191,9 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 		}
 		if r.groups[gi].Biods < 0 || r.groups[gi].MaxRetries < 0 {
 			return nil, invalid(fmt.Sprintf("topology.clients[%d]", gi), "negative biods or max_retries")
+		}
+		if err := r.checkSegment(fmt.Sprintf("topology.clients[%d].segment", gi), r.groups[gi].Segment); err != nil {
+			return nil, err
 		}
 		r.nclients += r.groups[gi].Count
 	}
@@ -178,6 +224,15 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 			(o.Inodes != nil && *o.Inodes < 1) {
 			return nil, invalid(fmt.Sprintf("topology.servers.nodes[%d]", ni),
 				"node overrides must be positive when set")
+		}
+		if o.Segment != nil {
+			field := fmt.Sprintf("topology.servers.nodes[%d].segment", ni)
+			if *o.Segment == "" {
+				return nil, invalid(field, "per-node segment override must name a segment")
+			}
+			if err := r.checkSegment(field, *o.Segment); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -298,6 +353,154 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 	return r, nil
 }
 
+// checkSegment validates a placement reference: empty always means the
+// root and is fine; a name requires topology.media and must be declared.
+func (r *resolved) checkSegment(field, seg string) error {
+	if seg == "" {
+		return nil
+	}
+	if r.segIndex == nil {
+		return invalid(field, "segment placement requires topology.media")
+	}
+	if _, ok := r.segIndex[seg]; !ok {
+		return invalid(field, "unknown segment %q (declared: %s)", seg, r.segmentNames())
+	}
+	return nil
+}
+
+// segmentNames lists the declared segment names for error messages.
+func (r *resolved) segmentNames() string {
+	names := make([]string, 0, len(r.segIndex))
+	for i := 0; i < len(r.segIndex); i++ {
+		for n, idx := range r.segIndex {
+			if idx == i {
+				names = append(names, fmt.Sprintf("%q", n))
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// resolveMedia validates the segment list and, for multi-segment
+// topologies, builds the fabric plan: unique named segments of known
+// kinds, exactly one root, every uplink declared and acyclic, sane
+// bridge port/budget parameters.
+func (r *resolved) resolveMedia(media []Medium) error {
+	r.segIndex = make(map[string]int, len(media))
+	for i, m := range media {
+		field := fmt.Sprintf("topology.media[%d]", i)
+		if m.Name == "" {
+			return invalid(field, "segment needs a name")
+		}
+		if _, dup := r.segIndex[m.Name]; dup {
+			return invalid(field, "duplicate segment name %q", m.Name)
+		}
+		r.segIndex[m.Name] = i
+		if _, ok := netParams(m.Net); !ok {
+			return invalid(field, "unknown medium %q (want one of %s)", m.Net, knownMediaKinds())
+		}
+		if m.BridgeLatency < 0 {
+			return invalid(field, "bridge forward latency must not be negative")
+		}
+		if m.BridgeQueue < 0 {
+			return invalid(field, "bridge queue bound (the drop budget) must not be negative")
+		}
+	}
+	for i, m := range media {
+		field := fmt.Sprintf("topology.media[%d]", i)
+		if m.Uplink == "" {
+			if r.rootSeg != "" {
+				return invalid(field,
+					"segment %q has no uplink, but %q is already the root — an extra root is an orphan segment unreachable from any server",
+					m.Name, r.rootSeg)
+			}
+			r.rootSeg = m.Name
+			continue
+		}
+		if m.Uplink == m.Name {
+			return invalid(field, "segment %q uplinks to itself", m.Name)
+		}
+		if _, ok := r.segIndex[m.Uplink]; !ok {
+			return invalid(field, "uplink names unknown segment %q (declared: %s)", m.Uplink, r.segmentNames())
+		}
+	}
+	if r.rootSeg == "" {
+		return invalid("topology.media",
+			"no root segment: every segment declares an uplink, so the graph cycles and no segment can reach a server")
+	}
+	for i, m := range media {
+		hops := 0
+		for at := m.Name; at != r.rootSeg; at = media[r.segIndex[at]].Uplink {
+			if hops++; hops > len(media) {
+				return invalid(fmt.Sprintf("topology.media[%d]", i),
+					"segment %q cannot reach the root %q — an uplink cycle orphans it from every server", m.Name, r.rootSeg)
+			}
+		}
+	}
+	if len(media) == 1 {
+		// One segment is exactly the single shared medium: no fabric, no
+		// bridges, the historical network build.
+		return nil
+	}
+	for _, m := range media {
+		p, _ := netParams(m.Net)
+		lat, q := m.BridgeLatency, m.BridgeQueue
+		if lat == 0 {
+			lat = DefaultBridgeLatency
+		}
+		if q == 0 {
+			q = DefaultBridgeQueue
+		}
+		r.segments = append(r.segments, netsim.SegmentSpec{
+			Name:   m.Name,
+			Params: p,
+			Uplink: m.Uplink,
+			Bridge: netsim.BridgeParams{ForwardLatency: lat, QueueItems: q},
+		})
+	}
+	return nil
+}
+
+// trimSegments applies a cell's segment-count override: keep the root(s)
+// plus the first n non-root segments in declaration order, and drop
+// client groups placed on removed segments.
+func trimSegments(media []Medium, groups []ClientGroup, n int) ([]Medium, []ClientGroup, error) {
+	if len(media) < 2 {
+		return nil, nil, invalid("cells.segments",
+			"segment-count override requires a multi-segment topology.media")
+	}
+	children := 0
+	for _, m := range media {
+		if m.Uplink != "" {
+			children++
+		}
+	}
+	if n < 1 || n > children {
+		return nil, nil, invalid("cells.segments",
+			"segment count %d out of range (topology declares %d non-root segments)", n, children)
+	}
+	keep := make(map[string]bool, len(media))
+	var outMedia []Medium
+	kept := 0
+	for _, m := range media {
+		if m.Uplink != "" {
+			if kept >= n {
+				continue
+			}
+			kept++
+		}
+		keep[m.Name] = true
+		outMedia = append(outMedia, m)
+	}
+	var outGroups []ClientGroup
+	for _, g := range groups {
+		if g.Segment == "" || keep[g.Segment] {
+			outGroups = append(outGroups, g)
+		}
+	}
+	return outMedia, outGroups, nil
+}
+
 // needsCluster reports why the cell requires the cluster assembly ("" if
 // the single-server rig suffices).
 func (r *resolved) needsCluster() string {
@@ -356,6 +559,7 @@ func (r *resolved) validateFaults() error {
 
 	serverWin := map[int][]faultWindow{}
 	clientWin := map[int][]faultWindow{}
+	segWin := map[string][]faultWindow{}
 	type adoption struct {
 		to    int
 		at    sim.Duration
@@ -466,8 +670,14 @@ func (r *resolved) validateFaults() error {
 			adoptions = append(adoptions, adoption{f.To, f.At, field})
 		case FaultLinkOutage:
 			f := ev.LinkOutage
-			if (f.Node == nil) == (f.Client == nil) {
-				return invalid(field, "exactly one of node and client selects the outage target")
+			targets := 0
+			for _, set := range []bool{f.Node != nil, f.Client != nil, f.Segment != nil} {
+				if set {
+					targets++
+				}
+			}
+			if targets != 1 {
+				return invalid(field, "exactly one of node, client and segment selects the outage target")
 			}
 			if f.Count < 1 {
 				return invalid(field, "outage count must be at least 1")
@@ -480,6 +690,26 @@ func (r *resolved) validateFaults() error {
 			}
 			if f.Count > 1 && f.Period <= 0 {
 				return invalid(field, "repeating trains need a positive period")
+			}
+			if f.Segment != nil {
+				seg := *f.Segment
+				if len(r.segments) == 0 {
+					return invalid(field, "segment outages require a multi-segment topology.media")
+				}
+				if seg == "" {
+					return invalid(field, "segment target must name a segment (declared: %s)", r.segmentNames())
+				}
+				if err := r.checkSegment(field, seg); err != nil {
+					return err
+				}
+				if seg == r.rootSeg {
+					return invalid(field, "segment %q is the root and has no uplink to sever", seg)
+				}
+				for k := 0; k < f.Count; k++ {
+					at := f.At + sim.Duration(k)*f.Period
+					segWin[seg] = append(segWin[seg], faultWindow{at, at + f.Outage, field, false})
+				}
+				break
 			}
 			win := serverWin
 			idx, limit, what := 0, r.servers.Count, "node"
@@ -586,6 +816,18 @@ func (r *resolved) validateFaults() error {
 							"overlapping fault windows on target %d (%s [%v,%v] and %s [%v,%v])",
 							target, a.field, a.from, a.to, b.field, b.from, b.to)
 					}
+				}
+			}
+		}
+	}
+	for seg, ws := range segWin {
+		for i := range ws {
+			for j := i + 1; j < len(ws); j++ {
+				a, b := ws[i], ws[j]
+				if a.from < b.to && b.from < a.to {
+					return invalid(a.field,
+						"overlapping outage windows on segment %q (%s [%v,%v] and %s [%v,%v])",
+						seg, a.field, a.from, a.to, b.field, b.from, b.to)
 				}
 			}
 		}
@@ -726,10 +968,13 @@ func (r *resolved) clusterConfig() cluster.Config {
 		Seed:           r.seed,
 		Inodes:         r.servers.Inodes,
 		RecordReplies:  r.servers.RecordReplies,
+		Segments:       r.segments,
+		ServerSegment:  r.servers.Segment,
 	}
 	for _, o := range r.servers.Nodes {
 		cfg.Nodes = append(cfg.Nodes, cluster.NodeConfig{
 			Presto: o.Presto, StripeDisks: o.StripeDisks, NumNfsds: o.Nfsds, Inodes: o.Inodes,
+			Segment: o.Segment,
 		})
 	}
 	if len(r.groups) == 1 {
@@ -737,6 +982,7 @@ func (r *resolved) clusterConfig() cluster.Config {
 		cfg.Clients = r.groups[0].Count
 		cfg.Biods = r.groups[0].Biods
 		cfg.ClientRetries = r.groups[0].MaxRetries
+		cfg.ClientSegment = r.groups[0].Segment
 	} else {
 		for _, g := range r.groups {
 			cfg.ClientGroups = append(cfg.ClientGroups, cluster.ClientGroup(g))

@@ -5,8 +5,6 @@ package stats
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -108,57 +106,58 @@ func (u *Utilization) Percent(now sim.Time) float64 {
 	return 100 * float64(u.Busy(now)-u.markBusy) / float64(elapsed)
 }
 
-// Latency records a set of response-time samples.
+// Latency streams response-time samples into constant memory: an exact
+// sum and count back the mean, an exact running max backs Max, and a
+// log-scale Histogram backs percentile estimates. No per-sample record
+// is kept, so 100x10 sweep grids and thousand-seed fuzz campaigns hold
+// the same memory per worker as a single cell.
 type Latency struct {
-	samples []sim.Duration
-	sum     sim.Duration
+	n    int64
+	sum  sim.Duration
+	max  sim.Duration
+	hist Histogram
 }
 
-// Record adds one sample.
+// Record adds one sample. Negative durations clamp to zero.
 func (l *Latency) Record(d sim.Duration) {
-	l.samples = append(l.samples, d)
+	if d < 0 {
+		d = 0
+	}
+	l.n++
 	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	l.hist.Record(int64(d))
 }
 
 // N reports the number of samples.
-func (l *Latency) N() int { return len(l.samples) }
+func (l *Latency) N() int { return int(l.n) }
 
-// Mean reports the average sample, or 0 with no samples.
+// Mean reports the average sample, or 0 with no samples. It is exact
+// (integer sum over count), not a histogram estimate.
 func (l *Latency) Mean() sim.Duration {
-	if len(l.samples) == 0 {
+	if l.n == 0 {
 		return 0
 	}
-	return l.sum / sim.Duration(len(l.samples))
+	return l.sum / sim.Duration(l.n)
 }
 
-// Percentile reports the p-th percentile (0 < p <= 100) by nearest-rank.
+// Percentile estimates the p-th percentile (0 < p <= 100) from the
+// histogram: linear interpolation within the covering log-scale bucket,
+// clamped to the observed min/max.
 func (l *Latency) Percentile(p float64) sim.Duration {
-	if len(l.samples) == 0 {
+	if l.n == 0 {
 		return 0
 	}
-	sorted := make([]sim.Duration, len(l.samples))
-	copy(sorted, l.samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
+	return sim.Duration(l.hist.Quantile(p / 100))
 }
 
-// Max reports the largest sample.
-func (l *Latency) Max() sim.Duration {
-	var m sim.Duration
-	for _, s := range l.samples {
-		if s > m {
-			m = s
-		}
-	}
-	return m
-}
+// Max reports the largest sample, exactly.
+func (l *Latency) Max() sim.Duration { return l.max }
+
+// Hist exposes the underlying histogram for merging into roll-ups.
+func (l *Latency) Hist() *Histogram { return &l.hist }
 
 // Table is a simple fixed-column text table matching the paper's layout:
 // one row label column followed by one column per parameter value.

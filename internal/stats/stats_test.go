@@ -82,11 +82,35 @@ func TestLatencyStats(t *testing.T) {
 	if got := l.Max(); got != 100*sim.Millisecond {
 		t.Fatalf("Max = %v", got)
 	}
-	if got := l.Percentile(50); got != 30*sim.Millisecond {
-		t.Fatalf("P50 = %v", got)
+	// Percentiles are histogram estimates: bounded by the observed range
+	// and ordered, not exact order statistics.
+	p50, p100 := l.Percentile(50), l.Percentile(100)
+	if p50 < 10*sim.Millisecond || p50 > 40*sim.Millisecond {
+		t.Fatalf("P50 = %v, want within [10ms, 40ms]", p50)
 	}
-	if got := l.Percentile(100); got != 100*sim.Millisecond {
-		t.Fatalf("P100 = %v", got)
+	if p100 != 100*sim.Millisecond {
+		t.Fatalf("P100 = %v, want the clamped max", p100)
+	}
+	if p50 > p100 {
+		t.Fatalf("percentiles not monotone: P50 %v > P100 %v", p50, p100)
+	}
+}
+
+// TestLatencyConstantMemory is the streaming contract: a million samples
+// must not grow the recorder — it has no per-sample storage to grow.
+func TestLatencyConstantMemory(t *testing.T) {
+	var l Latency
+	for i := 0; i < 1_000_000; i++ {
+		l.Record(sim.Duration(i % 50000))
+	}
+	if l.N() != 1_000_000 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if l.Hist().Count != 1_000_000 {
+		t.Fatalf("histogram count = %d", l.Hist().Count)
+	}
+	if m := l.Mean(); m != sim.Duration(24999) && m != sim.Duration(25000) {
+		t.Fatalf("Mean = %v", m)
 	}
 }
 
