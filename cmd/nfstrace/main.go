@@ -8,20 +8,43 @@
 //	nfstrace -gather    # gathering server only
 //	nfstrace -standard  # standard server only
 //	nfstrace -biods 7
+//	nfstrace -capture ops.json   # save the client op timeline as a
+//	                             # replayable capture (openload replay)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	gatherOnly := flag.Bool("gather", false, "show only the gathering server")
 	standardOnly := flag.Bool("standard", false, "show only the standard server")
 	biods := flag.Int("biods", 4, "client biod count")
+	capture := flag.String("capture", "",
+		"write the client op timeline to this file as a replayable capture "+
+			"(JSON; replays via the scenario engine's openload workload)")
 	flag.Parse()
+
+	if *capture != "" {
+		cfg := experiments.DefaultFigure1(*gatherOnly)
+		cfg.Biods = *biods
+		tr, err := experiments.CaptureFigure1(cfg)
+		if err == nil {
+			err = trace.SaveOps(*capture, tr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nfstrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("captured %d ops over %v to %s (%s)\n",
+			len(tr.Ops), tr.Duration(), *capture, tr.Name)
+		return
+	}
 
 	show := func(gathering bool) {
 		cfg := experiments.DefaultFigure1(gathering)

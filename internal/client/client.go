@@ -84,6 +84,9 @@ type Client struct {
 	// Counters.
 	Retransmissions uint64
 	Calls           uint64
+	// Timeouts counts calls that exhausted every retransmission attempt
+	// and returned ErrTimeout — the storm signature of sustained overload.
+	Timeouts uint64
 	WriteCounter    stats.Counter
 	WriteLatency    stats.Latency
 	// RebootsSeen counts server boot-verifier changes observed in replies.
@@ -378,6 +381,7 @@ func (c *Client) finishCall(p *sim.Proc, proc nfsproto.Proc, xid uint32, fh nfsp
 		}
 	}
 	c.lastAttempts = tries
+	c.Timeouts++
 	if c.OnRPC != nil {
 		c.OnRPC(proc, xid, issued, tries, false)
 	}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -35,4 +38,44 @@ func (cfg Figure1Config) Scenario() scenario.Spec {
 func RunFigure1(cfg Figure1Config) (string, *trace.Log) {
 	res := scenario.MustRun(cfg.Scenario())
 	return res.Cells[0].TraceText, res.Cells[0].TraceLog
+}
+
+// CaptureFigure1 runs the Figure-1 scenario and converts its client-lane
+// write sends into a replayable op capture: each "8K Write off=NK ->"
+// event becomes one record at its recorded instant, relative to the
+// first send. The capture replays through the scenario engine's openload
+// workload, re-offering the exact Figure-1 write timeline — same
+// inter-arrival gaps — against any rig.
+func CaptureFigure1(cfg Figure1Config) (*trace.OpTrace, error) {
+	_, log := RunFigure1(cfg)
+	name := "figure1-standard"
+	if cfg.Gathering {
+		name = "figure1-gathering"
+	}
+	tr := &trace.OpTrace{Name: name}
+	var first sim.Time
+	for _, e := range log.Events {
+		if e.Lane != "client" {
+			continue
+		}
+		var offKB int
+		if _, err := fmt.Sscanf(e.Label, "8K Write off=%dK ->", &offKB); err != nil {
+			continue
+		}
+		if len(tr.Ops) == 0 {
+			first = e.T
+		}
+		tr.Ops = append(tr.Ops, trace.OpRecord{
+			At:   e.T.Sub(first),
+			Op:   "write",
+			File: 0,
+			Off:  uint32(offKB) * 1024,
+			N:    8 * 1024,
+		})
+	}
+	if len(tr.Ops) == 0 {
+		return nil, fmt.Errorf("experiments: figure-1 log has no client write sends to capture")
+	}
+	tr.Sort()
+	return tr, nil
 }

@@ -1,0 +1,532 @@
+// Package openload is the open-loop load-generation subsystem: arrival
+// processes emit operations at a target offered rate regardless of
+// completions, so a server can be driven past saturation and the
+// overload regime measured honestly — queue growth, shed and expired
+// arrivals, timeout-driven retransmission storms — instead of the
+// closed-loop generators' silent self-throttling.
+//
+// Three pieces compose a generator:
+//
+//   - an Arrival process (fixed-rate, Poisson, or bursty on/off
+//     MMPP-style), seed-driven and deterministic;
+//   - a Population — the per-cell file set, built once and shared by
+//     every client, with flat or Zipf-skewed target selection;
+//   - an admission path: each arrival claims a slot from a bounded
+//     client.IssueWindow without blocking; when the window is full the
+//     arrival waits in a bounded backlog queue, and when the backlog is
+//     full it is shed. Dequeued arrivals older than a deadline expire
+//     unissued. Latency is measured from the arrival instant, so queue
+//     wait is part of every reported percentile.
+//
+// A captured op timeline (trace.OpTrace) replays through the same
+// admission path at recorded or speed-scaled instants.
+package openload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/nfsproto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Arrival kinds (the spec-level vocabulary).
+const (
+	ArrivalFixed   = "fixed"
+	ArrivalPoisson = "poisson"
+	ArrivalBursty  = "bursty"
+)
+
+// Arrival generates deterministic inter-arrival gaps.
+type Arrival interface {
+	// First returns the wait before the first arrival (fixed-rate
+	// processes use a seeded uniform phase so sub-1-op populations of
+	// many clients still offer the aggregate rate).
+	First(rng *rand.Rand) sim.Duration
+	// Gap returns the wait between consecutive arrivals.
+	Gap(rng *rand.Rand) sim.Duration
+}
+
+type fixedArrival struct{ gap float64 }
+
+func (a fixedArrival) First(rng *rand.Rand) sim.Duration { return sim.Duration(rng.Float64() * a.gap) }
+func (a fixedArrival) Gap(*rand.Rand) sim.Duration       { return sim.Duration(a.gap) }
+
+type poissonArrival struct{ mean float64 }
+
+func (a poissonArrival) First(rng *rand.Rand) sim.Duration { return a.Gap(rng) }
+func (a poissonArrival) Gap(rng *rand.Rand) sim.Duration {
+	return sim.Duration(rng.ExpFloat64() * a.mean)
+}
+
+// burstyArrival is an on/off MMPP-style process: exponential on and off
+// dwell times; while "on", arrivals are Poisson at a hot rate scaled so
+// the long-run average still meets the target.
+type burstyArrival struct {
+	hotMean float64 // mean inter-arrival gap while on, ns
+	onMean  float64 // mean on dwell, ns
+	offMean float64 // mean off dwell, ns
+	onLeft  float64 // remaining budget of the current on period, ns
+}
+
+func (a *burstyArrival) First(rng *rand.Rand) sim.Duration { return a.Gap(rng) }
+
+func (a *burstyArrival) Gap(rng *rand.Rand) sim.Duration {
+	pause := 0.0
+	for {
+		if a.onLeft <= 0 {
+			pause += rng.ExpFloat64() * a.offMean
+			a.onLeft = rng.ExpFloat64() * a.onMean
+		}
+		g := rng.ExpFloat64() * a.hotMean
+		if g <= a.onLeft {
+			a.onLeft -= g
+			return sim.Duration(pause + g)
+		}
+		pause += a.onLeft
+		a.onLeft = 0
+	}
+}
+
+// NewArrival builds the named process for a per-client rate in ops/s.
+// burstOn/burstOff parameterize "bursty" (mean dwell times).
+func NewArrival(kind string, rate float64, burstOn, burstOff sim.Duration) (Arrival, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("openload: arrival rate must be > 0, got %g", rate)
+	}
+	gap := float64(sim.Second) / rate
+	switch kind {
+	case ArrivalFixed, "":
+		return fixedArrival{gap: gap}, nil
+	case ArrivalPoisson:
+		return poissonArrival{mean: gap}, nil
+	case ArrivalBursty:
+		on, off := float64(burstOn), float64(burstOff)
+		if on <= 0 {
+			on = 200 * float64(sim.Millisecond)
+		}
+		if off <= 0 {
+			off = 200 * float64(sim.Millisecond)
+		}
+		// Hot-rate scaling: arrivals only flow for on/(on+off) of the
+		// time, so the on-period rate is raised to keep the average.
+		return &burstyArrival{hotMean: gap * on / (on + off), onMean: on, offMean: off}, nil
+	default:
+		return nil, fmt.Errorf("openload: unknown arrival kind %q", kind)
+	}
+}
+
+// Population kinds.
+const (
+	PopFlat = "flat"
+	PopZipf = "zipf"
+)
+
+// Population is the shared per-cell file set: built once (by one
+// client) and used by every generator, with a pick distribution over
+// the files. Names and placement are deterministic, so every cell with
+// the same spec sees the same population.
+type Population struct {
+	Names  []string
+	Files  []nfsproto.FH
+	Roots  []nfsproto.FH // shard roots; placement by client.ShardIndex
+	Blocks int           // file size in 8K blocks
+	cdf    []float64     // cumulative pick weights; nil = flat
+	built  bool
+}
+
+// NewPopulation describes a population of n files of blocks 8K blocks
+// each, skewed by kind ("flat" or "zipf" with exponent s; s <= 0 means
+// 1.1). Build must run before any Pick target is used.
+func NewPopulation(n, blocks int, kind string, s float64, roots []nfsproto.FH) (*Population, error) {
+	if n <= 0 {
+		n = 64
+	}
+	if blocks <= 0 {
+		blocks = 4
+	}
+	p := &Population{
+		Names:  make([]string, n),
+		Files:  make([]nfsproto.FH, n),
+		Roots:  roots,
+		Blocks: blocks,
+	}
+	for i := range p.Names {
+		p.Names[i] = fmt.Sprintf("ol-%d", i)
+	}
+	switch kind {
+	case PopFlat, "":
+	case PopZipf:
+		if s <= 0 {
+			s = 1.1
+		}
+		p.cdf = make([]float64, n)
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			acc += 1 / math.Pow(float64(i+1), s)
+			p.cdf[i] = acc
+		}
+		for i := range p.cdf {
+			p.cdf[i] /= acc
+		}
+	default:
+		return nil, fmt.Errorf("openload: unknown population kind %q", kind)
+	}
+	return p, nil
+}
+
+// rootFor places name on its shard root (the cluster-wide placement
+// function, shared with the closed-loop working sets).
+func (p *Population) rootFor(name string) nfsproto.FH {
+	if len(p.Roots) == 1 {
+		return p.Roots[0]
+	}
+	return p.Roots[client.ShardIndex(name, len(p.Roots))]
+}
+
+// Build creates and fills the file set through cli (unmeasured; run it
+// once per cell before the generators start).
+func (p *Population) Build(q *sim.Proc, cli *client.Client) error {
+	for i, name := range p.Names {
+		cres, err := cli.Create(q, p.rootFor(name), name, 0644)
+		if err != nil || cres.Status != nfsproto.OK {
+			return fmt.Errorf("openload: create %s: %v %v", name, err, cres)
+		}
+		fh := cres.File // copy: cres is client scratch, dead at the next RPC
+		for b := 0; b < p.Blocks; b++ {
+			buf := cli.GetWriteBuf()
+			client.FillPattern(buf.Data(), uint32(b*nfsproto.MaxData))
+			if err := cli.WriteSyncBufRelease(q, fh, uint32(b*nfsproto.MaxData), buf, nfsproto.MaxData); err != nil {
+				return fmt.Errorf("openload: fill %s: %w", name, err)
+			}
+		}
+		p.Files[i] = fh
+	}
+	p.built = true
+	return nil
+}
+
+// Pick selects a file index per the distribution.
+func (p *Population) Pick(rng *rand.Rand) int {
+	if p.cdf == nil {
+		return rng.Intn(len(p.Files))
+	}
+	u := rng.Float64()
+	return sort.SearchFloat64s(p.cdf, u)
+}
+
+// Config parameterizes one client's open-loop generator.
+type Config struct {
+	// Arrival is the process kind; Rate the per-client offered ops/s.
+	Arrival string
+	Rate    float64
+	// BurstOn/BurstOff are the bursty process's mean dwell times.
+	BurstOn  sim.Duration
+	BurstOff sim.Duration
+	// Mix is the op mix (zero value means the LADDIS mix).
+	Mix workload.Mix
+	// Window is the admission window (max ops in flight; default 8).
+	Window int
+	// QueueCap bounds the backlog (default 4x Window).
+	QueueCap int
+	// Deadline expires backlogged arrivals at dequeue (0 = never).
+	Deadline sim.Duration
+	// Measure bounds the arrival phase.
+	Measure sim.Duration
+	// Seed drives this generator's op/file/gap draws.
+	Seed int64
+	// Replay substitutes a captured timeline for the synthetic process;
+	// Speed scales its clock (0 means 1x). Arrival/Rate/Mix are ignored.
+	Replay      *trace.OpTrace
+	ReplaySpeed float64
+}
+
+// Result is one generator's honest accounting of an open-loop run.
+type Result struct {
+	// Offered counts arrivals emitted (admitted, backlogged or shed).
+	Offered uint64
+	// Completed counts operations actually issued and finished
+	// (successfully or with an RPC error).
+	Completed uint64
+	// Errors counts completed operations that returned an error.
+	Errors int
+	// Shed counts arrivals dropped because the backlog was full.
+	Shed uint64
+	// Expired counts backlogged arrivals dequeued past the deadline and
+	// never issued.
+	Expired uint64
+	// PeakQueue is the backlog high-water mark; PeakInFlight the
+	// admission window's.
+	PeakQueue    int
+	PeakInFlight int
+	// Lat streams arrival-to-completion latency (queue wait + service)
+	// for successful ops into constant memory (mean/max/percentiles).
+	Lat   stats.Latency
+	PerOp map[string]int
+}
+
+// task is one admitted arrival.
+type task struct {
+	at   sim.Time
+	op   workload.Op
+	file int
+	off  uint32
+}
+
+// Gen is one client's open-loop generator.
+type Gen struct {
+	cfg     Config
+	cli     *client.Client
+	pop     *Population
+	win     *client.IssueWindow
+	backlog *sim.Queue[task]
+	rng     *rand.Rand
+	res     Result
+
+	scratch nfsproto.FH
+	seq     int
+	end     sim.Time
+	active  int
+	done    sim.Cond
+}
+
+// NewGen builds a generator bound to one client over the shared
+// population.
+func NewGen(cli *client.Client, pop *Population, cfg Config) *Gen {
+	if cfg.Mix == (workload.Mix{}) {
+		cfg.Mix = workload.LADDISMix()
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Window
+	}
+	return &Gen{cfg: cfg, cli: cli, pop: pop, res: Result{PerOp: make(map[string]int)}}
+}
+
+// Setup creates the generator's private scratch directory (create and
+// remove ops need a namespace that does not collide across clients).
+// The shared population must already be built.
+func (g *Gen) Setup(p *sim.Proc) error {
+	sname := "olscratch-" + g.cli.Name()
+	mres, err := g.cli.Mkdir(p, g.pop.rootFor(sname), sname, 0755)
+	if err != nil || mres.Status != nfsproto.OK {
+		return fmt.Errorf("openload: scratch mkdir: %v %v", err, mres)
+	}
+	g.scratch = mres.File
+	return nil
+}
+
+// Run emits arrivals until Measure elapses (or the replay timeline
+// ends), waits for in-flight and backlogged work to drain, and returns
+// the accounting. The caller's process blocks for the duration.
+func (g *Gen) Run(p *sim.Proc) (Result, error) {
+	s := p.Sim()
+	g.rng = rand.New(rand.NewSource(g.cfg.Seed))
+	g.win = client.NewIssueWindow(g.cfg.Window)
+	g.backlog = sim.NewQueue[task](s, g.cfg.QueueCap)
+	g.done.Init(s)
+	start := s.Now()
+	g.end = start.Add(g.cfg.Measure)
+
+	if g.cfg.Replay != nil {
+		g.replayArrivals(p, start)
+	} else {
+		arr, err := NewArrival(g.cfg.Arrival, g.cfg.Rate, g.cfg.BurstOn, g.cfg.BurstOff)
+		if err != nil {
+			return Result{}, err
+		}
+		g.syntheticArrivals(p, arr)
+	}
+	// Drain: every backlogged arrival is either executed or expired by
+	// the op processes before they release their window slots.
+	for g.active > 0 {
+		g.done.Wait(p)
+	}
+	g.res.PeakQueue = g.backlog.PeakLen()
+	g.res.PeakInFlight = g.win.Peak()
+	return g.res, nil
+}
+
+// InFlight reports operations currently holding admission slots (the
+// observability plane's probe; zero before Run starts).
+func (g *Gen) InFlight() int {
+	if g.win == nil {
+		return 0
+	}
+	return g.win.InFlight()
+}
+
+// QueueLen reports the current backlog depth (zero before Run starts).
+func (g *Gen) QueueLen() int {
+	if g.backlog == nil {
+		return 0
+	}
+	return g.backlog.Len()
+}
+
+// Counters reports (offered, shed) so far, for probes.
+func (g *Gen) Counters() (offered, shed uint64) { return g.res.Offered, g.res.Shed }
+
+// syntheticArrivals emits mix-driven arrivals on the arrival process's
+// clock until the measure window closes.
+func (g *Gen) syntheticArrivals(p *sim.Proc, arr Arrival) {
+	for gap := arr.First(g.rng); ; gap = arr.Gap(g.rng) {
+		now := p.Now()
+		if now.Add(gap) >= g.end {
+			// The next arrival falls past the window; advance to the
+			// boundary so the cell's quiesce stays tight.
+			if left := g.end.Sub(now); left > 0 {
+				p.Sleep(left)
+			}
+			return
+		}
+		if gap > 0 {
+			p.Sleep(gap)
+		}
+		g.admit(p, g.nextTask(p.Now()))
+	}
+}
+
+// replayArrivals re-emits a captured timeline at recorded (or
+// speed-scaled) instants through the same admission path.
+func (g *Gen) replayArrivals(p *sim.Proc, start sim.Time) {
+	speed := g.cfg.ReplaySpeed
+	if speed <= 0 {
+		speed = 1
+	}
+	for _, rec := range g.cfg.Replay.Ops {
+		at := start.Add(sim.Duration(float64(rec.At) / speed))
+		if g.cfg.Measure > 0 && at >= g.end {
+			return
+		}
+		if wait := at.Sub(p.Now()); wait > 0 {
+			p.Sleep(wait)
+		}
+		op, ok := workload.OpByName(rec.Op)
+		if !ok {
+			op = workload.OpGetattr // unknown names degrade to the cheapest attr op
+		}
+		g.admit(p, task{at: p.Now(), op: op, file: rec.File % len(g.pop.Files), off: rec.Off})
+	}
+}
+
+// nextTask draws one synthetic arrival: op from the mix, file from the
+// population, offset within the file.
+func (g *Gen) nextTask(now sim.Time) task {
+	r := g.rng.Intn(1 << 20)
+	acc, op := 0, workload.OpLookup
+	for i, pct := 0, r%100; i < workload.Ops(); i++ {
+		acc += g.cfg.Mix[i]
+		if pct < acc {
+			op = workload.Op(i)
+			break
+		}
+	}
+	return task{
+		at:   now,
+		op:   op,
+		file: g.pop.Pick(g.rng),
+		off:  uint32((r/100)%g.pop.Blocks) * nfsproto.MaxData,
+	}
+}
+
+// admit is the open-loop admission decision at one arrival instant:
+// claim a window slot without blocking, else backlog, else shed. It
+// never delays the arrival clock.
+func (g *Gen) admit(p *sim.Proc, t task) {
+	g.res.Offered++
+	if g.win.TryAcquire() {
+		g.dispatch(p.Sim(), t)
+	} else if !g.backlog.Put(t) {
+		g.res.Shed++
+	}
+}
+
+// dispatch runs one admitted task on its own process; after completing
+// it the process keeps its window slot and chains through the backlog
+// until the backlog is empty, then releases.
+func (g *Gen) dispatch(s *sim.Sim, t task) {
+	g.active++
+	s.Spawn("openload-"+g.cli.Name(), func(q *sim.Proc) {
+		for {
+			g.exec(q, t)
+			nt, ok := g.nextLive(q)
+			if !ok {
+				break
+			}
+			t = nt
+		}
+		g.win.Release()
+		g.active--
+		if g.active == 0 {
+			g.done.Broadcast()
+		}
+	})
+}
+
+// nextLive pulls backlogged arrivals, expiring the stale ones.
+func (g *Gen) nextLive(q *sim.Proc) (task, bool) {
+	for {
+		t, ok := g.backlog.TryGet()
+		if !ok {
+			return task{}, false
+		}
+		if g.cfg.Deadline > 0 && q.Now().Sub(t.at) > g.cfg.Deadline {
+			g.res.Expired++
+			continue
+		}
+		return t, true
+	}
+}
+
+// exec performs one operation and records arrival-to-completion latency.
+func (g *Gen) exec(q *sim.Proc, t task) {
+	fh := g.pop.Files[t.file]
+	var err error
+	switch t.op {
+	case workload.OpLookup:
+		name := g.pop.Names[t.file]
+		_, err = g.cli.Lookup(q, g.pop.rootFor(name), name)
+	case workload.OpRead:
+		_, err = g.cli.Read(q, fh, t.off, nfsproto.MaxData)
+	case workload.OpWrite:
+		buf := g.cli.GetWriteBuf()
+		client.FillPattern(buf.Data(), t.off)
+		err = g.cli.WriteSyncBufRelease(q, fh, t.off, buf, nfsproto.MaxData)
+	case workload.OpGetattr:
+		_, err = g.cli.Getattr(q, fh)
+	case workload.OpReaddir:
+		_, err = g.cli.Readdir(q, g.pop.Roots[t.file%len(g.pop.Roots)], 0, 512)
+	case workload.OpCreate:
+		g.seq++
+		var cres *nfsproto.DirOpRes
+		name := fmt.Sprintf("o%d", g.seq)
+		cres, err = g.cli.Create(q, g.scratch, name, 0644)
+		if err == nil && cres.Status == nfsproto.OK {
+			// Keep the scratch directory bounded: remove as we go.
+			g.cli.Remove(q, g.scratch, name)
+		}
+	case workload.OpRemove:
+		// Remove of a nonexistent name exercises the path cheaply.
+		_, err = g.cli.Remove(q, g.scratch, "absent")
+	case workload.OpStatfs:
+		_, err = g.cli.Call(q, nfsproto.ProcStatfs, (&nfsproto.FHArgs{File: g.pop.Roots[0]}).Encode())
+	case workload.OpSetattr:
+		_, err = g.cli.Setattr(q, fh, nfsproto.DefaultSAttr(0644))
+	}
+	g.res.Completed++
+	g.res.PerOp[t.op.String()]++
+	if err != nil {
+		g.res.Errors++
+		return
+	}
+	g.res.Lat.Record(q.Now().Sub(t.at))
+}

@@ -1,0 +1,104 @@
+package openload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestArrivalMeetsTargetRate draws a long gap sequence from each process
+// and checks the long-run rate lands on the target: the open-loop
+// contract is that the offered rate is a property of the arrival clock,
+// not of the server.
+func TestArrivalMeetsTargetRate(t *testing.T) {
+	const rate = 200.0 // ops/s
+	const n = 200_000
+	for _, kind := range []string{ArrivalFixed, ArrivalPoisson, ArrivalBursty} {
+		arr, err := NewArrival(kind, rate, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		var total sim.Duration
+		total += arr.First(rng)
+		for i := 1; i < n; i++ {
+			total += arr.Gap(rng)
+		}
+		got := float64(n) / total.Seconds()
+		if got < rate*0.97 || got > rate*1.03 {
+			t.Errorf("%s: long-run rate = %.1f ops/s, want ~%.0f", kind, got, rate)
+		}
+	}
+}
+
+// TestArrivalDeterministic re-draws the same seed and wants identical
+// gap sequences — the determinism the sweep engine's byte-identity
+// contract rests on.
+func TestArrivalDeterministic(t *testing.T) {
+	for _, kind := range []string{ArrivalFixed, ArrivalPoisson, ArrivalBursty} {
+		seq := func() []sim.Duration {
+			arr, err := NewArrival(kind, 500, 0, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			out := []sim.Duration{arr.First(rng)}
+			for i := 0; i < 1000; i++ {
+				out = append(out, arr.Gap(rng))
+			}
+			return out
+		}
+		a, b := seq(), seq()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: gap %d differs: %v vs %v", kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestArrivalRejectsBadParams(t *testing.T) {
+	if _, err := NewArrival(ArrivalPoisson, 0, 0, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewArrival("fractal", 100, 0, 0); err == nil {
+		t.Error("unknown arrival kind accepted")
+	}
+}
+
+// TestZipfSkewsHot checks the Zipf population concentrates picks on the
+// low ranks while the flat population does not: the hot-set behavior the
+// cache-effect scenarios rely on.
+func TestZipfSkewsHot(t *testing.T) {
+	const files = 100
+	const draws = 100_000
+	hotShare := func(kind string, s float64) float64 {
+		pop, err := NewPopulation(files, 1, kind, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if pop.Pick(rng) < files/10 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	flat := hotShare(PopFlat, 0)
+	zipf := hotShare(PopZipf, 1.1)
+	if flat < 0.08 || flat > 0.12 {
+		t.Errorf("flat population hot-decile share = %.3f, want ~0.10", flat)
+	}
+	if zipf < 0.5 {
+		t.Errorf("zipf(1.1) hot-decile share = %.3f, want > 0.5", zipf)
+	}
+}
+
+func TestPopulationRejectsUnknownKind(t *testing.T) {
+	if _, err := NewPopulation(10, 1, "normal", 0, nil); err == nil {
+		t.Error("unknown population kind accepted")
+	}
+}

@@ -235,6 +235,91 @@ func BridgedSweep(spec Spec, segmentCounts []int) Spec {
 	return spec
 }
 
+// OpenloadRig builds the base spec of an open-loop capacity sweep:
+// multi-client arrivals at a spec-fixed aggregate rate against one FDDI
+// server on the rig assembly. Cells pick offered loads and server builds
+// (OpenloadCell); unlike the LADDIS sweeps the offered rate is honored
+// regardless of completions, so cells past the knee measure the overload
+// regime instead of silently self-throttling.
+func OpenloadRig(name, description string, presto bool, clients, nfsds, disks int, arrival, population, mix string, measure sim.Duration, seed int64) Spec {
+	return Spec{
+		Name:        name,
+		Description: description,
+		Seed:        seed,
+		Topology: Topology{
+			Net:      "fddi",
+			CPUScale: 1.8,
+			Clients:  []ClientGroup{{Count: clients}},
+			Servers: Servers{
+				Count: 1, Nfsds: nfsds, StripeDisks: disks, Presto: presto, Inodes: 2048,
+			},
+		},
+		Workload: Workload{Kind: KindOpenload, Openload: &OpenloadWorkload{
+			Arrival: arrival, Population: population, Mix: mix,
+			Files: 32, FileBlocks: 8, Measure: measure, Seed: seed,
+		}},
+	}
+}
+
+// OpenloadCell is one offered-load point; the seed formula mirrors the
+// LADDIS sweep's recorded seedBase+offered.
+func OpenloadCell(seedBase int64, offered float64, gathering bool) Cell {
+	seed := seedBase + int64(offered)
+	return Cell{
+		Label: fmt.Sprintf("%s-%.0f", buildTag(gathering), offered),
+		Seed:  &seed, OfferedLoad: &offered, Gathering: &gathering,
+	}
+}
+
+// OpenloadSweep appends the capacity sweep to an OpenloadRig base: for
+// each load, the standard build then the gathering build (the LADDIS
+// sweeps' order).
+func OpenloadSweep(spec Spec, loads []float64) Spec {
+	for _, load := range loads {
+		spec.Cells = append(spec.Cells,
+			OpenloadCell(spec.Seed, load, false),
+			OpenloadCell(spec.Seed, load, true))
+	}
+	return spec
+}
+
+// OpenloadBridged builds the bridged-saturation base: maxSegments
+// Ethernet leaf segments ("lan1".."lanN") of clientsPerSegment clients
+// each, bridged into one FDDI core carrying the server shard, with the
+// whole population offering targetOps aggregate ops/s open-loop. Cells
+// trim the leaf count (BridgedCell), holding the aggregate rate constant
+// as fan-in grows.
+func OpenloadBridged(name, description string, maxSegments, clientsPerSegment, nfsds, disks int, targetOps float64, measure sim.Duration, seed int64) Spec {
+	media := []Medium{{Name: "core", Net: "fddi"}}
+	var groups []ClientGroup
+	for i := 1; i <= maxSegments; i++ {
+		lan := fmt.Sprintf("lan%d", i)
+		media = append(media, Medium{Name: lan, Net: "ethernet", Uplink: "core"})
+		// Setup funnels thousands of simultaneous mkdirs through the
+		// bridges; generous retry budgets let that surge drain instead of
+		// aborting the run.
+		groups = append(groups, ClientGroup{Count: clientsPerSegment, Segment: lan, MaxRetries: 100})
+	}
+	return Spec{
+		Name:        name,
+		Description: description,
+		Seed:        seed,
+		Topology: Topology{
+			Media:    media,
+			CPUScale: 1.8,
+			Assembly: AssemblyCluster,
+			Clients:  groups,
+			Servers: Servers{
+				Count: 1, Nfsds: nfsds, StripeDisks: disks, Inodes: 8192,
+			},
+		},
+		Workload: Workload{Kind: KindOpenload, Openload: &OpenloadWorkload{
+			Arrival: ArrivalPoisson, Population: PopZipf, TargetOps: targetOps,
+			Files: 64, FileBlocks: 4, Measure: measure, Seed: seed,
+		}},
+	}
+}
+
 // StreamCrash builds the crash/recovery durability spec: clients
 // streaming sequential writes through gathering servers that crash on the
 // given train, every acked write journaled and verified after recovery.

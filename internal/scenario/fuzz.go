@@ -316,6 +316,30 @@ func genSpec(rng *rand.Rand, run int) Spec {
 		},
 		Faults: Faults{CheckDurability: true},
 	}
+	// A quarter of the runs swap the closed-loop stream for the open-loop
+	// generator: arrivals keep coming on the arrival clock regardless of
+	// completions, so the durability and ref-leak invariants get probed
+	// under honest overload (queue growth, shed arrivals) instead of the
+	// stream's self-throttling.
+	if rng.Intn(4) == 0 {
+		ol := &OpenloadWorkload{
+			Arrival:    []string{ArrivalFixed, ArrivalPoisson, ArrivalBursty}[rng.Intn(3)],
+			TargetOps:  float64(50 + rng.Intn(350)),
+			Population: []string{PopFlat, PopZipf}[rng.Intn(2)],
+			Mix:        []string{"", MixLADDIS, MixMetadata}[rng.Intn(3)],
+			Files:      8 + rng.Intn(24),
+			FileBlocks: 1 + rng.Intn(4),
+			Measure:    rngMS(rng, 400, 1200),
+			Seed:       rng.Int63n(1 << 20),
+		}
+		if ol.Population == PopZipf && rng.Intn(2) == 0 {
+			ol.ZipfS = 0.8 + float64(rng.Intn(8))/10
+		}
+		if rng.Intn(3) == 0 {
+			ol.Deadline = rngMS(rng, 100, 400)
+		}
+		spec.Workload = Workload{Kind: KindOpenload, Openload: ol}
+	}
 	// A third of the runs move onto a bridged fabric: a root core
 	// segment plus one or two leaf LANs, the whole client group placed
 	// on the first leaf, so every acked byte crosses the store-and-
@@ -372,6 +396,13 @@ func genEvent(rng *rand.Rand, spec *Spec) FaultEvent {
 	// initial image flush leaves a filesystem that never existed (stale
 	// root on remount) — a setup race, not a durability finding.
 	powerAt := rngMS(rng, 100, 1500)
+	// The open-loop runner measures behind a 20s setup barrier; faults
+	// drawn on the stream clock would all land in the idle build window,
+	// so shift them into the measured phase.
+	if spec.Workload.Kind == KindOpenload {
+		at += 20 * sim.Second
+		powerAt += 20 * sim.Second
+	}
 	switch rng.Intn(9) {
 	case 0:
 		return FaultEvent{Kind: FaultServerCrash, ServerCrash: &ServerCrashFault{
@@ -500,7 +531,35 @@ func shrinkSpec(spec Spec, class string, budget int) (Spec, int) {
 			func(s *Spec) bool { return setInt(&s.Topology.Clients[0].Count, 1) },
 			func(s *Spec) bool { return setInt(&s.Topology.Servers.StripeDisks, 1) },
 			func(s *Spec) bool { return setInt(&s.Topology.Clients[0].Biods, 0) },
-			func(s *Spec) bool { return setInt(&s.Workload.Stream.FileMB, 1) },
+			func(s *Spec) bool { return s.Workload.Stream != nil && setInt(&s.Workload.Stream.FileMB, 1) },
+			// Open-loop specs shrink toward the most legible load: a
+			// fixed-rate arrival clock over a flat population at a low rate.
+			func(s *Spec) bool {
+				o := s.Workload.Openload
+				if o == nil || o.Arrival == ArrivalFixed {
+					return false
+				}
+				o.Arrival = ArrivalFixed
+				o.BurstOn, o.BurstOff = 0, 0
+				return true
+			},
+			func(s *Spec) bool {
+				o := s.Workload.Openload
+				if o == nil || ((o.Population == PopFlat || o.Population == "") && o.ZipfS == 0) {
+					return false
+				}
+				o.Population = PopFlat
+				o.ZipfS = 0
+				return true
+			},
+			func(s *Spec) bool {
+				o := s.Workload.Openload
+				if o == nil || o.TargetOps <= 50 {
+					return false
+				}
+				o.TargetOps = 50
+				return true
+			},
 			func(s *Spec) bool {
 				if !s.Topology.Servers.Gathering {
 					return false

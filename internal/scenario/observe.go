@@ -16,6 +16,7 @@ import (
 	"repro/internal/nfsproto"
 	"repro/internal/nvram"
 	"repro/internal/obs"
+	"repro/internal/openload"
 	"repro/internal/rig"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -42,8 +43,16 @@ var probeColumns = []string{
 //
 //	seg_<name>_util_pct   segment medium busy over the sample window, percent
 //	bridge_<name>_queue   datagrams parked in the uplink bridge's output FIFOs
+//
+// Open-loop cells additionally get the overload-honesty gauges — the
+// knee is visible live as ol_queue climbing while ol_shed starts
+// counting:
+//
+//	ol_offered   arrivals emitted so far (admitted, backlogged or shed)
+//	ol_shed      arrivals dropped at a full backlog so far
+//	ol_queue     arrivals currently waiting in client backlogs
 func probeCols(rc *resolved) []string {
-	if len(rc.segments) == 0 {
+	if len(rc.segments) == 0 && rc.kind != KindOpenload {
 		return probeColumns
 	}
 	cols := append([]string(nil), probeColumns...)
@@ -55,6 +64,9 @@ func probeCols(rc *resolved) []string {
 			cols = append(cols, "bridge_"+sg.Name+"_queue")
 		}
 	}
+	if rc.kind == KindOpenload {
+		cols = append(cols, "ol_offered", "ol_shed", "ol_queue")
+	}
 	return cols
 }
 
@@ -65,6 +77,11 @@ type cellObs struct {
 	cfg    Observe
 	trace  *obs.Trace
 	series *obs.TimeSeries
+	// openload marks the cell's probe header as carrying the ol_*
+	// columns; gens are the live generators feeding them (set by the
+	// runner before the sim starts; gauges read zero until then).
+	openload bool
+	gens     []*openload.Gen
 }
 
 // obsCaptureFn, when threaded into a run, receives every cell's live
@@ -83,7 +100,7 @@ func newCellObs(rc *resolved, capture obsCaptureFn) *cellObs {
 	if o == nil || (!o.Trace && !o.Probes && !o.Histograms) {
 		return nil
 	}
-	ob := &cellObs{cfg: *o}
+	ob := &cellObs{cfg: *o, openload: rc.kind == KindOpenload}
 	if o.Trace {
 		ob.trace = obs.NewTrace(rc.label, o.TraceMaxEvents)
 	}
@@ -263,6 +280,17 @@ func (ob *cellObs) startProbes(s *sim.Sim, src probeSources) {
 			}
 			vals = append(vals, float64(depth))
 		}
+		if ob.openload {
+			var off, shed uint64
+			qlen := 0
+			for _, g := range ob.gens {
+				o, sh := g.Counters()
+				off += o
+				shed += sh
+				qlen += g.QueueLen()
+			}
+			vals = append(vals, float64(off), float64(shed), float64(qlen))
+		}
 		ob.series.Sample(now, vals...)
 		if ob.trace != nil {
 			cols := ob.series.Cols
@@ -343,6 +371,16 @@ func (ob *cellObs) installCluster(c *cluster.Cluster) {
 		clients: c.Clients,
 		fabric:  c.Fabric,
 	})
+}
+
+// setOpenload hands the sampler the cell's live generators. Nil-safe,
+// like every cellObs method; before the generators' Run starts their
+// gauges read zero, so early samples stay well-formed.
+func (ob *cellObs) setOpenload(gens []*openload.Gen) {
+	if ob == nil || ob.series == nil {
+		return
+	}
+	ob.gens = gens
 }
 
 // finish hands the cell its collected artifacts.

@@ -1,0 +1,408 @@
+package scenario
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// kneeTestSpec is a small open-loop sweep bracketing the knee of a
+// 2-client, 8-nfsd, 2-disk FDDI rig (measured capacity ~400 ops/s): one
+// cell well under it and two cells at 2x and 4x of it.
+func kneeTestSpec() Spec {
+	return OpenloadSweep(
+		OpenloadRig("knee-test", "overload honesty rig", false,
+			2, 8, 2, ArrivalPoisson, PopZipf, MixLADDIS, 3*sim.Second, 5151),
+		[]float64{100, 800, 1600})
+}
+
+// TestOpenloadOverloadHonesty is the open-loop subsystem's core
+// regression: past the knee, achieved throughput must plateau (not track
+// offered load), the admission path must shed honestly, and the whole
+// accounting must be byte-identical at any worker count.
+func TestOpenloadOverloadHonesty(t *testing.T) {
+	spec := kneeTestSpec()
+	seq, err := RunWorkers(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunWorkers(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Cells {
+		if !reflect.DeepEqual(seq.Cells[i].Metrics, par.Cells[i].Metrics) {
+			t.Errorf("cell %s: -j 1 and -j 4 metrics differ (retransmission storms must be deterministic):\n%+v\n%+v",
+				seq.Cells[i].Label, seq.Cells[i].Metrics, par.Cells[i].Metrics)
+		}
+	}
+
+	cells := map[string]CellResult{}
+	for _, c := range seq.Cells {
+		cells[c.Label] = c
+	}
+	under := cells["std-100"]
+	if a := under.AchievedOpsPerSec; a < 95 || a > 105 {
+		t.Errorf("below the knee achieved %.1f ops/s, want ~100 (open loop must deliver the offered rate)", a)
+	}
+	if under.ShedArrivals != 0 {
+		t.Errorf("below the knee shed %d arrivals", under.ShedArrivals)
+	}
+
+	over2, over4 := cells["std-800"], cells["std-1600"]
+	for _, c := range []CellResult{over2, over4} {
+		if c.AchievedOpsPerSec >= 0.8*c.OfferedOpsPerSec {
+			t.Errorf("%s: achieved %.1f tracks offered %.0f past the knee; the loop is not open",
+				c.Label, c.AchievedOpsPerSec, c.OfferedOpsPerSec)
+		}
+		if c.ShedArrivals == 0 {
+			t.Errorf("%s: overload shed nothing; admission is not bounded", c.Label)
+		}
+		if c.PeakQueue != 32 {
+			t.Errorf("%s: peak backlog %d, want the 32-slot cap", c.Label, c.PeakQueue)
+		}
+	}
+	// Doubling an already-saturating load must not move the plateau.
+	lo, hi := over2.AchievedOpsPerSec, over4.AchievedOpsPerSec
+	if hi < 0.75*lo || hi > 1.25*lo {
+		t.Errorf("overload plateau not flat: achieved %.1f at 2x knee vs %.1f at 4x", lo, hi)
+	}
+
+	// Honest books: every arrival is completed, shed or expired — none
+	// vanish.
+	for _, c := range seq.Cells {
+		for i, oc := range c.OpenloadClients {
+			if oc.Offered != oc.Completed+oc.Shed+oc.Expired {
+				t.Errorf("%s client %d: offered %d != completed %d + shed %d + expired %d",
+					c.Label, i, oc.Offered, oc.Completed, oc.Shed, oc.Expired)
+			}
+		}
+	}
+}
+
+// TestOpenloadQueueProbes turns the probe sampler on over one saturating
+// cell and checks the overload is visible live: the ol_queue column
+// grows monotonically until the backlog first sheds, and ol_offered and
+// ol_shed count monotonically.
+func TestOpenloadQueueProbes(t *testing.T) {
+	spec := OpenloadRig("knee-probes", "probe plane over overload", false,
+		2, 8, 2, ArrivalPoisson, PopZipf, MixLADDIS, 2*sim.Second, 5151)
+	spec.Observe = &Observe{Probes: true, SampleEvery: 50 * sim.Millisecond}
+	load := 1600.0
+	spec.Cells = []Cell{{Label: "over", OfferedLoad: &load}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Cells[0].Series
+	if s == nil || s.N() == 0 {
+		t.Fatal("no probe series collected")
+	}
+	col := func(name string) int {
+		for i, c := range s.Cols {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("probe column %q missing (got %v)", name, s.Cols)
+		return -1
+	}
+	qi, oi, si := col("ol_queue"), col("ol_offered"), col("ol_shed")
+	firstShed := -1
+	for i, row := range s.Rows {
+		if row[si] > 0 {
+			firstShed = i
+			break
+		}
+	}
+	if firstShed < 0 {
+		t.Fatal("saturating cell never shed; probes cannot show the knee")
+	}
+	for i := 1; i <= firstShed; i++ {
+		if s.Rows[i][qi] < s.Rows[i-1][qi] {
+			t.Errorf("queue depth shrank (%.0f -> %.0f) before first shed at sample %d",
+				s.Rows[i-1][qi], s.Rows[i][qi], firstShed)
+		}
+	}
+	for i := 1; i < s.N(); i++ {
+		if s.Rows[i][oi] < s.Rows[i-1][oi] || s.Rows[i][si] < s.Rows[i-1][si] {
+			t.Errorf("ol_offered/ol_shed not monotone at sample %d", i)
+		}
+	}
+	if last := s.Rows[s.N()-1]; last[oi] == 0 {
+		t.Error("ol_offered never counted")
+	}
+}
+
+// TestOpenloadReplayRoundTrip captures a synthetic op timeline to disk,
+// replays it through the open-loop admission path at 1x and 2x speed,
+// and checks every record arrives: trace replay is a first-class
+// workload, not a special case.
+func TestOpenloadReplayRoundTrip(t *testing.T) {
+	ops := &trace.OpTrace{Name: "unit"}
+	kinds := []string{"lookup", "getattr", "read", "write", "lookup", "getattr", "read", "getattr"}
+	for i := 0; i < 400; i++ {
+		ops.Ops = append(ops.Ops, trace.OpRecord{
+			At:   sim.Duration(i) * 5 * sim.Millisecond,
+			Op:   kinds[i%len(kinds)],
+			File: i % 10,
+			Off:  uint32(i%4) * 8192,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "capture.json")
+	if err := trace.SaveOps(path, ops); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.LoadOps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Ops, ops.Ops) {
+		t.Fatal("capture did not round-trip")
+	}
+
+	run := func(speed float64) CellResult {
+		spec := Spec{
+			Name: "replay",
+			Seed: 31,
+			Topology: Topology{
+				Net: "fddi", CPUScale: 1.8,
+				Clients: []ClientGroup{{Count: 2}},
+				Servers: Servers{Count: 1, Nfsds: 8, Inodes: 2048},
+			},
+			Workload: Workload{Kind: KindOpenload, Openload: &OpenloadWorkload{
+				Replay: &ReplayWorkload{File: path, Speed: speed},
+			}},
+		}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("speed %g: %v", speed, err)
+		}
+		return res.Cells[0]
+	}
+	c1 := run(0) // default 1x
+	if got := c1.AchievedOpsPerSec; got < 190 || got > 210 {
+		t.Errorf("1x replay achieved %.1f ops/s, want ~200 (the capture's rate)", got)
+	}
+	var completed uint64
+	for _, oc := range c1.OpenloadClients {
+		completed += oc.Completed
+		if oc.Shed != 0 || oc.Expired != 0 {
+			t.Errorf("light replay shed/expired: %+v", oc)
+		}
+	}
+	if completed != uint64(len(ops.Ops)) {
+		t.Errorf("replay completed %d of %d captured ops", completed, len(ops.Ops))
+	}
+	c2 := run(2)
+	if got := c2.AchievedOpsPerSec; got < 380 || got > 420 {
+		t.Errorf("2x replay achieved %.1f ops/s, want ~400", got)
+	}
+}
+
+// TestOpenloadMetadataMixDominatesAttrs runs the metadata-heavy mix and
+// checks the op stream is what the spec says: lookup/getattr dominated,
+// not the LADDIS read/write balance.
+func TestOpenloadMetadataMixDominatesAttrs(t *testing.T) {
+	// The metadata mix's creates are sync-metadata-heavy, so this small
+	// rig's knee sits far lower than under the LADDIS mix: offer well
+	// under it, on a fixed-rate clock so the arrival count is exact.
+	spec := OpenloadRig("meta", "metadata-heavy mix", false,
+		2, 8, 2, ArrivalFixed, PopFlat, MixMetadata, 2*sim.Second, 99)
+	load := 100.0
+	spec.Cells = []Cell{{Label: "meta", OfferedLoad: &load}}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.AchievedOpsPerSec < 95 {
+		t.Fatalf("metadata mix underdelivered: %.1f ops/s", c.AchievedOpsPerSec)
+	}
+	// The op stream itself must be what the spec named: attr/namespace
+	// ops dominate, data ops nearly vanish.
+	total, attrs, data := 0, 0, 0
+	for _, oc := range c.OpenloadClients {
+		for op, n := range oc.PerOp {
+			total += n
+			switch op {
+			case "lookup", "getattr", "create", "remove", "readdir", "setattr", "statfs":
+				attrs += n
+			case "read", "write":
+				data += n
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no per-op accounting")
+	}
+	if share := float64(attrs) / float64(total); share < 0.85 {
+		t.Errorf("metadata mix attr/namespace share = %.2f, want >= 0.85", share)
+	}
+	if share := float64(data) / float64(total); share > 0.12 {
+		t.Errorf("metadata mix data-op share = %.2f, want <= 0.12", share)
+	}
+}
+
+// TestOpenloadValidation pins the typed validation errors: closed
+// vocabularies name the known kinds, replay exclusivity is enforced, and
+// every failure is a *ValidationError with a usable field path.
+func TestOpenloadValidation(t *testing.T) {
+	base := func() Spec {
+		return OpenloadRig("v", "validation", false, 1, 4, 1,
+			ArrivalPoisson, PopZipf, MixLADDIS, sim.Second, 1)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		field   string
+		mention string
+	}{
+		{"no target", func(s *Spec) { s.Workload.Openload.TargetOps = 0 },
+			"workload.openload.target_ops", "offered_load"},
+		{"bad arrival", func(s *Spec) { o(s).Arrival = "fractal"; o(s).TargetOps = 100 },
+			"workload.openload.arrival", `"poisson"`},
+		{"bad mix", func(s *Spec) { o(s).Mix = "scientific"; o(s).TargetOps = 100 },
+			"workload.openload.mix", `"metadata"`},
+		{"bad population", func(s *Spec) { o(s).Population = "normal"; o(s).TargetOps = 100 },
+			"workload.openload.population", `"zipf"`},
+		{"negative zipf", func(s *Spec) { o(s).ZipfS = -1; o(s).TargetOps = 100 },
+			"workload.openload.zipf_s", "negative"},
+		{"zipf_s without zipf", func(s *Spec) { o(s).Population = PopFlat; o(s).ZipfS = 1.1; o(s).TargetOps = 100 },
+			"workload.openload.zipf_s", `"zipf"`},
+		{"no measure", func(s *Spec) { o(s).Measure = 0; o(s).TargetOps = 100 },
+			"workload.openload.measure_ns", "positive"},
+		{"negative window", func(s *Spec) { o(s).Window = -1; o(s).TargetOps = 100 },
+			"workload.openload", "negative"},
+		{"replay plus synthetic", func(s *Spec) {
+			o(s).TargetOps = 100
+			o(s).Replay = &ReplayWorkload{File: "x.json"}
+		}, "workload.openload.replay", "must be unset"},
+		{"replay missing file", func(s *Spec) {
+			*s.Workload.Openload = OpenloadWorkload{Replay: &ReplayWorkload{}}
+		}, "workload.openload.replay.file", "capture"},
+		{"replay unreadable file", func(s *Spec) {
+			*s.Workload.Openload = OpenloadWorkload{Replay: &ReplayWorkload{File: "/nonexistent/cap.json"}}
+		}, "workload.openload.replay.file", "nfstrace -capture"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base()
+			tc.mutate(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error is %T, want *ValidationError: %v", err, err)
+			}
+			if ve.Field != tc.field {
+				t.Errorf("field = %q, want %q", ve.Field, tc.field)
+			}
+			if !strings.Contains(err.Error(), tc.mention) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.mention)
+			}
+		})
+	}
+}
+
+// o is shorthand for a spec's openload section in the validation table.
+func o(s *Spec) *OpenloadWorkload { return s.Workload.Openload }
+
+// TestBridgedSatSmoke runs a scaled-down bridgedsat shape — leaf
+// Ethernet client segments open-loop over a bridged FDDI core — and
+// checks placement, per-segment accounting and throughput all engage.
+func TestBridgedSatSmoke(t *testing.T) {
+	spec := OpenloadBridged("bridgedsat-smoke", "scaled-down bridged saturation",
+		3, 2, 8, 1, 300, sim.Second, 12)
+	spec.Cells = []Cell{BridgedCell(spec.Seed, 3, false)}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.AchievedOpsPerSec <= 0 {
+		t.Fatal("bridged open-loop cell achieved nothing")
+	}
+	if len(c.OpenloadClients) != 6 {
+		t.Fatalf("got %d openload clients, want 6", len(c.OpenloadClients))
+	}
+	if len(c.Segments) != 4 {
+		t.Fatalf("got %d segment stats, want core + 3 leaves", len(c.Segments))
+	}
+	var leafTraffic uint64
+	for _, sg := range c.Segments {
+		if sg.Name != "core" {
+			leafTraffic += sg.Datagrams
+		}
+	}
+	if leafTraffic == 0 {
+		t.Error("no datagrams crossed the leaf segments; placement did not engage")
+	}
+}
+
+// TestFuzzGeneratesOpenloadSpecs pins the fuzzer's open-loop coverage:
+// the generator must emit openload workloads across every arrival kind,
+// and any fault it schedules on one must land past the 20s setup
+// barrier so it hits the measured phase rather than the idle build.
+func TestFuzzGeneratesOpenloadSpecs(t *testing.T) {
+	arrivals := map[string]int{}
+	withEvents := 0
+	for i := 0; i < 200; i++ {
+		rng := rand.New(rand.NewSource(2_000_003 + int64(i)))
+		spec := genSpec(rng, i)
+		if spec.Workload.Kind != KindOpenload {
+			continue
+		}
+		arrivals[spec.Workload.Openload.Arrival]++
+		if len(spec.Faults.Events) > 0 {
+			withEvents++
+		}
+		for j, ev := range spec.Faults.Events {
+			if at := eventAt(ev); at < 20*sim.Second {
+				t.Errorf("run %d event %d (%s): at %v, before the 20s setup barrier", i, j, ev.Kind, at)
+			}
+		}
+	}
+	for _, kind := range []string{ArrivalFixed, ArrivalPoisson, ArrivalBursty} {
+		if arrivals[kind] == 0 {
+			t.Errorf("200 generated specs, no openload spec with arrival %q", kind)
+		}
+	}
+	if withEvents == 0 {
+		t.Error("200 generated specs, no openload spec carrying fault events")
+	}
+	t.Logf("fuzz coverage: arrivals %v, %d openload specs with faults", arrivals, withEvents)
+}
+
+// eventAt pulls the scheduling instant out of a fault event.
+func eventAt(ev FaultEvent) sim.Duration {
+	switch ev.Kind {
+	case FaultServerCrash:
+		return ev.ServerCrash.At
+	case FaultClientReboot:
+		return ev.ClientReboot.At
+	case FaultBiodLoss:
+		return ev.BiodLoss.At
+	case FaultShardFailover:
+		return ev.ShardFailover.At
+	case FaultLinkOutage:
+		return ev.LinkOutage.At
+	case FaultDiskReadError:
+		return ev.DiskReadError.At
+	case FaultDiskDegraded:
+		return ev.DiskDegraded.At
+	case FaultDiskTornWrite:
+		return ev.DiskTornWrite.At
+	case FaultNVRAMLyingSync:
+		return ev.NVRAMLyingSync.At
+	}
+	return 0
+}

@@ -32,6 +32,8 @@ func Registry() []Entry {
 		{"failover", "Shard failover: one of two shards dies mid-stream and the survivor adopts its disks under a stable FSID (plain vs Presto)", failOver},
 		{"clientreboot", "Client crash model: one client reboots mid-stream dropping dirty write-behind, another loses biods; acked bytes must all survive", clientReboot},
 		{"mediastorm", "Partial storage failure: media read errors, a degraded spindle and an armed torn write across a crash, durability-audited (plain vs Presto)", mediaStorm},
+		{"kneecurve", "Open-loop capacity curve: Poisson/Zipf arrivals swept past the knee, achieved-vs-offered with honest shed/queue accounting (std vs gathering)", kneecurve},
+		{"bridgedsat", "Bridged saturation: 50 Ethernet segments x 100 clients open-loop over one FDDI core shard, swept over segment count", bridgedSat},
 	}
 }
 
@@ -109,6 +111,32 @@ func bridged() Spec {
 		Bridged("bridged", "Bridged fabric sweep: LADDIS clients on Ethernet leaf segments behind store-and-forward bridges into one FDDI core shard",
 			false, 4, 2, 8, 16, 2, 250, 4*sim.Second, 7777),
 		[]int{1, 2, 4})
+}
+
+// kneecurve is the capacity-curve scenario the closed-loop sweeps could
+// not honestly produce: LADDIS generators block on completions, so past
+// saturation they self-throttle and the offered axis silently bends to
+// match the achieved one. Open-loop Poisson arrivals over a Zipf-hot
+// population keep offering the declared rate; cells past the knee show
+// achieved throughput plateauing while queues grow and the backlog
+// sheds — with and without write gathering.
+func kneecurve() Spec {
+	return OpenloadSweep(
+		OpenloadRig("kneecurve", "Open-loop capacity curve: Poisson arrivals, Zipf population, offered load swept past the knee",
+			false, 4, 32, 8, ArrivalPoisson, PopZipf, MixLADDIS, 4*sim.Second, 5151),
+		[]float64{100, 200, 300, 400, 600, 900, 1400})
+}
+
+// bridgedSat scales the open-loop subsystem to the paper's big-network
+// shape: 50 bridged Ethernet segments of 100 clients each offering a
+// fixed aggregate rate into one FDDI core shard. The sweep holds the
+// rate constant while fan-in grows, so it separates bridge/fan-in
+// effects from server capacity.
+func bridgedSat() Spec {
+	return BridgedSweep(
+		OpenloadBridged("bridgedsat", "Bridged saturation: 50 Ethernet leaf segments x 100 clients each, open-loop over one FDDI core shard",
+			50, 100, 16, 2, 1200, 2*sim.Second, 8282),
+		[]int{10, 50})
 }
 
 func crash() Spec {

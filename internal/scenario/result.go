@@ -66,6 +66,14 @@ type Metrics struct {
 	P90LatencyMs  float64 `json:"p90_latency_ms,omitempty"`
 	P99LatencyMs  float64 `json:"p99_latency_ms,omitempty"`
 	P999LatencyMs float64 `json:"p999_latency_ms,omitempty"`
+
+	// ShedArrivals, ExpiredOps and PeakQueue are the open-loop honesty
+	// columns (openload cells only): arrivals dropped at a full backlog,
+	// backlogged arrivals that aged out before issue, and the deepest
+	// per-client backlog seen. Closed-loop workloads never report them.
+	ShedArrivals uint64 `json:"shed_arrivals,omitempty"`
+	ExpiredOps   uint64 `json:"expired_ops,omitempty"`
+	PeakQueue    int    `json:"peak_queue,omitempty"`
 }
 
 // QuantileColumns lists the histogram-backed latency columns appended to
@@ -78,6 +86,13 @@ func QuantileColumns() []string {
 // when the topology declares more than one media segment.
 func SegmentColumns() []string {
 	return []string{"net_max_util_pct", "bridge_drops"}
+}
+
+// OpenloadColumns lists the open-loop accounting columns appended to
+// renders for openload cells (with the quantile columns, which openload
+// always fills from its streaming latency histograms).
+func OpenloadColumns() []string {
+	return []string{"shed_arrivals", "expired_ops", "peak_queue"}
 }
 
 // MetricColumns lists the uniform column names in canonical order.
@@ -135,6 +150,12 @@ func (m Metrics) Column(name string) (float64, bool) {
 		return m.P99LatencyMs, true
 	case "p999_latency_ms":
 		return m.P999LatencyMs, true
+	case "shed_arrivals":
+		return float64(m.ShedArrivals), true
+	case "expired_ops":
+		return float64(m.ExpiredOps), true
+	case "peak_queue":
+		return float64(m.PeakQueue), true
 	}
 	return 0, false
 }
@@ -210,6 +231,9 @@ type CellResult struct {
 	Gather core.Stats `json:"gather,omitempty"`
 	// ClientResults are the per-client LADDIS points (laddis cells).
 	ClientResults []workload.LADDISResult `json:"client_results,omitempty"`
+	// OpenloadClients are the per-client open-loop accounting summaries
+	// (openload cells only).
+	OpenloadClients []OpenloadClient `json:"openload_clients,omitempty"`
 	// Drops counts datagrams the server endpoint dropped (single-server
 	// cells only).
 	Drops uint64 `json:"drops,omitempty"`
@@ -244,6 +268,21 @@ type CellResult struct {
 	// (Observe cells only); nfsbench serializes them on demand.
 	Trace  *obs.Trace      `json:"-"`
 	Series *obs.TimeSeries `json:"-"`
+}
+
+// OpenloadClient is one client's open-loop accounting: what it offered,
+// what the server actually absorbed, and where the difference went.
+type OpenloadClient struct {
+	Offered      uint64 `json:"offered"`
+	Completed    uint64 `json:"completed"`
+	Errors       int    `json:"errors"`
+	Shed         uint64 `json:"shed,omitempty"`
+	Expired      uint64 `json:"expired,omitempty"`
+	PeakQueue    int    `json:"peak_queue,omitempty"`
+	PeakInFlight int    `json:"peak_in_flight,omitempty"`
+	// PerOp counts completed operations by name — the mix the client
+	// actually issued, not the one the spec asked for.
+	PerOp map[string]int `json:"per_op,omitempty"`
 }
 
 // SegmentStat is one fabric segment's wire roll-up over the cell's run.
@@ -360,8 +399,12 @@ type Result struct {
 func (r *Result) selectedColumns() []string {
 	if len(r.Spec.Metrics) == 0 {
 		cols := MetricColumns()
-		if r.Spec.Observe != nil && r.Spec.Observe.Histograms {
+		openload := r.Spec.Workload.Kind == KindOpenload
+		if (r.Spec.Observe != nil && r.Spec.Observe.Histograms) || openload {
 			cols = append(cols, QuantileColumns()...)
+		}
+		if openload {
+			cols = append(cols, OpenloadColumns()...)
 		}
 		if len(r.Spec.Topology.Media) > 1 {
 			cols = append(cols, SegmentColumns()...)
@@ -398,6 +441,7 @@ func (r *Result) Render() string {
 		}
 		b.WriteString("\n")
 	}
+	r.renderCapacity(&b)
 	for _, cell := range r.Cells {
 		if cell.Durability != nil {
 			d := cell.Durability
@@ -492,6 +536,70 @@ func (r *Result) Render() string {
 		}
 	}
 	return b.String()
+}
+
+// renderCapacity appends the compact capacity-vs-offered-load table for
+// openload sweeps: one row per offered rate, one column per cell-label
+// family ("std-1000"/"wg-1000" → families "std" and "wg"), each cell
+// showing achieved ops/s at the p99 latency — the knee readable at a
+// glance without opening the CSV. Only multi-cell openload sweeps
+// produce it; every other workload's render is untouched.
+func (r *Result) renderCapacity(b *strings.Builder) {
+	if r.Spec.Workload.Kind != KindOpenload || len(r.Cells) < 2 {
+		return
+	}
+	type point struct {
+		achieved, p99 float64
+		ok            bool
+	}
+	family := func(label string) string {
+		if i := strings.LastIndex(label, "-"); i > 0 {
+			return label[:i]
+		}
+		return label
+	}
+	var fams []string
+	var offers []float64
+	rows := map[float64]map[string]point{}
+	for _, cell := range r.Cells {
+		f := family(cell.Label)
+		seenF := false
+		for _, x := range fams {
+			if x == f {
+				seenF = true
+				break
+			}
+		}
+		if !seenF {
+			fams = append(fams, f)
+		}
+		row := rows[cell.OfferedOpsPerSec]
+		if row == nil {
+			row = map[string]point{}
+			rows[cell.OfferedOpsPerSec] = row
+			offers = append(offers, cell.OfferedOpsPerSec)
+		}
+		row[f] = point{achieved: cell.AchievedOpsPerSec, p99: cell.P99LatencyMs, ok: true}
+	}
+	sort.Float64s(offers)
+	b.WriteString("capacity curve (achieved ops/s @ p99 ms):\n")
+	fmt.Fprintf(b, "  %10s", "offered")
+	for _, f := range fams {
+		fmt.Fprintf(b, "  %19s", f)
+	}
+	b.WriteString("\n")
+	for _, off := range offers {
+		fmt.Fprintf(b, "  %10.0f", off)
+		for _, f := range fams {
+			p, ok := rows[off][f]
+			if !ok || !p.ok {
+				fmt.Fprintf(b, "  %19s", "-")
+				continue
+			}
+			fmt.Fprintf(b, "  %9.1f @ %7.2f", p.achieved, p.p99)
+		}
+		b.WriteString("\n")
+	}
 }
 
 func columnWidth(name string) int {

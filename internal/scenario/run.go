@@ -7,11 +7,13 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/nfsproto"
 	"repro/internal/nvram"
+	"repro/internal/openload"
 	"repro/internal/rig"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -217,6 +219,8 @@ func runRigCell(rc *resolved, capture obsCaptureFn) CellResult {
 		runRigLADDIS(rc, r, &cr)
 	case KindTrace:
 		runRigTrace(rc, r, &cr)
+	case KindOpenload:
+		runRigOpenload(rc, r, &cr, ob)
 	}
 	if eng := r.Server.Engine(); eng != nil {
 		cr.Gather = eng.Stats()
@@ -447,6 +451,8 @@ func runClusterCell(rc *resolved, capture obsCaptureFn) CellResult {
 		runClusterCopy(rc, c, &cr)
 	case KindLADDIS:
 		runClusterLADDIS(rc, c, &cr)
+	case KindOpenload:
+		runClusterOpenload(rc, c, &cr, ob)
 	}
 
 	// A scheduled recovery that failed (remount error, adoption error)
@@ -733,6 +739,220 @@ func runClusterCopy(rc *resolved, c *cluster.Cluster, cr *CellResult) {
 	cr.CPUMaxPercent = st.CPUMaxPercent
 	cr.DiskKBps = st.DiskKBps
 	cr.DiskTps = st.DiskTps
+}
+
+func runRigOpenload(rc *resolved, r *rig.Rig, cr *CellResult, ob *cellObs) {
+	runOpenload(r.Sim, r.Clients, []nfsproto.FH{r.Server.RootFH()}, rc, cr, r.MarkInterval, ob)
+	cr.CPUPercent, cr.DiskKBps, cr.DiskTps = r.IntervalStats()
+	cr.CPUMaxPercent = cr.CPUPercent
+}
+
+func runClusterOpenload(rc *resolved, c *cluster.Cluster, cr *CellResult, ob *cellObs) {
+	runOpenload(c.Sim, c.Clients, c.Roots(), rc, cr, c.MarkInterval, ob)
+	st := c.IntervalStats()
+	cr.CPUPercent = st.CPUMeanPercent
+	cr.CPUMaxPercent = st.CPUMaxPercent
+	cr.DiskKBps = st.DiskKBps
+	cr.DiskTps = st.DiskTps
+}
+
+// splitReplay deals a captured timeline round-robin across n clients;
+// records keep their capture-relative instants, so the aggregate arrival
+// pattern on the wire matches the capture regardless of client count.
+func splitReplay(tr *trace.OpTrace, n int) []*trace.OpTrace {
+	out := make([]*trace.OpTrace, n)
+	for i := range out {
+		out[i] = &trace.OpTrace{Name: tr.Name}
+	}
+	for i, rec := range tr.Ops {
+		t := out[i%n]
+		t.Ops = append(t.Ops, rec)
+	}
+	return out
+}
+
+// runOpenload drives the open-loop generators on either assembly: client
+// 0 builds the shared population, every client sets up its scratch
+// namespace, all synchronize on the common measurement barrier, and the
+// cell aggregates the honest overload accounting — achieved vs offered
+// throughput, shed/expired arrivals, peak backlog — plus full latency
+// quantiles from the merged arrival-to-completion histograms.
+func runOpenload(s *sim.Sim, clis []*client.Client, roots []nfsproto.FH, rc *resolved, cr *CellResult, mark func(), ob *cellObs) {
+	w := rc.open
+	nclients := len(clis)
+
+	var tr *trace.OpTrace
+	var reps []*trace.OpTrace
+	speed := 1.0
+	if w.Replay != nil {
+		var err error
+		tr, err = trace.LoadOps(w.Replay.File)
+		if err != nil {
+			// Validation checked readability; a race against deletion is a
+			// harness failure, not a measurable outcome.
+			panic("scenario: openload replay: " + err.Error())
+		}
+		if w.Replay.Speed > 0 {
+			speed = w.Replay.Speed
+		}
+		reps = splitReplay(tr, nclients)
+	}
+
+	popFiles := w.Files
+	if tr != nil {
+		if mf := tr.MaxFile(); mf+1 > popFiles {
+			popFiles = mf + 1
+		}
+	}
+	pop, err := openload.NewPopulation(popFiles, w.FileBlocks, w.Population, w.ZipfS, roots)
+	if err != nil {
+		panic("scenario: openload population: " + err.Error())
+	}
+
+	var mix workload.Mix
+	if w.Mix == MixMetadata {
+		mix = workload.MetadataMix()
+	} else {
+		mix = workload.LADDISMix()
+	}
+
+	gens := make([]*openload.Gen, nclients)
+	results := make([]openload.Result, nclients)
+	popBuilt := false
+	popCond := sim.NewCond(s)
+	finished := 0
+	// The measured phase opens at a shared barrier, like the closed-loop
+	// runners — but per-client scratch setup serializes at the server's
+	// sync metadata writes, and at thousands of clients (bridgedsat runs
+	// 5000) that spills past the fixed 20s mark. So the barrier is
+	// derived inside the sim: once every client is set up, arrivals open
+	// together at the next whole second, no earlier than 20s. The instant
+	// is a function of the cell's own deterministic history, so reruns
+	// and any -j agree on it.
+	barrier := sim.Time(0)
+	setupDone := 0
+	startCond := sim.NewCond(s)
+	for i, cli := range clis {
+		i, cli := i, cli
+		cfg := openload.Config{
+			Arrival:  w.Arrival,
+			Rate:     w.TargetOps / float64(nclients),
+			BurstOn:  w.BurstOn,
+			BurstOff: w.BurstOff,
+			Mix:      mix,
+			Window:   w.Window,
+			QueueCap: w.QueueCap,
+			Deadline: w.Deadline,
+			Measure:  w.Measure,
+			Seed:     w.Seed + int64(i),
+		}
+		if reps != nil {
+			cfg.Replay = reps[i]
+			cfg.ReplaySpeed = speed
+		}
+		gens[i] = openload.NewGen(cli, pop, cfg)
+		s.Spawn(fmt.Sprintf("openload-driver-%d", i), func(p *sim.Proc) {
+			if i == 0 {
+				if err := pop.Build(p, cli); err != nil {
+					panic("scenario: openload population build: " + err.Error())
+				}
+				popBuilt = true
+				popCond.Broadcast()
+			}
+			for !popBuilt {
+				popCond.Wait(p)
+			}
+			if err := gens[i].Setup(p); err != nil {
+				panic("scenario: openload setup: " + err.Error())
+			}
+			setupDone++
+			if setupDone == nclients {
+				b := laddisBarrier
+				if late := p.Now().Sub(b); late > 0 {
+					b = b.Add((late + sim.Second - 1) / sim.Second * sim.Second)
+				}
+				barrier = b
+				startCond.Broadcast()
+			}
+			for barrier == 0 {
+				startCond.Wait(p)
+			}
+			p.Sleep(barrier.Sub(p.Now()))
+			if i == 0 {
+				mark()
+			}
+			res, err := gens[i].Run(p)
+			if err != nil {
+				panic("scenario: openload run: " + err.Error())
+			}
+			results[i] = res
+			finished++
+		})
+	}
+	ob.setOpenload(gens)
+	s.Run(0)
+	if finished != nclients {
+		panic("scenario: openload drivers did not finish")
+	}
+
+	elapsed := w.Measure
+	if tr != nil && elapsed <= 0 {
+		elapsed = sim.Duration(float64(tr.Duration()) / speed)
+	}
+
+	var all stats.Histogram
+	var completed, offered uint64
+	var latSumUs float64
+	var latN int
+	for i := range results {
+		res := &results[i]
+		offered += res.Offered
+		completed += res.Completed
+		cr.Errors += res.Errors
+		cr.ShedArrivals += res.Shed
+		cr.ExpiredOps += res.Expired
+		if res.PeakQueue > cr.PeakQueue {
+			cr.PeakQueue = res.PeakQueue
+		}
+		latSumUs += float64(res.Lat.Mean()) * float64(res.Lat.N())
+		latN += res.Lat.N()
+		all.Merge(res.Lat.Hist())
+		cr.OpenloadClients = append(cr.OpenloadClients, OpenloadClient{
+			Offered:      res.Offered,
+			Completed:    res.Completed,
+			Errors:       res.Errors,
+			Shed:         res.Shed,
+			Expired:      res.Expired,
+			PeakQueue:    res.PeakQueue,
+			PeakInFlight: res.PeakInFlight,
+			PerOp:        res.PerOp,
+		})
+	}
+	if tr != nil {
+		// A replay's offered rate is the capture's, not a spec knob.
+		if elapsed > 0 {
+			cr.OfferedOpsPerSec = float64(offered) / elapsed.Seconds()
+		}
+	} else {
+		cr.OfferedOpsPerSec = w.TargetOps
+	}
+	if elapsed > 0 {
+		cr.AchievedOpsPerSec = float64(completed) / elapsed.Seconds()
+	}
+	// The latency histogram stores sim.Duration ticks (microseconds).
+	const usPerMs = 1000.0
+	if latN > 0 {
+		cr.AvgLatencyMs = latSumUs / float64(latN) / usPerMs
+	}
+	if all.N() > 0 {
+		cr.P50LatencyMs = all.Quantile(0.50) / usPerMs
+		cr.P90LatencyMs = all.Quantile(0.90) / usPerMs
+		cr.P95LatencyMs = all.Quantile(0.95) / usPerMs
+		cr.P99LatencyMs = all.Quantile(0.99) / usPerMs
+		cr.P999LatencyMs = all.Quantile(0.999) / usPerMs
+	}
+	cr.Elapsed = elapsed
+	cr.ElapsedSec = elapsed.Seconds()
 }
 
 func runClusterLADDIS(rc *resolved, c *cluster.Cluster, cr *CellResult) {

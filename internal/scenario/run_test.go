@@ -36,6 +36,21 @@ func shrink(spec Spec) Spec {
 		c.FileKB = 160
 		spec.Workload.Trace = &c
 	}
+	if spec.Workload.Openload != nil {
+		c := *spec.Workload.Openload
+		c.Measure = 1 * sim.Second
+		if c.TargetOps > 400 {
+			c.TargetOps = 400
+		}
+		spec.Workload.Openload = &c
+		// bridgedsat declares 100 clients per leaf segment; the sweep
+		// structure (segment trimming, placement, seeds) survives with 2.
+		for i := range spec.Topology.Clients {
+			if spec.Topology.Clients[i].Count > 2 {
+				spec.Topology.Clients[i].Count = 2
+			}
+		}
+	}
 	return spec
 }
 

@@ -207,16 +207,22 @@ const (
 	// KindTrace is the Figure 1 timeline: a traced sequential transfer
 	// with a rendered event window instead of interval metrics.
 	KindTrace = "trace"
+	// KindOpenload is the open-loop arrival workload: seed-driven
+	// Poisson/bursty/fixed arrival processes emit operations at a target
+	// offered ops/s regardless of completions, so the server can be
+	// driven past saturation (the capacity-vs-offered-load curves).
+	KindOpenload = "openload"
 )
 
 // Workload declares the offered load. Exactly the variant matching Kind
 // must be set (or left nil to accept that kind's defaults).
 type Workload struct {
-	Kind   string          `json:"kind"`
-	Copy   *CopyWorkload   `json:"copy,omitempty"`
-	LADDIS *LADDISWorkload `json:"laddis,omitempty"`
-	Stream *StreamWorkload `json:"stream,omitempty"`
-	Trace  *TraceWorkload  `json:"trace,omitempty"`
+	Kind     string            `json:"kind"`
+	Copy     *CopyWorkload     `json:"copy,omitempty"`
+	LADDIS   *LADDISWorkload   `json:"laddis,omitempty"`
+	Stream   *StreamWorkload   `json:"stream,omitempty"`
+	Trace    *TraceWorkload    `json:"trace,omitempty"`
+	Openload *OpenloadWorkload `json:"openload,omitempty"`
 }
 
 // CopyWorkload is one sequential file copy by client 1.
@@ -266,6 +272,101 @@ type TraceWorkload struct {
 	Window sim.Duration `json:"window_ns,omitempty"`
 	// Bound caps the simulation (default 60s).
 	Bound sim.Duration `json:"bound_ns,omitempty"`
+}
+
+// Arrival process kinds for OpenloadWorkload.Arrival.
+const (
+	// ArrivalFixed emits operations on a strict fixed-rate clock.
+	ArrivalFixed = "fixed"
+	// ArrivalPoisson draws exponential inter-arrival gaps (seed-driven,
+	// deterministic) with mean 1/rate.
+	ArrivalPoisson = "poisson"
+	// ArrivalBursty is an on/off MMPP-style process: exponential on/off
+	// dwell times; during "on" periods arrivals run hot enough that the
+	// long-run average still meets the target rate.
+	ArrivalBursty = "bursty"
+)
+
+// Population kinds for OpenloadWorkload.Population.
+const (
+	// PopFlat picks operation targets uniformly over the shared file set.
+	PopFlat = "flat"
+	// PopZipf skews picks toward a hot set with Zipf exponent ZipfS.
+	PopZipf = "zipf"
+)
+
+// Mix kinds for OpenloadWorkload.Mix.
+const (
+	// MixLADDIS is the SPEC SFS 1.0 op mix (34% lookup, 22% read, ...).
+	MixLADDIS = "laddis"
+	// MixMetadata is a metadata-heavy mix dominated by
+	// lookup/getattr/create/remove.
+	MixMetadata = "metadata"
+)
+
+// OpenloadWorkload is the open-loop arrival workload: arrivals are
+// emitted at TargetOps regardless of completions. Each arrival is
+// admitted into a bounded per-client backlog queue drained by Window
+// worker processes (the outstanding-RPC admission window); when the
+// backlog is full the arrival is shed, and dequeued arrivals older than
+// Deadline expire without being issued. Latency is measured from the
+// arrival instant (queue wait + service), so overload shows up honestly
+// as queue growth, shed arrivals and retransmission storms instead of a
+// silently reduced offered rate.
+type OpenloadWorkload struct {
+	// Arrival selects the arrival process: "fixed" (default), "poisson"
+	// or "bursty".
+	Arrival string `json:"arrival,omitempty"`
+	// TargetOps is the aggregate offered rate in ops/s, split evenly
+	// across clients. Cells override it via offered_load. Must be > 0
+	// (except for replay, which carries its own timeline).
+	TargetOps float64 `json:"target_ops,omitempty"`
+	// Mix selects the op mix: "laddis" (default) or "metadata".
+	Mix string `json:"mix,omitempty"`
+	// Population selects target-file skew over the shared per-cell file
+	// set: "flat" (default) or "zipf".
+	Population string `json:"population,omitempty"`
+	// ZipfS is the Zipf exponent for Population "zipf" (default 1.1).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Files and FileBlocks size the shared population, built once per
+	// cell by client 0 and shared by every generator (defaults 64 files
+	// of 4 8K blocks).
+	Files      int `json:"files,omitempty"`
+	FileBlocks int `json:"file_blocks,omitempty"`
+	// Window is the admission window: the maximum operations in flight
+	// per client (default 8).
+	Window int `json:"window,omitempty"`
+	// QueueCap bounds the per-client arrival backlog; arrivals past it
+	// are shed (default 4x Window).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Deadline expires backlogged arrivals at dequeue time: an arrival
+	// that waited longer than this is counted expired and never issued
+	// (0 = never expire).
+	Deadline sim.Duration `json:"deadline_ns,omitempty"`
+	// BurstOn/BurstOff are the mean on/off dwell times for the bursty
+	// arrival process (defaults 200ms each).
+	BurstOn  sim.Duration `json:"burst_on_ns,omitempty"`
+	BurstOff sim.Duration `json:"burst_off_ns,omitempty"`
+	// Measure bounds the measured phase (nanoseconds).
+	Measure sim.Duration `json:"measure_ns"`
+	// Seed is the generator seed base (client i draws from Seed+i),
+	// distinct from the cell seed driving the simulation kernel.
+	Seed int64 `json:"seed"`
+	// Replay substitutes a captured op timeline for the synthetic
+	// arrival process: the recorded ops replay open-loop at recorded
+	// (or speed-scaled) instants through the same admission window.
+	// Exclusive with Arrival/Mix/Population/TargetOps.
+	Replay *ReplayWorkload `json:"replay,omitempty"`
+}
+
+// ReplayWorkload points at a captured op timeline (cmd/nfstrace
+// -capture, trace.SaveOps format) to replay open-loop.
+type ReplayWorkload struct {
+	// File is the capture path (trace.OpTrace JSON).
+	File string `json:"file"`
+	// Speed scales the replay clock: 2 replays twice as fast as
+	// recorded, 0.5 half speed (default 1).
+	Speed float64 `json:"speed,omitempty"`
 }
 
 // Fault event kinds — the tags FaultEvent.Kind takes. The vocabulary is
@@ -462,6 +563,9 @@ type Cell struct {
 	Presto    *bool `json:"presto,omitempty"`
 	// OfferedOpsPerSec overrides the LADDIS offered load.
 	OfferedOpsPerSec *float64 `json:"offered_ops_per_sec,omitempty"`
+	// OfferedLoad overrides the openload target rate (aggregate ops/s) —
+	// the sweep axis behind the capacity-vs-offered-load curves.
+	OfferedLoad *float64 `json:"offered_load,omitempty"`
 	// FileMB overrides the copy/stream transfer size.
 	FileMB *int `json:"file_mb,omitempty"`
 	// Segments keeps only the first N non-root media segments (in

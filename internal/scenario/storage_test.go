@@ -278,10 +278,10 @@ func TestFuzzCatchesPlantedBug(t *testing.T) {
 	defer func() { ufs.DebugSkipIndirectClaim = false }()
 
 	// The campaign seed is pinned to one whose 200-run prefix includes a
-	// crash/remount schedule with indirect-block traffic (run 42): the
+	// crash/remount schedule with indirect-block traffic (run 107): the
 	// planted bug needs a recovery plus post-remount allocation to
 	// clobber acked data, which only a fraction of generated specs do.
-	f := Fuzz(FuzzConfig{Runs: 200, Seed: 4})
+	f := Fuzz(FuzzConfig{Runs: 200, Seed: 6})
 	if f == nil {
 		t.Fatal("fuzzer missed the planted remount bug")
 	}

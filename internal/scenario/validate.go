@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/cluster"
@@ -75,6 +76,7 @@ type resolved struct {
 	laddis LADDISWorkload
 	stream StreamWorkload
 	trace  TraceWorkload
+	open   OpenloadWorkload
 
 	// observe is the defaulted observability configuration (nil when the
 	// spec declares none — the zero-cost path).
@@ -302,6 +304,16 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 			return nil, invalid("topology.clients",
 				"the trace workload follows a single writing client (got %d)", r.nclients)
 		}
+	case KindOpenload:
+		if s.Workload.Openload != nil {
+			r.open = *s.Workload.Openload
+		}
+		if cell.OfferedLoad != nil {
+			r.open.TargetOps = *cell.OfferedLoad
+		}
+		if err := r.validateOpenload(); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, invalid("workload.kind", "unknown workload kind %q", r.kind)
 	}
@@ -351,6 +363,85 @@ func (s *Spec) resolve(cell Cell, idx int) (*resolved, error) {
 			"the trace workload runs on the single-server rig assembly only")
 	}
 	return r, nil
+}
+
+// Known-vocabulary lists for openload error messages.
+func knownArrivalKinds() string    { return `"fixed", "poisson", "bursty"` }
+func knownPopulationKinds() string { return `"flat", "zipf"` }
+func knownMixKinds() string        { return `"laddis", "metadata"` }
+
+// validateOpenload checks and defaults the resolved openload workload:
+// replay is exclusive with the synthetic-process fields (the capture
+// carries its own timeline, mix and skew), the arrival/mix/population
+// vocabularies are closed, and the offered rate must be positive.
+func (r *resolved) validateOpenload() error {
+	w := &r.open
+	if w.Replay != nil {
+		if w.Arrival != "" || w.Mix != "" || w.Population != "" || w.ZipfS != 0 || w.TargetOps != 0 {
+			return invalid("workload.openload.replay",
+				"replay carries its own timeline: arrival, mix, population, zipf_s and target_ops must be unset")
+		}
+		if w.Replay.File == "" {
+			return invalid("workload.openload.replay.file", "replay needs a capture file")
+		}
+		if _, err := os.Stat(w.Replay.File); err != nil {
+			return invalid("workload.openload.replay.file",
+				"capture %q is not readable (%v); record one with nfstrace -capture", w.Replay.File, err)
+		}
+		if w.Replay.Speed < 0 {
+			return invalid("workload.openload.replay.speed", "replay speed must not be negative")
+		}
+	} else {
+		if w.TargetOps <= 0 {
+			return invalid("workload.openload.target_ops",
+				"offered rate must be > 0 ops/s (cells override it via offered_load)")
+		}
+		switch w.Arrival {
+		case "", ArrivalFixed, ArrivalPoisson, ArrivalBursty:
+		default:
+			return invalid("workload.openload.arrival",
+				"unknown arrival kind %q (want one of %s)", w.Arrival, knownArrivalKinds())
+		}
+		switch w.Mix {
+		case "", MixLADDIS, MixMetadata:
+		default:
+			return invalid("workload.openload.mix",
+				"unknown mix %q (want one of %s)", w.Mix, knownMixKinds())
+		}
+		switch w.Population {
+		case "", PopFlat, PopZipf:
+		default:
+			return invalid("workload.openload.population",
+				"unknown population %q (want one of %s)", w.Population, knownPopulationKinds())
+		}
+		if w.ZipfS < 0 {
+			return invalid("workload.openload.zipf_s", "zipf exponent must not be negative")
+		}
+		if w.ZipfS > 0 && w.Population != PopZipf {
+			return invalid("workload.openload.zipf_s",
+				"zipf_s requires population %q (got %q)", PopZipf, w.Population)
+		}
+		if w.Measure <= 0 {
+			return invalid("workload.openload.measure_ns", "measured phase must be positive")
+		}
+	}
+	if w.Files < 0 || w.FileBlocks < 0 || w.Window < 0 || w.QueueCap < 0 ||
+		w.Deadline < 0 || w.BurstOn < 0 || w.BurstOff < 0 {
+		return invalid("workload.openload", "negative population, window, queue or burst parameters")
+	}
+	if w.Files == 0 {
+		w.Files = 64
+	}
+	if w.FileBlocks == 0 {
+		w.FileBlocks = 4
+	}
+	if w.Window == 0 {
+		w.Window = 8
+	}
+	if w.QueueCap == 0 {
+		w.QueueCap = 4 * w.Window
+	}
+	return nil
 }
 
 // checkSegment validates a placement reference: empty always means the
@@ -660,9 +751,9 @@ func (r *resolved) validateFaults() error {
 			if f.At < 0 || f.Takeover < 0 {
 				return invalid(field, "failover and takeover times must not be negative")
 			}
-			if r.kind == KindLADDIS {
+			if r.kind == KindLADDIS || r.kind == KindOpenload {
 				return invalid(field,
-					"shard failover requires a fully handle-routed workload; the laddis generators issue statfs to the default server by name, which cannot follow a migrated export")
+					"shard failover requires a fully handle-routed workload; the %s generators issue statfs to the default server by name, which cannot follow a migrated export", r.kind)
 			}
 			// The source never comes back: its down-window is open-ended,
 			// which also rejects any later event aimed at it.

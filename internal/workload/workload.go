@@ -73,6 +73,37 @@ func LADDISMix() Mix {
 	}
 }
 
+// MetadataMix is a metadata-heavy mix — lookup/getattr/create/remove
+// dominated, the shape of a build farm or home-directory server where
+// attribute traffic, not data transfer, loads the CPU.
+func MetadataMix() Mix {
+	return Mix{
+		OpLookup:  40,
+		OpRead:    5,
+		OpWrite:   3,
+		OpGetattr: 25,
+		OpReaddir: 3,
+		OpCreate:  12,
+		OpRemove:  10,
+		OpStatfs:  1,
+		OpSetattr: 1,
+	}
+}
+
+// Ops reports the number of operation classes (the Mix array length).
+func Ops() int { return int(numOps) }
+
+// OpByName resolves an operation name from the opNames vocabulary
+// (trace-capture records use the names); ok is false for unknown names.
+func OpByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
 // LADDISConfig parameterizes a mixed-load run.
 type LADDISConfig struct {
 	// Mix is the op mix; zero value means LADDISMix.
